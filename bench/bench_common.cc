@@ -1,0 +1,175 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/timer.h"
+
+namespace kge::bench {
+
+void BenchConfig::RegisterFlags(FlagParser* parser) {
+  parser->AddInt("entities", &entities,
+                 "entities in the generated WordNet-like KG");
+  parser->AddInt("seed", &seed, "global random seed");
+  parser->AddString("data-dir", &data_dir,
+                    "load real WN18-format train/valid/test.txt instead of "
+                    "generating data");
+  parser->AddInt("dim-budget", &dim_budget,
+                 "total embedding parameters per entity (split across a "
+                 "model's embedding vectors)");
+  parser->AddInt("max-epochs", &max_epochs, "maximum training epochs");
+  parser->AddInt("batch-size", &batch_size, "mini-batch size");
+  parser->AddDouble("learning-rate", &learning_rate, "Adam learning rate");
+  parser->AddDouble("l2-lambda", &l2_lambda,
+                    "embedding L2 regularization strength");
+  parser->AddInt("negatives", &negatives, "negative samples per positive");
+  parser->AddInt("eval-every", &eval_every,
+                 "validate every N epochs (early stopping)");
+  parser->AddInt("patience", &patience, "early stopping patience in epochs");
+  parser->AddInt("threads", &threads, "evaluation threads");
+  parser->AddInt("valid-cap", &valid_cap,
+                 "max validation triples per early-stopping check (0 = all)");
+  parser->AddBool("quick", &quick, "tiny smoke-test preset");
+}
+
+void BenchConfig::Finalize() {
+  if (!quick) return;
+  entities = 300;
+  dim_budget = 32;
+  max_epochs = 30;
+  eval_every = 10;
+  patience = 30;
+  batch_size = 256;
+  valid_cap = 100;
+}
+
+int32_t BenchConfig::DimFor(int32_t num_vectors) const {
+  const int64_t dim = dim_budget / num_vectors;
+  return static_cast<int32_t>(dim > 0 ? dim : 1);
+}
+
+Workload BuildWorkload(const BenchConfig& config) {
+  Workload workload;
+  if (!config.data_dir.empty()) {
+    Result<Dataset> loaded = LoadDatasetFromDirectory(
+        config.data_dir, TripleFileFormat::kHeadRelationTail);
+    KGE_CHECK_OK(loaded.status());
+    workload.dataset = std::move(*loaded);
+  } else {
+    WordNetLikeOptions options;
+    options.num_entities = static_cast<int32_t>(config.entities);
+    options.seed = static_cast<uint64_t>(config.seed);
+    workload.dataset = GenerateWordNetLike(options);
+  }
+  KGE_CHECK_OK(workload.dataset.Validate());
+  KGE_LOG(Info) << "workload: " << workload.dataset.StatsString();
+  workload.filter.Build(workload.dataset.train, workload.dataset.valid,
+                        workload.dataset.test);
+  workload.evaluator = std::make_unique<Evaluator>(
+      &workload.filter, workload.dataset.num_relations());
+  return workload;
+}
+
+EvalRow TrainAndEvaluate(KgeModel* model, const Workload& workload,
+                         const BenchConfig& config, bool eval_on_train) {
+  TrainerOptions options;
+  options.max_epochs = static_cast<int>(config.max_epochs);
+  options.batch_size = static_cast<int>(config.batch_size);
+  options.num_negatives = static_cast<int>(config.negatives);
+  options.normalize_negatives = config.normalize_negatives;
+  options.loss = config.loss == "margin" ? LossKind::kMarginRanking
+                                         : LossKind::kLogistic;
+  options.margin = config.margin;
+  options.learning_rate = config.learning_rate;
+  options.l2_lambda = config.l2_lambda;
+  options.eval_every_epochs = static_cast<int>(config.eval_every);
+  options.patience_epochs = static_cast<int>(config.patience);
+  options.seed = static_cast<uint64_t>(config.seed) * 0x9E3779B9ULL + 17;
+
+  EvalOptions valid_eval;
+  valid_eval.filtered = true;
+  valid_eval.max_triples = static_cast<size_t>(config.valid_cap);
+  valid_eval.num_threads = static_cast<int>(config.threads);
+
+  Trainer trainer(model, options);
+  Stopwatch watch;
+  Result<TrainResult> train_result = trainer.Train(
+      workload.dataset.train, [&](int epoch) {
+        (void)epoch;
+        return workload.evaluator
+            ->EvaluateOverall(*model, workload.dataset.valid, valid_eval)
+            .Mrr();
+      });
+  KGE_CHECK_OK(train_result.status());
+
+  EvalRow row;
+  row.label = model->name();
+  row.train_result = *train_result;
+  row.train_seconds = watch.ElapsedSeconds();
+  row.num_parameters = model->NumParameters();
+
+  EvalOptions test_eval;
+  test_eval.filtered = true;
+  test_eval.num_threads = static_cast<int>(config.threads);
+  row.test = workload.evaluator->EvaluateOverall(
+      *model, workload.dataset.test, test_eval);
+  if (eval_on_train) {
+    row.train = EvaluateOnTrain(*model, workload, config);
+  }
+  KGE_LOG(Info) << row.label << ": test " << row.test.ToString() << "  ["
+                << row.train_result.epochs_run << " epochs, "
+                << StrFormat("%.1fs", row.train_seconds) << "]";
+  return row;
+}
+
+RankingMetrics EvaluateOnTrain(const KgeModel& model,
+                               const Workload& workload,
+                               const BenchConfig& config) {
+  EvalOptions options;
+  options.filtered = true;
+  options.num_threads = static_cast<int>(config.threads);
+  // Cap the train-set evaluation: ranking every training triple is
+  // O(|train| * |entities|) and the paper's "on train" rows are about the
+  // magnitude, not the third decimal.
+  options.max_triples = 2000;
+  return workload.evaluator->EvaluateOverall(model, workload.dataset.train,
+                                             options);
+}
+
+void PrintComparisonTable(const std::string& title,
+                          const std::vector<EvalRow>& rows,
+                          const std::vector<PaperRef>& paper_refs) {
+  std::printf("\n== %s ==\n", title.c_str());
+  TablePrinter table({"model", "MRR", "H@1", "H@3", "H@10", "paper MRR",
+                      "paper H@1", "paper H@3", "paper H@10"});
+  auto add = [&table, &paper_refs](const std::string& label,
+                                   const RankingMetrics& metrics) {
+    std::vector<std::string> cells = {
+        label, StrFormat("%.3f", metrics.Mrr()),
+        StrFormat("%.3f", metrics.HitsAt(1)),
+        StrFormat("%.3f", metrics.HitsAt(3)),
+        StrFormat("%.3f", metrics.HitsAt(10))};
+    const PaperRef* ref = nullptr;
+    for (const PaperRef& candidate : paper_refs) {
+      if (candidate.label == label) ref = &candidate;
+    }
+    if (ref != nullptr) {
+      cells.push_back(StrFormat("%.3f", ref->mrr));
+      cells.push_back(StrFormat("%.3f", ref->h1));
+      cells.push_back(StrFormat("%.3f", ref->h3));
+      cells.push_back(StrFormat("%.3f", ref->h10));
+    } else {
+      cells.insert(cells.end(), {"-", "-", "-", "-"});
+    }
+    table.AddRow(std::move(cells));
+  };
+  for (const EvalRow& row : rows) {
+    add(row.label, row.test);
+    if (row.train.has_value()) {
+      add(row.label + " on train", *row.train);
+    }
+  }
+  table.Print();
+  std::fflush(stdout);
+}
+
+}  // namespace kge::bench

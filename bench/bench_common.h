@@ -1,0 +1,101 @@
+// Shared harness for the paper-table bench binaries: a common flag set,
+// workload construction (WordNet-like synthetic KG by default, or a real
+// WN18-format directory via --data-dir), and a train-and-evaluate driver
+// that produces one table row per model configuration.
+#ifndef KGE_BENCH_BENCH_COMMON_H_
+#define KGE_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kge.h"
+
+namespace kge::bench {
+
+struct BenchConfig {
+  // Workload.
+  int64_t entities = 1500;
+  int64_t seed = 42;
+  std::string data_dir;  // if set, load real WN18-format files instead
+
+  // Parameter budget: total embedding parameters per entity. A model with
+  // n embedding vectors uses per-vector dim = dim_budget / n (the paper's
+  // matched-budget comparison: 400 = 1x400 = 2x200 = 4x100).
+  int64_t dim_budget = 256;
+
+  // Training (paper §5.3 settings, scaled down by default).
+  int64_t max_epochs = 250;
+  int64_t batch_size = 1024;
+  double learning_rate = 1e-3;
+  double l2_lambda = 1e-5;
+  int64_t negatives = 1;
+  bool normalize_negatives = false;
+  // "logistic" (paper Eq. 15) or "margin" (translation-family objective).
+  std::string loss = "logistic";
+  double margin = 1.0;
+  int64_t eval_every = 20;
+  int64_t patience = 60;
+  int64_t threads = 1;
+
+  // Validation subsample during training (0 = all) to keep early-stopping
+  // checks cheap.
+  int64_t valid_cap = 400;
+
+  // Tiny smoke preset (overrides sizes; used by CI-style runs).
+  bool quick = false;
+
+  // Registers all of the above as --flags.
+  void RegisterFlags(FlagParser* parser);
+  // Applies the quick preset when --quick was passed.
+  void Finalize();
+
+  // Per-vector dim for a model with `num_vectors` embedding vectors.
+  int32_t DimFor(int32_t num_vectors) const;
+};
+
+struct Workload {
+  Dataset dataset;
+  FilterIndex filter;
+  std::unique_ptr<Evaluator> evaluator;
+};
+
+// Builds the workload per config (generate or load), builds the filter
+// index over all splits, and logs dataset stats.
+Workload BuildWorkload(const BenchConfig& config);
+
+struct EvalRow {
+  std::string label;
+  RankingMetrics test;
+  std::optional<RankingMetrics> train;  // "on train" rows of Table 2/4
+  TrainResult train_result;
+  double train_seconds = 0.0;
+  int64_t num_parameters = 0;
+};
+
+// Trains `model` on the workload with early stopping on validation
+// filtered MRR, then evaluates on test (and optionally on the training
+// set, to reproduce the paper's overfitting analysis).
+EvalRow TrainAndEvaluate(KgeModel* model, const Workload& workload,
+                         const BenchConfig& config, bool eval_on_train);
+
+// Evaluation on the training set ranks against train-only filtering;
+// the paper's "on train" rows measure how well a model fits its own data.
+RankingMetrics EvaluateOnTrain(const KgeModel& model,
+                               const Workload& workload,
+                               const BenchConfig& config);
+
+// Renders rows as the paper's table layout (label, MRR, H@1, H@3, H@10),
+// with the paper's WN18 reference numbers printed alongside when given.
+struct PaperRef {
+  std::string label;
+  double mrr, h1, h3, h10;
+};
+void PrintComparisonTable(const std::string& title,
+                          const std::vector<EvalRow>& rows,
+                          const std::vector<PaperRef>& paper_refs);
+
+}  // namespace kge::bench
+
+#endif  // KGE_BENCH_BENCH_COMMON_H_

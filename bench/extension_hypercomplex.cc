@@ -1,0 +1,61 @@
+// Extension experiment: the hypercomplex ladder. §6.3 asks "whether
+// using more embedding vectors in the multi-embedding interaction
+// mechanism is helpful" and §7 lists "the effective extension to
+// additional embedding vectors" as future work. This bench walks the
+// Cayley–Dickson ladder at a fixed parameter budget:
+//
+//   DistMult (R, n=1) → ComplEx (C, n=2) → Quaternion (H, n=4)
+//     → Octonion (O, n=8)
+//
+// Each step doubles the interaction terms (1, 4, 16, 64 signed trilinear
+// products) while halving the per-vector dimension.
+#include "bench_common.h"
+
+namespace kge::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig config;
+  config.max_epochs = 200;
+  FlagParser parser("extension_hypercomplex: R -> C -> H -> O ladder");
+  config.RegisterFlags(&parser);
+  const Status status = parser.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  KGE_CHECK_OK(status);
+  config.Finalize();
+
+  Workload workload = BuildWorkload(config);
+  std::vector<EvalRow> rows;
+  struct Rung {
+    const char* name;
+    const char* algebra;
+    int terms;
+  };
+  const Rung ladder[] = {
+      {"distmult", "R", 1},
+      {"complex", "C", 4},
+      {"quaternion", "H", 16},
+      {"octonion", "O", 64},
+  };
+  for (const Rung& rung : ladder) {
+    Result<std::unique_ptr<KgeModel>> model = MakeModelByName(
+        rung.name, workload.dataset.num_entities(),
+        workload.dataset.num_relations(), int32_t(config.dim_budget),
+        uint64_t(config.seed));
+    KGE_CHECK_OK(model.status());
+    EvalRow row =
+        TrainAndEvaluate(model->get(), workload, config, /*train=*/true);
+    row.label = StrFormat("%s over %s (%d terms)",
+                          (*model)->name().c_str(), rung.algebra, rung.terms);
+    rows.push_back(std::move(row));
+  }
+  PrintComparisonTable(
+      "Extension: hypercomplex ladder at a fixed parameter budget", rows,
+      {});
+  return 0;
+}
+
+}  // namespace
+}  // namespace kge::bench
+
+int main(int argc, char** argv) { return kge::bench::Run(argc, argv); }

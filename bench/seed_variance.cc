@@ -1,0 +1,73 @@
+// Seed variance: re-runs the core Table 2 comparison across several
+// seeds (data generation + initialization + sampling) and reports
+// mean ± stddev per model, quantifying how robust the paper's ordering
+// is to run-to-run noise on the synthetic workload.
+#include <cmath>
+
+#include "bench_common.h"
+
+namespace kge::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig config;
+  config.max_epochs = 150;
+  config.entities = 1200;
+  FlagParser parser("seed_variance: Table 2 core models across seeds");
+  config.RegisterFlags(&parser);
+  int64_t num_seeds = 3;
+  parser.AddInt("num-seeds", &num_seeds, "seeds per model");
+  const Status status = parser.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  KGE_CHECK_OK(status);
+  config.Finalize();
+
+  const char* const model_names[] = {"distmult", "complex", "cp", "cph"};
+  struct Stats {
+    std::vector<double> mrr;
+  };
+  std::vector<Stats> stats(std::size(model_names));
+
+  for (int64_t s = 0; s < num_seeds; ++s) {
+    BenchConfig run_config = config;
+    run_config.seed = config.seed + s * 101;
+    Workload workload = BuildWorkload(run_config);
+    for (size_t m = 0; m < std::size(model_names); ++m) {
+      Result<std::unique_ptr<KgeModel>> model = MakeModelByName(
+          model_names[m], workload.dataset.num_entities(),
+          workload.dataset.num_relations(), int32_t(config.dim_budget),
+          uint64_t(run_config.seed));
+      KGE_CHECK_OK(model.status());
+      const EvalRow row =
+          TrainAndEvaluate(model->get(), workload, run_config, false);
+      stats[m].mrr.push_back(row.test.Mrr());
+    }
+  }
+
+  std::printf("\n== Seed variance over %lld seeds "
+              "(entities=%lld, budget=%lld) ==\n",
+              (long long)num_seeds, (long long)config.entities,
+              (long long)config.dim_budget);
+  TablePrinter table({"model", "mean MRR", "stddev", "min", "max"});
+  for (size_t m = 0; m < std::size(model_names); ++m) {
+    const auto& values = stats[m].mrr;
+    double mean = 0.0;
+    for (double v : values) mean += v;
+    mean /= double(values.size());
+    double variance = 0.0;
+    for (double v : values) variance += (v - mean) * (v - mean);
+    variance /= double(values.size());
+    const double lo = *std::min_element(values.begin(), values.end());
+    const double hi = *std::max_element(values.begin(), values.end());
+    table.AddRow({model_names[m], StrFormat("%.3f", mean),
+                  StrFormat("%.3f", std::sqrt(variance)),
+                  StrFormat("%.3f", lo), StrFormat("%.3f", hi)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace kge::bench
+
+int main(int argc, char** argv) { return kge::bench::Run(argc, argv); }

@@ -1,0 +1,97 @@
+// CPh two ways — a runnable demonstration of the paper's Eq. (11)
+// equivalence: training CP on inverse-augmented data (the heuristic of
+// Lacroix et al. that the paper analyzes) is the same model as the
+// two-embedding weight vector (0,0,1,0,0,1,0,0) on the original data.
+//
+// The example trains both formulations on the same WordNet-like graph
+// and shows they reach comparable link-prediction quality — and that
+// both vastly outperform plain CP, the paper's central empirical story.
+//
+// Note the evaluation subtlety for the augmented formulation: a tail
+// query (h, ?, r) can also be answered as a head query on the augmented
+// relation. We evaluate it the standard way (forward relation only),
+// which is how [17] reports CP-augmented results.
+//
+// Run:  ./cph_two_ways [--entities=N] [--epochs=N]
+#include <cstdio>
+
+#include "kge.h"
+
+namespace {
+
+using namespace kge;
+
+RankingMetrics TrainEval(KgeModel* model, const std::vector<Triple>& train,
+                         const Dataset& data, const FilterIndex& filter,
+                         int epochs) {
+  TrainerOptions options;
+  options.max_epochs = epochs;
+  options.batch_size = 1024;
+  Trainer trainer(model, options);
+  KGE_CHECK_OK(trainer.Train(train, nullptr).status());
+  Evaluator evaluator(&filter, data.num_relations());
+  return evaluator.EvaluateOverall(*model, data.test, EvalOptions{});
+}
+
+int Run(int argc, char** argv) {
+  int64_t entities = 1000;
+  int64_t epochs = 150;
+  int64_t dim = 64;
+  FlagParser parser("cph_two_ways: Eq. (11) — weight vector == augmentation");
+  parser.AddInt("entities", &entities, "entities in the generated KG");
+  parser.AddInt("epochs", &epochs, "training epochs");
+  parser.AddInt("dim", &dim, "per-vector embedding dimension");
+  const Status status = parser.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  KGE_CHECK_OK(status);
+
+  WordNetLikeOptions generator;
+  generator.num_entities = int32_t(entities);
+  generator.seed = 33;
+  const Dataset data = GenerateWordNetLike(generator);
+  std::printf("dataset: %s\n\n", data.StatsString().c_str());
+  FilterIndex filter;
+  filter.Build(data.train, data.valid, data.test);
+
+  // Formulation 1: plain CP (the paper's failure case).
+  auto cp = MakeCp(data.num_entities(), data.num_relations(), int32_t(dim),
+                   7);
+  const RankingMetrics cp_metrics =
+      TrainEval(cp.get(), data.train, data, filter, int(epochs));
+  std::printf("CP  (plain)              : %s\n", cp_metrics.ToString().c_str());
+
+  // Formulation 2: CPh as the derived weight vector on original data.
+  auto cph = MakeCph(data.num_entities(), data.num_relations(), int32_t(dim),
+                     7);
+  const RankingMetrics cph_metrics =
+      TrainEval(cph.get(), data.train, data, filter, int(epochs));
+  std::printf("CPh (weight vector)      : %s\n",
+              cph_metrics.ToString().c_str());
+
+  // Formulation 3: CP trained on inverse-augmented data (Eq. 7).
+  const AugmentedTriples augmented =
+      AugmentWithInverses(data.train, data.num_relations());
+  auto cp_aug = MakeCp(data.num_entities(), augmented.num_relations,
+                       int32_t(dim), 7);
+  // Evaluate against the original relations only; the filter and the
+  // protocol are unchanged because augmented relation ids >= original
+  // count never appear in test queries.
+  const RankingMetrics aug_metrics = TrainEval(
+      cp_aug.get(), augmented.triples, data, filter, int(epochs));
+  std::printf("CP  (augmented data, Eq.7): %s\n",
+              aug_metrics.ToString().c_str());
+
+  std::printf(
+      "\nEq. (11) in action: both CPh formulations repair CP's\n"
+      "generalization failure (paper Table 2: CP 0.086 vs CPh 0.937 on "
+      "WN18).\n");
+  const double repaired = std::min(cph_metrics.Mrr(), aug_metrics.Mrr());
+  std::printf("min(CPh formulations) MRR %.3f vs plain CP MRR %.3f -> %s\n",
+              repaired, cp_metrics.Mrr(),
+              repaired > 3 * cp_metrics.Mrr() ? "repaired" : "UNEXPECTED");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full verification sweep: configure, build, run the test suite, and
+# smoke-run every bench and example at tiny scale. This is the command a
+# CI job would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== bench smoke runs (--quick) =="
+./build/bench/table1_equivalence --trials=20
+for bench in table2_derived_weights table3_auto_weights table4_quaternion \
+             ablation_negatives ablation_quaternion_order \
+             ablation_regularization ablation_dim ablation_optimizer \
+             ablation_leakage ablation_training_regime \
+             extension_hypercomplex relation_breakdown model_zoo \
+             seed_variance; do
+  echo "--- ${bench} ---"
+  "./build/bench/${bench}" --quick > /dev/null
+done
+./build/bench/micro_score --benchmark_min_time=0.01 > /dev/null
+./build/bench/micro_train --benchmark_min_time=0.01 > /dev/null
+
+echo "== example smoke runs =="
+./build/examples/quickstart > /dev/null
+./build/examples/recommender --users=60 --items=80 --epochs=20 > /dev/null
+./build/examples/embedding_analysis --entities=300 --epochs=30 > /dev/null
+./build/examples/weight_search --candidates=200 --train-top=1 \
+    --entities=200 --epochs=20 > /dev/null
+./build/examples/cph_two_ways --entities=200 --epochs=30 > /dev/null
+
+echo "== tool smoke runs =="
+./build/tools/kge_datagen --family=wordnet --entities=300 > /dev/null
+./build/tools/kge_train --model=complex --entities=300 --dim-budget=32 \
+    --max-epochs=20 --checkpoint=/tmp/kge_check.ckpt > /dev/null
+./build/tools/kge_eval --model=complex --entities=300 --dim-budget=32 \
+    --checkpoint=/tmp/kge_check.ckpt > /dev/null
+rm -f /tmp/kge_check.ckpt
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,48 @@
+#include "core/dirichlet_regularizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kge {
+namespace {
+
+double SafeAbs(double x, double epsilon) {
+  return std::max(std::fabs(x), epsilon);
+}
+
+}  // namespace
+
+double DirichletNll(std::span<const float> omega,
+                    const DirichletOptions& options) {
+  if (omega.empty()) return 0.0;
+  double l1 = 0.0;
+  for (float w : omega) l1 += std::fabs(double(w));
+  l1 = std::max(l1, options.epsilon);
+  double sum = 0.0;
+  for (float w : omega) {
+    sum += std::log(SafeAbs(double(w), options.epsilon) / l1);
+  }
+  return -options.lambda * (options.alpha - 1.0) * sum;
+}
+
+void AddDirichletGradient(std::span<const float> omega,
+                          const DirichletOptions& options,
+                          std::span<float> grad) {
+  KGE_CHECK(omega.size() == grad.size());
+  if (omega.empty()) return;
+  double l1 = 0.0;
+  for (float w : omega) l1 += std::fabs(double(w));
+  l1 = std::max(l1, options.epsilon);
+  const double m = static_cast<double>(omega.size());
+  const double scale = -options.lambda * (options.alpha - 1.0);
+  for (size_t p = 0; p < omega.size(); ++p) {
+    const double w = omega[p];
+    const double sign = w > 0.0 ? 1.0 : (w < 0.0 ? -1.0 : 0.0);
+    const double d = scale * sign * (1.0 / SafeAbs(w, options.epsilon) - m / l1);
+    grad[p] += static_cast<float>(d);
+  }
+}
+
+}  // namespace kge

@@ -1,0 +1,35 @@
+// The Dirichlet negative log-likelihood sparsity regularizer on ω
+// (Eq. 12):
+//
+//   L_dir = −λ_dir Σ_m (α − 1) · log(|ω_m| / ||ω||₁)
+//
+// With α < 1 the term is minimized by sparse ω (mass concentrated on few
+// components). The paper tunes α = 1/16 and λ_dir = 1e-2.
+#ifndef KGE_CORE_DIRICHLET_REGULARIZER_H_
+#define KGE_CORE_DIRICHLET_REGULARIZER_H_
+
+#include <span>
+
+namespace kge {
+
+struct DirichletOptions {
+  double alpha = 1.0 / 16.0;
+  double lambda = 1e-2;
+  // Floor on |ω_m| and ||ω||₁ to keep log/division finite.
+  double epsilon = 1e-8;
+};
+
+// Loss value (including the −λ(α−1) factor).
+double DirichletNll(std::span<const float> omega,
+                    const DirichletOptions& options);
+
+// Accumulates (+=) dL_dir/dω into `grad`:
+//   dL/dω_p = −λ(α−1) · sign(ω_p) · (1/|ω_p| − M/||ω||₁),
+// where M is the number of components.
+void AddDirichletGradient(std::span<const float> omega,
+                          const DirichletOptions& options,
+                          std::span<float> grad);
+
+}  // namespace kge
+
+#endif  // KGE_CORE_DIRICHLET_REGULARIZER_H_

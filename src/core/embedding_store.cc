@@ -1,0 +1,58 @@
+#include "core/embedding_store.h"
+
+#include "math/vec_ops.h"
+#include "util/check.h"
+#include "util/io.h"
+
+namespace kge {
+
+EmbeddingStore::EmbeddingStore(std::string name, int32_t num_ids,
+                               int32_t num_vectors, int32_t dim)
+    : num_ids_(num_ids),
+      num_vectors_(num_vectors),
+      dim_(dim),
+      block_(std::move(name), num_ids,
+             int64_t(num_vectors) * int64_t(dim)) {
+  KGE_CHECK(num_ids >= 0 && num_vectors > 0 && dim > 0);
+}
+
+std::span<float> EmbeddingStore::Vec(int32_t id, int32_t v) {
+  KGE_DCHECK(v >= 0 && v < num_vectors_);
+  return Of(id).subspan(size_t(v) * size_t(dim_), size_t(dim_));
+}
+
+std::span<const float> EmbeddingStore::Vec(int32_t id, int32_t v) const {
+  KGE_DCHECK(v >= 0 && v < num_vectors_);
+  return Of(id).subspan(size_t(v) * size_t(dim_), size_t(dim_));
+}
+
+void EmbeddingStore::NormalizeVectorsOf(int32_t id) {
+  for (int32_t v = 0; v < num_vectors_; ++v) NormalizeL2(Vec(id, v));
+}
+
+Status EmbeddingStore::Save(BinaryWriter* writer) const {
+  KGE_RETURN_IF_ERROR(writer->WriteString(block_.name()));
+  KGE_RETURN_IF_ERROR(writer->WriteUint32(uint32_t(num_ids_)));
+  KGE_RETURN_IF_ERROR(writer->WriteUint32(uint32_t(num_vectors_)));
+  KGE_RETURN_IF_ERROR(writer->WriteUint32(uint32_t(dim_)));
+  return writer->WriteFloatArray(block_.Flat().data(), block_.Flat().size());
+}
+
+Status EmbeddingStore::Load(BinaryReader* reader) {
+  Result<std::string> name = reader->ReadString();
+  if (!name.ok()) return name.status();
+  Result<uint32_t> ids = reader->ReadUint32();
+  if (!ids.ok()) return ids.status();
+  Result<uint32_t> vectors = reader->ReadUint32();
+  if (!vectors.ok()) return vectors.status();
+  Result<uint32_t> dim = reader->ReadUint32();
+  if (!dim.ok()) return dim.status();
+  if (int32_t(*ids) != num_ids_ || int32_t(*vectors) != num_vectors_ ||
+      int32_t(*dim) != dim_) {
+    return Status::InvalidArgument(
+        "checkpoint shape does not match embedding store shape");
+  }
+  return reader->ReadFloatArray(block_.Flat().data(), block_.Flat().size());
+}
+
+}  // namespace kge

@@ -1,0 +1,61 @@
+// EmbeddingStore: the multi-embedding table of §3.1 — for each id (entity
+// or relation) it holds `num_vectors` embedding vectors of `dim`
+// dimensions, stored contiguously per id so the ranking kernels can treat
+// an id's full multi-embedding as one flat row of num_vectors * dim
+// floats.
+#ifndef KGE_CORE_EMBEDDING_STORE_H_
+#define KGE_CORE_EMBEDDING_STORE_H_
+
+#include <span>
+#include <string>
+
+#include "core/parameter_block.h"
+#include "util/status.h"
+
+namespace kge {
+
+class BinaryReader;
+class BinaryWriter;
+
+class EmbeddingStore {
+ public:
+  EmbeddingStore(std::string name, int32_t num_ids, int32_t num_vectors,
+                 int32_t dim);
+
+  int32_t num_ids() const { return num_ids_; }
+  int32_t num_vectors() const { return num_vectors_; }
+  int32_t dim() const { return dim_; }
+
+  // The whole multi-embedding of `id`: num_vectors * dim floats, vector v
+  // occupying [v*dim, (v+1)*dim).
+  std::span<float> Of(int32_t id) { return block_.Row(id); }
+  std::span<const float> Of(int32_t id) const { return block_.Row(id); }
+
+  // The v-th embedding vector of `id`.
+  std::span<float> Vec(int32_t id, int32_t v);
+  std::span<const float> Vec(int32_t id, int32_t v) const;
+
+  ParameterBlock* block() { return &block_; }
+  const ParameterBlock& block() const { return block_; }
+
+  // Paper §5.3 default init; range scaled to the per-vector dimension.
+  void InitXavier(Rng* rng) { block_.InitXavierUniform(rng, dim_); }
+
+  // Renormalizes every individual embedding vector of `id` to unit L2
+  // norm (the paper's entity constraint, applied after each iteration).
+  void NormalizeVectorsOf(int32_t id);
+
+  // Checkpoint round trip (shape header + raw floats).
+  Status Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  int32_t num_ids_;
+  int32_t num_vectors_;
+  int32_t dim_;
+  ParameterBlock block_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_CORE_EMBEDDING_STORE_H_

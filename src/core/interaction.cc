@@ -1,0 +1,114 @@
+#include "core/interaction.h"
+
+#include "math/vec_ops.h"
+#include "util/check.h"
+
+namespace kge {
+namespace {
+
+inline std::span<const float> VecOf(std::span<const float> multi, int32_t v,
+                                    int32_t dim) {
+  return multi.subspan(size_t(v) * size_t(dim), size_t(dim));
+}
+
+inline std::span<float> VecOf(std::span<float> multi, int32_t v,
+                              int32_t dim) {
+  return multi.subspan(size_t(v) * size_t(dim), size_t(dim));
+}
+
+inline void CheckShapes(const WeightTable& w, int32_t dim,
+                        std::span<const float> h, std::span<const float> t,
+                        std::span<const float> r) {
+  KGE_DCHECK(h.size() == size_t(w.ne()) * size_t(dim));
+  KGE_DCHECK(t.size() == size_t(w.ne()) * size_t(dim));
+  KGE_DCHECK(r.size() == size_t(w.nr()) * size_t(dim));
+  (void)w, (void)dim, (void)h, (void)t, (void)r;
+}
+
+}  // namespace
+
+double ScoreTriple(const WeightTable& weights, int32_t dim,
+                   std::span<const float> h, std::span<const float> t,
+                   std::span<const float> r) {
+  CheckShapes(weights, dim, h, t, r);
+  double score = 0.0;
+  for (const WeightTable::Term& term : weights.terms()) {
+    score += double(term.weight) * TrilinearDot(VecOf(h, term.i, dim),
+                                                VecOf(t, term.j, dim),
+                                                VecOf(r, term.k, dim));
+  }
+  return score;
+}
+
+void FoldForTail(const WeightTable& weights, int32_t dim,
+                 std::span<const float> h, std::span<const float> r,
+                 std::span<float> out) {
+  KGE_DCHECK(out.size() == size_t(weights.ne()) * size_t(dim));
+  Fill(out, 0.0f);
+  for (const WeightTable::Term& term : weights.terms()) {
+    HadamardAxpy(term.weight, VecOf(h, term.i, dim), VecOf(r, term.k, dim),
+                 VecOf(out, term.j, dim));
+  }
+}
+
+void FoldForHead(const WeightTable& weights, int32_t dim,
+                 std::span<const float> t, std::span<const float> r,
+                 std::span<float> out) {
+  KGE_DCHECK(out.size() == size_t(weights.ne()) * size_t(dim));
+  Fill(out, 0.0f);
+  for (const WeightTable::Term& term : weights.terms()) {
+    HadamardAxpy(term.weight, VecOf(t, term.j, dim), VecOf(r, term.k, dim),
+                 VecOf(out, term.i, dim));
+  }
+}
+
+void FoldForRelation(const WeightTable& weights, int32_t dim,
+                     std::span<const float> h, std::span<const float> t,
+                     std::span<float> out) {
+  KGE_DCHECK(out.size() == size_t(weights.nr()) * size_t(dim));
+  Fill(out, 0.0f);
+  for (const WeightTable::Term& term : weights.terms()) {
+    HadamardAxpy(term.weight, VecOf(h, term.i, dim), VecOf(t, term.j, dim),
+                 VecOf(out, term.k, dim));
+  }
+}
+
+void AccumulateTripleGradients(const WeightTable& weights, int32_t dim,
+                               std::span<const float> h,
+                               std::span<const float> t,
+                               std::span<const float> r, float dscore,
+                               std::span<float> gh, std::span<float> gt,
+                               std::span<float> gr) {
+  CheckShapes(weights, dim, h, t, r);
+  KGE_DCHECK(gh.size() == h.size() && gt.size() == t.size() &&
+             gr.size() == r.size());
+  for (const WeightTable::Term& term : weights.terms()) {
+    const float w = dscore * term.weight;
+    const auto hi = VecOf(h, term.i, dim);
+    const auto tj = VecOf(t, term.j, dim);
+    const auto rk = VecOf(r, term.k, dim);
+    HadamardAxpy(w, tj, rk, VecOf(gh, term.i, dim));
+    HadamardAxpy(w, hi, rk, VecOf(gt, term.j, dim));
+    HadamardAxpy(w, hi, tj, VecOf(gr, term.k, dim));
+  }
+}
+
+void AccumulateOmegaGradients(const WeightTable& weights, int32_t dim,
+                              std::span<const float> h,
+                              std::span<const float> t,
+                              std::span<const float> r, float dscore,
+                              std::span<float> out) {
+  CheckShapes(weights, dim, h, t, r);
+  KGE_DCHECK(out.size() == size_t(weights.size()));
+  for (int32_t i = 0; i < weights.ne(); ++i) {
+    for (int32_t j = 0; j < weights.ne(); ++j) {
+      for (int32_t k = 0; k < weights.nr(); ++k) {
+        out[size_t(weights.Index(i, j, k))] +=
+            dscore * float(TrilinearDot(VecOf(h, i, dim), VecOf(t, j, dim),
+                                        VecOf(r, k, dim)));
+      }
+    }
+  }
+}
+
+}  // namespace kge

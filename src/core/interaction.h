@@ -1,0 +1,67 @@
+// The multi-embedding interaction mechanism (Eq. 8) and its analytic
+// gradients. This is the single scoring engine behind every
+// trilinear-product-based model in the repository (DistMult, ComplEx, CP,
+// CPh, the quaternion model, and arbitrary/learned weight vectors).
+//
+// Conventions: an id's multi-embedding is a flat span of n * dim floats
+// with vector v at [v*dim, (v+1)*dim) — exactly EmbeddingStore::Of().
+//
+// Gradients of Eq. (8):
+//   ∂S/∂h(i) = Σ_{j,k} ω(i,j,k) · (t(j) ⊙ r(k))   ("head fold")
+//   ∂S/∂t(j) = Σ_{i,k} ω(i,j,k) · (h(i) ⊙ r(k))   ("tail fold")
+//   ∂S/∂r(k) = Σ_{i,j} ω(i,j,k) · (h(i) ⊙ t(j))   ("relation fold")
+//   ∂S/∂ω(i,j,k) = ⟨h(i), t(j), r(k)⟩
+//
+// The folds also drive fast ranking: score(t') = Σ_j tailfold(j) · t'(j)
+// is one dot product of length n*dim per candidate entity.
+#ifndef KGE_CORE_INTERACTION_H_
+#define KGE_CORE_INTERACTION_H_
+
+#include <span>
+
+#include "core/weight_table.h"
+
+namespace kge {
+
+// S(h, t, r; ω). Spans have sizes ne*dim, ne*dim, nr*dim.
+double ScoreTriple(const WeightTable& weights, int32_t dim,
+                   std::span<const float> h, std::span<const float> t,
+                   std::span<const float> r);
+
+// out(j) = Σ_{i,k} ω(i,j,k) (h(i) ⊙ r(k)); out has ne*dim floats,
+// overwritten. score(t') = Dot(out, t').
+void FoldForTail(const WeightTable& weights, int32_t dim,
+                 std::span<const float> h, std::span<const float> r,
+                 std::span<float> out);
+
+// out(i) = Σ_{j,k} ω(i,j,k) (t(j) ⊙ r(k)); score(h') = Dot(out, h').
+void FoldForHead(const WeightTable& weights, int32_t dim,
+                 std::span<const float> t, std::span<const float> r,
+                 std::span<float> out);
+
+// out(k) = Σ_{i,j} ω(i,j,k) (h(i) ⊙ t(j)); out has nr*dim floats.
+void FoldForRelation(const WeightTable& weights, int32_t dim,
+                     std::span<const float> h, std::span<const float> t,
+                     std::span<float> out);
+
+// Accumulates (+=) dscore-scaled score gradients into gh/gt/gr, which must
+// have the same shapes as h/t/r. Equivalent to three folds but fused.
+void AccumulateTripleGradients(const WeightTable& weights, int32_t dim,
+                               std::span<const float> h,
+                               std::span<const float> t,
+                               std::span<const float> r, float dscore,
+                               std::span<float> gh, std::span<float> gt,
+                               std::span<float> gr);
+
+// Writes ∂S/∂ω — all ne*ne*nr trilinear products, including those whose
+// current weight is zero (needed when ω is being learned) — into `out`
+// (size ne*ne*nr), scaled by dscore and accumulated (+=).
+void AccumulateOmegaGradients(const WeightTable& weights, int32_t dim,
+                              std::span<const float> h,
+                              std::span<const float> t,
+                              std::span<const float> r, float dscore,
+                              std::span<float> out);
+
+}  // namespace kge
+
+#endif  // KGE_CORE_INTERACTION_H_

@@ -1,0 +1,82 @@
+#include "core/parameter_block.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace kge {
+
+ParameterBlock::ParameterBlock(std::string name, int64_t num_rows,
+                               int64_t row_dim)
+    : name_(std::move(name)), num_rows_(num_rows), row_dim_(row_dim) {
+  KGE_CHECK(num_rows_ >= 0 && row_dim_ > 0);
+  data_.assign(static_cast<size_t>(num_rows_ * row_dim_), 0.0f);
+}
+
+std::span<float> ParameterBlock::Row(int64_t row) {
+  KGE_DCHECK(row >= 0 && row < num_rows_);
+  return std::span<float>(data_.data() + size_t(row) * size_t(row_dim_),
+                          size_t(row_dim_));
+}
+
+std::span<const float> ParameterBlock::Row(int64_t row) const {
+  KGE_DCHECK(row >= 0 && row < num_rows_);
+  return std::span<const float>(data_.data() + size_t(row) * size_t(row_dim_),
+                                size_t(row_dim_));
+}
+
+void ParameterBlock::InitUniform(Rng* rng, float lo, float hi) {
+  for (float& x : data_) x = rng->NextUniform(lo, hi);
+}
+
+void ParameterBlock::InitGaussian(Rng* rng, float stddev) {
+  for (float& x : data_) x = static_cast<float>(rng->NextGaussian()) * stddev;
+}
+
+void ParameterBlock::InitXavierUniform(Rng* rng, int64_t fan) {
+  KGE_CHECK(fan > 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan));
+  InitUniform(rng, -bound, bound);
+}
+
+void ParameterBlock::Zero() { std::memset(data_.data(), 0, data_.size() * 4); }
+
+GradientBuffer::GradientBuffer(std::vector<ParameterBlock*> blocks)
+    : blocks_(std::move(blocks)), per_block_(blocks_.size()) {
+  for (ParameterBlock* block : blocks_) KGE_CHECK(block != nullptr);
+}
+
+std::span<float> GradientBuffer::GradFor(size_t block_index, int64_t row) {
+  KGE_DCHECK(block_index < blocks_.size());
+  PerBlock& pb = per_block_[block_index];
+  const auto dim = static_cast<size_t>(blocks_[block_index]->row_dim());
+  auto [it, inserted] = pb.slot_of_row.try_emplace(row, pb.rows.size());
+  if (inserted) {
+    const size_t slot = pb.rows.size();
+    pb.rows.push_back(row);
+    if (slot == pb.pool.size()) {
+      pb.pool.emplace_back(dim, 0.0f);
+    } else {
+      // Recycled slot from a previous batch; zero it.
+      std::memset(pb.pool[slot].data(), 0, dim * sizeof(float));
+    }
+  }
+  return std::span<float>(pb.pool[it->second]);
+}
+
+void GradientBuffer::Clear() {
+  for (PerBlock& pb : per_block_) {
+    pb.slot_of_row.clear();
+    pb.rows.clear();
+    // pool allocations are kept and recycled by GradFor.
+  }
+}
+
+size_t GradientBuffer::NumTouchedRows() const {
+  size_t total = 0;
+  for (const PerBlock& pb : per_block_) total += pb.rows.size();
+  return total;
+}
+
+}  // namespace kge

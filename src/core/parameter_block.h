@@ -1,0 +1,96 @@
+// ParameterBlock: a named, row-structured flat float parameter array —
+// the unit of storage the optimizers update. Embedding matrices are
+// blocks with one row per entity/relation; the learnable weight vector ω
+// is a block with a single row. GradientBuffer accumulates sparse
+// per-row gradients for one mini-batch.
+#ifndef KGE_CORE_PARAMETER_BLOCK_H_
+#define KGE_CORE_PARAMETER_BLOCK_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kge {
+
+class ParameterBlock {
+ public:
+  ParameterBlock(std::string name, int64_t num_rows, int64_t row_dim);
+
+  const std::string& name() const { return name_; }
+  int64_t num_rows() const { return num_rows_; }
+  int64_t row_dim() const { return row_dim_; }
+  int64_t size() const { return num_rows_ * row_dim_; }
+
+  std::span<float> Row(int64_t row);
+  std::span<const float> Row(int64_t row) const;
+  std::span<float> Flat() { return data_; }
+  std::span<const float> Flat() const { return data_; }
+
+  // Initializers (deterministic given the Rng state).
+  void InitUniform(Rng* rng, float lo, float hi);
+  void InitGaussian(Rng* rng, float stddev);
+  // Xavier/Glorot-style range ±sqrt(6 / (rows_per_id + dim)); for
+  // embedding tables the conventional choice is ±sqrt(6/dim) — pass the
+  // per-vector dimension explicitly.
+  void InitXavierUniform(Rng* rng, int64_t fan);
+  void Zero();
+
+ private:
+  std::string name_;
+  int64_t num_rows_;
+  int64_t row_dim_;
+  std::vector<float> data_;
+};
+
+// Sparse per-(block, row) gradient accumulator. Memory is pooled and
+// reused across Clear() calls so steady-state training does not allocate.
+class GradientBuffer {
+ public:
+  // The referenced blocks must outlive the buffer.
+  explicit GradientBuffer(std::vector<ParameterBlock*> blocks);
+
+  size_t num_blocks() const { return blocks_.size(); }
+  ParameterBlock* block(size_t index) const { return blocks_[index]; }
+
+  // Returns the gradient accumulator row for (block_index, row), zeroed on
+  // first touch within the current batch. Accumulate with +=.
+  std::span<float> GradFor(size_t block_index, int64_t row);
+
+  // Resets all touched rows; keeps capacity.
+  void Clear();
+
+  // Calls fn(block_index, row, grad) for every touched row.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+      const PerBlock& pb = per_block_[b];
+      for (size_t slot = 0; slot < pb.rows.size(); ++slot) {
+        fn(b, pb.rows[slot], std::span<const float>(pb.pool[slot]));
+      }
+    }
+  }
+
+  // Number of touched rows across all blocks.
+  size_t NumTouchedRows() const;
+
+ private:
+  struct PerBlock {
+    std::unordered_map<int64_t, size_t> slot_of_row;
+    std::vector<int64_t> rows;
+    // One stable allocation per slot: spans handed out by GradFor must
+    // stay valid while later calls add slots. Slots are recycled across
+    // Clear() calls, so steady-state training does not allocate.
+    std::vector<std::vector<float>> pool;
+  };
+
+  std::vector<ParameterBlock*> blocks_;
+  std::vector<PerBlock> per_block_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_CORE_PARAMETER_BLOCK_H_

@@ -1,0 +1,93 @@
+#include "core/restriction.h"
+
+#include <cmath>
+#include <vector>
+
+#include "math/activations.h"
+#include "util/check.h"
+
+namespace kge {
+
+const char* RestrictionKindToString(RestrictionKind kind) {
+  switch (kind) {
+    case RestrictionKind::kNone:
+      return "none";
+    case RestrictionKind::kTanh:
+      return "tanh";
+    case RestrictionKind::kSigmoid:
+      return "sigmoid";
+    case RestrictionKind::kSoftmax:
+      return "softmax";
+  }
+  return "?";
+}
+
+Result<RestrictionKind> RestrictionKindFromString(const std::string& name) {
+  if (name == "none") return RestrictionKind::kNone;
+  if (name == "tanh") return RestrictionKind::kTanh;
+  if (name == "sigmoid") return RestrictionKind::kSigmoid;
+  if (name == "softmax") return RestrictionKind::kSoftmax;
+  return Status::InvalidArgument("unknown restriction: " + name);
+}
+
+void ApplyRestriction(RestrictionKind kind, std::span<const float> raw,
+                      std::span<float> omega) {
+  KGE_CHECK(raw.size() == omega.size());
+  switch (kind) {
+    case RestrictionKind::kNone:
+      for (size_t m = 0; m < raw.size(); ++m) omega[m] = raw[m];
+      return;
+    case RestrictionKind::kTanh:
+      for (size_t m = 0; m < raw.size(); ++m)
+        omega[m] = static_cast<float>(std::tanh(double(raw[m])));
+      return;
+    case RestrictionKind::kSigmoid:
+      for (size_t m = 0; m < raw.size(); ++m)
+        omega[m] = static_cast<float>(Sigmoid(double(raw[m])));
+      return;
+    case RestrictionKind::kSoftmax: {
+      std::vector<double> in(raw.begin(), raw.end());
+      std::vector<double> out(raw.size());
+      Softmax(in, out);
+      for (size_t m = 0; m < raw.size(); ++m)
+        omega[m] = static_cast<float>(out[m]);
+      return;
+    }
+  }
+}
+
+void RestrictionBackward(RestrictionKind kind, std::span<const float> omega,
+                         std::span<const float> omega_grad,
+                         std::span<float> raw_grad) {
+  KGE_CHECK(omega.size() == omega_grad.size() &&
+            omega.size() == raw_grad.size());
+  switch (kind) {
+    case RestrictionKind::kNone:
+      for (size_t m = 0; m < omega.size(); ++m) raw_grad[m] += omega_grad[m];
+      return;
+    case RestrictionKind::kTanh:
+      for (size_t m = 0; m < omega.size(); ++m) {
+        raw_grad[m] += omega_grad[m] *
+                       static_cast<float>(TanhDerivFromOutput(omega[m]));
+      }
+      return;
+    case RestrictionKind::kSigmoid:
+      for (size_t m = 0; m < omega.size(); ++m) {
+        raw_grad[m] += omega_grad[m] *
+                       static_cast<float>(SigmoidDerivFromOutput(omega[m]));
+      }
+      return;
+    case RestrictionKind::kSoftmax: {
+      std::vector<double> y(omega.begin(), omega.end());
+      std::vector<double> g(omega_grad.begin(), omega_grad.end());
+      std::vector<double> out(omega.size());
+      SoftmaxBackward(y, g, out);
+      for (size_t m = 0; m < omega.size(); ++m) {
+        raw_grad[m] += static_cast<float>(out[m]);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace kge

@@ -1,0 +1,70 @@
+#include "core/weight_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/string_utils.h"
+
+namespace kge {
+
+double WeightProperties::Overall() const {
+  return std::cbrt(completeness * stability * distinguishability);
+}
+
+std::string WeightProperties::ToString() const {
+  return StrFormat(
+      "completeness=%.3f stability=%.3f distinguishability=%.3f overall=%.3f",
+      completeness, stability, distinguishability, Overall());
+}
+
+WeightProperties AnalyzeWeightTable(const WeightTable& weights) {
+  WeightProperties props;
+  const int32_t ne = weights.ne();
+  const int32_t nr = weights.nr();
+
+  // Total |weight| carried by each slot of each group.
+  std::vector<double> head_mass(size_t(ne), 0.0);
+  std::vector<double> tail_mass(size_t(ne), 0.0);
+  std::vector<double> relation_mass(size_t(nr), 0.0);
+  double total_mass = 0.0;
+  for (const WeightTable::Term& term : weights.terms()) {
+    const double w = std::fabs(double(term.weight));
+    head_mass[size_t(term.i)] += w;
+    tail_mass[size_t(term.j)] += w;
+    relation_mass[size_t(term.k)] += w;
+    total_mass += w;
+  }
+
+  // Completeness: fraction of slots with any mass.
+  int covered = 0;
+  int total_slots = 2 * ne + nr;
+  for (double m : head_mass) covered += m > 0.0;
+  for (double m : tail_mass) covered += m > 0.0;
+  for (double m : relation_mass) covered += m > 0.0;
+  props.completeness = double(covered) / double(total_slots);
+
+  // Stability: min over groups of (min slot mass / max slot mass).
+  auto balance = [](const std::vector<double>& mass) {
+    const double lo = *std::min_element(mass.begin(), mass.end());
+    const double hi = *std::max_element(mass.begin(), mass.end());
+    return hi <= 0.0 ? 0.0 : lo / hi;
+  };
+  props.stability = std::min(
+      {balance(head_mass), balance(tail_mass), balance(relation_mass)});
+
+  // Distinguishability: normalized distance to the head/tail transpose.
+  if (total_mass > 0.0) {
+    const WeightTable transposed = weights.HeadTailTransposed();
+    double diff = 0.0;
+    const auto a = weights.Flat();
+    const auto b = transposed.Flat();
+    for (size_t m = 0; m < a.size(); ++m) {
+      diff += std::fabs(double(a[m]) - double(b[m]));
+    }
+    props.distinguishability = diff / (2.0 * total_mass);
+  }
+  return props;
+}
+
+}  // namespace kge

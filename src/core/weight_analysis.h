@@ -1,0 +1,45 @@
+// Quantitative versions of the paper's three qualitative properties of
+// good weight vectors (§6.1.2):
+//
+//   * Completeness — "all embedding vectors in a triple should be
+//     involved in the weighted-sum matching score": the fraction of
+//     embedding slots (ne head + ne tail + nr relation) that appear in at
+//     least one nonzero term.
+//   * Stability — "all embedding vectors for the same entity or relation
+//     should contribute equally": for each of the three slot groups,
+//     min/max of the total |weight| carried by each slot; the reported
+//     score is the minimum over groups. 1.0 = perfectly balanced.
+//   * Distinguishability — "the weighted-sum matching scores for
+//     different triples should be distinguishable", in particular the
+//     score must not be invariant under swapping h and t: normalized L1
+//     distance between ω and its head/tail transpose,
+//     ||ω − ωᵀ||₁ / (2·||ω||₁) ∈ [0, 1]. 0 for symmetric tables
+//     (DistMult, uniform), which collapse (h,t,r) and (t,h,r).
+//
+// These metrics let weight_search rank random weight vectors, and the
+// tests assert that the paper's good examples dominate the bad ones.
+#ifndef KGE_CORE_WEIGHT_ANALYSIS_H_
+#define KGE_CORE_WEIGHT_ANALYSIS_H_
+
+#include <string>
+
+#include "core/weight_table.h"
+
+namespace kge {
+
+struct WeightProperties {
+  double completeness = 0.0;      // [0, 1]
+  double stability = 0.0;         // [0, 1]
+  double distinguishability = 0.0;  // [0, 1]
+
+  // A single ranking score in [0, 1]; the geometric mean of the three.
+  double Overall() const;
+
+  std::string ToString() const;
+};
+
+WeightProperties AnalyzeWeightTable(const WeightTable& weights);
+
+}  // namespace kge
+
+#endif  // KGE_CORE_WEIGHT_ANALYSIS_H_

@@ -1,0 +1,89 @@
+// WeightTable: the interaction weight vector ω of Eq. (8), stored as a
+// dense (ne × ne × nr) table with a precomputed list of nonzero terms for
+// fast iteration. Provides every named preset of the paper's Table 1 plus
+// the hand-picked good/bad examples of Table 2 and the quaternion table
+// of Eq. (14).
+#ifndef KGE_CORE_WEIGHT_TABLE_H_
+#define KGE_CORE_WEIGHT_TABLE_H_
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kge {
+
+class WeightTable {
+ public:
+  // All weights zero.
+  WeightTable(int32_t ne, int32_t nr);
+
+  int32_t ne() const { return ne_; }
+  int32_t nr() const { return nr_; }
+  int32_t size() const { return ne_ * ne_ * nr_; }
+
+  // ω(i, j, k): head index i, tail index j, relation index k (0-based).
+  float At(int32_t i, int32_t j, int32_t k) const {
+    return data_[Index(i, j, k)];
+  }
+  void Set(int32_t i, int32_t j, int32_t k, float value);
+
+  std::span<const float> Flat() const { return data_; }
+  // Replaces all weights; size must match.
+  void SetFlat(std::span<const float> values);
+
+  struct Term {
+    int32_t i, j, k;
+    float weight;
+  };
+  // Nonzero terms, rebuilt by Set/SetFlat.
+  const std::vector<Term>& terms() const { return terms_; }
+
+  // Flat index of ω(i,j,k) in row-major (i, j, k) order — the paper's
+  // Table 1 ordering for ne = nr = 2: (111,112,121,122,211,212,221,222).
+  int32_t Index(int32_t i, int32_t j, int32_t k) const;
+
+  // Transposed table ω'(i,j,k) = ω(j,i,k) (head/tail swap); used by the
+  // distinguishability analysis.
+  WeightTable HeadTailTransposed() const;
+
+  std::string ToString() const;
+
+  // ---- Paper presets -------------------------------------------------------
+  static WeightTable DistMult();        // ne=1, nr=1
+  static WeightTable ComplEx();         // ne=2, nr=2
+  static WeightTable ComplExEquiv1();
+  static WeightTable ComplExEquiv2();
+  static WeightTable ComplExEquiv3();
+  static WeightTable Cp();              // ne=2, nr=1
+  static WeightTable Cph();             // ne=2, nr=2
+  static WeightTable CphEquiv();
+  static WeightTable Quaternion();      // ne=4, nr=4, Eq. (14)
+  static WeightTable Uniform(int32_t ne, int32_t nr);  // all ones
+  // SimplE (Kazemi & Poole 2018): the average of CP's two directions,
+  // i.e. CPh scaled by 1/2 — expressible directly as a weight vector in
+  // the multi-embedding view.
+  static WeightTable SimplE();          // ne=2, nr=2
+
+  // Builds an ne=2, nr=2 table from the paper's 8-element ordering
+  // used throughout Tables 1–2.
+  static WeightTable FromPaperVector(const std::array<float, 8>& w);
+
+  // Table 2 rows: bad/good hand-picked weight examples.
+  static WeightTable BadExample1();   // (0,0,20,0,0,1,0,0)
+  static WeightTable BadExample2();   // (0,0,1,1,1,1,0,0)
+  static WeightTable GoodExample1();  // (0,0,20,1,1,20,0,0)
+  static WeightTable GoodExample2();  // (1,1,-1,1,1,-1,1,1)
+
+ private:
+  void RebuildTerms();
+
+  int32_t ne_;
+  int32_t nr_;
+  std::vector<float> data_;
+  std::vector<Term> terms_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_CORE_WEIGHT_TABLE_H_

@@ -1,0 +1,131 @@
+#include "datagen/pattern_kg_generator.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/string_utils.h"
+
+namespace kge {
+namespace {
+
+// Samples a distinct ordered entity pair.
+std::pair<EntityId, EntityId> SamplePair(int32_t num_entities, Rng* rng) {
+  const auto a = static_cast<EntityId>(rng->NextBounded(num_entities));
+  EntityId b = a;
+  while (b == a) b = static_cast<EntityId>(rng->NextBounded(num_entities));
+  return {a, b};
+}
+
+uint64_t PairKey(EntityId a, EntityId b) {
+  return (uint64_t(uint32_t(a)) << 32) | uint32_t(b);
+}
+
+}  // namespace
+
+int32_t CountPatternRelations(const std::vector<PatternRelationSpec>& specs) {
+  int32_t count = 0;
+  for (const PatternRelationSpec& spec : specs) {
+    count += (spec.pattern == RelationPattern::kInversePair ||
+              spec.pattern == RelationPattern::kComposition)
+                 ? 2
+                 : 1;
+  }
+  return count;
+}
+
+std::vector<Triple> GeneratePatternKg(const PatternKgOptions& options,
+                                      Dataset* dataset) {
+  KGE_CHECK(options.num_entities > 2);
+  Rng rng(options.seed);
+  std::vector<Triple> triples;
+
+  if (dataset != nullptr) {
+    for (int32_t e = 0; e < options.num_entities; ++e) {
+      dataset->entities.GetOrAdd(StrFormat("e%05d", e));
+    }
+  }
+
+  RelationId next_relation = 0;
+  auto add_relation_name = [&](const PatternRelationSpec& spec,
+                               const char* suffix) {
+    if (dataset == nullptr) return;
+    const std::string base =
+        spec.name_prefix.empty() ? StrFormat("rel%d", next_relation)
+                                 : spec.name_prefix;
+    dataset->relations.GetOrAdd(base + suffix);
+  };
+
+  for (const PatternRelationSpec& spec : options.relations) {
+    KGE_CHECK(spec.num_pairs >= 0);
+    switch (spec.pattern) {
+      case RelationPattern::kSymmetric: {
+        add_relation_name(spec, "");
+        const RelationId r = next_relation++;
+        std::unordered_set<uint64_t> seen;
+        while (seen.size() < static_cast<size_t>(spec.num_pairs)) {
+          auto [a, b] = SamplePair(options.num_entities, &rng);
+          if (a > b) std::swap(a, b);
+          if (!seen.insert(PairKey(a, b)).second) continue;
+          triples.push_back({a, b, r});
+          triples.push_back({b, a, r});
+        }
+        break;
+      }
+      case RelationPattern::kAntisymmetric: {
+        add_relation_name(spec, "");
+        const RelationId r = next_relation++;
+        std::unordered_set<uint64_t> seen;
+        while (seen.size() < static_cast<size_t>(spec.num_pairs)) {
+          auto [a, b] = SamplePair(options.num_entities, &rng);
+          // Direct both edges low id -> high id so the reverse is never
+          // generated, keeping the relation perfectly antisymmetric.
+          if (a > b) std::swap(a, b);
+          if (!seen.insert(PairKey(a, b)).second) continue;
+          triples.push_back({a, b, r});
+        }
+        break;
+      }
+      case RelationPattern::kInversePair: {
+        add_relation_name(spec, "");
+        const RelationId r = next_relation++;
+        add_relation_name(spec, "_inv");
+        const RelationId r_inv = next_relation++;
+        std::unordered_set<uint64_t> seen;
+        while (seen.size() < static_cast<size_t>(spec.num_pairs)) {
+          auto [a, b] = SamplePair(options.num_entities, &rng);
+          if (a > b) std::swap(a, b);
+          if (!seen.insert(PairKey(a, b)).second) continue;
+          triples.push_back({a, b, r});
+          triples.push_back({b, a, r_inv});
+        }
+        break;
+      }
+      case RelationPattern::kComposition: {
+        add_relation_name(spec, "_step");
+        const RelationId step = next_relation++;
+        add_relation_name(spec, "");
+        const RelationId composed = next_relation++;
+        // Random chains x -> y -> z; step edges plus the composed edge.
+        std::unordered_set<uint64_t> seen;
+        while (seen.size() < static_cast<size_t>(spec.num_pairs)) {
+          const auto x =
+              static_cast<EntityId>(rng.NextBounded(options.num_entities));
+          const auto y =
+              static_cast<EntityId>(rng.NextBounded(options.num_entities));
+          const auto z =
+              static_cast<EntityId>(rng.NextBounded(options.num_entities));
+          if (x == y || y == z || x == z) continue;
+          if (!seen.insert(PairKey(x, z)).second) continue;
+          triples.push_back({x, y, step});
+          triples.push_back({y, z, step});
+          triples.push_back({x, z, composed});
+        }
+        break;
+      }
+    }
+  }
+  return triples;
+}
+
+}  // namespace kge

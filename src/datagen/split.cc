@@ -1,0 +1,64 @@
+#include "datagen/split.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace kge {
+
+SplitResult SplitTriples(std::vector<Triple> all, const SplitOptions& options) {
+  KGE_CHECK(options.valid_fraction >= 0.0 && options.test_fraction >= 0.0);
+  KGE_CHECK(options.valid_fraction + options.test_fraction < 1.0);
+
+  // Deduplicate.
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  Rng rng(options.seed);
+  rng.Shuffle(&all);
+
+  // Occurrence counts over the not-yet-held-out pool.
+  std::unordered_map<EntityId, int> entity_count;
+  std::unordered_map<RelationId, int> relation_count;
+  for (const Triple& t : all) {
+    ++entity_count[t.head];
+    ++entity_count[t.tail];
+    ++relation_count[t.relation];
+  }
+
+  const size_t want_valid =
+      static_cast<size_t>(double(all.size()) * options.valid_fraction);
+  const size_t want_test =
+      static_cast<size_t>(double(all.size()) * options.test_fraction);
+
+  SplitResult result;
+  result.valid.reserve(want_valid);
+  result.test.reserve(want_test);
+  result.train.reserve(all.size());
+
+  for (const Triple& t : all) {
+    const bool need_more =
+        result.valid.size() < want_valid || result.test.size() < want_test;
+    // A self-loop triple (h == h) contributes 2 to its entity's count, so
+    // the >= 2 checks below still guarantee a remaining train occurrence.
+    const bool removable = need_more && entity_count[t.head] >= 2 &&
+                           entity_count[t.tail] >= 2 &&
+                           relation_count[t.relation] >= 2;
+    if (removable) {
+      --entity_count[t.head];
+      --entity_count[t.tail];
+      --relation_count[t.relation];
+      if (result.valid.size() < want_valid) {
+        result.valid.push_back(t);
+      } else {
+        result.test.push_back(t);
+      }
+    } else {
+      result.train.push_back(t);
+    }
+  }
+  return result;
+}
+
+}  // namespace kge

@@ -1,0 +1,36 @@
+// Train / validation / test splitting for generated knowledge graphs,
+// with the standard benchmark guarantee that every entity and relation
+// appearing in valid or test also appears in train (otherwise link
+// prediction on them is ill-posed — WN18 was built the same way).
+#ifndef KGE_DATAGEN_SPLIT_H_
+#define KGE_DATAGEN_SPLIT_H_
+
+#include <vector>
+
+#include "kg/triple.h"
+#include "util/random.h"
+
+namespace kge {
+
+struct SplitOptions {
+  double valid_fraction = 0.035;
+  double test_fraction = 0.035;
+  uint64_t seed = 7;
+};
+
+struct SplitResult {
+  std::vector<Triple> train;
+  std::vector<Triple> valid;
+  std::vector<Triple> test;
+};
+
+// Shuffles `all` and greedily moves triples into valid/test only when
+// doing so leaves every one of the triple's entities and its relation with
+// at least one remaining occurrence in train. Deduplicates the input
+// first. The achieved fractions can fall slightly short of the requested
+// ones on adversarial graphs; they never overshoot.
+SplitResult SplitTriples(std::vector<Triple> all, const SplitOptions& options);
+
+}  // namespace kge
+
+#endif  // KGE_DATAGEN_SPLIT_H_

@@ -1,0 +1,75 @@
+// WordNetLikeGenerator: the WN18 stand-in (see DESIGN.md §2). Builds a
+// deterministic synthetic lexical knowledge graph with the same relation
+// inventory and pattern mix as WN18:
+//
+//   * a hypernym taxonomy forest with the exact-inverse hyponym relation,
+//   * meronymy inverse pairs (member/part/substance-style),
+//   * instance hypernymy from leaves,
+//   * symmetric relations (similar_to, verb_group,
+//     derivationally_related_form),
+//   * a mostly-symmetric also_see,
+//   * hub-structured N-1 domain relations with their 1-N inverses.
+//
+// The crucial WN18 property this reproduces is *inverse leakage*: for
+// nearly every pair related by an inverse-paired relation, both directions
+// exist in the graph, so after a random split a test triple's inverse is
+// almost always in train. Models able to exploit inverse structure
+// (ComplEx, CPh, the quaternion model) excel; DistMult (symmetric) and CP
+// (decoupled roles) cannot — which is exactly the paper's Table 2 story.
+#ifndef KGE_DATAGEN_WORDNET_LIKE_GENERATOR_H_
+#define KGE_DATAGEN_WORDNET_LIKE_GENERATOR_H_
+
+#include <vector>
+
+#include "datagen/split.h"
+#include "kg/dataset.h"
+
+namespace kge {
+
+struct WordNetLikeOptions {
+  // Number of synset entities. WN18 has 40,943; the default is scaled to
+  // keep full grid training practical on one core.
+  int32_t num_entities = 3000;
+  // Split fractions mirror WN18 (5,000 / 141,442 each for valid/test).
+  double valid_fraction = 0.035;
+  double test_fraction = 0.035;
+  // WN18RR-style mode: drop the inverse direction of every inverse-paired
+  // relation (hyponym, holonym, has_part, instance_hyponym, and the
+  // domain_of relations) before splitting, removing the inverse leakage
+  // that makes WN18 easy. Symmetric relations are kept, as in the real
+  // WN18RR. Relation ids keep the 18-relation numbering; the dropped
+  // relations simply have no triples.
+  bool remove_inverse_leakage = false;
+  uint64_t seed = 42;
+};
+
+// Relation ids assigned by the generator (18 relations, like WN18).
+enum WordNetRelation : RelationId {
+  kHypernym = 0,
+  kHyponym,
+  kMemberMeronym,
+  kMemberHolonym,
+  kPartOf,
+  kHasPart,
+  kInstanceHypernym,
+  kInstanceHyponym,
+  kSimilarTo,
+  kVerbGroup,
+  kDerivationallyRelatedForm,
+  kAlsoSee,
+  kMemberOfDomainTopic,
+  kSynsetDomainTopicOf,
+  kMemberOfDomainRegion,
+  kSynsetDomainRegionOf,
+  kMemberOfDomainUsage,
+  kSynsetDomainUsageOf,
+  kNumWordNetRelations,
+};
+
+// Generates the dataset (vocabularies + split triples). Deterministic in
+// `options.seed`.
+Dataset GenerateWordNetLike(const WordNetLikeOptions& options);
+
+}  // namespace kge
+
+#endif  // KGE_DATAGEN_WORDNET_LIKE_GENERATOR_H_

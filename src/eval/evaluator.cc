@@ -1,0 +1,156 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace kge {
+namespace {
+
+// Computes the tie-averaged rank of `true_score` among the candidate
+// scores, skipping filtered ids. The true entity's own slot is always
+// skipped (its score is `true_score` by definition).
+double RankAmong(std::span<const float> scores, float true_score,
+                 EntityId true_entity, std::span<const EntityId> filtered) {
+  size_t better = 0;
+  size_t equal = 0;
+  size_t filter_cursor = 0;
+  for (size_t e = 0; e < scores.size(); ++e) {
+    // `filtered` is sorted; advance the cursor lazily.
+    while (filter_cursor < filtered.size() &&
+           size_t(filtered[filter_cursor]) < e) {
+      ++filter_cursor;
+    }
+    const bool is_filtered = filter_cursor < filtered.size() &&
+                             size_t(filtered[filter_cursor]) == e;
+    if (is_filtered || EntityId(e) == true_entity) continue;
+    if (scores[e] > true_score) {
+      ++better;
+    } else if (scores[e] == true_score) {
+      ++equal;
+    }
+  }
+  return 1.0 + double(better) + double(equal) / 2.0;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const FilterIndex* filter, int32_t num_relations)
+    : filter_(filter), num_relations_(num_relations) {
+  KGE_CHECK(filter_ != nullptr);
+}
+
+double Evaluator::RankTail(const Triple& triple,
+                           std::span<const float> scores,
+                           bool filtered) const {
+  const std::span<const EntityId> known =
+      filtered ? filter_->KnownTails(triple.head, triple.relation)
+               : std::span<const EntityId>();
+  return RankAmong(scores, scores[size_t(triple.tail)], triple.tail, known);
+}
+
+double Evaluator::RankHead(const Triple& triple,
+                           std::span<const float> scores,
+                           bool filtered) const {
+  const std::span<const EntityId> known =
+      filtered ? filter_->KnownHeads(triple.tail, triple.relation)
+               : std::span<const EntityId>();
+  return RankAmong(scores, scores[size_t(triple.head)], triple.head, known);
+}
+
+namespace {
+
+// Candidates = all entities minus filtered corruptions; the true entity
+// always ranks (whether or not it is in the filtered set).
+size_t CountCandidates(int32_t num_entities,
+                       std::span<const EntityId> known, EntityId truth) {
+  const bool truth_known =
+      std::binary_search(known.begin(), known.end(), truth);
+  return size_t(num_entities) - known.size() + (truth_known ? 1 : 0);
+}
+
+}  // namespace
+
+size_t Evaluator::CountTailCandidates(const Triple& triple,
+                                      int32_t num_entities,
+                                      bool filtered) const {
+  if (!filtered) return size_t(num_entities);
+  return CountCandidates(num_entities,
+                         filter_->KnownTails(triple.head, triple.relation),
+                         triple.tail);
+}
+
+size_t Evaluator::CountHeadCandidates(const Triple& triple,
+                                      int32_t num_entities,
+                                      bool filtered) const {
+  if (!filtered) return size_t(num_entities);
+  return CountCandidates(num_entities,
+                         filter_->KnownHeads(triple.tail, triple.relation),
+                         triple.head);
+}
+
+EvalResult Evaluator::Evaluate(const KgeModel& model,
+                               const std::vector<Triple>& triples,
+                               const EvalOptions& options) const {
+  EvalResult result;
+  result.per_relation.resize(size_t(num_relations_));
+  for (int32_t r = 0; r < num_relations_; ++r) {
+    result.per_relation[size_t(r)].relation = r;
+  }
+
+  // Deterministic stride subsample when capped.
+  std::vector<Triple> subset;
+  const std::vector<Triple>* eval_triples = &triples;
+  if (options.max_triples > 0 && triples.size() > options.max_triples) {
+    const size_t stride = triples.size() / options.max_triples;
+    for (size_t i = 0; i < triples.size() && subset.size() < options.max_triples;
+         i += stride) {
+      subset.push_back(triples[i]);
+    }
+    eval_triples = &subset;
+  }
+
+  ThreadPool pool(size_t(std::max(1, options.num_threads)));
+  std::mutex merge_mutex;
+  pool.ParallelFor(0, eval_triples->size(), [&](size_t begin, size_t end) {
+    std::vector<float> scores(size_t(model.num_entities()));
+    EvalResult local;
+    local.per_relation.resize(size_t(num_relations_));
+    for (size_t i = begin; i < end; ++i) {
+      const Triple& triple = (*eval_triples)[i];
+      const int32_t num_entities = model.num_entities();
+      model.ScoreAllTails(triple.head, triple.relation, scores);
+      const double tail_rank = RankTail(triple, scores, options.filtered);
+      const size_t tail_candidates =
+          CountTailCandidates(triple, num_entities, options.filtered);
+      model.ScoreAllHeads(triple.tail, triple.relation, scores);
+      const double head_rank = RankHead(triple, scores, options.filtered);
+      const size_t head_candidates =
+          CountHeadCandidates(triple, num_entities, options.filtered);
+      local.overall.AddRank(tail_rank, tail_candidates);
+      local.overall.AddRank(head_rank, head_candidates);
+      PerRelationMetrics& rel =
+          local.per_relation[size_t(triple.relation)];
+      rel.tail_queries.AddRank(tail_rank, tail_candidates);
+      rel.head_queries.AddRank(head_rank, head_candidates);
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    result.overall.Merge(local.overall);
+    for (int32_t r = 0; r < num_relations_; ++r) {
+      result.per_relation[size_t(r)].tail_queries.Merge(
+          local.per_relation[size_t(r)].tail_queries);
+      result.per_relation[size_t(r)].head_queries.Merge(
+          local.per_relation[size_t(r)].head_queries);
+    }
+  });
+  return result;
+}
+
+RankingMetrics Evaluator::EvaluateOverall(const KgeModel& model,
+                                          const std::vector<Triple>& triples,
+                                          const EvalOptions& options) const {
+  return Evaluate(model, triples, options).overall;
+}
+
+}  // namespace kge

@@ -1,0 +1,81 @@
+// The link-prediction evaluation protocol of Bordes et al. [4] as used by
+// the paper (§5.2): for each true triple (h, t, r), rank t among all
+// (h, t', r) corruptions and h among all (h', t, r) corruptions. With
+// `filtered` set, corruptions that are themselves known valid triples
+// (anywhere in train ∪ valid ∪ test) are excluded before ranking.
+//
+// Ties: a true triple whose score equals some corruptions' scores gets
+// the tie-averaged rank 1 + |better| + |equal|/2, so constant score
+// functions receive chance-level (not perfect) metrics.
+#ifndef KGE_EVAL_EVALUATOR_H_
+#define KGE_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "eval/metrics.h"
+#include "kg/filter_index.h"
+#include "kg/relation_analysis.h"
+#include "kg/triple.h"
+#include "models/kge_model.h"
+#include "util/thread_pool.h"
+
+namespace kge {
+
+struct EvalOptions {
+  bool filtered = true;
+  // Evaluate at most this many triples (0 = all); a deterministic
+  // stride-based subsample is used, which keeps validation checks cheap
+  // during training.
+  size_t max_triples = 0;
+  // Threads for the candidate-scoring loop (1 = inline).
+  int num_threads = 1;
+};
+
+struct PerRelationMetrics {
+  RelationId relation = 0;
+  RankingMetrics tail_queries;  // ranking the tail given (h, ?, r)
+  RankingMetrics head_queries;  // ranking the head given (?, t, r)
+};
+
+struct EvalResult {
+  RankingMetrics overall;
+  std::vector<PerRelationMetrics> per_relation;
+};
+
+class Evaluator {
+ public:
+  // `filter` must outlive the evaluator; pass the index over all splits.
+  Evaluator(const FilterIndex* filter, int32_t num_relations);
+
+  // Full protocol over `triples`.
+  EvalResult Evaluate(const KgeModel& model,
+                      const std::vector<Triple>& triples,
+                      const EvalOptions& options) const;
+
+  // Convenience: overall metrics only.
+  RankingMetrics EvaluateOverall(const KgeModel& model,
+                                 const std::vector<Triple>& triples,
+                                 const EvalOptions& options) const;
+
+  // Rank of the true tail for one query, using `scores` =
+  // model.ScoreAllTails(h, r) (exposed for testing).
+  double RankTail(const Triple& triple, std::span<const float> scores,
+                  bool filtered) const;
+  double RankHead(const Triple& triple, std::span<const float> scores,
+                  bool filtered) const;
+
+  // Number of ranked candidates (the true answer plus surviving
+  // corruptions) for each query direction; feeds the adjusted mean rank.
+  size_t CountTailCandidates(const Triple& triple, int32_t num_entities,
+                             bool filtered) const;
+  size_t CountHeadCandidates(const Triple& triple, int32_t num_entities,
+                             bool filtered) const;
+
+ private:
+  const FilterIndex* filter_;
+  int32_t num_relations_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_EVAL_EVALUATOR_H_

@@ -1,0 +1,41 @@
+#include "eval/export.h"
+
+#include "util/io.h"
+#include "util/string_utils.h"
+
+namespace kge {
+
+Status ExportEmbeddingsTsv(const EmbeddingStore& store,
+                           const Vocabulary* names,
+                           const std::string& vectors_path,
+                           const std::string& metadata_path) {
+  if (names != nullptr && names->size() != store.num_ids()) {
+    return Status::InvalidArgument(
+        StrFormat("vocabulary size %d != embedding ids %d", names->size(),
+                  store.num_ids()));
+  }
+  std::string vectors;
+  vectors.reserve(size_t(store.num_ids()) *
+                  size_t(store.num_vectors() * store.dim()) * 10);
+  for (int32_t id = 0; id < store.num_ids(); ++id) {
+    const auto embedding = store.Of(id);
+    for (size_t d = 0; d < embedding.size(); ++d) {
+      if (d > 0) vectors += '\t';
+      vectors += StrFormat("%.6g", embedding[d]);
+    }
+    vectors += '\n';
+  }
+  KGE_RETURN_IF_ERROR(WriteStringToFile(vectors_path, vectors));
+
+  if (names != nullptr && !metadata_path.empty()) {
+    std::string metadata;
+    for (int32_t id = 0; id < store.num_ids(); ++id) {
+      metadata += names->NameOf(id);
+      metadata += '\n';
+    }
+    KGE_RETURN_IF_ERROR(WriteStringToFile(metadata_path, metadata));
+  }
+  return Status::Ok();
+}
+
+}  // namespace kge

@@ -1,0 +1,31 @@
+// Embedding export for visualization and downstream analysis — the
+// paper's §1 motivation that learned embeddings "contain rich semantic
+// information ... enabling them to be used in visualization or browsing
+// for data analysis [or] as extracted or pretrained feature vectors".
+//
+// Writes TSV files compatible with common projector tools: one row of
+// tab-separated floats per entity (vectors.tsv) and a parallel metadata
+// file of entity names (metadata.tsv). Multi-embedding models export the
+// concatenation of their embedding vectors (§3.2's recipe).
+#ifndef KGE_EVAL_EXPORT_H_
+#define KGE_EVAL_EXPORT_H_
+
+#include <string>
+
+#include "core/embedding_store.h"
+#include "kg/vocabulary.h"
+#include "util/status.h"
+
+namespace kge {
+
+// Writes `store`'s per-id concatenated embeddings to `vectors_path` and,
+// when `names` is non-null, the id names to `metadata_path` (skipped when
+// empty). Row order is id order.
+Status ExportEmbeddingsTsv(const EmbeddingStore& store,
+                           const Vocabulary* names,
+                           const std::string& vectors_path,
+                           const std::string& metadata_path);
+
+}  // namespace kge
+
+#endif  // KGE_EVAL_EXPORT_H_

@@ -1,0 +1,75 @@
+#include "eval/metrics.h"
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace kge {
+
+void RankingMetrics::AddRank(double rank, size_t num_candidates) {
+  KGE_DCHECK(rank >= 1.0);
+  ++count_;
+  reciprocal_sum_ += 1.0 / rank;
+  rank_sum_ += rank;
+  if (num_candidates > 0) {
+    expected_rank_sum_ += (double(num_candidates) + 1.0) / 2.0;
+    ++counted_candidates_;
+  }
+  if (rank <= 1.0) ++hits1_;
+  if (rank <= 3.0) ++hits3_;
+  if (rank <= 10.0) ++hits10_;
+}
+
+void RankingMetrics::Merge(const RankingMetrics& other) {
+  count_ += other.count_;
+  reciprocal_sum_ += other.reciprocal_sum_;
+  rank_sum_ += other.rank_sum_;
+  expected_rank_sum_ += other.expected_rank_sum_;
+  counted_candidates_ += other.counted_candidates_;
+  hits1_ += other.hits1_;
+  hits3_ += other.hits3_;
+  hits10_ += other.hits10_;
+}
+
+double RankingMetrics::AdjustedMeanRankIndex() const {
+  // Only meaningful when every recorded rank carried a candidate count.
+  if (counted_candidates_ == 0 || counted_candidates_ != count_) return 0.0;
+  const double expected_mean = expected_rank_sum_ / double(count_);
+  if (expected_mean <= 1.0) return 0.0;
+  return 1.0 - (MeanRank() - 1.0) / (expected_mean - 1.0);
+}
+
+double RankingMetrics::Mrr() const {
+  return count_ == 0 ? 0.0 : reciprocal_sum_ / double(count_);
+}
+
+double RankingMetrics::MeanRank() const {
+  return count_ == 0 ? 0.0 : rank_sum_ / double(count_);
+}
+
+double RankingMetrics::HitsAt(int k) const {
+  if (count_ == 0) return 0.0;
+  switch (k) {
+    case 1:
+      return double(hits1_) / double(count_);
+    case 3:
+      return double(hits3_) / double(count_);
+    case 10:
+      return double(hits10_) / double(count_);
+    default:
+      KGE_CHECK(false && "HitsAt supports k in {1, 3, 10}");
+      return 0.0;
+  }
+}
+
+std::string RankingMetrics::ToString() const {
+  std::string out =
+      StrFormat("MRR %.3f H@1 %.3f H@3 %.3f H@10 %.3f MR %.1f", Mrr(),
+                HitsAt(1), HitsAt(3), HitsAt(10), MeanRank());
+  if (counted_candidates_ == count_ && count_ > 0) {
+    out += StrFormat(" AMRI %.3f", AdjustedMeanRankIndex());
+  }
+  out += StrFormat(" (n=%zu)", count_);
+  return out;
+}
+
+}  // namespace kge

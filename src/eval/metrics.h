@@ -1,0 +1,50 @@
+// Rank-based link-prediction metrics (§5.2): MRR (mean reciprocal rank),
+// MR (mean rank), and Hits@k for k ∈ {1, 3, 10}.
+#ifndef KGE_EVAL_METRICS_H_
+#define KGE_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace kge {
+
+class RankingMetrics {
+ public:
+  // Records one query whose true answer obtained `rank` (1 = best).
+  // Fractional ranks are allowed (tie-averaged ranks). `num_candidates`
+  // (the true answer plus all non-filtered corruptions) feeds the
+  // adjusted mean rank; pass 0 if unknown.
+  void AddRank(double rank, size_t num_candidates = 0);
+
+  void Merge(const RankingMetrics& other);
+
+  size_t count() const { return count_; }
+  double Mrr() const;
+  double MeanRank() const;
+  double HitsAt(int k) const;  // k in {1, 3, 10}
+
+  // Adjusted Mean Rank Index (Berrendorf et al.):
+  //   AMRI = 1 − (MR − 1) / (E[MR] − 1),
+  // where E[MR] is the mean rank of a uniformly random scorer given each
+  // query's candidate count: (num_candidates + 1) / 2. 1 = perfect,
+  // 0 = random, < 0 = worse than random. Returns 0 when candidate counts
+  // were never supplied.
+  double AdjustedMeanRankIndex() const;
+
+  // "MRR 0.937 H@1 0.928 H@3 0.946 H@10 0.951 (n=10000)"
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double reciprocal_sum_ = 0.0;
+  double rank_sum_ = 0.0;
+  double expected_rank_sum_ = 0.0;
+  size_t counted_candidates_ = 0;  // queries with known candidate counts
+  size_t hits1_ = 0;
+  size_t hits3_ = 0;
+  size_t hits10_ = 0;
+};
+
+}  // namespace kge
+
+#endif  // KGE_EVAL_METRICS_H_

@@ -1,0 +1,98 @@
+#include "eval/report.h"
+
+#include <functional>
+#include <map>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+namespace kge {
+namespace {
+
+RankingMetrics CombinedDirections(const PerRelationMetrics& per_relation) {
+  RankingMetrics combined = per_relation.tail_queries;
+  combined.Merge(per_relation.head_queries);
+  return combined;
+}
+
+std::vector<CategoryMetrics> GroupBy(
+    const EvalResult& result, const std::vector<RelationStats>& stats,
+    const std::function<std::string(const RelationStats&)>& bucket_of) {
+  KGE_CHECK(result.per_relation.size() == stats.size());
+  std::map<std::string, RankingMetrics> buckets;
+  for (size_t r = 0; r < stats.size(); ++r) {
+    const RankingMetrics combined = CombinedDirections(result.per_relation[r]);
+    if (combined.count() == 0) continue;
+    buckets[bucket_of(stats[r])].Merge(combined);
+  }
+  std::vector<CategoryMetrics> grouped;
+  for (auto& [category, metrics] : buckets) {
+    grouped.push_back({category, metrics});
+  }
+  return grouped;
+}
+
+}  // namespace
+
+std::vector<CategoryMetrics> GroupByMappingCategory(
+    const EvalResult& result, const std::vector<RelationStats>& stats) {
+  return GroupBy(result, stats, [](const RelationStats& s) {
+    return std::string(MappingCategoryToString(s.category));
+  });
+}
+
+std::vector<CategoryMetrics> GroupBySymmetry(
+    const EvalResult& result, const std::vector<RelationStats>& stats) {
+  return GroupBy(result, stats, [](const RelationStats& s) -> std::string {
+    if (s.symmetry >= 0.8) return "symmetric";
+    if (s.symmetry <= 0.2) return "antisymmetric";
+    return "mixed";
+  });
+}
+
+std::string RenderEvaluationReport(const EvalResult& result,
+                                   const std::vector<RelationStats>& stats,
+                                   const Vocabulary& relations) {
+  std::string report = "== per-relation breakdown ==\n";
+  TablePrinter per_relation(
+      {"relation", "cat", "sym", "n", "MRR", "H@1", "H@10"});
+  for (size_t r = 0; r < result.per_relation.size(); ++r) {
+    const RankingMetrics combined = CombinedDirections(result.per_relation[r]);
+    if (combined.count() == 0) continue;
+    const std::string name =
+        int32_t(r) < relations.size() ? relations.NameOf(int32_t(r))
+                                      : StrFormat("rel%zu", r);
+    const RelationStats& s = stats[r];
+    per_relation.AddRow(
+        {name, MappingCategoryToString(s.category),
+         StrFormat("%.2f", s.symmetry), StrFormat("%zu", combined.count()),
+         StrFormat("%.3f", combined.Mrr()),
+         StrFormat("%.3f", combined.HitsAt(1)),
+         StrFormat("%.3f", combined.HitsAt(10))});
+  }
+  report += per_relation.ToString();
+
+  report += "\n== by mapping category ==\n";
+  TablePrinter by_category({"category", "n", "MRR", "H@1", "H@10"});
+  for (const CategoryMetrics& c : GroupByMappingCategory(result, stats)) {
+    by_category.AddRow({c.category, StrFormat("%zu", c.metrics.count()),
+                        StrFormat("%.3f", c.metrics.Mrr()),
+                        StrFormat("%.3f", c.metrics.HitsAt(1)),
+                        StrFormat("%.3f", c.metrics.HitsAt(10))});
+  }
+  report += by_category.ToString();
+
+  report += "\n== by symmetry class ==\n";
+  TablePrinter by_symmetry({"class", "n", "MRR", "H@1", "H@10"});
+  for (const CategoryMetrics& c : GroupBySymmetry(result, stats)) {
+    by_symmetry.AddRow({c.category, StrFormat("%zu", c.metrics.count()),
+                        StrFormat("%.3f", c.metrics.Mrr()),
+                        StrFormat("%.3f", c.metrics.HitsAt(1)),
+                        StrFormat("%.3f", c.metrics.HitsAt(10))});
+  }
+  report += by_symmetry.ToString();
+  return report;
+}
+
+}  // namespace kge

@@ -1,0 +1,41 @@
+// Structured evaluation reports: groups the per-relation ranking metrics
+// by relation structure (mapping category, symmetry class, inverse
+// availability), making the paper's qualitative claims inspectable —
+// e.g. DistMult's deficit concentrates on asymmetric relations, and
+// ComplEx's advantage on relations whose inverse appears in training.
+#ifndef KGE_EVAL_REPORT_H_
+#define KGE_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "kg/relation_analysis.h"
+#include "kg/vocabulary.h"
+
+namespace kge {
+
+struct CategoryMetrics {
+  std::string category;
+  RankingMetrics metrics;
+};
+
+// Aggregates per-relation results into mapping-category buckets
+// (1-1 / 1-N / N-1 / N-N), counting both query directions.
+std::vector<CategoryMetrics> GroupByMappingCategory(
+    const EvalResult& result, const std::vector<RelationStats>& stats);
+
+// Aggregates into symmetry buckets: "symmetric" (symmetry >= 0.8),
+// "antisymmetric" (<= 0.2), "mixed" otherwise.
+std::vector<CategoryMetrics> GroupBySymmetry(
+    const EvalResult& result, const std::vector<RelationStats>& stats);
+
+// Renders the full per-relation breakdown plus both groupings as an
+// aligned text report. `relations` supplies names; may be empty.
+std::string RenderEvaluationReport(const EvalResult& result,
+                                   const std::vector<RelationStats>& stats,
+                                   const Vocabulary& relations);
+
+}  // namespace kge
+
+#endif  // KGE_EVAL_REPORT_H_

@@ -1,0 +1,62 @@
+#include "eval/topk.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace kge {
+namespace {
+
+std::vector<ScoredEntity> SelectTopK(std::span<const float> scores,
+                                     std::span<const EntityId> excluded,
+                                     int k) {
+  std::vector<ScoredEntity> candidates;
+  candidates.reserve(scores.size());
+  size_t cursor = 0;
+  for (size_t e = 0; e < scores.size(); ++e) {
+    while (cursor < excluded.size() && size_t(excluded[cursor]) < e) ++cursor;
+    if (cursor < excluded.size() && size_t(excluded[cursor]) == e) continue;
+    candidates.push_back({EntityId(e), scores[e]});
+  }
+  const size_t keep = std::min<size_t>(size_t(std::max(k, 0)),
+                                       candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                    candidates.end(),
+                    [](const ScoredEntity& a, const ScoredEntity& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.entity < b.entity;
+                    });
+  candidates.resize(keep);
+  return candidates;
+}
+
+}  // namespace
+
+std::vector<ScoredEntity> PredictTails(const KgeModel& model, EntityId head,
+                                       RelationId relation,
+                                       const TopKOptions& options) {
+  KGE_CHECK(head >= 0 && head < model.num_entities());
+  std::vector<float> scores(size_t(model.num_entities()));
+  model.ScoreAllTails(head, relation, scores);
+  const std::span<const EntityId> excluded =
+      options.exclude_known != nullptr
+          ? options.exclude_known->KnownTails(head, relation)
+          : std::span<const EntityId>();
+  return SelectTopK(scores, excluded, options.k);
+}
+
+std::vector<ScoredEntity> PredictHeads(const KgeModel& model, EntityId tail,
+                                       RelationId relation,
+                                       const TopKOptions& options) {
+  KGE_CHECK(tail >= 0 && tail < model.num_entities());
+  std::vector<float> scores(size_t(model.num_entities()));
+  model.ScoreAllHeads(tail, relation, scores);
+  const std::span<const EntityId> excluded =
+      options.exclude_known != nullptr
+          ? options.exclude_known->KnownHeads(tail, relation)
+          : std::span<const EntityId>();
+  return SelectTopK(scores, excluded, options.k);
+}
+
+}  // namespace kge

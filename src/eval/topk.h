@@ -1,0 +1,40 @@
+// Top-k link prediction — the serving-side API: given a partial triple
+// (h, ?, r) or (?, t, r), return the k best completions, optionally
+// excluding already-known triples (the "new facts only" mode a
+// recommender or completion UI wants).
+#ifndef KGE_EVAL_TOPK_H_
+#define KGE_EVAL_TOPK_H_
+
+#include <vector>
+
+#include "kg/filter_index.h"
+#include "models/kge_model.h"
+
+namespace kge {
+
+struct ScoredEntity {
+  EntityId entity = 0;
+  float score = 0.0f;
+};
+
+struct TopKOptions {
+  int k = 10;
+  // When non-null, entities forming known triples with the query are
+  // excluded from the results.
+  const FilterIndex* exclude_known = nullptr;
+};
+
+// Completions for (head, ?, relation), best first. Ties broken by entity
+// id for determinism.
+std::vector<ScoredEntity> PredictTails(const KgeModel& model, EntityId head,
+                                       RelationId relation,
+                                       const TopKOptions& options);
+
+// Completions for (?, tail, relation).
+std::vector<ScoredEntity> PredictHeads(const KgeModel& model, EntityId tail,
+                                       RelationId relation,
+                                       const TopKOptions& options);
+
+}  // namespace kge
+
+#endif  // KGE_EVAL_TOPK_H_

@@ -1,0 +1,25 @@
+#include "kg/augmentation.h"
+
+#include "util/check.h"
+
+namespace kge {
+
+RelationId AugmentedRelationOf(RelationId relation, int32_t num_relations) {
+  KGE_DCHECK(relation >= 0 && relation < num_relations);
+  return relation + num_relations;
+}
+
+AugmentedTriples AugmentWithInverses(const std::vector<Triple>& train,
+                                     int32_t num_relations) {
+  AugmentedTriples result;
+  result.num_relations = num_relations * 2;
+  result.triples.reserve(train.size() * 2);
+  result.triples = train;
+  for (const Triple& t : train) {
+    result.triples.push_back(
+        Triple{t.tail, t.head, AugmentedRelationOf(t.relation, num_relations)});
+  }
+  return result;
+}
+
+}  // namespace kge

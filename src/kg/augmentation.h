@@ -1,0 +1,32 @@
+// The CPh data-augmentation heuristic of Lacroix et al. [17] (§2.2.3):
+// for each training triple (h, t, r), add the inverse triple (t, h, r_a)
+// where r_a is a fresh "augmented" relation paired with r. The paper shows
+// (Eq. 11) that training CP on the augmented data is equivalent, under
+// SGD, to the two-embedding weight vector CPh in Table 1.
+#ifndef KGE_KG_AUGMENTATION_H_
+#define KGE_KG_AUGMENTATION_H_
+
+#include <vector>
+
+#include "kg/triple.h"
+
+namespace kge {
+
+struct AugmentedTriples {
+  // Original triples followed by their inverses.
+  std::vector<Triple> triples;
+  // Total relation count after augmentation (2 * original).
+  int32_t num_relations = 0;
+};
+
+// Maps relation r to its augmented inverse relation id r_a = r + original
+// count. Involutive only on the original range.
+RelationId AugmentedRelationOf(RelationId relation, int32_t num_relations);
+
+// Builds the augmented training set.
+AugmentedTriples AugmentWithInverses(const std::vector<Triple>& train,
+                                     int32_t num_relations);
+
+}  // namespace kge
+
+#endif  // KGE_KG_AUGMENTATION_H_

@@ -1,0 +1,135 @@
+#include "kg/dataset.h"
+
+#include <unordered_set>
+
+#include "util/io.h"
+#include "util/string_utils.h"
+
+namespace kge {
+
+std::string Dataset::StatsString() const {
+  return StrFormat(
+      "entities=%d relations=%d train=%zu valid=%zu test=%zu",
+      num_entities(), num_relations(), train.size(), valid.size(),
+      test.size());
+}
+
+Status Dataset::Validate() const {
+  auto check_split = [this](const std::vector<Triple>& split,
+                            const char* name) -> Status {
+    for (const Triple& t : split) {
+      if (t.head < 0 || t.head >= num_entities() || t.tail < 0 ||
+          t.tail >= num_entities() || t.relation < 0 ||
+          t.relation >= num_relations()) {
+        return Status::InvalidArgument(
+            StrFormat("%s split has out-of-range triple (%d,%d,%d)", name,
+                      t.head, t.tail, t.relation));
+      }
+    }
+    return Status::Ok();
+  };
+  KGE_RETURN_IF_ERROR(check_split(train, "train"));
+  KGE_RETURN_IF_ERROR(check_split(valid, "valid"));
+  KGE_RETURN_IF_ERROR(check_split(test, "test"));
+
+  std::unordered_set<int32_t> train_entities;
+  std::unordered_set<int32_t> train_relations;
+  for (const Triple& t : train) {
+    train_entities.insert(t.head);
+    train_entities.insert(t.tail);
+    train_relations.insert(t.relation);
+  }
+  auto check_seen = [&](const std::vector<Triple>& split,
+                        const char* name) -> Status {
+    for (const Triple& t : split) {
+      if (!train_entities.contains(t.head) ||
+          !train_entities.contains(t.tail)) {
+        return Status::FailedPrecondition(
+            StrFormat("%s split contains an entity unseen in train", name));
+      }
+      if (!train_relations.contains(t.relation)) {
+        return Status::FailedPrecondition(
+            StrFormat("%s split contains a relation unseen in train", name));
+      }
+    }
+    return Status::Ok();
+  };
+  KGE_RETURN_IF_ERROR(check_seen(valid, "valid"));
+  KGE_RETURN_IF_ERROR(check_seen(test, "test"));
+  return Status::Ok();
+}
+
+Status ReadTripleFile(const std::string& path, TripleFileFormat format,
+                      Dataset* dataset, std::vector<Triple>* out) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  size_t line_number = 0;
+  for (std::string_view remaining = *content; !remaining.empty();) {
+    ++line_number;
+    const size_t newline = remaining.find('\n');
+    std::string_view line = remaining.substr(0, newline);
+    remaining = newline == std::string_view::npos
+                    ? std::string_view()
+                    : remaining.substr(newline + 1);
+    line = TrimString(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitString(line, '\t');
+    if (fields.size() != 3) fields = SplitWhitespace(line);
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 3 fields", path.c_str(), line_number));
+    }
+    Triple triple;
+    triple.head = dataset->entities.GetOrAdd(fields[0]);
+    if (format == TripleFileFormat::kHeadRelationTail) {
+      triple.relation = dataset->relations.GetOrAdd(fields[1]);
+      triple.tail = dataset->entities.GetOrAdd(fields[2]);
+    } else {
+      triple.tail = dataset->entities.GetOrAdd(fields[1]);
+      triple.relation = dataset->relations.GetOrAdd(fields[2]);
+    }
+    out->push_back(triple);
+  }
+  return Status::Ok();
+}
+
+Result<Dataset> LoadDatasetFromDirectory(const std::string& dir,
+                                         TripleFileFormat format) {
+  Dataset dataset;
+  KGE_RETURN_IF_ERROR(
+      ReadTripleFile(dir + "/train.txt", format, &dataset, &dataset.train));
+  KGE_RETURN_IF_ERROR(
+      ReadTripleFile(dir + "/valid.txt", format, &dataset, &dataset.valid));
+  KGE_RETURN_IF_ERROR(
+      ReadTripleFile(dir + "/test.txt", format, &dataset, &dataset.test));
+  return dataset;
+}
+
+Status WriteTripleFile(const std::string& path, TripleFileFormat format,
+                       const Dataset& dataset,
+                       const std::vector<Triple>& triples) {
+  std::string content;
+  content.reserve(triples.size() * 32);
+  for (const Triple& t : triples) {
+    const std::string& head = dataset.entities.NameOf(t.head);
+    const std::string& tail = dataset.entities.NameOf(t.tail);
+    const std::string& relation = dataset.relations.NameOf(t.relation);
+    if (format == TripleFileFormat::kHeadRelationTail) {
+      content += head + '\t' + relation + '\t' + tail + '\n';
+    } else {
+      content += head + '\t' + tail + '\t' + relation + '\n';
+    }
+  }
+  return WriteStringToFile(path, content);
+}
+
+Status SaveDatasetToDirectory(const std::string& dir, TripleFileFormat format,
+                              const Dataset& dataset) {
+  KGE_RETURN_IF_ERROR(
+      WriteTripleFile(dir + "/train.txt", format, dataset, dataset.train));
+  KGE_RETURN_IF_ERROR(
+      WriteTripleFile(dir + "/valid.txt", format, dataset, dataset.valid));
+  return WriteTripleFile(dir + "/test.txt", format, dataset, dataset.test);
+}
+
+}  // namespace kge

@@ -1,0 +1,61 @@
+// A knowledge graph benchmark dataset: entity/relation vocabularies plus
+// train / validation / test triple splits, in the format of the standard
+// link-prediction benchmarks (WN18, FB15k): one "head<TAB>relation<TAB>tail"
+// or "head<TAB>tail<TAB>relation" line per triple.
+#ifndef KGE_KG_DATASET_H_
+#define KGE_KG_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/triple.h"
+#include "kg/vocabulary.h"
+#include "util/status.h"
+
+namespace kge {
+
+struct Dataset {
+  Vocabulary entities;
+  Vocabulary relations;
+  std::vector<Triple> train;
+  std::vector<Triple> valid;
+  std::vector<Triple> test;
+
+  int32_t num_entities() const { return entities.size(); }
+  int32_t num_relations() const { return relations.size(); }
+
+  // Human-readable size summary.
+  std::string StatsString() const;
+
+  // Checks referential integrity: all ids in range, all valid/test
+  // entities and relations appear in train (the standard benchmark
+  // property that makes link prediction well-posed).
+  Status Validate() const;
+};
+
+// Column order of the text files.
+enum class TripleFileFormat {
+  kHeadRelationTail,  // WN18 / FB15k convention
+  kHeadTailRelation,  // the paper's (h, t, r) ordering
+};
+
+// Reads one split file, interning names into `dataset`'s vocabularies.
+Status ReadTripleFile(const std::string& path, TripleFileFormat format,
+                      Dataset* dataset, std::vector<Triple>* out);
+
+// Loads <dir>/train.txt, <dir>/valid.txt, <dir>/test.txt.
+Result<Dataset> LoadDatasetFromDirectory(const std::string& dir,
+                                         TripleFileFormat format);
+
+// Writes one split to a TSV file using the given format.
+Status WriteTripleFile(const std::string& path, TripleFileFormat format,
+                       const Dataset& dataset,
+                       const std::vector<Triple>& triples);
+
+// Writes train/valid/test files under `dir` (which must exist).
+Status SaveDatasetToDirectory(const std::string& dir, TripleFileFormat format,
+                              const Dataset& dataset);
+
+}  // namespace kge
+
+#endif  // KGE_KG_DATASET_H_

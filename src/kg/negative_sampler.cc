@@ -1,0 +1,79 @@
+#include "kg/negative_sampler.h"
+
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace kge {
+
+NegativeSampler::NegativeSampler(int32_t num_entities, int32_t num_relations,
+                                 const std::vector<Triple>& train,
+                                 const NegativeSamplerOptions& options)
+    : num_entities_(num_entities), options_(options) {
+  KGE_CHECK(num_entities_ > 1);
+  head_probability_.assign(static_cast<size_t>(num_relations), 0.5);
+  if (options_.side != CorruptionSide::kBernoulli) return;
+
+  // tph: mean tails per (head, relation); hpt: mean heads per
+  // (tail, relation). P(corrupt head) = tph / (tph + hpt): relations with
+  // many tails per head get their *head* corrupted more often, because a
+  // random tail corruption is more likely to be accidentally true.
+  std::map<std::pair<RelationId, EntityId>, std::set<EntityId>> tails;
+  std::map<std::pair<RelationId, EntityId>, std::set<EntityId>> heads;
+  for (const Triple& t : train) {
+    tails[{t.relation, t.head}].insert(t.tail);
+    heads[{t.relation, t.tail}].insert(t.head);
+  }
+  std::vector<double> tph_sum(num_relations, 0.0), tph_count(num_relations, 0.0);
+  std::vector<double> hpt_sum(num_relations, 0.0), hpt_count(num_relations, 0.0);
+  for (const auto& [key, set] : tails) {
+    tph_sum[key.first] += double(set.size());
+    tph_count[key.first] += 1.0;
+  }
+  for (const auto& [key, set] : heads) {
+    hpt_sum[key.first] += double(set.size());
+    hpt_count[key.first] += 1.0;
+  }
+  for (int32_t r = 0; r < num_relations; ++r) {
+    if (tph_count[r] == 0.0 || hpt_count[r] == 0.0) continue;
+    const double tph = tph_sum[r] / tph_count[r];
+    const double hpt = hpt_sum[r] / hpt_count[r];
+    head_probability_[r] = tph / (tph + hpt);
+  }
+}
+
+double NegativeSampler::HeadCorruptionProbability(RelationId relation) const {
+  KGE_DCHECK(relation >= 0 &&
+             static_cast<size_t>(relation) < head_probability_.size());
+  return head_probability_[static_cast<size_t>(relation)];
+}
+
+Triple NegativeSampler::Sample(const Triple& positive, Rng* rng) const {
+  const double p_head = HeadCorruptionProbability(positive.relation);
+  Triple corrupted = positive;
+  for (int attempt = 0;; ++attempt) {
+    const bool corrupt_head = rng->NextBool(p_head);
+    const EntityId replacement =
+        static_cast<EntityId>(rng->NextBounded(uint64_t(num_entities_)));
+    corrupted = positive;
+    if (corrupt_head) {
+      corrupted.head = replacement;
+    } else {
+      corrupted.tail = replacement;
+    }
+    if (corrupted == positive) continue;
+    if (options_.reject_known == nullptr ||
+        attempt >= options_.max_rejection_attempts ||
+        !options_.reject_known->Contains(corrupted)) {
+      return corrupted;
+    }
+  }
+}
+
+void NegativeSampler::SampleMany(const Triple& positive, int count, Rng* rng,
+                                 std::vector<Triple>* out) const {
+  for (int i = 0; i < count; ++i) out->push_back(Sample(positive, rng));
+}
+
+}  // namespace kge

@@ -1,0 +1,61 @@
+// Negative sampling (§4): for each valid training triple (h, t, r),
+// produce invalid triples by replacing the head or the tail with a random
+// entity [4][20]. Two corruption-side policies:
+//   * kUniform  — corrupt head or tail with probability 1/2 (the paper's
+//                 setting, following Bordes et al.).
+//   * kBernoulli— corrupt with per-relation probabilities from the
+//                 tph/hpt statistics of Wang et al. (TransH), which
+//                 reduces false negatives for 1-N / N-1 relations.
+// Optionally rejects corruptions that are known true triples.
+#ifndef KGE_KG_NEGATIVE_SAMPLER_H_
+#define KGE_KG_NEGATIVE_SAMPLER_H_
+
+#include <vector>
+
+#include "kg/filter_index.h"
+#include "kg/triple.h"
+#include "util/random.h"
+
+namespace kge {
+
+enum class CorruptionSide {
+  kUniform,
+  kBernoulli,
+};
+
+struct NegativeSamplerOptions {
+  CorruptionSide side = CorruptionSide::kUniform;
+  // If non-null, sampled corruptions that are known valid triples are
+  // rejected and resampled (up to a bounded number of attempts).
+  const FilterIndex* reject_known = nullptr;
+  int max_rejection_attempts = 16;
+};
+
+class NegativeSampler {
+ public:
+  // `train` is needed only for kBernoulli statistics; may be empty for
+  // kUniform.
+  NegativeSampler(int32_t num_entities, int32_t num_relations,
+                  const std::vector<Triple>& train,
+                  const NegativeSamplerOptions& options);
+
+  // Produces one corrupted triple from `positive`.
+  Triple Sample(const Triple& positive, Rng* rng) const;
+
+  // Produces `count` corrupted triples appended to `out`.
+  void SampleMany(const Triple& positive, int count, Rng* rng,
+                  std::vector<Triple>* out) const;
+
+  // Probability of corrupting the head for `relation` (0.5 for kUniform).
+  double HeadCorruptionProbability(RelationId relation) const;
+
+ private:
+  int32_t num_entities_;
+  NegativeSamplerOptions options_;
+  // Per-relation probability of replacing the head (Bernoulli scheme).
+  std::vector<double> head_probability_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_KG_NEGATIVE_SAMPLER_H_

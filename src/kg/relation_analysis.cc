@@ -1,0 +1,124 @@
+#include "kg/relation_analysis.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_utils.h"
+
+namespace kge {
+
+const char* MappingCategoryToString(MappingCategory category) {
+  switch (category) {
+    case MappingCategory::kOneToOne:
+      return "1-1";
+    case MappingCategory::kOneToMany:
+      return "1-N";
+    case MappingCategory::kManyToOne:
+      return "N-1";
+    case MappingCategory::kManyToMany:
+      return "N-N";
+  }
+  return "?";
+}
+
+std::vector<RelationStats> AnalyzeRelations(const std::vector<Triple>& triples,
+                                            int32_t num_entities,
+                                            int32_t num_relations) {
+  (void)num_entities;
+  // Group triples by relation.
+  std::vector<std::vector<Triple>> by_relation(
+      static_cast<size_t>(num_relations));
+  for (const Triple& t : triples) {
+    by_relation[static_cast<size_t>(t.relation)].push_back(t);
+  }
+  // Pair sets for inverse / symmetry detection: (h,t) pairs per relation.
+  auto pair_key = [](EntityId h, EntityId t) {
+    return (uint64_t(uint32_t(h)) << 32) | uint32_t(t);
+  };
+  std::vector<std::unordered_set<uint64_t>> pairs(
+      static_cast<size_t>(num_relations));
+  for (const Triple& t : triples) {
+    pairs[static_cast<size_t>(t.relation)].insert(pair_key(t.head, t.tail));
+  }
+
+  std::vector<RelationStats> stats(static_cast<size_t>(num_relations));
+  for (int32_t r = 0; r < num_relations; ++r) {
+    RelationStats& s = stats[static_cast<size_t>(r)];
+    s.relation = r;
+    const auto& group = by_relation[static_cast<size_t>(r)];
+    s.num_triples = group.size();
+    if (group.empty()) continue;
+
+    std::unordered_map<EntityId, std::unordered_set<EntityId>> tails_of_head;
+    std::unordered_map<EntityId, std::unordered_set<EntityId>> heads_of_tail;
+    for (const Triple& t : group) {
+      tails_of_head[t.head].insert(t.tail);
+      heads_of_tail[t.tail].insert(t.head);
+    }
+    double tph = 0.0;
+    for (const auto& [head, tails] : tails_of_head) tph += double(tails.size());
+    tph /= double(tails_of_head.size());
+    double hpt = 0.0;
+    for (const auto& [tail, heads] : heads_of_tail) hpt += double(heads.size());
+    hpt /= double(heads_of_tail.size());
+    s.tails_per_head = tph;
+    s.heads_per_tail = hpt;
+    // Bordes et al. threshold: a side is "N" if its mean multiplicity
+    // exceeds 1.5.
+    constexpr double kManyThreshold = 1.5;
+    const bool many_tails = tph > kManyThreshold;
+    const bool many_heads = hpt > kManyThreshold;
+    if (many_tails && many_heads) {
+      s.category = MappingCategory::kManyToMany;
+    } else if (many_tails) {
+      s.category = MappingCategory::kOneToMany;
+    } else if (many_heads) {
+      s.category = MappingCategory::kManyToOne;
+    } else {
+      s.category = MappingCategory::kOneToOne;
+    }
+
+    // Symmetry within r.
+    size_t non_loop = 0;
+    size_t reversed_present = 0;
+    for (const Triple& t : group) {
+      if (t.head == t.tail) continue;
+      ++non_loop;
+      if (pairs[static_cast<size_t>(r)].contains(pair_key(t.tail, t.head)))
+        ++reversed_present;
+    }
+    s.symmetry = non_loop == 0 ? 1.0 : double(reversed_present) / double(non_loop);
+
+    // Inverse partner: fraction of (h,t) whose reverse appears under s.
+    for (int32_t other = 0; other < num_relations; ++other) {
+      if (other == r || pairs[static_cast<size_t>(other)].empty()) continue;
+      size_t hits = 0;
+      for (const Triple& t : group) {
+        if (pairs[static_cast<size_t>(other)].contains(
+                pair_key(t.tail, t.head)))
+          ++hits;
+      }
+      const double score = double(hits) / double(group.size());
+      if (score > s.best_inverse_score) {
+        s.best_inverse_score = score;
+        s.best_inverse = other;
+      }
+    }
+  }
+  return stats;
+}
+
+std::string RelationStatsTable(const std::vector<RelationStats>& stats) {
+  std::string out = StrFormat("%-4s %-8s %-6s %-6s %-4s %-5s %-9s %-6s\n",
+                              "rel", "triples", "tph", "hpt", "cat", "sym",
+                              "inv-rel", "inv");
+  for (const RelationStats& s : stats) {
+    out += StrFormat("%-4d %-8zu %-6.2f %-6.2f %-4s %-5.2f %-9d %-6.2f\n",
+                     s.relation, s.num_triples, s.tails_per_head,
+                     s.heads_per_tail, MappingCategoryToString(s.category),
+                     s.symmetry, s.best_inverse, s.best_inverse_score);
+  }
+  return out;
+}
+
+}  // namespace kge

@@ -1,0 +1,53 @@
+// Structural analysis of relations in a triple collection:
+//   * mapping category (1-1 / 1-N / N-1 / N-N) after Bordes et al.,
+//   * symmetry / antisymmetry scores,
+//   * inverse-relation detection.
+// Used to characterize generated datasets (tests assert the WordNet-like
+// generator produces the intended pattern mix) and for per-relation
+// result breakdowns.
+#ifndef KGE_KG_RELATION_ANALYSIS_H_
+#define KGE_KG_RELATION_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/triple.h"
+
+namespace kge {
+
+enum class MappingCategory {
+  kOneToOne,
+  kOneToMany,
+  kManyToOne,
+  kManyToMany,
+};
+
+const char* MappingCategoryToString(MappingCategory category);
+
+struct RelationStats {
+  RelationId relation = 0;
+  size_t num_triples = 0;
+  // Mean tails per head and heads per tail.
+  double tails_per_head = 0.0;
+  double heads_per_tail = 0.0;
+  MappingCategory category = MappingCategory::kOneToOne;
+  // Fraction of triples (h,t,r) with h != t whose reverse (t,h,r) is also
+  // present. 1.0 for fully symmetric relations, 0.0 for antisymmetric.
+  double symmetry = 0.0;
+  // Best inverse partner: relation s maximizing the fraction of (h,t,r)
+  // with (t,h,s) present (s != r). -1 when the relation has no triples.
+  RelationId best_inverse = -1;
+  double best_inverse_score = 0.0;
+};
+
+// Computes stats for every relation id in [0, num_relations).
+std::vector<RelationStats> AnalyzeRelations(const std::vector<Triple>& triples,
+                                            int32_t num_entities,
+                                            int32_t num_relations);
+
+// Formats the analysis as an aligned table (one relation per row).
+std::string RelationStatsTable(const std::vector<RelationStats>& stats);
+
+}  // namespace kge
+
+#endif  // KGE_KG_RELATION_ANALYSIS_H_

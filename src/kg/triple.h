@@ -1,0 +1,38 @@
+// The fundamental fact type: a triple (head, tail, relation) of integer ids
+// after vocabulary interning. Follows the paper's (h, t, r) ordering.
+#ifndef KGE_KG_TRIPLE_H_
+#define KGE_KG_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace kge {
+
+using EntityId = int32_t;
+using RelationId = int32_t;
+
+struct Triple {
+  EntityId head = 0;
+  EntityId tail = 0;
+  RelationId relation = 0;
+
+  friend bool operator==(const Triple& x, const Triple& y) = default;
+  friend auto operator<=>(const Triple& x, const Triple& y) = default;
+};
+
+// 64-bit mix hash over the three ids; used by FilterIndex hash sets.
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t x = (uint64_t(uint32_t(t.head)) << 32) ^
+                 (uint64_t(uint32_t(t.tail)) << 13) ^
+                 uint64_t(uint32_t(t.relation));
+    // SplitMix64 finalizer.
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return size_t(x ^ (x >> 31));
+  }
+};
+
+}  // namespace kge
+
+#endif  // KGE_KG_TRIPLE_H_

@@ -1,0 +1,94 @@
+#include "kg/triple_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace kge {
+
+bool TripleStore::Contains(const Triple& triple) const {
+  if (indexes_valid_) return membership_.contains(triple);
+  return std::find(triples_.begin(), triples_.end(), triple) !=
+         triples_.end();
+}
+
+std::span<const uint32_t> TripleStore::Grouping::Of(int32_t value) const {
+  if (value < 0 || static_cast<size_t>(value) + 1 >= offsets.size())
+    return {};
+  return std::span<const uint32_t>(positions)
+      .subspan(offsets[value], offsets[value + 1] - offsets[value]);
+}
+
+TripleStore::Grouping TripleStore::BuildGrouping(
+    const std::vector<Triple>& triples, int32_t num_values, int field) {
+  Grouping g;
+  g.offsets.assign(static_cast<size_t>(num_values) + 1, 0);
+  auto value_of = [field](const Triple& t) -> int32_t {
+    switch (field) {
+      case 0:
+        return t.head;
+      case 1:
+        return t.tail;
+      default:
+        return t.relation;
+    }
+  };
+  for (const Triple& t : triples) {
+    const int32_t v = value_of(t);
+    KGE_CHECK(v >= 0 && v < num_values);
+    ++g.offsets[static_cast<size_t>(v) + 1];
+  }
+  for (size_t i = 1; i < g.offsets.size(); ++i) g.offsets[i] += g.offsets[i - 1];
+  g.positions.resize(triples.size());
+  std::vector<uint32_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (uint32_t pos = 0; pos < triples.size(); ++pos) {
+    const int32_t v = value_of(triples[pos]);
+    g.positions[cursor[static_cast<size_t>(v)]++] = pos;
+  }
+  return g;
+}
+
+void TripleStore::BuildIndexes(int32_t num_entities, int32_t num_relations) {
+  KGE_CHECK(num_entities > MaxEntityId());
+  KGE_CHECK(num_relations > MaxRelationId());
+  num_entities_ = num_entities;
+  num_relations_ = num_relations;
+  by_head_ = BuildGrouping(triples_, num_entities, 0);
+  by_tail_ = BuildGrouping(triples_, num_entities, 1);
+  by_relation_ = BuildGrouping(triples_, num_relations, 2);
+  membership_.clear();
+  membership_.reserve(triples_.size() * 2);
+  for (const Triple& t : triples_) membership_.insert(t);
+  indexes_valid_ = true;
+}
+
+std::span<const uint32_t> TripleStore::ByHead(EntityId head) const {
+  KGE_CHECK(indexes_valid_);
+  return by_head_.Of(head);
+}
+
+std::span<const uint32_t> TripleStore::ByTail(EntityId tail) const {
+  KGE_CHECK(indexes_valid_);
+  return by_tail_.Of(tail);
+}
+
+std::span<const uint32_t> TripleStore::ByRelation(RelationId relation) const {
+  KGE_CHECK(indexes_valid_);
+  return by_relation_.Of(relation);
+}
+
+EntityId TripleStore::MaxEntityId() const {
+  EntityId max_id = -1;
+  for (const Triple& t : triples_) {
+    max_id = std::max(max_id, std::max(t.head, t.tail));
+  }
+  return max_id;
+}
+
+RelationId TripleStore::MaxRelationId() const {
+  RelationId max_id = -1;
+  for (const Triple& t : triples_) max_id = std::max(max_id, t.relation);
+  return max_id;
+}
+
+}  // namespace kge

@@ -1,0 +1,80 @@
+// An in-memory collection of triples with optional adjacency indexes for
+// by-head / by-tail / by-relation access. This is the storage substrate the
+// dataset splits, generators, and analysis code operate on.
+#ifndef KGE_KG_TRIPLE_STORE_H_
+#define KGE_KG_TRIPLE_STORE_H_
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/triple.h"
+
+namespace kge {
+
+class TripleStore {
+ public:
+  TripleStore() = default;
+  explicit TripleStore(std::vector<Triple> triples)
+      : triples_(std::move(triples)) {}
+
+  void Add(const Triple& triple) {
+    triples_.push_back(triple);
+    indexes_valid_ = false;
+  }
+  void Add(EntityId head, EntityId tail, RelationId relation) {
+    Add(Triple{head, tail, relation});
+  }
+
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+  const Triple& operator[](size_t i) const { return triples_[i]; }
+  const std::vector<Triple>& triples() const { return triples_; }
+  std::vector<Triple>& mutable_triples() {
+    indexes_valid_ = false;
+    return triples_;
+  }
+
+  // True if the exact triple is present (O(1) after BuildIndexes).
+  bool Contains(const Triple& triple) const;
+
+  // Builds adjacency + membership indexes. Must be called before the
+  // ByX() accessors; Add() invalidates them.
+  void BuildIndexes(int32_t num_entities, int32_t num_relations);
+  bool indexes_valid() const { return indexes_valid_; }
+
+  // Triple positions (indexes into triples()) grouped by field value.
+  std::span<const uint32_t> ByHead(EntityId head) const;
+  std::span<const uint32_t> ByTail(EntityId tail) const;
+  std::span<const uint32_t> ByRelation(RelationId relation) const;
+
+  int32_t num_entities() const { return num_entities_; }
+  int32_t num_relations() const { return num_relations_; }
+
+  // Largest entity / relation ids present, for generators and validation.
+  EntityId MaxEntityId() const;
+  RelationId MaxRelationId() const;
+
+ private:
+  // One CSR-style grouping: offsets_[v]..offsets_[v+1] in positions_.
+  struct Grouping {
+    std::vector<uint32_t> offsets;
+    std::vector<uint32_t> positions;
+    std::span<const uint32_t> Of(int32_t value) const;
+  };
+  static Grouping BuildGrouping(const std::vector<Triple>& triples,
+                                int32_t num_values, int field);
+
+  std::vector<Triple> triples_;
+  bool indexes_valid_ = false;
+  int32_t num_entities_ = 0;
+  int32_t num_relations_ = 0;
+  Grouping by_head_;
+  Grouping by_tail_;
+  Grouping by_relation_;
+  std::unordered_set<Triple, TripleHash> membership_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_KG_TRIPLE_STORE_H_

@@ -1,0 +1,23 @@
+#include "kg/vocabulary.h"
+
+#include "util/check.h"
+
+namespace kge {
+
+int32_t Vocabulary::GetOrAdd(const std::string& name) {
+  auto [it, inserted] = ids_.try_emplace(name, static_cast<int32_t>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+int32_t Vocabulary::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& Vocabulary::NameOf(int32_t id) const {
+  KGE_CHECK(id >= 0 && id < size());
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace kge

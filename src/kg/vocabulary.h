@@ -1,0 +1,39 @@
+// Bidirectional string <-> dense id interning for entities or relations.
+#ifndef KGE_KG_VOCABULARY_H_
+#define KGE_KG_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kge {
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Returns the id for `name`, adding it if absent. Ids are dense and
+  // assigned in first-seen order.
+  int32_t GetOrAdd(const std::string& name);
+
+  // Returns the id for `name` or -1 if absent.
+  int32_t Find(const std::string& name) const;
+
+  // Returns the name for `id`; id must be in range.
+  const std::string& NameOf(int32_t id) const;
+
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+  bool empty() const { return names_.empty(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_KG_VOCABULARY_H_

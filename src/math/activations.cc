@@ -1,0 +1,50 @@
+#include "math/activations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kge {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double Softplus(double x) {
+  // log(1+e^x) = max(x,0) + log1p(e^{-|x|})
+  return std::max(x, 0.0) + std::log1p(std::exp(-std::fabs(x)));
+}
+
+double TanhDerivFromOutput(double y) { return 1.0 - y * y; }
+
+double SigmoidDerivFromOutput(double y) { return y * (1.0 - y); }
+
+void Softmax(std::span<const double> in, std::span<double> out) {
+  KGE_DCHECK(in.size() == out.size());
+  if (in.empty()) return;
+  double max_value = in[0];
+  for (double x : in) max_value = std::max(max_value, x);
+  double sum = 0.0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = std::exp(in[i] - max_value);
+    sum += out[i];
+  }
+  const double inv = 1.0 / sum;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= inv;
+}
+
+void SoftmaxBackward(std::span<const double> y, std::span<const double> g,
+                     std::span<double> out) {
+  KGE_DCHECK(y.size() == g.size() && y.size() == out.size());
+  double weighted = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) weighted += g[i] * y[i];
+  for (size_t i = 0; i < y.size(); ++i) out[i] = y[i] * (g[i] - weighted);
+}
+
+}  // namespace kge

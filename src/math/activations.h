@@ -1,0 +1,35 @@
+// Scalar activations and the vector restriction functions applied to the
+// weight vector ω in §3.3 of the paper (tanh, sigmoid, softmax), together
+// with their exact derivatives / Jacobian-vector products, and the
+// numerically-stable softplus used by the logistic loss (Eq. 16).
+#ifndef KGE_MATH_ACTIVATIONS_H_
+#define KGE_MATH_ACTIVATIONS_H_
+
+#include <span>
+
+namespace kge {
+
+// 1 / (1 + exp(-x)), stable for large |x|.
+double Sigmoid(double x);
+
+// log(1 + exp(x)), stable for large |x|. Softplus(x) = -log(sigmoid(-x)).
+double Softplus(double x);
+
+// d tanh(x)/dx given y = tanh(x).
+double TanhDerivFromOutput(double y);
+
+// d sigmoid(x)/dx given y = sigmoid(x).
+double SigmoidDerivFromOutput(double y);
+
+// out_i = softmax(in)_i, stable via max subtraction.
+void Softmax(std::span<const double> in, std::span<double> out);
+
+// Jacobian-vector product of softmax: given y = softmax(x) and an upstream
+// gradient g = dL/dy, writes dL/dx into `out`:
+//   dL/dx_i = y_i * (g_i - Σ_j g_j y_j)
+void SoftmaxBackward(std::span<const double> y, std::span<const double> g,
+                     std::span<double> out);
+
+}  // namespace kge
+
+#endif  // KGE_MATH_ACTIVATIONS_H_

@@ -1,0 +1,40 @@
+#include "math/complex_ops.h"
+
+#include "util/check.h"
+
+namespace kge {
+
+double ComplexScore(const ComplexVectorView& h, const ComplexVectorView& t,
+                    const ComplexVectorView& r) {
+  KGE_DCHECK(h.size() == t.size() && t.size() == r.size());
+  KGE_DCHECK(h.re.size() == h.im.size());
+  double sum = 0.0;
+  for (size_t d = 0; d < h.size(); ++d) {
+    const double hr = h.re[d], hi = h.im[d];
+    const double tr = t.re[d], ti = t.im[d];
+    const double rr = r.re[d], ri = r.im[d];
+    // Re((hr + hi·i) * (tr − ti·i) * (rr + ri·i))
+    const double prod_re = hr * tr + hi * ti;   // Re(h * conj(t))
+    const double prod_im = hi * tr - hr * ti;   // Im(h * conj(t))
+    sum += prod_re * rr - prod_im * ri;
+  }
+  return sum;
+}
+
+double ComplexScoreNoConjugate(const ComplexVectorView& h,
+                               const ComplexVectorView& t,
+                               const ComplexVectorView& r) {
+  KGE_DCHECK(h.size() == t.size() && t.size() == r.size());
+  double sum = 0.0;
+  for (size_t d = 0; d < h.size(); ++d) {
+    const double hr = h.re[d], hi = h.im[d];
+    const double tr = t.re[d], ti = t.im[d];
+    const double rr = r.re[d], ri = r.im[d];
+    const double prod_re = hr * tr - hi * ti;
+    const double prod_im = hi * tr + hr * ti;
+    sum += prod_re * rr - prod_im * ri;
+  }
+  return sum;
+}
+
+}  // namespace kge

@@ -1,0 +1,34 @@
+// Complex-valued scoring helpers used to verify the paper's Eq. (9)/(10):
+// ComplEx's score Re(⟨h, t̄, r⟩) over C^D expands into four weighted real
+// trilinear products. The production scoring path uses the real-valued
+// multi-embedding engine (core/interaction.h); this module is the
+// independent "native complex algebra" implementation the equivalence
+// tests and bench/table1_equivalence compare against.
+#ifndef KGE_MATH_COMPLEX_OPS_H_
+#define KGE_MATH_COMPLEX_OPS_H_
+
+#include <span>
+
+namespace kge {
+
+// A complex vector as parallel (real, imag) float arrays of equal length.
+struct ComplexVectorView {
+  std::span<const float> re;
+  std::span<const float> im;
+
+  size_t size() const { return re.size(); }
+};
+
+// Σ_d Re(h_d * conj(t_d) * r_d): ComplEx's score function (Eq. 5).
+double ComplexScore(const ComplexVectorView& h, const ComplexVectorView& t,
+                    const ComplexVectorView& r);
+
+// Σ_d Re(h_d * t_d * r_d): the same product without the tail conjugate.
+// Included to demonstrate that the conjugate is what breaks symmetry.
+double ComplexScoreNoConjugate(const ComplexVectorView& h,
+                               const ComplexVectorView& t,
+                               const ComplexVectorView& r);
+
+}  // namespace kge
+
+#endif  // KGE_MATH_COMPLEX_OPS_H_

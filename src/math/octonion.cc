@@ -1,0 +1,55 @@
+#include "math/octonion.h"
+
+#include <cmath>
+
+#include "util/string_utils.h"
+
+namespace kge {
+
+Octonion Octonion::FromComponents(const std::array<double, 8>& c) {
+  return Octonion(Quaternion(c[0], c[1], c[2], c[3]),
+                  Quaternion(c[4], c[5], c[6], c[7]));
+}
+
+std::array<double, 8> Octonion::Components() const {
+  return {a.a, a.b, a.c, a.d, b.a, b.b, b.c, b.d};
+}
+
+Octonion Octonion::Conjugate() const {
+  return Octonion(a.Conjugate(), -1.0 * b);
+}
+
+double Octonion::NormSquared() const {
+  return a.NormSquared() + b.NormSquared();
+}
+
+double Octonion::Norm() const { return std::sqrt(NormSquared()); }
+
+std::string Octonion::ToString() const {
+  const auto c = Components();
+  std::string out = "(";
+  for (int i = 0; i < 8; ++i) {
+    out += StrFormat("%s%ge%d", i > 0 ? " + " : "", c[size_t(i)], i);
+  }
+  return out + ")";
+}
+
+Octonion operator+(const Octonion& x, const Octonion& y) {
+  return Octonion(x.a + y.a, x.b + y.b);
+}
+
+Octonion operator-(const Octonion& x, const Octonion& y) {
+  return Octonion(x.a - y.a, x.b - y.b);
+}
+
+Octonion operator*(const Octonion& x, const Octonion& y) {
+  // (a, b)(c, d) = (ac − d̄b, da + bc̄)
+  return Octonion(x.a * y.a - y.b.Conjugate() * x.b,
+                  y.b * x.a + x.b * y.a.Conjugate());
+}
+
+bool operator==(const Octonion& x, const Octonion& y) {
+  return x.a == y.a && x.b == y.b;
+}
+
+}  // namespace kge

@@ -1,0 +1,51 @@
+// Octonion algebra via the Cayley–Dickson construction: an octonion is a
+// pair of quaternions (a, b) with
+//
+//   (a, b) · (c, d) = (a c − d̄ b,  d a + b c̄)
+//   conj((a, b))    = (ā, −b)
+//
+// Octonions are the next step after quaternions in the paper's own
+// future-work direction ("the effective extension to additional
+// embedding vectors", §7): they give an 8-embedding interaction model.
+// The algebra is noncommutative AND non-associative (though alternative),
+// so the score function additionally depends on how the triple product is
+// associated — exposed as an explicit choice.
+#ifndef KGE_MATH_OCTONION_H_
+#define KGE_MATH_OCTONION_H_
+
+#include <array>
+#include <string>
+
+#include "math/quaternion.h"
+
+namespace kge {
+
+struct Octonion {
+  Quaternion a;  // components e0..e3
+  Quaternion b;  // components e4..e7
+
+  Octonion() = default;
+  Octonion(const Quaternion& a_in, const Quaternion& b_in)
+      : a(a_in), b(b_in) {}
+
+  // From the 8 real components e0..e7.
+  static Octonion FromComponents(const std::array<double, 8>& c);
+  std::array<double, 8> Components() const;
+
+  double real() const { return a.a; }
+  Octonion Conjugate() const;
+  double NormSquared() const;
+  double Norm() const;
+
+  std::string ToString() const;
+};
+
+Octonion operator+(const Octonion& x, const Octonion& y);
+Octonion operator-(const Octonion& x, const Octonion& y);
+// Cayley–Dickson product (noncommutative, non-associative).
+Octonion operator*(const Octonion& x, const Octonion& y);
+bool operator==(const Octonion& x, const Octonion& y);
+
+}  // namespace kge
+
+#endif  // KGE_MATH_OCTONION_H_

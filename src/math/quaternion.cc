@@ -1,0 +1,98 @@
+#include "math/quaternion.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace kge {
+
+double Quaternion::Norm() const { return std::sqrt(NormSquared()); }
+
+Quaternion Quaternion::Normalized() const {
+  const double n = Norm();
+  if (n == 0.0) return *this;
+  const double inv = 1.0 / n;
+  return {a * inv, b * inv, c * inv, d * inv};
+}
+
+Quaternion Quaternion::Inverse() const {
+  const double n2 = NormSquared();
+  KGE_CHECK(n2 > 0.0);
+  const double inv = 1.0 / n2;
+  const Quaternion conj = Conjugate();
+  return {conj.a * inv, conj.b * inv, conj.c * inv, conj.d * inv};
+}
+
+std::string Quaternion::ToString() const {
+  return StrFormat("(%g + %gi + %gj + %gk)", a, b, c, d);
+}
+
+Quaternion operator+(const Quaternion& x, const Quaternion& y) {
+  return {x.a + y.a, x.b + y.b, x.c + y.c, x.d + y.d};
+}
+
+Quaternion operator-(const Quaternion& x, const Quaternion& y) {
+  return {x.a - y.a, x.b - y.b, x.c - y.c, x.d - y.d};
+}
+
+Quaternion operator*(const Quaternion& x, const Quaternion& y) {
+  // Hamilton product.
+  return {
+      x.a * y.a - x.b * y.b - x.c * y.c - x.d * y.d,
+      x.a * y.b + x.b * y.a + x.c * y.d - x.d * y.c,
+      x.a * y.c - x.b * y.d + x.c * y.a + x.d * y.b,
+      x.a * y.d + x.b * y.c - x.c * y.b + x.d * y.a,
+  };
+}
+
+Quaternion operator*(double s, const Quaternion& y) {
+  return {s * y.a, s * y.b, s * y.c, s * y.d};
+}
+
+bool operator==(const Quaternion& x, const Quaternion& y) {
+  return x.a == y.a && x.b == y.b && x.c == y.c && x.d == y.d;
+}
+
+namespace {
+
+// Shared driver: sums Re(product(h_d, t_d, r_d)) over dimensions.
+template <typename ProductFn>
+double SumRealProduct(const QuaternionVectorView& h,
+                      const QuaternionVectorView& t,
+                      const QuaternionVectorView& r, ProductFn product) {
+  KGE_DCHECK(h.size() == t.size() && t.size() == r.size());
+  double sum = 0.0;
+  for (size_t dim = 0; dim < h.size(); ++dim) {
+    sum += product(h.At(dim), t.At(dim), r.At(dim)).a;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double QuaternionScoreHConjTR(const QuaternionVectorView& h,
+                              const QuaternionVectorView& t,
+                              const QuaternionVectorView& r) {
+  return SumRealProduct(
+      h, t, r, [](const Quaternion& hq, const Quaternion& tq,
+                  const Quaternion& rq) { return hq * tq.Conjugate() * rq; });
+}
+
+double QuaternionScoreHRConjT(const QuaternionVectorView& h,
+                              const QuaternionVectorView& t,
+                              const QuaternionVectorView& r) {
+  return SumRealProduct(
+      h, t, r, [](const Quaternion& hq, const Quaternion& tq,
+                  const Quaternion& rq) { return hq * rq * tq.Conjugate(); });
+}
+
+double QuaternionScoreRHConjT(const QuaternionVectorView& h,
+                              const QuaternionVectorView& t,
+                              const QuaternionVectorView& r) {
+  return SumRealProduct(
+      h, t, r, [](const Quaternion& hq, const Quaternion& tq,
+                  const Quaternion& rq) { return rq * hq * tq.Conjugate(); });
+}
+
+}  // namespace kge

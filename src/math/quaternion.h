@@ -1,0 +1,79 @@
+// Quaternion algebra (Hamilton's H) used by the paper's four-embedding
+// interaction model (§3.4). A quaternion q = a + bi + cj + dk with one real
+// component and three imaginary components; multiplication follows
+// i² = j² = k² = ijk = −1, which makes the product noncommutative.
+//
+// This module exists both as a substrate for QuaternionModel and to verify
+// (in tests and bench/table1_equivalence) that the paper's hand-expanded
+// 16-term weight table in Eq. (14) matches direct quaternion arithmetic.
+#ifndef KGE_MATH_QUATERNION_H_
+#define KGE_MATH_QUATERNION_H_
+
+#include <span>
+#include <string>
+
+namespace kge {
+
+struct Quaternion {
+  double a = 0.0;  // real
+  double b = 0.0;  // i
+  double c = 0.0;  // j
+  double d = 0.0;  // k
+
+  Quaternion() = default;
+  Quaternion(double a_in, double b_in, double c_in, double d_in)
+      : a(a_in), b(b_in), c(c_in), d(d_in) {}
+
+  Quaternion Conjugate() const { return {a, -b, -c, -d}; }
+  double NormSquared() const { return a * a + b * b + c * c + d * d; }
+  double Norm() const;
+  // q / |q|; returns the zero quaternion unchanged.
+  Quaternion Normalized() const;
+  // Multiplicative inverse; requires a nonzero quaternion.
+  Quaternion Inverse() const;
+
+  std::string ToString() const;
+};
+
+Quaternion operator+(const Quaternion& x, const Quaternion& y);
+Quaternion operator-(const Quaternion& x, const Quaternion& y);
+// Hamilton product (noncommutative).
+Quaternion operator*(const Quaternion& x, const Quaternion& y);
+Quaternion operator*(double s, const Quaternion& y);
+bool operator==(const Quaternion& x, const Quaternion& y);
+
+// Component-wise sum over D of the Hamilton product chain x_d * y_d * z_d,
+// i.e. the quaternion trilinear product ⟨x, y, z⟩ with the given
+// multiplication order. Inputs are given as 4 parallel component arrays
+// (a, b, c, d), each of length D.
+struct QuaternionVectorView {
+  std::span<const float> a;
+  std::span<const float> b;
+  std::span<const float> c;
+  std::span<const float> d;
+
+  size_t size() const { return a.size(); }
+  Quaternion At(size_t index) const {
+    return Quaternion(a[index], b[index], c[index], d[index]);
+  }
+};
+
+// Σ_d Re(h_d * conj(t_d) * r_d): the paper's score function Eq. (13), with
+// the conjugate on the tail embedding (analogous to ComplEx).
+double QuaternionScoreHConjTR(const QuaternionVectorView& h,
+                              const QuaternionVectorView& t,
+                              const QuaternionVectorView& r);
+
+// Alternative multiplication orders for the ablation in
+// bench/ablation_quaternion_order (the paper notes the product order is a
+// modeling choice because H is noncommutative).
+double QuaternionScoreHRConjT(const QuaternionVectorView& h,
+                              const QuaternionVectorView& t,
+                              const QuaternionVectorView& r);
+double QuaternionScoreRHConjT(const QuaternionVectorView& h,
+                              const QuaternionVectorView& t,
+                              const QuaternionVectorView& r);
+
+}  // namespace kge
+
+#endif  // KGE_MATH_QUATERNION_H_

@@ -1,0 +1,98 @@
+#include "math/vec_ops.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kge {
+
+double Dot(std::span<const float> a, std::span<const float> b) {
+  KGE_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) sum += double(a[d]) * double(b[d]);
+  return sum;
+}
+
+double TrilinearDot(std::span<const float> a, std::span<const float> b,
+                    std::span<const float> c) {
+  KGE_DCHECK(a.size() == b.size() && b.size() == c.size());
+  double sum = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    sum += double(a[d]) * double(b[d]) * double(c[d]);
+  }
+  return sum;
+}
+
+void Hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> out) {
+  KGE_DCHECK(a.size() == b.size() && a.size() == out.size());
+  for (size_t d = 0; d < a.size(); ++d) out[d] = a[d] * b[d];
+}
+
+void HadamardAxpy(float scale, std::span<const float> a,
+                  std::span<const float> b, std::span<float> out) {
+  KGE_DCHECK(a.size() == b.size() && a.size() == out.size());
+  for (size_t d = 0; d < a.size(); ++d) out[d] += scale * a[d] * b[d];
+}
+
+void Axpy(float scale, std::span<const float> a, std::span<float> out) {
+  KGE_DCHECK(a.size() == out.size());
+  for (size_t d = 0; d < a.size(); ++d) out[d] += scale * a[d];
+}
+
+void Fill(std::span<float> out, float value) {
+  for (float& x : out) x = value;
+}
+
+void Scale(std::span<float> out, float scale) {
+  for (float& x : out) x *= scale;
+}
+
+double SquaredNorm(std::span<const float> a) {
+  double sum = 0.0;
+  for (float x : a) sum += double(x) * double(x);
+  return sum;
+}
+
+double Norm(std::span<const float> a) { return std::sqrt(SquaredNorm(a)); }
+
+double L1Norm(std::span<const float> a) {
+  double sum = 0.0;
+  for (float x : a) sum += std::fabs(double(x));
+  return sum;
+}
+
+double LpDistance(std::span<const float> a, std::span<const float> b, int p) {
+  KGE_DCHECK(a.size() == b.size());
+  KGE_DCHECK(p == 1 || p == 2);
+  double sum = 0.0;
+  if (p == 1) {
+    for (size_t d = 0; d < a.size(); ++d)
+      sum += std::fabs(double(a[d]) - double(b[d]));
+  } else {
+    for (size_t d = 0; d < a.size(); ++d) {
+      const double diff = double(a[d]) - double(b[d]);
+      sum += diff * diff;
+    }
+  }
+  return sum;
+}
+
+void NormalizeL2(std::span<float> a) {
+  const double norm = Norm(a);
+  if (norm <= 0.0) return;
+  const float inv = static_cast<float>(1.0 / norm);
+  for (float& x : a) x *= inv;
+}
+
+double MaxAbsDiff(std::span<const float> a, std::span<const float> b) {
+  KGE_DCHECK(a.size() == b.size());
+  double max_diff = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const double diff = std::fabs(double(a[d]) - double(b[d]));
+    if (diff > max_diff) max_diff = diff;
+  }
+  return max_diff;
+}
+
+}  // namespace kge

@@ -1,0 +1,57 @@
+// Dense float vector kernels used by the scoring and gradient code. All
+// kernels are branch-free inner loops the compiler can auto-vectorize.
+// Reductions accumulate in double to keep ranking scores stable at
+// D = several hundred.
+#ifndef KGE_MATH_VEC_OPS_H_
+#define KGE_MATH_VEC_OPS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace kge {
+
+// Σ a_d b_d
+double Dot(std::span<const float> a, std::span<const float> b);
+
+// Σ a_d b_d c_d — the trilinear product ⟨a,b,c⟩ of Eq. (3).
+double TrilinearDot(std::span<const float> a, std::span<const float> b,
+                    std::span<const float> c);
+
+// out_d = a_d * b_d (Hadamard product)
+void Hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> out);
+
+// out_d += scale * a_d * b_d
+void HadamardAxpy(float scale, std::span<const float> a,
+                  std::span<const float> b, std::span<float> out);
+
+// out_d += scale * a_d
+void Axpy(float scale, std::span<const float> a, std::span<float> out);
+
+// out_d = value
+void Fill(std::span<float> out, float value);
+
+// out_d *= scale
+void Scale(std::span<float> out, float scale);
+
+// Σ a_d²
+double SquaredNorm(std::span<const float> a);
+
+// sqrt(Σ a_d²)
+double Norm(std::span<const float> a);
+
+// Σ |a_d|
+double L1Norm(std::span<const float> a);
+
+// Σ |a_d - b_d|^p for p in {1, 2} (TransE distances).
+double LpDistance(std::span<const float> a, std::span<const float> b, int p);
+
+// Scales `a` to unit L2 norm; leaves an all-zero vector unchanged.
+void NormalizeL2(std::span<float> a);
+
+// max_d |a_d - b_d|
+double MaxAbsDiff(std::span<const float> a, std::span<const float> b);
+
+}  // namespace kge
+
+#endif  // KGE_MATH_VEC_OPS_H_

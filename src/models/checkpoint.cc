@@ -1,0 +1,73 @@
+#include "models/checkpoint.h"
+
+#include "util/io.h"
+#include "util/string_utils.h"
+
+namespace kge {
+namespace {
+
+constexpr uint32_t kMagic = 0x4B474531;  // "KGE1"
+
+}  // namespace
+
+Status SaveModelCheckpoint(KgeModel* model, const std::string& path) {
+  BinaryWriter writer;
+  KGE_RETURN_IF_ERROR(writer.Open(path));
+  KGE_RETURN_IF_ERROR(writer.WriteUint32(kMagic));
+  KGE_RETURN_IF_ERROR(writer.WriteString(model->name()));
+  const std::vector<ParameterBlock*> blocks = model->Blocks();
+  KGE_RETURN_IF_ERROR(writer.WriteUint32(uint32_t(blocks.size())));
+  for (ParameterBlock* block : blocks) {
+    KGE_RETURN_IF_ERROR(writer.WriteString(block->name()));
+    KGE_RETURN_IF_ERROR(writer.WriteUint64(uint64_t(block->num_rows())));
+    KGE_RETURN_IF_ERROR(writer.WriteUint64(uint64_t(block->row_dim())));
+    KGE_RETURN_IF_ERROR(writer.WriteFloatArray(block->Flat().data(),
+                                               block->Flat().size()));
+  }
+  return writer.Close();
+}
+
+Status LoadModelCheckpoint(KgeModel* model, const std::string& path) {
+  BinaryReader reader;
+  KGE_RETURN_IF_ERROR(reader.Open(path));
+  Result<uint32_t> magic = reader.ReadUint32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic)
+    return Status::InvalidArgument(path + " is not a kge checkpoint");
+  Result<std::string> saved_name = reader.ReadString();
+  if (!saved_name.ok()) return saved_name.status();
+  if (*saved_name != model->name()) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint holds model '%s' but got '%s'",
+                  saved_name->c_str(), model->name().c_str()));
+  }
+  Result<uint32_t> block_count = reader.ReadUint32();
+  if (!block_count.ok()) return block_count.status();
+  const std::vector<ParameterBlock*> blocks = model->Blocks();
+  if (*block_count != blocks.size()) {
+    return Status::InvalidArgument("checkpoint block count mismatch");
+  }
+  for (ParameterBlock* block : blocks) {
+    Result<std::string> name = reader.ReadString();
+    if (!name.ok()) return name.status();
+    Result<uint64_t> rows = reader.ReadUint64();
+    if (!rows.ok()) return rows.status();
+    Result<uint64_t> dim = reader.ReadUint64();
+    if (!dim.ok()) return dim.status();
+    if (*name != block->name() || int64_t(*rows) != block->num_rows() ||
+        int64_t(*dim) != block->row_dim()) {
+      return Status::InvalidArgument(
+          StrFormat("checkpoint block '%s' (%llux%llu) does not match "
+                    "model block '%s' (%lldx%lld)",
+                    name->c_str(), (unsigned long long)*rows,
+                    (unsigned long long)*dim, block->name().c_str(),
+                    (long long)block->num_rows(),
+                    (long long)block->row_dim()));
+    }
+    KGE_RETURN_IF_ERROR(reader.ReadFloatArray(block->Flat().data(),
+                                              block->Flat().size()));
+  }
+  return reader.Close();
+}
+
+}  // namespace kge

@@ -1,0 +1,24 @@
+// Whole-model checkpointing: serializes every parameter block of a
+// KgeModel (embeddings, relation matrices, learned ω, MLP weights — the
+// block list is the single source of truth) with a shape-checked header,
+// so a trained model can be reloaded for serving or analysis.
+#ifndef KGE_MODELS_CHECKPOINT_H_
+#define KGE_MODELS_CHECKPOINT_H_
+
+#include <string>
+
+#include "models/kge_model.h"
+#include "util/status.h"
+
+namespace kge {
+
+// Writes all parameter blocks of `model` to `path`.
+Status SaveModelCheckpoint(KgeModel* model, const std::string& path);
+
+// Restores all parameter blocks. The model must have been constructed
+// with the same configuration (block names and shapes are verified).
+Status LoadModelCheckpoint(KgeModel* model, const std::string& path);
+
+}  // namespace kge
+
+#endif  // KGE_MODELS_CHECKPOINT_H_

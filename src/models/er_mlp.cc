@@ -1,0 +1,128 @@
+#include "models/er_mlp.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace kge {
+
+ErMlp::ErMlp(int32_t num_entities, int32_t num_relations, int32_t dim,
+             int32_t hidden_dim, uint64_t seed)
+    : name_("ER-MLP"),
+      entities_("ErMlp.entities", num_entities, 1, dim),
+      relations_("ErMlp.relations", num_relations, 1, dim),
+      hidden_("ErMlp.hidden", 3 * dim, hidden_dim, Activation::kTanh),
+      output_("ErMlp.output", hidden_dim, 1, Activation::kLinear) {
+  InitParameters(seed);
+}
+
+void ErMlp::InitParameters(uint64_t seed) {
+  Rng rng(seed);
+  entities_.InitXavier(&rng);
+  relations_.InitXavier(&rng);
+  hidden_.Init(&rng);
+  output_.Init(&rng);
+}
+
+void ErMlp::Concatenate(std::span<const float> h, std::span<const float> t,
+                        std::span<const float> r, std::span<float> x) const {
+  const size_t d = size_t(dim());
+  KGE_DCHECK(x.size() == 3 * d);
+  std::copy(h.begin(), h.end(), x.begin());
+  std::copy(t.begin(), t.end(), x.begin() + d);
+  std::copy(r.begin(), r.end(), x.begin() + 2 * d);
+}
+
+double ErMlp::Score(const Triple& triple) const {
+  std::vector<float> x(static_cast<size_t>(3 * dim()));
+  Concatenate(entities_.Of(triple.head), entities_.Of(triple.tail),
+              relations_.Of(triple.relation), x);
+  std::vector<float> a(static_cast<size_t>(hidden_dim()));
+  hidden_.Forward(x, a);
+  float s = 0.0f;
+  output_.Forward(a, std::span<float>(&s, 1));
+  return double(s);
+}
+
+void ErMlp::ScoreAllTails(EntityId head, RelationId relation,
+                          std::span<float> out) const {
+  KGE_CHECK(out.size() == size_t(entities_.num_ids()));
+  // No fold trick for an MLP: full forward per candidate (the expense the
+  // paper's §2.2.2 critique refers to).
+  std::vector<float> x(static_cast<size_t>(3 * dim()));
+  std::vector<float> a(static_cast<size_t>(hidden_dim()));
+  const auto h = entities_.Of(head);
+  const auto r = relations_.Of(relation);
+  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
+    Concatenate(h, entities_.Of(e), r, x);
+    hidden_.Forward(x, a);
+    float s = 0.0f;
+    output_.Forward(a, std::span<float>(&s, 1));
+    out[size_t(e)] = s;
+  }
+}
+
+void ErMlp::ScoreAllHeads(EntityId tail, RelationId relation,
+                          std::span<float> out) const {
+  KGE_CHECK(out.size() == size_t(entities_.num_ids()));
+  std::vector<float> x(static_cast<size_t>(3 * dim()));
+  std::vector<float> a(static_cast<size_t>(hidden_dim()));
+  const auto t = entities_.Of(tail);
+  const auto r = relations_.Of(relation);
+  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
+    Concatenate(entities_.Of(e), t, r, x);
+    hidden_.Forward(x, a);
+    float s = 0.0f;
+    output_.Forward(a, std::span<float>(&s, 1));
+    out[size_t(e)] = s;
+  }
+}
+
+std::vector<ParameterBlock*> ErMlp::Blocks() {
+  return {entities_.block(), relations_.block(), hidden_.weights(),
+          hidden_.bias(),    output_.weights(),  output_.bias()};
+}
+
+void ErMlp::AccumulateGradients(const Triple& triple, float dscore,
+                                GradientBuffer* grads) {
+  const size_t d = size_t(dim());
+  std::vector<float> x(3 * d);
+  Concatenate(entities_.Of(triple.head), entities_.Of(triple.tail),
+              relations_.Of(triple.relation), x);
+  std::vector<float> a(static_cast<size_t>(hidden_dim()));
+  hidden_.Forward(x, a);
+  float s = 0.0f;
+  output_.Forward(a, std::span<float>(&s, 1));
+
+  // Backprop: output layer -> hidden activations -> hidden layer -> x.
+  std::vector<float> da(size_t(hidden_dim()), 0.0f);
+  output_.Backward(a, std::span<const float>(&s, 1),
+                   std::span<const float>(&dscore, 1), grads, kOutputWeights,
+                   kOutputBias, da);
+  std::vector<float> dx(3 * d, 0.0f);
+  hidden_.Backward(x, a, da, grads, kHiddenWeights, kHiddenBias, dx);
+
+  // Split dx into the three embedding gradients.
+  std::span<float> gh = grads->GradFor(kEntityBlock, triple.head);
+  std::span<float> gt = grads->GradFor(kEntityBlock, triple.tail);
+  std::span<float> gr = grads->GradFor(kRelationBlock, triple.relation);
+  for (size_t i = 0; i < d; ++i) {
+    gh[i] += dx[i];
+    gt[i] += dx[d + i];
+    gr[i] += dx[2 * d + i];
+  }
+}
+
+void ErMlp::NormalizeEntities(std::span<const EntityId> entities) {
+  for (EntityId e : entities) entities_.NormalizeVectorsOf(e);
+}
+
+std::unique_ptr<ErMlp> MakeErMlp(int32_t num_entities, int32_t num_relations,
+                                 int32_t dim, int32_t hidden_dim,
+                                 uint64_t seed) {
+  return std::make_unique<ErMlp>(num_entities, num_relations, dim,
+                                 hidden_dim, seed);
+}
+
+}  // namespace kge

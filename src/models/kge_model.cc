@@ -1,0 +1,11 @@
+#include "models/kge_model.h"
+
+namespace kge {
+
+int64_t KgeModel::NumParameters() {
+  int64_t total = 0;
+  for (const ParameterBlock* block : Blocks()) total += block->size();
+  return total;
+}
+
+}  // namespace kge

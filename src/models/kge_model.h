@@ -1,0 +1,82 @@
+// KgeModel: the abstract interface every knowledge graph embedding model
+// implements (§2.1's three-component architecture: embedding lookup +
+// interaction mechanism + prediction). The trainer and evaluator are
+// written against this interface only.
+//
+// Training protocol per mini-batch:
+//   model->BeginBatch();
+//   for each (triple, dscore): model->AccumulateGradients(...);
+//   loss += model->FinishBatch(&grads);
+//   optimizer->Apply(grads);
+//   model->NormalizeEntities(touched_entities);
+#ifndef KGE_MODELS_KGE_MODEL_H_
+#define KGE_MODELS_KGE_MODEL_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/parameter_block.h"
+#include "kg/triple.h"
+
+namespace kge {
+
+class KgeModel {
+ public:
+  virtual ~KgeModel() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual int32_t num_entities() const = 0;
+  virtual int32_t num_relations() const = 0;
+
+  // Matching score S(h, t, r); higher = more likely valid.
+  virtual double Score(const Triple& triple) const = 0;
+
+  // Scores (h, t', r) for every candidate tail t' in [0, num_entities);
+  // `out` has num_entities floats. Must be thread-safe for concurrent
+  // calls (used by the parallel evaluator).
+  virtual void ScoreAllTails(EntityId head, RelationId relation,
+                             std::span<float> out) const = 0;
+  // Scores (h', t, r) for every candidate head h'.
+  virtual void ScoreAllHeads(EntityId tail, RelationId relation,
+                             std::span<float> out) const = 0;
+
+  // Parameter blocks in a fixed order; the index of a block in this
+  // vector is its block index in GradientBuffer.
+  virtual std::vector<ParameterBlock*> Blocks() = 0;
+
+  // Hook called before gradient accumulation of each batch.
+  virtual void BeginBatch() {}
+
+  // Accumulates dL/dparams for one triple given upstream dscore = dL/dS.
+  virtual void AccumulateGradients(const Triple& triple, float dscore,
+                                   GradientBuffer* grads) = 0;
+
+  // Hook called after all triples of a batch; flushes any batch-level
+  // gradients (e.g. the learned-ω chain rule) and returns any extra
+  // regularization loss incurred this batch.
+  virtual double FinishBatch(GradientBuffer* grads) {
+    (void)grads;
+    return 0.0;
+  }
+
+  // Applies the paper's unit-norm constraint to the given entities.
+  virtual void NormalizeEntities(std::span<const EntityId> entities) = 0;
+
+  // True when AccumulateGradients only reads model parameters and writes
+  // the given GradientBuffer (no shared mutable state), allowing the
+  // trainer to compute a batch's gradients concurrently into per-shard
+  // buffers. Models with batch-level internal accumulators (e.g. the
+  // learned-ω model) must return false.
+  virtual bool SupportsParallelGradients() const { return true; }
+
+  // Deterministic (re-)initialization of all parameters.
+  virtual void InitParameters(uint64_t seed) = 0;
+
+  int64_t NumParameters();
+};
+
+}  // namespace kge
+
+#endif  // KGE_MODELS_KGE_MODEL_H_

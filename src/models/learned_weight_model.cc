@@ -1,0 +1,101 @@
+#include "models/learned_weight_model.h"
+
+#include "core/interaction.h"
+#include "util/check.h"
+
+namespace kge {
+namespace {
+
+WeightTable InitialTable(const LearnedWeightOptions& options) {
+  // Placeholder; the real ω is installed by RefreshWeights().
+  return WeightTable(options.ne, options.nr);
+}
+
+}  // namespace
+
+LearnedWeightModel::LearnedWeightModel(std::string name, int32_t num_entities,
+                                       int32_t num_relations, int32_t dim,
+                                       const LearnedWeightOptions& options,
+                                       uint64_t seed)
+    : MultiEmbeddingModel(std::move(name), num_entities, num_relations, dim,
+                          InitialTable(options), seed),
+      options_(options),
+      raw_weights_("omega_raw", 1,
+                   int64_t(options.ne) * options.ne * options.nr),
+      omega_grad_(size_t(options.ne) * options.ne * options.nr, 0.0f) {
+  for (float& x : raw_weights_.Row(0)) x = options_.initial_raw_weight;
+  RefreshWeights();
+}
+
+void LearnedWeightModel::InitParameters(uint64_t seed) {
+  MultiEmbeddingModel::InitParameters(seed);
+  // raw_weights_ is not yet constructed when the base constructor invokes
+  // the base InitParameters; on explicit calls reset it too.
+  if (raw_weights_.size() > 0) {
+    for (float& x : raw_weights_.Row(0)) x = options_.initial_raw_weight;
+    RefreshWeights();
+  }
+}
+
+std::vector<ParameterBlock*> LearnedWeightModel::Blocks() {
+  std::vector<ParameterBlock*> blocks = MultiEmbeddingModel::Blocks();
+  KGE_CHECK(blocks.size() == kOmegaBlock);
+  blocks.push_back(&raw_weights_);
+  return blocks;
+}
+
+void LearnedWeightModel::RefreshWeights() {
+  WeightTable table(options_.ne, options_.nr);
+  std::vector<float> omega(size_t(raw_weights_.row_dim()));
+  ApplyRestriction(options_.restriction, raw_weights_.Row(0), omega);
+  table.SetFlat(omega);
+  SetWeights(table);
+}
+
+void LearnedWeightModel::BeginBatch() {
+  RefreshWeights();
+  std::fill(omega_grad_.begin(), omega_grad_.end(), 0.0f);
+}
+
+void LearnedWeightModel::AccumulateGradients(const Triple& triple,
+                                             float dscore,
+                                             GradientBuffer* grads) {
+  // Embedding gradients via the shared engine (uses the current ω).
+  MultiEmbeddingModel::AccumulateGradients(triple, dscore, grads);
+  // dL/dω accumulates locally; chained through f at FinishBatch.
+  AccumulateOmegaGradients(weights(), dim(), entity_store().Of(triple.head),
+                           entity_store().Of(triple.tail),
+                           relation_store().Of(triple.relation), dscore,
+                           omega_grad_);
+}
+
+double LearnedWeightModel::FinishBatch(GradientBuffer* grads) {
+  std::vector<float> omega = CurrentOmega();
+  double extra_loss = 0.0;
+  if (options_.dirichlet.has_value()) {
+    extra_loss = DirichletNll(omega, *options_.dirichlet);
+    AddDirichletGradient(omega, *options_.dirichlet, omega_grad_);
+  }
+  std::span<float> raw_grad = grads->GradFor(kOmegaBlock, 0);
+  RestrictionBackward(options_.restriction, omega, omega_grad_, raw_grad);
+  return extra_loss;
+}
+
+std::vector<float> LearnedWeightModel::CurrentOmega() const {
+  const auto flat = weights().Flat();
+  return std::vector<float>(flat.begin(), flat.end());
+}
+
+std::unique_ptr<LearnedWeightModel> MakeLearnedWeightModel(
+    int32_t num_entities, int32_t num_relations, int32_t dim,
+    const LearnedWeightOptions& options, uint64_t seed) {
+  std::string name = "AutoWeight[";
+  name += RestrictionKindToString(options.restriction);
+  if (options.dirichlet.has_value()) name += ",sparse";
+  name += "]";
+  return std::make_unique<LearnedWeightModel>(std::move(name), num_entities,
+                                              num_relations, dim, options,
+                                              seed);
+}
+
+}  // namespace kge

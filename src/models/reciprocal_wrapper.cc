@@ -1,0 +1,24 @@
+#include "models/reciprocal_wrapper.h"
+
+#include "kg/augmentation.h"
+#include "util/check.h"
+
+namespace kge {
+
+ReciprocalWrapper::ReciprocalWrapper(KgeModel* base,
+                                     int32_t original_relations)
+    : base_(base),
+      original_relations_(original_relations),
+      name_(base->name() + "+reciprocal") {
+  KGE_CHECK(base_ != nullptr);
+  KGE_CHECK(base_->num_relations() == 2 * original_relations);
+}
+
+void ReciprocalWrapper::ScoreAllHeads(EntityId tail, RelationId relation,
+                                      std::span<float> out) const {
+  KGE_CHECK(relation >= 0 && relation < original_relations_);
+  base_->ScoreAllTails(
+      tail, AugmentedRelationOf(relation, original_relations_), out);
+}
+
+}  // namespace kge

@@ -1,0 +1,118 @@
+#include "models/rescal.h"
+
+#include <vector>
+
+#include "math/vec_ops.h"
+#include "util/check.h"
+
+namespace kge {
+
+Rescal::Rescal(int32_t num_entities, int32_t num_relations, int32_t dim,
+               uint64_t seed)
+    : name_("RESCAL"),
+      entities_("RESCAL.entities", num_entities, 1, dim),
+      relation_matrices_("RESCAL.relations", num_relations,
+                         int64_t(dim) * int64_t(dim)) {
+  KGE_CHECK(dim > 0);
+  InitParameters(seed);
+}
+
+void Rescal::InitParameters(uint64_t seed) {
+  Rng rng(seed);
+  entities_.InitXavier(&rng);
+  relation_matrices_.InitXavierUniform(&rng, 2 * int64_t(dim()));
+}
+
+double Rescal::Score(const Triple& triple) const {
+  const auto h = entities_.Of(triple.head);
+  const auto t = entities_.Of(triple.tail);
+  const auto w = MatrixOf(triple.relation);
+  const int32_t d = dim();
+  double score = 0.0;
+  for (int32_t a = 0; a < d; ++a) {
+    // Row dot: (W_r[a, :] · t) * h_a, accumulated over rows.
+    double row = 0.0;
+    const float* w_row = w.data() + size_t(a) * size_t(d);
+    for (int32_t b = 0; b < d; ++b) row += double(w_row[b]) * double(t[b]);
+    score += double(h[a]) * row;
+  }
+  return score;
+}
+
+void Rescal::ScoreAllTails(EntityId head, RelationId relation,
+                           std::span<float> out) const {
+  KGE_CHECK(out.size() == size_t(entities_.num_ids()));
+  const auto h = entities_.Of(head);
+  const auto w = MatrixOf(relation);
+  const int32_t d = dim();
+  // v = hᵀ W_r (one D² pass), then score(t) = v · t per candidate.
+  std::vector<float> v(size_t(d), 0.0f);
+  for (int32_t a = 0; a < d; ++a) {
+    const float ha = h[a];
+    const float* w_row = w.data() + size_t(a) * size_t(d);
+    for (int32_t b = 0; b < d; ++b) v[size_t(b)] += ha * w_row[b];
+  }
+  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
+    out[size_t(e)] = static_cast<float>(Dot(v, entities_.Of(e)));
+  }
+}
+
+void Rescal::ScoreAllHeads(EntityId tail, RelationId relation,
+                           std::span<float> out) const {
+  KGE_CHECK(out.size() == size_t(entities_.num_ids()));
+  const auto t = entities_.Of(tail);
+  const auto w = MatrixOf(relation);
+  const int32_t d = dim();
+  // u = W_r t, then score(h) = h · u.
+  std::vector<float> u(size_t(d), 0.0f);
+  for (int32_t a = 0; a < d; ++a) {
+    const float* w_row = w.data() + size_t(a) * size_t(d);
+    double row = 0.0;
+    for (int32_t b = 0; b < d; ++b) row += double(w_row[b]) * double(t[b]);
+    u[size_t(a)] = static_cast<float>(row);
+  }
+  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
+    out[size_t(e)] = static_cast<float>(Dot(entities_.Of(e), u));
+  }
+}
+
+std::vector<ParameterBlock*> Rescal::Blocks() {
+  return {entities_.block(), &relation_matrices_};
+}
+
+void Rescal::AccumulateGradients(const Triple& triple, float dscore,
+                                 GradientBuffer* grads) {
+  const auto h = entities_.Of(triple.head);
+  const auto t = entities_.Of(triple.tail);
+  const auto w = MatrixOf(triple.relation);
+  const int32_t d = dim();
+  std::span<float> gh = grads->GradFor(kEntityBlock, triple.head);
+  std::span<float> gt = grads->GradFor(kEntityBlock, triple.tail);
+  std::span<float> gw = grads->GradFor(kRelationBlock, triple.relation);
+  // dS/dh = W t; dS/dt = Wᵀ h; dS/dW = h tᵀ.
+  for (int32_t a = 0; a < d; ++a) {
+    const float* w_row = w.data() + size_t(a) * size_t(d);
+    float* gw_row = gw.data() + size_t(a) * size_t(d);
+    double wt = 0.0;
+    const float ha = h[a];
+    const float scaled_ha = dscore * ha;
+    for (int32_t b = 0; b < d; ++b) {
+      wt += double(w_row[b]) * double(t[b]);
+      gt[size_t(b)] += scaled_ha * w_row[b];
+      gw_row[b] += scaled_ha * t[b];
+    }
+    gh[size_t(a)] += dscore * static_cast<float>(wt);
+  }
+}
+
+void Rescal::NormalizeEntities(std::span<const EntityId> entities) {
+  for (EntityId e : entities) entities_.NormalizeVectorsOf(e);
+}
+
+std::unique_ptr<Rescal> MakeRescal(int32_t num_entities,
+                                   int32_t num_relations, int32_t dim,
+                                   uint64_t seed) {
+  return std::make_unique<Rescal>(num_entities, num_relations, dim, seed);
+}
+
+}  // namespace kge

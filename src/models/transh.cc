@@ -1,0 +1,150 @@
+#include "models/transh.h"
+
+#include <vector>
+
+#include "math/vec_ops.h"
+#include "util/check.h"
+
+namespace kge {
+
+TransH::TransH(int32_t num_entities, int32_t num_relations, int32_t dim,
+               uint64_t seed)
+    : name_("TransH"),
+      entities_("TransH.entities", num_entities, 1, dim),
+      translations_("TransH.translations", num_relations, 1, dim),
+      normals_("TransH.normals", num_relations, 1, dim) {
+  InitParameters(seed);
+}
+
+void TransH::InitParameters(uint64_t seed) {
+  Rng rng(seed);
+  entities_.InitXavier(&rng);
+  translations_.InitXavier(&rng);
+  normals_.InitXavier(&rng);
+  for (int32_t r = 0; r < normals_.num_ids(); ++r) {
+    normals_.NormalizeVectorsOf(r);
+  }
+}
+
+void TransH::ProjectedDifference(std::span<const float> h,
+                                 std::span<const float> t,
+                                 RelationId relation,
+                                 std::span<float> diff) const {
+  const auto d = translations_.Of(relation);
+  const auto w = normals_.Of(relation);
+  const double alpha = Dot(w, h);
+  const double beta = Dot(w, t);
+  const float gap = static_cast<float>(alpha - beta);
+  for (size_t i = 0; i < h.size(); ++i) {
+    diff[i] = h[i] - t[i] + d[i] - gap * w[i];
+  }
+}
+
+double TransH::Score(const Triple& triple) const {
+  std::vector<float> diff(static_cast<size_t>(dim()));
+  ProjectedDifference(entities_.Of(triple.head), entities_.Of(triple.tail),
+                      triple.relation, diff);
+  return -SquaredNorm(diff);
+}
+
+void TransH::ScoreAllTails(EntityId head, RelationId relation,
+                           std::span<float> out) const {
+  KGE_CHECK(out.size() == size_t(entities_.num_ids()));
+  // h⊥ + d is fixed; per candidate t the score is −||(h⊥ + d) − t⊥||².
+  const auto h = entities_.Of(head);
+  const auto d = translations_.Of(relation);
+  const auto w = normals_.Of(relation);
+  const int32_t n = dim();
+  std::vector<float> base(static_cast<size_t>(n));
+  const double alpha = Dot(w, h);
+  for (int32_t i = 0; i < n; ++i) {
+    base[size_t(i)] = h[size_t(i)] - float(alpha) * w[size_t(i)] + d[size_t(i)];
+  }
+  std::vector<float> t_proj(static_cast<size_t>(n));
+  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
+    const auto t = entities_.Of(e);
+    const double beta = Dot(w, t);
+    for (int32_t i = 0; i < n; ++i) {
+      t_proj[size_t(i)] = t[size_t(i)] - float(beta) * w[size_t(i)];
+    }
+    out[size_t(e)] = static_cast<float>(-LpDistance(base, t_proj, 2));
+  }
+}
+
+void TransH::ScoreAllHeads(EntityId tail, RelationId relation,
+                           std::span<float> out) const {
+  KGE_CHECK(out.size() == size_t(entities_.num_ids()));
+  const auto t = entities_.Of(tail);
+  const auto d = translations_.Of(relation);
+  const auto w = normals_.Of(relation);
+  const int32_t n = dim();
+  std::vector<float> target(static_cast<size_t>(n));  // t⊥ − d
+  const double beta = Dot(w, t);
+  for (int32_t i = 0; i < n; ++i) {
+    target[size_t(i)] =
+        t[size_t(i)] - float(beta) * w[size_t(i)] - d[size_t(i)];
+  }
+  std::vector<float> h_proj(static_cast<size_t>(n));
+  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
+    const auto h = entities_.Of(e);
+    const double alpha = Dot(w, h);
+    for (int32_t i = 0; i < n; ++i) {
+      h_proj[size_t(i)] = h[size_t(i)] - float(alpha) * w[size_t(i)];
+    }
+    out[size_t(e)] = static_cast<float>(-LpDistance(h_proj, target, 2));
+  }
+}
+
+std::vector<ParameterBlock*> TransH::Blocks() {
+  return {entities_.block(), translations_.block(), normals_.block()};
+}
+
+void TransH::AccumulateGradients(const Triple& triple, float dscore,
+                                 GradientBuffer* grads) {
+  const auto h = entities_.Of(triple.head);
+  const auto t = entities_.Of(triple.tail);
+  const auto w = normals_.Of(triple.relation);
+  const int32_t n = dim();
+  std::vector<float> diff(static_cast<size_t>(n));
+  ProjectedDifference(h, t, triple.relation, diff);
+
+  // g = dscore * dS/ddiff = -2 * dscore * diff.
+  std::vector<float> g(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) g[size_t(i)] = -2.0f * dscore * diff[size_t(i)];
+
+  std::span<float> gh = grads->GradFor(kEntityBlock, triple.head);
+  std::span<float> gt = grads->GradFor(kEntityBlock, triple.tail);
+  std::span<float> gd = grads->GradFor(kTranslationBlock, triple.relation);
+  std::span<float> gw = grads->GradFor(kNormalBlock, triple.relation);
+
+  const double gw_dot = Dot(g, w);
+  const double alpha = Dot(w, h);
+  const double beta = Dot(w, t);
+  const float gap = static_cast<float>(alpha - beta);
+  for (int32_t i = 0; i < n; ++i) {
+    const float gi = g[size_t(i)];
+    const float proj = gi - float(gw_dot) * w[size_t(i)];
+    gh[size_t(i)] += proj;
+    gt[size_t(i)] -= proj;
+    gd[size_t(i)] += gi;
+    gw[size_t(i)] +=
+        -float(gw_dot) * (h[size_t(i)] - t[size_t(i)]) - gap * gi;
+  }
+}
+
+void TransH::NormalizeEntities(std::span<const EntityId> entities) {
+  for (EntityId e : entities) entities_.NormalizeVectorsOf(e);
+  // Re-impose the unit-norm constraint on the hyperplane normals after
+  // each optimizer step (TransH's hard constraint on w_r).
+  for (int32_t r = 0; r < normals_.num_ids(); ++r) {
+    normals_.NormalizeVectorsOf(r);
+  }
+}
+
+std::unique_ptr<TransH> MakeTransH(int32_t num_entities,
+                                   int32_t num_relations, int32_t dim,
+                                   uint64_t seed) {
+  return std::make_unique<TransH>(num_entities, num_relations, dim, seed);
+}
+
+}  // namespace kge

@@ -1,0 +1,129 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kge {
+
+Conv2dLayer::Conv2dLayer(std::string name, int32_t in_channels,
+                         int32_t in_height, int32_t in_width,
+                         int32_t out_channels, int32_t kernel_height,
+                         int32_t kernel_width)
+    : in_channels_(in_channels),
+      in_height_(in_height),
+      in_width_(in_width),
+      out_channels_(out_channels),
+      kernel_height_(kernel_height),
+      kernel_width_(kernel_width),
+      filters_(name + ".filters", out_channels,
+               int64_t(in_channels) * kernel_height * kernel_width),
+      bias_(name + ".bias", 1, out_channels) {
+  KGE_CHECK(in_channels > 0 && out_channels > 0);
+  KGE_CHECK(in_height >= kernel_height && in_width >= kernel_width);
+}
+
+int64_t Conv2dLayer::input_size() const {
+  return int64_t(in_channels_) * in_height_ * in_width_;
+}
+
+int64_t Conv2dLayer::output_size() const {
+  return int64_t(out_channels_) * out_height() * out_width();
+}
+
+void Conv2dLayer::Init(Rng* rng) {
+  const int64_t fan_in =
+      int64_t(in_channels_) * kernel_height_ * kernel_width_;
+  filters_.InitXavierUniform(rng, fan_in + out_channels_);
+  bias_.Zero();
+}
+
+void Conv2dLayer::Forward(std::span<const float> x,
+                          std::span<float> out) const {
+  KGE_DCHECK(int64_t(x.size()) == input_size());
+  KGE_DCHECK(int64_t(out.size()) == output_size());
+  const int32_t oh = out_height();
+  const int32_t ow = out_width();
+  for (int32_t oc = 0; oc < out_channels_; ++oc) {
+    const std::span<const float> filter = filters_.Row(oc);
+    const float b = bias_.Row(0)[size_t(oc)];
+    float* out_map = out.data() + size_t(oc) * size_t(oh) * size_t(ow);
+    for (int32_t oy = 0; oy < oh; ++oy) {
+      for (int32_t ox = 0; ox < ow; ++ox) {
+        double sum = b;
+        for (int32_t ic = 0; ic < in_channels_; ++ic) {
+          const float* in_map =
+              x.data() + size_t(ic) * size_t(in_height_) * size_t(in_width_);
+          const float* w = filter.data() +
+                           size_t(ic) * size_t(kernel_height_) *
+                               size_t(kernel_width_);
+          for (int32_t ky = 0; ky < kernel_height_; ++ky) {
+            const float* in_row = in_map + size_t(oy + ky) * size_t(in_width_);
+            const float* w_row = w + size_t(ky) * size_t(kernel_width_);
+            for (int32_t kx = 0; kx < kernel_width_; ++kx) {
+              sum += double(in_row[ox + kx]) * double(w_row[kx]);
+            }
+          }
+        }
+        out_map[size_t(oy) * size_t(ow) + size_t(ox)] =
+            static_cast<float>(sum);
+      }
+    }
+  }
+}
+
+void Conv2dLayer::Backward(std::span<const float> x,
+                           std::span<const float> dout,
+                           GradientBuffer* grads, size_t filters_block,
+                           size_t bias_block, std::span<float> dx) const {
+  KGE_DCHECK(int64_t(x.size()) == input_size());
+  KGE_DCHECK(int64_t(dout.size()) == output_size());
+  const int32_t oh = out_height();
+  const int32_t ow = out_width();
+  std::span<float> db = grads->GradFor(bias_block, 0);
+  for (int32_t oc = 0; oc < out_channels_; ++oc) {
+    const std::span<const float> filter = filters_.Row(oc);
+    std::span<float> dfilter = grads->GradFor(filters_block, oc);
+    const float* dout_map =
+        dout.data() + size_t(oc) * size_t(oh) * size_t(ow);
+    for (int32_t oy = 0; oy < oh; ++oy) {
+      for (int32_t ox = 0; ox < ow; ++ox) {
+        const float g = dout_map[size_t(oy) * size_t(ow) + size_t(ox)];
+        if (g == 0.0f) continue;
+        db[size_t(oc)] += g;
+        for (int32_t ic = 0; ic < in_channels_; ++ic) {
+          const size_t in_base =
+              size_t(ic) * size_t(in_height_) * size_t(in_width_);
+          const size_t w_base = size_t(ic) * size_t(kernel_height_) *
+                                size_t(kernel_width_);
+          for (int32_t ky = 0; ky < kernel_height_; ++ky) {
+            const size_t in_row = in_base + size_t(oy + ky) * size_t(in_width_);
+            const size_t w_row = w_base + size_t(ky) * size_t(kernel_width_);
+            for (int32_t kx = 0; kx < kernel_width_; ++kx) {
+              dfilter[w_row + size_t(kx)] += g * x[in_row + size_t(ox + kx)];
+              if (!dx.empty()) {
+                dx[in_row + size_t(ox + kx)] +=
+                    g * filter[w_row + size_t(kx)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Relu(std::span<float> values) {
+  for (float& v : values) v = v > 0.0f ? v : 0.0f;
+}
+
+void ReluBackward(std::span<const float> forward_out,
+                  std::span<const float> dout, std::span<float> dx) {
+  KGE_DCHECK(forward_out.size() == dout.size() &&
+             dout.size() == dx.size());
+  for (size_t i = 0; i < dx.size(); ++i) {
+    if (forward_out[i] > 0.0f) dx[i] += dout[i];
+  }
+}
+
+}  // namespace kge

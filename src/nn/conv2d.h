@@ -1,0 +1,63 @@
+// A minimal 2D convolution layer (valid padding, stride 1) with manual
+// backpropagation — the substrate for ConvE (§2.2.2: "Recent models such
+// as ConvE use convolution networks instead of fully-connected
+// networks"). Layout: images and feature maps are CHW (channel-major,
+// row-major within a channel); filters live in a ParameterBlock with one
+// row per output channel holding in_channels * kh * kw weights, plus a
+// one-row bias block.
+#ifndef KGE_NN_CONV2D_H_
+#define KGE_NN_CONV2D_H_
+
+#include <span>
+#include <string>
+
+#include "core/parameter_block.h"
+
+namespace kge {
+
+class Conv2dLayer {
+ public:
+  Conv2dLayer(std::string name, int32_t in_channels, int32_t in_height,
+              int32_t in_width, int32_t out_channels, int32_t kernel_height,
+              int32_t kernel_width);
+
+  int32_t in_channels() const { return in_channels_; }
+  int32_t in_height() const { return in_height_; }
+  int32_t in_width() const { return in_width_; }
+  int32_t out_channels() const { return out_channels_; }
+  int32_t out_height() const { return in_height_ - kernel_height_ + 1; }
+  int32_t out_width() const { return in_width_ - kernel_width_ + 1; }
+  // Elements in one input (in_channels * H * W) / output volume.
+  int64_t input_size() const;
+  int64_t output_size() const;
+
+  ParameterBlock* filters() { return &filters_; }
+  ParameterBlock* bias() { return &bias_; }
+
+  void Init(Rng* rng);
+
+  // out = conv(x) + b; no activation (apply ReLU etc. outside).
+  void Forward(std::span<const float> x, std::span<float> out) const;
+
+  // Accumulates dL/dfilters and dL/dbias into `grads` (block indices
+  // given) and dL/dx into dx (+=, may be empty to skip).
+  void Backward(std::span<const float> x, std::span<const float> dout,
+                GradientBuffer* grads, size_t filters_block,
+                size_t bias_block, std::span<float> dx) const;
+
+ private:
+  int32_t in_channels_, in_height_, in_width_;
+  int32_t out_channels_, kernel_height_, kernel_width_;
+  ParameterBlock filters_;  // out_channels rows of in_channels*kh*kw
+  ParameterBlock bias_;     // 1 row of out_channels
+};
+
+// Elementwise ReLU helpers used between layers.
+void Relu(std::span<float> values);
+// dx_i += dout_i * 1[forward_out_i > 0]
+void ReluBackward(std::span<const float> forward_out,
+                  std::span<const float> dout, std::span<float> dx);
+
+}  // namespace kge
+
+#endif  // KGE_NN_CONV2D_H_

@@ -1,0 +1,60 @@
+#include "nn/dense_layer.h"
+
+#include <cmath>
+
+#include "math/activations.h"
+#include "math/vec_ops.h"
+#include "util/check.h"
+
+namespace kge {
+
+DenseLayer::DenseLayer(std::string name, int32_t in_dim, int32_t out_dim,
+                       Activation activation)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      activation_(activation),
+      weights_(name + ".W", out_dim, in_dim),
+      bias_(name + ".b", 1, out_dim) {
+  KGE_CHECK(in_dim > 0 && out_dim > 0);
+}
+
+void DenseLayer::Init(Rng* rng) {
+  weights_.InitXavierUniform(rng, in_dim_ + out_dim_);
+  bias_.Zero();
+}
+
+void DenseLayer::Forward(std::span<const float> x,
+                         std::span<float> out) const {
+  KGE_DCHECK(x.size() == size_t(in_dim_) && out.size() == size_t(out_dim_));
+  const auto b = bias_.Row(0);
+  for (int32_t o = 0; o < out_dim_; ++o) {
+    double z = double(b[size_t(o)]) + Dot(weights_.Row(o), x);
+    out[size_t(o)] = activation_ == Activation::kTanh
+                         ? static_cast<float>(std::tanh(z))
+                         : static_cast<float>(z);
+  }
+}
+
+void DenseLayer::Backward(std::span<const float> x,
+                          std::span<const float> out,
+                          std::span<const float> dout, GradientBuffer* grads,
+                          size_t weights_block, size_t bias_block,
+                          std::span<float> dx) const {
+  KGE_DCHECK(x.size() == size_t(in_dim_));
+  KGE_DCHECK(out.size() == size_t(out_dim_) &&
+             dout.size() == size_t(out_dim_));
+  std::span<float> db = grads->GradFor(bias_block, 0);
+  for (int32_t o = 0; o < out_dim_; ++o) {
+    float dz = dout[size_t(o)];
+    if (activation_ == Activation::kTanh) {
+      dz *= static_cast<float>(TanhDerivFromOutput(out[size_t(o)]));
+    }
+    if (dz == 0.0f) continue;
+    db[size_t(o)] += dz;
+    std::span<float> dw = grads->GradFor(weights_block, o);
+    Axpy(dz, x, dw);
+    if (!dx.empty()) Axpy(dz, weights_.Row(o), dx);
+  }
+}
+
+}  // namespace kge

@@ -1,0 +1,57 @@
+// A minimal dense (fully-connected) layer with manual backpropagation,
+// the substrate for the neural-network-based KGE category of §2.2.2
+// (ER-MLP). Parameters live in ParameterBlocks so the same sparse
+// optimizers used for embeddings update them (a dense layer is simply a
+// block whose rows are all touched every batch).
+#ifndef KGE_NN_DENSE_LAYER_H_
+#define KGE_NN_DENSE_LAYER_H_
+
+#include <span>
+#include <string>
+
+#include "core/parameter_block.h"
+
+namespace kge {
+
+enum class Activation {
+  kLinear,
+  kTanh,
+};
+
+class DenseLayer {
+ public:
+  DenseLayer(std::string name, int32_t in_dim, int32_t out_dim,
+             Activation activation);
+
+  int32_t in_dim() const { return in_dim_; }
+  int32_t out_dim() const { return out_dim_; }
+
+  ParameterBlock* weights() { return &weights_; }
+  ParameterBlock* bias() { return &bias_; }
+
+  void Init(Rng* rng);
+
+  // out = act(W x + b); out must have out_dim floats.
+  void Forward(std::span<const float> x, std::span<float> out) const;
+
+  // Given the input x, this layer's activations `out` (from Forward) and
+  // upstream gradient dL/dout, accumulates:
+  //   * dL/dW into grads->GradFor(weights_block, row) per output row,
+  //   * dL/db into grads->GradFor(bias_block, 0),
+  //   * dL/dx into dx (+=), if dx is non-empty.
+  void Backward(std::span<const float> x, std::span<const float> out,
+                std::span<const float> dout, GradientBuffer* grads,
+                size_t weights_block, size_t bias_block,
+                std::span<float> dx) const;
+
+ private:
+  int32_t in_dim_;
+  int32_t out_dim_;
+  Activation activation_;
+  ParameterBlock weights_;  // out_dim rows of in_dim
+  ParameterBlock bias_;     // 1 row of out_dim
+};
+
+}  // namespace kge
+
+#endif  // KGE_NN_DENSE_LAYER_H_

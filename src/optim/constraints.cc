@@ -1,0 +1,38 @@
+#include "optim/constraints.h"
+
+#include <unordered_set>
+
+#include "math/vec_ops.h"
+
+namespace kge {
+
+void CollectTouchedRows(const GradientBuffer& grads, size_t block_index,
+                        std::vector<EntityId>* out) {
+  out->clear();
+  grads.ForEach([&](size_t b, int64_t row, std::span<const float> grad) {
+    (void)grad;
+    if (b == block_index) out->push_back(static_cast<EntityId>(row));
+  });
+}
+
+double L2Regularizer::Accumulate(
+    GradientBuffer* grads,
+    std::span<const std::pair<size_t, int64_t>> block_rows) {
+  if (lambda_ == 0.0 || block_rows.empty()) return 0.0;
+  int64_t n_d = 0;
+  for (const auto& [block_index, row] : block_rows) {
+    n_d += grads->block(block_index)->row_dim();
+  }
+  const double inv_nd = 1.0 / double(n_d);
+  double loss = 0.0;
+  for (const auto& [block_index, row] : block_rows) {
+    std::span<const float> params = grads->block(block_index)->Row(row);
+    loss += lambda_ * inv_nd * SquaredNorm(params);
+    std::span<float> grad = grads->GradFor(block_index, row);
+    const float scale = static_cast<float>(2.0 * lambda_ * inv_nd);
+    for (size_t d = 0; d < params.size(); ++d) grad[d] += scale * params[d];
+  }
+  return loss;
+}
+
+}  // namespace kge

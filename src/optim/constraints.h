@@ -1,0 +1,44 @@
+// Post-update constraints (§5.3: "We constrained entity embedding vectors
+// to have unit L2-norm after each training iteration") plus helpers to
+// collect which entities a batch touched.
+#ifndef KGE_OPTIM_CONSTRAINTS_H_
+#define KGE_OPTIM_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "core/parameter_block.h"
+#include "kg/triple.h"
+
+namespace kge {
+
+// Collects the distinct rows touched in `grads` for `block_index`,
+// appended to `out` (cleared first). Used to apply the unit-norm
+// constraint to exactly the entities updated this iteration.
+void CollectTouchedRows(const GradientBuffer& grads, size_t block_index,
+                        std::vector<EntityId>* out);
+
+// Adds the L2 regularization gradient of Eq. (16) for one triple's
+// parameter rows: grad += (2λ / n_D) * θ for each involved row, where
+// n_D is the total number of parameters entering the triple's score.
+// Call once per positive/negative example, mirroring the per-example sum
+// in the loss.
+class L2Regularizer {
+ public:
+  explicit L2Regularizer(double lambda) : lambda_(lambda) {}
+
+  double lambda() const { return lambda_; }
+
+  // Loss contribution (λ / n_D) * ||θ||² for the given rows, adding the
+  // matching gradients into `grads`. `blocks_rows` lists (block, row)
+  // pairs; duplicated pairs are regularized multiple times, matching the
+  // per-example formulation.
+  double Accumulate(GradientBuffer* grads,
+                    std::span<const std::pair<size_t, int64_t>> block_rows);
+
+ private:
+  double lambda_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_OPTIM_CONSTRAINTS_H_

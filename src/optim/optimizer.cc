@@ -1,0 +1,167 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kge {
+namespace {
+
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::vector<ParameterBlock*> blocks, const SgdOptions& options)
+      : blocks_(std::move(blocks)), options_(options), name_("sgd") {}
+
+  const std::string& name() const override { return name_; }
+
+  void Apply(const GradientBuffer& grads) override {
+    const float lr = static_cast<float>(options_.learning_rate);
+    grads.ForEach([&](size_t block_index, int64_t row,
+                      std::span<const float> grad) {
+      std::span<float> params = blocks_[block_index]->Row(row);
+      for (size_t d = 0; d < grad.size(); ++d) params[d] -= lr * grad[d];
+    });
+  }
+
+  void Reset() override {}
+
+ private:
+  std::vector<ParameterBlock*> blocks_;
+  SgdOptions options_;
+  std::string name_;
+};
+
+class AdagradOptimizer : public Optimizer {
+ public:
+  AdagradOptimizer(std::vector<ParameterBlock*> blocks,
+                   const AdagradOptions& options)
+      : blocks_(std::move(blocks)), options_(options), name_("adagrad") {
+    for (ParameterBlock* block : blocks_) {
+      accumulators_.emplace_back(size_t(block->size()), 0.0f);
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+
+  void Apply(const GradientBuffer& grads) override {
+    const float lr = static_cast<float>(options_.learning_rate);
+    const float eps = static_cast<float>(options_.epsilon);
+    grads.ForEach([&](size_t block_index, int64_t row,
+                      std::span<const float> grad) {
+      ParameterBlock* block = blocks_[block_index];
+      std::span<float> params = block->Row(row);
+      float* acc = accumulators_[block_index].data() +
+                   size_t(row) * size_t(block->row_dim());
+      for (size_t d = 0; d < grad.size(); ++d) {
+        acc[d] += grad[d] * grad[d];
+        params[d] -= lr * grad[d] / (std::sqrt(acc[d]) + eps);
+      }
+    });
+  }
+
+  void Reset() override {
+    for (auto& acc : accumulators_) std::fill(acc.begin(), acc.end(), 0.0f);
+  }
+
+ private:
+  std::vector<ParameterBlock*> blocks_;
+  AdagradOptions options_;
+  std::string name_;
+  std::vector<std::vector<float>> accumulators_;
+};
+
+// Lazy Adam: first/second moments are stored for every row but decayed
+// and applied only when the row is touched, with bias correction based on
+// the global step. This matches the sparse-Adam behaviour of the common
+// deep learning frameworks' embedding training.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(std::vector<ParameterBlock*> blocks, const AdamOptions& options)
+      : blocks_(std::move(blocks)), options_(options), name_("adam") {
+    for (ParameterBlock* block : blocks_) {
+      m_.emplace_back(size_t(block->size()), 0.0f);
+      v_.emplace_back(size_t(block->size()), 0.0f);
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+
+  void Apply(const GradientBuffer& grads) override {
+    ++step_;
+    const double beta1 = options_.beta1;
+    const double beta2 = options_.beta2;
+    const double bias1 = 1.0 - std::pow(beta1, double(step_));
+    const double bias2 = 1.0 - std::pow(beta2, double(step_));
+    const double lr = options_.learning_rate * std::sqrt(bias2) / bias1;
+    const float eps = static_cast<float>(options_.epsilon);
+    grads.ForEach([&](size_t block_index, int64_t row,
+                      std::span<const float> grad) {
+      ParameterBlock* block = blocks_[block_index];
+      std::span<float> params = block->Row(row);
+      const size_t offset = size_t(row) * size_t(block->row_dim());
+      float* m = m_[block_index].data() + offset;
+      float* v = v_[block_index].data() + offset;
+      for (size_t d = 0; d < grad.size(); ++d) {
+        m[d] = static_cast<float>(beta1 * m[d] + (1.0 - beta1) * grad[d]);
+        v[d] = static_cast<float>(beta2 * v[d] +
+                                  (1.0 - beta2) * grad[d] * grad[d]);
+        params[d] -=
+            static_cast<float>(lr * m[d] / (std::sqrt(double(v[d])) + eps));
+      }
+    });
+  }
+
+  void Reset() override {
+    step_ = 0;
+    for (auto& m : m_) std::fill(m.begin(), m.end(), 0.0f);
+    for (auto& v : v_) std::fill(v.begin(), v.end(), 0.0f);
+  }
+
+ private:
+  std::vector<ParameterBlock*> blocks_;
+  AdamOptions options_;
+  std::string name_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace
+
+std::unique_ptr<Optimizer> MakeSgd(std::vector<ParameterBlock*> blocks,
+                                   const SgdOptions& options) {
+  return std::make_unique<SgdOptimizer>(std::move(blocks), options);
+}
+
+std::unique_ptr<Optimizer> MakeAdagrad(std::vector<ParameterBlock*> blocks,
+                                       const AdagradOptions& options) {
+  return std::make_unique<AdagradOptimizer>(std::move(blocks), options);
+}
+
+std::unique_ptr<Optimizer> MakeAdam(std::vector<ParameterBlock*> blocks,
+                                    const AdamOptions& options) {
+  return std::make_unique<AdamOptimizer>(std::move(blocks), options);
+}
+
+Result<std::unique_ptr<Optimizer>> MakeOptimizer(
+    const std::string& name, std::vector<ParameterBlock*> blocks,
+    double learning_rate) {
+  if (name == "sgd") {
+    SgdOptions options;
+    options.learning_rate = learning_rate;
+    return MakeSgd(std::move(blocks), options);
+  }
+  if (name == "adagrad") {
+    AdagradOptions options;
+    options.learning_rate = learning_rate;
+    return MakeAdagrad(std::move(blocks), options);
+  }
+  if (name == "adam") {
+    AdamOptions options;
+    options.learning_rate = learning_rate;
+    return MakeAdam(std::move(blocks), options);
+  }
+  return Status::InvalidArgument("unknown optimizer: " + name);
+}
+
+}  // namespace kge

@@ -1,0 +1,67 @@
+// Sparse first-order optimizers over ParameterBlocks. Each Apply() step
+// consumes one GradientBuffer (a mini-batch worth of per-row gradients)
+// and performs a descent update on exactly the touched rows ("lazy"
+// updates — the standard approach for embedding models, where a batch
+// touches a tiny fraction of rows).
+//
+// The paper trains with "SGD with learning rates auto-tuned by Adam"
+// (§5.3); Adam is the default in all benches. SGD and Adagrad are
+// provided for ablations.
+#ifndef KGE_OPTIM_OPTIMIZER_H_
+#define KGE_OPTIM_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parameter_block.h"
+#include "util/status.h"
+
+namespace kge {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Applies one descent step for all rows touched in `grads`. The buffer's
+  // block list must be the one this optimizer was constructed with.
+  virtual void Apply(const GradientBuffer& grads) = 0;
+
+  // Resets all optimizer state (moments, step counters).
+  virtual void Reset() = 0;
+};
+
+struct SgdOptions {
+  double learning_rate = 0.1;
+};
+
+struct AdagradOptions {
+  double learning_rate = 0.1;
+  double epsilon = 1e-8;
+};
+
+struct AdamOptions {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+std::unique_ptr<Optimizer> MakeSgd(std::vector<ParameterBlock*> blocks,
+                                   const SgdOptions& options);
+std::unique_ptr<Optimizer> MakeAdagrad(std::vector<ParameterBlock*> blocks,
+                                       const AdagradOptions& options);
+std::unique_ptr<Optimizer> MakeAdam(std::vector<ParameterBlock*> blocks,
+                                    const AdamOptions& options);
+
+// Factory by name ("sgd" | "adagrad" | "adam") with the given learning
+// rate and otherwise default options.
+Result<std::unique_ptr<Optimizer>> MakeOptimizer(
+    const std::string& name, std::vector<ParameterBlock*> blocks,
+    double learning_rate);
+
+}  // namespace kge
+
+#endif  // KGE_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,19 @@
+#include "train/early_stopping.h"
+
+namespace kge {
+
+bool EarlyStopping::Observe(int epoch, double metric) {
+  if (!has_observation() || metric > best_metric_ + min_delta_) {
+    best_metric_ = metric;
+    best_epoch_ = epoch;
+    return true;
+  }
+  return false;
+}
+
+bool EarlyStopping::ShouldStop(int epoch) const {
+  if (!has_observation()) return false;
+  return epoch - best_epoch_ >= patience_epochs_;
+}
+
+}  // namespace kge

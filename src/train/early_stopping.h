@@ -1,0 +1,37 @@
+// Early stopping on a validation metric (§5.3: "All training runs were
+// stopped early by checking the filtered MRR on the validation set after
+// every 50 epochs, with 100 epochs patient").
+#ifndef KGE_TRAIN_EARLY_STOPPING_H_
+#define KGE_TRAIN_EARLY_STOPPING_H_
+
+#include <cstdint>
+
+namespace kge {
+
+class EarlyStopping {
+ public:
+  // `patience_epochs`: stop when no improvement for this many epochs.
+  // `min_delta`: improvements smaller than this do not reset patience.
+  explicit EarlyStopping(int patience_epochs, double min_delta = 0.0)
+      : patience_epochs_(patience_epochs), min_delta_(min_delta) {}
+
+  // Records a validation metric (higher = better) observed at `epoch`.
+  // Returns true if this is a new best.
+  bool Observe(int epoch, double metric);
+
+  bool ShouldStop(int epoch) const;
+
+  double best_metric() const { return best_metric_; }
+  int best_epoch() const { return best_epoch_; }
+  bool has_observation() const { return best_epoch_ >= 0; }
+
+ private:
+  int patience_epochs_;
+  double min_delta_;
+  double best_metric_ = -1e300;
+  int best_epoch_ = -1;
+};
+
+}  // namespace kge
+
+#endif  // KGE_TRAIN_EARLY_STOPPING_H_

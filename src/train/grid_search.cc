@@ -1,0 +1,57 @@
+#include "train/grid_search.h"
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace kge {
+
+std::string GridPoint::ToString() const {
+  return StrFormat("lr=%g lambda=%g batch=%d", learning_rate, l2_lambda,
+                   batch_size);
+}
+
+std::vector<GridPoint> GridSearch::Points() const {
+  std::vector<GridPoint> points;
+  for (double lr : space_.learning_rates) {
+    for (double lambda : space_.l2_lambdas) {
+      for (int batch : space_.batch_sizes) {
+        points.push_back({lr, lambda, batch});
+      }
+    }
+  }
+  return points;
+}
+
+Result<GridSearchResult> GridSearch::Run(
+    const ModelFactory& make_model, const std::vector<Triple>& train,
+    const ValidateFn& validate) const {
+  const std::vector<GridPoint> points = Points();
+  if (points.empty()) return Status::InvalidArgument("empty grid");
+
+  GridSearchResult result;
+  bool have_best = false;
+  for (const GridPoint& point : points) {
+    std::unique_ptr<KgeModel> model = make_model();
+    if (model == nullptr) return Status::InvalidArgument("null model");
+    TrainerOptions options = base_options_;
+    options.learning_rate = point.learning_rate;
+    options.l2_lambda = point.l2_lambda;
+    options.batch_size = point.batch_size;
+    Trainer trainer(model.get(), options);
+    Result<TrainResult> train_result = trainer.Train(
+        train, [&](int) { return validate(model.get()); });
+    if (!train_result.ok()) return train_result.status();
+    const double metric = validate(model.get());
+    KGE_LOG(Info) << "grid point " << point.ToString() << " -> " << metric;
+    result.all.emplace_back(point, metric);
+    if (!have_best || metric > result.best_metric) {
+      have_best = true;
+      result.best = point;
+      result.best_metric = metric;
+      result.best_train_result = *train_result;
+    }
+  }
+  return result;
+}
+
+}  // namespace kge

@@ -1,0 +1,69 @@
+// Hyperparameter grid search, as the paper runs it (§5.3): "we found
+// good hyperparameters with grid search on learning rates ∈ {1e-3, 1e-4},
+// embedding regularization strengths ∈ {1e-2 ... 0}, and batch sizes
+// ∈ {2^12, 2^14}", selecting by validation filtered MRR.
+#ifndef KGE_TRAIN_GRID_SEARCH_H_
+#define KGE_TRAIN_GRID_SEARCH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kg/triple.h"
+#include "models/kge_model.h"
+#include "train/trainer.h"
+#include "util/status.h"
+
+namespace kge {
+
+struct GridSearchSpace {
+  std::vector<double> learning_rates = {1e-3, 1e-4};
+  std::vector<double> l2_lambdas = {1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 0.0};
+  std::vector<int> batch_sizes = {1 << 12, 1 << 14};
+};
+
+struct GridPoint {
+  double learning_rate = 0.0;
+  double l2_lambda = 0.0;
+  int batch_size = 0;
+  std::string ToString() const;
+};
+
+struct GridSearchResult {
+  GridPoint best;
+  double best_metric = 0.0;
+  TrainResult best_train_result;
+  // One entry per evaluated point, in evaluation order.
+  std::vector<std::pair<GridPoint, double>> all;
+};
+
+class GridSearch {
+ public:
+  // `make_model` constructs a fresh model per grid point (same seed →
+  // comparable inits). `validate` computes the selection metric (higher
+  // is better; typically validation filtered MRR) for the trained model.
+  using ModelFactory = std::function<std::unique_ptr<KgeModel>()>;
+  using ValidateFn = std::function<double(KgeModel*)>;
+
+  GridSearch(GridSearchSpace space, TrainerOptions base_options)
+      : space_(std::move(space)), base_options_(base_options) {}
+
+  // Trains one model per grid point and returns the best configuration.
+  // The per-epoch early-stopping validation inside Trainer still runs
+  // through `validate` as well.
+  Result<GridSearchResult> Run(const ModelFactory& make_model,
+                               const std::vector<Triple>& train,
+                               const ValidateFn& validate) const;
+
+  // All points in the space, in sweep order.
+  std::vector<GridPoint> Points() const;
+
+ private:
+  GridSearchSpace space_;
+  TrainerOptions base_options_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_TRAIN_GRID_SEARCH_H_

@@ -1,0 +1,31 @@
+#include "train/loss.h"
+
+#include "math/activations.h"
+#include "util/check.h"
+
+namespace kge {
+
+double LogisticLoss(double score, double label) {
+  KGE_DCHECK(label == 1.0 || label == -1.0);
+  return Softplus(-label * score);
+}
+
+double LogisticLossGradient(double score, double label) {
+  KGE_DCHECK(label == 1.0 || label == -1.0);
+  return -label * Sigmoid(-label * score);
+}
+
+double PredictedProbability(double score) { return Sigmoid(score); }
+
+double MarginRankingLoss(double positive_score, double negative_score,
+                         double margin) {
+  const double violation = margin - positive_score + negative_score;
+  return violation > 0.0 ? violation : 0.0;
+}
+
+bool MarginIsViolated(double positive_score, double negative_score,
+                      double margin) {
+  return margin - positive_score + negative_score > 0.0;
+}
+
+}  // namespace kge

@@ -1,0 +1,32 @@
+// The negative log-likelihood / logistic loss of Eq. (15)/(16):
+//   L = log(1 + exp(−y · S)),  y ∈ {−1, +1}
+// with dL/dS = −y · σ(−y · S).
+#ifndef KGE_TRAIN_LOSS_H_
+#define KGE_TRAIN_LOSS_H_
+
+namespace kge {
+
+// Loss for one example with score `s` and label `y` (+1 valid, −1 invalid).
+double LogisticLoss(double score, double label);
+
+// dL/dS for the same example.
+double LogisticLossGradient(double score, double label);
+
+// Predicted probability that the triple is valid: σ(S).
+double PredictedProbability(double score);
+
+// Margin ranking loss over a (positive, negative) score pair — the
+// objective the translation-based family (TransE/TransH, §2.2.1) was
+// originally trained with:
+//   L = max(0, margin − s_pos + s_neg)
+double MarginRankingLoss(double positive_score, double negative_score,
+                         double margin);
+
+// True when the pair is inside the margin, i.e. gradients flow:
+// dL/ds_pos = −1 and dL/ds_neg = +1.
+bool MarginIsViolated(double positive_score, double negative_score,
+                      double margin);
+
+}  // namespace kge
+
+#endif  // KGE_TRAIN_LOSS_H_

@@ -1,0 +1,177 @@
+#include "train/one_vs_all.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/interaction.h"
+#include "math/activations.h"
+#include "math/vec_ops.h"
+#include "train/early_stopping.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace kge {
+
+OneVsAllTrainer::OneVsAllTrainer(MultiEmbeddingModel* model,
+                                 const OneVsAllOptions& options)
+    : model_(model), options_(options) {
+  KGE_CHECK(model_ != nullptr);
+  KGE_CHECK(options_.batch_queries > 0);
+  blocks_ = model_->Blocks();
+  Result<std::unique_ptr<Optimizer>> optimizer =
+      MakeOptimizer(options_.optimizer, blocks_, options_.learning_rate);
+  KGE_CHECK_OK(optimizer.status());
+  optimizer_ = std::move(*optimizer);
+  grads_ = std::make_unique<GradientBuffer>(blocks_);
+}
+
+void OneVsAllTrainer::BuildQueries(
+    const std::vector<Triple>& train_triples) {
+  std::unordered_map<uint64_t, size_t> index_of;
+  queries_.clear();
+  for (const Triple& t : train_triples) {
+    const uint64_t key =
+        (uint64_t(uint32_t(t.head)) << 32) | uint32_t(t.relation);
+    auto [it, inserted] = index_of.try_emplace(key, queries_.size());
+    if (inserted) {
+      queries_.push_back({t.head, t.relation, {}});
+    }
+    queries_[it->second].tails.push_back(t.tail);
+  }
+  for (Query& q : queries_) {
+    std::sort(q.tails.begin(), q.tails.end());
+    q.tails.erase(std::unique(q.tails.begin(), q.tails.end()),
+                  q.tails.end());
+  }
+}
+
+double OneVsAllTrainer::ProcessQuery(const Query& query,
+                                     GradientBuffer* grads,
+                                     std::vector<float>* scratch_scores,
+                                     std::vector<float>* scratch_fold,
+                                     std::vector<float>* scratch_dfold) {
+  const int32_t num_entities = model_->num_entities();
+  const WeightTable& weights = model_->weights();
+  const int32_t dim = model_->dim();
+  const EmbeddingStore& entities = model_->entity_store();
+  const auto h = entities.Of(query.head);
+  const auto r = model_->relation_store().Of(query.relation);
+
+  std::vector<float>& fold = *scratch_fold;
+  fold.resize(size_t(weights.ne()) * size_t(dim));
+  FoldForTail(weights, dim, h, r, fold);
+
+  std::vector<float>& scores = *scratch_scores;
+  scores.resize(size_t(num_entities));
+  for (int32_t e = 0; e < num_entities; ++e) {
+    scores[size_t(e)] = static_cast<float>(Dot(fold, entities.Of(e)));
+  }
+
+  // Labels with optional smoothing.
+  const double ls = options_.label_smoothing;
+  const double negative_label = ls / double(num_entities);
+  const double positive_label = 1.0 - ls + negative_label;
+
+  std::vector<float>& dfold = *scratch_dfold;
+  dfold.assign(fold.size(), 0.0f);
+  double loss = 0.0;
+  size_t tail_cursor = 0;
+  for (int32_t e = 0; e < num_entities; ++e) {
+    while (tail_cursor < query.tails.size() && query.tails[tail_cursor] < e) {
+      ++tail_cursor;
+    }
+    const bool is_positive =
+        tail_cursor < query.tails.size() && query.tails[tail_cursor] == e;
+    const double label = is_positive ? positive_label : negative_label;
+    const double s = scores[size_t(e)];
+    // Stable BCE-with-logits: softplus(s) − y·s.
+    loss += Softplus(s) - label * s;
+    const float g = static_cast<float>(Sigmoid(s) - label);
+    if (g == 0.0f) continue;
+    // dL/dt_e += g * fold.
+    Axpy(g, fold, grads->GradFor(MultiEmbeddingModel::kEntityBlock, e));
+    // dL/dfold += g * t_e.
+    Axpy(g, entities.Of(e), dfold);
+  }
+
+  // Backpropagate dfold into h and r via the transposed folds.
+  std::span<float> gh =
+      grads->GradFor(MultiEmbeddingModel::kEntityBlock, query.head);
+  std::span<float> gr =
+      grads->GradFor(MultiEmbeddingModel::kRelationBlock, query.relation);
+  std::vector<float> tmp(gh.size());
+  FoldForHead(weights, dim, dfold, r, tmp);
+  for (size_t d = 0; d < gh.size(); ++d) gh[d] += tmp[d];
+  std::vector<float> tmp_r(gr.size());
+  FoldForRelation(weights, dim, h, dfold, tmp_r);
+  for (size_t d = 0; d < gr.size(); ++d) gr[d] += tmp_r[d];
+  return loss;
+}
+
+double OneVsAllTrainer::RunEpoch(Rng* rng) {
+  std::vector<size_t> order(queries_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  std::vector<float> scratch_scores, scratch_fold, scratch_dfold;
+  double total_loss = 0.0;
+  const size_t batch = size_t(options_.batch_queries);
+  for (size_t begin = 0; begin < order.size(); begin += batch) {
+    const size_t end = std::min(begin + batch, order.size());
+    grads_->Clear();
+    for (size_t i = begin; i < end; ++i) {
+      total_loss += ProcessQuery(queries_[order[i]], grads_.get(),
+                                 &scratch_scores, &scratch_fold,
+                                 &scratch_dfold);
+    }
+    optimizer_->Apply(*grads_);
+  }
+  return queries_.empty() ? 0.0 : total_loss / double(queries_.size());
+}
+
+Result<TrainResult> OneVsAllTrainer::Train(
+    const std::vector<Triple>& train_triples, const ValidationFn& validate) {
+  if (train_triples.empty())
+    return Status::InvalidArgument("empty training set");
+  BuildQueries(train_triples);
+
+  Rng rng(options_.seed);
+  EarlyStopping stopping(options_.patience_epochs);
+  std::vector<std::vector<float>> best_snapshot;
+  TrainResult result;
+  for (int epoch = 1; epoch <= options_.max_epochs; ++epoch) {
+    const double mean_loss = RunEpoch(&rng);
+    result.epochs_run = epoch;
+    result.final_mean_loss = mean_loss;
+    result.loss_history.push_back(mean_loss);
+    if (validate && epoch % options_.eval_every_epochs == 0) {
+      const double metric = validate(epoch);
+      result.validation_history.emplace_back(epoch, metric);
+      if (stopping.Observe(epoch, metric) && options_.restore_best) {
+        best_snapshot.clear();
+        for (ParameterBlock* block : blocks_) {
+          const auto flat = block->Flat();
+          best_snapshot.emplace_back(flat.begin(), flat.end());
+        }
+      }
+      if (stopping.ShouldStop(epoch)) {
+        result.stopped_early = true;
+        break;
+      }
+    }
+  }
+  if (stopping.has_observation()) {
+    result.best_validation_metric = stopping.best_metric();
+    result.best_epoch = stopping.best_epoch();
+    if (options_.restore_best && !best_snapshot.empty()) {
+      for (size_t b = 0; b < blocks_.size(); ++b) {
+        const auto flat = blocks_[b]->Flat();
+        std::copy(best_snapshot[b].begin(), best_snapshot[b].end(),
+                  flat.begin());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kge

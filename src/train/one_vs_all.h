@@ -1,0 +1,81 @@
+// 1-N ("KvsAll") training for multi-embedding interaction models — the
+// regime ConvE introduced and modern trilinear implementations adopt:
+// instead of sampling negatives, each training query (h, ?, r) is scored
+// against EVERY entity at once and trained with multi-label binary
+// cross-entropy, where the positive labels are all tails known in the
+// training set.
+//
+// This exploits the fold structure of Eq. (8): per query the scores are
+// one fold (O(|ω|·D)) plus N dot products, and the full gradient is
+//   dL/ds_e    = σ(s_e) − y_e
+//   dL/dt_e    = (σ(s_e) − y_e) · fold            (every entity row!)
+//   dL/dfold   = Σ_e (σ(s_e) − y_e) · t_e
+//   dL/dh, dL/dr = the transposed folds of dL/dfold.
+//
+// Head queries are covered by training on inverse-augmented triples
+// (kg/augmentation.h), as ConvE does with reciprocal relations.
+#ifndef KGE_TRAIN_ONE_VS_ALL_H_
+#define KGE_TRAIN_ONE_VS_ALL_H_
+
+#include <functional>
+#include <vector>
+
+#include "models/trilinear_models.h"
+#include "optim/optimizer.h"
+#include "train/trainer.h"
+#include "util/status.h"
+
+namespace kge {
+
+struct OneVsAllOptions {
+  int max_epochs = 200;
+  // Queries (distinct (h, r) pairs) per optimizer step.
+  int batch_queries = 128;
+  std::string optimizer = "adam";
+  double learning_rate = 1e-3;
+  // ConvE-style label smoothing: y := y(1 − ls) + ls/N.
+  double label_smoothing = 0.0;
+  int eval_every_epochs = 20;
+  int patience_epochs = 60;
+  bool restore_best = true;
+  uint64_t seed = 1234;
+};
+
+class OneVsAllTrainer {
+ public:
+  using ValidationFn = std::function<double(int epoch)>;
+
+  OneVsAllTrainer(MultiEmbeddingModel* model, const OneVsAllOptions& options);
+
+  // Trains on the tail queries of `train_triples` (augment with inverses
+  // beforehand to cover head queries).
+  Result<TrainResult> Train(const std::vector<Triple>& train_triples,
+                            const ValidationFn& validate);
+
+  // One pass over all queries; returns mean per-query loss.
+  double RunEpoch(Rng* rng);
+
+ private:
+  struct Query {
+    EntityId head;
+    RelationId relation;
+    std::vector<EntityId> tails;
+  };
+  void BuildQueries(const std::vector<Triple>& train_triples);
+  // Accumulates loss gradients for one query; returns its BCE loss.
+  double ProcessQuery(const Query& query, GradientBuffer* grads,
+                      std::vector<float>* scratch_scores,
+                      std::vector<float>* scratch_fold,
+                      std::vector<float>* scratch_dfold);
+
+  MultiEmbeddingModel* model_;
+  OneVsAllOptions options_;
+  std::vector<Query> queries_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<GradientBuffer> grads_;
+  std::vector<ParameterBlock*> blocks_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_TRAIN_ONE_VS_ALL_H_

@@ -1,0 +1,263 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "math/activations.h"
+#include "optim/constraints.h"
+#include "train/early_stopping.h"
+#include "train/loss.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace kge {
+
+Trainer::Trainer(KgeModel* model, const TrainerOptions& options)
+    : model_(model), options_(options) {
+  KGE_CHECK(model_ != nullptr);
+  KGE_CHECK(options_.batch_size > 0 && options_.num_negatives >= 0);
+  KGE_CHECK(options_.num_threads >= 1);
+  blocks_ = model_->Blocks();
+  Result<std::unique_ptr<Optimizer>> optimizer =
+      MakeOptimizer(options_.optimizer, blocks_, options_.learning_rate);
+  KGE_CHECK_OK(optimizer.status());
+  optimizer_ = std::move(*optimizer);
+  grads_ = std::make_unique<GradientBuffer>(blocks_);
+  if (options_.num_threads > 1 && model_->SupportsParallelGradients()) {
+    pool_ = std::make_unique<ThreadPool>(size_t(options_.num_threads));
+    for (int s = 0; s < options_.num_threads; ++s) {
+      shard_grads_.push_back(std::make_unique<GradientBuffer>(blocks_));
+    }
+  }
+}
+
+void Trainer::ProcessRange(const std::vector<Triple>& train_triples,
+                           const std::vector<size_t>& order, size_t begin,
+                           size_t end, const NegativeSampler& sampler,
+                           Rng* rng, GradientBuffer* grads, double* loss,
+                           size_t* examples) const {
+  L2Regularizer regularizer(options_.l2_lambda);
+  std::vector<std::pair<size_t, int64_t>> reg_rows;
+  auto add_l2 = [&](const Triple& triple) {
+    if (options_.l2_lambda <= 0.0) return;
+    // Regularize exactly the parameter rows this example's score read
+    // (Eq. 16's per-triple Θ). Block indices 0/1 = entity/relation by the
+    // KgeModel convention.
+    reg_rows.clear();
+    reg_rows.emplace_back(0, triple.head);
+    reg_rows.emplace_back(0, triple.tail);
+    reg_rows.emplace_back(1, triple.relation);
+    *loss += regularizer.Accumulate(grads, reg_rows);
+  };
+  const double negative_scale =
+      options_.normalize_negatives && options_.num_negatives > 1
+          ? 1.0 / double(options_.num_negatives)
+          : 1.0;
+  auto train_example = [&](const Triple& triple, double label,
+                           double scale_override = -1.0) {
+    const double scale = scale_override >= 0.0
+                             ? scale_override
+                             : (label < 0.0 ? negative_scale : 1.0);
+    const double score = model_->Score(triple);
+    *loss += scale * LogisticLoss(score, label);
+    const float dscore =
+        static_cast<float>(scale * LogisticLossGradient(score, label));
+    model_->AccumulateGradients(triple, dscore, grads);
+    add_l2(triple);
+    ++*examples;
+  };
+
+  const bool adversarial =
+      options_.self_adversarial && options_.num_negatives > 1;
+  std::vector<Triple> negatives;
+  std::vector<double> negative_scores;
+  std::vector<double> weights;
+
+  for (size_t i = begin; i < end; ++i) {
+    const Triple& positive = train_triples[order[i]];
+    if (options_.loss == LossKind::kLogistic) {
+      train_example(positive, 1.0);
+      if (adversarial) {
+        // Weight the negatives by softmax(alpha * score): hard (highly
+        // scored) corruptions dominate the gradient.
+        negatives.clear();
+        negative_scores.clear();
+        for (int n = 0; n < options_.num_negatives; ++n) {
+          negatives.push_back(sampler.Sample(positive, rng));
+          negative_scores.push_back(options_.adversarial_temperature *
+                                    model_->Score(negatives.back()));
+        }
+        weights.resize(negatives.size());
+        Softmax(negative_scores, weights);
+        for (size_t n = 0; n < negatives.size(); ++n) {
+          // The weight is treated as a constant (no gradient through the
+          // softmax), as in the original formulation.
+          train_example(negatives[n], -1.0, weights[n]);
+        }
+      } else {
+        for (int n = 0; n < options_.num_negatives; ++n) {
+          train_example(sampler.Sample(positive, rng), -1.0);
+        }
+      }
+    } else {
+      // Margin ranking: one hinge per (positive, negative) pair.
+      const double positive_score = model_->Score(positive);
+      for (int n = 0; n < options_.num_negatives; ++n) {
+        const Triple negative = sampler.Sample(positive, rng);
+        const double negative_score = model_->Score(negative);
+        *loss += MarginRankingLoss(positive_score, negative_score,
+                                   options_.margin);
+        ++*examples;
+        if (MarginIsViolated(positive_score, negative_score,
+                             options_.margin)) {
+          model_->AccumulateGradients(positive, -1.0f, grads);
+          model_->AccumulateGradients(negative, 1.0f, grads);
+        }
+        add_l2(negative);
+      }
+      add_l2(positive);
+    }
+  }
+}
+
+void Trainer::MergeGradients(const GradientBuffer& src) {
+  src.ForEach([&](size_t block, int64_t row, std::span<const float> grad) {
+    std::span<float> acc = grads_->GradFor(block, row);
+    for (size_t d = 0; d < grad.size(); ++d) acc[d] += grad[d];
+  });
+}
+
+double Trainer::RunEpoch(const std::vector<Triple>& train_triples,
+                         const NegativeSampler& sampler, Rng* rng) {
+  std::vector<size_t> order(train_triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  std::vector<EntityId> touched_entities;
+  double total_loss = 0.0;
+  size_t total_examples = 0;
+  const bool parallel = pool_ != nullptr;
+
+  const size_t batch_size = size_t(options_.batch_size);
+  for (size_t begin = 0; begin < order.size(); begin += batch_size) {
+    const size_t end = std::min(begin + batch_size, order.size());
+    grads_->Clear();
+    model_->BeginBatch();
+    ++batch_counter_;
+
+    if (!parallel) {
+      ProcessRange(train_triples, order, begin, end, sampler, rng,
+                   grads_.get(), &total_loss, &total_examples);
+    } else {
+      // Fixed shards; per-shard RNG derived from (seed, batch, shard) so
+      // results are deterministic for a fixed thread count.
+      const size_t shards = shard_grads_.size();
+      const size_t count = end - begin;
+      const size_t chunk = (count + shards - 1) / shards;
+      std::vector<double> shard_loss(shards, 0.0);
+      std::vector<size_t> shard_examples(shards, 0);
+      for (size_t s = 0; s < shards; ++s) {
+        const size_t sb = begin + std::min(count, s * chunk);
+        const size_t se = begin + std::min(count, (s + 1) * chunk);
+        pool_->Schedule([this, &train_triples, &order, sb, se, &sampler,
+                         &shard_loss, &shard_examples, s] {
+          Rng shard_rng(options_.seed ^ (batch_counter_ * 0x9E3779B97F4AULL) ^
+                        (s * 0xBF58476D1CE4ULL));
+          shard_grads_[s]->Clear();
+          ProcessRange(train_triples, order, sb, se, sampler, &shard_rng,
+                       shard_grads_[s].get(), &shard_loss[s],
+                       &shard_examples[s]);
+        });
+      }
+      pool_->Wait();
+      for (size_t s = 0; s < shards; ++s) {
+        MergeGradients(*shard_grads_[s]);
+        total_loss += shard_loss[s];
+        total_examples += shard_examples[s];
+      }
+    }
+
+    total_loss += model_->FinishBatch(grads_.get());
+    optimizer_->Apply(*grads_);
+    if (options_.unit_norm_entities) {
+      CollectTouchedRows(*grads_, 0, &touched_entities);
+      model_->NormalizeEntities(touched_entities);
+    }
+  }
+  return total_examples == 0 ? 0.0 : total_loss / double(total_examples);
+}
+
+std::vector<std::vector<float>> Trainer::SnapshotParameters() const {
+  std::vector<std::vector<float>> snapshot;
+  snapshot.reserve(blocks_.size());
+  for (const ParameterBlock* block : blocks_) {
+    const auto flat = block->Flat();
+    snapshot.emplace_back(flat.begin(), flat.end());
+  }
+  return snapshot;
+}
+
+void Trainer::RestoreParameters(
+    const std::vector<std::vector<float>>& snapshot) {
+  KGE_CHECK(snapshot.size() == blocks_.size());
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    const auto flat = blocks_[b]->Flat();
+    KGE_CHECK(snapshot[b].size() == flat.size());
+    std::copy(snapshot[b].begin(), snapshot[b].end(), flat.begin());
+  }
+}
+
+Result<TrainResult> Trainer::Train(const std::vector<Triple>& train_triples,
+                                   const ValidationFn& validate) {
+  if (train_triples.empty())
+    return Status::InvalidArgument("empty training set");
+
+  NegativeSamplerOptions sampler_options;
+  sampler_options.side = options_.corruption_side;
+  NegativeSampler sampler(model_->num_entities(), model_->num_relations(),
+                          train_triples, sampler_options);
+  Rng rng(options_.seed);
+
+  EarlyStopping stopping(options_.patience_epochs);
+  std::vector<std::vector<float>> best_snapshot;
+  TrainResult result;
+
+  for (int epoch = 1; epoch <= options_.max_epochs; ++epoch) {
+    const double mean_loss = RunEpoch(train_triples, sampler, &rng);
+    result.epochs_run = epoch;
+    result.final_mean_loss = mean_loss;
+    result.loss_history.push_back(mean_loss);
+    if (options_.log_every_epochs > 0 &&
+        epoch % options_.log_every_epochs == 0) {
+      KGE_LOG(Info) << model_->name() << " epoch " << epoch << " loss "
+                    << mean_loss;
+    }
+    if (validate && epoch % options_.eval_every_epochs == 0) {
+      const double metric = validate(epoch);
+      result.validation_history.emplace_back(epoch, metric);
+      if (stopping.Observe(epoch, metric)) {
+        if (options_.restore_best) best_snapshot = SnapshotParameters();
+      }
+      if (options_.log_every_epochs > 0) {
+        KGE_LOG(Info) << model_->name() << " epoch " << epoch
+                      << " validation " << metric << " (best "
+                      << stopping.best_metric() << " @ "
+                      << stopping.best_epoch() << ")";
+      }
+      if (stopping.ShouldStop(epoch)) {
+        result.stopped_early = true;
+        break;
+      }
+    }
+  }
+  if (stopping.has_observation()) {
+    result.best_validation_metric = stopping.best_metric();
+    result.best_epoch = stopping.best_epoch();
+    if (options_.restore_best && !best_snapshot.empty()) {
+      RestoreParameters(best_snapshot);
+    }
+  }
+  return result;
+}
+
+}  // namespace kge

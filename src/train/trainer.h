@@ -1,0 +1,138 @@
+// Trainer: the full §4/§5.3 training loop — shuffled mini-batches,
+// negative sampling, logistic loss, L2 regularization, an optimizer over
+// the model's parameter blocks, the unit-norm entity constraint, and
+// periodic validation with early stopping (restoring the best
+// checkpoint).
+#ifndef KGE_TRAIN_TRAINER_H_
+#define KGE_TRAIN_TRAINER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kg/negative_sampler.h"
+#include "kg/triple.h"
+#include "models/kge_model.h"
+#include "optim/optimizer.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace kge {
+
+enum class LossKind {
+  // Negative log-likelihood / logistic loss of Eq. (15)/(16) — the
+  // paper's objective.
+  kLogistic,
+  // Margin ranking loss over (positive, negative) pairs — the
+  // translation family's native objective (Bordes et al.).
+  kMarginRanking,
+};
+
+struct TrainerOptions {
+  int max_epochs = 500;
+  int batch_size = 512;
+  LossKind loss = LossKind::kLogistic;
+  // Margin γ for LossKind::kMarginRanking.
+  double margin = 1.0;
+  int num_negatives = 1;  // negatives per positive (paper: 1)
+  // When true, each negative example's loss (and gradient) is scaled by
+  // 1/num_negatives so that the positive:negative gradient mass stays
+  // balanced as num_negatives grows. Eq. (15) sums unscaled; this option
+  // is the standard variant that lets many negatives help rather than
+  // drown the positives at a fixed epoch budget.
+  bool normalize_negatives = false;
+  // Self-adversarial negative weighting (Sun et al., RotatE): with
+  // num_negatives > 1, weight each negative's loss by
+  // softmax(alpha * score) across the positive's negatives, focusing
+  // gradient on the hardest (highest-scoring) corruptions. Overrides
+  // normalize_negatives (the softmax weights already sum to 1).
+  bool self_adversarial = false;
+  double adversarial_temperature = 1.0;
+  std::string optimizer = "adam";
+  double learning_rate = 1e-3;
+  // L2 regularization strength λ of Eq. (16); 0 disables.
+  double l2_lambda = 0.0;
+  // Unit L2-norm constraint on entity embedding vectors after each
+  // iteration (paper §5.3).
+  bool unit_norm_entities = true;
+  // Corruption-side policy for negative sampling.
+  CorruptionSide corruption_side = CorruptionSide::kUniform;
+  // Validation cadence and patience, in epochs (paper: 50 / 100).
+  int eval_every_epochs = 50;
+  int patience_epochs = 100;
+  // Restore the best-validation parameters at the end of training.
+  bool restore_best = true;
+  uint64_t seed = 1234;
+  // Log progress every N epochs (0 = silent).
+  int log_every_epochs = 0;
+  // Gradient-computation threads per batch. With T > 1 each batch is
+  // split into T fixed shards whose gradients are computed concurrently
+  // into per-shard buffers and merged in shard order, so results are
+  // deterministic for a fixed T (but differ from T = 1, which uses a
+  // single sampling stream). Falls back to serial for models whose
+  // AccumulateGradients is not thread-safe (KgeModel::
+  // SupportsParallelGradients).
+  int num_threads = 1;
+};
+
+struct TrainResult {
+  int epochs_run = 0;
+  double final_mean_loss = 0.0;
+  double best_validation_metric = 0.0;
+  int best_epoch = -1;
+  bool stopped_early = false;
+  // Mean per-example loss after each epoch (learning curve).
+  std::vector<double> loss_history;
+  // (epoch, metric) for every validation performed.
+  std::vector<std::pair<int, double>> validation_history;
+};
+
+class Trainer {
+ public:
+  // `validate` is called with the current epoch and must return the
+  // validation metric (higher = better, typically filtered MRR); pass
+  // nullptr to train for max_epochs without early stopping.
+  using ValidationFn = std::function<double(int epoch)>;
+
+  Trainer(KgeModel* model, const TrainerOptions& options);
+
+  // Trains on `train_triples` (entity/relation ids must be within the
+  // model's ranges).
+  Result<TrainResult> Train(const std::vector<Triple>& train_triples,
+                            const ValidationFn& validate);
+
+  // Runs a single epoch and returns its mean per-example loss (exposed
+  // for tests and custom loops).
+  double RunEpoch(const std::vector<Triple>& train_triples,
+                  const NegativeSampler& sampler, Rng* rng);
+
+ private:
+  // Accumulates loss gradients (and L2) for order[begin..end) into
+  // `grads`; adds to *loss and *examples. Thread-compatible: touches only
+  // the given buffer and rng.
+  void ProcessRange(const std::vector<Triple>& train_triples,
+                    const std::vector<size_t>& order, size_t begin,
+                    size_t end, const NegativeSampler& sampler, Rng* rng,
+                    GradientBuffer* grads, double* loss,
+                    size_t* examples) const;
+  // Adds src's accumulated gradients into grads_.
+  void MergeGradients(const GradientBuffer& src);
+
+  KgeModel* model_;
+  TrainerOptions options_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<GradientBuffer> grads_;
+  // Parallel gradient computation state (num_threads > 1).
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<GradientBuffer>> shard_grads_;
+  uint64_t batch_counter_ = 0;
+
+  // Snapshot/restore of all parameter blocks for restore_best.
+  std::vector<std::vector<float>> SnapshotParameters() const;
+  void RestoreParameters(const std::vector<std::vector<float>>& snapshot);
+  std::vector<ParameterBlock*> blocks_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_TRAIN_TRAINER_H_

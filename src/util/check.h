@@ -1,0 +1,45 @@
+// CHECK macros for programmer-error invariants (always on, also in release
+// builds), in the style of database systems' assertion macros. Use Status
+// (util/status.h) for expected runtime failures instead.
+#ifndef KGE_UTIL_CHECK_H_
+#define KGE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kge::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "FATAL %s:%d: KGE_CHECK(%s) failed\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace kge::internal
+
+#define KGE_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) ::kge::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#define KGE_CHECK_OK(expr)                                                 \
+  do {                                                                     \
+    ::kge::Status kge_check_status_ = (expr);                              \
+    if (!kge_check_status_.ok()) {                                         \
+      std::fprintf(stderr, "FATAL %s:%d: status not OK: %s\n", __FILE__,   \
+                   __LINE__, kge_check_status_.ToString().c_str());        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// Debug-only check for hot paths; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define KGE_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define KGE_DCHECK(expr) KGE_CHECK(expr)
+#endif
+
+#endif  // KGE_UTIL_CHECK_H_

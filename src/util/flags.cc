@@ -1,0 +1,126 @@
+#include "util/flags.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace kge {
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::AddInt(const std::string& name, int64_t* value,
+                        const std::string& help) {
+  KGE_CHECK(FindFlag(name) == nullptr);
+  flags_.push_back(
+      {name, Type::kInt, value, help, StrFormat("%lld", (long long)*value)});
+}
+
+void FlagParser::AddDouble(const std::string& name, double* value,
+                           const std::string& help) {
+  KGE_CHECK(FindFlag(name) == nullptr);
+  flags_.push_back({name, Type::kDouble, value, help, StrFormat("%g", *value)});
+}
+
+void FlagParser::AddBool(const std::string& name, bool* value,
+                         const std::string& help) {
+  KGE_CHECK(FindFlag(name) == nullptr);
+  flags_.push_back(
+      {name, Type::kBool, value, help, *value ? "true" : "false"});
+}
+
+void FlagParser::AddString(const std::string& name, std::string* value,
+                           const std::string& help) {
+  KGE_CHECK(FindFlag(name) == nullptr);
+  flags_.push_back({name, Type::kString, value, help, *value});
+}
+
+const FlagParser::Flag* FlagParser::FindFlag(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status FlagParser::SetValue(const Flag& flag, const std::string& text) {
+  switch (flag.type) {
+    case Type::kInt: {
+      Result<int64_t> parsed = ParseInt64(text);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<int64_t*>(flag.target) = *parsed;
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      Result<double> parsed = ParseDouble(text);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<double*>(flag.target) = *parsed;
+      return Status::Ok();
+    }
+    case Type::kBool: {
+      if (text == "true" || text == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (text == "false" || text == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("bad bool value for --" + flag.name +
+                                       ": " + text);
+      }
+      return Status::Ok();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = text;
+      return Status::Ok();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::fputs(UsageString().c_str(), stdout);
+      return Status::NotFound("--help requested");
+    }
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const Flag* flag = FindFlag(name);
+    if (flag == nullptr)
+      return Status::InvalidArgument("unknown flag --" + name);
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        // Bare --flag sets a bool to true.
+        value = "true";
+      } else {
+        if (i + 1 >= argc)
+          return Status::InvalidArgument("missing value for --" + name);
+        value = argv[++i];
+      }
+    }
+    KGE_RETURN_IF_ERROR(SetValue(*flag, value));
+  }
+  return Status::Ok();
+}
+
+std::string FlagParser::UsageString() const {
+  std::string usage = description_ + "\n\nFlags:\n";
+  for (const Flag& f : flags_) {
+    usage += StrFormat("  --%-24s %s (default: %s)\n", f.name.c_str(),
+                       f.help.c_str(), f.default_repr.c_str());
+  }
+  return usage;
+}
+
+}  // namespace kge

@@ -1,0 +1,57 @@
+// Tiny declarative command-line flag parser used by the bench and example
+// binaries. Supports --name=value and --name value forms, plus --help.
+#ifndef KGE_UTIL_FLAGS_H_
+#define KGE_UTIL_FLAGS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kge {
+
+class FlagParser {
+ public:
+  // `program_description` is printed by --help.
+  explicit FlagParser(std::string program_description);
+
+  // Registration. The pointed-to variable holds the default value and
+  // receives the parsed value. Pointers must outlive Parse().
+  void AddInt(const std::string& name, int64_t* value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+
+  // Parses argv. Unknown flags are errors. If --help is present, prints
+  // usage and returns a NotFound status the caller should treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  // Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string UsageString() const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Flag* FindFlag(const std::string& name) const;
+  static Status SetValue(const Flag& flag, const std::string& text);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_UTIL_FLAGS_H_

@@ -1,0 +1,159 @@
+#include "util/io.h"
+
+#include <sys/stat.h>
+
+#include <bit>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace kge {
+
+static_assert(std::endian::native == std::endian::little,
+              "binary format assumes a little-endian host");
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  std::string content;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, n);
+  }
+  const bool had_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (had_error) return Status::IoError("read error on " + path);
+  return content;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const int close_result = std::fclose(file);
+  if (written != content.size() || close_result != 0)
+    return Status::IoError("write error on " + path);
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryWriter::Open(const std::string& path) {
+  KGE_CHECK(file_ == nullptr);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return Status::IoError("cannot open " + path);
+  return Status::Ok();
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  const int result = std::fclose(file_);
+  file_ = nullptr;
+  if (result != 0) return Status::IoError("close failed");
+  return Status::Ok();
+}
+
+Status BinaryWriter::WriteBytes(const void* data, size_t count) {
+  KGE_CHECK(file_ != nullptr);
+  if (std::fwrite(data, 1, count, file_) != count)
+    return Status::IoError("short write");
+  return Status::Ok();
+}
+
+Status BinaryWriter::WriteUint32(uint32_t value) {
+  return WriteBytes(&value, sizeof(value));
+}
+Status BinaryWriter::WriteUint64(uint64_t value) {
+  return WriteBytes(&value, sizeof(value));
+}
+Status BinaryWriter::WriteFloat(float value) {
+  return WriteBytes(&value, sizeof(value));
+}
+Status BinaryWriter::WriteDouble(double value) {
+  return WriteBytes(&value, sizeof(value));
+}
+
+Status BinaryWriter::WriteString(const std::string& value) {
+  KGE_RETURN_IF_ERROR(WriteUint64(value.size()));
+  return WriteBytes(value.data(), value.size());
+}
+
+Status BinaryWriter::WriteFloatArray(const float* data, size_t count) {
+  KGE_RETURN_IF_ERROR(WriteUint64(count));
+  return WriteBytes(data, count * sizeof(float));
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryReader::Open(const std::string& path) {
+  KGE_CHECK(file_ == nullptr);
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return Status::IoError("cannot open " + path);
+  return Status::Ok();
+}
+
+Status BinaryReader::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t count) {
+  KGE_CHECK(file_ != nullptr);
+  if (std::fread(data, 1, count, file_) != count)
+    return Status::IoError("short read / unexpected EOF");
+  return Status::Ok();
+}
+
+Result<uint32_t> BinaryReader::ReadUint32() {
+  uint32_t value = 0;
+  KGE_RETURN_IF_ERROR(ReadBytes(&value, sizeof(value)));
+  return value;
+}
+
+Result<uint64_t> BinaryReader::ReadUint64() {
+  uint64_t value = 0;
+  KGE_RETURN_IF_ERROR(ReadBytes(&value, sizeof(value)));
+  return value;
+}
+
+Result<float> BinaryReader::ReadFloat() {
+  float value = 0;
+  KGE_RETURN_IF_ERROR(ReadBytes(&value, sizeof(value)));
+  return value;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  double value = 0;
+  KGE_RETURN_IF_ERROR(ReadBytes(&value, sizeof(value)));
+  return value;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  Result<uint64_t> size = ReadUint64();
+  if (!size.ok()) return size.status();
+  std::string value(*size, '\0');
+  KGE_RETURN_IF_ERROR(ReadBytes(value.data(), value.size()));
+  return value;
+}
+
+Status BinaryReader::ReadFloatArray(float* data, size_t count) {
+  Result<uint64_t> stored = ReadUint64();
+  if (!stored.ok()) return stored.status();
+  if (*stored != count)
+    return Status::InvalidArgument("float array size mismatch");
+  return ReadBytes(data, count * sizeof(float));
+}
+
+}  // namespace kge

@@ -1,0 +1,74 @@
+// File I/O helpers: whole-file text reads, line reading, and a simple
+// binary serialization format (little-endian, length-prefixed) used for
+// embedding checkpoints.
+#ifndef KGE_UTIL_IO_H_
+#define KGE_UTIL_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kge {
+
+// Reads the entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Writes `content` to `path`, truncating.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+bool FileExists(const std::string& path);
+
+// Buffered binary writer. All integers little-endian (we assume a
+// little-endian host, which KGE_CHECKed at open time).
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Close();
+
+  Status WriteUint32(uint32_t value);
+  Status WriteUint64(uint64_t value);
+  Status WriteFloat(float value);
+  Status WriteDouble(double value);
+  Status WriteString(const std::string& value);
+  Status WriteFloatArray(const float* data, size_t count);
+  Status WriteBytes(const void* data, size_t count);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+// Buffered binary reader matching BinaryWriter.
+class BinaryReader {
+ public:
+  BinaryReader() = default;
+  ~BinaryReader();
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  Status Open(const std::string& path);
+  Status Close();
+
+  Result<uint32_t> ReadUint32();
+  Result<uint64_t> ReadUint64();
+  Result<float> ReadFloat();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Status ReadFloatArray(float* data, size_t count);
+
+ private:
+  Status ReadBytes(void* data, size_t count);
+
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace kge
+
+#endif  // KGE_UTIL_IO_H_

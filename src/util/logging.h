@@ -1,0 +1,57 @@
+// Minimal leveled logger writing to stderr. Thread-safe at the line level.
+//
+//   KGE_LOG(INFO) << "epoch " << epoch << " loss " << loss;
+//
+// The global level can be raised to silence progress output in tests.
+#ifndef KGE_UTIL_LOGGING_H_
+#define KGE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kge {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Sets / gets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define KGE_LOG(severity)                                  \
+  ::kge::internal::LogMessage(::kge::LogLevel::k##severity, \
+                              __FILE__, __LINE__)
+
+}  // namespace kge
+
+#endif  // KGE_UTIL_LOGGING_H_

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for all stochastic
+// components (initialization, shuffling, negative sampling, data
+// generation). Xoshiro256++ seeded via SplitMix64: fast, high quality,
+// and reproducible across platforms (unlike std::mt19937 distributions,
+// whose outputs are implementation-defined for std::normal_distribution).
+#ifndef KGE_UTIL_RANDOM_H_
+#define KGE_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kge {
+
+// SplitMix64 step; used for seeding and as a cheap standalone generator.
+uint64_t SplitMix64Next(uint64_t* state);
+
+// Xoshiro256++ engine wrapped with distribution helpers. Copyable so that
+// per-thread streams can be forked deterministically via Fork().
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Next raw 64 random bits.
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform float in [lo, hi).
+  float NextUniform(float lo, float hi);
+
+  // Standard normal via Box-Muller (deterministic, platform independent).
+  double NextGaussian();
+
+  // Bernoulli draw with probability `p` of true.
+  bool NextBool(double p);
+
+  // Deterministic Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (std::size_t i = values->size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i + 1));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  // Returns an independent generator derived from this one's stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace kge
+
+#endif  // KGE_UTIL_RANDOM_H_

@@ -1,0 +1,130 @@
+// Status and Result<T>: lightweight error propagation in the style used by
+// database systems (RocksDB's Status, Arrow's Result). Expected failures
+// (I/O, malformed input, bad configuration) return a Status; programmer
+// errors abort via the KGE_CHECK macros in util/check.h.
+#ifndef KGE_UTIL_STATUS_H_
+#define KGE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace kge {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a human-readable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// Value-semantic status: either OK or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status. Access to the value of
+// an error Result aborts the process (checked access).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> data_;
+};
+
+namespace internal {
+// Aborts the process with `status` printed to stderr. Out-of-line so the
+// template above stays small.
+[[noreturn]] void AbortOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::AbortOnBadResultAccess(std::get<Status>(data_));
+}
+
+// Propagates a non-OK Status from an expression, RocksDB-style.
+#define KGE_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::kge::Status kge_status_ = (expr);          \
+    if (!kge_status_.ok()) return kge_status_;   \
+  } while (0)
+
+}  // namespace kge
+
+#endif  // KGE_UTIL_STATUS_H_

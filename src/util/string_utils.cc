@@ -1,0 +1,114 @@
+#include "util/string_utils.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+
+namespace kge {
+
+std::vector<std::string> SplitString(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i > start) parts.emplace_back(text.substr(start, i - start));
+  }
+  return parts;
+}
+
+std::string_view TrimString(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(sep);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  const std::string buffer(TrimString(text));
+  if (buffer.empty())
+    return Status::InvalidArgument("empty string is not an integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE)
+    return Status::OutOfRange("integer out of range: " + buffer);
+  if (end != buffer.c_str() + buffer.size())
+    return Status::InvalidArgument("not an integer: " + buffer);
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string buffer(TrimString(text));
+  if (buffer.empty())
+    return Status::InvalidArgument("empty string is not a number");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE)
+    return Status::OutOfRange("number out of range: " + buffer);
+  if (end != buffer.c_str() + buffer.size())
+    return Status::InvalidArgument("not a number: " + buffer);
+  return value;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<size_t>(needed));
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+}  // namespace kge

@@ -1,0 +1,39 @@
+// Small string helpers shared by dataset loading and CLI parsing.
+#ifndef KGE_UTIL_STRING_UTILS_H_
+#define KGE_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kge {
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+// Splits on any run of whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+// Removes leading/trailing whitespace.
+std::string_view TrimString(std::string_view text);
+
+// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Strict numeric parsing: the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace kge
+
+#endif  // KGE_UTIL_STRING_UTILS_H_

@@ -1,0 +1,35 @@
+// Console table formatting for the bench harness: the bench binaries print
+// the same rows the paper's tables report, aligned for reading and easy to
+// diff against EXPERIMENTS.md.
+#ifndef KGE_UTIL_TABLE_PRINTER_H_
+#define KGE_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace kge {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: first cell is a label, the rest are %.3f-formatted.
+  void AddMetricsRow(const std::string& label,
+                     const std::vector<double>& values);
+
+  // Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+  // Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_UTIL_TABLE_PRINTER_H_

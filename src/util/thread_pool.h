@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a ParallelFor helper. Used to parallelize
+// ranking evaluation over candidate entities and batch gradient
+// computation. With num_threads == 1 all work runs inline on the calling
+// thread, which keeps single-core runs (and tests) deterministic.
+#ifndef KGE_UTIL_THREAD_POOL_H_
+#define KGE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kge {
+
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers. 0 or 1 means "run inline".
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.empty() ? 1 : threads_.size(); }
+
+  // Schedules `task`; Wait() blocks until all scheduled tasks are done.
+  void Schedule(std::function<void()> task);
+  void Wait();
+
+  // Splits [begin, end) into contiguous shards, runs
+  // `body(shard_begin, shard_end)` on the pool, and waits for completion.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace kge
+
+#endif  // KGE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for progress reporting and benches.
+#ifndef KGE_UTIL_TIMER_H_
+#define KGE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace kge {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_UTIL_TIMER_H_

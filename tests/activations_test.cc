@@ -1,0 +1,141 @@
+#include "math/activations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kge {
+namespace {
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 - Sigmoid(2.0), 1e-12);
+}
+
+TEST(SigmoidTest, StableForExtremeInputs) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(Sigmoid(1e308)));
+  EXPECT_FALSE(std::isnan(Sigmoid(-1e308)));
+}
+
+TEST(SoftplusTest, KnownValues) {
+  EXPECT_NEAR(Softplus(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(Softplus(1.0), std::log(1.0 + std::exp(1.0)), 1e-12);
+}
+
+TEST(SoftplusTest, StableForExtremeInputs) {
+  EXPECT_NEAR(Softplus(1000.0), 1000.0, 1e-9);
+  EXPECT_NEAR(Softplus(-1000.0), 0.0, 1e-12);
+}
+
+TEST(SoftplusTest, RelatesToSigmoid) {
+  // softplus'(x) = sigmoid(x); check by finite differences.
+  for (double x : {-3.0, -0.5, 0.0, 0.7, 4.0}) {
+    const double h = 1e-6;
+    const double numeric = (Softplus(x + h) - Softplus(x - h)) / (2 * h);
+    EXPECT_NEAR(numeric, Sigmoid(x), 1e-6);
+  }
+}
+
+TEST(DerivFromOutputTest, TanhMatchesFiniteDifference) {
+  for (double x : {-2.0, -0.3, 0.0, 0.9, 2.5}) {
+    const double h = 1e-6;
+    const double numeric = (std::tanh(x + h) - std::tanh(x - h)) / (2 * h);
+    EXPECT_NEAR(TanhDerivFromOutput(std::tanh(x)), numeric, 1e-6);
+  }
+}
+
+TEST(DerivFromOutputTest, SigmoidMatchesFiniteDifference) {
+  for (double x : {-2.0, -0.3, 0.0, 0.9, 2.5}) {
+    const double h = 1e-6;
+    const double numeric = (Sigmoid(x + h) - Sigmoid(x - h)) / (2 * h);
+    EXPECT_NEAR(SigmoidDerivFromOutput(Sigmoid(x)), numeric, 1e-6);
+  }
+}
+
+TEST(SoftmaxTest, SumsToOneAndPositive) {
+  const std::vector<double> in = {1.0, 2.0, -1.0, 0.5};
+  std::vector<double> out(in.size());
+  Softmax(in, out);
+  double sum = 0.0;
+  for (double y : out) {
+    EXPECT_GT(y, 0.0);
+    sum += y;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SoftmaxTest, PreservesOrdering) {
+  const std::vector<double> in = {3.0, 1.0, 2.0};
+  std::vector<double> out(3);
+  Softmax(in, out);
+  EXPECT_GT(out[0], out[2]);
+  EXPECT_GT(out[2], out[1]);
+}
+
+TEST(SoftmaxTest, InvariantToConstantShift) {
+  const std::vector<double> in = {0.1, 0.2, 0.3};
+  std::vector<double> shifted = {100.1, 100.2, 100.3};
+  std::vector<double> out1(3), out2(3);
+  Softmax(in, out1);
+  Softmax(shifted, out2);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(out1[i], out2[i], 1e-12);
+}
+
+TEST(SoftmaxTest, StableForLargeInputs) {
+  const std::vector<double> in = {1e300, 1e300};
+  std::vector<double> out(2);
+  Softmax(in, out);
+  EXPECT_NEAR(out[0], 0.5, 1e-12);
+}
+
+TEST(SoftmaxTest, UniformInputGivesUniformOutput) {
+  const std::vector<double> in(8, 1.0);
+  std::vector<double> out(8);
+  Softmax(in, out);
+  for (double y : out) EXPECT_NEAR(y, 0.125, 1e-12);
+}
+
+// Parameterized finite-difference check of SoftmaxBackward.
+class SoftmaxBackwardTest : public testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxBackwardTest, MatchesFiniteDifferenceJvp) {
+  const int n = GetParam();
+  Rng rng{uint64_t(n)};
+  std::vector<double> x(n), g(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = rng.NextUniform(-2, 2);
+    g[i] = rng.NextUniform(-1, 1);
+  }
+  std::vector<double> y(n), analytic(n);
+  Softmax(x, y);
+  SoftmaxBackward(y, g, analytic);
+
+  const double h = 1e-6;
+  for (int i = 0; i < n; ++i) {
+    // dL/dx_i where L = Σ_j g_j * softmax(x)_j.
+    std::vector<double> x_plus = x, x_minus = x;
+    x_plus[i] += h;
+    x_minus[i] -= h;
+    std::vector<double> y_plus(n), y_minus(n);
+    Softmax(x_plus, y_plus);
+    Softmax(x_minus, y_minus);
+    double l_plus = 0.0, l_minus = 0.0;
+    for (int j = 0; j < n; ++j) {
+      l_plus += g[j] * y_plus[j];
+      l_minus += g[j] * y_minus[j];
+    }
+    EXPECT_NEAR(analytic[i], (l_plus - l_minus) / (2 * h), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SoftmaxBackwardTest,
+                         testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace kge

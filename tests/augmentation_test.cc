@@ -1,0 +1,47 @@
+#include "kg/augmentation.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+TEST(AugmentationTest, AugmentedRelationIdsShiftByCount) {
+  EXPECT_EQ(AugmentedRelationOf(0, 5), 5);
+  EXPECT_EQ(AugmentedRelationOf(4, 5), 9);
+}
+
+TEST(AugmentationTest, DoublesTriplesAndRelations) {
+  const std::vector<Triple> train = {{0, 1, 0}, {1, 2, 1}};
+  const AugmentedTriples augmented = AugmentWithInverses(train, 2);
+  EXPECT_EQ(augmented.num_relations, 4);
+  ASSERT_EQ(augmented.triples.size(), 4u);
+  // Originals first, inverses after.
+  EXPECT_EQ(augmented.triples[0], (Triple{0, 1, 0}));
+  EXPECT_EQ(augmented.triples[1], (Triple{1, 2, 1}));
+  EXPECT_EQ(augmented.triples[2], (Triple{1, 0, 2}));
+  EXPECT_EQ(augmented.triples[3], (Triple{2, 1, 3}));
+}
+
+TEST(AugmentationTest, InverseOfInverseRecoversOriginalPair) {
+  const std::vector<Triple> train = {{3, 7, 1}};
+  const AugmentedTriples augmented = AugmentWithInverses(train, 2);
+  const Triple& inverse = augmented.triples[1];
+  EXPECT_EQ(inverse.head, 7);
+  EXPECT_EQ(inverse.tail, 3);
+  EXPECT_EQ(inverse.relation, 3);
+}
+
+TEST(AugmentationTest, EmptyInput) {
+  const AugmentedTriples augmented = AugmentWithInverses({}, 3);
+  EXPECT_TRUE(augmented.triples.empty());
+  EXPECT_EQ(augmented.num_relations, 6);
+}
+
+TEST(AugmentationTest, SelfLoopInverseIsSelfLoop) {
+  const std::vector<Triple> train = {{5, 5, 0}};
+  const AugmentedTriples augmented = AugmentWithInverses(train, 1);
+  EXPECT_EQ(augmented.triples[1], (Triple{5, 5, 1}));
+}
+
+}  // namespace
+}  // namespace kge

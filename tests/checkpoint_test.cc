@@ -1,0 +1,96 @@
+#include "models/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "models/er_mlp.h"
+#include "models/learned_weight_model.h"
+#include "models/model_factory.h"
+#include "util/io.h"
+
+namespace kge {
+namespace {
+
+constexpr int32_t kEntities = 12;
+constexpr int32_t kRelations = 3;
+constexpr int32_t kBudget = 24;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CheckpointTest, RoundTripEveryRegisteredModel) {
+  for (const std::string& name : KnownModelNames()) {
+    const std::string path = TempPath("ckpt_" + name + ".bin");
+    Result<std::unique_ptr<KgeModel>> trained =
+        MakeModelByName(name, kEntities, kRelations, kBudget, /*seed=*/1);
+    ASSERT_TRUE(trained.ok()) << name;
+    ASSERT_TRUE(SaveModelCheckpoint(trained->get(), path).ok()) << name;
+
+    Result<std::unique_ptr<KgeModel>> fresh =
+        MakeModelByName(name, kEntities, kRelations, kBudget, /*seed=*/999);
+    ASSERT_TRUE(fresh.ok()) << name;
+    ASSERT_TRUE(LoadModelCheckpoint(fresh->get(), path).ok()) << name;
+
+    for (EntityId h = 0; h < 4; ++h) {
+      const Triple triple{h, EntityId(h + 2), RelationId(h % kRelations)};
+      EXPECT_EQ((*fresh)->Score(triple), (*trained)->Score(triple)) << name;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CheckpointTest, PreservesLearnedOmega) {
+  const std::string path = TempPath("ckpt_omega.bin");
+  LearnedWeightOptions options;
+  LearnedWeightModel trained("m", kEntities, kRelations, 8, options, 1);
+  // Perturb omega away from the uniform start.
+  trained.Blocks()[LearnedWeightModel::kOmegaBlock]->Row(0)[3] = -2.5f;
+  trained.RefreshWeights();
+  ASSERT_TRUE(SaveModelCheckpoint(&trained, path).ok());
+
+  LearnedWeightModel loaded("m", kEntities, kRelations, 8, options, 7);
+  ASSERT_TRUE(LoadModelCheckpoint(&loaded, path).ok());
+  loaded.RefreshWeights();
+  EXPECT_EQ(loaded.CurrentOmega()[3], -2.5f);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsWrongModelName) {
+  const std::string path = TempPath("ckpt_name.bin");
+  auto complex = MakeModelByName("complex", kEntities, kRelations, kBudget, 1);
+  ASSERT_TRUE(SaveModelCheckpoint(complex->get(), path).ok());
+  auto distmult =
+      MakeModelByName("distmult", kEntities, kRelations, kBudget, 1);
+  EXPECT_FALSE(LoadModelCheckpoint(distmult->get(), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsShapeMismatch) {
+  const std::string path = TempPath("ckpt_shape.bin");
+  auto small = MakeModelByName("complex", kEntities, kRelations, kBudget, 1);
+  ASSERT_TRUE(SaveModelCheckpoint(small->get(), path).ok());
+  auto large =
+      MakeModelByName("complex", kEntities, kRelations, 2 * kBudget, 1);
+  const Status status = LoadModelCheckpoint(large->get(), path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsGarbageFile) {
+  const std::string path = TempPath("ckpt_garbage.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "this is not a checkpoint").ok());
+  auto model = MakeModelByName("complex", kEntities, kRelations, kBudget, 1);
+  EXPECT_FALSE(LoadModelCheckpoint(model->get(), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileFails) {
+  auto model = MakeModelByName("complex", kEntities, kRelations, kBudget, 1);
+  EXPECT_FALSE(
+      LoadModelCheckpoint(model->get(), "/nonexistent/ckpt.bin").ok());
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,118 @@
+#include "math/complex_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kge {
+namespace {
+
+struct ComplexVectors {
+  std::vector<float> re, im;
+  ComplexVectorView View() const { return {re, im}; }
+};
+
+ComplexVectors RandomComplexVector(int dim, Rng* rng) {
+  ComplexVectors v;
+  v.re.resize(dim);
+  v.im.resize(dim);
+  for (int d = 0; d < dim; ++d) {
+    v.re[d] = rng->NextUniform(-1, 1);
+    v.im[d] = rng->NextUniform(-1, 1);
+  }
+  return v;
+}
+
+TEST(ComplexScoreTest, MatchesStdComplexReference) {
+  Rng rng(11);
+  const int dim = 16;
+  const auto h = RandomComplexVector(dim, &rng);
+  const auto t = RandomComplexVector(dim, &rng);
+  const auto r = RandomComplexVector(dim, &rng);
+
+  std::complex<double> sum = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const std::complex<double> hd(h.re[d], h.im[d]);
+    const std::complex<double> td(t.re[d], t.im[d]);
+    const std::complex<double> rd(r.re[d], r.im[d]);
+    sum += hd * std::conj(td) * rd;
+  }
+  EXPECT_NEAR(ComplexScore(h.View(), t.View(), r.View()), sum.real(), 1e-9);
+}
+
+TEST(ComplexScoreTest, NoConjugateMatchesStdComplexReference) {
+  Rng rng(12);
+  const int dim = 16;
+  const auto h = RandomComplexVector(dim, &rng);
+  const auto t = RandomComplexVector(dim, &rng);
+  const auto r = RandomComplexVector(dim, &rng);
+
+  std::complex<double> sum = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    sum += std::complex<double>(h.re[d], h.im[d]) *
+           std::complex<double>(t.re[d], t.im[d]) *
+           std::complex<double>(r.re[d], r.im[d]);
+  }
+  EXPECT_NEAR(ComplexScoreNoConjugate(h.View(), t.View(), r.View()),
+              sum.real(), 1e-9);
+}
+
+TEST(ComplexScoreTest, ConjugateEnablesAsymmetry) {
+  // With the conjugate, swapping h and t changes the score (unless the
+  // relation is purely real); without it the score is fully symmetric.
+  Rng rng(13);
+  const int dim = 8;
+  const auto h = RandomComplexVector(dim, &rng);
+  const auto t = RandomComplexVector(dim, &rng);
+  const auto r = RandomComplexVector(dim, &rng);
+
+  const double forward = ComplexScore(h.View(), t.View(), r.View());
+  const double backward = ComplexScore(t.View(), h.View(), r.View());
+  EXPECT_GT(std::fabs(forward - backward), 1e-6);
+
+  const double sym_forward =
+      ComplexScoreNoConjugate(h.View(), t.View(), r.View());
+  const double sym_backward =
+      ComplexScoreNoConjugate(t.View(), h.View(), r.View());
+  EXPECT_NEAR(sym_forward, sym_backward, 1e-9);
+}
+
+TEST(ComplexScoreTest, RealRelationMakesScoreSymmetric) {
+  // When Im(r) = 0, ComplEx degenerates to DistMult-like symmetry.
+  Rng rng(14);
+  const int dim = 8;
+  const auto h = RandomComplexVector(dim, &rng);
+  const auto t = RandomComplexVector(dim, &rng);
+  auto r = RandomComplexVector(dim, &rng);
+  std::fill(r.im.begin(), r.im.end(), 0.0f);
+
+  EXPECT_NEAR(ComplexScore(h.View(), t.View(), r.View()),
+              ComplexScore(t.View(), h.View(), r.View()), 1e-9);
+}
+
+TEST(ComplexScoreTest, PurelyImaginaryRelationMakesScoreAntisymmetric) {
+  // When Re(r) = 0 the score is exactly antisymmetric in (h, t).
+  Rng rng(15);
+  const int dim = 8;
+  const auto h = RandomComplexVector(dim, &rng);
+  const auto t = RandomComplexVector(dim, &rng);
+  auto r = RandomComplexVector(dim, &rng);
+  std::fill(r.re.begin(), r.re.end(), 0.0f);
+
+  EXPECT_NEAR(ComplexScore(h.View(), t.View(), r.View()),
+              -ComplexScore(t.View(), h.View(), r.View()), 1e-9);
+}
+
+TEST(ComplexScoreTest, ZeroVectorsGiveZeroScore) {
+  ComplexVectors zero;
+  zero.re.assign(4, 0.0f);
+  zero.im.assign(4, 0.0f);
+  EXPECT_EQ(ComplexScore(zero.View(), zero.View(), zero.View()), 0.0);
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,139 @@
+#include "nn/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace kge {
+namespace {
+
+TEST(Conv2dTest, OutputShape) {
+  Conv2dLayer conv("c", 2, 8, 6, 4, 3, 3);
+  EXPECT_EQ(conv.out_height(), 6);
+  EXPECT_EQ(conv.out_width(), 4);
+  EXPECT_EQ(conv.input_size(), 2 * 8 * 6);
+  EXPECT_EQ(conv.output_size(), 4 * 6 * 4);
+}
+
+TEST(Conv2dTest, IdentityKernelCopiesInput) {
+  // One 1x1 filter with weight 1 and zero bias reproduces the input map.
+  Conv2dLayer conv("c", 1, 4, 4, 1, 1, 1);
+  conv.filters()->Row(0)[0] = 1.0f;
+  std::vector<float> x(16);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = float(i) * 0.5f;
+  std::vector<float> out(16);
+  conv.Forward(x, out);
+  EXPECT_EQ(out, x);
+}
+
+TEST(Conv2dTest, HandComputedThreeByThree) {
+  // 1 channel, 3x3 input, one 3x3 averaging-ish filter: output is the
+  // full dot product of filter and input.
+  Conv2dLayer conv("c", 1, 3, 3, 1, 3, 3);
+  std::vector<float> x(9), w(9);
+  for (int i = 0; i < 9; ++i) {
+    x[size_t(i)] = float(i + 1);
+    w[size_t(i)] = float(9 - i);
+    conv.filters()->Row(0)[size_t(i)] = w[size_t(i)];
+  }
+  conv.bias()->Row(0)[0] = 2.0f;
+  std::vector<float> out(1);
+  conv.Forward(x, out);
+  double expected = 2.0;
+  for (int i = 0; i < 9; ++i) expected += double(x[size_t(i)]) * w[size_t(i)];
+  EXPECT_NEAR(out[0], expected, 1e-5);
+}
+
+TEST(Conv2dTest, MultiChannelSumsContributions) {
+  Conv2dLayer conv("c", 2, 3, 3, 1, 3, 3);
+  // Channel 0 filter all ones, channel 1 filter all twos.
+  for (int i = 0; i < 9; ++i) {
+    conv.filters()->Row(0)[size_t(i)] = 1.0f;
+    conv.filters()->Row(0)[size_t(9 + i)] = 2.0f;
+  }
+  std::vector<float> x(18, 1.0f);  // both channels all ones
+  std::vector<float> out(1);
+  conv.Forward(x, out);
+  EXPECT_NEAR(out[0], 9.0f + 18.0f, 1e-5);
+}
+
+TEST(Conv2dTest, BackwardMatchesFiniteDifferences) {
+  Conv2dLayer conv("c", 2, 5, 4, 3, 3, 3);
+  Rng rng(3);
+  conv.Init(&rng);
+  std::vector<float> x(size_t(conv.input_size()));
+  for (float& v : x) v = rng.NextUniform(-1, 1);
+  std::vector<float> dout(size_t(conv.output_size()));
+  for (float& v : dout) v = rng.NextUniform(-1, 1);
+
+  GradientBuffer grads({conv.filters(), conv.bias()});
+  std::vector<float> dx(x.size(), 0.0f);
+  conv.Backward(x, dout, &grads, 0, 1, dx);
+
+  auto loss = [&] {
+    std::vector<float> out(size_t(conv.output_size()));
+    conv.Forward(x, out);
+    double l = 0.0;
+    for (size_t i = 0; i < out.size(); ++i) {
+      l += double(dout[i]) * out[i];
+    }
+    return l;
+  };
+  const double eps = 1e-3;
+  // Filter gradients (subsampled).
+  for (int64_t oc = 0; oc < 3; ++oc) {
+    const auto grad = grads.GradFor(0, oc);
+    auto w = conv.filters()->Row(oc);
+    for (size_t i = 0; i < w.size(); i += 4) {
+      const float saved = w[i];
+      w[i] = saved + float(eps);
+      const double plus = loss();
+      w[i] = saved - float(eps);
+      const double minus = loss();
+      w[i] = saved;
+      EXPECT_NEAR(grad[i], (plus - minus) / (2 * eps), 2e-2)
+          << "filter " << oc << " coord " << i;
+    }
+  }
+  // Bias gradient.
+  const auto db = grads.GradFor(1, 0);
+  for (size_t oc = 0; oc < 3; ++oc) {
+    auto b = conv.bias()->Row(0);
+    const float saved = b[oc];
+    b[oc] = saved + float(eps);
+    const double plus = loss();
+    b[oc] = saved - float(eps);
+    const double minus = loss();
+    b[oc] = saved;
+    EXPECT_NEAR(db[oc], (plus - minus) / (2 * eps), 2e-2);
+  }
+  // Input gradient (subsampled).
+  for (size_t i = 0; i < x.size(); i += 3) {
+    const float saved = x[i];
+    x[i] = saved + float(eps);
+    const double plus = loss();
+    x[i] = saved - float(eps);
+    const double minus = loss();
+    x[i] = saved;
+    EXPECT_NEAR(dx[i], (plus - minus) / (2 * eps), 2e-2) << "input " << i;
+  }
+}
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  std::vector<float> v = {-1.0f, 0.0f, 2.5f};
+  Relu(v);
+  EXPECT_EQ(v, (std::vector<float>{0.0f, 0.0f, 2.5f}));
+}
+
+TEST(ReluTest, BackwardGatesOnForwardOutput) {
+  const std::vector<float> forward = {0.0f, 0.0f, 2.5f};
+  const std::vector<float> dout = {1.0f, 2.0f, 3.0f};
+  std::vector<float> dx = {10.0f, 10.0f, 10.0f};
+  ReluBackward(forward, dout, dx);
+  EXPECT_EQ(dx, (std::vector<float>{10.0f, 10.0f, 13.0f}));
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,124 @@
+#include "core/dirichlet_regularizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace kge {
+namespace {
+
+TEST(DirichletTest, SparseVectorsHaveLowerLoss) {
+  DirichletOptions options;
+  options.alpha = 1.0 / 16.0;
+  options.lambda = 1.0;
+  // Same L1 mass, different concentration.
+  const std::vector<float> uniform = {0.25f, 0.25f, 0.25f, 0.25f};
+  const std::vector<float> sparse = {0.97f, 0.01f, 0.01f, 0.01f};
+  EXPECT_LT(DirichletNll(sparse, options), DirichletNll(uniform, options));
+}
+
+TEST(DirichletTest, AlphaAboveOneFavorsUniform) {
+  DirichletOptions options;
+  options.alpha = 4.0;
+  options.lambda = 1.0;
+  const std::vector<float> uniform = {0.25f, 0.25f, 0.25f, 0.25f};
+  const std::vector<float> sparse = {0.97f, 0.01f, 0.01f, 0.01f};
+  EXPECT_GT(DirichletNll(sparse, options), DirichletNll(uniform, options));
+}
+
+TEST(DirichletTest, AlphaOneIsNeutral) {
+  DirichletOptions options;
+  options.alpha = 1.0;
+  options.lambda = 1.0;
+  const std::vector<float> any = {0.5f, 0.3f, 0.2f};
+  EXPECT_DOUBLE_EQ(DirichletNll(any, options), 0.0);
+}
+
+TEST(DirichletTest, LambdaScalesLoss) {
+  DirichletOptions small;
+  small.lambda = 0.01;
+  DirichletOptions large = small;
+  large.lambda = 0.02;
+  const std::vector<float> omega = {0.9f, 0.05f, 0.05f};
+  EXPECT_NEAR(DirichletNll(omega, large), 2.0 * DirichletNll(omega, small),
+              1e-12);
+}
+
+TEST(DirichletTest, EmptyOmegaIsZero) {
+  DirichletOptions options;
+  EXPECT_EQ(DirichletNll({}, options), 0.0);
+  std::vector<float> grad;
+  AddDirichletGradient({}, options, grad);  // must not crash
+}
+
+TEST(DirichletTest, ScaleInvariance) {
+  // log(|w|/||w||_1) is scale invariant, so the loss must be too.
+  DirichletOptions options;
+  options.alpha = 0.1;
+  options.lambda = 1.0;
+  // Tolerance reflects float storage of ω (the ratios differ in the last
+  // float bits between the two representations).
+  const std::vector<float> omega = {0.6f, -0.3f, 0.1f};
+  const std::vector<float> scaled = {6.0f, -3.0f, 1.0f};
+  EXPECT_NEAR(DirichletNll(omega, options), DirichletNll(scaled, options),
+              1e-6);
+}
+
+TEST(DirichletTest, GradientMatchesFiniteDifference) {
+  DirichletOptions options;
+  options.alpha = 1.0 / 16.0;
+  options.lambda = 1e-2;
+  const std::vector<float> omega = {0.7f, -0.4f, 0.2f, 0.5f, -0.9f};
+  std::vector<float> analytic(omega.size(), 0.0f);
+  AddDirichletGradient(omega, options, analytic);
+
+  const double eps = 1e-4;
+  for (size_t m = 0; m < omega.size(); ++m) {
+    std::vector<float> plus = omega, minus = omega;
+    plus[m] += float(eps);
+    minus[m] -= float(eps);
+    const double numeric =
+        (DirichletNll(plus, options) - DirichletNll(minus, options)) /
+        (2 * eps);
+    EXPECT_NEAR(analytic[m], numeric, 1e-4) << "component " << m;
+  }
+}
+
+TEST(DirichletTest, GradientAccumulates) {
+  DirichletOptions options;
+  const std::vector<float> omega = {0.5f, 0.5f};
+  std::vector<float> grad = {100.0f, 200.0f};
+  std::vector<float> delta(2, 0.0f);
+  AddDirichletGradient(omega, options, delta);
+  AddDirichletGradient(omega, options, grad);
+  EXPECT_NEAR(grad[0], 100.0f + delta[0], 1e-5);
+  EXPECT_NEAR(grad[1], 200.0f + delta[1], 1e-5);
+}
+
+TEST(DirichletTest, GradientPushesTowardSparsity) {
+  // With alpha < 1, gradient descent should *increase* the dominant
+  // component's share: its gradient must be more negative (for a positive
+  // weight) than the small components'.
+  DirichletOptions options;
+  options.alpha = 0.1;
+  options.lambda = 1.0;
+  const std::vector<float> omega = {0.7f, 0.1f, 0.1f, 0.1f};
+  std::vector<float> grad(4, 0.0f);
+  AddDirichletGradient(omega, options, grad);
+  EXPECT_LT(grad[0], grad[1]);
+  EXPECT_GT(grad[1], 0.0f);  // small components get pushed down
+}
+
+TEST(DirichletTest, ZeroComponentsDoNotProduceNan) {
+  DirichletOptions options;
+  const std::vector<float> omega = {1.0f, 0.0f, 0.0f};
+  const double loss = DirichletNll(omega, options);
+  EXPECT_TRUE(std::isfinite(loss));
+  std::vector<float> grad(3, 0.0f);
+  AddDirichletGradient(omega, options, grad);
+  for (float g : grad) EXPECT_TRUE(std::isfinite(g));
+}
+
+}  // namespace
+}  // namespace kge

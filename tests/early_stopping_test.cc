@@ -1,0 +1,61 @@
+#include "train/early_stopping.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+TEST(EarlyStoppingTest, FirstObservationIsBest) {
+  EarlyStopping stopping(100);
+  EXPECT_FALSE(stopping.has_observation());
+  EXPECT_TRUE(stopping.Observe(50, 0.5));
+  EXPECT_TRUE(stopping.has_observation());
+  EXPECT_EQ(stopping.best_epoch(), 50);
+  EXPECT_DOUBLE_EQ(stopping.best_metric(), 0.5);
+}
+
+TEST(EarlyStoppingTest, ImprovementResetsBest) {
+  EarlyStopping stopping(100);
+  stopping.Observe(50, 0.5);
+  EXPECT_TRUE(stopping.Observe(100, 0.6));
+  EXPECT_EQ(stopping.best_epoch(), 100);
+  EXPECT_FALSE(stopping.Observe(150, 0.55));
+  EXPECT_EQ(stopping.best_epoch(), 100);
+}
+
+TEST(EarlyStoppingTest, PaperSchedule50EpochEval100Patience) {
+  // §5.3: check every 50 epochs with 100 epochs patience.
+  EarlyStopping stopping(100);
+  stopping.Observe(50, 0.90);
+  EXPECT_FALSE(stopping.ShouldStop(50));
+  stopping.Observe(100, 0.89);
+  EXPECT_FALSE(stopping.ShouldStop(100));
+  stopping.Observe(150, 0.88);
+  EXPECT_TRUE(stopping.ShouldStop(150));  // 150 - 50 >= 100
+}
+
+TEST(EarlyStoppingTest, NeverStopsWithoutObservation) {
+  EarlyStopping stopping(10);
+  EXPECT_FALSE(stopping.ShouldStop(1000));
+}
+
+TEST(EarlyStoppingTest, MinDeltaIgnoresTinyImprovements) {
+  EarlyStopping stopping(100, 0.01);
+  stopping.Observe(50, 0.5);
+  EXPECT_FALSE(stopping.Observe(100, 0.505));  // below min_delta
+  EXPECT_EQ(stopping.best_epoch(), 50);
+  EXPECT_TRUE(stopping.Observe(150, 0.52));
+}
+
+TEST(EarlyStoppingTest, ContinuesAfterLateImprovement) {
+  EarlyStopping stopping(100);
+  stopping.Observe(50, 0.5);
+  stopping.Observe(100, 0.4);
+  stopping.Observe(140, 0.6);  // improvement just before deadline
+  EXPECT_FALSE(stopping.ShouldStop(150));
+  EXPECT_FALSE(stopping.ShouldStop(200));
+  EXPECT_TRUE(stopping.ShouldStop(240));
+}
+
+}  // namespace
+}  // namespace kge

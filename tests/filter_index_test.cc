@@ -1,0 +1,92 @@
+#include "kg/filter_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace kge {
+namespace {
+
+class FilterIndexTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    train_ = {{0, 1, 0}, {0, 2, 0}, {1, 2, 1}};
+    valid_ = {{0, 3, 0}};
+    test_ = {{2, 1, 1}};
+    index_.Build(train_, valid_, test_);
+  }
+
+  std::vector<Triple> train_, valid_, test_;
+  FilterIndex index_;
+};
+
+TEST_F(FilterIndexTest, ContainsTriplesFromAllSplits) {
+  EXPECT_TRUE(index_.Contains({0, 1, 0}));  // train
+  EXPECT_TRUE(index_.Contains({0, 3, 0}));  // valid
+  EXPECT_TRUE(index_.Contains({2, 1, 1}));  // test
+  EXPECT_FALSE(index_.Contains({3, 0, 0}));
+  EXPECT_FALSE(index_.Contains({0, 1, 1}));
+}
+
+TEST_F(FilterIndexTest, KnownTailsAreSortedAndComplete) {
+  const auto tails = index_.KnownTails(0, 0);
+  ASSERT_EQ(tails.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(tails.begin(), tails.end()));
+  EXPECT_EQ(tails[0], 1);
+  EXPECT_EQ(tails[1], 2);
+  EXPECT_EQ(tails[2], 3);
+}
+
+TEST_F(FilterIndexTest, KnownHeadsAreComplete) {
+  const auto heads = index_.KnownHeads(2, 0);
+  ASSERT_EQ(heads.size(), 1u);
+  EXPECT_EQ(heads[0], 0);
+  const auto heads_r1 = index_.KnownHeads(1, 1);
+  ASSERT_EQ(heads_r1.size(), 1u);
+  EXPECT_EQ(heads_r1[0], 2);
+}
+
+TEST_F(FilterIndexTest, UnknownKeysGiveEmptySpans) {
+  EXPECT_TRUE(index_.KnownTails(7, 0).empty());
+  EXPECT_TRUE(index_.KnownTails(0, 9).empty());
+  EXPECT_TRUE(index_.KnownHeads(9, 9).empty());
+}
+
+TEST_F(FilterIndexTest, NumTriplesCountsAllSplits) {
+  EXPECT_EQ(index_.num_triples(), 5u);
+}
+
+TEST(FilterIndexDedupeTest, DuplicatesAcrossSplitsAreDeduped) {
+  const std::vector<Triple> train = {{0, 1, 0}};
+  const std::vector<Triple> valid = {{0, 1, 0}};
+  const std::vector<Triple> test = {};
+  FilterIndex index;
+  index.Build(train, valid, test);
+  EXPECT_EQ(index.KnownTails(0, 0).size(), 1u);
+}
+
+TEST(FilterIndexRebuildTest, BuildReplacesPreviousContents) {
+  FilterIndex index;
+  const std::vector<Triple> first = {{0, 1, 0}};
+  const std::vector<Triple> empty;
+  index.Build(first, empty, empty);
+  EXPECT_TRUE(index.Contains({0, 1, 0}));
+  const std::vector<Triple> second = {{2, 3, 1}};
+  index.Build(second, empty, empty);
+  EXPECT_FALSE(index.Contains({0, 1, 0}));
+  EXPECT_TRUE(index.Contains({2, 3, 1}));
+}
+
+TEST(FilterIndexSpanOverloadTest, GenericBuildWorks) {
+  const std::vector<Triple> a = {{0, 1, 0}};
+  const std::vector<Triple> b = {{1, 0, 0}};
+  const std::vector<Triple>* splits[] = {&a, &b};
+  FilterIndex index;
+  index.Build(splits);
+  EXPECT_TRUE(index.Contains({0, 1, 0}));
+  EXPECT_TRUE(index.Contains({1, 0, 0}));
+  EXPECT_EQ(index.num_triples(), 2u);
+}
+
+}  // namespace
+}  // namespace kge

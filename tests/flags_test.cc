@@ -1,0 +1,127 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+// Builds a mutable argv from string literals.
+class ArgvFixture {
+ public:
+  explicit ArgvFixture(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    for (std::string& arg : storage_) pointers_.push_back(arg.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  int64_t count = 1;
+  double rate = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+  FlagParser parser("test");
+  parser.AddInt("count", &count, "a count");
+  parser.AddDouble("rate", &rate, "a rate");
+  parser.AddString("name", &name, "a name");
+  parser.AddBool("verbose", &verbose, "a bool");
+  ArgvFixture args({"prog", "--count=42", "--rate=0.25", "--name=xyz",
+                    "--verbose=true"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(count, 42);
+  EXPECT_DOUBLE_EQ(rate, 0.25);
+  EXPECT_EQ(name, "xyz");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  int64_t count = 0;
+  FlagParser parser("test");
+  parser.AddInt("count", &count, "a count");
+  ArgvFixture args({"prog", "--count", "7"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(count, 7);
+}
+
+TEST(FlagsTest, BareBoolSetsTrue) {
+  bool flag = false;
+  FlagParser parser("test");
+  parser.AddBool("flag", &flag, "a bool");
+  ArgvFixture args({"prog", "--flag"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flag);
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagParser parser("test");
+  ArgvFixture args({"prog", "--mystery=1"});
+  EXPECT_EQ(parser.Parse(args.argc(), args.argv()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  int64_t count = 0;
+  FlagParser parser("test");
+  parser.AddInt("count", &count, "a count");
+  ArgvFixture args({"prog", "--count"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, BadIntValueIsError) {
+  int64_t count = 0;
+  FlagParser parser("test");
+  parser.AddInt("count", &count, "a count");
+  ArgvFixture args({"prog", "--count=banana"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, BadBoolValueIsError) {
+  bool flag = false;
+  FlagParser parser("test");
+  parser.AddBool("flag", &flag, "a bool");
+  ArgvFixture args({"prog", "--flag=maybe"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagParser parser("test");
+  ArgvFixture args({"prog", "input.txt", "output.txt"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+}
+
+TEST(FlagsTest, HelpReturnsNotFound) {
+  FlagParser parser("test");
+  ArgvFixture args({"prog", "--help"});
+  EXPECT_EQ(parser.Parse(args.argc(), args.argv()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FlagsTest, UsageStringListsFlagsAndDefaults) {
+  int64_t count = 5;
+  FlagParser parser("my program");
+  parser.AddInt("count", &count, "how many");
+  const std::string usage = parser.UsageString();
+  EXPECT_NE(usage.find("my program"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("5"), std::string::npos);
+}
+
+TEST(FlagsTest, DefaultsPreservedWhenNotPassed) {
+  int64_t count = 11;
+  FlagParser parser("test");
+  parser.AddInt("count", &count, "a count");
+  ArgvFixture args({"prog"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(count, 11);
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,121 @@
+#include "datagen/freebase_like_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/relation_analysis.h"
+
+namespace kge {
+namespace {
+
+class FreebaseLikeTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FreebaseLikeOptions options;
+    options.num_entities = 1000;
+    options.seed = 11;
+    dataset_ = new Dataset(GenerateFreebaseLike(options));
+    std::vector<Triple> all = dataset_->train;
+    all.insert(all.end(), dataset_->valid.begin(), dataset_->valid.end());
+    all.insert(all.end(), dataset_->test.begin(), dataset_->test.end());
+    stats_ = new std::vector<RelationStats>(AnalyzeRelations(
+        all, dataset_->num_entities(), dataset_->num_relations()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete stats_;
+    dataset_ = nullptr;
+    stats_ = nullptr;
+  }
+  static Dataset* dataset_;
+  static std::vector<RelationStats>* stats_;
+};
+
+Dataset* FreebaseLikeTest::dataset_ = nullptr;
+std::vector<RelationStats>* FreebaseLikeTest::stats_ = nullptr;
+
+TEST_F(FreebaseLikeTest, ValidatesAsBenchmark) {
+  EXPECT_TRUE(dataset_->Validate().ok());
+}
+
+TEST_F(FreebaseLikeTest, HasTypedEntityNames) {
+  EXPECT_NE(dataset_->entities.Find("/m/person_00000"), -1);
+  EXPECT_NE(dataset_->entities.Find("/m/film_00000"), -1);
+  EXPECT_NE(dataset_->entities.Find("/m/location_00000"), -1);
+}
+
+TEST_F(FreebaseLikeTest, HasSchemaRelationsAndInverses) {
+  EXPECT_NE(dataset_->relations.Find("/film/actor"), -1);
+  EXPECT_NE(dataset_->relations.Find("/person/born_in"), -1);
+  // With inverse_fraction 0.6 and 15 schema relations, some inverses
+  // must exist.
+  int inverses = 0;
+  for (const std::string& name : dataset_->relations.names()) {
+    inverses += name.find("_inverse") != std::string::npos;
+  }
+  EXPECT_GT(inverses, 2);
+  EXPECT_LT(inverses, 15);
+}
+
+TEST_F(FreebaseLikeTest, InverseRelationsAreExactInverses) {
+  for (const RelationStats& s : *stats_) {
+    const std::string& name = dataset_->relations.NameOf(s.relation);
+    if (name.find("_inverse") == std::string::npos) continue;
+    if (s.num_triples == 0) continue;
+    const int32_t forward =
+        dataset_->relations.Find(name.substr(0, name.size() - 8));
+    ASSERT_NE(forward, -1) << name;
+    EXPECT_EQ(s.best_inverse, forward) << name;
+    EXPECT_NEAR(s.best_inverse_score, 1.0, 1e-9) << name;
+  }
+}
+
+TEST_F(FreebaseLikeTest, HubRelationsAreManySided) {
+  // born_in points at hub locations: many heads per tail.
+  const int32_t born_in = dataset_->relations.Find("/person/born_in");
+  ASSERT_NE(born_in, -1);
+  EXPECT_GT((*stats_)[size_t(born_in)].heads_per_tail, 1.5);
+}
+
+TEST_F(FreebaseLikeTest, DenserThanWordNetLike) {
+  const size_t total = dataset_->train.size() + dataset_->valid.size() +
+                       dataset_->test.size();
+  // More triples per entity than the taxonomy-shaped graph (~3.5/entity).
+  EXPECT_GT(double(total) / 1000.0, 3.0);
+}
+
+TEST(FreebaseLikeDeterminismTest, SeedControlsOutput) {
+  FreebaseLikeOptions options;
+  options.num_entities = 400;
+  options.seed = 5;
+  const Dataset a = GenerateFreebaseLike(options);
+  const Dataset b = GenerateFreebaseLike(options);
+  EXPECT_EQ(a.train, b.train);
+  options.seed = 6;
+  const Dataset c = GenerateFreebaseLike(options);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(FreebaseLikeDeterminismTest, InverseFractionZeroYieldsNoInverses) {
+  FreebaseLikeOptions options;
+  options.num_entities = 400;
+  options.inverse_fraction = 0.0;
+  const Dataset data = GenerateFreebaseLike(options);
+  for (const std::string& name : data.relations.names()) {
+    EXPECT_EQ(name.find("_inverse"), std::string::npos) << name;
+  }
+}
+
+TEST(FreebaseLikeDeterminismTest, InverseFractionOneYieldsAllInverses) {
+  FreebaseLikeOptions options;
+  options.num_entities = 400;
+  options.inverse_fraction = 1.0;
+  const Dataset data = GenerateFreebaseLike(options);
+  int inverses = 0;
+  for (const std::string& name : data.relations.names()) {
+    inverses += name.find("_inverse") != std::string::npos;
+  }
+  EXPECT_EQ(inverses, data.num_relations() / 2);
+}
+
+}  // namespace
+}  // namespace kge

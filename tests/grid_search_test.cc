@@ -1,0 +1,95 @@
+#include "train/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/pattern_kg_generator.h"
+#include "models/trilinear_models.h"
+
+namespace kge {
+namespace {
+
+constexpr int32_t kEntities = 50;
+constexpr int32_t kRelations = 2;
+
+std::vector<Triple> TinyTrain() {
+  PatternKgOptions options;
+  options.num_entities = kEntities;
+  options.seed = 3;
+  options.relations = {{RelationPattern::kInversePair, 80, ""}};
+  return GeneratePatternKg(options, nullptr);
+}
+
+TEST(GridSearchTest, PointEnumerationIsCartesianProduct) {
+  GridSearchSpace space;
+  space.learning_rates = {0.1, 0.01};
+  space.l2_lambdas = {0.0, 1e-3, 1e-2};
+  space.batch_sizes = {64};
+  GridSearch search(space, TrainerOptions{});
+  const auto points = search.Points();
+  EXPECT_EQ(points.size(), 6u);
+  EXPECT_DOUBLE_EQ(points[0].learning_rate, 0.1);
+  EXPECT_DOUBLE_EQ(points[0].l2_lambda, 0.0);
+  EXPECT_EQ(points[0].batch_size, 64);
+}
+
+TEST(GridSearchTest, DefaultSpaceMatchesPaperSection53) {
+  GridSearchSpace space;
+  EXPECT_EQ(space.learning_rates, (std::vector<double>{1e-3, 1e-4}));
+  EXPECT_EQ(space.l2_lambdas,
+            (std::vector<double>{1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 0.0}));
+  EXPECT_EQ(space.batch_sizes, (std::vector<int>{1 << 12, 1 << 14}));
+}
+
+TEST(GridSearchTest, EmptyGridIsError) {
+  GridSearchSpace space;
+  space.learning_rates.clear();
+  GridSearch search(space, TrainerOptions{});
+  const auto result = search.Run(
+      [] { return MakeComplEx(kEntities, kRelations, 4, 1); }, TinyTrain(),
+      [](KgeModel*) { return 0.0; });
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GridSearchTest, SelectsThePointWithBestMetric) {
+  GridSearchSpace space;
+  space.learning_rates = {0.05, 1e-9};  // the second can barely learn
+  space.l2_lambdas = {0.0};
+  space.batch_sizes = {128};
+  TrainerOptions base;
+  base.max_epochs = 30;
+  base.eval_every_epochs = 1000;  // no early stopping inside runs
+  GridSearch search(space, base);
+
+  const auto train = TinyTrain();
+  // Metric: mean margin between train positives and a fixed corruption.
+  auto validate = [&train](KgeModel* model) {
+    double total = 0.0;
+    for (const Triple& t : train) {
+      Triple corrupted = t;
+      corrupted.tail = (t.tail + 7) % kEntities;
+      total += model->Score(t) - model->Score(corrupted);
+    }
+    return total / double(train.size());
+  };
+  const auto result = search.Run(
+      [] { return MakeComplEx(kEntities, kRelations, 8, 5); }, train,
+      validate);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->best.learning_rate, 0.05);
+  EXPECT_EQ(result->all.size(), 2u);
+  // The winning metric is recorded and is the max of all.
+  for (const auto& [point, metric] : result->all) {
+    EXPECT_GE(result->best_metric, metric);
+  }
+}
+
+TEST(GridSearchTest, GridPointToStringIsReadable) {
+  const GridPoint point{1e-3, 1e-2, 4096};
+  const std::string s = point.ToString();
+  EXPECT_NE(s.find("lr=0.001"), std::string::npos);
+  EXPECT_NE(s.find("lambda=0.01"), std::string::npos);
+  EXPECT_NE(s.find("batch=4096"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kge

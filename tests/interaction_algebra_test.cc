@@ -1,0 +1,204 @@
+// The executable version of the paper's Table 1 / Eq. (9)–(14)
+// derivations: each trilinear-product model's native algebraic score
+// function must agree exactly with the multi-embedding weighted sum under
+// the derived weight vector.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/interaction.h"
+#include "core/weight_table.h"
+#include "math/complex_ops.h"
+#include "math/quaternion.h"
+#include "math/vec_ops.h"
+#include "models/quaternion_model.h"
+#include "util/random.h"
+
+namespace kge {
+namespace {
+
+constexpr int32_t kDim = 10;
+
+std::vector<float> RandomVec(size_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = rng->NextUniform(-1, 1);
+  return v;
+}
+
+std::span<const float> Part(const std::vector<float>& v, int32_t index) {
+  return std::span<const float>(v).subspan(size_t(index) * kDim, kDim);
+}
+
+class AlgebraTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(2024);
+    h2_ = RandomVec(2 * kDim, &rng);
+    t2_ = RandomVec(2 * kDim, &rng);
+    r2_ = RandomVec(2 * kDim, &rng);
+    h4_ = RandomVec(4 * kDim, &rng);
+    t4_ = RandomVec(4 * kDim, &rng);
+    r4_ = RandomVec(4 * kDim, &rng);
+  }
+
+  // Two-embedding vectors (used as {real, imaginary} for ComplEx).
+  std::vector<float> h2_, t2_, r2_;
+  // Four-embedding vectors (quaternion components).
+  std::vector<float> h4_, t4_, r4_;
+};
+
+TEST_F(AlgebraTest, DistMultWeightVectorEqualsPlainTrilinearProduct) {
+  const WeightTable table = WeightTable::DistMult();
+  const auto h = Part(h2_, 0);
+  const auto t = Part(t2_, 0);
+  const auto r = Part(r2_, 0);
+  EXPECT_NEAR(ScoreTriple(table, kDim, h, t, r), TrilinearDot(h, t, r),
+              1e-6);
+}
+
+TEST_F(AlgebraTest, ComplExWeightVectorEqualsNativeComplexAlgebra) {
+  // Eq. (9)/(10): Re<h, conj(t), r> over C^D with h(1)=Re(h), h(2)=Im(h).
+  const ComplexVectorView h{Part(h2_, 0), Part(h2_, 1)};
+  const ComplexVectorView t{Part(t2_, 0), Part(t2_, 1)};
+  const ComplexVectorView r{Part(r2_, 0), Part(r2_, 1)};
+  EXPECT_NEAR(ScoreTriple(WeightTable::ComplEx(), kDim, h2_, t2_, r2_),
+              ComplexScore(h, t, r), 1e-5);
+}
+
+TEST_F(AlgebraTest, ComplExEquiv1IsHeadTailSwapOfComplEx) {
+  // Table 1 note: "by the symmetry between h and t".
+  EXPECT_NEAR(ScoreTriple(WeightTable::ComplExEquiv1(), kDim, h2_, t2_, r2_),
+              ScoreTriple(WeightTable::ComplEx(), kDim, t2_, h2_, r2_),
+              1e-5);
+}
+
+TEST_F(AlgebraTest, ComplExEquiv3IsRelationComponentSwapOfComplEx) {
+  // Table 1 note: "by symmetry between embedding vectors of the same
+  // relation": swap r(1) and r(2).
+  std::vector<float> r_swapped(r2_.size());
+  std::copy(r2_.begin() + kDim, r2_.end(), r_swapped.begin());
+  std::copy(r2_.begin(), r2_.begin() + kDim, r_swapped.begin() + kDim);
+  EXPECT_NEAR(ScoreTriple(WeightTable::ComplExEquiv3(), kDim, h2_, t2_, r2_),
+              ScoreTriple(WeightTable::ComplEx(), kDim, h2_, t2_, r_swapped),
+              1e-5);
+}
+
+TEST_F(AlgebraTest, ComplExEquiv2IsHeadTailSwapOfEquiv3) {
+  EXPECT_NEAR(ScoreTriple(WeightTable::ComplExEquiv2(), kDim, h2_, t2_, r2_),
+              ScoreTriple(WeightTable::ComplExEquiv3(), kDim, t2_, h2_, r2_),
+              1e-5);
+}
+
+TEST_F(AlgebraTest, AllComplExVariantsAreAntisymmetricCapable) {
+  // Every variant must change its score under a head/tail swap for
+  // generic embeddings (unlike DistMult).
+  for (const WeightTable& table :
+       {WeightTable::ComplEx(), WeightTable::ComplExEquiv1(),
+        WeightTable::ComplExEquiv2(), WeightTable::ComplExEquiv3()}) {
+    const double forward = ScoreTriple(table, kDim, h2_, t2_, r2_);
+    const double backward = ScoreTriple(table, kDim, t2_, h2_, r2_);
+    EXPECT_GT(std::abs(forward - backward), 1e-6);
+  }
+}
+
+TEST_F(AlgebraTest, DistMultIsSymmetric) {
+  const WeightTable table = WeightTable::DistMult();
+  EXPECT_NEAR(
+      ScoreTriple(table, kDim, Part(h2_, 0), Part(t2_, 0), Part(r2_, 0)),
+      ScoreTriple(table, kDim, Part(t2_, 0), Part(h2_, 0), Part(r2_, 0)),
+      1e-6);
+}
+
+TEST_F(AlgebraTest, UniformWeightsAreSymmetricToo) {
+  // §6.2: the uniform weighted-sum matching score is symmetric, which is
+  // why it behaves like DistMult.
+  const WeightTable table = WeightTable::Uniform(2, 2);
+  EXPECT_NEAR(ScoreTriple(table, kDim, h2_, t2_, r2_),
+              ScoreTriple(table, kDim, t2_, h2_, r2_), 1e-5);
+}
+
+TEST_F(AlgebraTest, CpWeightVectorEqualsRoleBasedTrilinearProduct) {
+  // Eq. (6): S = <h, t(2), r> where h uses the head-role vector h(1).
+  const double native =
+      TrilinearDot(Part(h2_, 0), Part(t2_, 1), Part(r2_, 0));
+  EXPECT_NEAR(
+      ScoreTriple(WeightTable::Cp(), kDim, h2_, t2_,
+                  std::span<const float>(r2_).subspan(0, kDim)),
+      native, 1e-6);
+}
+
+TEST_F(AlgebraTest, CphWeightVectorEqualsAugmentedSum) {
+  // Eq. (11): S = <h, t(2), r> + <t, h(2), r_a> with r_a mapped to r(2).
+  const double original =
+      TrilinearDot(Part(h2_, 0), Part(t2_, 1), Part(r2_, 0));
+  const double inverse =
+      TrilinearDot(Part(t2_, 0), Part(h2_, 1), Part(r2_, 1));
+  EXPECT_NEAR(ScoreTriple(WeightTable::Cph(), kDim, h2_, t2_, r2_),
+              original + inverse, 1e-5);
+}
+
+TEST_F(AlgebraTest, QuaternionTableEqualsNativeQuaternionAlgebra) {
+  // Eq. (13)/(14): Re<h, conj(t), r> over H^D.
+  const QuaternionVectorView h{Part(h4_, 0), Part(h4_, 1), Part(h4_, 2),
+                               Part(h4_, 3)};
+  const QuaternionVectorView t{Part(t4_, 0), Part(t4_, 1), Part(t4_, 2),
+                               Part(t4_, 3)};
+  const QuaternionVectorView r{Part(r4_, 0), Part(r4_, 1), Part(r4_, 2),
+                               Part(r4_, 3)};
+  EXPECT_NEAR(ScoreTriple(WeightTable::Quaternion(), kDim, h4_, t4_, r4_),
+              QuaternionScoreHConjTR(h, t, r), 1e-5);
+}
+
+TEST_F(AlgebraTest, HardcodedEq14TableMatchesAlgebraicDerivation) {
+  // The paper's hand-expanded Eq. (14) vs mechanical expansion of
+  // Re(e_i * conj(e_j) * e_k) over the quaternion basis.
+  const WeightTable hardcoded = WeightTable::Quaternion();
+  const WeightTable derived =
+      DeriveQuaternionWeightTable(QuaternionProductOrder::kHConjTR);
+  const auto a = hardcoded.Flat();
+  const auto b = derived.Flat();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t m = 0; m < a.size(); ++m) EXPECT_EQ(a[m], b[m]) << "m=" << m;
+}
+
+TEST_F(AlgebraTest, AlternativeQuaternionOrderMatchesItsAlgebra) {
+  const WeightTable derived =
+      DeriveQuaternionWeightTable(QuaternionProductOrder::kHRConjT);
+  const QuaternionVectorView h{Part(h4_, 0), Part(h4_, 1), Part(h4_, 2),
+                               Part(h4_, 3)};
+  const QuaternionVectorView t{Part(t4_, 0), Part(t4_, 1), Part(t4_, 2),
+                               Part(t4_, 3)};
+  const QuaternionVectorView r{Part(r4_, 0), Part(r4_, 1), Part(r4_, 2),
+                               Part(r4_, 3)};
+  EXPECT_NEAR(ScoreTriple(derived, kDim, h4_, t4_, r4_),
+              QuaternionScoreHRConjT(h, t, r), 1e-5);
+}
+
+TEST_F(AlgebraTest, CyclicOrderCollapsesToPaperOrder) {
+  // Re(r·h·t̄) = Re(h·t̄·r) because Re(xy) = Re(yx) in H: the "third"
+  // product order is not a distinct score function.
+  const WeightTable a =
+      DeriveQuaternionWeightTable(QuaternionProductOrder::kHConjTR);
+  const WeightTable b =
+      DeriveQuaternionWeightTable(QuaternionProductOrder::kRHConjT);
+  const auto fa = a.Flat();
+  const auto fb = b.Flat();
+  for (size_t m = 0; m < fa.size(); ++m) EXPECT_EQ(fa[m], fb[m]);
+}
+
+TEST_F(AlgebraTest, ComplExEmbedsInQuaternionModel) {
+  // A quaternion with zero j, k components is a complex number, so the
+  // quaternion model restricted to two components must reproduce ComplEx
+  // (the paper's motivation for the four-embedding extension).
+  std::vector<float> h4(4 * kDim, 0.0f), t4(4 * kDim, 0.0f),
+      r4(4 * kDim, 0.0f);
+  std::copy(h2_.begin(), h2_.end(), h4.begin());
+  std::copy(t2_.begin(), t2_.end(), t4.begin());
+  std::copy(r2_.begin(), r2_.end(), r4.begin());
+  EXPECT_NEAR(ScoreTriple(WeightTable::Quaternion(), kDim, h4, t4, r4),
+              ScoreTriple(WeightTable::ComplEx(), kDim, h2_, t2_, r2_),
+              1e-5);
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,187 @@
+#include "core/interaction.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "math/vec_ops.h"
+#include "util/random.h"
+
+namespace kge {
+namespace {
+
+// Naive reference implementation of Eq. (8).
+double NaiveScore(const WeightTable& w, int32_t dim,
+                  std::span<const float> h, std::span<const float> t,
+                  std::span<const float> r) {
+  double score = 0.0;
+  for (int32_t i = 0; i < w.ne(); ++i) {
+    for (int32_t j = 0; j < w.ne(); ++j) {
+      for (int32_t k = 0; k < w.nr(); ++k) {
+        double term = 0.0;
+        for (int32_t d = 0; d < dim; ++d) {
+          term += double(h[i * dim + d]) * double(t[j * dim + d]) *
+                  double(r[k * dim + d]);
+        }
+        score += double(w.At(i, j, k)) * term;
+      }
+    }
+  }
+  return score;
+}
+
+std::vector<float> RandomVec(size_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = rng->NextUniform(-1, 1);
+  return v;
+}
+
+struct Preset {
+  const char* name;
+  WeightTable table;
+};
+
+std::vector<Preset> AllPresets() {
+  std::vector<Preset> presets;
+  presets.push_back({"DistMult", WeightTable::DistMult()});
+  presets.push_back({"ComplEx", WeightTable::ComplEx()});
+  presets.push_back({"CP", WeightTable::Cp()});
+  presets.push_back({"CPh", WeightTable::Cph()});
+  presets.push_back({"Quaternion", WeightTable::Quaternion()});
+  presets.push_back({"Uniform22", WeightTable::Uniform(2, 2)});
+  presets.push_back({"Good2", WeightTable::GoodExample2()});
+  presets.push_back({"Bad1", WeightTable::BadExample1()});
+  return presets;
+}
+
+class InteractionPresetTest : public testing::TestWithParam<size_t> {
+ protected:
+  static constexpr int32_t kDim = 6;
+
+  void SetUp() override {
+    preset_ = AllPresets()[GetParam()];
+    Rng rng(GetParam() + 1);
+    h_ = RandomVec(size_t(preset_.table.ne()) * kDim, &rng);
+    t_ = RandomVec(size_t(preset_.table.ne()) * kDim, &rng);
+    r_ = RandomVec(size_t(preset_.table.nr()) * kDim, &rng);
+  }
+
+  Preset preset_{"", WeightTable(1, 1)};
+  std::vector<float> h_, t_, r_;
+};
+
+TEST_P(InteractionPresetTest, ScoreMatchesNaiveReference) {
+  EXPECT_NEAR(ScoreTriple(preset_.table, kDim, h_, t_, r_),
+              NaiveScore(preset_.table, kDim, h_, t_, r_), 1e-6)
+      << preset_.name;
+}
+
+TEST_P(InteractionPresetTest, FoldForTailReproducesScore) {
+  std::vector<float> fold(h_.size());
+  FoldForTail(preset_.table, kDim, h_, r_, fold);
+  EXPECT_NEAR(Dot(fold, t_), ScoreTriple(preset_.table, kDim, h_, t_, r_),
+              1e-5)
+      << preset_.name;
+}
+
+TEST_P(InteractionPresetTest, FoldForHeadReproducesScore) {
+  std::vector<float> fold(t_.size());
+  FoldForHead(preset_.table, kDim, t_, r_, fold);
+  EXPECT_NEAR(Dot(fold, h_), ScoreTriple(preset_.table, kDim, h_, t_, r_),
+              1e-5)
+      << preset_.name;
+}
+
+TEST_P(InteractionPresetTest, FoldForRelationReproducesScore) {
+  std::vector<float> fold(r_.size());
+  FoldForRelation(preset_.table, kDim, h_, t_, fold);
+  EXPECT_NEAR(Dot(fold, r_), ScoreTriple(preset_.table, kDim, h_, t_, r_),
+              1e-5)
+      << preset_.name;
+}
+
+TEST_P(InteractionPresetTest, GradientsMatchFiniteDifferences) {
+  std::vector<float> gh(h_.size(), 0.0f), gt(t_.size(), 0.0f),
+      gr(r_.size(), 0.0f);
+  const float dscore = 1.7f;
+  AccumulateTripleGradients(preset_.table, kDim, h_, t_, r_, dscore, gh, gt,
+                            gr);
+
+  const double eps = 1e-3;
+  auto check = [&](std::vector<float>& param, std::span<const float> grad) {
+    for (size_t d = 0; d < param.size(); ++d) {
+      const float saved = param[d];
+      param[d] = saved + float(eps);
+      const double plus = ScoreTriple(preset_.table, kDim, h_, t_, r_);
+      param[d] = saved - float(eps);
+      const double minus = ScoreTriple(preset_.table, kDim, h_, t_, r_);
+      param[d] = saved;
+      const double numeric = double(dscore) * (plus - minus) / (2 * eps);
+      EXPECT_NEAR(grad[d], numeric, 1e-2) << preset_.name << " dim " << d;
+    }
+  };
+  check(h_, gh);
+  check(t_, gt);
+  check(r_, gr);
+}
+
+TEST_P(InteractionPresetTest, OmegaGradientsAreTrilinearProducts) {
+  std::vector<float> omega_grad(size_t(preset_.table.size()), 0.0f);
+  AccumulateOmegaGradients(preset_.table, kDim, h_, t_, r_, 2.0f, omega_grad);
+  for (int32_t i = 0; i < preset_.table.ne(); ++i) {
+    for (int32_t j = 0; j < preset_.table.ne(); ++j) {
+      for (int32_t k = 0; k < preset_.table.nr(); ++k) {
+        const double expected =
+            2.0 * TrilinearDot(
+                      std::span<const float>(h_).subspan(i * kDim, kDim),
+                      std::span<const float>(t_).subspan(j * kDim, kDim),
+                      std::span<const float>(r_).subspan(k * kDim, kDim));
+        EXPECT_NEAR(omega_grad[size_t(preset_.table.Index(i, j, k))],
+                    expected, 1e-5);
+      }
+    }
+  }
+}
+
+TEST_P(InteractionPresetTest, GradientsAccumulateRatherThanOverwrite) {
+  std::vector<float> gh(h_.size(), 1.0f), gt(t_.size(), 1.0f),
+      gr(r_.size(), 1.0f);
+  std::vector<float> gh2(h_.size(), 0.0f), gt2(t_.size(), 0.0f),
+      gr2(r_.size(), 0.0f);
+  AccumulateTripleGradients(preset_.table, kDim, h_, t_, r_, 1.0f, gh, gt,
+                            gr);
+  AccumulateTripleGradients(preset_.table, kDim, h_, t_, r_, 1.0f, gh2, gt2,
+                            gr2);
+  for (size_t d = 0; d < gh.size(); ++d) {
+    EXPECT_NEAR(gh[d], gh2[d] + 1.0f, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, InteractionPresetTest,
+                         testing::Range<size_t>(0, 8));
+
+TEST(InteractionTest, ZeroWeightTableGivesZeroScore) {
+  WeightTable table(2, 2);
+  Rng rng(5);
+  const auto h = RandomVec(8, &rng);
+  const auto t = RandomVec(8, &rng);
+  const auto r = RandomVec(8, &rng);
+  EXPECT_EQ(ScoreTriple(table, 4, h, t, r), 0.0);
+}
+
+TEST(InteractionTest, ScoreIsLinearInWeights) {
+  Rng rng(6);
+  const auto h = RandomVec(8, &rng);
+  const auto t = RandomVec(8, &rng);
+  const auto r = RandomVec(8, &rng);
+  WeightTable base = WeightTable::ComplEx();
+  std::vector<float> doubled(base.Flat().begin(), base.Flat().end());
+  for (float& w : doubled) w *= 2.0f;
+  WeightTable twice(2, 2);
+  twice.SetFlat(doubled);
+  EXPECT_NEAR(ScoreTriple(twice, 4, h, t, r),
+              2.0 * ScoreTriple(base, 4, h, t, r), 1e-6);
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,127 @@
+#include "util/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace kge {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(FileIoTest, WriteAndReadRoundTrip) {
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld\n").ok());
+  Result<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, ReadMissingFileFails) {
+  Result<std::string> content = ReadFileToString("/nonexistent/nope.txt");
+  EXPECT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kIoError);
+}
+
+TEST(FileIoTest, FileExists) {
+  const std::string path = TempPath("exists.txt");
+  EXPECT_FALSE(FileExists(path));
+  ASSERT_TRUE(WriteStringToFile(path, "x").ok());
+  EXPECT_TRUE(FileExists(path));
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, EmptyFileRoundTrip) {
+  const std::string path = TempPath("empty.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  Result<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(content->empty());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ScalarRoundTrip) {
+  const std::string path = TempPath("scalars.bin");
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.WriteUint32(0xDEADBEEF).ok());
+    ASSERT_TRUE(writer.WriteUint64(0x0123456789ABCDEFULL).ok());
+    ASSERT_TRUE(writer.WriteFloat(3.5f).ok());
+    ASSERT_TRUE(writer.WriteDouble(-2.25).ok());
+    ASSERT_TRUE(writer.WriteString("knowledge graph").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    BinaryReader reader;
+    ASSERT_TRUE(reader.Open(path).ok());
+    EXPECT_EQ(*reader.ReadUint32(), 0xDEADBEEF);
+    EXPECT_EQ(*reader.ReadUint64(), 0x0123456789ABCDEFULL);
+    EXPECT_EQ(*reader.ReadFloat(), 3.5f);
+    EXPECT_EQ(*reader.ReadDouble(), -2.25);
+    EXPECT_EQ(*reader.ReadString(), "knowledge graph");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, FloatArrayRoundTrip) {
+  const std::string path = TempPath("floats.bin");
+  std::vector<float> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(float(i) * 0.125f);
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.WriteFloatArray(values.data(), values.size()).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::vector<float> loaded(values.size());
+  {
+    BinaryReader reader;
+    ASSERT_TRUE(reader.Open(path).ok());
+    ASSERT_TRUE(reader.ReadFloatArray(loaded.data(), loaded.size()).ok());
+  }
+  EXPECT_EQ(loaded, values);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, FloatArraySizeMismatchFails) {
+  const std::string path = TempPath("mismatch.bin");
+  const float values[3] = {1, 2, 3};
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.WriteFloatArray(values, 3).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  float loaded[5];
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_FALSE(reader.ReadFloatArray(loaded, 5).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ShortReadFails) {
+  const std::string path = TempPath("short.bin");
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.WriteUint32(1).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_FALSE(reader.ReadUint64().ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, OpenMissingFileFails) {
+  BinaryReader reader;
+  EXPECT_FALSE(reader.Open("/nonexistent/missing.bin").ok());
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,147 @@
+#include "models/learned_weight_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kge {
+namespace {
+
+constexpr int32_t kEntities = 15;
+constexpr int32_t kRelations = 3;
+constexpr int32_t kDim = 6;
+constexpr uint64_t kSeed = 21;
+
+LearnedWeightOptions DefaultOptions() {
+  LearnedWeightOptions options;
+  options.ne = 2;
+  options.nr = 2;
+  return options;
+}
+
+TEST(LearnedWeightModelTest, ExposesThreeBlocks) {
+  LearnedWeightModel model("m", kEntities, kRelations, kDim, DefaultOptions(),
+                           kSeed);
+  const auto blocks = model.Blocks();
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[LearnedWeightModel::kOmegaBlock]->name(), "omega_raw");
+  EXPECT_EQ(blocks[LearnedWeightModel::kOmegaBlock]->size(), 8);
+}
+
+TEST(LearnedWeightModelTest, StartsUniformUnderNoRestriction) {
+  LearnedWeightModel model("m", kEntities, kRelations, kDim, DefaultOptions(),
+                           kSeed);
+  for (float w : model.CurrentOmega()) EXPECT_EQ(w, 1.0f);
+}
+
+TEST(LearnedWeightModelTest, SoftmaxRestrictionNormalizesOmega) {
+  LearnedWeightOptions options = DefaultOptions();
+  options.restriction = RestrictionKind::kSoftmax;
+  LearnedWeightModel model("m", kEntities, kRelations, kDim, options, kSeed);
+  const auto omega = model.CurrentOmega();
+  double sum = 0.0;
+  for (float w : omega) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  for (float w : omega) EXPECT_NEAR(w, 1.0 / 8.0, 1e-5);
+}
+
+TEST(LearnedWeightModelTest, TanhRestrictionBoundsOmega) {
+  LearnedWeightOptions options = DefaultOptions();
+  options.restriction = RestrictionKind::kTanh;
+  options.initial_raw_weight = 5.0f;
+  LearnedWeightModel model("m", kEntities, kRelations, kDim, options, kSeed);
+  for (float w : model.CurrentOmega()) {
+    EXPECT_LE(w, 1.0f);
+    EXPECT_NEAR(w, std::tanh(5.0), 1e-4);
+  }
+}
+
+TEST(LearnedWeightModelTest, OmegaGradientFlowsThroughFinishBatch) {
+  LearnedWeightModel model("m", kEntities, kRelations, kDim, DefaultOptions(),
+                           kSeed);
+  GradientBuffer grads(model.Blocks());
+  model.BeginBatch();
+  model.AccumulateGradients({1, 2, 0}, 1.0f, &grads);
+  model.FinishBatch(&grads);
+  const auto omega_grad =
+      grads.GradFor(LearnedWeightModel::kOmegaBlock, 0);
+  double total = 0.0;
+  for (float g : omega_grad) total += std::fabs(g);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(LearnedWeightModelTest, FullParameterGradientFiniteDifference) {
+  // End-to-end gradient check through restriction: L = dscore * S(triple)
+  // as a function of the raw weights ρ.
+  LearnedWeightOptions options = DefaultOptions();
+  options.restriction = RestrictionKind::kSoftmax;
+  LearnedWeightModel model("m", kEntities, kRelations, kDim, options, kSeed);
+  const Triple triple{3, 4, 1};
+
+  GradientBuffer grads(model.Blocks());
+  model.BeginBatch();
+  model.AccumulateGradients(triple, 1.0f, &grads);
+  model.FinishBatch(&grads);
+  const auto analytic = grads.GradFor(LearnedWeightModel::kOmegaBlock, 0);
+
+  ParameterBlock* raw = model.Blocks()[LearnedWeightModel::kOmegaBlock];
+  const double eps = 1e-3;
+  for (int64_t m = 0; m < raw->size(); ++m) {
+    const float saved = raw->Row(0)[size_t(m)];
+    raw->Row(0)[size_t(m)] = saved + float(eps);
+    model.RefreshWeights();
+    const double plus = model.Score(triple);
+    raw->Row(0)[size_t(m)] = saved - float(eps);
+    model.RefreshWeights();
+    const double minus = model.Score(triple);
+    raw->Row(0)[size_t(m)] = saved;
+    model.RefreshWeights();
+    EXPECT_NEAR(analytic[size_t(m)], (plus - minus) / (2 * eps), 1e-2)
+        << "raw weight " << m;
+  }
+}
+
+TEST(LearnedWeightModelTest, DirichletAddsLossAndGradient) {
+  LearnedWeightOptions options = DefaultOptions();
+  DirichletOptions dirichlet;
+  dirichlet.alpha = 1.0 / 16.0;
+  dirichlet.lambda = 1e-2;
+  options.dirichlet = dirichlet;
+  LearnedWeightModel model("m", kEntities, kRelations, kDim, options, kSeed);
+
+  GradientBuffer grads(model.Blocks());
+  model.BeginBatch();
+  const double extra = model.FinishBatch(&grads);
+  EXPECT_GT(std::fabs(extra), 0.0);
+}
+
+TEST(LearnedWeightModelTest, NoDirichletMeansZeroExtraLoss) {
+  LearnedWeightModel model("m", kEntities, kRelations, kDim, DefaultOptions(),
+                           kSeed);
+  GradientBuffer grads(model.Blocks());
+  model.BeginBatch();
+  EXPECT_EQ(model.FinishBatch(&grads), 0.0);
+}
+
+TEST(LearnedWeightModelTest, FactoryNamesDescribeConfiguration) {
+  LearnedWeightOptions options = DefaultOptions();
+  options.restriction = RestrictionKind::kSigmoid;
+  auto plain = MakeLearnedWeightModel(kEntities, kRelations, kDim, options,
+                                      kSeed);
+  EXPECT_EQ(plain->name(), "AutoWeight[sigmoid]");
+  options.dirichlet = DirichletOptions{};
+  auto sparse = MakeLearnedWeightModel(kEntities, kRelations, kDim, options,
+                                       kSeed);
+  EXPECT_EQ(sparse->name(), "AutoWeight[sigmoid,sparse]");
+}
+
+TEST(LearnedWeightModelTest, UniformOmegaGivesSymmetricScores) {
+  // §6.2: the uniform weight vector is symmetric — the learned-ω model at
+  // its initialization scores (h,t,r) and (t,h,r) identically.
+  LearnedWeightModel model("m", kEntities, kRelations, kDim, DefaultOptions(),
+                           kSeed);
+  EXPECT_NEAR(model.Score({1, 2, 0}), model.Score({2, 1, 0}), 1e-5);
+}
+
+}  // namespace
+}  // namespace kge

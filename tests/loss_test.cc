@@ -1,0 +1,94 @@
+#include "train/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kge {
+namespace {
+
+TEST(LossTest, ZeroScoreGivesLog2) {
+  EXPECT_NEAR(LogisticLoss(0.0, 1.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogisticLoss(0.0, -1.0), std::log(2.0), 1e-12);
+}
+
+TEST(LossTest, ConfidentCorrectPredictionsHaveLowLoss) {
+  EXPECT_LT(LogisticLoss(10.0, 1.0), 1e-4);
+  EXPECT_LT(LogisticLoss(-10.0, -1.0), 1e-4);
+}
+
+TEST(LossTest, ConfidentWrongPredictionsHaveHighLoss) {
+  EXPECT_GT(LogisticLoss(-10.0, 1.0), 9.0);
+  EXPECT_GT(LogisticLoss(10.0, -1.0), 9.0);
+}
+
+TEST(LossTest, LossIsSymmetricUnderLabelScoreFlip) {
+  for (double s : {-3.0, -1.0, 0.5, 2.0}) {
+    EXPECT_NEAR(LogisticLoss(s, 1.0), LogisticLoss(-s, -1.0), 1e-12);
+  }
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+  for (double label : {1.0, -1.0}) {
+    for (double s : {-4.0, -1.0, 0.0, 0.3, 2.0, 5.0}) {
+      const double h = 1e-6;
+      const double numeric =
+          (LogisticLoss(s + h, label) - LogisticLoss(s - h, label)) / (2 * h);
+      EXPECT_NEAR(LogisticLossGradient(s, label), numeric, 1e-6)
+          << "s=" << s << " y=" << label;
+    }
+  }
+}
+
+TEST(LossTest, GradientSigns) {
+  // Positive label: loss decreases as score increases => negative grad.
+  EXPECT_LT(LogisticLossGradient(0.0, 1.0), 0.0);
+  EXPECT_GT(LogisticLossGradient(0.0, -1.0), 0.0);
+}
+
+TEST(LossTest, GradientMagnitudeBoundedByOne) {
+  for (double s : {-100.0, -1.0, 0.0, 1.0, 100.0}) {
+    EXPECT_LE(std::fabs(LogisticLossGradient(s, 1.0)), 1.0);
+    EXPECT_LE(std::fabs(LogisticLossGradient(s, -1.0)), 1.0);
+  }
+}
+
+TEST(LossTest, StableForExtremeScores) {
+  EXPECT_TRUE(std::isfinite(LogisticLoss(1e30, -1.0)));
+  EXPECT_TRUE(std::isfinite(LogisticLossGradient(1e30, -1.0)));
+  EXPECT_TRUE(std::isfinite(LogisticLoss(-1e30, 1.0)));
+}
+
+TEST(LossTest, PredictedProbability) {
+  EXPECT_DOUBLE_EQ(PredictedProbability(0.0), 0.5);
+  EXPECT_GT(PredictedProbability(3.0), 0.95);
+  EXPECT_LT(PredictedProbability(-3.0), 0.05);
+}
+
+TEST(MarginLossTest, ZeroWhenMarginSatisfied) {
+  EXPECT_DOUBLE_EQ(MarginRankingLoss(5.0, 1.0, 1.0), 0.0);
+  EXPECT_FALSE(MarginIsViolated(5.0, 1.0, 1.0));
+}
+
+TEST(MarginLossTest, LinearInsideMargin) {
+  // pos 1, neg 0.5, margin 1: violation = 1 - 1 + 0.5 = 0.5.
+  EXPECT_DOUBLE_EQ(MarginRankingLoss(1.0, 0.5, 1.0), 0.5);
+  EXPECT_TRUE(MarginIsViolated(1.0, 0.5, 1.0));
+}
+
+TEST(MarginLossTest, ExactBoundaryIsNotViolated) {
+  EXPECT_DOUBLE_EQ(MarginRankingLoss(2.0, 1.0, 1.0), 0.0);
+  EXPECT_FALSE(MarginIsViolated(2.0, 1.0, 1.0));
+}
+
+TEST(MarginLossTest, WrongOrderingPenalizedByGap) {
+  EXPECT_DOUBLE_EQ(MarginRankingLoss(-1.0, 1.0, 1.0), 3.0);
+}
+
+TEST(MarginLossTest, ZeroMarginReducesToOrderingTest) {
+  EXPECT_DOUBLE_EQ(MarginRankingLoss(1.0, 0.5, 0.0), 0.0);
+  EXPECT_GT(MarginRankingLoss(0.5, 1.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,127 @@
+#include "kg/negative_sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+TEST(NegativeSamplerTest, CorruptsExactlyOneSide) {
+  NegativeSamplerOptions options;
+  NegativeSampler sampler(100, 4, {}, options);
+  Rng rng(1);
+  const Triple positive{10, 20, 2};
+  for (int i = 0; i < 1000; ++i) {
+    const Triple negative = sampler.Sample(positive, &rng);
+    EXPECT_EQ(negative.relation, positive.relation);
+    const bool head_changed = negative.head != positive.head;
+    const bool tail_changed = negative.tail != positive.tail;
+    EXPECT_TRUE(head_changed != tail_changed);  // exactly one side
+    EXPECT_NE(negative, positive);
+    EXPECT_GE(negative.head, 0);
+    EXPECT_LT(negative.head, 100);
+    EXPECT_GE(negative.tail, 0);
+    EXPECT_LT(negative.tail, 100);
+  }
+}
+
+TEST(NegativeSamplerTest, UniformSideIsBalanced) {
+  NegativeSamplerOptions options;
+  NegativeSampler sampler(1000, 2, {}, options);
+  Rng rng(2);
+  const Triple positive{1, 2, 0};
+  int head_corruptions = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    head_corruptions += sampler.Sample(positive, &rng).head != positive.head;
+  }
+  EXPECT_NEAR(head_corruptions / double(kDraws), 0.5, 0.02);
+}
+
+TEST(NegativeSamplerTest, SampleManyAppends) {
+  NegativeSamplerOptions options;
+  NegativeSampler sampler(50, 1, {}, options);
+  Rng rng(3);
+  std::vector<Triple> out;
+  sampler.SampleMany({0, 1, 0}, 5, &rng, &out);
+  sampler.SampleMany({2, 3, 0}, 5, &rng, &out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(NegativeSamplerTest, BernoulliFavorsHeadCorruptionForOneToMany) {
+  // Relation 0 is 1-N (each head has many tails): tph >> hpt, so the head
+  // should be corrupted with probability tph/(tph+hpt) > 0.5.
+  std::vector<Triple> train;
+  for (EntityId tail = 1; tail <= 9; ++tail) train.push_back({0, tail, 0});
+  NegativeSamplerOptions options;
+  options.side = CorruptionSide::kBernoulli;
+  NegativeSampler sampler(20, 1, train, options);
+  EXPECT_GT(sampler.HeadCorruptionProbability(0), 0.8);
+}
+
+TEST(NegativeSamplerTest, BernoulliFavorsTailCorruptionForManyToOne) {
+  std::vector<Triple> train;
+  for (EntityId head = 1; head <= 9; ++head) train.push_back({head, 0, 0});
+  NegativeSamplerOptions options;
+  options.side = CorruptionSide::kBernoulli;
+  NegativeSampler sampler(20, 1, train, options);
+  EXPECT_LT(sampler.HeadCorruptionProbability(0), 0.2);
+}
+
+TEST(NegativeSamplerTest, BernoulliBalancedForOneToOne) {
+  std::vector<Triple> train = {{0, 1, 0}, {2, 3, 0}, {4, 5, 0}};
+  NegativeSamplerOptions options;
+  options.side = CorruptionSide::kBernoulli;
+  NegativeSampler sampler(20, 1, train, options);
+  EXPECT_NEAR(sampler.HeadCorruptionProbability(0), 0.5, 1e-9);
+}
+
+TEST(NegativeSamplerTest, UniformProbabilityIsHalf) {
+  NegativeSamplerOptions options;
+  NegativeSampler sampler(10, 3, {}, options);
+  for (RelationId r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(sampler.HeadCorruptionProbability(r), 0.5);
+  }
+}
+
+TEST(NegativeSamplerTest, RejectsKnownTriplesWhenFilterGiven) {
+  // Entities {0, 1, 2}; all (0, t, 0) triples are known except t = 2.
+  const std::vector<Triple> known = {{0, 0, 0}, {0, 1, 0}, {1, 2, 0},
+                                     {2, 2, 0}};
+  FilterIndex filter;
+  filter.Build(known, {}, {});
+  NegativeSamplerOptions options;
+  options.reject_known = &filter;
+  options.max_rejection_attempts = 64;
+  NegativeSampler sampler(3, 1, {}, options);
+  Rng rng(4);
+  const Triple positive{0, 0, 0};
+  for (int i = 0; i < 200; ++i) {
+    const Triple negative = sampler.Sample(positive, &rng);
+    EXPECT_FALSE(filter.Contains(negative))
+        << "(" << negative.head << "," << negative.tail << ")";
+  }
+}
+
+TEST(NegativeSamplerTest, DeterministicGivenSameRngSeed) {
+  NegativeSamplerOptions options;
+  NegativeSampler sampler(100, 1, {}, options);
+  Rng rng1(7), rng2(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sampler.Sample({1, 2, 0}, &rng1),
+              sampler.Sample({1, 2, 0}, &rng2));
+  }
+}
+
+TEST(NegativeSamplerTest, TinyEntityCountStillTerminates) {
+  NegativeSamplerOptions options;
+  NegativeSampler sampler(2, 1, {}, options);
+  Rng rng(8);
+  const Triple positive{0, 1, 0};
+  for (int i = 0; i < 100; ++i) {
+    const Triple negative = sampler.Sample(positive, &rng);
+    EXPECT_NE(negative, positive);
+  }
+}
+
+}  // namespace
+}  // namespace kge

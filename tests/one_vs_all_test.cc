@@ -1,0 +1,187 @@
+#include "train/one_vs_all.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/pattern_kg_generator.h"
+#include "eval/evaluator.h"
+#include "kg/augmentation.h"
+#include "math/activations.h"
+#include "math/vec_ops.h"
+#include "core/interaction.h"
+
+namespace kge {
+namespace {
+
+constexpr int32_t kEntities = 40;
+constexpr int32_t kRelations = 2;
+
+std::vector<Triple> TinyTrain(uint64_t seed = 3) {
+  PatternKgOptions options;
+  options.num_entities = kEntities;
+  options.seed = seed;
+  options.relations = {{RelationPattern::kInversePair, 80, ""}};
+  return GeneratePatternKg(options, nullptr);
+}
+
+// Reference loss: full BCE over all entities for every distinct (h, r)
+// query, computed directly from model scores.
+double ReferenceLoss(MultiEmbeddingModel* model,
+                     const std::vector<Triple>& train, double smoothing) {
+  std::map<std::pair<EntityId, RelationId>, std::set<EntityId>> queries;
+  for (const Triple& t : train) queries[{t.head, t.relation}].insert(t.tail);
+  double loss = 0.0;
+  const double negative_label = smoothing / double(kEntities);
+  const double positive_label = 1.0 - smoothing + negative_label;
+  for (const auto& [query, tails] : queries) {
+    for (EntityId e = 0; e < kEntities; ++e) {
+      const double s = model->Score({query.first, e, query.second});
+      const double y = tails.contains(e) ? positive_label : negative_label;
+      loss += Softplus(s) - y * s;
+    }
+  }
+  return loss / double(queries.size());
+}
+
+TEST(OneVsAllTest, FirstEpochLossMatchesReferenceBeforeTraining) {
+  // With learning rate 0 the reported epoch loss equals the reference
+  // loss of the initial parameters.
+  const auto train = TinyTrain();
+  auto model = MakeComplEx(kEntities, kRelations, 8, 5);
+  const double reference = ReferenceLoss(model.get(), train, 0.0);
+
+  OneVsAllOptions options;
+  options.learning_rate = 0.0;
+  options.max_epochs = 1;
+  OneVsAllTrainer trainer(model.get(), options);
+  const Result<TrainResult> result = trainer.Train(train, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->final_mean_loss, reference, 1e-3);
+}
+
+TEST(OneVsAllTest, LossDecreasesOverTraining) {
+  const auto train = TinyTrain();
+  auto model = MakeComplEx(kEntities, kRelations, 8, 5);
+  OneVsAllOptions options;
+  options.max_epochs = 150;
+  options.learning_rate = 0.02;
+  OneVsAllTrainer trainer(model.get(), options);
+  const Result<TrainResult> result = trainer.Train(train, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->loss_history.size(), 2u);
+  EXPECT_LT(result->loss_history.back(), 0.1 * result->loss_history.front());
+}
+
+TEST(OneVsAllTest, GradientsMatchFiniteDifferencesThroughFullLoss) {
+  const std::vector<Triple> train = {{0, 1, 0}, {0, 2, 0}, {3, 0, 1}};
+  auto model = MakeComplEx(kEntities, kRelations, 4, 7);
+
+  // One epoch with lr so tiny the parameters barely move lets us probe
+  // ProcessQuery indirectly; instead we check the analytic gradient by
+  // re-deriving it: run with SGD lr=1 on a single batch and compare the
+  // parameter delta against the finite-difference gradient of the
+  // reference loss (times the number of queries, since the loss is
+  // summed per query within the batch).
+  OneVsAllOptions options;
+  options.optimizer = "sgd";
+  options.learning_rate = 1.0;
+  options.max_epochs = 1;
+  options.batch_queries = 100;  // single batch
+
+  // Snapshot initial parameters.
+  std::vector<float> before(model->entity_store().block()->Flat().begin(),
+                            model->entity_store().block()->Flat().end());
+  auto fresh = MakeComplEx(kEntities, kRelations, 4, 7);  // same init
+
+  OneVsAllTrainer trainer(model.get(), options);
+  ASSERT_TRUE(trainer.Train(train, nullptr).ok());
+  const auto after = model->entity_store().block()->Flat();
+
+  // delta = -gradient (SGD lr 1, one step). Check a few coordinates of
+  // entity 0 (participates as head and tail).
+  const double eps = 1e-3;
+  const int32_t row_dim = 2 * 4;
+  for (int64_t d = 0; d < row_dim; ++d) {
+    auto params = fresh->entity_store().block()->Row(0);
+    const float saved = params[size_t(d)];
+    params[size_t(d)] = saved + float(eps);
+    // Reference loss is mean-per-query; the trainer accumulates the sum
+    // over the batch's queries. 2 distinct (h, r) queries here:
+    // (0, r0) -> {1, 2} and (3, r1) -> {0}.
+    const double plus = ReferenceLoss(fresh.get(), train, 0.0) * 2.0;
+    params[size_t(d)] = saved - float(eps);
+    const double minus = ReferenceLoss(fresh.get(), train, 0.0) * 2.0;
+    params[size_t(d)] = saved;
+    const double numeric = (plus - minus) / (2 * eps);
+    const double delta = double(before[size_t(d)]) - double(after[size_t(d)]);
+    EXPECT_NEAR(delta, numeric, 5e-3) << "coord " << d;
+  }
+}
+
+TEST(OneVsAllTest, LabelSmoothingChangesLoss) {
+  const auto train = TinyTrain();
+  auto model = MakeComplEx(kEntities, kRelations, 8, 5);
+  OneVsAllOptions plain;
+  plain.learning_rate = 0.0;
+  plain.max_epochs = 1;
+  OneVsAllTrainer plain_trainer(model.get(), plain);
+  const double plain_loss =
+      plain_trainer.Train(train, nullptr)->final_mean_loss;
+
+  OneVsAllOptions smoothed = plain;
+  smoothed.label_smoothing = 0.1;
+  OneVsAllTrainer smoothed_trainer(model.get(), smoothed);
+  const double smoothed_loss =
+      smoothed_trainer.Train(train, nullptr)->final_mean_loss;
+  EXPECT_NE(plain_loss, smoothed_loss);
+  EXPECT_NEAR(smoothed_loss, ReferenceLoss(model.get(), train, 0.1), 1e-3);
+}
+
+TEST(OneVsAllTest, ReachesGoodRankingOnInversePatternData) {
+  // With inverse augmentation (covering head queries), 1-N training
+  // should solve the inverse-pair task like negative sampling does.
+  const auto base = TinyTrain(11);
+  const AugmentedTriples augmented = AugmentWithInverses(base, kRelations);
+  auto model = MakeComplEx(kEntities, augmented.num_relations, 16, 5);
+  OneVsAllOptions options;
+  options.max_epochs = 120;
+  options.learning_rate = 0.02;
+  OneVsAllTrainer trainer(model.get(), options);
+  ASSERT_TRUE(trainer.Train(augmented.triples, nullptr).ok());
+
+  // Positives should outrank random corruptions.
+  Rng rng(1);
+  double margin = 0.0;
+  for (const Triple& t : base) {
+    Triple corrupted = t;
+    corrupted.tail = EntityId(rng.NextBounded(kEntities));
+    margin += model->Score(t) - model->Score(corrupted);
+  }
+  EXPECT_GT(margin / double(base.size()), 1.0);
+}
+
+TEST(OneVsAllTest, EmptyTrainingSetIsError) {
+  auto model = MakeComplEx(kEntities, kRelations, 4, 1);
+  OneVsAllOptions options;
+  OneVsAllTrainer trainer(model.get(), options);
+  EXPECT_FALSE(trainer.Train({}, nullptr).ok());
+}
+
+TEST(OneVsAllTest, EarlyStoppingWorks) {
+  const auto train = TinyTrain();
+  auto model = MakeComplEx(kEntities, kRelations, 8, 5);
+  OneVsAllOptions options;
+  options.max_epochs = 500;
+  options.eval_every_epochs = 5;
+  options.patience_epochs = 10;
+  OneVsAllTrainer trainer(model.get(), options);
+  const Result<TrainResult> result =
+      trainer.Train(train, [](int) { return 0.7; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stopped_early);
+  EXPECT_LE(result->epochs_run, 20);
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,197 @@
+#include "optim/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "optim/constraints.h"
+
+namespace kge {
+namespace {
+
+// Minimizes f(x) = Σ (x_d - target_d)² with the given optimizer by feeding
+// exact gradients; returns the final squared error.
+double MinimizeQuadratic(Optimizer* optimizer, ParameterBlock* block,
+                         const std::vector<float>& target, int steps) {
+  GradientBuffer grads({block});
+  for (int s = 0; s < steps; ++s) {
+    grads.Clear();
+    auto g = grads.GradFor(0, 0);
+    auto x = block->Row(0);
+    for (size_t d = 0; d < target.size(); ++d) {
+      g[d] = 2.0f * (x[d] - target[d]);
+    }
+    optimizer->Apply(grads);
+  }
+  double err = 0.0;
+  auto x = block->Row(0);
+  for (size_t d = 0; d < target.size(); ++d) {
+    err += (x[d] - target[d]) * (x[d] - target[d]);
+  }
+  return err;
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  ParameterBlock block("x", 1, 4);
+  const std::vector<float> target = {1.0f, -2.0f, 0.5f, 3.0f};
+  SgdOptions options;
+  options.learning_rate = 0.1;
+  auto optimizer = MakeSgd({&block}, options);
+  EXPECT_LT(MinimizeQuadratic(optimizer.get(), &block, target, 200), 1e-6);
+}
+
+TEST(OptimizerTest, AdagradConvergesOnQuadratic) {
+  ParameterBlock block("x", 1, 4);
+  const std::vector<float> target = {1.0f, -2.0f, 0.5f, 3.0f};
+  AdagradOptions options;
+  options.learning_rate = 0.5;
+  auto optimizer = MakeAdagrad({&block}, options);
+  EXPECT_LT(MinimizeQuadratic(optimizer.get(), &block, target, 2000), 1e-3);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  ParameterBlock block("x", 1, 4);
+  const std::vector<float> target = {1.0f, -2.0f, 0.5f, 3.0f};
+  AdamOptions options;
+  options.learning_rate = 0.05;
+  auto optimizer = MakeAdam({&block}, options);
+  EXPECT_LT(MinimizeQuadratic(optimizer.get(), &block, target, 2000), 1e-4);
+}
+
+TEST(OptimizerTest, SgdStepIsExactlyLrTimesGradient) {
+  ParameterBlock block("x", 2, 2);
+  block.Row(1)[0] = 1.0f;
+  SgdOptions options;
+  options.learning_rate = 0.5;
+  auto optimizer = MakeSgd({&block}, options);
+  GradientBuffer grads({&block});
+  grads.GradFor(0, 1)[0] = 2.0f;
+  optimizer->Apply(grads);
+  EXPECT_FLOAT_EQ(block.Row(1)[0], 0.0f);
+  EXPECT_FLOAT_EQ(block.Row(0)[0], 0.0f);  // untouched rows unchanged
+}
+
+TEST(OptimizerTest, UntouchedRowsNeverMove) {
+  ParameterBlock block("x", 10, 3);
+  Rng rng(1);
+  block.InitUniform(&rng, -1, 1);
+  std::vector<float> before(block.Flat().begin(), block.Flat().end());
+
+  AdamOptions options;
+  auto optimizer = MakeAdam({&block}, options);
+  GradientBuffer grads({&block});
+  grads.GradFor(0, 4)[0] = 1.0f;
+  optimizer->Apply(grads);
+
+  for (int64_t row = 0; row < 10; ++row) {
+    if (row == 4) continue;
+    for (int64_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(block.Row(row)[size_t(d)], before[size_t(row * 3 + d)]);
+    }
+  }
+  EXPECT_NE(block.Row(4)[0], before[12]);
+}
+
+TEST(OptimizerTest, AdamFirstStepSizeIsLearningRate) {
+  // With bias correction, Adam's first update is ±lr regardless of
+  // gradient magnitude (up to epsilon).
+  ParameterBlock block("x", 1, 2);
+  AdamOptions options;
+  options.learning_rate = 0.1;
+  auto optimizer = MakeAdam({&block}, options);
+  GradientBuffer grads({&block});
+  grads.GradFor(0, 0)[0] = 100.0f;
+  grads.GradFor(0, 0)[1] = 0.001f;
+  optimizer->Apply(grads);
+  EXPECT_NEAR(block.Row(0)[0], -0.1f, 1e-4);
+  EXPECT_NEAR(block.Row(0)[1], -0.1f, 1e-3);
+}
+
+TEST(OptimizerTest, AdagradShrinksEffectiveStep) {
+  ParameterBlock block("x", 1, 1);
+  AdagradOptions options;
+  options.learning_rate = 1.0;
+  auto optimizer = MakeAdagrad({&block}, options);
+  GradientBuffer grads({&block});
+
+  grads.GradFor(0, 0)[0] = 1.0f;
+  optimizer->Apply(grads);
+  const float first_step = -block.Row(0)[0];
+
+  const float before = block.Row(0)[0];
+  grads.Clear();
+  grads.GradFor(0, 0)[0] = 1.0f;
+  optimizer->Apply(grads);
+  const float second_step = before - block.Row(0)[0];
+  EXPECT_LT(second_step, first_step);
+}
+
+TEST(OptimizerTest, ResetClearsState) {
+  ParameterBlock block("x", 1, 1);
+  AdamOptions options;
+  options.learning_rate = 0.1;
+  auto optimizer = MakeAdam({&block}, options);
+  GradientBuffer grads({&block});
+  grads.GradFor(0, 0)[0] = 1.0f;
+  optimizer->Apply(grads);
+  const float after_first = block.Row(0)[0];
+
+  optimizer->Reset();
+  block.Zero();
+  grads.Clear();
+  grads.GradFor(0, 0)[0] = 1.0f;
+  optimizer->Apply(grads);
+  EXPECT_FLOAT_EQ(block.Row(0)[0], after_first);
+}
+
+TEST(OptimizerTest, FactoryByName) {
+  ParameterBlock block("x", 1, 1);
+  for (const char* name : {"sgd", "adagrad", "adam"}) {
+    auto optimizer = MakeOptimizer(name, {&block}, 0.1);
+    ASSERT_TRUE(optimizer.ok()) << name;
+    EXPECT_EQ((*optimizer)->name(), name);
+  }
+  EXPECT_FALSE(MakeOptimizer("rmsprop", {&block}, 0.1).ok());
+}
+
+TEST(ConstraintsTest, CollectTouchedRowsFiltersByBlock) {
+  ParameterBlock a("a", 10, 2);
+  ParameterBlock b("b", 10, 2);
+  GradientBuffer grads({&a, &b});
+  grads.GradFor(0, 3);
+  grads.GradFor(0, 7);
+  grads.GradFor(1, 5);
+  std::vector<EntityId> touched;
+  CollectTouchedRows(grads, 0, &touched);
+  ASSERT_EQ(touched.size(), 2u);
+  EXPECT_EQ(touched[0], 3);
+  EXPECT_EQ(touched[1], 7);
+}
+
+TEST(ConstraintsTest, L2RegularizerLossAndGradient) {
+  ParameterBlock block("x", 2, 2);
+  block.Row(0)[0] = 3.0f;
+  block.Row(0)[1] = 4.0f;
+  GradientBuffer grads({&block});
+  L2Regularizer reg(0.5);
+  const std::vector<std::pair<size_t, int64_t>> rows = {{0, 0}};
+  const double loss = reg.Accumulate(&grads, rows);
+  // n_D = 2, loss = 0.5/2 * 25 = 6.25; grad = 2*0.5/2 * theta.
+  EXPECT_NEAR(loss, 6.25, 1e-6);
+  EXPECT_NEAR(grads.GradFor(0, 0)[0], 1.5f, 1e-6);
+  EXPECT_NEAR(grads.GradFor(0, 0)[1], 2.0f, 1e-6);
+}
+
+TEST(ConstraintsTest, L2RegularizerZeroLambdaIsNoop) {
+  ParameterBlock block("x", 1, 2);
+  block.Row(0)[0] = 3.0f;
+  GradientBuffer grads({&block});
+  L2Regularizer reg(0.0);
+  const std::vector<std::pair<size_t, int64_t>> rows = {{0, 0}};
+  EXPECT_EQ(reg.Accumulate(&grads, rows), 0.0);
+  EXPECT_EQ(grads.NumTouchedRows(), 0u);
+}
+
+}  // namespace
+}  // namespace kge

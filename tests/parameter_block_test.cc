@@ -1,0 +1,153 @@
+#include "core/parameter_block.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "math/vec_ops.h"
+
+namespace kge {
+namespace {
+
+TEST(ParameterBlockTest, ShapeAndZeroInit) {
+  ParameterBlock block("test", 10, 4);
+  EXPECT_EQ(block.num_rows(), 10);
+  EXPECT_EQ(block.row_dim(), 4);
+  EXPECT_EQ(block.size(), 40);
+  EXPECT_EQ(block.name(), "test");
+  for (float x : block.Flat()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(ParameterBlockTest, RowsAreDisjointViews) {
+  ParameterBlock block("test", 3, 2);
+  block.Row(1)[0] = 7.0f;
+  block.Row(1)[1] = 8.0f;
+  EXPECT_EQ(block.Row(0)[0], 0.0f);
+  EXPECT_EQ(block.Row(1)[0], 7.0f);
+  EXPECT_EQ(block.Row(2)[0], 0.0f);
+  EXPECT_EQ(block.Flat()[2], 7.0f);
+}
+
+TEST(ParameterBlockTest, InitUniformWithinBounds) {
+  ParameterBlock block("test", 100, 10);
+  Rng rng(1);
+  block.InitUniform(&rng, -0.5f, 0.5f);
+  for (float x : block.Flat()) {
+    EXPECT_GE(x, -0.5f);
+    EXPECT_LT(x, 0.5f);
+  }
+}
+
+TEST(ParameterBlockTest, InitGaussianHasRoughlyRightSpread) {
+  ParameterBlock block("test", 100, 100);
+  Rng rng(2);
+  block.InitGaussian(&rng, 0.1f);
+  double sum_sq = 0.0;
+  for (float x : block.Flat()) sum_sq += double(x) * double(x);
+  const double stddev = std::sqrt(sum_sq / double(block.size()));
+  EXPECT_NEAR(stddev, 0.1, 0.01);
+}
+
+TEST(ParameterBlockTest, InitXavierUniformBound) {
+  ParameterBlock block("test", 10, 100);
+  Rng rng(3);
+  block.InitXavierUniform(&rng, 100);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  for (float x : block.Flat()) {
+    EXPECT_GE(x, -bound);
+    EXPECT_LT(x, bound);
+  }
+}
+
+TEST(ParameterBlockTest, ZeroResets) {
+  ParameterBlock block("test", 2, 2);
+  Rng rng(4);
+  block.InitUniform(&rng, 1.0f, 2.0f);
+  block.Zero();
+  for (float x : block.Flat()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(GradientBufferTest, GradForZeroedOnFirstTouch) {
+  ParameterBlock block("test", 5, 3);
+  GradientBuffer grads({&block});
+  auto g = grads.GradFor(0, 2);
+  EXPECT_EQ(g.size(), 3u);
+  for (float x : g) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(GradientBufferTest, AccumulatesAcrossCalls) {
+  ParameterBlock block("test", 5, 2);
+  GradientBuffer grads({&block});
+  grads.GradFor(0, 1)[0] += 1.0f;
+  grads.GradFor(0, 1)[0] += 2.0f;
+  EXPECT_EQ(grads.GradFor(0, 1)[0], 3.0f);
+}
+
+TEST(GradientBufferTest, SpansStayValidAsMoreRowsAreTouched) {
+  // Regression test: earlier spans must not dangle when later GradFor
+  // calls grow the pool.
+  ParameterBlock block("test", 1000, 4);
+  GradientBuffer grads({&block});
+  auto first = grads.GradFor(0, 0);
+  first[0] = 42.0f;
+  for (int64_t row = 1; row < 500; ++row) grads.GradFor(0, row)[0] = float(row);
+  EXPECT_EQ(first[0], 42.0f);
+  first[1] = 7.0f;
+  EXPECT_EQ(grads.GradFor(0, 0)[1], 7.0f);
+}
+
+TEST(GradientBufferTest, ClearRecyclesAndZeroes) {
+  ParameterBlock block("test", 5, 2);
+  GradientBuffer grads({&block});
+  grads.GradFor(0, 3)[0] = 9.0f;
+  grads.Clear();
+  EXPECT_EQ(grads.NumTouchedRows(), 0u);
+  auto g = grads.GradFor(0, 4);  // recycles slot 0
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(grads.NumTouchedRows(), 1u);
+}
+
+TEST(GradientBufferTest, MultipleBlocks) {
+  ParameterBlock entities("entities", 10, 4);
+  ParameterBlock relations("relations", 5, 2);
+  GradientBuffer grads({&entities, &relations});
+  EXPECT_EQ(grads.num_blocks(), 2u);
+  EXPECT_EQ(grads.GradFor(0, 0).size(), 4u);
+  EXPECT_EQ(grads.GradFor(1, 0).size(), 2u);
+  EXPECT_EQ(grads.block(1)->name(), "relations");
+}
+
+TEST(GradientBufferTest, ForEachVisitsEveryTouchedRowOnce) {
+  ParameterBlock a("a", 10, 2);
+  ParameterBlock b("b", 10, 3);
+  GradientBuffer grads({&a, &b});
+  grads.GradFor(0, 1)[0] = 1.0f;
+  grads.GradFor(0, 7)[0] = 2.0f;
+  grads.GradFor(1, 3)[0] = 3.0f;
+  grads.GradFor(0, 1)[1] = 4.0f;  // same row again
+
+  std::map<std::pair<size_t, int64_t>, int> visits;
+  grads.ForEach([&](size_t block, int64_t row, std::span<const float> grad) {
+    ++visits[{block, row}];
+    if (block == 0 && row == 1) {
+      EXPECT_EQ(grad[0], 1.0f);
+      EXPECT_EQ(grad[1], 4.0f);
+    }
+  });
+  EXPECT_EQ(visits.size(), 3u);
+  for (const auto& [key, count] : visits) EXPECT_EQ(count, 1);
+}
+
+TEST(GradientBufferTest, NumTouchedRows) {
+  ParameterBlock block("test", 10, 2);
+  GradientBuffer grads({&block});
+  EXPECT_EQ(grads.NumTouchedRows(), 0u);
+  grads.GradFor(0, 1);
+  grads.GradFor(0, 2);
+  grads.GradFor(0, 1);
+  EXPECT_EQ(grads.NumTouchedRows(), 2u);
+}
+
+}  // namespace
+}  // namespace kge

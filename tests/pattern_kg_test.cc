@@ -1,0 +1,155 @@
+#include "datagen/pattern_kg_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "kg/relation_analysis.h"
+
+namespace kge {
+namespace {
+
+std::unordered_set<uint64_t> PairsOf(const std::vector<Triple>& triples,
+                                     RelationId relation) {
+  std::unordered_set<uint64_t> pairs;
+  for (const Triple& t : triples) {
+    if (t.relation == relation) {
+      pairs.insert((uint64_t(uint32_t(t.head)) << 32) | uint32_t(t.tail));
+    }
+  }
+  return pairs;
+}
+
+uint64_t Key(EntityId h, EntityId t) {
+  return (uint64_t(uint32_t(h)) << 32) | uint32_t(t);
+}
+
+TEST(PatternKgTest, CountPatternRelations) {
+  std::vector<PatternRelationSpec> specs = {
+      {RelationPattern::kSymmetric, 10, ""},
+      {RelationPattern::kAntisymmetric, 10, ""},
+      {RelationPattern::kInversePair, 10, ""},
+      {RelationPattern::kComposition, 10, ""},
+  };
+  EXPECT_EQ(CountPatternRelations(specs), 6);
+}
+
+TEST(PatternKgTest, SymmetricRelationHasBothDirections) {
+  PatternKgOptions options;
+  options.num_entities = 100;
+  options.relations = {{RelationPattern::kSymmetric, 50, "sym"}};
+  const auto triples = GeneratePatternKg(options, nullptr);
+  EXPECT_EQ(triples.size(), 100u);  // 50 pairs x 2 directions
+  const auto pairs = PairsOf(triples, 0);
+  for (const Triple& t : triples) {
+    EXPECT_TRUE(pairs.contains(Key(t.tail, t.head)));
+  }
+}
+
+TEST(PatternKgTest, AntisymmetricRelationHasNoReverses) {
+  PatternKgOptions options;
+  options.num_entities = 100;
+  options.relations = {{RelationPattern::kAntisymmetric, 80, "anti"}};
+  const auto triples = GeneratePatternKg(options, nullptr);
+  EXPECT_EQ(triples.size(), 80u);
+  const auto pairs = PairsOf(triples, 0);
+  for (const Triple& t : triples) {
+    EXPECT_FALSE(pairs.contains(Key(t.tail, t.head)));
+  }
+}
+
+TEST(PatternKgTest, InversePairHoldsExactly) {
+  PatternKgOptions options;
+  options.num_entities = 100;
+  options.relations = {{RelationPattern::kInversePair, 60, "inv"}};
+  const auto triples = GeneratePatternKg(options, nullptr);
+  EXPECT_EQ(triples.size(), 120u);
+  const auto forward = PairsOf(triples, 0);
+  const auto backward = PairsOf(triples, 1);
+  EXPECT_EQ(forward.size(), 60u);
+  EXPECT_EQ(backward.size(), 60u);
+  for (uint64_t key : forward) {
+    const EntityId h = EntityId(key >> 32);
+    const EntityId t = EntityId(key & 0xFFFFFFFF);
+    EXPECT_TRUE(backward.contains(Key(t, h)));
+  }
+}
+
+TEST(PatternKgTest, CompositionEdgesAreImpliedByStepPairs) {
+  PatternKgOptions options;
+  options.num_entities = 200;
+  options.relations = {{RelationPattern::kComposition, 40, "comp"}};
+  const auto triples = GeneratePatternKg(options, nullptr);
+  const auto steps = PairsOf(triples, 0);
+  const auto composed = PairsOf(triples, 1);
+  EXPECT_EQ(composed.size(), 40u);
+  // For every composed (x, z) there exist step (x, y) and (y, z).
+  for (uint64_t key : composed) {
+    const EntityId x = EntityId(key >> 32);
+    const EntityId z = EntityId(key & 0xFFFFFFFF);
+    bool found = false;
+    for (uint64_t step_key : steps) {
+      const EntityId sx = EntityId(step_key >> 32);
+      const EntityId sy = EntityId(step_key & 0xFFFFFFFF);
+      if (sx == x && steps.contains(Key(sy, z))) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "composed edge (" << x << "," << z
+                       << ") lacks a step path";
+  }
+}
+
+TEST(PatternKgTest, PopulatesDatasetVocabularies) {
+  PatternKgOptions options;
+  options.num_entities = 20;
+  options.relations = {{RelationPattern::kSymmetric, 5, "likes"},
+                       {RelationPattern::kInversePair, 5, "owns"}};
+  Dataset dataset;
+  const auto triples = GeneratePatternKg(options, &dataset);
+  EXPECT_EQ(dataset.num_entities(), 20);
+  EXPECT_EQ(dataset.num_relations(), 3);
+  EXPECT_NE(dataset.relations.Find("likes"), -1);
+  EXPECT_NE(dataset.relations.Find("owns"), -1);
+  EXPECT_NE(dataset.relations.Find("owns_inv"), -1);
+  (void)triples;
+}
+
+TEST(PatternKgTest, DeterministicForSameSeed) {
+  PatternKgOptions options;
+  options.num_entities = 50;
+  options.seed = 77;
+  options.relations = {{RelationPattern::kSymmetric, 20, ""},
+                       {RelationPattern::kAntisymmetric, 20, ""}};
+  const auto a = GeneratePatternKg(options, nullptr);
+  const auto b = GeneratePatternKg(options, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PatternKgTest, AnalysisAgreesWithConstruction) {
+  PatternKgOptions options;
+  options.num_entities = 120;
+  options.relations = {{RelationPattern::kSymmetric, 60, ""},
+                       {RelationPattern::kAntisymmetric, 60, ""},
+                       {RelationPattern::kInversePair, 60, ""}};
+  const auto triples = GeneratePatternKg(options, nullptr);
+  const auto stats = AnalyzeRelations(triples, options.num_entities, 4);
+  EXPECT_NEAR(stats[0].symmetry, 1.0, 1e-9);   // symmetric
+  EXPECT_NEAR(stats[1].symmetry, 0.0, 1e-9);   // antisymmetric
+  EXPECT_EQ(stats[2].best_inverse, 3);         // inverse pair forward
+  EXPECT_NEAR(stats[2].best_inverse_score, 1.0, 1e-9);
+  EXPECT_EQ(stats[3].best_inverse, 2);
+}
+
+TEST(PatternKgTest, NoDuplicateTriples) {
+  PatternKgOptions options;
+  options.num_entities = 60;
+  options.relations = {{RelationPattern::kAntisymmetric, 100, ""}};
+  const auto triples = GeneratePatternKg(options, nullptr);
+  std::unordered_set<Triple, TripleHash> seen(triples.begin(), triples.end());
+  EXPECT_EQ(seen.size(), triples.size());
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,178 @@
+#include "math/quaternion.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kge {
+namespace {
+
+Quaternion RandomQuaternion(Rng* rng) {
+  return Quaternion(rng->NextUniform(-2, 2), rng->NextUniform(-2, 2),
+                    rng->NextUniform(-2, 2), rng->NextUniform(-2, 2));
+}
+
+void ExpectNear(const Quaternion& x, const Quaternion& y, double tol) {
+  EXPECT_NEAR(x.a, y.a, tol);
+  EXPECT_NEAR(x.b, y.b, tol);
+  EXPECT_NEAR(x.c, y.c, tol);
+  EXPECT_NEAR(x.d, y.d, tol);
+}
+
+TEST(QuaternionTest, FundamentalUnitRelations) {
+  const Quaternion one(1, 0, 0, 0);
+  const Quaternion i(0, 1, 0, 0);
+  const Quaternion j(0, 0, 1, 0);
+  const Quaternion k(0, 0, 0, 1);
+  const Quaternion minus_one(-1, 0, 0, 0);
+  // i² = j² = k² = ijk = −1.
+  EXPECT_EQ(i * i, minus_one);
+  EXPECT_EQ(j * j, minus_one);
+  EXPECT_EQ(k * k, minus_one);
+  EXPECT_EQ(i * j * k, minus_one);
+  // ij = k, jk = i, ki = j.
+  EXPECT_EQ(i * j, k);
+  EXPECT_EQ(j * k, i);
+  EXPECT_EQ(k * i, j);
+  // ji = −k (noncommutativity).
+  EXPECT_EQ(j * i, Quaternion(0, 0, 0, -1));
+  EXPECT_EQ(one * i, i);
+}
+
+TEST(QuaternionTest, MultiplicationIsNoncommutative) {
+  Rng rng(1);
+  const Quaternion x = RandomQuaternion(&rng);
+  const Quaternion y = RandomQuaternion(&rng);
+  const Quaternion xy = x * y;
+  const Quaternion yx = y * x;
+  // Generic quaternions do not commute.
+  EXPECT_FALSE(xy == yx);
+}
+
+TEST(QuaternionTest, MultiplicationIsAssociative) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Quaternion x = RandomQuaternion(&rng);
+    const Quaternion y = RandomQuaternion(&rng);
+    const Quaternion z = RandomQuaternion(&rng);
+    ExpectNear((x * y) * z, x * (y * z), 1e-9);
+  }
+}
+
+TEST(QuaternionTest, NormIsMultiplicative) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Quaternion x = RandomQuaternion(&rng);
+    const Quaternion y = RandomQuaternion(&rng);
+    EXPECT_NEAR((x * y).Norm(), x.Norm() * y.Norm(), 1e-9);
+  }
+}
+
+TEST(QuaternionTest, ConjugateProperties) {
+  Rng rng(4);
+  const Quaternion x = RandomQuaternion(&rng);
+  const Quaternion y = RandomQuaternion(&rng);
+  // conj(xy) = conj(y) conj(x).
+  ExpectNear((x * y).Conjugate(), y.Conjugate() * x.Conjugate(), 1e-9);
+  // x * conj(x) = |x|² (real).
+  const Quaternion self = x * x.Conjugate();
+  EXPECT_NEAR(self.a, x.NormSquared(), 1e-9);
+  EXPECT_NEAR(self.b, 0.0, 1e-9);
+  EXPECT_NEAR(self.c, 0.0, 1e-9);
+  EXPECT_NEAR(self.d, 0.0, 1e-9);
+}
+
+TEST(QuaternionTest, InverseGivesIdentity) {
+  Rng rng(5);
+  const Quaternion x = RandomQuaternion(&rng);
+  ExpectNear(x * x.Inverse(), Quaternion(1, 0, 0, 0), 1e-9);
+  ExpectNear(x.Inverse() * x, Quaternion(1, 0, 0, 0), 1e-9);
+}
+
+TEST(QuaternionTest, NormalizedHasUnitNorm) {
+  Rng rng(6);
+  const Quaternion x = RandomQuaternion(&rng);
+  EXPECT_NEAR(x.Normalized().Norm(), 1.0, 1e-9);
+  // Zero quaternion stays zero.
+  EXPECT_EQ(Quaternion().Normalized(), Quaternion());
+}
+
+TEST(QuaternionTest, AdditionAndSubtraction) {
+  const Quaternion x(1, 2, 3, 4);
+  const Quaternion y(5, 6, 7, 8);
+  EXPECT_EQ(x + y, Quaternion(6, 8, 10, 12));
+  EXPECT_EQ(y - x, Quaternion(4, 4, 4, 4));
+  EXPECT_EQ(2.0 * x, Quaternion(2, 4, 6, 8));
+}
+
+TEST(QuaternionTest, ToStringMentionsComponents) {
+  const std::string s = Quaternion(1, -2, 3, -4).ToString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("-2"), std::string::npos);
+}
+
+class QuaternionScoreTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(7);
+    const int dim = 8;
+    for (auto* vecs : {&h_, &t_, &r_}) {
+      for (auto& component : *vecs) {
+        component.resize(dim);
+        for (float& x : component) x = rng.NextUniform(-1, 1);
+      }
+    }
+  }
+
+  QuaternionVectorView View(const std::array<std::vector<float>, 4>& v) const {
+    return {v[0], v[1], v[2], v[3]};
+  }
+
+  std::array<std::vector<float>, 4> h_, t_, r_;
+};
+
+TEST_F(QuaternionScoreTest, ScoreMatchesManualSum) {
+  const auto h = View(h_);
+  const auto t = View(t_);
+  const auto r = View(r_);
+  double expected = 0.0;
+  for (size_t d = 0; d < h.size(); ++d) {
+    expected += (h.At(d) * t.At(d).Conjugate() * r.At(d)).a;
+  }
+  EXPECT_NEAR(QuaternionScoreHConjTR(h, t, r), expected, 1e-9);
+}
+
+TEST_F(QuaternionScoreTest, MovingRelationBetweenHeadAndConjTailChangesScore) {
+  const auto h = View(h_);
+  const auto t = View(t_);
+  const auto r = View(r_);
+  const double s1 = QuaternionScoreHConjTR(h, t, r);
+  const double s2 = QuaternionScoreHRConjT(h, t, r);
+  EXPECT_GT(std::fabs(s1 - s2), 1e-6);
+}
+
+TEST_F(QuaternionScoreTest, RHConjTEqualsCyclicProperty) {
+  // Re(q1 q2) = Re(q2 q1) for any quaternions, so Re(r·h·t̄) should equal
+  // Re(h·t̄·r) — the two orders coincide under the real-part trace.
+  const auto h = View(h_);
+  const auto t = View(t_);
+  const auto r = View(r_);
+  EXPECT_NEAR(QuaternionScoreRHConjT(h, t, r),
+              QuaternionScoreHConjTR(h, t, r), 1e-9);
+}
+
+TEST_F(QuaternionScoreTest, ScoreIsNotSymmetricInHeadTail) {
+  const auto h = View(h_);
+  const auto t = View(t_);
+  const auto r = View(r_);
+  EXPECT_GT(std::fabs(QuaternionScoreHConjTR(h, t, r) -
+                      QuaternionScoreHConjTR(t, h, r)),
+            1e-6);
+}
+
+}  // namespace
+}  // namespace kge

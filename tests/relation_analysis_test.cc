@@ -1,0 +1,90 @@
+#include "kg/relation_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+TEST(MappingCategoryTest, Names) {
+  EXPECT_STREQ(MappingCategoryToString(MappingCategory::kOneToOne), "1-1");
+  EXPECT_STREQ(MappingCategoryToString(MappingCategory::kOneToMany), "1-N");
+  EXPECT_STREQ(MappingCategoryToString(MappingCategory::kManyToOne), "N-1");
+  EXPECT_STREQ(MappingCategoryToString(MappingCategory::kManyToMany), "N-N");
+}
+
+TEST(RelationAnalysisTest, DetectsOneToOne) {
+  const std::vector<Triple> triples = {{0, 1, 0}, {2, 3, 0}, {4, 5, 0}};
+  const auto stats = AnalyzeRelations(triples, 6, 1);
+  EXPECT_EQ(stats[0].category, MappingCategory::kOneToOne);
+  EXPECT_NEAR(stats[0].tails_per_head, 1.0, 1e-9);
+  EXPECT_NEAR(stats[0].heads_per_tail, 1.0, 1e-9);
+}
+
+TEST(RelationAnalysisTest, DetectsOneToMany) {
+  std::vector<Triple> triples;
+  for (EntityId t = 1; t <= 4; ++t) triples.push_back({0, t, 0});
+  for (EntityId t = 6; t <= 9; ++t) triples.push_back({5, t, 0});
+  const auto stats = AnalyzeRelations(triples, 10, 1);
+  EXPECT_EQ(stats[0].category, MappingCategory::kOneToMany);
+  EXPECT_NEAR(stats[0].tails_per_head, 4.0, 1e-9);
+}
+
+TEST(RelationAnalysisTest, DetectsManyToOne) {
+  std::vector<Triple> triples;
+  for (EntityId h = 1; h <= 4; ++h) triples.push_back({h, 0, 0});
+  const auto stats = AnalyzeRelations(triples, 5, 1);
+  EXPECT_EQ(stats[0].category, MappingCategory::kManyToOne);
+}
+
+TEST(RelationAnalysisTest, DetectsManyToMany) {
+  std::vector<Triple> triples;
+  for (EntityId h = 0; h < 3; ++h) {
+    for (EntityId t = 3; t < 6; ++t) triples.push_back({h, t, 0});
+  }
+  const auto stats = AnalyzeRelations(triples, 6, 1);
+  EXPECT_EQ(stats[0].category, MappingCategory::kManyToMany);
+}
+
+TEST(RelationAnalysisTest, SymmetryScores) {
+  // Relation 0 fully symmetric, relation 1 fully antisymmetric.
+  const std::vector<Triple> triples = {{0, 1, 0}, {1, 0, 0}, {2, 3, 0},
+                                       {3, 2, 0}, {0, 1, 1}, {2, 3, 1}};
+  const auto stats = AnalyzeRelations(triples, 4, 2);
+  EXPECT_NEAR(stats[0].symmetry, 1.0, 1e-9);
+  EXPECT_NEAR(stats[1].symmetry, 0.0, 1e-9);
+}
+
+TEST(RelationAnalysisTest, SelfLoopsDoNotCountTowardSymmetry) {
+  const std::vector<Triple> triples = {{0, 0, 0}, {1, 2, 0}};
+  const auto stats = AnalyzeRelations(triples, 3, 1);
+  EXPECT_NEAR(stats[0].symmetry, 0.0, 1e-9);
+}
+
+TEST(RelationAnalysisTest, DetectsInversePair) {
+  const std::vector<Triple> triples = {{0, 1, 0}, {2, 3, 0}, {1, 0, 1},
+                                       {3, 2, 1}};
+  const auto stats = AnalyzeRelations(triples, 4, 2);
+  EXPECT_EQ(stats[0].best_inverse, 1);
+  EXPECT_NEAR(stats[0].best_inverse_score, 1.0, 1e-9);
+  EXPECT_EQ(stats[1].best_inverse, 0);
+  EXPECT_NEAR(stats[1].best_inverse_score, 1.0, 1e-9);
+}
+
+TEST(RelationAnalysisTest, EmptyRelationHasNoStats) {
+  const std::vector<Triple> triples = {{0, 1, 0}};
+  const auto stats = AnalyzeRelations(triples, 2, 2);
+  EXPECT_EQ(stats[1].num_triples, 0u);
+  EXPECT_EQ(stats[1].best_inverse, -1);
+}
+
+TEST(RelationAnalysisTest, TableRendersOneRowPerRelation) {
+  const std::vector<Triple> triples = {{0, 1, 0}, {1, 0, 1}};
+  const auto stats = AnalyzeRelations(triples, 2, 2);
+  const std::string table = RelationStatsTable(stats);
+  int newlines = 0;
+  for (char c : table) newlines += c == '\n';
+  EXPECT_EQ(newlines, 3);  // header + 2 relations
+}
+
+}  // namespace
+}  // namespace kge

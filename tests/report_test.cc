@@ -1,0 +1,110 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+// Builds a 3-relation EvalResult with hand-set ranks and matching stats:
+// relation 0 symmetric 1-1, relation 1 antisymmetric N-1, relation 2
+// antisymmetric 1-N.
+struct Fixture {
+  EvalResult result;
+  std::vector<RelationStats> stats;
+  Vocabulary relations;
+
+  Fixture() {
+    result.per_relation.resize(3);
+    for (int r = 0; r < 3; ++r) {
+      result.per_relation[size_t(r)].relation = r;
+    }
+    // Relation 0: perfect ranks.
+    result.per_relation[0].tail_queries.AddRank(1);
+    result.per_relation[0].head_queries.AddRank(1);
+    // Relation 1: poor ranks.
+    result.per_relation[1].tail_queries.AddRank(50);
+    result.per_relation[1].head_queries.AddRank(100);
+    // Relation 2: mid ranks.
+    result.per_relation[2].tail_queries.AddRank(2);
+    result.per_relation[2].head_queries.AddRank(4);
+
+    stats.resize(3);
+    stats[0].relation = 0;
+    stats[0].category = MappingCategory::kOneToOne;
+    stats[0].symmetry = 1.0;
+    stats[1].relation = 1;
+    stats[1].category = MappingCategory::kManyToOne;
+    stats[1].symmetry = 0.0;
+    stats[2].relation = 2;
+    stats[2].category = MappingCategory::kOneToMany;
+    stats[2].symmetry = 0.0;
+
+    relations.GetOrAdd("_symmetric_rel");
+    relations.GetOrAdd("_n_to_one_rel");
+    relations.GetOrAdd("_one_to_n_rel");
+  }
+};
+
+TEST(ReportTest, GroupByMappingCategoryMergesDirections) {
+  const Fixture f;
+  const auto grouped = GroupByMappingCategory(f.result, f.stats);
+  ASSERT_EQ(grouped.size(), 3u);  // 1-1, N-1, 1-N present
+  for (const CategoryMetrics& c : grouped) {
+    EXPECT_EQ(c.metrics.count(), 2u);
+  }
+}
+
+TEST(ReportTest, GroupBySymmetryBuckets) {
+  const Fixture f;
+  const auto grouped = GroupBySymmetry(f.result, f.stats);
+  ASSERT_EQ(grouped.size(), 2u);
+  // Alphabetical map order: antisymmetric first.
+  EXPECT_EQ(grouped[0].category, "antisymmetric");
+  EXPECT_EQ(grouped[0].metrics.count(), 4u);
+  EXPECT_EQ(grouped[1].category, "symmetric");
+  EXPECT_EQ(grouped[1].metrics.count(), 2u);
+  EXPECT_DOUBLE_EQ(grouped[1].metrics.Mrr(), 1.0);
+}
+
+TEST(ReportTest, MixedBucketAppearsForIntermediateSymmetry) {
+  Fixture f;
+  f.stats[1].symmetry = 0.5;
+  const auto grouped = GroupBySymmetry(f.result, f.stats);
+  bool has_mixed = false;
+  for (const CategoryMetrics& c : grouped) has_mixed |= c.category == "mixed";
+  EXPECT_TRUE(has_mixed);
+}
+
+TEST(ReportTest, EmptyRelationsAreSkipped) {
+  Fixture f;
+  f.result.per_relation.push_back({});
+  f.result.per_relation.back().relation = 3;
+  f.stats.push_back({});
+  f.stats.back().relation = 3;
+  const auto grouped = GroupByMappingCategory(f.result, f.stats);
+  size_t total = 0;
+  for (const CategoryMetrics& c : grouped) total += c.metrics.count();
+  EXPECT_EQ(total, 6u);  // the empty relation adds nothing
+}
+
+TEST(ReportTest, RenderedReportContainsAllSections) {
+  const Fixture f;
+  const std::string report =
+      RenderEvaluationReport(f.result, f.stats, f.relations);
+  EXPECT_NE(report.find("per-relation breakdown"), std::string::npos);
+  EXPECT_NE(report.find("by mapping category"), std::string::npos);
+  EXPECT_NE(report.find("by symmetry class"), std::string::npos);
+  EXPECT_NE(report.find("_symmetric_rel"), std::string::npos);
+  EXPECT_NE(report.find("N-1"), std::string::npos);
+  EXPECT_NE(report.find("antisymmetric"), std::string::npos);
+}
+
+TEST(ReportTest, FallsBackToNumericNamesWithoutVocabulary) {
+  const Fixture f;
+  Vocabulary empty;
+  const std::string report = RenderEvaluationReport(f.result, f.stats, empty);
+  EXPECT_NE(report.find("rel0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kge

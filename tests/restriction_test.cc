@@ -1,0 +1,120 @@
+#include "core/restriction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kge {
+namespace {
+
+const RestrictionKind kAllKinds[] = {
+    RestrictionKind::kNone, RestrictionKind::kTanh, RestrictionKind::kSigmoid,
+    RestrictionKind::kSoftmax};
+
+TEST(RestrictionTest, NameRoundTrip) {
+  for (RestrictionKind kind : kAllKinds) {
+    const Result<RestrictionKind> parsed =
+        RestrictionKindFromString(RestrictionKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(RestrictionKindFromString("relu").ok());
+}
+
+TEST(RestrictionTest, NoneIsIdentity) {
+  const std::vector<float> raw = {-2.0f, 0.0f, 3.5f};
+  std::vector<float> omega(3);
+  ApplyRestriction(RestrictionKind::kNone, raw, omega);
+  EXPECT_EQ(omega, raw);
+}
+
+TEST(RestrictionTest, TanhRangeIsOpenMinusOneOne) {
+  const std::vector<float> raw = {-100.0f, -1.0f, 0.0f, 1.0f, 100.0f};
+  std::vector<float> omega(raw.size());
+  ApplyRestriction(RestrictionKind::kTanh, raw, omega);
+  for (float w : omega) {
+    EXPECT_GE(w, -1.0f);
+    EXPECT_LE(w, 1.0f);
+  }
+  EXPECT_EQ(omega[2], 0.0f);
+  EXPECT_NEAR(omega[1], std::tanh(-1.0), 1e-6);
+}
+
+TEST(RestrictionTest, SigmoidRangeIsZeroOne) {
+  const std::vector<float> raw = {-100.0f, 0.0f, 100.0f};
+  std::vector<float> omega(3);
+  ApplyRestriction(RestrictionKind::kSigmoid, raw, omega);
+  EXPECT_GT(omega[0], 0.0f - 1e-9);
+  EXPECT_NEAR(omega[1], 0.5f, 1e-6);
+  EXPECT_LE(omega[2], 1.0f);
+}
+
+TEST(RestrictionTest, SoftmaxSumsToOne) {
+  const std::vector<float> raw = {1.0f, 2.0f, 0.0f, -1.0f};
+  std::vector<float> omega(4);
+  ApplyRestriction(RestrictionKind::kSoftmax, raw, omega);
+  float sum = 0.0f;
+  for (float w : omega) {
+    EXPECT_GT(w, 0.0f);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6);
+}
+
+// Finite-difference check of RestrictionBackward for every kind.
+class RestrictionBackwardTest
+    : public testing::TestWithParam<RestrictionKind> {};
+
+TEST_P(RestrictionBackwardTest, MatchesFiniteDifference) {
+  const RestrictionKind kind = GetParam();
+  Rng rng(uint64_t(kind) + 1);
+  const int n = 8;
+  std::vector<float> raw(n), upstream(n);
+  for (int m = 0; m < n; ++m) {
+    raw[m] = rng.NextUniform(-1.5f, 1.5f);
+    upstream[m] = rng.NextUniform(-1.0f, 1.0f);
+  }
+  std::vector<float> omega(n);
+  ApplyRestriction(kind, raw, omega);
+  std::vector<float> analytic(n, 0.0f);
+  RestrictionBackward(kind, omega, upstream, analytic);
+
+  // L(raw) = Σ upstream_m * f(raw)_m.
+  const double eps = 1e-4;
+  for (int m = 0; m < n; ++m) {
+    std::vector<float> plus = raw, minus = raw;
+    plus[m] += float(eps);
+    minus[m] -= float(eps);
+    std::vector<float> omega_plus(n), omega_minus(n);
+    ApplyRestriction(kind, plus, omega_plus);
+    ApplyRestriction(kind, minus, omega_minus);
+    double l_plus = 0.0, l_minus = 0.0;
+    for (int q = 0; q < n; ++q) {
+      l_plus += double(upstream[q]) * omega_plus[q];
+      l_minus += double(upstream[q]) * omega_minus[q];
+    }
+    const double numeric = (l_plus - l_minus) / (2 * eps);
+    EXPECT_NEAR(analytic[m], numeric, 2e-3) << "component " << m;
+  }
+}
+
+TEST_P(RestrictionBackwardTest, AccumulatesIntoExistingGradient) {
+  const RestrictionKind kind = GetParam();
+  const std::vector<float> raw = {0.5f, -0.5f};
+  std::vector<float> omega(2);
+  ApplyRestriction(kind, raw, omega);
+  const std::vector<float> upstream = {1.0f, 1.0f};
+  std::vector<float> grad_a(2, 0.0f), grad_b(2, 10.0f);
+  RestrictionBackward(kind, omega, upstream, grad_a);
+  RestrictionBackward(kind, omega, upstream, grad_b);
+  for (int m = 0; m < 2; ++m) EXPECT_NEAR(grad_b[m], grad_a[m] + 10.0f, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RestrictionBackwardTest,
+                         testing::ValuesIn(kAllKinds));
+
+}  // namespace
+}  // namespace kge

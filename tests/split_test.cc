@@ -1,0 +1,133 @@
+#include "datagen/split.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "kg/triple.h"
+
+namespace kge {
+namespace {
+
+std::vector<Triple> MakeDenseGraph(int num_entities, int num_relations,
+                                   int triples_per_relation, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triple> triples;
+  for (RelationId r = 0; r < num_relations; ++r) {
+    for (int i = 0; i < triples_per_relation; ++i) {
+      triples.push_back(
+          {EntityId(rng.NextBounded(num_entities)),
+           EntityId(rng.NextBounded(num_entities)), r});
+    }
+  }
+  return triples;
+}
+
+TEST(SplitTest, FractionsApproximatelyRespected) {
+  const auto all = MakeDenseGraph(50, 3, 500, 1);
+  SplitOptions options;
+  options.valid_fraction = 0.1;
+  options.test_fraction = 0.1;
+  const SplitResult split = SplitTriples(all, options);
+  const size_t total =
+      split.train.size() + split.valid.size() + split.test.size();
+  EXPECT_GT(total, 0u);
+  EXPECT_NEAR(double(split.valid.size()) / double(total), 0.1, 0.02);
+  EXPECT_NEAR(double(split.test.size()) / double(total), 0.1, 0.02);
+}
+
+TEST(SplitTest, EveryHoldoutEntityAndRelationAppearsInTrain) {
+  const auto all = MakeDenseGraph(40, 4, 300, 2);
+  SplitOptions options;
+  options.valid_fraction = 0.15;
+  options.test_fraction = 0.15;
+  const SplitResult split = SplitTriples(all, options);
+
+  std::unordered_set<EntityId> train_entities;
+  std::unordered_set<RelationId> train_relations;
+  for (const Triple& t : split.train) {
+    train_entities.insert(t.head);
+    train_entities.insert(t.tail);
+    train_relations.insert(t.relation);
+  }
+  for (const auto* holdout : {&split.valid, &split.test}) {
+    for (const Triple& t : *holdout) {
+      EXPECT_TRUE(train_entities.contains(t.head));
+      EXPECT_TRUE(train_entities.contains(t.tail));
+      EXPECT_TRUE(train_relations.contains(t.relation));
+    }
+  }
+}
+
+TEST(SplitTest, NoTripleLostOrDuplicated) {
+  auto all = MakeDenseGraph(30, 2, 200, 3);
+  // Dedupe the input to compute the expected size.
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  SplitOptions options;
+  const SplitResult split = SplitTriples(all, options);
+  std::vector<Triple> reassembled = split.train;
+  reassembled.insert(reassembled.end(), split.valid.begin(),
+                     split.valid.end());
+  reassembled.insert(reassembled.end(), split.test.begin(), split.test.end());
+  std::sort(reassembled.begin(), reassembled.end());
+  EXPECT_EQ(reassembled, all);
+}
+
+TEST(SplitTest, DeterministicForSameSeed) {
+  const auto all = MakeDenseGraph(30, 2, 200, 4);
+  SplitOptions options;
+  options.seed = 99;
+  const SplitResult a = SplitTriples(all, options);
+  const SplitResult b = SplitTriples(all, options);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(SplitTest, DifferentSeedsShuffleDifferently) {
+  const auto all = MakeDenseGraph(30, 2, 200, 5);
+  SplitOptions options;
+  options.seed = 1;
+  const SplitResult a = SplitTriples(all, options);
+  options.seed = 2;
+  const SplitResult b = SplitTriples(all, options);
+  EXPECT_NE(a.valid, b.valid);
+}
+
+TEST(SplitTest, ZeroFractionsPutEverythingInTrain) {
+  const auto all = MakeDenseGraph(20, 1, 100, 6);
+  SplitOptions options;
+  options.valid_fraction = 0.0;
+  options.test_fraction = 0.0;
+  const SplitResult split = SplitTriples(all, options);
+  EXPECT_TRUE(split.valid.empty());
+  EXPECT_TRUE(split.test.empty());
+  EXPECT_FALSE(split.train.empty());
+}
+
+TEST(SplitTest, SingletonEntitiesNeverHeldOut) {
+  // Entity 2 appears exactly once; its triple must stay in train.
+  std::vector<Triple> all = {{0, 1, 0}, {1, 0, 0}, {0, 2, 0}, {1, 0, 0}};
+  // Add bulk to make holdout selection happen.
+  for (int i = 0; i < 50; ++i) all.push_back({0, 1, 0});
+  SplitOptions options;
+  options.valid_fraction = 0.3;
+  options.test_fraction = 0.3;
+  const SplitResult split = SplitTriples(all, options);
+  bool in_train = false;
+  for (const Triple& t : split.train) in_train |= t == Triple{0, 2, 0};
+  EXPECT_TRUE(in_train);
+}
+
+TEST(SplitTest, DeduplicatesInput) {
+  std::vector<Triple> all(100, Triple{0, 1, 0});
+  all.push_back({1, 0, 0});
+  SplitOptions options;
+  const SplitResult split = SplitTriples(all, options);
+  EXPECT_EQ(split.train.size() + split.valid.size() + split.test.size(), 2u);
+}
+
+}  // namespace
+}  // namespace kge

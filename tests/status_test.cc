@@ -1,0 +1,85 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad value").message(), "bad value");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status status = Status::NotFound("missing file");
+  EXPECT_EQ(status.ToString(), "NotFound: missing file");
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("hello"));
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(ResultTest, AccessingErrorValueAborts) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)result.value(); }, "FATAL");
+}
+
+Status FailsMidway() {
+  KGE_RETURN_IF_ERROR(Status::IoError("disk on fire"));
+  return Status::Ok();
+}
+
+Status Succeeds() {
+  KGE_RETURN_IF_ERROR(Status::Ok());
+  return Status::InvalidArgument("reached the end");
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsMidway().code(), StatusCode::kIoError);
+  EXPECT_EQ(Succeeds().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kge

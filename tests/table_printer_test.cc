@@ -1,0 +1,47 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"model", "MRR"});
+  table.AddRow({"DistMult", "0.796"});
+  table.AddRow({"CP", "0.086"});
+  const std::string out = table.ToString();
+  // Header, separator, two rows.
+  int newlines = 0;
+  for (char c : out) newlines += c == '\n';
+  EXPECT_EQ(newlines, 4);
+  // Both MRR values start in the same column.
+  const size_t line2 = out.find("DistMult");
+  const size_t line3 = out.find("CP");
+  const size_t col2 = out.find("0.796") - line2;
+  const size_t col3 = out.find("0.086") - line3;
+  EXPECT_EQ(col2, col3);
+}
+
+TEST(TablePrinterTest, MetricsRowFormatsThreeDecimals) {
+  TablePrinter table({"model", "MRR", "H@10"});
+  table.AddMetricsRow("ComplEx", {0.93651, 0.9514});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("0.937"), std::string::npos);
+  EXPECT_NE(out.find("0.951"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadWithEmptyCells) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NE(table.ToString().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorSpansColumns) {
+  TablePrinter table({"x", "yyyy"});
+  table.AddRow({"1", "2"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kge

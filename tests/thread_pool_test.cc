@@ -1,0 +1,98 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace kge {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsTasks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int counter = 0;
+  pool.Schedule([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter, 1);
+}
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(0, touched.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, 4, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 3u);
+    EXPECT_EQ(end, 4u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineMode) {
+  ThreadPool pool(1);
+  std::vector<int> values(50, 0);
+  pool.ParallelFor(0, values.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) values[i] = int(i);
+  });
+  for (size_t i = 0; i < values.size(); ++i) EXPECT_EQ(values[i], int(i));
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(3);
+  std::vector<int64_t> data(10000);
+  std::iota(data.begin(), data.end(), 1);
+  std::atomic<int64_t> parallel_sum{0};
+  pool.ParallelFor(0, data.size(), [&](size_t begin, size_t end) {
+    int64_t local = 0;
+    for (size_t i = begin; i < end; ++i) local += data[i];
+    parallel_sum.fetch_add(local);
+  });
+  const int64_t expected = std::accumulate(data.begin(), data.end(), int64_t{0});
+  EXPECT_EQ(parallel_sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Schedule([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace kge

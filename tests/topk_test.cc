@@ -1,0 +1,134 @@
+#include "eval/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "models/trilinear_models.h"
+
+namespace kge {
+namespace {
+
+constexpr int32_t kEntities = 20;
+constexpr int32_t kRelations = 2;
+
+// Model whose tail score for (h, ?, r) is simply -(tail id), making
+// rankings predictable: entity 0 best, 1 next, etc.
+class DescendingModel : public KgeModel {
+ public:
+  DescendingModel() : name_("Desc") {}
+  const std::string& name() const override { return name_; }
+  int32_t num_entities() const override { return kEntities; }
+  int32_t num_relations() const override { return kRelations; }
+  double Score(const Triple& t) const override { return -double(t.tail); }
+  void ScoreAllTails(EntityId head, RelationId relation,
+                     std::span<float> out) const override {
+    for (EntityId t = 0; t < kEntities; ++t)
+      out[size_t(t)] = float(Score({head, t, relation}));
+  }
+  void ScoreAllHeads(EntityId tail, RelationId relation,
+                     std::span<float> out) const override {
+    for (EntityId h = 0; h < kEntities; ++h)
+      out[size_t(h)] = float(-h);
+    (void)tail, (void)relation;
+  }
+  std::vector<ParameterBlock*> Blocks() override { return {}; }
+  void AccumulateGradients(const Triple&, float, GradientBuffer*) override {}
+  void NormalizeEntities(std::span<const EntityId>) override {}
+  void InitParameters(uint64_t) override {}
+
+ private:
+  std::string name_;
+};
+
+TEST(TopKTest, ReturnsBestFirstWithoutFilter) {
+  DescendingModel model;
+  TopKOptions options;
+  options.k = 3;
+  const auto top = PredictTails(model, 0, 0, options);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].entity, 0);
+  EXPECT_EQ(top[1].entity, 1);
+  EXPECT_EQ(top[2].entity, 2);
+  EXPECT_GT(top[0].score, top[1].score);
+}
+
+TEST(TopKTest, ExcludesKnownTriples) {
+  DescendingModel model;
+  FilterIndex filter;
+  const std::vector<Triple> known = {{0, 0, 0}, {0, 2, 0}};
+  filter.Build(known, {}, {});
+  TopKOptions options;
+  options.k = 3;
+  options.exclude_known = &filter;
+  const auto top = PredictTails(model, 0, 0, options);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].entity, 1);
+  EXPECT_EQ(top[1].entity, 3);
+  EXPECT_EQ(top[2].entity, 4);
+}
+
+TEST(TopKTest, FilterOnlyAppliesToMatchingQuery) {
+  DescendingModel model;
+  FilterIndex filter;
+  const std::vector<Triple> known = {{1, 0, 0}};  // different head
+  filter.Build(known, {}, {});
+  TopKOptions options;
+  options.k = 1;
+  options.exclude_known = &filter;
+  const auto top = PredictTails(model, 0, 0, options);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].entity, 0);
+}
+
+TEST(TopKTest, KLargerThanVocabularyIsClamped) {
+  DescendingModel model;
+  TopKOptions options;
+  options.k = 1000;
+  const auto top = PredictTails(model, 0, 0, options);
+  EXPECT_EQ(top.size(), size_t(kEntities));
+}
+
+TEST(TopKTest, KZeroGivesEmpty) {
+  DescendingModel model;
+  TopKOptions options;
+  options.k = 0;
+  EXPECT_TRUE(PredictTails(model, 0, 0, options).empty());
+}
+
+TEST(TopKTest, TieBreaksByEntityId) {
+  // Real model with tied scores: constant zero scores.
+  auto model = MakeDistMult(kEntities, kRelations, 4, 1);
+  // Zero all embeddings => all scores zero.
+  model->entity_store().block()->Zero();
+  TopKOptions options;
+  options.k = 4;
+  const auto top = PredictTails(*model, 0, 0, options);
+  ASSERT_EQ(top.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(top[size_t(i)].entity, i);
+}
+
+TEST(TopKTest, PredictHeadsUsesHeadScores) {
+  DescendingModel model;
+  TopKOptions options;
+  options.k = 2;
+  const auto top = PredictHeads(model, 5, 0, options);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].entity, 0);
+  EXPECT_EQ(top[1].entity, 1);
+}
+
+TEST(TopKTest, AgreesWithModelScores) {
+  auto model = MakeComplEx(kEntities, kRelations, 8, 5);
+  TopKOptions options;
+  options.k = kEntities;
+  const auto top = PredictTails(*model, 3, 1, options);
+  ASSERT_EQ(top.size(), size_t(kEntities));
+  for (size_t i = 0; i + 1 < top.size(); ++i) {
+    EXPECT_GE(top[i].score, top[i + 1].score);
+  }
+  for (const ScoredEntity& s : top) {
+    EXPECT_NEAR(s.score, model->Score({3, s.entity, 1}), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,127 @@
+#include "kg/triple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kge {
+namespace {
+
+TripleStore MakeStore() {
+  TripleStore store;
+  store.Add(0, 1, 0);
+  store.Add(0, 2, 0);
+  store.Add(1, 2, 1);
+  store.Add(2, 0, 1);
+  store.Add(2, 1, 0);
+  return store;
+}
+
+TEST(TripleTest, ComparisonAndHash) {
+  const Triple a{1, 2, 3};
+  const Triple b{1, 2, 3};
+  const Triple c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  TripleHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));  // overwhelmingly likely
+}
+
+TEST(TripleStoreTest, SizeAndAccess) {
+  TripleStore store = MakeStore();
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_FALSE(store.empty());
+  EXPECT_EQ(store[0], (Triple{0, 1, 0}));
+}
+
+TEST(TripleStoreTest, ContainsWithoutIndexes) {
+  TripleStore store = MakeStore();
+  EXPECT_TRUE(store.Contains({0, 1, 0}));
+  EXPECT_FALSE(store.Contains({1, 0, 0}));
+}
+
+TEST(TripleStoreTest, ContainsWithIndexes) {
+  TripleStore store = MakeStore();
+  store.BuildIndexes(3, 2);
+  EXPECT_TRUE(store.Contains({2, 0, 1}));
+  EXPECT_FALSE(store.Contains({2, 0, 0}));
+}
+
+TEST(TripleStoreTest, ByHeadGroupsCorrectly) {
+  TripleStore store = MakeStore();
+  store.BuildIndexes(3, 2);
+  const auto positions = store.ByHead(0);
+  ASSERT_EQ(positions.size(), 2u);
+  std::set<Triple> found;
+  for (uint32_t pos : positions) found.insert(store[pos]);
+  EXPECT_TRUE(found.contains(Triple{0, 1, 0}));
+  EXPECT_TRUE(found.contains(Triple{0, 2, 0}));
+}
+
+TEST(TripleStoreTest, ByTailGroupsCorrectly) {
+  TripleStore store = MakeStore();
+  store.BuildIndexes(3, 2);
+  const auto positions = store.ByTail(2);
+  ASSERT_EQ(positions.size(), 2u);
+  for (uint32_t pos : positions) EXPECT_EQ(store[pos].tail, 2);
+}
+
+TEST(TripleStoreTest, ByRelationGroupsCorrectly) {
+  TripleStore store = MakeStore();
+  store.BuildIndexes(3, 2);
+  EXPECT_EQ(store.ByRelation(0).size(), 3u);
+  EXPECT_EQ(store.ByRelation(1).size(), 2u);
+}
+
+TEST(TripleStoreTest, GroupOfAbsentValueIsEmpty) {
+  TripleStore store;
+  store.Add(0, 1, 0);
+  store.BuildIndexes(5, 3);
+  EXPECT_TRUE(store.ByHead(4).empty());
+  EXPECT_TRUE(store.ByRelation(2).empty());
+}
+
+TEST(TripleStoreTest, AddInvalidatesIndexes) {
+  TripleStore store = MakeStore();
+  store.BuildIndexes(3, 2);
+  EXPECT_TRUE(store.indexes_valid());
+  store.Add(1, 0, 1);
+  EXPECT_FALSE(store.indexes_valid());
+  EXPECT_DEATH({ (void)store.ByHead(0); }, "KGE_CHECK");
+}
+
+TEST(TripleStoreTest, MaxIds) {
+  TripleStore store = MakeStore();
+  EXPECT_EQ(store.MaxEntityId(), 2);
+  EXPECT_EQ(store.MaxRelationId(), 1);
+  TripleStore empty;
+  EXPECT_EQ(empty.MaxEntityId(), -1);
+  EXPECT_EQ(empty.MaxRelationId(), -1);
+}
+
+TEST(TripleStoreTest, BuildIndexesRejectsTooSmallRanges) {
+  TripleStore store = MakeStore();
+  EXPECT_DEATH({ store.BuildIndexes(2, 2); }, "KGE_CHECK");
+}
+
+TEST(TripleStoreTest, ConstructFromVector) {
+  std::vector<Triple> triples = {{0, 1, 0}, {1, 0, 0}};
+  TripleStore store(std::move(triples));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(TripleStoreTest, IndexesCoverEveryTripleExactlyOnce) {
+  TripleStore store = MakeStore();
+  store.BuildIndexes(3, 2);
+  size_t total = 0;
+  for (int32_t e = 0; e < 3; ++e) total += store.ByHead(e).size();
+  EXPECT_EQ(total, store.size());
+  total = 0;
+  for (int32_t r = 0; r < 2; ++r) total += store.ByRelation(r).size();
+  EXPECT_EQ(total, store.size());
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,151 @@
+#include "math/vec_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kge {
+namespace {
+
+TEST(VecOpsTest, DotBasic) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+TEST(VecOpsTest, DotEmpty) {
+  EXPECT_DOUBLE_EQ(Dot(std::vector<float>{}, std::vector<float>{}), 0.0);
+}
+
+TEST(VecOpsTest, TrilinearDotBasic) {
+  const std::vector<float> a = {1, 2};
+  const std::vector<float> b = {3, 4};
+  const std::vector<float> c = {5, 6};
+  EXPECT_DOUBLE_EQ(TrilinearDot(a, b, c), 1 * 3 * 5 + 2 * 4 * 6);
+}
+
+TEST(VecOpsTest, TrilinearDotIsFullySymmetricInArguments) {
+  Rng rng(1);
+  std::vector<float> a(16), b(16), c(16);
+  for (int d = 0; d < 16; ++d) {
+    a[d] = rng.NextUniform(-1, 1);
+    b[d] = rng.NextUniform(-1, 1);
+    c[d] = rng.NextUniform(-1, 1);
+  }
+  const double reference = TrilinearDot(a, b, c);
+  EXPECT_NEAR(TrilinearDot(b, a, c), reference, 1e-9);
+  EXPECT_NEAR(TrilinearDot(c, b, a), reference, 1e-9);
+  EXPECT_NEAR(TrilinearDot(a, c, b), reference, 1e-9);
+}
+
+TEST(VecOpsTest, HadamardProduct) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, 5, 6};
+  std::vector<float> out(3);
+  Hadamard(a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{4, 10, 18}));
+}
+
+TEST(VecOpsTest, HadamardAxpyAccumulates) {
+  const std::vector<float> a = {1, 2};
+  const std::vector<float> b = {3, 4};
+  std::vector<float> out = {10, 20};
+  HadamardAxpy(2.0f, a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{16, 36}));
+}
+
+TEST(VecOpsTest, Axpy) {
+  const std::vector<float> a = {1, -1};
+  std::vector<float> out = {5, 5};
+  Axpy(3.0f, a, out);
+  EXPECT_EQ(out, (std::vector<float>{8, 2}));
+}
+
+TEST(VecOpsTest, FillAndScale) {
+  std::vector<float> v(4);
+  Fill(v, 2.5f);
+  EXPECT_EQ(v, (std::vector<float>{2.5, 2.5, 2.5, 2.5}));
+  Scale(v, 2.0f);
+  EXPECT_EQ(v, (std::vector<float>{5, 5, 5, 5}));
+}
+
+TEST(VecOpsTest, Norms) {
+  const std::vector<float> v = {3, -4};
+  EXPECT_DOUBLE_EQ(SquaredNorm(v), 25.0);
+  EXPECT_DOUBLE_EQ(Norm(v), 5.0);
+  EXPECT_DOUBLE_EQ(L1Norm(v), 7.0);
+}
+
+TEST(VecOpsTest, LpDistanceL1AndL2) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {2, 0, 3};
+  EXPECT_DOUBLE_EQ(LpDistance(a, b, 1), 3.0);
+  EXPECT_DOUBLE_EQ(LpDistance(a, b, 2), 5.0);
+  EXPECT_DOUBLE_EQ(LpDistance(a, a, 1), 0.0);
+}
+
+TEST(VecOpsTest, NormalizeL2MakesUnitNorm) {
+  std::vector<float> v = {3, 4};
+  NormalizeL2(v);
+  EXPECT_NEAR(Norm(v), 1.0, 1e-6);
+  EXPECT_NEAR(v[0], 0.6f, 1e-6);
+}
+
+TEST(VecOpsTest, NormalizeL2LeavesZeroVector) {
+  std::vector<float> v = {0, 0, 0};
+  NormalizeL2(v);
+  EXPECT_EQ(v, (std::vector<float>{0, 0, 0}));
+}
+
+TEST(VecOpsTest, MaxAbsDiff) {
+  const std::vector<float> a = {1, 5, 3};
+  const std::vector<float> b = {1, 2, 4};
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, a), 0.0);
+}
+
+TEST(VecOpsTest, DotAccumulatesInDoubleForLargeVectors) {
+  // 1e7-magnitude cancellation errors would show with float accumulation.
+  std::vector<float> a(1000, 1e4f);
+  std::vector<float> b(1000, 1e4f);
+  a.push_back(1.0f);
+  b.push_back(1.0f);
+  const double expected = 1000.0 * 1e8 + 1.0;
+  EXPECT_DOUBLE_EQ(Dot(a, b), expected);
+}
+
+// Property sweep: Dot(a, b) == TrilinearDot(a, b, ones).
+class VecOpsPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(VecOpsPropertyTest, TrilinearWithOnesEqualsDot) {
+  const int dim = GetParam();
+  Rng rng{uint64_t(dim)};
+  std::vector<float> a(dim), b(dim), ones(dim, 1.0f);
+  for (int d = 0; d < dim; ++d) {
+    a[d] = rng.NextUniform(-2, 2);
+    b[d] = rng.NextUniform(-2, 2);
+  }
+  EXPECT_NEAR(TrilinearDot(a, b, ones), Dot(a, b), 1e-6);
+}
+
+TEST_P(VecOpsPropertyTest, HadamardThenDotEqualsTrilinear) {
+  const int dim = GetParam();
+  Rng rng(uint64_t(dim) + 100);
+  std::vector<float> a(dim), b(dim), c(dim), ab(dim);
+  for (int d = 0; d < dim; ++d) {
+    a[d] = rng.NextUniform(-2, 2);
+    b[d] = rng.NextUniform(-2, 2);
+    c[d] = rng.NextUniform(-2, 2);
+  }
+  Hadamard(a, b, ab);
+  EXPECT_NEAR(Dot(ab, c), TrilinearDot(a, b, c), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, VecOpsPropertyTest,
+                         testing::Values(1, 2, 7, 64, 255, 1024));
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,71 @@
+#include "kg/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+TEST(VocabularyTest, AssignsDenseIdsInFirstSeenOrder) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("cat"), 0);
+  EXPECT_EQ(vocab.GetOrAdd("dog"), 1);
+  EXPECT_EQ(vocab.GetOrAdd("cat"), 0);
+  EXPECT_EQ(vocab.GetOrAdd("bird"), 2);
+  EXPECT_EQ(vocab.size(), 3);
+}
+
+TEST(VocabularyTest, FindReturnsMinusOneForUnknown) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("cat");
+  EXPECT_EQ(vocab.Find("cat"), 0);
+  EXPECT_EQ(vocab.Find("unicorn"), -1);
+}
+
+TEST(VocabularyTest, NameOfRoundTrips) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("alpha");
+  vocab.GetOrAdd("beta");
+  EXPECT_EQ(vocab.NameOf(0), "alpha");
+  EXPECT_EQ(vocab.NameOf(1), "beta");
+}
+
+TEST(VocabularyTest, NameOfOutOfRangeAborts) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("x");
+  EXPECT_DEATH({ (void)vocab.NameOf(5); }, "KGE_CHECK");
+  EXPECT_DEATH({ (void)vocab.NameOf(-1); }, "KGE_CHECK");
+}
+
+TEST(VocabularyTest, EmptyVocabulary) {
+  Vocabulary vocab;
+  EXPECT_TRUE(vocab.empty());
+  EXPECT_EQ(vocab.size(), 0);
+  EXPECT_EQ(vocab.Find("anything"), -1);
+}
+
+TEST(VocabularyTest, EmptyStringIsAValidName) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd(""), 0);
+  EXPECT_EQ(vocab.Find(""), 0);
+}
+
+TEST(VocabularyTest, NamesVectorMatchesInsertOrder) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("one");
+  vocab.GetOrAdd("two");
+  ASSERT_EQ(vocab.names().size(), 2u);
+  EXPECT_EQ(vocab.names()[0], "one");
+  EXPECT_EQ(vocab.names()[1], "two");
+}
+
+TEST(VocabularyTest, ManyEntries) {
+  Vocabulary vocab;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(vocab.GetOrAdd("entity_" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(vocab.size(), 10000);
+  EXPECT_EQ(vocab.Find("entity_9999"), 9999);
+}
+
+}  // namespace
+}  // namespace kge

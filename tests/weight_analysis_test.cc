@@ -1,0 +1,101 @@
+#include "core/weight_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+TEST(WeightAnalysisTest, ComplExSatisfiesAllThreeProperties) {
+  const WeightProperties props = AnalyzeWeightTable(WeightTable::ComplEx());
+  EXPECT_DOUBLE_EQ(props.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(props.stability, 1.0);
+  EXPECT_GT(props.distinguishability, 0.0);
+}
+
+TEST(WeightAnalysisTest, CphSatisfiesAllThreeProperties) {
+  const WeightProperties props = AnalyzeWeightTable(WeightTable::Cph());
+  EXPECT_DOUBLE_EQ(props.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(props.stability, 1.0);
+  EXPECT_DOUBLE_EQ(props.distinguishability, 1.0);
+}
+
+TEST(WeightAnalysisTest, QuaternionSatisfiesAllThreeProperties) {
+  const WeightProperties props =
+      AnalyzeWeightTable(WeightTable::Quaternion());
+  EXPECT_DOUBLE_EQ(props.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(props.stability, 1.0);
+  EXPECT_GT(props.distinguishability, 0.0);
+}
+
+TEST(WeightAnalysisTest, CpIsIncomplete) {
+  // CP within the two-embedding view uses only h(1), t(2), r(1):
+  // 3 of 5 slots (ne=2, ne=2, nr=1).
+  const WeightProperties props = AnalyzeWeightTable(WeightTable::Cp());
+  EXPECT_LT(props.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(props.stability, 0.0);  // h(2), t(1) carry no mass
+}
+
+TEST(WeightAnalysisTest, DistMultIsNotDistinguishable) {
+  // Symmetric table: swapping h and t leaves ω unchanged.
+  const WeightProperties props = AnalyzeWeightTable(WeightTable::DistMult());
+  EXPECT_DOUBLE_EQ(props.distinguishability, 0.0);
+  EXPECT_DOUBLE_EQ(props.completeness, 1.0);
+}
+
+TEST(WeightAnalysisTest, UniformIsNotDistinguishable) {
+  const WeightProperties props =
+      AnalyzeWeightTable(WeightTable::Uniform(2, 2));
+  EXPECT_DOUBLE_EQ(props.distinguishability, 0.0);
+  EXPECT_DOUBLE_EQ(props.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(props.stability, 1.0);
+}
+
+TEST(WeightAnalysisTest, BadExamplesScoreBelowGoodExamples) {
+  // §6.1.2: the paper's good examples satisfy the properties, the bad
+  // ones violate at least one.
+  const double bad1 =
+      AnalyzeWeightTable(WeightTable::BadExample1()).Overall();
+  const double bad2 =
+      AnalyzeWeightTable(WeightTable::BadExample2()).Overall();
+  const double good1 =
+      AnalyzeWeightTable(WeightTable::GoodExample1()).Overall();
+  const double good2 =
+      AnalyzeWeightTable(WeightTable::GoodExample2()).Overall();
+  EXPECT_GT(good1, bad1);
+  EXPECT_GT(good1, bad2);
+  EXPECT_GT(good2, bad1);
+  EXPECT_GT(good2, bad2);
+}
+
+TEST(WeightAnalysisTest, BadExample1IsUnstable) {
+  // (0,0,20,0,0,1,0,0): h(1) carries 20, h(2) carries 1.
+  const WeightProperties props =
+      AnalyzeWeightTable(WeightTable::BadExample1());
+  EXPECT_LT(props.stability, 0.1);
+}
+
+TEST(WeightAnalysisTest, BadExample2IsIndistinguishable) {
+  // (0,0,1,1,1,1,0,0) is symmetric under the h/t swap.
+  const WeightProperties props =
+      AnalyzeWeightTable(WeightTable::BadExample2());
+  EXPECT_DOUBLE_EQ(props.distinguishability, 0.0);
+}
+
+TEST(WeightAnalysisTest, ZeroTableScoresZero) {
+  const WeightProperties props = AnalyzeWeightTable(WeightTable(2, 2));
+  EXPECT_DOUBLE_EQ(props.completeness, 0.0);
+  EXPECT_DOUBLE_EQ(props.stability, 0.0);
+  EXPECT_DOUBLE_EQ(props.distinguishability, 0.0);
+  EXPECT_DOUBLE_EQ(props.Overall(), 0.0);
+}
+
+TEST(WeightAnalysisTest, ToStringListsMetrics) {
+  const std::string s =
+      AnalyzeWeightTable(WeightTable::ComplEx()).ToString();
+  EXPECT_NE(s.find("completeness"), std::string::npos);
+  EXPECT_NE(s.find("stability"), std::string::npos);
+  EXPECT_NE(s.find("distinguishability"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kge

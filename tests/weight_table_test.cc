@@ -1,0 +1,155 @@
+#include "core/weight_table.h"
+
+#include <gtest/gtest.h>
+
+namespace kge {
+namespace {
+
+TEST(WeightTableTest, StartsAllZero) {
+  WeightTable table(2, 2);
+  EXPECT_EQ(table.size(), 8);
+  EXPECT_TRUE(table.terms().empty());
+  for (float w : table.Flat()) EXPECT_EQ(w, 0.0f);
+}
+
+TEST(WeightTableTest, IndexUsesPaperRowMajorOrder) {
+  WeightTable table(2, 2);
+  // Paper ordering: (111),(112),(121),(122),(211),(212),(221),(222).
+  EXPECT_EQ(table.Index(0, 0, 0), 0);
+  EXPECT_EQ(table.Index(0, 0, 1), 1);
+  EXPECT_EQ(table.Index(0, 1, 0), 2);
+  EXPECT_EQ(table.Index(0, 1, 1), 3);
+  EXPECT_EQ(table.Index(1, 0, 0), 4);
+  EXPECT_EQ(table.Index(1, 0, 1), 5);
+  EXPECT_EQ(table.Index(1, 1, 0), 6);
+  EXPECT_EQ(table.Index(1, 1, 1), 7);
+}
+
+TEST(WeightTableTest, SetRebuildsTerms) {
+  WeightTable table(2, 2);
+  table.Set(0, 1, 0, 2.0f);
+  ASSERT_EQ(table.terms().size(), 1u);
+  EXPECT_EQ(table.terms()[0].i, 0);
+  EXPECT_EQ(table.terms()[0].j, 1);
+  EXPECT_EQ(table.terms()[0].k, 0);
+  EXPECT_EQ(table.terms()[0].weight, 2.0f);
+  table.Set(0, 1, 0, 0.0f);
+  EXPECT_TRUE(table.terms().empty());
+}
+
+TEST(WeightTableTest, DistMultPreset) {
+  const WeightTable table = WeightTable::DistMult();
+  EXPECT_EQ(table.ne(), 1);
+  EXPECT_EQ(table.nr(), 1);
+  ASSERT_EQ(table.terms().size(), 1u);
+  EXPECT_EQ(table.At(0, 0, 0), 1.0f);
+}
+
+TEST(WeightTableTest, ComplExPresetMatchesPaperTable1) {
+  const WeightTable table = WeightTable::ComplEx();
+  // Paper column: (1, 0, 0, 1, 0, -1, 1, 0).
+  const float expected[8] = {1, 0, 0, 1, 0, -1, 1, 0};
+  const auto flat = table.Flat();
+  for (int m = 0; m < 8; ++m) EXPECT_EQ(flat[m], expected[m]) << "m=" << m;
+}
+
+TEST(WeightTableTest, ComplExEquivalentsMatchPaperTable1) {
+  const float equiv1[8] = {1, 0, 0, -1, 0, 1, 1, 0};
+  const float equiv2[8] = {0, 1, -1, 0, 1, 0, 0, 1};
+  const float equiv3[8] = {0, 1, 1, 0, -1, 0, 0, 1};
+  const WeightTable t1 = WeightTable::ComplExEquiv1();
+  const WeightTable t2 = WeightTable::ComplExEquiv2();
+  const WeightTable t3 = WeightTable::ComplExEquiv3();
+  const auto f1 = t1.Flat();
+  const auto f2 = t2.Flat();
+  const auto f3 = t3.Flat();
+  for (int m = 0; m < 8; ++m) {
+    EXPECT_EQ(f1[m], equiv1[m]) << "equiv1 m=" << m;
+    EXPECT_EQ(f2[m], equiv2[m]) << "equiv2 m=" << m;
+    EXPECT_EQ(f3[m], equiv3[m]) << "equiv3 m=" << m;
+  }
+}
+
+TEST(WeightTableTest, CpPresetUsesSingleRelationVector) {
+  const WeightTable table = WeightTable::Cp();
+  EXPECT_EQ(table.ne(), 2);
+  EXPECT_EQ(table.nr(), 1);
+  ASSERT_EQ(table.terms().size(), 1u);
+  EXPECT_EQ(table.At(0, 1, 0), 1.0f);  // <h(1), t(2), r(1)>
+}
+
+TEST(WeightTableTest, CphPresetMatchesPaperTable1) {
+  const WeightTable table = WeightTable::Cph();
+  ASSERT_EQ(table.terms().size(), 2u);
+  EXPECT_EQ(table.At(0, 1, 0), 1.0f);  // <h(1), t(2), r(1)>
+  EXPECT_EQ(table.At(1, 0, 1), 1.0f);  // <h(2), t(1), r(2)>
+  const WeightTable equiv = WeightTable::CphEquiv();
+  EXPECT_EQ(equiv.At(0, 1, 1), 1.0f);
+  EXPECT_EQ(equiv.At(1, 0, 0), 1.0f);
+}
+
+TEST(WeightTableTest, QuaternionPresetHasSixteenSignedUnitTerms) {
+  const WeightTable table = WeightTable::Quaternion();
+  EXPECT_EQ(table.ne(), 4);
+  EXPECT_EQ(table.nr(), 4);
+  EXPECT_EQ(table.terms().size(), 16u);
+  int positive = 0, negative = 0;
+  for (const auto& term : table.terms()) {
+    if (term.weight == 1.0f) ++positive;
+    if (term.weight == -1.0f) ++negative;
+  }
+  EXPECT_EQ(positive, 10);  // Eq. (14): 10 plus terms, 6 minus terms
+  EXPECT_EQ(negative, 6);
+}
+
+TEST(WeightTableTest, UniformPreset) {
+  const WeightTable table = WeightTable::Uniform(2, 2);
+  EXPECT_EQ(table.terms().size(), 8u);
+  for (float w : table.Flat()) EXPECT_EQ(w, 1.0f);
+}
+
+TEST(WeightTableTest, FromPaperVectorRoundTrips) {
+  const std::array<float, 8> w = {0, 0, 20, 0, 0, 1, 0, 0};
+  const WeightTable table = WeightTable::FromPaperVector(w);
+  EXPECT_EQ(table.At(0, 1, 0), 20.0f);
+  EXPECT_EQ(table.At(1, 0, 1), 1.0f);
+  EXPECT_EQ(table.terms().size(), 2u);
+}
+
+TEST(WeightTableTest, Table2ExamplePresets) {
+  EXPECT_EQ(WeightTable::BadExample1().terms().size(), 2u);
+  EXPECT_EQ(WeightTable::BadExample2().terms().size(), 4u);
+  EXPECT_EQ(WeightTable::GoodExample1().terms().size(), 4u);
+  EXPECT_EQ(WeightTable::GoodExample2().terms().size(), 8u);
+}
+
+TEST(WeightTableTest, HeadTailTransposed) {
+  WeightTable table(2, 2);
+  table.Set(0, 1, 0, 3.0f);
+  const WeightTable transposed = table.HeadTailTransposed();
+  EXPECT_EQ(transposed.At(1, 0, 0), 3.0f);
+  EXPECT_EQ(transposed.At(0, 1, 0), 0.0f);
+}
+
+TEST(WeightTableTest, TransposeIsInvolution) {
+  const WeightTable table = WeightTable::ComplEx();
+  const WeightTable twice = table.HeadTailTransposed().HeadTailTransposed();
+  const auto a = table.Flat();
+  const auto b = twice.Flat();
+  for (size_t m = 0; m < a.size(); ++m) EXPECT_EQ(a[m], b[m]);
+}
+
+TEST(WeightTableTest, SetFlatRejectsWrongSize) {
+  WeightTable table(2, 2);
+  const std::vector<float> wrong(7, 1.0f);
+  EXPECT_DEATH({ table.SetFlat(wrong); }, "KGE_CHECK");
+}
+
+TEST(WeightTableTest, ToStringListsTerms) {
+  const std::string s = WeightTable::Cph().ToString();
+  EXPECT_NE(s.find("<h1,t2,r1>"), std::string::npos);
+  EXPECT_NE(s.find("<h2,t1,r2>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kge

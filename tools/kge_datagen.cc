@@ -1,0 +1,82 @@
+// kge_datagen: materializes the synthetic benchmark datasets to standard
+// WN18-format text files (head<TAB>relation<TAB>tail) so they can be
+// inspected, versioned, or fed to other KGE implementations, and prints
+// the relation structure analysis used to verify the pattern mix.
+//
+//   kge_datagen --family=wordnet --entities=5000 --out=/tmp/wn-like
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "kge.h"
+
+namespace {
+
+using namespace kge;
+
+int Run(int argc, char** argv) {
+  std::string family = "wordnet";
+  std::string out_dir;
+  int64_t entities = 2000;
+  int64_t seed = 42;
+  bool analyze = true;
+  FlagParser parser("kge_datagen: generate synthetic KGE benchmarks");
+  parser.AddString("family", &family, "wordnet | freebase");
+  parser.AddString("out", &out_dir,
+                   "output directory (created if missing); empty = analyze "
+                   "only");
+  parser.AddInt("entities", &entities, "number of entities");
+  parser.AddInt("seed", &seed, "random seed");
+  parser.AddBool("analyze", &analyze, "print relation structure analysis");
+  const Status status = parser.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  Dataset data;
+  if (family == "wordnet") {
+    WordNetLikeOptions options;
+    options.num_entities = int32_t(entities);
+    options.seed = uint64_t(seed);
+    data = GenerateWordNetLike(options);
+  } else if (family == "freebase") {
+    FreebaseLikeOptions options;
+    options.num_entities = int32_t(entities);
+    options.seed = uint64_t(seed);
+    data = GenerateFreebaseLike(options);
+  } else {
+    std::fprintf(stderr, "unknown --family=%s\n", family.c_str());
+    return 2;
+  }
+  KGE_CHECK_OK(data.Validate());
+  std::printf("generated: %s\n", data.StatsString().c_str());
+
+  if (analyze) {
+    std::vector<Triple> all = data.train;
+    all.insert(all.end(), data.valid.begin(), data.valid.end());
+    all.insert(all.end(), data.test.begin(), data.test.end());
+    const auto stats =
+        AnalyzeRelations(all, data.num_entities(), data.num_relations());
+    std::printf("\nrelation structure (tph/hpt = mean tails-per-head / "
+                "heads-per-tail; sym = symmetry; inv = best inverse)\n");
+    std::printf("%s", RelationStatsTable(stats).c_str());
+    for (const RelationStats& s : stats) {
+      std::printf("rel %-3d = %s\n", s.relation,
+                  data.relations.NameOf(s.relation).c_str());
+    }
+  }
+
+  if (!out_dir.empty()) {
+    ::mkdir(out_dir.c_str(), 0755);
+    KGE_CHECK_OK(SaveDatasetToDirectory(
+        out_dir, TripleFileFormat::kHeadRelationTail, data));
+    std::printf("\nwrote %s/{train,valid,test}.txt\n", out_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
