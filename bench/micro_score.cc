@@ -40,9 +40,9 @@ void BM_ScoreTriple(benchmark::State& state) {
   const WeightTable table = TableFor(ne);
   const int32_t dim = 256 / ne;
   Rng rng(1);
-  const auto h = RandomVec(size_t(table.ne()) * dim, &rng);
-  const auto t = RandomVec(size_t(table.ne()) * dim, &rng);
-  const auto r = RandomVec(size_t(table.nr()) * dim, &rng);
+  const auto h = RandomVec(size_t(table.ne()) * size_t(dim), &rng);
+  const auto t = RandomVec(size_t(table.ne()) * size_t(dim), &rng);
+  const auto r = RandomVec(size_t(table.nr()) * size_t(dim), &rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ScoreTriple(table, dim, h, t, r));
   }
@@ -69,9 +69,9 @@ void BM_AccumulateGradients(benchmark::State& state) {
   const WeightTable table = TableFor(ne);
   const int32_t dim = 256 / ne;
   Rng rng(2);
-  const auto h = RandomVec(size_t(table.ne()) * dim, &rng);
-  const auto t = RandomVec(size_t(table.ne()) * dim, &rng);
-  const auto r = RandomVec(size_t(table.nr()) * dim, &rng);
+  const auto h = RandomVec(size_t(table.ne()) * size_t(dim), &rng);
+  const auto t = RandomVec(size_t(table.ne()) * size_t(dim), &rng);
+  const auto r = RandomVec(size_t(table.nr()) * size_t(dim), &rng);
   std::vector<float> gh(h.size()), gt(t.size()), gr(r.size());
   for (auto _ : state) {
     AccumulateTripleGradients(table, dim, h, t, r, 0.5f, gh, gt, gr);
@@ -87,8 +87,8 @@ void BM_FoldForTail(benchmark::State& state) {
   const WeightTable table = TableFor(ne);
   const int32_t dim = 256 / ne;
   Rng rng(3);
-  const auto h = RandomVec(size_t(table.ne()) * dim, &rng);
-  const auto r = RandomVec(size_t(table.nr()) * dim, &rng);
+  const auto h = RandomVec(size_t(table.ne()) * size_t(dim), &rng);
+  const auto r = RandomVec(size_t(table.nr()) * size_t(dim), &rng);
   std::vector<float> fold(h.size());
   for (auto _ : state) {
     FoldForTail(table, dim, h, r, fold);

@@ -31,7 +31,8 @@ std::vector<float> RandomVec(size_t n, Rng* rng) {
 
 std::span<const float> Part(const std::vector<float>& v, int32_t index,
                             int32_t dim) {
-  return std::span<const float>(v).subspan(size_t(index) * dim, size_t(dim));
+  return std::span<const float>(v).subspan(size_t(index) * size_t(dim),
+                                           size_t(dim));
 }
 
 struct Equivalence {

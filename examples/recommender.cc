@@ -143,7 +143,8 @@ int Run(int argc, char** argv) {
     ranked.push_back({scores[size_t(e)], e});
   }
   std::partial_sort(ranked.begin(),
-                    ranked.begin() + std::min<size_t>(5, ranked.size()),
+                    ranked.begin() +
+                        std::ptrdiff_t(std::min<size_t>(5, ranked.size())),
                     ranked.end(), std::greater<>());
   std::printf("\ntop-5 new recommendations for user_0000:\n");
   for (size_t k = 0; k < 5 && k < ranked.size(); ++k) {

@@ -97,9 +97,10 @@ int Run(int argc, char** argv) {
     Candidate candidate;
     candidate.table = WeightTable::FromPaperVector(w);
     candidate.properties = AnalyzeWeightTable(candidate.table);
-    candidate.label = "[";
-    for (float x : w) candidate.label += StrFormat(" %g", x);
-    candidate.label += " ]";
+    std::string label = "[";
+    for (float x : w) label += StrFormat(" %g", x);
+    label += " ]";
+    candidate.label = std::move(label);
     pool.push_back(std::move(candidate));
   }
   std::sort(pool.begin(), pool.end(),

@@ -1,16 +1,40 @@
 #!/usr/bin/env bash
-# Full verification sweep: configure, build, run the test suite, and
+# Full verification sweep: lint, configure, build, run the test suite, and
 # smoke-run every bench and example at tiny scale. This is the command a
 # CI job would run.
+#
+# Environment knobs:
+#   CMAKE_BUILD_TYPE   build type (default Release), propagated to CMake so
+#                      sanitizer builds can reuse this script, e.g.
+#                      CMAKE_BUILD_TYPE=RelWithDebInfo KGE_SANITIZE=thread \
+#                        BUILD_DIR=build-tsan scripts/check.sh
+#   KGE_SANITIZE       sanitizer list passed to -DKGE_SANITIZE (default none)
+#   BUILD_DIR          build directory (default "build")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+BUILD_DIR="${BUILD_DIR:-build}"
+
+scripts/lint.sh --no-tidy
+
+# Prefer Ninja when installed, but fall back to CMake's default generator
+# (typically Unix Makefiles) instead of hard-failing without it. Only pick a
+# generator on first configure: an existing build directory keeps whatever
+# generator it was created with (CMake rejects a mismatch).
+generator_args=()
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]] \
+    && command -v ninja >/dev/null 2>&1; then
+  generator_args+=(-G Ninja)
+fi
+
+cmake -B "${BUILD_DIR}" "${generator_args[@]}" \
+    -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}" \
+    ${KGE_SANITIZE:+-DKGE_SANITIZE="${KGE_SANITIZE}"}
+cmake --build "${BUILD_DIR}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure
 
 echo "== bench smoke runs (--quick) =="
-./build/bench/table1_equivalence --trials=20
+"./${BUILD_DIR}/bench/table1_equivalence" --trials=20
 for bench in table2_derived_weights table3_auto_weights table4_quaternion \
              ablation_negatives ablation_quaternion_order \
              ablation_regularization ablation_dim ablation_optimizer \
@@ -18,24 +42,24 @@ for bench in table2_derived_weights table3_auto_weights table4_quaternion \
              extension_hypercomplex relation_breakdown model_zoo \
              seed_variance; do
   echo "--- ${bench} ---"
-  "./build/bench/${bench}" --quick > /dev/null
+  "./${BUILD_DIR}/bench/${bench}" --quick > /dev/null
 done
-./build/bench/micro_score --benchmark_min_time=0.01 > /dev/null
-./build/bench/micro_train --benchmark_min_time=0.01 > /dev/null
+"./${BUILD_DIR}/bench/micro_score" --benchmark_min_time=0.01 > /dev/null
+"./${BUILD_DIR}/bench/micro_train" --benchmark_min_time=0.01 > /dev/null
 
 echo "== example smoke runs =="
-./build/examples/quickstart > /dev/null
-./build/examples/recommender --users=60 --items=80 --epochs=20 > /dev/null
-./build/examples/embedding_analysis --entities=300 --epochs=30 > /dev/null
-./build/examples/weight_search --candidates=200 --train-top=1 \
+"./${BUILD_DIR}/examples/quickstart" > /dev/null
+"./${BUILD_DIR}/examples/recommender" --users=60 --items=80 --epochs=20 > /dev/null
+"./${BUILD_DIR}/examples/embedding_analysis" --entities=300 --epochs=30 > /dev/null
+"./${BUILD_DIR}/examples/weight_search" --candidates=200 --train-top=1 \
     --entities=200 --epochs=20 > /dev/null
-./build/examples/cph_two_ways --entities=200 --epochs=30 > /dev/null
+"./${BUILD_DIR}/examples/cph_two_ways" --entities=200 --epochs=30 > /dev/null
 
 echo "== tool smoke runs =="
-./build/tools/kge_datagen --family=wordnet --entities=300 > /dev/null
-./build/tools/kge_train --model=complex --entities=300 --dim-budget=32 \
+"./${BUILD_DIR}/tools/kge_datagen" --family=wordnet --entities=300 > /dev/null
+"./${BUILD_DIR}/tools/kge_train" --model=complex --entities=300 --dim-budget=32 \
     --max-epochs=20 --checkpoint=/tmp/kge_check.ckpt > /dev/null
-./build/tools/kge_eval --model=complex --entities=300 --dim-budget=32 \
+"./${BUILD_DIR}/tools/kge_eval" --model=complex --entities=300 --dim-budget=32 \
     --checkpoint=/tmp/kge_check.ckpt > /dev/null
 rm -f /tmp/kge_check.ckpt
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Repo lint driver: custom repo rules (always), clang-format and clang-tidy
+# (when the tools are installed — CI installs them; local runs degrade
+# gracefully). Exits non-zero on any finding.
+#
+# Usage: scripts/lint.sh [--no-tidy]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== repo rules (scripts/repo_lint.py) =="
+python3 scripts/repo_lint.py || fail=1
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== clang-format (dry run) =="
+  mapfile -t cxx_files < <(git ls-files 'src/**/*.cc' 'src/**/*.h' \
+      'tools/*.cc' 'bench/*.cc' 'bench/*.h' 'tests/*.cc' 'examples/*.cc')
+  if ! clang-format --dry-run -Werror "${cxx_files[@]}"; then
+    fail=1
+  fi
+else
+  echo "clang-format not found; skipping format check"
+fi
+
+run_tidy=1
+for arg in "$@"; do
+  [[ "${arg}" == "--no-tidy" ]] && run_tidy=0
+done
+
+if [[ ${run_tidy} -eq 1 ]] && command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  tidy_build=build-tidy
+  cmake -B "${tidy_build}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DKGE_BUILD_BENCHMARKS=OFF -DKGE_BUILD_EXAMPLES=OFF > /dev/null
+  mapfile -t tidy_files < <(git ls-files 'src/**/*.cc')
+  if ! clang-tidy -p "${tidy_build}" --quiet "${tidy_files[@]}"; then
+    fail=1
+  fi
+elif [[ ${run_tidy} -eq 1 ]]; then
+  echo "clang-tidy not found; skipping (CI runs it)"
+fi
+
+if [[ ${fail} -ne 0 ]]; then
+  echo "LINT FAILED"
+  exit 1
+fi
+echo "LINT OK"

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Repo-rule checker for the kge codebase (driven by scripts/lint.sh).
+
+Rules enforced (each can be suppressed on a specific line with a trailing
+`// kge-lint: allow(<rule>)` comment):
+
+  include-guard   Every header uses an #ifndef/#define/#endif guard named
+                  KGE_<PATH>_H_, where <PATH> is the file path relative to
+                  src/ (or to the repo root for headers outside src/),
+                  upper-cased with /, ., - mapped to _. No #pragma once.
+  banned-random   No rand()/srand()/random()/time(nullptr|NULL|0) seeding
+                  outside src/util/random.*: all stochastic behavior must
+                  flow through kge::Rng so runs stay reproducible.
+  naked-new       No naked `new` in src/: allocation goes through
+                  std::make_unique / std::make_shared / containers.
+  raw-mutex       No new std::mutex / std::lock_guard / std::scoped_lock in
+                  src/ outside util/thread_annotations.h: use the annotated
+                  kge::Mutex / kge::MutexLock wrappers so -Wthread-safety
+                  can verify locking.
+  banned-thread   No detached std::thread in src/ (thread lifecycle must be
+                  owned, e.g. by ThreadPool).
+
+Exit status: 0 if clean, 1 if any finding. Findings are printed one per
+line as `path:line: [rule] message`.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SOURCE_DIRS = ("src", "tools", "bench", "tests", "examples")
+HEADER_DIRS = ("src", "tools", "bench", "tests", "examples")
+
+ALLOW_RE = re.compile(r"//\s*kge-lint:\s*allow\(([a-z-]+)\)")
+
+BANNED_RANDOM = [
+    (re.compile(r"(?<![\w:.])(?:std::)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:.])(?:std::)?random\s*\(\s*\)"), "random()"),
+    (re.compile(r"(?<![\w:.])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+     "time(nullptr)"),
+    (re.compile(r"(?<![\w:])std::mt19937"), "std::mt19937"),
+]
+
+NAKED_NEW_RE = re.compile(r"(?<![\w:])new\b(?!\s*\()")
+RAW_MUTEX_RE = re.compile(
+    r"(?<![\w:])std::(?:mutex|shared_mutex|recursive_mutex|lock_guard|"
+    r"scoped_lock|unique_lock)\b")
+DETACH_RE = re.compile(r"\.detach\s*\(\s*\)")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once")
+
+
+def strip_comments_and_strings(line):
+    """Best-effort removal of // comments and string/char literals so that
+    banned identifiers inside text do not trigger findings. (Block comments
+    spanning lines are handled by the caller.)"""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(rel_path):
+    if rel_path.startswith("src/"):
+        stem = rel_path[len("src/"):]
+    else:
+        stem = rel_path
+    return "KGE_" + re.sub(r"[/.\-]", "_", stem.upper()) + "_"
+
+
+def is_allowed(raw_line, rule):
+    m = ALLOW_RE.search(raw_line)
+    return m is not None and m.group(1) == rule
+
+
+class Linter:
+    def __init__(self):
+        self.findings = []
+
+    def report(self, path, lineno, rule, message, raw_line=""):
+        if is_allowed(raw_line, rule):
+            return
+        rel = os.path.relpath(path, REPO_ROOT)
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def check_include_guard(self, path, rel, lines):
+        for i, raw in enumerate(lines, 1):
+            if PRAGMA_ONCE_RE.match(raw):
+                self.report(path, i, "include-guard",
+                            "use an #ifndef guard, not #pragma once", raw)
+                return
+        guard = expected_guard(rel)
+        ifndef = None
+        for i, raw in enumerate(lines, 1):
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("//"):
+                continue
+            m = re.match(r"#\s*ifndef\s+(\S+)", stripped)
+            ifndef = (i, m.group(1)) if m else None
+            break
+        if ifndef is None:
+            self.report(path, 1, "include-guard",
+                        f"missing include guard (expected {guard})")
+            return
+        lineno, got = ifndef
+        if got != guard:
+            self.report(path, lineno, "include-guard",
+                        f"guard is {got}, expected {guard}", lines[lineno - 1])
+            return
+        define_re = re.compile(r"#\s*define\s+" + re.escape(guard) + r"\s*$")
+        if not any(define_re.match(l.strip()) for l in lines):
+            self.report(path, lineno, "include-guard",
+                        f"#ifndef {guard} without matching #define")
+        endif_re = re.compile(r"#\s*endif\s*//\s*" + re.escape(guard))
+        tail = [l.strip() for l in lines if l.strip()]
+        if not tail or not endif_re.match(tail[-1]):
+            self.report(path, len(lines), "include-guard",
+                        f"file should end with '#endif  // {guard}'")
+
+    def check_file(self, path, rel):
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+
+        if rel.endswith(".h") and any(rel.startswith(d + "/") for d in HEADER_DIRS):
+            self.check_include_guard(path, rel, lines)
+
+        in_util_random = rel.startswith("src/util/random")
+        in_src = rel.startswith("src/")
+        is_annotations_header = rel == "src/util/thread_annotations.h"
+
+        in_block_comment = False
+        for i, raw in enumerate(lines, 1):
+            line = raw
+            if in_block_comment:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = line[end + 2:]
+                in_block_comment = False
+            start = line.find("/*")
+            if start >= 0 and line.find("*/", start) < 0:
+                in_block_comment = True
+                line = line[:start]
+            code = strip_comments_and_strings(line)
+            if not code.strip():
+                continue
+
+            if not in_util_random:
+                for pattern, what in BANNED_RANDOM:
+                    if pattern.search(code):
+                        self.report(path, i, "banned-random",
+                                    f"{what}: use kge::Rng (util/random.h) "
+                                    "for reproducible randomness", raw)
+            if in_src:
+                if NAKED_NEW_RE.search(code):
+                    self.report(path, i, "naked-new",
+                                "naked new: use std::make_unique / containers",
+                                raw)
+                if not is_annotations_header and RAW_MUTEX_RE.search(code):
+                    self.report(path, i, "raw-mutex",
+                                "use kge::Mutex / kge::MutexLock "
+                                "(util/thread_annotations.h) so "
+                                "-Wthread-safety can check locking", raw)
+                if DETACH_RE.search(code) and "thread" in code:
+                    self.report(path, i, "banned-thread",
+                                "detached threads are banned; own the "
+                                "lifecycle (e.g. ThreadPool)", raw)
+
+
+def main():
+    targets = sys.argv[1:]
+    linter = Linter()
+    count = 0
+    for d in SOURCE_DIRS:
+        base = os.path.join(REPO_ROOT, d)
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if not name.endswith((".cc", ".h")):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, REPO_ROOT)
+                if targets and not any(rel.startswith(t) for t in targets):
+                    continue
+                count += 1
+                linter.check_file(path, rel)
+    for finding in linter.findings:
+        print(finding)
+    status = "FAILED" if linter.findings else "OK"
+    print(f"repo_lint: {count} files checked, {len(linter.findings)} "
+          f"finding(s): {status}", file=sys.stderr)
+    return 1 if linter.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

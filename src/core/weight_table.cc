@@ -16,7 +16,7 @@ int32_t WeightTable::Index(int32_t i, int32_t j, int32_t k) const {
 }
 
 void WeightTable::Set(int32_t i, int32_t j, int32_t k, float value) {
-  data_[Index(i, j, k)] = value;
+  data_[static_cast<size_t>(Index(i, j, k))] = value;
   RebuildTerms();
 }
 
@@ -43,7 +43,7 @@ WeightTable WeightTable::HeadTailTransposed() const {
   for (int32_t i = 0; i < ne_; ++i) {
     for (int32_t j = 0; j < ne_; ++j) {
       for (int32_t k = 0; k < nr_; ++k) {
-        t.data_[t.Index(i, j, k)] = At(j, i, k);
+        t.data_[static_cast<size_t>(t.Index(i, j, k))] = At(j, i, k);
       }
     }
   }

@@ -24,7 +24,7 @@ class WeightTable {
 
   // ω(i, j, k): head index i, tail index j, relation index k (0-based).
   float At(int32_t i, int32_t j, int32_t k) const {
-    return data_[Index(i, j, k)];
+    return data_[static_cast<size_t>(Index(i, j, k))];
   }
   void Set(int32_t i, int32_t j, int32_t k, float value);
 

@@ -11,9 +11,10 @@ namespace {
 
 // Samples a distinct ordered entity pair.
 std::pair<EntityId, EntityId> SamplePair(int32_t num_entities, Rng* rng) {
-  const auto a = static_cast<EntityId>(rng->NextBounded(num_entities));
+  const uint64_t bound = uint64_t(num_entities);
+  const auto a = static_cast<EntityId>(rng->NextBounded(bound));
   EntityId b = a;
-  while (b == a) b = static_cast<EntityId>(rng->NextBounded(num_entities));
+  while (b == a) b = static_cast<EntityId>(rng->NextBounded(bound));
   return {a, b};
 }
 
@@ -109,12 +110,10 @@ std::vector<Triple> GeneratePatternKg(const PatternKgOptions& options,
         // Random chains x -> y -> z; step edges plus the composed edge.
         std::unordered_set<uint64_t> seen;
         while (seen.size() < static_cast<size_t>(spec.num_pairs)) {
-          const auto x =
-              static_cast<EntityId>(rng.NextBounded(options.num_entities));
-          const auto y =
-              static_cast<EntityId>(rng.NextBounded(options.num_entities));
-          const auto z =
-              static_cast<EntityId>(rng.NextBounded(options.num_entities));
+          const uint64_t bound = uint64_t(options.num_entities);
+          const auto x = static_cast<EntityId>(rng.NextBounded(bound));
+          const auto y = static_cast<EntityId>(rng.NextBounded(bound));
+          const auto z = static_cast<EntityId>(rng.NextBounded(bound));
           if (x == y || y == z || x == z) continue;
           if (!seen.insert(PairKey(x, z)).second) continue;
           triples.push_back({x, y, step});

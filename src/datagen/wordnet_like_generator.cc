@@ -98,7 +98,8 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
     std::unordered_set<uint64_t> seen;
     const int want = int(0.35 * n);
     while (int(seen.size()) < want) {
-      const EntityId whole = static_cast<EntityId>(rng.NextBounded(n));
+      const EntityId whole =
+          static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
       if (whole + 1 >= n) continue;
       const EntityId member = static_cast<EntityId>(
           whole + 1 + EntityId(rng.NextBounded(uint64_t(n - whole - 1))));
@@ -110,7 +111,7 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
     std::unordered_set<uint64_t> seen;
     const int want = int(0.25 * n);
     while (int(seen.size()) < want) {
-      const EntityId part = static_cast<EntityId>(rng.NextBounded(n));
+      const EntityId part = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
       if (part + 1 >= n) continue;
       const EntityId whole = static_cast<EntityId>(
           part + 1 + EntityId(rng.NextBounded(uint64_t(n - part - 1))));
@@ -140,7 +141,7 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
       std::vector<EntityId> members;
       std::unordered_set<EntityId> used;
       while (int(members.size()) < cluster_size) {
-        const EntityId e = static_cast<EntityId>(rng.NextBounded(n));
+        const EntityId e = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
         if (used.insert(e).second) members.push_back(e);
       }
       for (size_t i = 0; i < members.size(); ++i) {
@@ -159,8 +160,8 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
     std::unordered_set<uint64_t> seen;
     const int want = int(0.45 * n);
     while (int(seen.size()) < want) {
-      EntityId a = static_cast<EntityId>(rng.NextBounded(n));
-      EntityId b = static_cast<EntityId>(rng.NextBounded(n));
+      EntityId a = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
+      EntityId b = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
       if (a == b) continue;
       if (a > b) std::swap(a, b);
       if (!seen.insert(PairKey(a, b)).second) continue;
@@ -173,8 +174,8 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
     std::unordered_set<uint64_t> seen;
     const int want = int(0.1 * n);
     while (int(seen.size()) < want) {
-      EntityId a = static_cast<EntityId>(rng.NextBounded(n));
-      EntityId b = static_cast<EntityId>(rng.NextBounded(n));
+      EntityId a = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
+      EntityId b = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
       if (a == b) continue;
       if (!seen.insert(PairKey(a, b)).second) continue;
       triples.push_back({a, b, kAlsoSee});

@@ -1,9 +1,9 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "util/check.h"
+#include "util/thread_annotations.h"
 
 namespace kge {
 namespace {
@@ -112,7 +112,9 @@ EvalResult Evaluator::Evaluate(const KgeModel& model,
   }
 
   ThreadPool pool(size_t(std::max(1, options.num_threads)));
-  std::mutex merge_mutex;
+  // Guards `result` during shard merges; shards accumulate into
+  // thread-local `local` buffers and merge exactly once at the end.
+  Mutex merge_mutex;
   pool.ParallelFor(0, eval_triples->size(), [&](size_t begin, size_t end) {
     std::vector<float> scores(size_t(model.num_entities()));
     EvalResult local;
@@ -135,7 +137,7 @@ EvalResult Evaluator::Evaluate(const KgeModel& model,
       rel.tail_queries.AddRank(tail_rank, tail_candidates);
       rel.head_queries.AddRank(head_rank, head_candidates);
     }
-    std::lock_guard<std::mutex> lock(merge_mutex);
+    MutexLock lock(merge_mutex);
     result.overall.Merge(local.overall);
     for (int32_t r = 0; r < num_relations_; ++r) {
       result.per_relation[size_t(r)].tail_queries.Merge(

@@ -21,7 +21,8 @@ std::vector<ScoredEntity> SelectTopK(std::span<const float> scores,
   }
   const size_t keep = std::min<size_t>(size_t(std::max(k, 0)),
                                        candidates.size());
-  std::partial_sort(candidates.begin(), candidates.begin() + keep,
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + std::ptrdiff_t(keep),
                     candidates.end(),
                     [](const ScoredEntity& a, const ScoredEntity& b) {
                       if (a.score != b.score) return a.score > b.score;

@@ -25,17 +25,18 @@ NegativeSampler::NegativeSampler(int32_t num_entities, int32_t num_relations,
     tails[{t.relation, t.head}].insert(t.tail);
     heads[{t.relation, t.tail}].insert(t.head);
   }
-  std::vector<double> tph_sum(num_relations, 0.0), tph_count(num_relations, 0.0);
-  std::vector<double> hpt_sum(num_relations, 0.0), hpt_count(num_relations, 0.0);
+  const size_t nr = static_cast<size_t>(num_relations);
+  std::vector<double> tph_sum(nr, 0.0), tph_count(nr, 0.0);
+  std::vector<double> hpt_sum(nr, 0.0), hpt_count(nr, 0.0);
   for (const auto& [key, set] : tails) {
-    tph_sum[key.first] += double(set.size());
-    tph_count[key.first] += 1.0;
+    tph_sum[static_cast<size_t>(key.first)] += double(set.size());
+    tph_count[static_cast<size_t>(key.first)] += 1.0;
   }
   for (const auto& [key, set] : heads) {
-    hpt_sum[key.first] += double(set.size());
-    hpt_count[key.first] += 1.0;
+    hpt_sum[static_cast<size_t>(key.first)] += double(set.size());
+    hpt_count[static_cast<size_t>(key.first)] += 1.0;
   }
-  for (int32_t r = 0; r < num_relations; ++r) {
+  for (size_t r = 0; r < nr; ++r) {
     if (tph_count[r] == 0.0 || hpt_count[r] == 0.0) continue;
     const double tph = tph_sum[r] / tph_count[r];
     const double hpt = hpt_sum[r] / hpt_count[r];

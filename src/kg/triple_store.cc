@@ -15,8 +15,9 @@ bool TripleStore::Contains(const Triple& triple) const {
 std::span<const uint32_t> TripleStore::Grouping::Of(int32_t value) const {
   if (value < 0 || static_cast<size_t>(value) + 1 >= offsets.size())
     return {};
+  const size_t v = static_cast<size_t>(value);
   return std::span<const uint32_t>(positions)
-      .subspan(offsets[value], offsets[value + 1] - offsets[value]);
+      .subspan(offsets[v], offsets[v + 1] - offsets[v]);
 }
 
 TripleStore::Grouping TripleStore::BuildGrouping(

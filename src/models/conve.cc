@@ -42,7 +42,8 @@ void ConvE::ForwardQuery(EntityId head, RelationId relation,
   // Stack the two grids: channel 0 is [h-grid; r-grid] vertically.
   acts->input.resize(size_t(conv_.input_size()));
   std::copy(h.begin(), h.end(), acts->input.begin());
-  std::copy(r.begin(), r.end(), acts->input.begin() + h.size());
+  std::copy(r.begin(), r.end(),
+            acts->input.begin() + std::ptrdiff_t(h.size()));
 
   acts->conv_out.resize(size_t(conv_.output_size()));
   conv_.Forward(acts->input, acts->conv_out);

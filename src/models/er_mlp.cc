@@ -30,8 +30,8 @@ void ErMlp::Concatenate(std::span<const float> h, std::span<const float> t,
   const size_t d = size_t(dim());
   KGE_DCHECK(x.size() == 3 * d);
   std::copy(h.begin(), h.end(), x.begin());
-  std::copy(t.begin(), t.end(), x.begin() + d);
-  std::copy(r.begin(), r.end(), x.begin() + 2 * d);
+  std::copy(t.begin(), t.end(), x.begin() + std::ptrdiff_t(d));
+  std::copy(r.begin(), r.end(), x.begin() + std::ptrdiff_t(2 * d));
 }
 
 double ErMlp::Score(const Triple& triple) const {

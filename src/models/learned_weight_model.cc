@@ -22,7 +22,8 @@ LearnedWeightModel::LearnedWeightModel(std::string name, int32_t num_entities,
       options_(options),
       raw_weights_("omega_raw", 1,
                    int64_t(options.ne) * options.ne * options.nr),
-      omega_grad_(size_t(options.ne) * options.ne * options.nr, 0.0f) {
+      omega_grad_(size_t(options.ne) * size_t(options.ne) * size_t(options.nr),
+                  0.0f) {
   for (float& x : raw_weights_.Row(0)) x = options_.initial_raw_weight;
   RefreshWeights();
 }

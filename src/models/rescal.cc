@@ -33,8 +33,9 @@ double Rescal::Score(const Triple& triple) const {
     // Row dot: (W_r[a, :] · t) * h_a, accumulated over rows.
     double row = 0.0;
     const float* w_row = w.data() + size_t(a) * size_t(d);
-    for (int32_t b = 0; b < d; ++b) row += double(w_row[b]) * double(t[b]);
-    score += double(h[a]) * row;
+    for (int32_t b = 0; b < d; ++b)
+      row += double(w_row[b]) * double(t[size_t(b)]);
+    score += double(h[size_t(a)]) * row;
   }
   return score;
 }
@@ -48,7 +49,7 @@ void Rescal::ScoreAllTails(EntityId head, RelationId relation,
   // v = hᵀ W_r (one D² pass), then score(t) = v · t per candidate.
   std::vector<float> v(size_t(d), 0.0f);
   for (int32_t a = 0; a < d; ++a) {
-    const float ha = h[a];
+    const float ha = h[size_t(a)];
     const float* w_row = w.data() + size_t(a) * size_t(d);
     for (int32_t b = 0; b < d; ++b) v[size_t(b)] += ha * w_row[b];
   }
@@ -68,7 +69,8 @@ void Rescal::ScoreAllHeads(EntityId tail, RelationId relation,
   for (int32_t a = 0; a < d; ++a) {
     const float* w_row = w.data() + size_t(a) * size_t(d);
     double row = 0.0;
-    for (int32_t b = 0; b < d; ++b) row += double(w_row[b]) * double(t[b]);
+    for (int32_t b = 0; b < d; ++b)
+      row += double(w_row[b]) * double(t[size_t(b)]);
     u[size_t(a)] = static_cast<float>(row);
   }
   for (int32_t e = 0; e < entities_.num_ids(); ++e) {
@@ -94,12 +96,12 @@ void Rescal::AccumulateGradients(const Triple& triple, float dscore,
     const float* w_row = w.data() + size_t(a) * size_t(d);
     float* gw_row = gw.data() + size_t(a) * size_t(d);
     double wt = 0.0;
-    const float ha = h[a];
+    const float ha = h[size_t(a)];
     const float scaled_ha = dscore * ha;
     for (int32_t b = 0; b < d; ++b) {
-      wt += double(w_row[b]) * double(t[b]);
+      wt += double(w_row[b]) * double(t[size_t(b)]);
       gt[size_t(b)] += scaled_ha * w_row[b];
-      gw_row[b] += scaled_ha * t[b];
+      gw_row[b] += scaled_ha * t[size_t(b)];
     }
     gh[size_t(a)] += dscore * static_cast<float>(wt);
   }

@@ -1,16 +1,19 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
-#include <ctime>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace kge {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+// Serializes writes to stderr so concurrent log lines never interleave.
+// Mutex is constant-initialized, so it is safe to use from any static
+// initialization context. The guarded "state" is the stderr stream itself,
+// which has no member to annotate; keep all writes in LogMessage::~LogMessage.
+Mutex g_log_mutex;
 
 char LevelLetter(LogLevel level) {
   switch (level) {
@@ -57,7 +60,7 @@ LogMessage::~LogMessage() {
   if (!enabled_) return;
   stream_ << '\n';
   const std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fputs(line.c_str(), stderr);
 }
 

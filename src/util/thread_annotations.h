@@ -1,0 +1,117 @@
+// Clang thread-safety annotations and capability-annotated lock wrappers.
+//
+// Under Clang, `-Wthread-safety` statically verifies that every access to a
+// `KGE_GUARDED_BY(mu)` member happens with `mu` held, that functions marked
+// `KGE_REQUIRES(mu)` are only called under the lock, and that scoped lock
+// objects pair acquire/release correctly. Under other compilers the macros
+// expand to nothing and the wrappers behave exactly like std::mutex /
+// std::lock_guard / std::condition_variable_any.
+//
+// Conventions for new code (see docs/API.md, "Sanitizers & lint"):
+//   * Use kge::Mutex + kge::MutexLock instead of std::mutex + std::lock_guard
+//     whenever the mutex guards class or namespace state.
+//   * Annotate every guarded member with KGE_GUARDED_BY(mutex_).
+//   * Annotate private helpers that expect the lock held with
+//     KGE_REQUIRES(mutex_), and write condition-variable waits as explicit
+//     `while (!pred) cv_.Wait(mutex_);` loops so the analysis can see them.
+#ifndef KGE_UTIL_THREAD_ANNOTATIONS_H_
+#define KGE_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define KGE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define KGE_THREAD_ANNOTATION(x)
+#endif
+
+// Data members: which capability protects them.
+#define KGE_GUARDED_BY(x) KGE_THREAD_ANNOTATION(guarded_by(x))
+#define KGE_PT_GUARDED_BY(x) KGE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: capabilities that must be held (or must not be held) on entry.
+#define KGE_REQUIRES(...) \
+  KGE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define KGE_REQUIRES_SHARED(...) \
+  KGE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define KGE_EXCLUDES(...) KGE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions: capabilities acquired / released by the call.
+#define KGE_ACQUIRE(...) \
+  KGE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define KGE_ACQUIRE_SHARED(...) \
+  KGE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define KGE_RELEASE(...) \
+  KGE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define KGE_RELEASE_SHARED(...) \
+  KGE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define KGE_TRY_ACQUIRE(...) \
+  KGE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define KGE_RETURN_CAPABILITY(x) KGE_THREAD_ANNOTATION(lock_returned(x))
+
+// Types.
+#define KGE_CAPABILITY(x) KGE_THREAD_ANNOTATION(capability(x))
+#define KGE_SCOPED_CAPABILITY KGE_THREAD_ANNOTATION(scoped_lockable)
+
+// Escape hatch for code the analysis cannot model.
+#define KGE_NO_THREAD_SAFETY_ANALYSIS \
+  KGE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace kge {
+
+// std::mutex with the capability annotation attached, so members can be
+// declared KGE_GUARDED_BY(mutex_). Satisfies Lockable, which also lets
+// CondVar (condition_variable_any) wait on it directly.
+class KGE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() KGE_ACQUIRE() { mu_.lock(); }
+  void unlock() KGE_RELEASE() { mu_.unlock(); }
+  bool try_lock() KGE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Scoped lock holding a Mutex for its lifetime (std::lock_guard shape).
+class KGE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KGE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() KGE_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable usable with kge::Mutex. Wait() is annotated as
+// requiring the mutex; write waits as explicit predicate loops:
+//
+//   MutexLock lock(mutex_);
+//   while (!ready_) cv_.Wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks, and re-acquires `mu` before
+  // returning. Spurious wakeups are possible, as with std::condition_variable.
+  void Wait(Mutex& mu) KGE_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace kge
+
+#endif  // KGE_UTIL_THREAD_ANNOTATIONS_H_

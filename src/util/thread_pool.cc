@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "util/check.h"
 
@@ -16,10 +18,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -29,17 +31,36 @@ void ThreadPool::Schedule(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   if (threads_.empty()) return;
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) work_done_.Wait(mutex_);
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    MutexLock lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  FinishTask();
+  return true;
+}
+
+void ThreadPool::FinishTask() {
+  MutexLock lock(mutex_);
+  --in_flight_;
+  if (in_flight_ == 0) work_done_.NotifyAll();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
@@ -55,33 +76,58 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // Over-shard lightly so uneven tasks balance.
   const size_t shards = std::min(n, workers * 4);
   const size_t chunk = (n + shards - 1) / shards;
+
+  // Completion is tracked per call, not via the pool-global in_flight_
+  // counter: a nested ParallelFor runs inside a task that is itself in
+  // flight, so waiting for in_flight_ == 0 would deadlock.
+  struct Group {
+    Mutex mutex;
+    CondVar done;
+    size_t remaining KGE_GUARDED_BY(mutex) = 0;
+  };
+  auto group = std::make_shared<Group>();
+  {
+    MutexLock lock(group->mutex);
+    for (size_t s = begin; s < end; s += chunk) group->remaining += 1;
+  }
   for (size_t s = begin; s < end; s += chunk) {
     const size_t e = std::min(s + chunk, end);
-    Schedule([&body, s, e] { body(s, e); });
+    Schedule([group, &body, s, e] {
+      body(s, e);
+      MutexLock lock(group->mutex);
+      if (--group->remaining == 0) group->done.NotifyAll();
+    });
   }
-  Wait();
+  // Help drain the queue while this call's shards are pending. The helped
+  // task may belong to another (possibly nested) ParallelFor; running it
+  // here is what guarantees forward progress when every worker is blocked
+  // inside an outer ParallelFor.
+  for (;;) {
+    {
+      MutexLock lock(group->mutex);
+      if (group->remaining == 0) return;
+    }
+    if (!RunOneTask()) {
+      // Queue empty: the remaining shards are running on workers.
+      MutexLock lock(group->mutex);
+      while (group->remaining != 0) group->done.Wait(group->mutex);
+      return;
+    }
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
+      if (queue_.empty()) return;  // Shutting down and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) work_done_.notify_all();
-    }
+    FinishTask();
   }
 }
 

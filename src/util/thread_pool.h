@@ -2,16 +2,20 @@
 // ranking evaluation over candidate entities and batch gradient
 // computation. With num_threads == 1 all work runs inline on the calling
 // thread, which keeps single-core runs (and tests) deterministic.
+//
+// ParallelFor may be called from inside a pool task (nested parallelism):
+// the calling thread helps drain the queue while it waits for its own
+// shards, so nesting cannot deadlock even on a single-worker pool.
 #ifndef KGE_UTIL_THREAD_POOL_H_
 #define KGE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace kge {
 
@@ -27,24 +31,33 @@ class ThreadPool {
   size_t num_threads() const { return threads_.empty() ? 1 : threads_.size(); }
 
   // Schedules `task`; Wait() blocks until all scheduled tasks are done.
-  void Schedule(std::function<void()> task);
-  void Wait();
+  // Tasks may themselves call Schedule; Wait() covers those too.
+  void Schedule(std::function<void()> task) KGE_EXCLUDES(mutex_);
+  void Wait() KGE_EXCLUDES(mutex_);
 
   // Splits [begin, end) into contiguous shards, runs
   // `body(shard_begin, shard_end)` on the pool, and waits for completion.
+  // Safe to call from inside a pool task; the caller helps run queued
+  // work while waiting.
   void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t, size_t)>& body);
+                   const std::function<void(size_t, size_t)>& body)
+      KGE_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() KGE_EXCLUDES(mutex_);
+  // Pops and runs one queued task on the calling thread. Returns false if
+  // the queue was empty.
+  bool RunOneTask() KGE_EXCLUDES(mutex_);
+  void FinishTask() KGE_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable work_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar work_done_;
+  std::deque<std::function<void()>> queue_ KGE_GUARDED_BY(mutex_);
+  // Scheduled-but-not-finished task count (queued + running).
+  size_t in_flight_ KGE_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ KGE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace kge

@@ -84,7 +84,7 @@ TEST(SoftmaxTest, InvariantToConstantShift) {
   std::vector<double> out1(3), out2(3);
   Softmax(in, out1);
   Softmax(shifted, out2);
-  for (int i = 0; i < 3; ++i) EXPECT_NEAR(out1[i], out2[i], 1e-12);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(out1[i], out2[i], 1e-12);
 }
 
 TEST(SoftmaxTest, StableForLargeInputs) {
@@ -105,10 +105,10 @@ TEST(SoftmaxTest, UniformInputGivesUniformOutput) {
 class SoftmaxBackwardTest : public testing::TestWithParam<int> {};
 
 TEST_P(SoftmaxBackwardTest, MatchesFiniteDifferenceJvp) {
-  const int n = GetParam();
+  const size_t n = size_t(GetParam());
   Rng rng{uint64_t(n)};
   std::vector<double> x(n), g(n);
-  for (int i = 0; i < n; ++i) {
+  for (size_t i = 0; i < n; ++i) {
     x[i] = rng.NextUniform(-2, 2);
     g[i] = rng.NextUniform(-1, 1);
   }
@@ -117,7 +117,7 @@ TEST_P(SoftmaxBackwardTest, MatchesFiniteDifferenceJvp) {
   SoftmaxBackward(y, g, analytic);
 
   const double h = 1e-6;
-  for (int i = 0; i < n; ++i) {
+  for (size_t i = 0; i < n; ++i) {
     // dL/dx_i where L = Σ_j g_j * softmax(x)_j.
     std::vector<double> x_plus = x, x_minus = x;
     x_plus[i] += h;
@@ -126,7 +126,7 @@ TEST_P(SoftmaxBackwardTest, MatchesFiniteDifferenceJvp) {
     Softmax(x_plus, y_plus);
     Softmax(x_minus, y_minus);
     double l_plus = 0.0, l_minus = 0.0;
-    for (int j = 0; j < n; ++j) {
+    for (size_t j = 0; j < n; ++j) {
       l_plus += g[j] * y_plus[j];
       l_minus += g[j] * y_minus[j];
     }

@@ -16,11 +16,11 @@ struct ComplexVectors {
   ComplexVectorView View() const { return {re, im}; }
 };
 
-ComplexVectors RandomComplexVector(int dim, Rng* rng) {
+ComplexVectors RandomComplexVector(size_t dim, Rng* rng) {
   ComplexVectors v;
   v.re.resize(dim);
   v.im.resize(dim);
-  for (int d = 0; d < dim; ++d) {
+  for (size_t d = 0; d < dim; ++d) {
     v.re[d] = rng->NextUniform(-1, 1);
     v.im[d] = rng->NextUniform(-1, 1);
   }
@@ -29,13 +29,13 @@ ComplexVectors RandomComplexVector(int dim, Rng* rng) {
 
 TEST(ComplexScoreTest, MatchesStdComplexReference) {
   Rng rng(11);
-  const int dim = 16;
+  const size_t dim = 16;
   const auto h = RandomComplexVector(dim, &rng);
   const auto t = RandomComplexVector(dim, &rng);
   const auto r = RandomComplexVector(dim, &rng);
 
   std::complex<double> sum = 0.0;
-  for (int d = 0; d < dim; ++d) {
+  for (size_t d = 0; d < dim; ++d) {
     const std::complex<double> hd(h.re[d], h.im[d]);
     const std::complex<double> td(t.re[d], t.im[d]);
     const std::complex<double> rd(r.re[d], r.im[d]);
@@ -46,13 +46,13 @@ TEST(ComplexScoreTest, MatchesStdComplexReference) {
 
 TEST(ComplexScoreTest, NoConjugateMatchesStdComplexReference) {
   Rng rng(12);
-  const int dim = 16;
+  const size_t dim = 16;
   const auto h = RandomComplexVector(dim, &rng);
   const auto t = RandomComplexVector(dim, &rng);
   const auto r = RandomComplexVector(dim, &rng);
 
   std::complex<double> sum = 0.0;
-  for (int d = 0; d < dim; ++d) {
+  for (size_t d = 0; d < dim; ++d) {
     sum += std::complex<double>(h.re[d], h.im[d]) *
            std::complex<double>(t.re[d], t.im[d]) *
            std::complex<double>(r.re[d], r.im[d]);

@@ -1,0 +1,122 @@
+// Concurrency contract of Evaluator::Evaluate: the ranking protocol is
+// pure per-triple work plus an order-insensitive reduction, so an N-thread
+// evaluation must reproduce the single-thread result. Hits@k, counts, and
+// rank sums are exact (tie-averaged ranks are multiples of 0.5, summed
+// exactly in double for these sizes); MRR is compared to a tight tolerance
+// because merge order may reassociate the reciprocal sum. Run under
+// -DKGE_SANITIZE=thread to turn this into a race regression test.
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "kg/filter_index.h"
+#include "kg/triple.h"
+#include "models/model_factory.h"
+
+namespace kge {
+namespace {
+
+// Deterministic synthetic KG: a few interlocking relation patterns over a
+// small entity set, sized so the filtered protocol has non-trivial
+// filtering and several score ties.
+std::vector<Triple> MakeTriples(int32_t num_entities) {
+  std::vector<Triple> triples;
+  for (EntityId e = 0; e < num_entities; ++e) {
+    triples.push_back({e, (e * 7 + 3) % num_entities, 0});
+    triples.push_back({e, (e * 5 + 11) % num_entities, 1});
+    if (e % 3 == 0) triples.push_back({e, (e + 1) % num_entities, 2});
+  }
+  return triples;
+}
+
+class EvaluatorConcurrencyTest : public ::testing::Test {
+ protected:
+  static constexpr int32_t kEntities = 60;
+  static constexpr int32_t kRelations = 3;
+
+  void SetUp() override {
+    triples_ = MakeTriples(kEntities);
+    filter_.Build(triples_, {}, {});
+    Result<std::unique_ptr<KgeModel>> model = MakeModelByName(
+        "complex", kEntities, kRelations, /*dim_budget=*/32, /*seed=*/1234);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = std::move(*model);
+  }
+
+  static void ExpectSameMetrics(const RankingMetrics& a,
+                                const RankingMetrics& b) {
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_DOUBLE_EQ(a.MeanRank(), b.MeanRank());
+    EXPECT_DOUBLE_EQ(a.HitsAt(1), b.HitsAt(1));
+    EXPECT_DOUBLE_EQ(a.HitsAt(3), b.HitsAt(3));
+    EXPECT_DOUBLE_EQ(a.HitsAt(10), b.HitsAt(10));
+    EXPECT_NEAR(a.Mrr(), b.Mrr(), 1e-12);
+    EXPECT_NEAR(a.AdjustedMeanRankIndex(), b.AdjustedMeanRankIndex(), 1e-12);
+  }
+
+  std::vector<Triple> triples_;
+  FilterIndex filter_;
+  std::unique_ptr<KgeModel> model_;
+};
+
+TEST_F(EvaluatorConcurrencyTest, MultiThreadMatchesSingleThreadFiltered) {
+  Evaluator evaluator(&filter_, kRelations);
+  EvalOptions serial;
+  serial.num_threads = 1;
+  const EvalResult expected = evaluator.Evaluate(*model_, triples_, serial);
+
+  for (int threads : {2, 4, 8}) {
+    EvalOptions parallel;
+    parallel.num_threads = threads;
+    const EvalResult got = evaluator.Evaluate(*model_, triples_, parallel);
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    ExpectSameMetrics(expected.overall, got.overall);
+    ASSERT_EQ(expected.per_relation.size(), got.per_relation.size());
+    for (size_t r = 0; r < expected.per_relation.size(); ++r) {
+      SCOPED_TRACE("relation=" + std::to_string(r));
+      ExpectSameMetrics(expected.per_relation[r].tail_queries,
+                        got.per_relation[r].tail_queries);
+      ExpectSameMetrics(expected.per_relation[r].head_queries,
+                        got.per_relation[r].head_queries);
+    }
+  }
+}
+
+TEST_F(EvaluatorConcurrencyTest, MultiThreadMatchesSingleThreadRaw) {
+  Evaluator evaluator(&filter_, kRelations);
+  EvalOptions serial;
+  serial.num_threads = 1;
+  serial.filtered = false;
+  EvalOptions parallel = serial;
+  parallel.num_threads = 4;
+  ExpectSameMetrics(evaluator.Evaluate(*model_, triples_, serial).overall,
+                    evaluator.Evaluate(*model_, triples_, parallel).overall);
+}
+
+TEST_F(EvaluatorConcurrencyTest, SubsampledEvaluationIsThreadInvariant) {
+  Evaluator evaluator(&filter_, kRelations);
+  EvalOptions serial;
+  serial.num_threads = 1;
+  serial.max_triples = 37;  // exercises the stride subsample + sharding
+  EvalOptions parallel = serial;
+  parallel.num_threads = 3;
+  ExpectSameMetrics(evaluator.Evaluate(*model_, triples_, serial).overall,
+                    evaluator.Evaluate(*model_, triples_, parallel).overall);
+}
+
+TEST_F(EvaluatorConcurrencyTest, RepeatedParallelRunsAreStable) {
+  Evaluator evaluator(&filter_, kRelations);
+  EvalOptions options;
+  options.num_threads = 4;
+  const EvalResult first = evaluator.Evaluate(*model_, triples_, options);
+  for (int run = 0; run < 3; ++run) {
+    ExpectSameMetrics(first.overall,
+                      evaluator.Evaluate(*model_, triples_, options).overall);
+  }
+}
+
+}  // namespace
+}  // namespace kge

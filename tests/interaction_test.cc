@@ -20,8 +20,9 @@ double NaiveScore(const WeightTable& w, int32_t dim,
       for (int32_t k = 0; k < w.nr(); ++k) {
         double term = 0.0;
         for (int32_t d = 0; d < dim; ++d) {
-          term += double(h[i * dim + d]) * double(t[j * dim + d]) *
-                  double(r[k * dim + d]);
+          term += double(h[size_t(i * dim + d)]) *
+                  double(t[size_t(j * dim + d)]) *
+                  double(r[size_t(k * dim + d)]);
         }
         score += double(w.At(i, j, k)) * term;
       }
@@ -132,10 +133,11 @@ TEST_P(InteractionPresetTest, OmegaGradientsAreTrilinearProducts) {
     for (int32_t j = 0; j < preset_.table.ne(); ++j) {
       for (int32_t k = 0; k < preset_.table.nr(); ++k) {
         const double expected =
-            2.0 * TrilinearDot(
-                      std::span<const float>(h_).subspan(i * kDim, kDim),
-                      std::span<const float>(t_).subspan(j * kDim, kDim),
-                      std::span<const float>(r_).subspan(k * kDim, kDim));
+            2.0 *
+            TrilinearDot(
+                std::span<const float>(h_).subspan(size_t(i * kDim), kDim),
+                std::span<const float>(t_).subspan(size_t(j * kDim), kDim),
+                std::span<const float>(r_).subspan(size_t(k * kDim), kDim));
         EXPECT_NEAR(omega_grad[size_t(preset_.table.Index(i, j, k))],
                     expected, 1e-5);
       }

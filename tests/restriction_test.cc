@@ -71,9 +71,9 @@ class RestrictionBackwardTest
 TEST_P(RestrictionBackwardTest, MatchesFiniteDifference) {
   const RestrictionKind kind = GetParam();
   Rng rng(uint64_t(kind) + 1);
-  const int n = 8;
+  const size_t n = 8;
   std::vector<float> raw(n), upstream(n);
-  for (int m = 0; m < n; ++m) {
+  for (size_t m = 0; m < n; ++m) {
     raw[m] = rng.NextUniform(-1.5f, 1.5f);
     upstream[m] = rng.NextUniform(-1.0f, 1.0f);
   }
@@ -84,7 +84,7 @@ TEST_P(RestrictionBackwardTest, MatchesFiniteDifference) {
 
   // L(raw) = Σ upstream_m * f(raw)_m.
   const double eps = 1e-4;
-  for (int m = 0; m < n; ++m) {
+  for (size_t m = 0; m < n; ++m) {
     std::vector<float> plus = raw, minus = raw;
     plus[m] += float(eps);
     minus[m] -= float(eps);
@@ -92,7 +92,7 @@ TEST_P(RestrictionBackwardTest, MatchesFiniteDifference) {
     ApplyRestriction(kind, plus, omega_plus);
     ApplyRestriction(kind, minus, omega_minus);
     double l_plus = 0.0, l_minus = 0.0;
-    for (int q = 0; q < n; ++q) {
+    for (size_t q = 0; q < n; ++q) {
       l_plus += double(upstream[q]) * omega_plus[q];
       l_minus += double(upstream[q]) * omega_minus[q];
     }
@@ -110,7 +110,8 @@ TEST_P(RestrictionBackwardTest, AccumulatesIntoExistingGradient) {
   std::vector<float> grad_a(2, 0.0f), grad_b(2, 10.0f);
   RestrictionBackward(kind, omega, upstream, grad_a);
   RestrictionBackward(kind, omega, upstream, grad_b);
-  for (int m = 0; m < 2; ++m) EXPECT_NEAR(grad_b[m], grad_a[m] + 10.0f, 1e-5);
+  for (size_t m = 0; m < 2; ++m)
+    EXPECT_NEAR(grad_b[m], grad_a[m] + 10.0f, 1e-5);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, RestrictionBackwardTest,

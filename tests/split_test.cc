@@ -16,8 +16,8 @@ std::vector<Triple> MakeDenseGraph(int num_entities, int num_relations,
   for (RelationId r = 0; r < num_relations; ++r) {
     for (int i = 0; i < triples_per_relation; ++i) {
       triples.push_back(
-          {EntityId(rng.NextBounded(num_entities)),
-           EntityId(rng.NextBounded(num_entities)), r});
+          {EntityId(rng.NextBounded(uint64_t(num_entities))),
+           EntityId(rng.NextBounded(uint64_t(num_entities))), r});
     }
   }
   return triples;

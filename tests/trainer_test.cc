@@ -226,7 +226,7 @@ TEST(TrainerTest, MarginRankingLossTrainsTransEStyleModels) {
   double margin_sum = 0.0;
   for (const Triple& t : workload.train) {
     Triple corrupted = t;
-    corrupted.tail = EntityId(rng.NextBounded(workload.num_entities));
+    corrupted.tail = EntityId(rng.NextBounded(uint64_t(workload.num_entities)));
     margin_sum += model->Score(t) - model->Score(corrupted);
   }
   EXPECT_GT(margin_sum / double(workload.train.size()), 0.2);
@@ -264,7 +264,7 @@ TEST(TrainerTest, SelfAdversarialNegativesTrainToGoodMargins) {
   double margin = 0.0;
   for (const Triple& t : workload.train) {
     Triple corrupted = t;
-    corrupted.tail = EntityId(rng.NextBounded(workload.num_entities));
+    corrupted.tail = EntityId(rng.NextBounded(uint64_t(workload.num_entities)));
     margin += model->Score(t) - model->Score(corrupted);
   }
   EXPECT_GT(margin / double(workload.train.size()), 0.5);
@@ -322,7 +322,8 @@ TEST(TrainerTest, ParallelGradientsLearnComparablyToSerial) {
     double total = 0.0;
     for (const Triple& t : workload.train) {
       Triple corrupted = t;
-      corrupted.tail = EntityId(rng.NextBounded(workload.num_entities));
+      corrupted.tail =
+          EntityId(rng.NextBounded(uint64_t(workload.num_entities)));
       total += model.Score(t) - model.Score(corrupted);
     }
     return total / double(workload.train.size());
@@ -387,7 +388,8 @@ TEST(TrainerTest, CphViaWeightsMatchesCpViaAugmentedData) {
     double total = 0.0;
     for (const Triple& t : workload.train) {
       Triple corrupted = t;
-      corrupted.tail = EntityId(rng.NextBounded(workload.num_entities));
+      corrupted.tail =
+          EntityId(rng.NextBounded(uint64_t(workload.num_entities)));
       total += model.Score(t) - model.Score(corrupted);
     }
     return total / double(workload.train.size());

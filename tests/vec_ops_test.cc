@@ -30,7 +30,7 @@ TEST(VecOpsTest, TrilinearDotBasic) {
 TEST(VecOpsTest, TrilinearDotIsFullySymmetricInArguments) {
   Rng rng(1);
   std::vector<float> a(16), b(16), c(16);
-  for (int d = 0; d < 16; ++d) {
+  for (size_t d = 0; d < 16; ++d) {
     a[d] = rng.NextUniform(-1, 1);
     b[d] = rng.NextUniform(-1, 1);
     c[d] = rng.NextUniform(-1, 1);
@@ -121,10 +121,10 @@ TEST(VecOpsTest, DotAccumulatesInDoubleForLargeVectors) {
 class VecOpsPropertyTest : public testing::TestWithParam<int> {};
 
 TEST_P(VecOpsPropertyTest, TrilinearWithOnesEqualsDot) {
-  const int dim = GetParam();
+  const size_t dim = size_t(GetParam());
   Rng rng{uint64_t(dim)};
   std::vector<float> a(dim), b(dim), ones(dim, 1.0f);
-  for (int d = 0; d < dim; ++d) {
+  for (size_t d = 0; d < dim; ++d) {
     a[d] = rng.NextUniform(-2, 2);
     b[d] = rng.NextUniform(-2, 2);
   }
@@ -132,10 +132,10 @@ TEST_P(VecOpsPropertyTest, TrilinearWithOnesEqualsDot) {
 }
 
 TEST_P(VecOpsPropertyTest, HadamardThenDotEqualsTrilinear) {
-  const int dim = GetParam();
+  const size_t dim = size_t(GetParam());
   Rng rng(uint64_t(dim) + 100);
   std::vector<float> a(dim), b(dim), c(dim), ab(dim);
-  for (int d = 0; d < dim; ++d) {
+  for (size_t d = 0; d < dim; ++d) {
     a[d] = rng.NextUniform(-2, 2);
     b[d] = rng.NextUniform(-2, 2);
     c[d] = rng.NextUniform(-2, 2);

@@ -50,7 +50,8 @@ TEST(WeightTableTest, ComplExPresetMatchesPaperTable1) {
   // Paper column: (1, 0, 0, 1, 0, -1, 1, 0).
   const float expected[8] = {1, 0, 0, 1, 0, -1, 1, 0};
   const auto flat = table.Flat();
-  for (int m = 0; m < 8; ++m) EXPECT_EQ(flat[m], expected[m]) << "m=" << m;
+  for (size_t m = 0; m < 8; ++m)
+    EXPECT_EQ(flat[m], expected[m]) << "m=" << m;
 }
 
 TEST(WeightTableTest, ComplExEquivalentsMatchPaperTable1) {
@@ -63,7 +64,7 @@ TEST(WeightTableTest, ComplExEquivalentsMatchPaperTable1) {
   const auto f1 = t1.Flat();
   const auto f2 = t2.Flat();
   const auto f3 = t3.Flat();
-  for (int m = 0; m < 8; ++m) {
+  for (size_t m = 0; m < 8; ++m) {
     EXPECT_EQ(f1[m], equiv1[m]) << "equiv1 m=" << m;
     EXPECT_EQ(f2[m], equiv2[m]) << "equiv2 m=" << m;
     EXPECT_EQ(f3[m], equiv3[m]) << "equiv3 m=" << m;
