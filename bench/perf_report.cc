@@ -1,0 +1,475 @@
+// perf_report: the JSON perf-tracking harness for the SIMD kernel layer.
+//
+// Emits BENCH_kernels.json with three sections:
+//
+//   * "kernels"  — GFLOP/s and ns/call for each hot kernel at ranking
+//                  sizes, plus its speedup over the naive sequential
+//                  reference in simd::ref (the pre-SIMD implementation).
+//   * "ranking"  — full-vocabulary ScoreAllTails throughput on a ComplEx
+//                  model at the paper's dim budget: ns per ranked triple,
+//                  triples/sec, candidate scores/sec, speedup over the
+//                  scalar-reference ranking loop, and the measured heap
+//                  allocations per ranked triple (the zero-allocation
+//                  contract; null when built under a sanitizer).
+//   * "eval"     — end-to-end filtered evaluation throughput on the
+//                  WN18-like KG, with the filtered MRR included so runs
+//                  from differently-vectorized builds can be diffed for
+//                  metric equality.
+//
+// "meta" records the ISA the binary dispatches to (scalar / avx2+fma /
+// neon), compiler, and workload shape, so JSON files from different
+// builds are self-describing. CI runs this with --quick and validates
+// the schema with jq; full runs track kernel regressions over time.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kge.h"
+#include "math/simd.h"
+
+// ---- Allocation counter ----------------------------------------------------
+// Counts every global operator new while the program runs. Replacing the
+// allocation operators is incompatible with sanitizer interception, so
+// the counter compiles out (and the JSON field becomes null) under
+// ASan/TSan.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define KGE_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define KGE_COUNT_ALLOCS 0
+#else
+#define KGE_COUNT_ALLOCS 1
+#endif
+#else
+#define KGE_COUNT_ALLOCS 1
+#endif
+
+#if KGE_COUNT_ALLOCS
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#endif  // KGE_COUNT_ALLOCS
+
+namespace kge {
+namespace {
+
+// Sink that the optimizer cannot discard reduction results into.
+volatile double g_sink = 0.0;
+
+struct PerfConfig {
+  int64_t entities = 40000;    // full-vocab ranking table size
+  int64_t dim_budget = 256;    // total floats per entity (ComplEx: 2x128)
+  int64_t queries = 400;       // ScoreAllTails calls to time
+  int64_t kernel_n = 256;      // vector length for kernel microbenches
+  int64_t kernel_iters = 200000;
+  int64_t eval_entities = 3000;  // WN18-like KG size for end-to-end eval
+  int64_t eval_triples = 500;    // test triples evaluated end-to-end
+  std::string out = "BENCH_kernels.json";
+  bool quick = false;
+
+  void Finalize() {
+    if (!quick) return;
+    entities = 2000;
+    queries = 40;
+    kernel_iters = 2000;
+    eval_entities = 400;
+    eval_triples = 40;
+  }
+};
+
+std::vector<float> RandomVector(Rng* rng, size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) x = rng->NextUniform(-1.0f, 1.0f);
+  return v;
+}
+
+// Median-of-three timing of `iters` calls to fn, seconds per call.
+template <typename Fn>
+double SecondsPerCall(int64_t iters, const Fn& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch sw;
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const double per_call = sw.ElapsedSeconds() / double(iters);
+    if (rep == 0 || per_call < best) best = per_call;
+  }
+  return best;
+}
+
+struct KernelRow {
+  std::string name;
+  int64_t n = 0;
+  double ns_per_call = 0.0;
+  double gflops = 0.0;
+  double speedup_vs_ref = 0.0;
+};
+
+// Times `fn` against `ref_fn` doing the same work; `flops` is the
+// floating-point operation count of one call.
+template <typename Fn, typename RefFn>
+KernelRow BenchKernel(const std::string& name, int64_t n, double flops,
+                      int64_t iters, const Fn& fn, const RefFn& ref_fn) {
+  KernelRow row;
+  row.name = name;
+  row.n = n;
+  const double simd_sec = SecondsPerCall(iters, fn);
+  const double ref_sec = SecondsPerCall(iters, ref_fn);
+  row.ns_per_call = simd_sec * 1e9;
+  row.gflops = flops / simd_sec / 1e9;
+  row.speedup_vs_ref = ref_sec / simd_sec;
+  return row;
+}
+
+std::vector<KernelRow> BenchKernels(const PerfConfig& config) {
+  Rng rng(7);
+  const size_t n = size_t(config.kernel_n);
+  const int64_t iters = config.kernel_iters;
+  const auto a = RandomVector(&rng, n);
+  const auto b = RandomVector(&rng, n);
+  const auto c = RandomVector(&rng, n);
+  auto out = RandomVector(&rng, n);
+  auto gh = RandomVector(&rng, n);
+  auto gt = RandomVector(&rng, n);
+  auto gr = RandomVector(&rng, n);
+
+  // A small entity table for the batch kernel: large enough to stream,
+  // small enough that timing is dominated by compute, not DRAM.
+  const size_t batch_rows = 1024;
+  const auto rows = RandomVector(&rng, batch_rows * n);
+  std::vector<float> batch_out(batch_rows);
+
+  std::vector<KernelRow> kernels;
+  kernels.push_back(BenchKernel(
+      "dot", int64_t(n), 2.0 * double(n), iters,
+      [&] { g_sink = g_sink + simd::Dot(a.data(), b.data(), n); },
+      [&] { g_sink = g_sink + simd::ref::Dot(a.data(), b.data(), n); }));
+  kernels.push_back(BenchKernel(
+      "trilinear_dot", int64_t(n), 3.0 * double(n), iters,
+      [&] {
+        g_sink = g_sink + simd::TrilinearDot(a.data(), b.data(), c.data(), n);
+      },
+      [&] {
+        g_sink =
+            g_sink + simd::ref::TrilinearDot(a.data(), b.data(), c.data(), n);
+      }));
+  kernels.push_back(BenchKernel(
+      "dot_batch", int64_t(n), 2.0 * double(n) * double(batch_rows),
+      std::max<int64_t>(iters / 256, 16),
+      [&] {
+        simd::DotBatch(a.data(), rows.data(), batch_rows, n,
+                       batch_out.data());
+      },
+      [&] {
+        simd::ref::DotBatch(a.data(), rows.data(), batch_rows, n,
+                            batch_out.data());
+      }));
+  kernels.push_back(BenchKernel(
+      "hadamard_axpy", int64_t(n), 3.0 * double(n), iters,
+      [&] { simd::HadamardAxpy(0.5f, a.data(), b.data(), out.data(), n); },
+      [&] {
+        simd::ref::HadamardAxpy(0.5f, a.data(), b.data(), out.data(), n);
+      }));
+  kernels.push_back(BenchKernel(
+      "triple_grad_axpy", int64_t(n), 8.0 * double(n), iters,
+      [&] {
+        simd::TripleGradAxpy(0.5f, a.data(), b.data(), c.data(), gh.data(),
+                             gt.data(), gr.data(), n);
+      },
+      [&] {
+        simd::ref::TripleGradAxpy(0.5f, a.data(), b.data(), c.data(),
+                                  gh.data(), gt.data(), gr.data(), n);
+      }));
+  return kernels;
+}
+
+// The pre-SIMD ScoreAllTails: per-call fold allocation, naive sequential
+// fold and per-candidate dot. This is the "scalar baseline" the ranking
+// speedup is measured against.
+void NaiveScoreAllTails(const MultiEmbeddingModel& model, EntityId head,
+                        RelationId relation, std::span<float> out) {
+  const WeightTable& weights = model.weights();
+  const size_t d = size_t(model.dim());
+  const auto h = model.entity_store().Of(head);
+  const auto r = model.relation_store().Of(relation);
+  std::vector<float> fold(size_t(weights.ne()) * d, 0.0f);
+  for (const WeightTable::Term& term : weights.terms()) {
+    simd::ref::HadamardAxpy(term.weight, h.data() + size_t(term.i) * d,
+                            r.data() + size_t(term.k) * d,
+                            fold.data() + size_t(term.j) * d, d);
+  }
+  for (int32_t e = 0; e < model.num_entities(); ++e) {
+    out[size_t(e)] = float(simd::ref::Dot(
+        fold.data(), model.entity_store().Of(e).data(), fold.size()));
+  }
+}
+
+struct RankingResult {
+  int64_t entities = 0;
+  int64_t dim = 0;
+  int64_t queries = 0;
+  double ns_per_triple = 0.0;
+  double triples_per_sec = 0.0;
+  double candidates_per_sec = 0.0;
+  double speedup_vs_scalar_ref = 0.0;
+  double allocs_per_triple = -1.0;  // -1 = not measured (sanitized build)
+};
+
+RankingResult BenchRanking(const PerfConfig& config) {
+  const int32_t num_entities = int32_t(config.entities);
+  const int32_t num_relations = 18;
+  const int32_t dim = int32_t(config.dim_budget / 2);  // ComplEx: 2 vectors
+  std::unique_ptr<MultiEmbeddingModel> model =
+      MakeComplEx(num_entities, num_relations, dim, /*seed=*/42);
+
+  Rng rng(11);
+  std::vector<float> scores(static_cast<size_t>(num_entities));
+  const auto query = [&](const auto& score_fn) {
+    const EntityId head = EntityId(rng.NextBounded(uint64_t(num_entities)));
+    const RelationId rel =
+        RelationId(rng.NextBounded(uint64_t(num_relations)));
+    score_fn(head, rel, std::span<float>(scores));
+  };
+  const auto simd_score = [&](EntityId h, RelationId r,
+                              std::span<float> out) {
+    model->ScoreAllTails(h, r, out);
+  };
+  const auto ref_score = [&](EntityId h, RelationId r, std::span<float> out) {
+    NaiveScoreAllTails(*model, h, r, out);
+  };
+
+  // Warm up: populates the thread_local fold scratch so the timed (and
+  // allocation-counted) region is steady state.
+  for (int i = 0; i < 3; ++i) query(simd_score);
+
+  RankingResult result;
+  result.entities = num_entities;
+  result.dim = dim;
+  result.queries = config.queries;
+
+#if KGE_COUNT_ALLOCS
+  const uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+#endif
+  Stopwatch sw;
+  for (int64_t q = 0; q < config.queries; ++q) query(simd_score);
+  const double simd_sec = sw.ElapsedSeconds();
+#if KGE_COUNT_ALLOCS
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  result.allocs_per_triple = double(allocs) / double(config.queries);
+#endif
+
+  // The scalar baseline is ~10x slower; a fraction of the queries gives
+  // the same per-call estimate without dominating wall time.
+  const int64_t ref_queries = std::max<int64_t>(config.queries / 8, 5);
+  sw.Restart();
+  for (int64_t q = 0; q < ref_queries; ++q) query(ref_score);
+  const double ref_sec = sw.ElapsedSeconds();
+
+  const double per_query = simd_sec / double(config.queries);
+  result.ns_per_triple = per_query * 1e9;
+  result.triples_per_sec = 1.0 / per_query;
+  result.candidates_per_sec = double(num_entities) / per_query;
+  result.speedup_vs_scalar_ref =
+      (ref_sec / double(ref_queries)) / per_query;
+  return result;
+}
+
+struct EvalThroughput {
+  int64_t entities = 0;
+  int64_t triples = 0;
+  double triples_per_sec = 0.0;
+  double filtered_mrr = 0.0;
+  double filtered_hits10 = 0.0;
+};
+
+EvalThroughput BenchEndToEnd(const PerfConfig& config) {
+  WordNetLikeOptions options;
+  options.num_entities = int32_t(config.eval_entities);
+  options.seed = 42;
+  const Dataset dataset = GenerateWordNetLike(options);
+  FilterIndex filter;
+  filter.Build(dataset.train, dataset.valid, dataset.test);
+  Evaluator evaluator(&filter, dataset.num_relations());
+
+  std::unique_ptr<MultiEmbeddingModel> model = MakeComplEx(
+      dataset.num_entities(), dataset.num_relations(),
+      int32_t(config.dim_budget / 2), /*seed=*/42);
+
+  EvalOptions eval_options;
+  eval_options.filtered = true;
+  eval_options.max_triples = size_t(config.eval_triples);
+  eval_options.num_threads = 1;
+
+  // Warm-up evaluates once (JIT-free, but faults pages + fills scratch).
+  evaluator.EvaluateOverall(*model, dataset.test, eval_options);
+
+  Stopwatch sw;
+  const RankingMetrics metrics =
+      evaluator.EvaluateOverall(*model, dataset.test, eval_options);
+  const double seconds = sw.ElapsedSeconds();
+
+  EvalThroughput result;
+  result.entities = dataset.num_entities();
+  result.triples = int64_t(metrics.count());
+  result.triples_per_sec = double(metrics.count()) / seconds;
+  result.filtered_mrr = metrics.Mrr();
+  result.filtered_hits10 = metrics.HitsAt(10);
+  return result;
+}
+
+// ---- JSON ------------------------------------------------------------------
+
+std::string JsonNumber(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+std::string BuildJson(const PerfConfig& config,
+                      const std::vector<KernelRow>& kernels,
+                      const RankingResult& ranking,
+                      const EvalThroughput& eval) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"meta\": {\n";
+  out << "    \"isa\": \"" << simd::IsaName() << "\",\n";
+  out << "    \"accumulator_lanes\": " << simd::kAccumulatorLanes << ",\n";
+  out << "    \"dot_batch_tile_rows\": " << simd::kDotBatchTileRows << ",\n";
+  out << "    \"compiler\": \"" << __VERSION__ << "\",\n";
+  out << "    \"build\": \""
+#ifdef NDEBUG
+      << "release"
+#else
+      << "debug"
+#endif
+      << "\",\n";
+  out << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "    \"quick\": " << (config.quick ? "true" : "false") << "\n";
+  out << "  },\n";
+  out << "  \"kernels\": [\n";
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelRow& k = kernels[i];
+    out << "    {\"name\": \"" << k.name << "\", \"n\": " << k.n
+        << ", \"ns_per_call\": " << JsonNumber(k.ns_per_call)
+        << ", \"gflops\": " << JsonNumber(k.gflops)
+        << ", \"speedup_vs_ref\": " << JsonNumber(k.speedup_vs_ref) << "}"
+        << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"ranking\": {\n";
+  out << "    \"model\": \"ComplEx\",\n";
+  out << "    \"entities\": " << ranking.entities << ",\n";
+  out << "    \"dim_per_vector\": " << ranking.dim << ",\n";
+  out << "    \"queries\": " << ranking.queries << ",\n";
+  out << "    \"ns_per_triple\": " << JsonNumber(ranking.ns_per_triple)
+      << ",\n";
+  out << "    \"triples_per_sec\": " << JsonNumber(ranking.triples_per_sec)
+      << ",\n";
+  out << "    \"candidates_per_sec\": "
+      << JsonNumber(ranking.candidates_per_sec) << ",\n";
+  out << "    \"speedup_vs_scalar_ref\": "
+      << JsonNumber(ranking.speedup_vs_scalar_ref) << ",\n";
+  out << "    \"allocations_per_ranked_triple\": ";
+  if (ranking.allocs_per_triple < 0.0) {
+    out << "null";
+  } else {
+    out << JsonNumber(ranking.allocs_per_triple);
+  }
+  out << "\n  },\n";
+  out << "  \"eval\": {\n";
+  out << "    \"entities\": " << eval.entities << ",\n";
+  out << "    \"test_triples\": " << eval.triples << ",\n";
+  out << "    \"triples_per_sec\": " << JsonNumber(eval.triples_per_sec)
+      << ",\n";
+  out << "    \"filtered_mrr\": " << JsonNumber(eval.filtered_mrr) << ",\n";
+  out << "    \"filtered_hits10\": " << JsonNumber(eval.filtered_hits10)
+      << "\n";
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+int Run(int argc, char** argv) {
+  PerfConfig config;
+  FlagParser parser(
+      "SIMD kernel + ranking perf report; writes BENCH_kernels.json");
+  parser.AddInt("entities", &config.entities,
+                "entity-table rows for full-vocab ranking");
+  parser.AddInt("dim_budget", &config.dim_budget,
+                "total floats per entity (ComplEx uses 2 vectors)");
+  parser.AddInt("queries", &config.queries, "ScoreAllTails calls to time");
+  parser.AddInt("kernel_n", &config.kernel_n,
+                "vector length for kernel microbenches");
+  parser.AddInt("kernel_iters", &config.kernel_iters,
+                "iterations per kernel microbench");
+  parser.AddInt("eval_entities", &config.eval_entities,
+                "WN18-like KG size for end-to-end eval");
+  parser.AddInt("eval_triples", &config.eval_triples,
+                "test triples for end-to-end eval");
+  parser.AddString("out", &config.out, "output JSON path");
+  parser.AddBool("quick", &config.quick, "tiny CI smoke preset");
+  const Status status = parser.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  KGE_CHECK_OK(status);
+  config.Finalize();
+
+  KGE_LOG(Info) << "perf_report: isa=" << simd::IsaName()
+               << " entities=" << config.entities
+               << " dim_budget=" << config.dim_budget;
+
+  KGE_LOG(Info) << "benchmarking kernels (n=" << config.kernel_n << ")...";
+  const std::vector<KernelRow> kernels = BenchKernels(config);
+  for (const KernelRow& k : kernels) {
+    KGE_LOG(Info) << "  " << k.name << ": " << k.gflops << " GFLOP/s, "
+                 << k.speedup_vs_ref << "x vs ref";
+  }
+
+  KGE_LOG(Info) << "benchmarking full-vocab ranking...";
+  const RankingResult ranking = BenchRanking(config);
+  KGE_LOG(Info) << "  " << ranking.ns_per_triple << " ns/triple ("
+               << ranking.speedup_vs_scalar_ref << "x vs scalar ref, "
+               << (ranking.allocs_per_triple < 0.0
+                       ? std::string("allocs not measured")
+                       : std::to_string(ranking.allocs_per_triple) +
+                             " allocs/triple")
+               << ")";
+
+  KGE_LOG(Info) << "benchmarking end-to-end filtered evaluation...";
+  const EvalThroughput eval = BenchEndToEnd(config);
+  KGE_LOG(Info) << "  " << eval.triples_per_sec << " triples/sec, MRR="
+               << eval.filtered_mrr;
+
+  const std::string json = BuildJson(config, kernels, ranking, eval);
+  std::ofstream file(config.out);
+  if (!file) {
+    KGE_LOG(Error) << "cannot write " << config.out;
+    return 1;
+  }
+  file << json;
+  KGE_LOG(Info) << "wrote " << config.out;
+  return 0;
+}
+
+}  // namespace
+}  // namespace kge
+
+int main(int argc, char** argv) { return kge::Run(argc, argv); }

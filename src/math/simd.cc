@@ -1,0 +1,877 @@
+// ISA-specific kernel implementations. See simd.h for the dispatch rules
+// and the numerics contract; the short version is that every reduction
+// accumulates into kAccumulatorLanes (8) interleaved double partial sums
+// combined in a fixed order, and every kernel keeps each rounding step in
+// a named temporary so no compiler may contract mul+add into an FMA where
+// the contract forbids it. FMA is used only where the product is exact in
+// double (products of two converted floats), which keeps the AVX2, NEON,
+// and scalar builds bit-identical on Dot / DotBatch / SquaredNorm.
+#include "math/simd.h"
+
+#include <cmath>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define KGE_SIMD_ISA_AVX2 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define KGE_SIMD_ISA_NEON 1
+#include <arm_neon.h>
+#else
+#define KGE_SIMD_ISA_SCALAR 1
+#endif
+
+namespace kge::simd {
+namespace {
+
+// Fixed combine order of the 8 partial sums (see simd.h): a balanced tree
+// whose shape matches the in-register pairwise adds of the SIMD paths.
+inline double Combine8(const double p[kAccumulatorLanes]) {
+  const double s01 = p[0] + p[1];
+  const double s23 = p[2] + p[3];
+  const double s45 = p[4] + p[5];
+  const double s67 = p[6] + p[7];
+  const double lo = s01 + s23;
+  const double hi = s45 + s67;
+  return lo + hi;
+}
+
+// ---- Portable 8-lane reference scheme --------------------------------------
+// These define the bit-exact semantics of every reduction. The scalar
+// build dispatches straight to them (the independent lanes let the
+// compiler auto-vectorize legally); the AVX2/NEON paths reuse them for
+// loop tails by continuing the lane pattern from an extracted partial
+// array (element d of a tail starting at a multiple of 8 belongs to lane
+// d mod 8 — exactly lane d − tail_start).
+
+inline void DotTail(const float* a, const float* b, size_t begin, size_t n,
+                    double p[kAccumulatorLanes]) {
+  for (size_t d = begin; d < n; ++d) {
+    const double x = double(a[d]);
+    const double y = double(b[d]);
+    const double m = x * y;
+    p[d % kAccumulatorLanes] += m;
+  }
+}
+
+inline void TrilinearTail(const float* a, const float* b, const float* c,
+                          size_t begin, size_t n,
+                          double p[kAccumulatorLanes]) {
+  for (size_t d = begin; d < n; ++d) {
+    const double m = double(a[d]) * double(b[d]);  // exact
+    const double q = m * double(c[d]);             // rounds once
+    p[d % kAccumulatorLanes] += q;
+  }
+}
+
+inline void L1NormTail(const float* a, size_t begin, size_t n,
+                       double p[kAccumulatorLanes]) {
+  for (size_t d = begin; d < n; ++d) {
+    p[d % kAccumulatorLanes] += std::fabs(double(a[d]));
+  }
+}
+
+inline void L1DistanceTail(const float* a, const float* b, size_t begin,
+                           size_t n, double p[kAccumulatorLanes]) {
+  for (size_t d = begin; d < n; ++d) {
+    const double diff = double(a[d]) - double(b[d]);
+    p[d % kAccumulatorLanes] += std::fabs(diff);
+  }
+}
+
+inline void L2DistanceTail(const float* a, const float* b, size_t begin,
+                           size_t n, double p[kAccumulatorLanes]) {
+  for (size_t d = begin; d < n; ++d) {
+    const double diff = double(a[d]) - double(b[d]);
+    const double sq = diff * diff;  // rounds; no FMA with the add below
+    p[d % kAccumulatorLanes] += sq;
+  }
+}
+
+[[maybe_unused]] inline double ScalarDot(const float* a, const float* b, size_t n) {
+  double p[kAccumulatorLanes] = {};
+  DotTail(a, b, 0, n, p);
+  return Combine8(p);
+}
+
+[[maybe_unused]] inline double ScalarTrilinearDot(const float* a, const float* b,
+                                 const float* c, size_t n) {
+  double p[kAccumulatorLanes] = {};
+  TrilinearTail(a, b, c, 0, n, p);
+  return Combine8(p);
+}
+
+[[maybe_unused]] inline double ScalarL1Norm(const float* a, size_t n) {
+  double p[kAccumulatorLanes] = {};
+  L1NormTail(a, 0, n, p);
+  return Combine8(p);
+}
+
+[[maybe_unused]] inline double ScalarL1Distance(const float* a, const float* b, size_t n) {
+  double p[kAccumulatorLanes] = {};
+  L1DistanceTail(a, b, 0, n, p);
+  return Combine8(p);
+}
+
+[[maybe_unused]] inline double ScalarSquaredL2Distance(const float* a, const float* b,
+                                      size_t n) {
+  double p[kAccumulatorLanes] = {};
+  L2DistanceTail(a, b, 0, n, p);
+  return Combine8(p);
+}
+
+}  // namespace
+
+// ---- ISA id ----------------------------------------------------------------
+
+Isa ActiveIsa() {
+#if defined(KGE_SIMD_ISA_AVX2)
+  return Isa::kAvx2Fma;
+#elif defined(KGE_SIMD_ISA_NEON)
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+const char* IsaName() {
+  switch (ActiveIsa()) {
+    case Isa::kAvx2Fma:
+      return "avx2+fma";
+    case Isa::kNeon:
+      return "neon";
+    case Isa::kScalar:
+      return "scalar";
+  }
+  return "?";
+}
+
+// ---- AVX2 + FMA ------------------------------------------------------------
+
+#if defined(KGE_SIMD_ISA_AVX2)
+
+namespace {
+
+// Extracts [acc_lo | acc_hi] into the 8-lane partial array so scalar
+// tails can continue the lane pattern.
+inline void StorePartials(__m256d acc_lo, __m256d acc_hi,
+                          double p[kAccumulatorLanes]) {
+  _mm256_storeu_pd(p, acc_lo);
+  _mm256_storeu_pd(p + 4, acc_hi);
+}
+
+inline __m256d CvtLo(const float* x) {
+  return _mm256_cvtps_pd(_mm_loadu_ps(x));
+}
+
+}  // namespace
+
+double Dot(const float* a, const float* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    // Products of converted floats are exact in double: FMA == mul+add.
+    acc_lo = _mm256_fmadd_pd(CvtLo(a + d), CvtLo(b + d), acc_lo);
+    acc_hi = _mm256_fmadd_pd(CvtLo(a + d + 4), CvtLo(b + d + 4), acc_hi);
+  }
+  double p[kAccumulatorLanes];
+  StorePartials(acc_lo, acc_hi, p);
+  DotTail(a, b, d, n, p);
+  return Combine8(p);
+}
+
+double TrilinearDot(const float* a, const float* b, const float* c,
+                    size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    // m is exact, q rounds once, the add rounds once — FMA would skip q's
+    // rounding and diverge from the scalar scheme, so stay mul+add.
+    const __m256d m_lo = _mm256_mul_pd(CvtLo(a + d), CvtLo(b + d));
+    const __m256d q_lo = _mm256_mul_pd(m_lo, CvtLo(c + d));
+    acc_lo = _mm256_add_pd(acc_lo, q_lo);
+    const __m256d m_hi = _mm256_mul_pd(CvtLo(a + d + 4), CvtLo(b + d + 4));
+    const __m256d q_hi = _mm256_mul_pd(m_hi, CvtLo(c + d + 4));
+    acc_hi = _mm256_add_pd(acc_hi, q_hi);
+  }
+  double p[kAccumulatorLanes];
+  StorePartials(acc_lo, acc_hi, p);
+  TrilinearTail(a, b, c, d, n, p);
+  return Combine8(p);
+}
+
+double SquaredNorm(const float* a, size_t n) { return Dot(a, a, n); }
+
+double L1Norm(const float* a, size_t n) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    acc_lo = _mm256_add_pd(acc_lo,
+                           _mm256_andnot_pd(sign_mask, CvtLo(a + d)));
+    acc_hi = _mm256_add_pd(acc_hi,
+                           _mm256_andnot_pd(sign_mask, CvtLo(a + d + 4)));
+  }
+  double p[kAccumulatorLanes];
+  StorePartials(acc_lo, acc_hi, p);
+  L1NormTail(a, d, n, p);
+  return Combine8(p);
+}
+
+double L1Distance(const float* a, const float* b, size_t n) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const __m256d diff_lo = _mm256_sub_pd(CvtLo(a + d), CvtLo(b + d));
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_andnot_pd(sign_mask, diff_lo));
+    const __m256d diff_hi = _mm256_sub_pd(CvtLo(a + d + 4), CvtLo(b + d + 4));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_andnot_pd(sign_mask, diff_hi));
+  }
+  double p[kAccumulatorLanes];
+  StorePartials(acc_lo, acc_hi, p);
+  L1DistanceTail(a, b, d, n, p);
+  return Combine8(p);
+}
+
+double SquaredL2Distance(const float* a, const float* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    // diff² is inexact in double, so no FMA (see TrilinearDot).
+    const __m256d diff_lo = _mm256_sub_pd(CvtLo(a + d), CvtLo(b + d));
+    const __m256d sq_lo = _mm256_mul_pd(diff_lo, diff_lo);
+    acc_lo = _mm256_add_pd(acc_lo, sq_lo);
+    const __m256d diff_hi = _mm256_sub_pd(CvtLo(a + d + 4), CvtLo(b + d + 4));
+    const __m256d sq_hi = _mm256_mul_pd(diff_hi, diff_hi);
+    acc_hi = _mm256_add_pd(acc_hi, sq_hi);
+  }
+  double p[kAccumulatorLanes];
+  StorePartials(acc_lo, acc_hi, p);
+  L2DistanceTail(a, b, d, n, p);
+  return Combine8(p);
+}
+
+double MaxAbsDiff(const float* a, const float* b, size_t n) {
+  // Subtract in double like the scalar path: the difference of two
+  // floats is not always representable in float, so a float subtract
+  // would round differently. Max itself is order-insensitive.
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d vmax_lo = _mm256_setzero_pd();
+  __m256d vmax_hi = _mm256_setzero_pd();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const __m256d diff_lo = _mm256_sub_pd(CvtLo(a + d), CvtLo(b + d));
+    vmax_lo = _mm256_max_pd(vmax_lo, _mm256_andnot_pd(sign_mask, diff_lo));
+    const __m256d diff_hi = _mm256_sub_pd(CvtLo(a + d + 4), CvtLo(b + d + 4));
+    vmax_hi = _mm256_max_pd(vmax_hi, _mm256_andnot_pd(sign_mask, diff_hi));
+  }
+  double lanes[kAccumulatorLanes];
+  StorePartials(vmax_lo, vmax_hi, lanes);
+  double max_diff = 0.0;
+  for (double lane : lanes) {
+    if (lane > max_diff) max_diff = lane;
+  }
+  for (; d < n; ++d) {
+    const double diff = std::fabs(double(a[d]) - double(b[d]));
+    if (diff > max_diff) max_diff = diff;
+  }
+  return max_diff;
+}
+
+void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
+              float* out) {
+  // Tiles of kDotBatchTileRows rows; each row keeps the same two-register
+  // accumulator group as Dot, so out[row] == float(Dot(v, row)) exactly.
+  // The tile shares every load/convert of v across its rows, turning the
+  // ranking loop into a blocked matrix-vector product.
+  size_t row = 0;
+  for (; row + kDotBatchTileRows <= num_rows; row += kDotBatchTileRows) {
+    const float* r0 = rows + (row + 0) * n;
+    const float* r1 = rows + (row + 1) * n;
+    const float* r2 = rows + (row + 2) * n;
+    const float* r3 = rows + (row + 3) * n;
+    __m256d a0_lo = _mm256_setzero_pd(), a0_hi = _mm256_setzero_pd();
+    __m256d a1_lo = _mm256_setzero_pd(), a1_hi = _mm256_setzero_pd();
+    __m256d a2_lo = _mm256_setzero_pd(), a2_hi = _mm256_setzero_pd();
+    __m256d a3_lo = _mm256_setzero_pd(), a3_hi = _mm256_setzero_pd();
+    size_t d = 0;
+    for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+      const __m256d v_lo = CvtLo(v + d);
+      const __m256d v_hi = CvtLo(v + d + 4);
+      a0_lo = _mm256_fmadd_pd(CvtLo(r0 + d), v_lo, a0_lo);
+      a0_hi = _mm256_fmadd_pd(CvtLo(r0 + d + 4), v_hi, a0_hi);
+      a1_lo = _mm256_fmadd_pd(CvtLo(r1 + d), v_lo, a1_lo);
+      a1_hi = _mm256_fmadd_pd(CvtLo(r1 + d + 4), v_hi, a1_hi);
+      a2_lo = _mm256_fmadd_pd(CvtLo(r2 + d), v_lo, a2_lo);
+      a2_hi = _mm256_fmadd_pd(CvtLo(r2 + d + 4), v_hi, a2_hi);
+      a3_lo = _mm256_fmadd_pd(CvtLo(r3 + d), v_lo, a3_lo);
+      a3_hi = _mm256_fmadd_pd(CvtLo(r3 + d + 4), v_hi, a3_hi);
+    }
+    double p0[kAccumulatorLanes], p1[kAccumulatorLanes];
+    double p2[kAccumulatorLanes], p3[kAccumulatorLanes];
+    StorePartials(a0_lo, a0_hi, p0);
+    StorePartials(a1_lo, a1_hi, p1);
+    StorePartials(a2_lo, a2_hi, p2);
+    StorePartials(a3_lo, a3_hi, p3);
+    DotTail(v, r0, d, n, p0);
+    DotTail(v, r1, d, n, p1);
+    DotTail(v, r2, d, n, p2);
+    DotTail(v, r3, d, n, p3);
+    out[row + 0] = float(Combine8(p0));
+    out[row + 1] = float(Combine8(p1));
+    out[row + 2] = float(Combine8(p2));
+    out[row + 3] = float(Combine8(p3));
+  }
+  for (; row < num_rows; ++row) {
+    out[row] = float(Dot(v, rows + row * n, n));
+  }
+}
+
+void Hadamard(const float* a, const float* b, float* out, size_t n) {
+  size_t d = 0;
+  for (; d + 8 <= n; d += 8) {
+    const __m256 m = _mm256_mul_ps(_mm256_loadu_ps(a + d),
+                                   _mm256_loadu_ps(b + d));
+    _mm256_storeu_ps(out + d, m);
+  }
+  for (; d < n; ++d) out[d] = a[d] * b[d];
+}
+
+void HadamardAxpy(float scale, const float* a, const float* b, float* out,
+                  size_t n) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  size_t d = 0;
+  for (; d + 8 <= n; d += 8) {
+    const __m256 sa = _mm256_mul_ps(vs, _mm256_loadu_ps(a + d));
+    const __m256 sab = _mm256_mul_ps(sa, _mm256_loadu_ps(b + d));
+    const __m256 sum = _mm256_add_ps(_mm256_loadu_ps(out + d), sab);
+    _mm256_storeu_ps(out + d, sum);
+  }
+  for (; d < n; ++d) {
+    const float sa = scale * a[d];
+    const float sab = sa * b[d];
+    out[d] += sab;
+  }
+}
+
+void Axpy(float scale, const float* a, float* out, size_t n) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  size_t d = 0;
+  for (; d + 8 <= n; d += 8) {
+    const __m256 sa = _mm256_mul_ps(vs, _mm256_loadu_ps(a + d));
+    const __m256 sum = _mm256_add_ps(_mm256_loadu_ps(out + d), sa);
+    _mm256_storeu_ps(out + d, sum);
+  }
+  for (; d < n; ++d) {
+    const float sa = scale * a[d];
+    out[d] += sa;
+  }
+}
+
+void Fill(float* out, float value, size_t n) {
+  const __m256 vv = _mm256_set1_ps(value);
+  size_t d = 0;
+  for (; d + 8 <= n; d += 8) _mm256_storeu_ps(out + d, vv);
+  for (; d < n; ++d) out[d] = value;
+}
+
+void Scale(float* out, float scale, size_t n) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  size_t d = 0;
+  for (; d + 8 <= n; d += 8) {
+    _mm256_storeu_ps(out + d, _mm256_mul_ps(vs, _mm256_loadu_ps(out + d)));
+  }
+  for (; d < n; ++d) out[d] *= scale;
+}
+
+void TripleGradAxpy(float w, const float* h, const float* t, const float* r,
+                    float* gh, float* gt, float* gr, size_t n) {
+  const __m256 vw = _mm256_set1_ps(w);
+  size_t d = 0;
+  for (; d + 8 <= n; d += 8) {
+    const __m256 vh = _mm256_loadu_ps(h + d);
+    const __m256 vt = _mm256_loadu_ps(t + d);
+    const __m256 vr = _mm256_loadu_ps(r + d);
+    const __m256 wh = _mm256_mul_ps(vw, vh);
+    const __m256 wt = _mm256_mul_ps(vw, vt);
+    const __m256 dgh = _mm256_mul_ps(wt, vr);
+    const __m256 dgt = _mm256_mul_ps(wh, vr);
+    const __m256 dgr = _mm256_mul_ps(wh, vt);
+    _mm256_storeu_ps(gh + d, _mm256_add_ps(_mm256_loadu_ps(gh + d), dgh));
+    _mm256_storeu_ps(gt + d, _mm256_add_ps(_mm256_loadu_ps(gt + d), dgt));
+    _mm256_storeu_ps(gr + d, _mm256_add_ps(_mm256_loadu_ps(gr + d), dgr));
+  }
+  for (; d < n; ++d) {
+    const float wh = w * h[d];
+    const float wt = w * t[d];
+    const float dgh = wt * r[d];
+    const float dgt = wh * r[d];
+    const float dgr = wh * t[d];
+    gh[d] += dgh;
+    gt[d] += dgt;
+    gr[d] += dgr;
+  }
+}
+
+// ---- NEON (AArch64) --------------------------------------------------------
+
+#elif defined(KGE_SIMD_ISA_NEON)
+
+namespace {
+
+struct Acc8 {
+  // Lane layout matches the 8-lane scheme: a = {p0,p1}, b = {p2,p3},
+  // c = {p4,p5}, d = {p6,p7}.
+  float64x2_t a, b, c, d;
+};
+
+inline Acc8 ZeroAcc8() {
+  const float64x2_t z = vdupq_n_f64(0.0);
+  return Acc8{z, z, z, z};
+}
+
+inline void StorePartials(const Acc8& acc, double p[kAccumulatorLanes]) {
+  vst1q_f64(p + 0, acc.a);
+  vst1q_f64(p + 2, acc.b);
+  vst1q_f64(p + 4, acc.c);
+  vst1q_f64(p + 6, acc.d);
+}
+
+struct Dbl8 {
+  float64x2_t a, b, c, d;
+};
+
+inline Dbl8 Widen8(const float* x) {
+  const float32x4_t lo = vld1q_f32(x);
+  const float32x4_t hi = vld1q_f32(x + 4);
+  return Dbl8{vcvt_f64_f32(vget_low_f32(lo)), vcvt_high_f64_f32(lo),
+              vcvt_f64_f32(vget_low_f32(hi)), vcvt_high_f64_f32(hi)};
+}
+
+}  // namespace
+
+double Dot(const float* a, const float* b, size_t n) {
+  Acc8 acc = ZeroAcc8();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const Dbl8 xa = Widen8(a + d);
+    const Dbl8 xb = Widen8(b + d);
+    acc.a = vfmaq_f64(acc.a, xa.a, xb.a);
+    acc.b = vfmaq_f64(acc.b, xa.b, xb.b);
+    acc.c = vfmaq_f64(acc.c, xa.c, xb.c);
+    acc.d = vfmaq_f64(acc.d, xa.d, xb.d);
+  }
+  double p[kAccumulatorLanes];
+  StorePartials(acc, p);
+  DotTail(a, b, d, n, p);
+  return Combine8(p);
+}
+
+double TrilinearDot(const float* a, const float* b, const float* c,
+                    size_t n) {
+  Acc8 acc = ZeroAcc8();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const Dbl8 xa = Widen8(a + d);
+    const Dbl8 xb = Widen8(b + d);
+    const Dbl8 xc = Widen8(c + d);
+    // Same two-rounding structure as the scalar scheme: no FMA.
+    acc.a = vaddq_f64(acc.a, vmulq_f64(vmulq_f64(xa.a, xb.a), xc.a));
+    acc.b = vaddq_f64(acc.b, vmulq_f64(vmulq_f64(xa.b, xb.b), xc.b));
+    acc.c = vaddq_f64(acc.c, vmulq_f64(vmulq_f64(xa.c, xb.c), xc.c));
+    acc.d = vaddq_f64(acc.d, vmulq_f64(vmulq_f64(xa.d, xb.d), xc.d));
+  }
+  double p[kAccumulatorLanes];
+  StorePartials(acc, p);
+  TrilinearTail(a, b, c, d, n, p);
+  return Combine8(p);
+}
+
+double SquaredNorm(const float* a, size_t n) { return Dot(a, a, n); }
+
+double L1Norm(const float* a, size_t n) {
+  Acc8 acc = ZeroAcc8();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const Dbl8 xa = Widen8(a + d);
+    acc.a = vaddq_f64(acc.a, vabsq_f64(xa.a));
+    acc.b = vaddq_f64(acc.b, vabsq_f64(xa.b));
+    acc.c = vaddq_f64(acc.c, vabsq_f64(xa.c));
+    acc.d = vaddq_f64(acc.d, vabsq_f64(xa.d));
+  }
+  double p[kAccumulatorLanes];
+  StorePartials(acc, p);
+  L1NormTail(a, d, n, p);
+  return Combine8(p);
+}
+
+double L1Distance(const float* a, const float* b, size_t n) {
+  Acc8 acc = ZeroAcc8();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const Dbl8 xa = Widen8(a + d);
+    const Dbl8 xb = Widen8(b + d);
+    acc.a = vaddq_f64(acc.a, vabsq_f64(vsubq_f64(xa.a, xb.a)));
+    acc.b = vaddq_f64(acc.b, vabsq_f64(vsubq_f64(xa.b, xb.b)));
+    acc.c = vaddq_f64(acc.c, vabsq_f64(vsubq_f64(xa.c, xb.c)));
+    acc.d = vaddq_f64(acc.d, vabsq_f64(vsubq_f64(xa.d, xb.d)));
+  }
+  double p[kAccumulatorLanes];
+  StorePartials(acc, p);
+  L1DistanceTail(a, b, d, n, p);
+  return Combine8(p);
+}
+
+double SquaredL2Distance(const float* a, const float* b, size_t n) {
+  Acc8 acc = ZeroAcc8();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const Dbl8 xa = Widen8(a + d);
+    const Dbl8 xb = Widen8(b + d);
+    const float64x2_t da = vsubq_f64(xa.a, xb.a);
+    const float64x2_t db = vsubq_f64(xa.b, xb.b);
+    const float64x2_t dc = vsubq_f64(xa.c, xb.c);
+    const float64x2_t dd = vsubq_f64(xa.d, xb.d);
+    acc.a = vaddq_f64(acc.a, vmulq_f64(da, da));
+    acc.b = vaddq_f64(acc.b, vmulq_f64(db, db));
+    acc.c = vaddq_f64(acc.c, vmulq_f64(dc, dc));
+    acc.d = vaddq_f64(acc.d, vmulq_f64(dd, dd));
+  }
+  double p[kAccumulatorLanes];
+  StorePartials(acc, p);
+  L2DistanceTail(a, b, d, n, p);
+  return Combine8(p);
+}
+
+double MaxAbsDiff(const float* a, const float* b, size_t n) {
+  // Subtract in double like the scalar path: the difference of two
+  // floats is not always representable in float, so a float subtract
+  // would round differently. Max itself is order-insensitive.
+  float64x2_t vmax = vdupq_n_f64(0.0);
+  size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    const float32x4_t af = vld1q_f32(a + d);
+    const float32x4_t bf = vld1q_f32(b + d);
+    const float64x2_t diff_lo = vsubq_f64(vcvt_f64_f32(vget_low_f32(af)),
+                                          vcvt_f64_f32(vget_low_f32(bf)));
+    const float64x2_t diff_hi =
+        vsubq_f64(vcvt_high_f64_f32(af), vcvt_high_f64_f32(bf));
+    vmax = vmaxq_f64(vmax, vabsq_f64(diff_lo));
+    vmax = vmaxq_f64(vmax, vabsq_f64(diff_hi));
+  }
+  double max_diff = vmaxvq_f64(vmax);
+  for (; d < n; ++d) {
+    const double diff = std::fabs(double(a[d]) - double(b[d]));
+    if (diff > max_diff) max_diff = diff;
+  }
+  return max_diff;
+}
+
+void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
+              float* out) {
+  size_t row = 0;
+  for (; row + kDotBatchTileRows <= num_rows; row += kDotBatchTileRows) {
+    const float* r0 = rows + (row + 0) * n;
+    const float* r1 = rows + (row + 1) * n;
+    const float* r2 = rows + (row + 2) * n;
+    const float* r3 = rows + (row + 3) * n;
+    Acc8 acc0 = ZeroAcc8(), acc1 = ZeroAcc8();
+    Acc8 acc2 = ZeroAcc8(), acc3 = ZeroAcc8();
+    size_t d = 0;
+    for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+      const Dbl8 xv = Widen8(v + d);
+      const Dbl8 x0 = Widen8(r0 + d);
+      acc0.a = vfmaq_f64(acc0.a, x0.a, xv.a);
+      acc0.b = vfmaq_f64(acc0.b, x0.b, xv.b);
+      acc0.c = vfmaq_f64(acc0.c, x0.c, xv.c);
+      acc0.d = vfmaq_f64(acc0.d, x0.d, xv.d);
+      const Dbl8 x1 = Widen8(r1 + d);
+      acc1.a = vfmaq_f64(acc1.a, x1.a, xv.a);
+      acc1.b = vfmaq_f64(acc1.b, x1.b, xv.b);
+      acc1.c = vfmaq_f64(acc1.c, x1.c, xv.c);
+      acc1.d = vfmaq_f64(acc1.d, x1.d, xv.d);
+      const Dbl8 x2 = Widen8(r2 + d);
+      acc2.a = vfmaq_f64(acc2.a, x2.a, xv.a);
+      acc2.b = vfmaq_f64(acc2.b, x2.b, xv.b);
+      acc2.c = vfmaq_f64(acc2.c, x2.c, xv.c);
+      acc2.d = vfmaq_f64(acc2.d, x2.d, xv.d);
+      const Dbl8 x3 = Widen8(r3 + d);
+      acc3.a = vfmaq_f64(acc3.a, x3.a, xv.a);
+      acc3.b = vfmaq_f64(acc3.b, x3.b, xv.b);
+      acc3.c = vfmaq_f64(acc3.c, x3.c, xv.c);
+      acc3.d = vfmaq_f64(acc3.d, x3.d, xv.d);
+    }
+    double p0[kAccumulatorLanes], p1[kAccumulatorLanes];
+    double p2[kAccumulatorLanes], p3[kAccumulatorLanes];
+    StorePartials(acc0, p0);
+    StorePartials(acc1, p1);
+    StorePartials(acc2, p2);
+    StorePartials(acc3, p3);
+    DotTail(v, r0, d, n, p0);
+    DotTail(v, r1, d, n, p1);
+    DotTail(v, r2, d, n, p2);
+    DotTail(v, r3, d, n, p3);
+    out[row + 0] = float(Combine8(p0));
+    out[row + 1] = float(Combine8(p1));
+    out[row + 2] = float(Combine8(p2));
+    out[row + 3] = float(Combine8(p3));
+  }
+  for (; row < num_rows; ++row) {
+    out[row] = float(Dot(v, rows + row * n, n));
+  }
+}
+
+void Hadamard(const float* a, const float* b, float* out, size_t n) {
+  size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    vst1q_f32(out + d, vmulq_f32(vld1q_f32(a + d), vld1q_f32(b + d)));
+  }
+  for (; d < n; ++d) out[d] = a[d] * b[d];
+}
+
+void HadamardAxpy(float scale, const float* a, const float* b, float* out,
+                  size_t n) {
+  const float32x4_t vs = vdupq_n_f32(scale);
+  size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    const float32x4_t sa = vmulq_f32(vs, vld1q_f32(a + d));
+    const float32x4_t sab = vmulq_f32(sa, vld1q_f32(b + d));
+    vst1q_f32(out + d, vaddq_f32(vld1q_f32(out + d), sab));
+  }
+  for (; d < n; ++d) {
+    const float sa = scale * a[d];
+    const float sab = sa * b[d];
+    out[d] += sab;
+  }
+}
+
+void Axpy(float scale, const float* a, float* out, size_t n) {
+  const float32x4_t vs = vdupq_n_f32(scale);
+  size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    const float32x4_t sa = vmulq_f32(vs, vld1q_f32(a + d));
+    vst1q_f32(out + d, vaddq_f32(vld1q_f32(out + d), sa));
+  }
+  for (; d < n; ++d) {
+    const float sa = scale * a[d];
+    out[d] += sa;
+  }
+}
+
+void Fill(float* out, float value, size_t n) {
+  const float32x4_t vv = vdupq_n_f32(value);
+  size_t d = 0;
+  for (; d + 4 <= n; d += 4) vst1q_f32(out + d, vv);
+  for (; d < n; ++d) out[d] = value;
+}
+
+void Scale(float* out, float scale, size_t n) {
+  const float32x4_t vs = vdupq_n_f32(scale);
+  size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    vst1q_f32(out + d, vmulq_f32(vs, vld1q_f32(out + d)));
+  }
+  for (; d < n; ++d) out[d] *= scale;
+}
+
+void TripleGradAxpy(float w, const float* h, const float* t, const float* r,
+                    float* gh, float* gt, float* gr, size_t n) {
+  const float32x4_t vw = vdupq_n_f32(w);
+  size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    const float32x4_t vh = vld1q_f32(h + d);
+    const float32x4_t vt = vld1q_f32(t + d);
+    const float32x4_t vr = vld1q_f32(r + d);
+    const float32x4_t wh = vmulq_f32(vw, vh);
+    const float32x4_t wt = vmulq_f32(vw, vt);
+    vst1q_f32(gh + d, vaddq_f32(vld1q_f32(gh + d), vmulq_f32(wt, vr)));
+    vst1q_f32(gt + d, vaddq_f32(vld1q_f32(gt + d), vmulq_f32(wh, vr)));
+    vst1q_f32(gr + d, vaddq_f32(vld1q_f32(gr + d), vmulq_f32(wh, vt)));
+  }
+  for (; d < n; ++d) {
+    const float wh = w * h[d];
+    const float wt = w * t[d];
+    const float dgh = wt * r[d];
+    const float dgt = wh * r[d];
+    const float dgr = wh * t[d];
+    gh[d] += dgh;
+    gt[d] += dgt;
+    gr[d] += dgr;
+  }
+}
+
+// ---- Scalar fallback -------------------------------------------------------
+
+#else  // KGE_SIMD_ISA_SCALAR
+
+double Dot(const float* a, const float* b, size_t n) {
+  return ScalarDot(a, b, n);
+}
+
+double TrilinearDot(const float* a, const float* b, const float* c,
+                    size_t n) {
+  return ScalarTrilinearDot(a, b, c, n);
+}
+
+double SquaredNorm(const float* a, size_t n) { return ScalarDot(a, a, n); }
+
+double L1Norm(const float* a, size_t n) { return ScalarL1Norm(a, n); }
+
+double L1Distance(const float* a, const float* b, size_t n) {
+  return ScalarL1Distance(a, b, n);
+}
+
+double SquaredL2Distance(const float* a, const float* b, size_t n) {
+  return ScalarSquaredL2Distance(a, b, n);
+}
+
+double MaxAbsDiff(const float* a, const float* b, size_t n) {
+  double max_diff = 0.0;
+  for (size_t d = 0; d < n; ++d) {
+    const double diff = std::fabs(double(a[d]) - double(b[d]));
+    if (diff > max_diff) max_diff = diff;
+  }
+  return max_diff;
+}
+
+void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
+              float* out) {
+  for (size_t row = 0; row < num_rows; ++row) {
+    out[row] = float(ScalarDot(v, rows + row * n, n));
+  }
+}
+
+void Hadamard(const float* a, const float* b, float* out, size_t n) {
+  for (size_t d = 0; d < n; ++d) out[d] = a[d] * b[d];
+}
+
+void HadamardAxpy(float scale, const float* a, const float* b, float* out,
+                  size_t n) {
+  for (size_t d = 0; d < n; ++d) {
+    const float sa = scale * a[d];
+    const float sab = sa * b[d];
+    out[d] += sab;
+  }
+}
+
+void Axpy(float scale, const float* a, float* out, size_t n) {
+  for (size_t d = 0; d < n; ++d) {
+    const float sa = scale * a[d];
+    out[d] += sa;
+  }
+}
+
+void Fill(float* out, float value, size_t n) {
+  for (size_t d = 0; d < n; ++d) out[d] = value;
+}
+
+void Scale(float* out, float scale, size_t n) {
+  for (size_t d = 0; d < n; ++d) out[d] *= scale;
+}
+
+void TripleGradAxpy(float w, const float* h, const float* t, const float* r,
+                    float* gh, float* gt, float* gr, size_t n) {
+  for (size_t d = 0; d < n; ++d) {
+    const float wh = w * h[d];
+    const float wt = w * t[d];
+    const float dgh = wt * r[d];
+    const float dgt = wh * r[d];
+    const float dgr = wh * t[d];
+    gh[d] += dgh;
+    gt[d] += dgt;
+    gr[d] += dgr;
+  }
+}
+
+#endif  // ISA selection
+
+// ---- Naive references ------------------------------------------------------
+
+namespace ref {
+
+double Dot(const float* a, const float* b, size_t n) {
+  double sum = 0.0;
+  for (size_t d = 0; d < n; ++d) sum += double(a[d]) * double(b[d]);
+  return sum;
+}
+
+double TrilinearDot(const float* a, const float* b, const float* c,
+                    size_t n) {
+  double sum = 0.0;
+  for (size_t d = 0; d < n; ++d) {
+    sum += double(a[d]) * double(b[d]) * double(c[d]);
+  }
+  return sum;
+}
+
+double SquaredNorm(const float* a, size_t n) { return Dot(a, a, n); }
+
+double L1Norm(const float* a, size_t n) {
+  double sum = 0.0;
+  for (size_t d = 0; d < n; ++d) sum += std::fabs(double(a[d]));
+  return sum;
+}
+
+double L1Distance(const float* a, const float* b, size_t n) {
+  double sum = 0.0;
+  for (size_t d = 0; d < n; ++d) {
+    sum += std::fabs(double(a[d]) - double(b[d]));
+  }
+  return sum;
+}
+
+double SquaredL2Distance(const float* a, const float* b, size_t n) {
+  double sum = 0.0;
+  for (size_t d = 0; d < n; ++d) {
+    const double diff = double(a[d]) - double(b[d]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double MaxAbsDiff(const float* a, const float* b, size_t n) {
+  double max_diff = 0.0;
+  for (size_t d = 0; d < n; ++d) {
+    const double diff = std::fabs(double(a[d]) - double(b[d]));
+    if (diff > max_diff) max_diff = diff;
+  }
+  return max_diff;
+}
+
+void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
+              float* out) {
+  for (size_t row = 0; row < num_rows; ++row) {
+    out[row] = float(Dot(v, rows + row * n, n));
+  }
+}
+
+void Hadamard(const float* a, const float* b, float* out, size_t n) {
+  for (size_t d = 0; d < n; ++d) out[d] = a[d] * b[d];
+}
+
+void HadamardAxpy(float scale, const float* a, const float* b, float* out,
+                  size_t n) {
+  for (size_t d = 0; d < n; ++d) out[d] += scale * a[d] * b[d];
+}
+
+void Axpy(float scale, const float* a, float* out, size_t n) {
+  for (size_t d = 0; d < n; ++d) out[d] += scale * a[d];
+}
+
+void TripleGradAxpy(float w, const float* h, const float* t, const float* r,
+                    float* gh, float* gt, float* gr, size_t n) {
+  for (size_t d = 0; d < n; ++d) {
+    gh[d] += w * t[d] * r[d];
+    gt[d] += w * h[d] * r[d];
+    gr[d] += w * h[d] * t[d];
+  }
+}
+
+}  // namespace ref
+
+}  // namespace kge::simd

@@ -1,0 +1,149 @@
+// SIMD kernel layer: the single dispatch point for every dense float
+// kernel on the scoring and gradient hot paths. One implementation is
+// selected at compile time from the target ISA:
+//
+//   * AVX2 + FMA   when __AVX2__ and __FMA__ are defined (x86-64; enable
+//                  with -DKGE_AVX2=ON or -DKGE_NATIVE_ARCH=ON),
+//   * NEON         on AArch64 (always available there),
+//   * scalar       otherwise — a portable fallback that mirrors the SIMD
+//                  accumulation scheme exactly (see the numerics contract).
+//
+// Callers normally go through the std::span API in math/vec_ops.h; this
+// header is the raw-pointer layer underneath it, plus the batch-ranking
+// and fused-gradient kernels that only exist here.
+//
+// ## Numerics contract
+//
+// Reductions (Dot, TrilinearDot, DotBatch, SquaredNorm, L1Norm, the
+// distances) accumulate in double precision with kAccumulatorLanes (= 8)
+// interleaved partial sums: element d contributes to partial sum d mod 8,
+// and the partials are combined in the fixed order
+//
+//   ((p0+p1) + (p2+p3)) + ((p4+p5) + (p6+p7)).
+//
+// The scalar fallback implements this scheme with explicit per-statement
+// temporaries, so builds differing only in ISA agree *bit-for-bit* on
+// Dot, DotBatch and SquaredNorm: the product of two floats is exact in
+// double, which makes an FMA indistinguishable from mul-then-add there.
+// Kernels whose inner products are inexact in double (TrilinearDot, the
+// L2 distance) deliberately avoid FMA and round exactly where the scalar
+// scheme rounds, so they are bit-identical across ISAs too. Elementwise
+// kernels (Hadamard, HadamardAxpy, Axpy, TripleGradAxpy, Scale) evaluate
+// in float with a fixed association, again FMA-free, and match exactly.
+//
+// What is NOT preserved is the pre-SIMD strictly sequential accumulation
+// order: a partial-sum reduction reassociates the sum, so scores can
+// differ from a naive left-to-right loop by O(n·eps) — the kernel
+// equivalence suite (tests/simd_test.cc) bounds this against the naive
+// references in simd::ref.
+//
+// DotBatch additionally guarantees out[row] == float(Dot(v, row)) for
+// every row: the tiled multi-row path uses the same per-row lane scheme,
+// so batching is a pure scheduling change, never a numeric one.
+#ifndef KGE_MATH_SIMD_H_
+#define KGE_MATH_SIMD_H_
+
+#include <cstddef>
+
+namespace kge::simd {
+
+// Number of interleaved double partial sums every reduction uses; element
+// d accumulates into partial d % kAccumulatorLanes on every ISA.
+inline constexpr size_t kAccumulatorLanes = 8;
+
+// Rows per tile in DotBatch: the tiled loop keeps this many independent
+// accumulator groups live so candidate rows share each load of `v`.
+inline constexpr size_t kDotBatchTileRows = 4;
+
+enum class Isa { kScalar, kAvx2Fma, kNeon };
+
+// The ISA this translation unit was compiled for.
+Isa ActiveIsa();
+// "avx2+fma", "neon", or "scalar" — stamped into BENCH_kernels.json.
+const char* IsaName();
+
+// ---- Reductions (double accumulation, 8 interleaved partials) -------------
+
+// Σ_d a[d]·b[d]
+double Dot(const float* a, const float* b, size_t n);
+
+// Σ_d a[d]·b[d]·c[d]
+double TrilinearDot(const float* a, const float* b, const float* c, size_t n);
+
+// Σ_d a[d]²
+double SquaredNorm(const float* a, size_t n);
+
+// Σ_d |a[d]|
+double L1Norm(const float* a, size_t n);
+
+// Σ_d |a[d] − b[d]|
+double L1Distance(const float* a, const float* b, size_t n);
+
+// Σ_d (a[d] − b[d])²
+double SquaredL2Distance(const float* a, const float* b, size_t n);
+
+// max_d |a[d] − b[d]|
+double MaxAbsDiff(const float* a, const float* b, size_t n);
+
+// ---- Batch ranking kernel --------------------------------------------------
+
+// out[row] = float(Dot(v, rows + row·n)) for row in [0, num_rows): one
+// query vector against a row-major matrix — the fold-then-dot ranking
+// step of every trilinear model, executed as a tiled matrix-vector
+// product (kDotBatchTileRows rows per tile, each with its own
+// accumulator group) instead of num_rows separate Dot calls.
+void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
+              float* out);
+
+// ---- Elementwise kernels (float, fixed association, FMA-free) --------------
+
+// out[d] = a[d]·b[d]
+void Hadamard(const float* a, const float* b, float* out, size_t n);
+
+// out[d] += (scale·a[d])·b[d]
+void HadamardAxpy(float scale, const float* a, const float* b, float* out,
+                  size_t n);
+
+// out[d] += scale·a[d]
+void Axpy(float scale, const float* a, float* out, size_t n);
+
+// out[d] = value
+void Fill(float* out, float value, size_t n);
+
+// out[d] *= scale
+void Scale(float* out, float scale, size_t n);
+
+// The fused Eq. (8) gradient update — one pass over d performing
+//   gh[d] += (w·t[d])·r[d],  gt[d] += (w·h[d])·r[d],  gr[d] += (w·h[d])·t[d]
+// with the same association as three separate HadamardAxpy calls (so the
+// fusion is bit-exact); loads h/t/r once instead of twice each.
+void TripleGradAxpy(float w, const float* h, const float* t, const float* r,
+                    float* gh, float* gt, float* gr, size_t n);
+
+// ---- Naive references ------------------------------------------------------
+// Strictly sequential left-to-right implementations, used by the kernel
+// equivalence tests as ground truth and by bench/perf_report as the
+// pre-SIMD baseline. Reductions accumulate in a single double.
+namespace ref {
+
+double Dot(const float* a, const float* b, size_t n);
+double TrilinearDot(const float* a, const float* b, const float* c, size_t n);
+double SquaredNorm(const float* a, size_t n);
+double L1Norm(const float* a, size_t n);
+double L1Distance(const float* a, const float* b, size_t n);
+double SquaredL2Distance(const float* a, const float* b, size_t n);
+double MaxAbsDiff(const float* a, const float* b, size_t n);
+void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
+              float* out);
+void Hadamard(const float* a, const float* b, float* out, size_t n);
+void HadamardAxpy(float scale, const float* a, const float* b, float* out,
+                  size_t n);
+void Axpy(float scale, const float* a, float* out, size_t n);
+void TripleGradAxpy(float w, const float* h, const float* t, const float* r,
+                    float* gh, float* gt, float* gr, size_t n);
+
+}  // namespace ref
+
+}  // namespace kge::simd
+
+#endif  // KGE_MATH_SIMD_H_

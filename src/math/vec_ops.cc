@@ -1,98 +1,83 @@
+// Thin std::span wrappers over the ISA dispatch layer in math/simd.h.
+// Shape checks live here; the kernels themselves are pointer+size.
 #include "math/vec_ops.h"
 
 #include <cmath>
 
+#include "math/simd.h"
 #include "util/check.h"
 
 namespace kge {
 
 double Dot(std::span<const float> a, std::span<const float> b) {
   KGE_DCHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t d = 0; d < a.size(); ++d) sum += double(a[d]) * double(b[d]);
-  return sum;
+  return simd::Dot(a.data(), b.data(), a.size());
+}
+
+void DotBatch(std::span<const float> v, std::span<const float> rows,
+              std::span<float> out) {
+  KGE_DCHECK(rows.size() == v.size() * out.size());
+  simd::DotBatch(v.data(), rows.data(), out.size(), v.size(), out.data());
 }
 
 double TrilinearDot(std::span<const float> a, std::span<const float> b,
                     std::span<const float> c) {
   KGE_DCHECK(a.size() == b.size() && b.size() == c.size());
-  double sum = 0.0;
-  for (size_t d = 0; d < a.size(); ++d) {
-    sum += double(a[d]) * double(b[d]) * double(c[d]);
-  }
-  return sum;
+  return simd::TrilinearDot(a.data(), b.data(), c.data(), a.size());
 }
 
 void Hadamard(std::span<const float> a, std::span<const float> b,
               std::span<float> out) {
   KGE_DCHECK(a.size() == b.size() && a.size() == out.size());
-  for (size_t d = 0; d < a.size(); ++d) out[d] = a[d] * b[d];
+  simd::Hadamard(a.data(), b.data(), out.data(), a.size());
 }
 
 void HadamardAxpy(float scale, std::span<const float> a,
                   std::span<const float> b, std::span<float> out) {
   KGE_DCHECK(a.size() == b.size() && a.size() == out.size());
-  for (size_t d = 0; d < a.size(); ++d) out[d] += scale * a[d] * b[d];
+  simd::HadamardAxpy(scale, a.data(), b.data(), out.data(), a.size());
 }
 
 void Axpy(float scale, std::span<const float> a, std::span<float> out) {
   KGE_DCHECK(a.size() == out.size());
-  for (size_t d = 0; d < a.size(); ++d) out[d] += scale * a[d];
+  simd::Axpy(scale, a.data(), out.data(), a.size());
 }
 
 void Fill(std::span<float> out, float value) {
-  for (float& x : out) x = value;
+  simd::Fill(out.data(), value, out.size());
 }
 
 void Scale(std::span<float> out, float scale) {
-  for (float& x : out) x *= scale;
+  simd::Scale(out.data(), scale, out.size());
 }
 
 double SquaredNorm(std::span<const float> a) {
-  double sum = 0.0;
-  for (float x : a) sum += double(x) * double(x);
-  return sum;
+  return simd::SquaredNorm(a.data(), a.size());
 }
 
 double Norm(std::span<const float> a) { return std::sqrt(SquaredNorm(a)); }
 
 double L1Norm(std::span<const float> a) {
-  double sum = 0.0;
-  for (float x : a) sum += std::fabs(double(x));
-  return sum;
+  return simd::L1Norm(a.data(), a.size());
 }
 
 double LpDistance(std::span<const float> a, std::span<const float> b, int p) {
   KGE_DCHECK(a.size() == b.size());
   KGE_DCHECK(p == 1 || p == 2);
-  double sum = 0.0;
-  if (p == 1) {
-    for (size_t d = 0; d < a.size(); ++d)
-      sum += std::fabs(double(a[d]) - double(b[d]));
-  } else {
-    for (size_t d = 0; d < a.size(); ++d) {
-      const double diff = double(a[d]) - double(b[d]);
-      sum += diff * diff;
-    }
-  }
-  return sum;
+  if (p == 1) return simd::L1Distance(a.data(), b.data(), a.size());
+  return simd::SquaredL2Distance(a.data(), b.data(), a.size());
 }
 
 void NormalizeL2(std::span<float> a) {
   const double norm = Norm(a);
   if (norm <= 0.0) return;
   const float inv = static_cast<float>(1.0 / norm);
-  for (float& x : a) x *= inv;
+  simd::Scale(a.data(), inv, a.size());
 }
 
 double MaxAbsDiff(std::span<const float> a, std::span<const float> b) {
   KGE_DCHECK(a.size() == b.size());
-  double max_diff = 0.0;
-  for (size_t d = 0; d < a.size(); ++d) {
-    const double diff = std::fabs(double(a[d]) - double(b[d]));
-    if (diff > max_diff) max_diff = diff;
-  }
-  return max_diff;
+  return simd::MaxAbsDiff(a.data(), b.data(), a.size());
 }
 
 }  // namespace kge

@@ -1,7 +1,8 @@
-// Dense float vector kernels used by the scoring and gradient code. All
-// kernels are branch-free inner loops the compiler can auto-vectorize.
-// Reductions accumulate in double to keep ranking scores stable at
-// D = several hundred.
+// Dense float vector kernels used by the scoring and gradient code: the
+// std::span layer over the ISA dispatch in math/simd.h (AVX2+FMA, NEON,
+// or scalar — selected at compile time). Reductions accumulate in double
+// (8 interleaved partial sums; see simd.h's numerics contract) to keep
+// ranking scores stable at D = several hundred.
 #ifndef KGE_MATH_VEC_OPS_H_
 #define KGE_MATH_VEC_OPS_H_
 
@@ -12,6 +13,13 @@ namespace kge {
 
 // Σ a_d b_d
 double Dot(std::span<const float> a, std::span<const float> b);
+
+// out[row] = float(Dot(v, rows[row])) where `rows` is a row-major
+// out.size() × v.size() matrix — the fold-then-dot ranking step executed
+// as one tiled matrix-vector product (see simd::DotBatch). Guaranteed to
+// produce exactly float(Dot(v, row)) per row.
+void DotBatch(std::span<const float> v, std::span<const float> rows,
+              std::span<float> out);
 
 // Σ a_d b_d c_d — the trilinear product ⟨a,b,c⟩ of Eq. (3).
 double TrilinearDot(std::span<const float> a, std::span<const float> b,

@@ -4,6 +4,7 @@
 
 #include "math/vec_ops.h"
 #include "util/check.h"
+#include "util/scratch.h"
 #include "util/string_utils.h"
 
 namespace kge {
@@ -56,7 +57,9 @@ void ConvE::ForwardQuery(EntityId head, RelationId relation,
 }
 
 double ConvE::Score(const Triple& triple) const {
-  Activations acts;
+  // Activations hold their vectors across calls (resize becomes a no-op
+  // after the first call on each thread), so scoring never allocates.
+  static thread_local Activations acts;
   ForwardQuery(triple.head, triple.relation, &acts);
   return Dot(acts.projected, entities_.Of(triple.tail)) +
          double(entity_bias_.Row(triple.tail)[0]);
@@ -66,13 +69,12 @@ void ConvE::ScoreAllTails(EntityId head, RelationId relation,
                           std::span<float> out) const {
   KGE_CHECK(out.size() == size_t(entities_.num_ids()));
   // One forward pass; per candidate only a dot product + bias (the
-  // 1-N scoring efficiency ConvE is trained with).
-  Activations acts;
+  // 1-N scoring efficiency ConvE is trained with). The dots run as one
+  // batched pass over the entity table, then the bias column is added.
+  static thread_local Activations acts;
   ForwardQuery(head, relation, &acts);
-  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
-    out[size_t(e)] = static_cast<float>(Dot(acts.projected, entities_.Of(e)) +
-                                        double(entity_bias_.Row(e)[0]));
-  }
+  DotBatch(acts.projected, entities_.block().Flat(), out);
+  Axpy(1.0f, entity_bias_.Flat(), out);
 }
 
 void ConvE::ScoreAllHeads(EntityId tail, RelationId relation,
@@ -81,7 +83,7 @@ void ConvE::ScoreAllHeads(EntityId tail, RelationId relation,
   // No shared computation across candidate heads: full forward each.
   const auto t = entities_.Of(tail);
   const double tail_bias = double(entity_bias_.Row(tail)[0]);
-  Activations acts;
+  static thread_local Activations acts;
   for (int32_t e = 0; e < entities_.num_ids(); ++e) {
     ForwardQuery(e, relation, &acts);
     out[size_t(e)] = static_cast<float>(Dot(acts.projected, t) + tail_bias);
@@ -96,7 +98,7 @@ std::vector<ParameterBlock*> ConvE::Blocks() {
 
 void ConvE::AccumulateGradients(const Triple& triple, float dscore,
                                 GradientBuffer* grads) {
-  Activations acts;
+  static thread_local Activations acts;
   ForwardQuery(triple.head, triple.relation, &acts);
   const auto t = entities_.Of(triple.tail);
 
@@ -105,8 +107,12 @@ void ConvE::AccumulateGradients(const Triple& triple, float dscore,
   std::span<float> gt = grads->GradFor(kEntityBlock, triple.tail);
   Axpy(dscore, acts.projected, gt);
 
-  std::vector<float> dprojected(size_t(dim()), 0.0f);
-  std::vector<float> dfc(size_t(dim()), 0.0f);
+  static thread_local std::vector<float> dprojected_buf, dfc_buf, dconv_buf,
+      dconv_pre_buf, dinput_buf;
+  const std::span<float> dprojected =
+      ScratchSpan(dprojected_buf, size_t(dim()));
+  const std::span<float> dfc = ScratchSpan(dfc_buf, size_t(dim()));
+  std::fill(dfc.begin(), dfc.end(), 0.0f);
   for (size_t i = 0; i < dprojected.size(); ++i) {
     dprojected[i] = dscore * t[i];
   }
@@ -114,16 +120,22 @@ void ConvE::AccumulateGradients(const Triple& triple, float dscore,
   ReluBackward(acts.projected, dprojected, dfc);
 
   // Back through the projection layer into the conv activations.
-  std::vector<float> dconv(size_t(conv_.output_size()), 0.0f);
+  const std::span<float> dconv =
+      ScratchSpan(dconv_buf, size_t(conv_.output_size()));
+  std::fill(dconv.begin(), dconv.end(), 0.0f);
   projection_.Backward(acts.conv_out, acts.fc_out, dfc, grads,
                        kProjectionWeights, kProjectionBias, dconv);
 
   // Back through the conv ReLU (conv_out stored post-ReLU).
-  std::vector<float> dconv_pre(size_t(conv_.output_size()), 0.0f);
+  const std::span<float> dconv_pre =
+      ScratchSpan(dconv_pre_buf, size_t(conv_.output_size()));
+  std::fill(dconv_pre.begin(), dconv_pre.end(), 0.0f);
   ReluBackward(acts.conv_out, dconv, dconv_pre);
 
   // Back through the convolution into the stacked input grids.
-  std::vector<float> dinput(size_t(conv_.input_size()), 0.0f);
+  const std::span<float> dinput =
+      ScratchSpan(dinput_buf, size_t(conv_.input_size()));
+  std::fill(dinput.begin(), dinput.end(), 0.0f);
   conv_.Backward(acts.input, dconv_pre, grads, kConvFilters, kConvBias,
                  dinput);
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/scratch.h"
 
 namespace kge {
 
@@ -35,10 +36,13 @@ void ErMlp::Concatenate(std::span<const float> h, std::span<const float> t,
 }
 
 double ErMlp::Score(const Triple& triple) const {
-  std::vector<float> x(static_cast<size_t>(3 * dim()));
+  static thread_local std::vector<float> x_buf;
+  const std::span<float> x = ScratchSpan(x_buf, static_cast<size_t>(3 * dim()));
   Concatenate(entities_.Of(triple.head), entities_.Of(triple.tail),
               relations_.Of(triple.relation), x);
-  std::vector<float> a(static_cast<size_t>(hidden_dim()));
+  static thread_local std::vector<float> a_buf;
+  const std::span<float> a =
+      ScratchSpan(a_buf, static_cast<size_t>(hidden_dim()));
   hidden_.Forward(x, a);
   float s = 0.0f;
   output_.Forward(a, std::span<float>(&s, 1));
@@ -49,9 +53,13 @@ void ErMlp::ScoreAllTails(EntityId head, RelationId relation,
                           std::span<float> out) const {
   KGE_CHECK(out.size() == size_t(entities_.num_ids()));
   // No fold trick for an MLP: full forward per candidate (the expense the
-  // paper's §2.2.2 critique refers to).
-  std::vector<float> x(static_cast<size_t>(3 * dim()));
-  std::vector<float> a(static_cast<size_t>(hidden_dim()));
+  // paper's §2.2.2 critique refers to). Scratch still makes the outer call
+  // allocation-free.
+  static thread_local std::vector<float> x_buf;
+  static thread_local std::vector<float> a_buf;
+  const std::span<float> x = ScratchSpan(x_buf, static_cast<size_t>(3 * dim()));
+  const std::span<float> a =
+      ScratchSpan(a_buf, static_cast<size_t>(hidden_dim()));
   const auto h = entities_.Of(head);
   const auto r = relations_.Of(relation);
   for (int32_t e = 0; e < entities_.num_ids(); ++e) {
@@ -66,8 +74,11 @@ void ErMlp::ScoreAllTails(EntityId head, RelationId relation,
 void ErMlp::ScoreAllHeads(EntityId tail, RelationId relation,
                           std::span<float> out) const {
   KGE_CHECK(out.size() == size_t(entities_.num_ids()));
-  std::vector<float> x(static_cast<size_t>(3 * dim()));
-  std::vector<float> a(static_cast<size_t>(hidden_dim()));
+  static thread_local std::vector<float> x_buf;
+  static thread_local std::vector<float> a_buf;
+  const std::span<float> x = ScratchSpan(x_buf, static_cast<size_t>(3 * dim()));
+  const std::span<float> a =
+      ScratchSpan(a_buf, static_cast<size_t>(hidden_dim()));
   const auto t = entities_.Of(tail);
   const auto r = relations_.Of(relation);
   for (int32_t e = 0; e < entities_.num_ids(); ++e) {
@@ -87,20 +98,27 @@ std::vector<ParameterBlock*> ErMlp::Blocks() {
 void ErMlp::AccumulateGradients(const Triple& triple, float dscore,
                                 GradientBuffer* grads) {
   const size_t d = size_t(dim());
-  std::vector<float> x(3 * d);
+  static thread_local std::vector<float> x_buf;
+  const std::span<float> x = ScratchSpan(x_buf, 3 * d);
   Concatenate(entities_.Of(triple.head), entities_.Of(triple.tail),
               relations_.Of(triple.relation), x);
-  std::vector<float> a(static_cast<size_t>(hidden_dim()));
+  static thread_local std::vector<float> a_buf;
+  const std::span<float> a = ScratchSpan(a_buf, size_t(hidden_dim()));
   hidden_.Forward(x, a);
   float s = 0.0f;
   output_.Forward(a, std::span<float>(&s, 1));
 
   // Backprop: output layer -> hidden activations -> hidden layer -> x.
-  std::vector<float> da(size_t(hidden_dim()), 0.0f);
+  // Both deltas are accumulated into, so zero the reused scratch first.
+  static thread_local std::vector<float> da_buf;
+  const std::span<float> da = ScratchSpan(da_buf, size_t(hidden_dim()));
+  std::fill(da.begin(), da.end(), 0.0f);
   output_.Backward(a, std::span<const float>(&s, 1),
                    std::span<const float>(&dscore, 1), grads, kOutputWeights,
                    kOutputBias, da);
-  std::vector<float> dx(3 * d, 0.0f);
+  static thread_local std::vector<float> dx_buf;
+  const std::span<float> dx = ScratchSpan(dx_buf, 3 * d);
+  std::fill(dx.begin(), dx.end(), 0.0f);
   hidden_.Backward(x, a, da, grads, kHiddenWeights, kHiddenBias, dx);
 
   // Split dx into the three embedding gradients.

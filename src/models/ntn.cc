@@ -1,11 +1,13 @@
 #include "models/ntn.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "math/activations.h"
 #include "math/vec_ops.h"
 #include "util/check.h"
+#include "util/scratch.h"
 
 namespace kge {
 
@@ -86,7 +88,9 @@ void Ntn::SlicePreactivations(std::span<const float> h,
 }
 
 double Ntn::Score(const Triple& triple) const {
-  std::vector<double> z(static_cast<size_t>(num_slices_));
+  static thread_local std::vector<double> z_buf;
+  const std::span<double> z =
+      ScratchSpan(z_buf, static_cast<size_t>(num_slices_));
   SlicePreactivations(entities_.Of(triple.head), entities_.Of(triple.tail),
                       triple.relation, z);
   const RelationView view = ViewOf(triple.relation);
@@ -106,8 +110,12 @@ void Ntn::ScoreAllTails(EntityId head, RelationId relation,
   const RelationView view = ViewOf(relation);
   const size_t d = size_t(dim());
   const size_t k = size_t(num_slices_);
-  std::vector<double> hw(k * d, 0.0);
-  std::vector<double> h_linear(k, 0.0);
+  static thread_local std::vector<double> hw_buf;
+  static thread_local std::vector<double> h_linear_buf;
+  const std::span<double> hw = ScratchSpan(hw_buf, k * d);
+  const std::span<double> h_linear = ScratchSpan(h_linear_buf, k);
+  std::fill(hw.begin(), hw.end(), 0.0);
+  std::fill(h_linear.begin(), h_linear.end(), 0.0);
   for (size_t slice = 0; slice < k; ++slice) {
     const float* w = view.w.data() + slice * d * d;
     for (size_t a = 0; a < d; ++a) {
@@ -142,8 +150,11 @@ void Ntn::ScoreAllHeads(EntityId tail, RelationId relation,
   const size_t d = size_t(dim());
   const size_t k = size_t(num_slices_);
   // Precompute per-slice W t and tᵀV_t.
-  std::vector<double> wt(k * d, 0.0);
-  std::vector<double> t_linear(k, 0.0);
+  static thread_local std::vector<double> wt_buf;
+  static thread_local std::vector<double> t_linear_buf;
+  const std::span<double> wt = ScratchSpan(wt_buf, k * d);
+  const std::span<double> t_linear = ScratchSpan(t_linear_buf, k);
+  std::fill(t_linear.begin(), t_linear.end(), 0.0);
   for (size_t slice = 0; slice < k; ++slice) {
     const float* w = view.w.data() + slice * d * d;
     for (size_t a = 0; a < d; ++a) {
@@ -183,7 +194,8 @@ void Ntn::AccumulateGradients(const Triple& triple, float dscore,
   const size_t d = size_t(dim());
   const size_t k = size_t(num_slices_);
 
-  std::vector<double> z(k);
+  static thread_local std::vector<double> z_buf;
+  const std::span<double> z = ScratchSpan(z_buf, k);
   SlicePreactivations(h, t, triple.relation, z);
 
   std::span<float> gh = grads->GradFor(kEntityBlock, triple.head);

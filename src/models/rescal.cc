@@ -4,6 +4,7 @@
 
 #include "math/vec_ops.h"
 #include "util/check.h"
+#include "util/scratch.h"
 
 namespace kge {
 
@@ -46,16 +47,16 @@ void Rescal::ScoreAllTails(EntityId head, RelationId relation,
   const auto h = entities_.Of(head);
   const auto w = MatrixOf(relation);
   const int32_t d = dim();
-  // v = hᵀ W_r (one D² pass), then score(t) = v · t per candidate.
-  std::vector<float> v(size_t(d), 0.0f);
+  // v = hᵀ W_r (one D² pass), then one batched v · t over all candidates.
+  static thread_local std::vector<float> v_buf;
+  const std::span<float> v = ScratchSpan(v_buf, size_t(d));
+  Fill(v, 0.0f);
   for (int32_t a = 0; a < d; ++a) {
     const float ha = h[size_t(a)];
     const float* w_row = w.data() + size_t(a) * size_t(d);
     for (int32_t b = 0; b < d; ++b) v[size_t(b)] += ha * w_row[b];
   }
-  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
-    out[size_t(e)] = static_cast<float>(Dot(v, entities_.Of(e)));
-  }
+  DotBatch(v, entities_.block().Flat(), out);
 }
 
 void Rescal::ScoreAllHeads(EntityId tail, RelationId relation,
@@ -64,18 +65,15 @@ void Rescal::ScoreAllHeads(EntityId tail, RelationId relation,
   const auto t = entities_.Of(tail);
   const auto w = MatrixOf(relation);
   const int32_t d = dim();
-  // u = W_r t, then score(h) = h · u.
-  std::vector<float> u(size_t(d), 0.0f);
+  // u = W_r t, then one batched h · u over all candidates.
+  static thread_local std::vector<float> u_buf;
+  const std::span<float> u = ScratchSpan(u_buf, size_t(d));
   for (int32_t a = 0; a < d; ++a) {
     const float* w_row = w.data() + size_t(a) * size_t(d);
-    double row = 0.0;
-    for (int32_t b = 0; b < d; ++b)
-      row += double(w_row[b]) * double(t[size_t(b)]);
-    u[size_t(a)] = static_cast<float>(row);
+    u[size_t(a)] = static_cast<float>(Dot(
+        std::span<const float>(w_row, size_t(d)), t));
   }
-  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
-    out[size_t(e)] = static_cast<float>(Dot(entities_.Of(e), u));
-  }
+  DotBatch(u, entities_.block().Flat(), out);
 }
 
 std::vector<ParameterBlock*> Rescal::Blocks() {

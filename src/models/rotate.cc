@@ -5,6 +5,7 @@
 
 #include "math/vec_ops.h"
 #include "util/check.h"
+#include "util/scratch.h"
 
 namespace kge {
 
@@ -44,7 +45,11 @@ void RotatE::RotateHead(std::span<const float> h, RelationId relation,
 
 double RotatE::Score(const Triple& triple) const {
   const int32_t d = dim();
-  std::vector<float> hr_re(static_cast<size_t>(d)), hr_im(static_cast<size_t>(d));
+  static thread_local std::vector<float> rotated_buf;
+  const std::span<float> rotated =
+      ScratchSpan(rotated_buf, 2 * static_cast<size_t>(d));
+  const std::span<float> hr_re = rotated.subspan(0, size_t(d));
+  const std::span<float> hr_im = rotated.subspan(size_t(d), size_t(d));
   RotateHead(entities_.Of(triple.head), triple.relation, hr_re, hr_im);
   const auto t = entities_.Of(triple.tail);
   const auto t_re = t.subspan(0, size_t(d));
@@ -62,9 +67,11 @@ void RotatE::ScoreAllTails(EntityId head, RelationId relation,
                            std::span<float> out) const {
   KGE_CHECK(out.size() == size_t(entities_.num_ids()));
   const int32_t d = dim();
-  std::vector<float> rotated(2 * size_t(d));
-  std::span<float> hr_re(rotated.data(), size_t(d));
-  std::span<float> hr_im(rotated.data() + d, size_t(d));
+  static thread_local std::vector<float> rotated_buf;
+  const std::span<float> rotated =
+      ScratchSpan(rotated_buf, 2 * size_t(d));
+  const std::span<float> hr_re = rotated.subspan(0, size_t(d));
+  const std::span<float> hr_im = rotated.subspan(size_t(d), size_t(d));
   RotateHead(entities_.Of(head), relation, hr_re, hr_im);
   // ||rotated − t||² over the concatenated (re | im) layout.
   for (int32_t e = 0; e < entities_.num_ids(); ++e) {
@@ -81,7 +88,8 @@ void RotatE::ScoreAllHeads(EntityId tail, RelationId relation,
   const int32_t d = dim();
   const auto theta = phases_.Of(relation);
   const auto t = entities_.Of(tail);
-  std::vector<float> target(2 * size_t(d));
+  static thread_local std::vector<float> target_buf;
+  const std::span<float> target = ScratchSpan(target_buf, 2 * size_t(d));
   for (int32_t i = 0; i < d; ++i) {
     const float c = std::cos(theta[size_t(i)]);
     const float s = std::sin(theta[size_t(i)]);

@@ -5,6 +5,7 @@
 
 #include "math/vec_ops.h"
 #include "util/check.h"
+#include "util/scratch.h"
 #include "util/string_utils.h"
 
 namespace kge {
@@ -48,7 +49,8 @@ void TransE::ScoreAllTails(EntityId head, RelationId relation,
   KGE_CHECK(out.size() == size_t(entities_.num_ids()));
   const auto h = entities_.Of(head);
   const auto r = relations_.Of(relation);
-  std::vector<float> translated(h.size());
+  static thread_local std::vector<float> translated_buf;
+  const std::span<float> translated = ScratchSpan(translated_buf, h.size());
   for (size_t d = 0; d < h.size(); ++d) translated[d] = h[d] + r[d];
   for (int32_t e = 0; e < entities_.num_ids(); ++e) {
     out[size_t(e)] = static_cast<float>(
@@ -62,7 +64,8 @@ void TransE::ScoreAllHeads(EntityId tail, RelationId relation,
   const auto t = entities_.Of(tail);
   const auto r = relations_.Of(relation);
   // ||h + r − t|| = ||h − (t − r)||.
-  std::vector<float> target(t.size());
+  static thread_local std::vector<float> target_buf;
+  const std::span<float> target = ScratchSpan(target_buf, t.size());
   for (size_t d = 0; d < t.size(); ++d) target[d] = t[d] - r[d];
   for (int32_t e = 0; e < entities_.num_ids(); ++e) {
     out[size_t(e)] =

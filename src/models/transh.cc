@@ -4,6 +4,7 @@
 
 #include "math/vec_ops.h"
 #include "util/check.h"
+#include "util/scratch.h"
 
 namespace kge {
 
@@ -41,7 +42,9 @@ void TransH::ProjectedDifference(std::span<const float> h,
 }
 
 double TransH::Score(const Triple& triple) const {
-  std::vector<float> diff(static_cast<size_t>(dim()));
+  static thread_local std::vector<float> diff_buf;
+  const std::span<float> diff =
+      ScratchSpan(diff_buf, static_cast<size_t>(dim()));
   ProjectedDifference(entities_.Of(triple.head), entities_.Of(triple.tail),
                       triple.relation, diff);
   return -SquaredNorm(diff);
@@ -55,12 +58,15 @@ void TransH::ScoreAllTails(EntityId head, RelationId relation,
   const auto d = translations_.Of(relation);
   const auto w = normals_.Of(relation);
   const int32_t n = dim();
-  std::vector<float> base(static_cast<size_t>(n));
+  static thread_local std::vector<float> base_buf;
+  const std::span<float> base = ScratchSpan(base_buf, static_cast<size_t>(n));
   const double alpha = Dot(w, h);
   for (int32_t i = 0; i < n; ++i) {
     base[size_t(i)] = h[size_t(i)] - float(alpha) * w[size_t(i)] + d[size_t(i)];
   }
-  std::vector<float> t_proj(static_cast<size_t>(n));
+  static thread_local std::vector<float> t_proj_buf;
+  const std::span<float> t_proj =
+      ScratchSpan(t_proj_buf, static_cast<size_t>(n));
   for (int32_t e = 0; e < entities_.num_ids(); ++e) {
     const auto t = entities_.Of(e);
     const double beta = Dot(w, t);
@@ -78,13 +84,17 @@ void TransH::ScoreAllHeads(EntityId tail, RelationId relation,
   const auto d = translations_.Of(relation);
   const auto w = normals_.Of(relation);
   const int32_t n = dim();
-  std::vector<float> target(static_cast<size_t>(n));  // t⊥ − d
+  static thread_local std::vector<float> target_buf;  // t⊥ − d
+  const std::span<float> target =
+      ScratchSpan(target_buf, static_cast<size_t>(n));
   const double beta = Dot(w, t);
   for (int32_t i = 0; i < n; ++i) {
     target[size_t(i)] =
         t[size_t(i)] - float(beta) * w[size_t(i)] - d[size_t(i)];
   }
-  std::vector<float> h_proj(static_cast<size_t>(n));
+  static thread_local std::vector<float> h_proj_buf;
+  const std::span<float> h_proj =
+      ScratchSpan(h_proj_buf, static_cast<size_t>(n));
   for (int32_t e = 0; e < entities_.num_ids(); ++e) {
     const auto h = entities_.Of(e);
     const double alpha = Dot(w, h);
@@ -105,11 +115,13 @@ void TransH::AccumulateGradients(const Triple& triple, float dscore,
   const auto t = entities_.Of(triple.tail);
   const auto w = normals_.Of(triple.relation);
   const int32_t n = dim();
-  std::vector<float> diff(static_cast<size_t>(n));
+  static thread_local std::vector<float> diff_buf;
+  const std::span<float> diff = ScratchSpan(diff_buf, static_cast<size_t>(n));
   ProjectedDifference(h, t, triple.relation, diff);
 
   // g = dscore * dS/ddiff = -2 * dscore * diff.
-  std::vector<float> g(static_cast<size_t>(n));
+  static thread_local std::vector<float> g_buf;
+  const std::span<float> g = ScratchSpan(g_buf, static_cast<size_t>(n));
   for (int32_t i = 0; i < n; ++i) g[size_t(i)] = -2.0f * dscore * diff[size_t(i)];
 
   std::span<float> gh = grads->GradFor(kEntityBlock, triple.head);

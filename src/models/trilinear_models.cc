@@ -4,6 +4,7 @@
 
 #include "math/vec_ops.h"
 #include "util/check.h"
+#include "util/scratch.h"
 
 namespace kge {
 
@@ -35,23 +36,26 @@ double MultiEmbeddingModel::Score(const Triple& triple) const {
 void MultiEmbeddingModel::ScoreAllTails(EntityId head, RelationId relation,
                                         std::span<float> out) const {
   KGE_CHECK(out.size() == size_t(entities_.num_ids()));
-  std::vector<float> fold(size_t(weights_.ne()) * size_t(dim_));
+  // Fold once into per-thread scratch, then one tiled matrix-vector
+  // product over the whole entity table (rows are contiguous in the
+  // parameter block). Zero heap allocations at steady state.
+  static thread_local std::vector<float> fold_buf;
+  const std::span<float> fold =
+      ScratchSpan(fold_buf, size_t(weights_.ne()) * size_t(dim_));
   FoldForTail(weights_, dim_, entities_.Of(head), relations_.Of(relation),
               fold);
-  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
-    out[size_t(e)] = static_cast<float>(Dot(fold, entities_.Of(e)));
-  }
+  DotBatch(fold, entities_.block().Flat(), out);
 }
 
 void MultiEmbeddingModel::ScoreAllHeads(EntityId tail, RelationId relation,
                                         std::span<float> out) const {
   KGE_CHECK(out.size() == size_t(entities_.num_ids()));
-  std::vector<float> fold(size_t(weights_.ne()) * size_t(dim_));
+  static thread_local std::vector<float> fold_buf;
+  const std::span<float> fold =
+      ScratchSpan(fold_buf, size_t(weights_.ne()) * size_t(dim_));
   FoldForHead(weights_, dim_, entities_.Of(tail), relations_.Of(relation),
               fold);
-  for (int32_t e = 0; e < entities_.num_ids(); ++e) {
-    out[size_t(e)] = static_cast<float>(Dot(fold, entities_.Of(e)));
-  }
+  DotBatch(fold, entities_.block().Flat(), out);
 }
 
 std::vector<ParameterBlock*> MultiEmbeddingModel::Blocks() {

@@ -14,7 +14,9 @@
 
 #include "kg/filter_index.h"
 #include "kg/triple.h"
+#include "math/simd.h"
 #include "models/model_factory.h"
+#include "models/trilinear_models.h"
 
 namespace kge {
 namespace {
@@ -115,6 +117,102 @@ TEST_F(EvaluatorConcurrencyTest, RepeatedParallelRunsAreStable) {
   for (int run = 0; run < 3; ++run) {
     ExpectSameMetrics(first.overall,
                       evaluator.Evaluate(*model_, triples_, options).overall);
+  }
+}
+
+// A read-only twin of a MultiEmbeddingModel that bypasses the SIMD
+// dispatch layer entirely: folds and dots are computed with the naive
+// sequential references in simd::ref against the *same* parameters.
+// Only the scoring interface the evaluator uses is implemented.
+class NaiveReferenceModel : public KgeModel {
+ public:
+  explicit NaiveReferenceModel(const MultiEmbeddingModel* base)
+      : name_("NaiveRef-" + base->name()), base_(base) {}
+
+  const std::string& name() const override { return name_; }
+  int32_t num_entities() const override { return base_->num_entities(); }
+  int32_t num_relations() const override { return base_->num_relations(); }
+
+  double Score(const Triple& triple) const override {
+    const WeightTable& w = base_->weights();
+    const size_t d = size_t(base_->dim());
+    const auto h = base_->entity_store().Of(triple.head);
+    const auto t = base_->entity_store().Of(triple.tail);
+    const auto r = base_->relation_store().Of(triple.relation);
+    double score = 0.0;
+    for (const WeightTable::Term& term : w.terms()) {
+      score += double(term.weight) *
+               simd::ref::TrilinearDot(h.data() + size_t(term.i) * d,
+                                       t.data() + size_t(term.j) * d,
+                                       r.data() + size_t(term.k) * d, d);
+    }
+    return score;
+  }
+
+  void ScoreAllTails(EntityId head, RelationId relation,
+                     std::span<float> out) const override {
+    NaiveFold(base_->entity_store().Of(head),
+              base_->relation_store().Of(relation), /*fold_for_tail=*/true,
+              out);
+  }
+
+  void ScoreAllHeads(EntityId tail, RelationId relation,
+                     std::span<float> out) const override {
+    NaiveFold(base_->entity_store().Of(tail),
+              base_->relation_store().Of(relation), /*fold_for_tail=*/false,
+              out);
+  }
+
+  std::vector<ParameterBlock*> Blocks() override { return {}; }
+  void AccumulateGradients(const Triple&, float, GradientBuffer*) override {}
+  void NormalizeEntities(std::span<const EntityId>) override {}
+  void InitParameters(uint64_t) override {}
+
+ private:
+  void NaiveFold(std::span<const float> e, std::span<const float> r,
+                 bool fold_for_tail, std::span<float> out) const {
+    const WeightTable& w = base_->weights();
+    const size_t d = size_t(base_->dim());
+    std::vector<float> fold(size_t(w.ne()) * d, 0.0f);
+    for (const WeightTable::Term& term : w.terms()) {
+      const size_t e_at = size_t(fold_for_tail ? term.i : term.j) * d;
+      const size_t out_at = size_t(fold_for_tail ? term.j : term.i) * d;
+      simd::ref::HadamardAxpy(term.weight, e.data() + e_at,
+                              r.data() + size_t(term.k) * d,
+                              fold.data() + out_at, d);
+    }
+    for (int32_t c = 0; c < base_->num_entities(); ++c) {
+      const auto cand = base_->entity_store().Of(c);
+      out[size_t(c)] =
+          float(simd::ref::Dot(fold.data(), cand.data(), fold.size()));
+    }
+  }
+
+  std::string name_;
+  const MultiEmbeddingModel* base_;
+};
+
+// The acceptance check for the SIMD layer: ranking with the dispatch
+// kernels (whatever ISA this binary targets) must produce the same
+// filtered metrics as a naive scalar re-implementation sharing the same
+// parameters. Scores may differ by reassociation ulps, but never enough
+// to move a rank on this workload.
+TEST_F(EvaluatorConcurrencyTest, SimdAndNaiveScalarScoringAgreeOnMetrics) {
+  std::unique_ptr<MultiEmbeddingModel> complex_model =
+      MakeComplEx(kEntities, kRelations, /*dim=*/16, /*seed=*/1234);
+  NaiveReferenceModel reference(complex_model.get());
+
+  Evaluator evaluator(&filter_, kRelations);
+  for (const bool filtered : {true, false}) {
+    EvalOptions options;
+    options.filtered = filtered;
+    options.num_threads = 2;
+    SCOPED_TRACE(filtered ? "filtered" : "raw");
+    const EvalResult simd_result =
+        evaluator.Evaluate(*complex_model, triples_, options);
+    const EvalResult ref_result =
+        evaluator.Evaluate(reference, triples_, options);
+    ExpectSameMetrics(simd_result.overall, ref_result.overall);
   }
 }
 

@@ -1,0 +1,300 @@
+// Kernel-equivalence suite for the SIMD dispatch layer (math/simd.h).
+//
+// Two kinds of guarantees are checked, for whatever ISA this binary was
+// compiled with (scalar, AVX2+FMA, or NEON):
+//
+//  1. Contract tests — the reductions must reproduce the documented
+//     8-lane double accumulation scheme *bit for bit*, and DotBatch must
+//     equal float(Dot(v, row)) per row exactly. These are what make
+//     ranking metrics identical between scalar and SIMD builds.
+//  2. Reference tests — every kernel must agree with the naive
+//     sequential implementations in simd::ref up to reassociation error
+//     (exact for the elementwise kernels, tight tolerance for the
+//     reductions).
+//
+// Sizes deliberately sweep 1..67 so every vector-width remainder path
+// (n mod 8 for AVX2, n mod 4 for NEON) is exercised, plus larger sizes
+// for the tiled batch kernel.
+#include "math/simd.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kge::simd {
+namespace {
+
+std::vector<float> RandomVector(Rng* rng, size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) x = rng->NextUniform(-2.0f, 2.0f);
+  return v;
+}
+
+// The documented accumulation scheme, written as plainly as possible:
+// element d contributes to partial d % 8; fixed pairwise combine.
+double EightLane(const std::vector<double>& terms) {
+  double p[kAccumulatorLanes] = {0.0};
+  for (size_t d = 0; d < terms.size(); ++d) {
+    p[d % kAccumulatorLanes] += terms[d];
+  }
+  const double s01 = p[0] + p[1];
+  const double s23 = p[2] + p[3];
+  const double s45 = p[4] + p[5];
+  const double s67 = p[6] + p[7];
+  const double lo = s01 + s23;
+  const double hi = s45 + s67;
+  return lo + hi;
+}
+
+// Sizes covering every remainder class of the 4- and 8-wide loops.
+std::vector<size_t> TestSizes() {
+  std::vector<size_t> sizes;
+  for (size_t n = 1; n <= 67; ++n) sizes.push_back(n);
+  sizes.push_back(128);
+  sizes.push_back(255);
+  sizes.push_back(256);
+  sizes.push_back(1000);
+  return sizes;
+}
+
+TEST(SimdTest, ActiveIsaIsNamed) {
+  const char* name = IsaName();
+  switch (ActiveIsa()) {
+    case Isa::kScalar:
+      EXPECT_STREQ(name, "scalar");
+      break;
+    case Isa::kAvx2Fma:
+      EXPECT_STREQ(name, "avx2+fma");
+      break;
+    case Isa::kNeon:
+      EXPECT_STREQ(name, "neon");
+      break;
+  }
+}
+
+// ---- Contract tests: bit-exact against the 8-lane scheme -------------------
+
+TEST(SimdTest, DotMatchesEightLaneSchemeExactly) {
+  Rng rng(42);
+  for (size_t n : TestSizes()) {
+    const auto a = RandomVector(&rng, n);
+    const auto b = RandomVector(&rng, n);
+    std::vector<double> terms(n);
+    for (size_t d = 0; d < n; ++d) terms[d] = double(a[d]) * double(b[d]);
+    // Bit-exact: FMA on exact double products rounds identically.
+    EXPECT_EQ(Dot(a.data(), b.data(), n), EightLane(terms)) << "n=" << n;
+  }
+}
+
+TEST(SimdTest, SquaredNormMatchesEightLaneSchemeExactly) {
+  Rng rng(43);
+  for (size_t n : TestSizes()) {
+    const auto a = RandomVector(&rng, n);
+    std::vector<double> terms(n);
+    for (size_t d = 0; d < n; ++d) terms[d] = double(a[d]) * double(a[d]);
+    EXPECT_EQ(SquaredNorm(a.data(), n), EightLane(terms)) << "n=" << n;
+  }
+}
+
+TEST(SimdTest, TrilinearDotMatchesEightLaneSchemeExactly) {
+  Rng rng(44);
+  for (size_t n : TestSizes()) {
+    const auto a = RandomVector(&rng, n);
+    const auto b = RandomVector(&rng, n);
+    const auto c = RandomVector(&rng, n);
+    std::vector<double> terms(n);
+    for (size_t d = 0; d < n; ++d) {
+      // Same rounding points as the kernel: ab rounds, then ab·c rounds.
+      const double ab = double(a[d]) * double(b[d]);
+      terms[d] = ab * double(c[d]);
+    }
+    EXPECT_EQ(TrilinearDot(a.data(), b.data(), c.data(), n), EightLane(terms))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdTest, SquaredL2DistanceMatchesEightLaneSchemeExactly) {
+  Rng rng(45);
+  for (size_t n : TestSizes()) {
+    const auto a = RandomVector(&rng, n);
+    const auto b = RandomVector(&rng, n);
+    std::vector<double> terms(n);
+    for (size_t d = 0; d < n; ++d) {
+      const double diff = double(a[d]) - double(b[d]);
+      terms[d] = diff * diff;
+    }
+    EXPECT_EQ(SquaredL2Distance(a.data(), b.data(), n), EightLane(terms))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdTest, L1KernelsMatchEightLaneSchemeExactly) {
+  Rng rng(46);
+  for (size_t n : TestSizes()) {
+    const auto a = RandomVector(&rng, n);
+    const auto b = RandomVector(&rng, n);
+    std::vector<double> norm_terms(n);
+    std::vector<double> dist_terms(n);
+    for (size_t d = 0; d < n; ++d) {
+      norm_terms[d] = std::fabs(double(a[d]));
+      dist_terms[d] = std::fabs(double(a[d]) - double(b[d]));
+    }
+    EXPECT_EQ(L1Norm(a.data(), n), EightLane(norm_terms)) << "n=" << n;
+    EXPECT_EQ(L1Distance(a.data(), b.data(), n), EightLane(dist_terms))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdTest, DotBatchRowsEqualSingleDotExactly) {
+  Rng rng(47);
+  // Row counts around the tile width so full tiles, remainder rows, and
+  // the empty case are all hit.
+  for (size_t num_rows : {size_t(0), size_t(1), size_t(3), size_t(4),
+                          size_t(5), size_t(7), size_t(8), size_t(33)}) {
+    for (size_t n : {size_t(1), size_t(7), size_t(8), size_t(24), size_t(67),
+                     size_t(256)}) {
+      const auto v = RandomVector(&rng, n);
+      const auto rows = RandomVector(&rng, num_rows * n);
+      std::vector<float> out(num_rows, -1.0f);
+      DotBatch(v.data(), rows.data(), num_rows, n, out.data());
+      for (size_t row = 0; row < num_rows; ++row) {
+        const float expected = float(Dot(v.data(), rows.data() + row * n, n));
+        EXPECT_EQ(out[row], expected) << "row=" << row << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdTest, TripleGradAxpyEqualsThreeHadamardAxpyExactly) {
+  Rng rng(48);
+  for (size_t n : TestSizes()) {
+    const auto h = RandomVector(&rng, n);
+    const auto t = RandomVector(&rng, n);
+    const auto r = RandomVector(&rng, n);
+    const float w = rng.NextUniform(-1.5f, 1.5f);
+    auto gh = RandomVector(&rng, n);
+    auto gt = RandomVector(&rng, n);
+    auto gr = RandomVector(&rng, n);
+    auto gh2 = gh, gt2 = gt, gr2 = gr;
+
+    TripleGradAxpy(w, h.data(), t.data(), r.data(), gh.data(), gt.data(),
+                   gr.data(), n);
+    HadamardAxpy(w, t.data(), r.data(), gh2.data(), n);
+    HadamardAxpy(w, h.data(), r.data(), gt2.data(), n);
+    HadamardAxpy(w, h.data(), t.data(), gr2.data(), n);
+
+    EXPECT_EQ(gh, gh2) << "n=" << n;
+    EXPECT_EQ(gt, gt2) << "n=" << n;
+    EXPECT_EQ(gr, gr2) << "n=" << n;
+  }
+}
+
+// ---- Reference tests: against the naive sequential implementations ---------
+
+// Reassociating a double sum of n O(1) terms perturbs it by at most a few
+// n·eps; 1e-9 is orders of magnitude above that for n <= 1000 while still
+// catching any real kernel bug.
+constexpr double kReassocTol = 1e-9;
+
+TEST(SimdTest, ReductionsMatchNaiveReference) {
+  Rng rng(49);
+  for (size_t n : TestSizes()) {
+    const auto a = RandomVector(&rng, n);
+    const auto b = RandomVector(&rng, n);
+    const auto c = RandomVector(&rng, n);
+    EXPECT_NEAR(Dot(a.data(), b.data(), n), ref::Dot(a.data(), b.data(), n),
+                kReassocTol);
+    EXPECT_NEAR(TrilinearDot(a.data(), b.data(), c.data(), n),
+                ref::TrilinearDot(a.data(), b.data(), c.data(), n),
+                kReassocTol);
+    EXPECT_NEAR(SquaredNorm(a.data(), n), ref::SquaredNorm(a.data(), n),
+                kReassocTol);
+    EXPECT_NEAR(L1Norm(a.data(), n), ref::L1Norm(a.data(), n), kReassocTol);
+    EXPECT_NEAR(L1Distance(a.data(), b.data(), n),
+                ref::L1Distance(a.data(), b.data(), n), kReassocTol);
+    EXPECT_NEAR(SquaredL2Distance(a.data(), b.data(), n),
+                ref::SquaredL2Distance(a.data(), b.data(), n), kReassocTol);
+    // Max is order-independent: exact.
+    EXPECT_EQ(MaxAbsDiff(a.data(), b.data(), n),
+              ref::MaxAbsDiff(a.data(), b.data(), n));
+  }
+}
+
+TEST(SimdTest, ElementwiseKernelsMatchNaiveReferenceExactly) {
+  Rng rng(50);
+  for (size_t n : TestSizes()) {
+    const auto a = RandomVector(&rng, n);
+    const auto b = RandomVector(&rng, n);
+    const float scale = rng.NextUniform(-1.5f, 1.5f);
+
+    std::vector<float> out(n), out_ref(n);
+    Hadamard(a.data(), b.data(), out.data(), n);
+    ref::Hadamard(a.data(), b.data(), out_ref.data(), n);
+    EXPECT_EQ(out, out_ref) << "Hadamard n=" << n;
+
+    auto acc = RandomVector(&rng, n);
+    auto acc_ref = acc;
+    HadamardAxpy(scale, a.data(), b.data(), acc.data(), n);
+    ref::HadamardAxpy(scale, a.data(), b.data(), acc_ref.data(), n);
+    EXPECT_EQ(acc, acc_ref) << "HadamardAxpy n=" << n;
+
+    auto axpy = RandomVector(&rng, n);
+    auto axpy_ref = axpy;
+    Axpy(scale, a.data(), axpy.data(), n);
+    ref::Axpy(scale, a.data(), axpy_ref.data(), n);
+    EXPECT_EQ(axpy, axpy_ref) << "Axpy n=" << n;
+  }
+}
+
+TEST(SimdTest, DotBatchMatchesNaiveReference) {
+  Rng rng(51);
+  const size_t num_rows = 37;
+  for (size_t n : {size_t(1), size_t(13), size_t(64), size_t(67)}) {
+    const auto v = RandomVector(&rng, n);
+    const auto rows = RandomVector(&rng, num_rows * n);
+    std::vector<float> out(num_rows), out_ref(num_rows);
+    DotBatch(v.data(), rows.data(), num_rows, n, out.data());
+    ref::DotBatch(v.data(), rows.data(), num_rows, n, out_ref.data());
+    for (size_t row = 0; row < num_rows; ++row) {
+      EXPECT_NEAR(double(out[row]), double(out_ref[row]), 1e-4)
+          << "row=" << row << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, FillAndScale) {
+  for (size_t n : TestSizes()) {
+    std::vector<float> v(n, -3.0f);
+    Fill(v.data(), 1.25f, n);
+    for (float x : v) ASSERT_EQ(x, 1.25f);
+    Scale(v.data(), 2.0f, n);
+    for (float x : v) ASSERT_EQ(x, 2.5f);
+  }
+}
+
+// Vector loads in the kernels are unaligned by design: embedding rows in
+// a parameter block start at arbitrary float offsets.
+TEST(SimdTest, HandlesUnalignedPointers) {
+  Rng rng(52);
+  const size_t n = 65;
+  const auto a = RandomVector(&rng, n + 3);
+  const auto b = RandomVector(&rng, n + 3);
+  for (size_t off = 0; off < 3; ++off) {
+    const double expected = ref::Dot(a.data() + off, b.data() + off, n);
+    EXPECT_NEAR(Dot(a.data() + off, b.data() + off, n), expected,
+                kReassocTol);
+  }
+}
+
+TEST(SimdTest, ZeroLengthIsSafe) {
+  EXPECT_EQ(Dot(nullptr, nullptr, 0), 0.0);
+  EXPECT_EQ(SquaredNorm(nullptr, 0), 0.0);
+  EXPECT_EQ(MaxAbsDiff(nullptr, nullptr, 0), 0.0);
+  DotBatch(nullptr, nullptr, 0, 0, nullptr);
+  Fill(nullptr, 0.0f, 0);
+}
+
+}  // namespace
+}  // namespace kge::simd
