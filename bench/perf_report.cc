@@ -16,6 +16,13 @@
 //                  from differently-vectorized builds can be diffed for
 //                  metric equality.
 //
+// It also emits BENCH_training.json with a "training" section: epoch
+// throughput (triples/s, examples/s) and steady-state allocations per
+// triple for the negative-sampling and 1-N trainers, at 1 and 4 worker
+// threads per model, plus each row's speedup over its own 1-thread run.
+// Both trainers produce bit-identical results for every thread count, so
+// the rows measure pure scheduling overhead/benefit.
+//
 // "meta" records the ISA the binary dispatches to (scalar / avx2+fma /
 // neon), compiler, and workload shape, so JSON files from different
 // builds are self-describing. CI runs this with --quick and validates
@@ -28,6 +35,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "kge.h"
@@ -79,7 +87,11 @@ struct PerfConfig {
   int64_t kernel_iters = 200000;
   int64_t eval_entities = 3000;  // WN18-like KG size for end-to-end eval
   int64_t eval_triples = 500;    // test triples evaluated end-to-end
+  int64_t train_entities = 2000;  // WN18-like KG size for training bench
+  int64_t train_epochs = 2;       // timed epochs (one warm-up on top)
+  int64_t train_negatives = 4;    // negatives per positive
   std::string out = "BENCH_kernels.json";
+  std::string train_out = "BENCH_training.json";
   bool quick = false;
 
   void Finalize() {
@@ -89,6 +101,8 @@ struct PerfConfig {
     kernel_iters = 2000;
     eval_entities = 400;
     eval_triples = 40;
+    train_entities = 300;
+    train_epochs = 1;
   }
 };
 
@@ -333,6 +347,162 @@ EvalThroughput BenchEndToEnd(const PerfConfig& config) {
   return result;
 }
 
+// ---- Training throughput ---------------------------------------------------
+
+struct TrainingRow {
+  std::string model;
+  std::string regime;  // "negative_sampling" | "one_vs_all"
+  int threads = 1;
+  int64_t train_triples = 0;
+  double epoch_seconds = 0.0;
+  double triples_per_sec = 0.0;
+  double examples_per_sec = 0.0;
+  double allocs_per_triple = -1.0;  // -1 = not measured (sanitized build)
+  double speedup_vs_1t = 1.0;
+};
+
+std::unique_ptr<MultiEmbeddingModel> MakeTrainModel(const std::string& name,
+                                                    const Dataset& data,
+                                                    int64_t dim_budget) {
+  if (name == "DistMult") {
+    return MakeDistMult(data.num_entities(), data.num_relations(),
+                        int32_t(dim_budget), /*seed=*/42);
+  }
+  return MakeComplEx(data.num_entities(), data.num_relations(),
+                     int32_t(dim_budget / 2), /*seed=*/42);
+}
+
+TrainingRow BenchNegativeSampling(const PerfConfig& config,
+                                  const Dataset& data,
+                                  const std::string& model_name,
+                                  int threads) {
+  std::unique_ptr<MultiEmbeddingModel> model =
+      MakeTrainModel(model_name, data, config.dim_budget);
+  TrainerOptions options;
+  options.batch_size = 256;
+  options.num_negatives = int(config.train_negatives);
+  options.num_threads = threads;
+  options.seed = 42;
+  Trainer trainer(model.get(), options);
+  NegativeSamplerOptions sampler_options;
+  NegativeSampler sampler(model->num_entities(), model->num_relations(),
+                          data.train, sampler_options);
+  Rng rng(42);
+  // Warm-up epoch: grows every per-thread scratch buffer, shard buffer,
+  // and gradient pool to its high-water mark, so the timed (and
+  // allocation-counted) epochs are steady state.
+  g_sink = g_sink + trainer.RunEpoch(data.train, sampler, &rng);
+
+  TrainingRow row;
+  row.model = model_name;
+  row.regime = "negative_sampling";
+  row.threads = threads;
+  row.train_triples = int64_t(data.train.size());
+#if KGE_COUNT_ALLOCS
+  const uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+#endif
+  Stopwatch sw;
+  for (int64_t e = 0; e < config.train_epochs; ++e) {
+    g_sink = g_sink + trainer.RunEpoch(data.train, sampler, &rng);
+  }
+  const double seconds = sw.ElapsedSeconds();
+#if KGE_COUNT_ALLOCS
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  row.allocs_per_triple =
+      double(allocs) /
+      double(config.train_epochs * int64_t(data.train.size()));
+#endif
+  const double per_epoch = seconds / double(config.train_epochs);
+  row.epoch_seconds = per_epoch;
+  row.triples_per_sec = double(data.train.size()) / per_epoch;
+  row.examples_per_sec =
+      row.triples_per_sec * double(1 + config.train_negatives);
+  return row;
+}
+
+TrainingRow BenchOneVsAll(const PerfConfig& config, const Dataset& data,
+                          const std::string& model_name, int threads) {
+  std::unique_ptr<MultiEmbeddingModel> model =
+      MakeTrainModel(model_name, data, config.dim_budget);
+  OneVsAllOptions options;
+  options.max_epochs = 1;
+  options.num_threads = threads;
+  options.seed = 42;
+  OneVsAllTrainer trainer(model.get(), options);
+  // Warm-up: Train() builds the query index and runs one epoch.
+  const Result<TrainResult> warmup =
+      trainer.Train(data.train, OneVsAllTrainer::ValidationFn());
+  KGE_CHECK_OK(warmup.status());
+
+  // Distinct (h, r) queries, to convert epoch time into candidate
+  // scoring throughput (each query scores every entity).
+  std::unordered_set<uint64_t> distinct;
+  for (const Triple& t : data.train) {
+    distinct.insert((uint64_t(uint32_t(t.head)) << 32) |
+                    uint32_t(t.relation));
+  }
+
+  TrainingRow row;
+  row.model = model_name;
+  row.regime = "one_vs_all";
+  row.threads = threads;
+  row.train_triples = int64_t(data.train.size());
+  Rng rng(43);
+#if KGE_COUNT_ALLOCS
+  const uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+#endif
+  Stopwatch sw;
+  for (int64_t e = 0; e < config.train_epochs; ++e) {
+    g_sink = g_sink + trainer.RunEpoch(&rng);
+  }
+  const double seconds = sw.ElapsedSeconds();
+#if KGE_COUNT_ALLOCS
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  row.allocs_per_triple =
+      double(allocs) /
+      double(config.train_epochs * int64_t(data.train.size()));
+#endif
+  const double per_epoch = seconds / double(config.train_epochs);
+  row.epoch_seconds = per_epoch;
+  row.triples_per_sec = double(data.train.size()) / per_epoch;
+  // Each query scores every entity: candidate examples per second.
+  row.examples_per_sec = double(distinct.size()) *
+                         double(data.num_entities()) / per_epoch;
+  return row;
+}
+
+std::vector<TrainingRow> BenchTraining(const PerfConfig& config) {
+  WordNetLikeOptions options;
+  options.num_entities = int32_t(config.train_entities);
+  options.seed = 42;
+  const Dataset data = GenerateWordNetLike(options);
+
+  std::vector<TrainingRow> rows;
+  const int thread_counts[] = {1, 4};
+  for (const char* model : {"DistMult", "ComplEx"}) {
+    for (int t : thread_counts) {
+      rows.push_back(BenchNegativeSampling(config, data, model, t));
+    }
+  }
+  for (int t : thread_counts) {
+    rows.push_back(BenchOneVsAll(config, data, "ComplEx", t));
+  }
+  // Speedup of every row over its own (model, regime) 1-thread run.
+  for (TrainingRow& row : rows) {
+    for (const TrainingRow& base : rows) {
+      if (base.model == row.model && base.regime == row.regime &&
+          base.threads == 1 && base.triples_per_sec > 0.0) {
+        row.speedup_vs_1t = row.triples_per_sec / base.triples_per_sec;
+      }
+    }
+  }
+  return rows;
+}
+
 // ---- JSON ------------------------------------------------------------------
 
 std::string JsonNumber(double v) {
@@ -342,13 +512,7 @@ std::string JsonNumber(double v) {
   return out.str();
 }
 
-std::string BuildJson(const PerfConfig& config,
-                      const std::vector<KernelRow>& kernels,
-                      const RankingResult& ranking,
-                      const EvalThroughput& eval) {
-  std::ostringstream out;
-  out << "{\n";
-  out << "  \"schema_version\": 1,\n";
+void AppendMeta(std::ostringstream& out, const PerfConfig& config) {
   out << "  \"meta\": {\n";
   out << "    \"isa\": \"" << simd::IsaName() << "\",\n";
   out << "    \"accumulator_lanes\": " << simd::kAccumulatorLanes << ",\n";
@@ -365,6 +529,16 @@ std::string BuildJson(const PerfConfig& config,
       << ",\n";
   out << "    \"quick\": " << (config.quick ? "true" : "false") << "\n";
   out << "  },\n";
+}
+
+std::string BuildJson(const PerfConfig& config,
+                      const std::vector<KernelRow>& kernels,
+                      const RankingResult& ranking,
+                      const EvalThroughput& eval) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  AppendMeta(out, config);
   out << "  \"kernels\": [\n";
   for (size_t i = 0; i < kernels.size(); ++i) {
     const KernelRow& k = kernels[i];
@@ -408,6 +582,35 @@ std::string BuildJson(const PerfConfig& config,
   return out.str();
 }
 
+std::string BuildTrainingJson(const PerfConfig& config,
+                              const std::vector<TrainingRow>& rows) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  AppendMeta(out, config);
+  out << "  \"training\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const TrainingRow& r = rows[i];
+    out << "    {\"model\": \"" << r.model << "\", \"regime\": \""
+        << r.regime << "\", \"threads\": " << r.threads
+        << ", \"train_triples\": " << r.train_triples
+        << ", \"epoch_seconds\": " << JsonNumber(r.epoch_seconds)
+        << ", \"triples_per_sec\": " << JsonNumber(r.triples_per_sec)
+        << ", \"examples_per_sec\": " << JsonNumber(r.examples_per_sec)
+        << ", \"allocs_per_triple\": ";
+    if (r.allocs_per_triple < 0.0) {
+      out << "null";
+    } else {
+      out << JsonNumber(r.allocs_per_triple);
+    }
+    out << ", \"speedup_vs_1t\": " << JsonNumber(r.speedup_vs_1t) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
 int Run(int argc, char** argv) {
   PerfConfig config;
   FlagParser parser(
@@ -425,7 +628,15 @@ int Run(int argc, char** argv) {
                 "WN18-like KG size for end-to-end eval");
   parser.AddInt("eval_triples", &config.eval_triples,
                 "test triples for end-to-end eval");
+  parser.AddInt("train_entities", &config.train_entities,
+                "WN18-like KG size for the training bench");
+  parser.AddInt("train_epochs", &config.train_epochs,
+                "timed training epochs (one warm-up epoch on top)");
+  parser.AddInt("train_negatives", &config.train_negatives,
+                "negatives per positive in the training bench");
   parser.AddString("out", &config.out, "output JSON path");
+  parser.AddString("train_out", &config.train_out,
+                   "training-section output JSON path");
   parser.AddBool("quick", &config.quick, "tiny CI smoke preset");
   const Status status = parser.Parse(argc, argv);
   if (status.code() == StatusCode::kNotFound) return 0;
@@ -458,6 +669,19 @@ int Run(int argc, char** argv) {
   KGE_LOG(Info) << "  " << eval.triples_per_sec << " triples/sec, MRR="
                << eval.filtered_mrr;
 
+  KGE_LOG(Info) << "benchmarking training throughput...";
+  const std::vector<TrainingRow> training = BenchTraining(config);
+  for (const TrainingRow& row : training) {
+    KGE_LOG(Info) << "  " << row.model << " " << row.regime << " "
+                  << row.threads << "t: " << row.triples_per_sec
+                  << " triples/s ("
+                  << (row.allocs_per_triple < 0.0
+                          ? std::string("allocs not measured")
+                          : std::to_string(row.allocs_per_triple) +
+                                " allocs/triple")
+                  << ", " << row.speedup_vs_1t << "x vs 1t)";
+  }
+
   const std::string json = BuildJson(config, kernels, ranking, eval);
   std::ofstream file(config.out);
   if (!file) {
@@ -466,6 +690,15 @@ int Run(int argc, char** argv) {
   }
   file << json;
   KGE_LOG(Info) << "wrote " << config.out;
+
+  const std::string training_json = BuildTrainingJson(config, training);
+  std::ofstream training_file(config.train_out);
+  if (!training_file) {
+    KGE_LOG(Error) << "cannot write " << config.train_out;
+    return 1;
+  }
+  training_file << training_json;
+  KGE_LOG(Info) << "wrote " << config.train_out;
   return 0;
 }
 

@@ -1,5 +1,6 @@
 #include "core/parameter_block.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -42,33 +43,119 @@ void ParameterBlock::InitXavierUniform(Rng* rng, int64_t fan) {
 
 void ParameterBlock::Zero() { std::memset(data_.data(), 0, data_.size() * 4); }
 
+namespace {
+
+// SplitMix64 finalizer over a precombined key — the probe hash and the
+// row -> shard assignment both need a platform-stable avalanche.
+inline uint64_t MixKey(uint64_t key) {
+  uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 GradientBuffer::GradientBuffer(std::vector<ParameterBlock*> blocks)
     : blocks_(std::move(blocks)), per_block_(blocks_.size()) {
   for (ParameterBlock* block : blocks_) KGE_CHECK(block != nullptr);
+}
+
+size_t GradientBuffer::ShardOfRow(size_t block_index, int64_t row,
+                                  size_t num_shards) {
+  KGE_DCHECK(num_shards > 0);
+  const uint64_t key =
+      (uint64_t(block_index) << 48) ^ uint64_t(row);
+  return size_t(MixKey(key) % uint64_t(num_shards));
+}
+
+size_t GradientBuffer::Probe(const PerBlock& pb, int64_t row, bool* found) {
+  const size_t mask = pb.table_rows.size() - 1;
+  size_t i = size_t(MixKey(uint64_t(row))) & mask;
+  while (pb.table_stamps[i] == pb.generation) {
+    if (pb.table_rows[i] == row) {
+      *found = true;
+      return i;
+    }
+    i = (i + 1) & mask;
+  }
+  *found = false;
+  return i;
+}
+
+void GradientBuffer::Grow(PerBlock& pb, size_t capacity) {
+  pb.table_rows.assign(capacity, 0);
+  pb.table_slots.assign(capacity, 0);
+  pb.table_stamps.assign(capacity, 0);
+  pb.generation = 1;
+  // Re-insert every registered row into the fresh table.
+  for (size_t slot = 0; slot < pb.rows.size(); ++slot) {
+    bool found = false;
+    const size_t i = Probe(pb, pb.rows[slot], &found);
+    KGE_DCHECK(!found);
+    pb.table_rows[i] = pb.rows[slot];
+    pb.table_slots[i] = uint32_t(slot);
+    pb.table_stamps[i] = pb.generation;
+  }
 }
 
 std::span<float> GradientBuffer::GradFor(size_t block_index, int64_t row) {
   KGE_DCHECK(block_index < blocks_.size());
   PerBlock& pb = per_block_[block_index];
   const auto dim = static_cast<size_t>(blocks_[block_index]->row_dim());
-  auto [it, inserted] = pb.slot_of_row.try_emplace(row, pb.rows.size());
-  if (inserted) {
-    const size_t slot = pb.rows.size();
-    pb.rows.push_back(row);
-    if (slot == pb.pool.size()) {
-      pb.pool.emplace_back(dim, 0.0f);
-    } else {
-      // Recycled slot from a previous batch; zero it.
-      std::memset(pb.pool[slot].data(), 0, dim * sizeof(float));
-    }
+  // Keep load factor below 1/2 (counting the pending insert).
+  if ((pb.rows.size() + 1) * 2 > pb.table_rows.size()) {
+    Grow(pb, pb.table_rows.empty() ? 64 : pb.table_rows.size() * 2);
   }
-  return std::span<float>(pb.pool[it->second]);
+  bool found = false;
+  const size_t i = Probe(pb, row, &found);
+  if (found) return std::span<float>(pb.pool[pb.table_slots[i]]);
+  const size_t slot = pb.rows.size();
+  pb.rows.push_back(row);
+  if (slot == pb.pool.size()) {
+    pb.pool.emplace_back(dim, 0.0f);
+  } else {
+    // Recycled slot from a previous batch; zero it.
+    std::memset(pb.pool[slot].data(), 0, dim * sizeof(float));
+  }
+  pb.table_rows[i] = row;
+  pb.table_slots[i] = uint32_t(slot);
+  pb.table_stamps[i] = pb.generation;
+  return std::span<float>(pb.pool[slot]);
+}
+
+std::span<const float> GradientBuffer::Find(size_t block_index,
+                                            int64_t row) const {
+  KGE_DCHECK(block_index < blocks_.size());
+  const PerBlock& pb = per_block_[block_index];
+  if (pb.table_rows.empty()) return {};
+  bool found = false;
+  const size_t i = Probe(pb, row, &found);
+  if (!found) return {};
+  return std::span<const float>(pb.pool[pb.table_slots[i]]);
+}
+
+void GradientBuffer::Reserve(size_t rows_per_block) {
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    PerBlock& pb = per_block_[b];
+    const auto dim = static_cast<size_t>(blocks_[b]->row_dim());
+    pb.rows.reserve(rows_per_block);
+    while (pb.pool.size() < rows_per_block) pb.pool.emplace_back(dim, 0.0f);
+    size_t capacity = pb.table_rows.empty() ? 64 : pb.table_rows.size();
+    while (capacity < (rows_per_block + 1) * 2) capacity *= 2;
+    if (capacity > pb.table_rows.size()) Grow(pb, capacity);
+  }
 }
 
 void GradientBuffer::Clear() {
   for (PerBlock& pb : per_block_) {
-    pb.slot_of_row.clear();
     pb.rows.clear();
+    // Invalidate the probe table by bumping the generation; on the (rare)
+    // wrap back to 0, scrub the stamps so stale entries cannot alias.
+    if (++pb.generation == 0) {
+      std::fill(pb.table_stamps.begin(), pb.table_stamps.end(), 0u);
+      pb.generation = 1;
+    }
     // pool allocations are kept and recycled by GradFor.
   }
 }

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "util/random.h"
@@ -46,8 +45,18 @@ class ParameterBlock {
   std::vector<float> data_;
 };
 
-// Sparse per-(block, row) gradient accumulator. Memory is pooled and
-// reused across Clear() calls so steady-state training does not allocate.
+// Sparse per-(block, row) gradient accumulator. Rows are indexed through
+// an open-addressing flat table with generation-stamped slots, so the
+// steady-state training loop performs ZERO heap allocations: Clear() is
+// a generation bump, row storage is recycled, and the probe table only
+// grows (rehashes) until the high-water row count is reached.
+//
+// Thread-safety: GradFor may insert and is NOT safe to call
+// concurrently. Once a row is registered (touched since the last
+// Clear()), concurrent GradFor/Find calls for registered rows are pure
+// reads of the probe table and are safe, as is writing the returned
+// spans from one thread per row — the parallel merge/apply path
+// registers rows serially and then fans row work out by ShardOfRow().
 class GradientBuffer {
  public:
   // The referenced blocks must outlive the buffer.
@@ -60,8 +69,25 @@ class GradientBuffer {
   // first touch within the current batch. Accumulate with +=.
   std::span<float> GradFor(size_t block_index, int64_t row);
 
+  // Read-only lookup: the accumulator for (block_index, row), or an empty
+  // span if the row is untouched in the current batch. Never inserts.
+  std::span<const float> Find(size_t block_index, int64_t row) const;
+
   // Resets all touched rows; keeps capacity.
   void Clear();
+
+  // Pre-sizes every block's row pool and probe table for up to
+  // `rows_per_block` touched rows, so batches within that bound never
+  // allocate. Callers that know a worst-case rows-per-batch (the
+  // trainers) use this to make the steady state allocation-free from
+  // the first batch instead of after capacity has warmed up.
+  void Reserve(size_t rows_per_block);
+
+  // Deterministic row -> shard assignment (SplitMix64 over the pair) used
+  // to partition touched rows across threads for the parallel gradient
+  // merge and optimizer apply. Stable across platforms and runs.
+  static size_t ShardOfRow(size_t block_index, int64_t row,
+                           size_t num_shards);
 
   // Calls fn(block_index, row, grad) for every touched row.
   template <typename Fn>
@@ -74,18 +100,59 @@ class GradientBuffer {
     }
   }
 
+  // ForEach restricted to rows with ShardOfRow(block, row) == shard.
+  // Iterating every shard in [0, num_shards) visits each touched row
+  // exactly once; per-row visit order (registration order) is identical
+  // for every num_shards, so shard-parallel per-row work is bit-stable.
+  template <typename Fn>
+  void ForEachShard(size_t shard, size_t num_shards, Fn&& fn) const {
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+      const PerBlock& pb = per_block_[b];
+      for (size_t slot = 0; slot < pb.rows.size(); ++slot) {
+        if (ShardOfRow(b, pb.rows[slot], num_shards) != shard) continue;
+        fn(b, pb.rows[slot], std::span<const float>(pb.pool[slot]));
+      }
+    }
+  }
+
+  // Mutable variant of ForEachShard for the parallel gradient merge.
+  template <typename Fn>
+  void ForEachShardMut(size_t shard, size_t num_shards, Fn&& fn) {
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+      PerBlock& pb = per_block_[b];
+      for (size_t slot = 0; slot < pb.rows.size(); ++slot) {
+        if (ShardOfRow(b, pb.rows[slot], num_shards) != shard) continue;
+        fn(b, pb.rows[slot], std::span<float>(pb.pool[slot]));
+      }
+    }
+  }
+
   // Number of touched rows across all blocks.
   size_t NumTouchedRows() const;
 
  private:
   struct PerBlock {
-    std::unordered_map<int64_t, size_t> slot_of_row;
+    // Touched rows in registration order.
     std::vector<int64_t> rows;
     // One stable allocation per slot: spans handed out by GradFor must
     // stay valid while later calls add slots. Slots are recycled across
     // Clear() calls, so steady-state training does not allocate.
     std::vector<std::vector<float>> pool;
+    // Open-addressing row -> slot map (linear probing, power-of-two
+    // capacity). A table entry is live iff its stamp equals `generation`,
+    // which lets Clear() invalidate the whole table in O(1).
+    std::vector<int64_t> table_rows;
+    std::vector<uint32_t> table_slots;
+    std::vector<uint32_t> table_stamps;
+    uint32_t generation = 1;
   };
+
+  // Probe for `row`; returns the table index holding it or the first
+  // free index. `found` reports which.
+  static size_t Probe(const PerBlock& pb, int64_t row, bool* found);
+  // Rebuilds the probe table at `capacity` entries (a power of two at
+  // least twice the registered row count).
+  static void Grow(PerBlock& pb, size_t capacity);
 
   std::vector<ParameterBlock*> blocks_;
   std::vector<PerBlock> per_block_;

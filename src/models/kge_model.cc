@@ -1,6 +1,26 @@
 #include "models/kge_model.h"
 
+#include "util/check.h"
+
 namespace kge {
+
+void KgeModel::ScoreTailBatch(EntityId head, RelationId relation,
+                              std::span<const EntityId> tails,
+                              std::span<float> out) const {
+  KGE_DCHECK(out.size() == tails.size());
+  for (size_t i = 0; i < tails.size(); ++i) {
+    out[i] = static_cast<float>(Score({head, tails[i], relation}));
+  }
+}
+
+void KgeModel::ScoreHeadBatch(EntityId tail, RelationId relation,
+                              std::span<const EntityId> heads,
+                              std::span<float> out) const {
+  KGE_DCHECK(out.size() == heads.size());
+  for (size_t i = 0; i < heads.size(); ++i) {
+    out[i] = static_cast<float>(Score({heads[i], tail, relation}));
+  }
+}
 
 int64_t KgeModel::NumParameters() {
   int64_t total = 0;

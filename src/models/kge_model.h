@@ -42,6 +42,20 @@ class KgeModel {
   virtual void ScoreAllHeads(EntityId tail, RelationId relation,
                              std::span<float> out) const = 0;
 
+  // Scores (h, t', r) for each candidate tail t' in `tails`;
+  // out[i] = float(Score({h, tails[i], r})). The base implementation
+  // loops over Score; models with a fold decomposition override this to
+  // fold the (h, r) context once and score all candidates with a single
+  // batched matrix-vector product. Must be thread-safe for concurrent
+  // calls (used by the parallel trainer shards).
+  virtual void ScoreTailBatch(EntityId head, RelationId relation,
+                              std::span<const EntityId> tails,
+                              std::span<float> out) const;
+  // Scores (h', t, r) for each candidate head h' in `heads`.
+  virtual void ScoreHeadBatch(EntityId tail, RelationId relation,
+                              std::span<const EntityId> heads,
+                              std::span<float> out) const;
+
   // Parameter blocks in a fixed order; the index of a block in this
   // vector is its block index in GradientBuffer.
   virtual std::vector<ParameterBlock*> Blocks() = 0;

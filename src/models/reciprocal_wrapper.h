@@ -38,6 +38,18 @@ class ReciprocalWrapper : public KgeModel {
   // Head query -> reciprocal tail query.
   void ScoreAllHeads(EntityId tail, RelationId relation,
                      std::span<float> out) const override;
+  // Batched candidate scoring delegates unchanged, like Score: the
+  // trainer only issues queries over the augmented relation set.
+  void ScoreTailBatch(EntityId head, RelationId relation,
+                      std::span<const EntityId> tails,
+                      std::span<float> out) const override {
+    base_->ScoreTailBatch(head, relation, tails, out);
+  }
+  void ScoreHeadBatch(EntityId tail, RelationId relation,
+                      std::span<const EntityId> heads,
+                      std::span<float> out) const override {
+    base_->ScoreHeadBatch(tail, relation, heads, out);
+  }
 
   // Training-related methods delegate unchanged.
   std::vector<ParameterBlock*> Blocks() override { return base_->Blocks(); }

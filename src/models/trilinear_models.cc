@@ -1,5 +1,6 @@
 #include "models/trilinear_models.h"
 
+#include <cstring>
 #include <vector>
 
 #include "math/vec_ops.h"
@@ -56,6 +57,52 @@ void MultiEmbeddingModel::ScoreAllHeads(EntityId tail, RelationId relation,
   FoldForHead(weights_, dim_, entities_.Of(tail), relations_.Of(relation),
               fold);
   DotBatch(fold, entities_.block().Flat(), out);
+}
+
+namespace {
+
+// Copies the candidate ids' multi-embedding rows into one contiguous
+// row-major matrix so a single DotBatch scores them all. The gather is
+// a pure data movement — per-candidate numerics are identical to a
+// scalar Dot against the original row.
+void GatherRows(const EmbeddingStore& store, std::span<const EntityId> ids,
+                size_t width, std::span<float> out) {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::memcpy(out.data() + i * width, store.Of(ids[i]).data(),
+                width * sizeof(float));
+  }
+}
+
+}  // namespace
+
+void MultiEmbeddingModel::ScoreTailBatch(EntityId head, RelationId relation,
+                                         std::span<const EntityId> tails,
+                                         std::span<float> out) const {
+  KGE_CHECK(out.size() == tails.size());
+  const size_t width = size_t(weights_.ne()) * size_t(dim_);
+  static thread_local std::vector<float> fold_buf;
+  static thread_local std::vector<float> gather_buf;
+  const std::span<float> fold = ScratchSpan(fold_buf, width);
+  const std::span<float> rows = ScratchSpan(gather_buf, width * tails.size());
+  FoldForTail(weights_, dim_, entities_.Of(head), relations_.Of(relation),
+              fold);
+  GatherRows(entities_, tails, width, rows);
+  DotBatch(fold, rows, out);
+}
+
+void MultiEmbeddingModel::ScoreHeadBatch(EntityId tail, RelationId relation,
+                                         std::span<const EntityId> heads,
+                                         std::span<float> out) const {
+  KGE_CHECK(out.size() == heads.size());
+  const size_t width = size_t(weights_.ne()) * size_t(dim_);
+  static thread_local std::vector<float> fold_buf;
+  static thread_local std::vector<float> gather_buf;
+  const std::span<float> fold = ScratchSpan(fold_buf, width);
+  const std::span<float> rows = ScratchSpan(gather_buf, width * heads.size());
+  FoldForHead(weights_, dim_, entities_.Of(tail), relations_.Of(relation),
+              fold);
+  GatherRows(entities_, heads, width, rows);
+  DotBatch(fold, rows, out);
 }
 
 std::vector<ParameterBlock*> MultiEmbeddingModel::Blocks() {

@@ -35,6 +35,16 @@ class MultiEmbeddingModel : public KgeModel {
                      std::span<float> out) const override;
   void ScoreAllHeads(EntityId tail, RelationId relation,
                      std::span<float> out) const override;
+  // Batched candidate scoring: fold the fixed (h, r) / (t, r) context
+  // once, gather the candidate rows into contiguous scratch, and run one
+  // DotBatch. Each score is exactly float(Dot(fold, candidate)) — the
+  // same value ScoreAllTails/Heads computes for that entity.
+  void ScoreTailBatch(EntityId head, RelationId relation,
+                      std::span<const EntityId> tails,
+                      std::span<float> out) const override;
+  void ScoreHeadBatch(EntityId tail, RelationId relation,
+                      std::span<const EntityId> heads,
+                      std::span<float> out) const override;
 
   std::vector<ParameterBlock*> Blocks() override;
   void AccumulateGradients(const Triple& triple, float dscore,

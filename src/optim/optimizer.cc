@@ -7,6 +7,30 @@
 namespace kge {
 namespace {
 
+// Runs `row_fn(block, row, grad)` over every touched row — serially, or
+// hash-sharded across `pool` when it has workers. Each row is visited by
+// exactly one thread, so per-row updates need no synchronization, and
+// the arithmetic per row is independent of the shard count: the parallel
+// apply is bit-identical to the serial one.
+template <typename RowFn>
+void ForEachRowSharded(const GradientBuffer& grads, ThreadPool* pool,
+                       const RowFn& row_fn) {
+  // Below ~64 rows the fan-out overhead exceeds the update work.
+  constexpr size_t kMinRowsForParallel = 64;
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      grads.NumTouchedRows() < kMinRowsForParallel) {
+    grads.ForEach(row_fn);
+    return;
+  }
+  const size_t shards = pool->num_threads();
+  for (size_t s = 0; s < shards; ++s) {
+    pool->Schedule([&grads, &row_fn, s, shards] {
+      grads.ForEachShard(s, shards, row_fn);
+    });
+  }
+  pool->Wait();
+}
+
 class SgdOptimizer : public Optimizer {
  public:
   SgdOptimizer(std::vector<ParameterBlock*> blocks, const SgdOptions& options)
@@ -14,13 +38,14 @@ class SgdOptimizer : public Optimizer {
 
   const std::string& name() const override { return name_; }
 
-  void Apply(const GradientBuffer& grads) override {
+  void Apply(const GradientBuffer& grads, ThreadPool* pool) override {
     const float lr = static_cast<float>(options_.learning_rate);
-    grads.ForEach([&](size_t block_index, int64_t row,
-                      std::span<const float> grad) {
-      std::span<float> params = blocks_[block_index]->Row(row);
-      for (size_t d = 0; d < grad.size(); ++d) params[d] -= lr * grad[d];
-    });
+    ForEachRowSharded(
+        grads, pool,
+        [&](size_t block_index, int64_t row, std::span<const float> grad) {
+          std::span<float> params = blocks_[block_index]->Row(row);
+          for (size_t d = 0; d < grad.size(); ++d) params[d] -= lr * grad[d];
+        });
   }
 
   void Reset() override {}
@@ -43,20 +68,21 @@ class AdagradOptimizer : public Optimizer {
 
   const std::string& name() const override { return name_; }
 
-  void Apply(const GradientBuffer& grads) override {
+  void Apply(const GradientBuffer& grads, ThreadPool* pool) override {
     const float lr = static_cast<float>(options_.learning_rate);
     const float eps = static_cast<float>(options_.epsilon);
-    grads.ForEach([&](size_t block_index, int64_t row,
-                      std::span<const float> grad) {
-      ParameterBlock* block = blocks_[block_index];
-      std::span<float> params = block->Row(row);
-      float* acc = accumulators_[block_index].data() +
-                   size_t(row) * size_t(block->row_dim());
-      for (size_t d = 0; d < grad.size(); ++d) {
-        acc[d] += grad[d] * grad[d];
-        params[d] -= lr * grad[d] / (std::sqrt(acc[d]) + eps);
-      }
-    });
+    ForEachRowSharded(
+        grads, pool,
+        [&](size_t block_index, int64_t row, std::span<const float> grad) {
+          ParameterBlock* block = blocks_[block_index];
+          std::span<float> params = block->Row(row);
+          float* acc = accumulators_[block_index].data() +
+                       size_t(row) * size_t(block->row_dim());
+          for (size_t d = 0; d < grad.size(); ++d) {
+            acc[d] += grad[d] * grad[d];
+            params[d] -= lr * grad[d] / (std::sqrt(acc[d]) + eps);
+          }
+        });
   }
 
   void Reset() override {
@@ -86,7 +112,7 @@ class AdamOptimizer : public Optimizer {
 
   const std::string& name() const override { return name_; }
 
-  void Apply(const GradientBuffer& grads) override {
+  void Apply(const GradientBuffer& grads, ThreadPool* pool) override {
     ++step_;
     const double beta1 = options_.beta1;
     const double beta2 = options_.beta2;
@@ -94,21 +120,22 @@ class AdamOptimizer : public Optimizer {
     const double bias2 = 1.0 - std::pow(beta2, double(step_));
     const double lr = options_.learning_rate * std::sqrt(bias2) / bias1;
     const float eps = static_cast<float>(options_.epsilon);
-    grads.ForEach([&](size_t block_index, int64_t row,
-                      std::span<const float> grad) {
-      ParameterBlock* block = blocks_[block_index];
-      std::span<float> params = block->Row(row);
-      const size_t offset = size_t(row) * size_t(block->row_dim());
-      float* m = m_[block_index].data() + offset;
-      float* v = v_[block_index].data() + offset;
-      for (size_t d = 0; d < grad.size(); ++d) {
-        m[d] = static_cast<float>(beta1 * m[d] + (1.0 - beta1) * grad[d]);
-        v[d] = static_cast<float>(beta2 * v[d] +
-                                  (1.0 - beta2) * grad[d] * grad[d]);
-        params[d] -=
-            static_cast<float>(lr * m[d] / (std::sqrt(double(v[d])) + eps));
-      }
-    });
+    ForEachRowSharded(
+        grads, pool,
+        [&](size_t block_index, int64_t row, std::span<const float> grad) {
+          ParameterBlock* block = blocks_[block_index];
+          std::span<float> params = block->Row(row);
+          const size_t offset = size_t(row) * size_t(block->row_dim());
+          float* m = m_[block_index].data() + offset;
+          float* v = v_[block_index].data() + offset;
+          for (size_t d = 0; d < grad.size(); ++d) {
+            m[d] = static_cast<float>(beta1 * m[d] + (1.0 - beta1) * grad[d]);
+            v[d] = static_cast<float>(beta2 * v[d] +
+                                      (1.0 - beta2) * grad[d] * grad[d]);
+            params[d] -= static_cast<float>(lr * m[d] /
+                                            (std::sqrt(double(v[d])) + eps));
+          }
+        });
   }
 
   void Reset() override {

@@ -16,6 +16,7 @@
 
 #include "core/parameter_block.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace kge {
 
@@ -27,7 +28,13 @@ class Optimizer {
 
   // Applies one descent step for all rows touched in `grads`. The buffer's
   // block list must be the one this optimizer was constructed with.
-  virtual void Apply(const GradientBuffer& grads) = 0;
+  //
+  // With a non-null `pool`, touched rows are partitioned across the pool
+  // by GradientBuffer::ShardOfRow and updated concurrently. Row updates
+  // are independent (per-row state only), so the result is bit-identical
+  // to the serial apply for every thread count.
+  virtual void Apply(const GradientBuffer& grads,
+                     ThreadPool* pool = nullptr) = 0;
 
   // Resets all optimizer state (moments, step counters).
   virtual void Reset() = 0;

@@ -1,6 +1,8 @@
 #include "train/one_vs_all.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <unordered_map>
 
 #include "core/interaction.h"
@@ -17,12 +19,20 @@ OneVsAllTrainer::OneVsAllTrainer(MultiEmbeddingModel* model,
     : model_(model), options_(options) {
   KGE_CHECK(model_ != nullptr);
   KGE_CHECK(options_.batch_queries > 0);
+  KGE_CHECK(options_.num_threads >= 1);
   blocks_ = model_->Blocks();
   Result<std::unique_ptr<Optimizer>> optimizer =
       MakeOptimizer(options_.optimizer, blocks_, options_.learning_rate);
   KGE_CHECK_OK(optimizer.status());
   optimizer_ = std::move(*optimizer);
   grads_ = std::make_unique<GradientBuffer>(blocks_);
+  // Worst case per batch and block: every entity as a candidate plus one
+  // head and one relation row per query.
+  grads_->Reserve(size_t(model_->num_entities()) +
+                  size_t(options_.batch_queries));
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(size_t(options_.num_threads));
+  }
 }
 
 void OneVsAllTrainer::BuildQueries(
@@ -45,11 +55,9 @@ void OneVsAllTrainer::BuildQueries(
   }
 }
 
-double OneVsAllTrainer::ProcessQuery(const Query& query,
-                                     GradientBuffer* grads,
-                                     std::vector<float>* scratch_scores,
-                                     std::vector<float>* scratch_fold,
-                                     std::vector<float>* scratch_dfold) {
+double OneVsAllTrainer::ScoreQuery(const Query& query, std::span<float> fold,
+                                   std::span<float> g,
+                                   std::span<float> dfold) {
   const int32_t num_entities = model_->num_entities();
   const WeightTable& weights = model_->weights();
   const int32_t dim = model_->dim();
@@ -57,23 +65,18 @@ double OneVsAllTrainer::ProcessQuery(const Query& query,
   const auto h = entities.Of(query.head);
   const auto r = model_->relation_store().Of(query.relation);
 
-  std::vector<float>& fold = *scratch_fold;
-  fold.resize(size_t(weights.ne()) * size_t(dim));
   FoldForTail(weights, dim, h, r, fold);
-
-  std::vector<float>& scores = *scratch_scores;
-  scores.resize(size_t(num_entities));
-  for (int32_t e = 0; e < num_entities; ++e) {
-    scores[size_t(e)] = static_cast<float>(Dot(fold, entities.Of(e)));
-  }
+  // Score every entity in one blocked GEMV. By the DotBatch contract each
+  // score is exactly float(Dot(fold, t_e)) — bitwise what the per-entity
+  // loop computed.
+  DotBatch(fold, entities.block().Flat(), g);
 
   // Labels with optional smoothing.
   const double ls = options_.label_smoothing;
   const double negative_label = ls / double(num_entities);
   const double positive_label = 1.0 - ls + negative_label;
 
-  std::vector<float>& dfold = *scratch_dfold;
-  dfold.assign(fold.size(), 0.0f);
+  std::fill(dfold.begin(), dfold.end(), 0.0f);
   double loss = 0.0;
   size_t tail_cursor = 0;
   for (int32_t e = 0; e < num_entities; ++e) {
@@ -83,48 +86,121 @@ double OneVsAllTrainer::ProcessQuery(const Query& query,
     const bool is_positive =
         tail_cursor < query.tails.size() && query.tails[tail_cursor] == e;
     const double label = is_positive ? positive_label : negative_label;
-    const double s = scores[size_t(e)];
+    const double s = double(g[size_t(e)]);
     // Stable BCE-with-logits: softplus(s) − y·s.
     loss += Softplus(s) - label * s;
-    const float g = static_cast<float>(Sigmoid(s) - label);
-    if (g == 0.0f) continue;
-    // dL/dt_e += g * fold.
-    Axpy(g, fold, grads->GradFor(MultiEmbeddingModel::kEntityBlock, e));
+    // The score slot becomes the upstream gradient dL/ds_e.
+    const float ge = static_cast<float>(Sigmoid(s) - label);
+    g[size_t(e)] = ge;
+    if (ge == 0.0f) continue;
+    // Concurrent queries may flag the same entity; relaxed stores of the
+    // same value commute, so the flag array is deterministic.
+    std::atomic_ref<uint8_t>(entity_touched_[size_t(e)])
+        .store(1, std::memory_order_relaxed);
     // dL/dfold += g * t_e.
-    Axpy(g, entities.Of(e), dfold);
+    Axpy(ge, entities.Of(e), dfold);
   }
-
-  // Backpropagate dfold into h and r via the transposed folds.
-  std::span<float> gh =
-      grads->GradFor(MultiEmbeddingModel::kEntityBlock, query.head);
-  std::span<float> gr =
-      grads->GradFor(MultiEmbeddingModel::kRelationBlock, query.relation);
-  std::vector<float> tmp(gh.size());
-  FoldForHead(weights, dim, dfold, r, tmp);
-  for (size_t d = 0; d < gh.size(); ++d) gh[d] += tmp[d];
-  std::vector<float> tmp_r(gr.size());
-  FoldForRelation(weights, dim, h, dfold, tmp_r);
-  for (size_t d = 0; d < gr.size(); ++d) gr[d] += tmp_r[d];
   return loss;
 }
 
 double OneVsAllTrainer::RunEpoch(Rng* rng) {
-  std::vector<size_t> order(queries_.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng->Shuffle(&order);
+  order_.resize(queries_.size());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  rng->Shuffle(&order_);
 
-  std::vector<float> scratch_scores, scratch_fold, scratch_dfold;
+  const size_t num_entities = size_t(model_->num_entities());
+  const size_t width =
+      size_t(model_->weights().ne()) * size_t(model_->dim());
+  const EmbeddingStore& entities = model_->entity_store();
+  const WeightTable& weights = model_->weights();
+  const int32_t dim = model_->dim();
+
   double total_loss = 0.0;
   const size_t batch = size_t(options_.batch_queries);
-  for (size_t begin = 0; begin < order.size(); begin += batch) {
-    const size_t end = std::min(begin + batch, order.size());
+  for (size_t begin = 0; begin < order_.size(); begin += batch) {
+    const size_t end = std::min(begin + batch, order_.size());
+    const size_t count = end - begin;
     grads_->Clear();
-    for (size_t i = begin; i < end; ++i) {
-      total_loss += ProcessQuery(queries_[order[i]], grads_.get(),
-                                 &scratch_scores, &scratch_fold,
-                                 &scratch_dfold);
+    folds_.resize(count * width);
+    dfolds_.resize(count * width);
+    g_.resize(count * num_entities);
+    query_loss_.resize(count);
+    entity_touched_.assign(num_entities, 0);
+
+    // Stage A — independent per query: fold, batched scores, dL/ds and
+    // dL/dfold. Writes only the query's own slices (plus the commuting
+    // touched flags), so any partition across threads is safe and
+    // bit-identical.
+    auto stage_a = [&](size_t qb, size_t qe) {
+      for (size_t i = qb; i < qe; ++i) {
+        query_loss_[i] = ScoreQuery(
+            queries_[order_[begin + i]],
+            std::span<float>(folds_.data() + i * width, width),
+            std::span<float>(g_.data() + i * num_entities, num_entities),
+            std::span<float>(dfolds_.data() + i * width, width));
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(0, count, stage_a);
+    } else {
+      stage_a(0, count);
     }
-    optimizer_->Apply(*grads_);
+
+    // Register every touched entity row serially, in ascending id order —
+    // GradFor inserts are not concurrent-safe, and this order does not
+    // depend on the thread count.
+    for (size_t e = 0; e < num_entities; ++e) {
+      if (entity_touched_[e]) {
+        grads_->GradFor(MultiEmbeddingModel::kEntityBlock, int64_t(e));
+      }
+    }
+
+    // Stage B — per entity: dL/dt_e = Σ_i g_i[e] · fold_i, summed in
+    // batch order for every partition. Rows are pre-registered, so the
+    // concurrent GradFor calls are pure lookups of disjoint rows.
+    auto stage_b = [&](size_t eb, size_t ee) {
+      for (size_t e = eb; e < ee; ++e) {
+        if (!entity_touched_[e]) continue;
+        std::span<float> acc =
+            grads_->GradFor(MultiEmbeddingModel::kEntityBlock, int64_t(e));
+        for (size_t i = 0; i < count; ++i) {
+          const float ge = g_[i * num_entities + e];
+          if (ge == 0.0f) continue;
+          Axpy(ge,
+               std::span<const float>(folds_.data() + i * width, width),
+               acc);
+        }
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(0, num_entities, stage_b);
+    } else {
+      stage_b(0, num_entities);
+    }
+
+    // Stage C — serial: backpropagate each query's dfold into its head
+    // and relation rows via the transposed folds. Heads can repeat
+    // across a batch's queries, so these accumulations stay serial (and
+    // in batch order).
+    for (size_t i = 0; i < count; ++i) {
+      const Query& query = queries_[order_[begin + i]];
+      const std::span<const float> dfold(dfolds_.data() + i * width, width);
+      std::span<float> gh = grads_->GradFor(
+          MultiEmbeddingModel::kEntityBlock, query.head);
+      std::span<float> gr = grads_->GradFor(
+          MultiEmbeddingModel::kRelationBlock, query.relation);
+      head_fold_.resize(gh.size());
+      FoldForHead(weights, dim, dfold, model_->relation_store().Of(query.relation),
+                  head_fold_);
+      Axpy(1.0f, head_fold_, gh);
+      relation_fold_.resize(gr.size());
+      FoldForRelation(weights, dim, entities.Of(query.head), dfold,
+                      relation_fold_);
+      Axpy(1.0f, relation_fold_, gr);
+      total_loss += query_loss_[i];
+    }
+
+    optimizer_->Apply(*grads_, pool_.get());
   }
   return queries_.empty() ? 0.0 : total_loss / double(queries_.size());
 }
@@ -140,10 +216,15 @@ Result<TrainResult> OneVsAllTrainer::Train(
   std::vector<std::vector<float>> best_snapshot;
   TrainResult result;
   for (int epoch = 1; epoch <= options_.max_epochs; ++epoch) {
+    const auto epoch_start = std::chrono::steady_clock::now();
     const double mean_loss = RunEpoch(&rng);
     result.epochs_run = epoch;
     result.final_mean_loss = mean_loss;
     result.loss_history.push_back(mean_loss);
+    result.epoch_seconds.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_start)
+            .count());
     if (validate && epoch % options_.eval_every_epochs == 0) {
       const double metric = validate(epoch);
       result.validation_history.emplace_back(epoch, metric);

@@ -39,6 +39,11 @@ struct OneVsAllOptions {
   int patience_epochs = 60;
   bool restore_best = true;
   uint64_t seed = 1234;
+  // Worker threads. Queries fan out across the pool (folds + batched
+  // scores), then entity gradient rows do; every per-row sum runs in
+  // fixed batch order, so losses and parameters are bit-identical for
+  // every num_threads.
+  int num_threads = 1;
 };
 
 class OneVsAllTrainer {
@@ -62,18 +67,32 @@ class OneVsAllTrainer {
     std::vector<EntityId> tails;
   };
   void BuildQueries(const std::vector<Triple>& train_triples);
-  // Accumulates loss gradients for one query; returns its BCE loss.
-  double ProcessQuery(const Query& query, GradientBuffer* grads,
-                      std::vector<float>* scratch_scores,
-                      std::vector<float>* scratch_fold,
-                      std::vector<float>* scratch_dfold);
+  // Stage A of the batch pipeline, independent per query: fold (h, r),
+  // score every entity with one DotBatch GEMV, convert scores in place
+  // to dL/ds values in `g`, accumulate dL/dfold into `dfold`, and flag
+  // touched entities. Returns the query's BCE loss.
+  double ScoreQuery(const Query& query, std::span<float> fold,
+                    std::span<float> g, std::span<float> dfold);
 
   MultiEmbeddingModel* model_;
   OneVsAllOptions options_;
   std::vector<Query> queries_;
   std::unique_ptr<Optimizer> optimizer_;
   std::unique_ptr<GradientBuffer> grads_;
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<ParameterBlock*> blocks_;
+  // Batch-level scratch, reused every batch (zero steady-state allocs):
+  // per-query fold / dfold / per-entity dL/ds matrices, per-query loss,
+  // and the batch's touched-entity flags (written with relaxed
+  // atomic_ref stores from concurrent queries).
+  std::vector<size_t> order_;
+  std::vector<float> folds_;
+  std::vector<float> dfolds_;
+  std::vector<float> g_;
+  std::vector<double> query_loss_;
+  std::vector<uint8_t> entity_touched_;
+  std::vector<float> head_fold_;
+  std::vector<float> relation_fold_;
 };
 
 }  // namespace kge

@@ -1,14 +1,17 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "math/activations.h"
+#include "math/vec_ops.h"
 #include "optim/constraints.h"
 #include "train/early_stopping.h"
 #include "train/loss.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/scratch.h"
 
 namespace kge {
 
@@ -16,18 +19,23 @@ Trainer::Trainer(KgeModel* model, const TrainerOptions& options)
     : model_(model), options_(options) {
   KGE_CHECK(model_ != nullptr);
   KGE_CHECK(options_.batch_size > 0 && options_.num_negatives >= 0);
-  KGE_CHECK(options_.num_threads >= 1);
+  KGE_CHECK(options_.num_threads >= 1 && options_.grad_shard_size >= 1);
   blocks_ = model_->Blocks();
   Result<std::unique_ptr<Optimizer>> optimizer =
       MakeOptimizer(options_.optimizer, blocks_, options_.learning_rate);
   KGE_CHECK_OK(optimizer.status());
   optimizer_ = std::move(*optimizer);
   grads_ = std::make_unique<GradientBuffer>(blocks_);
-  if (options_.num_threads > 1 && model_->SupportsParallelGradients()) {
+  // Worst-case distinct rows per batch and block: head + tail per
+  // positive plus one corrupted entity per negative. Reserving up front
+  // makes the steady state allocation-free from the first batch.
+  grads_->Reserve(size_t(options_.batch_size) *
+                  size_t(2 + options_.num_negatives));
+  // The pool accelerates the shard gradients, the merge, and the
+  // optimizer apply; shard buffers themselves are grown on first use
+  // (their count depends on batch size, not thread count).
+  if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(size_t(options_.num_threads));
-    for (int s = 0; s < options_.num_threads; ++s) {
-      shard_grads_.push_back(std::make_unique<GradientBuffer>(blocks_));
-    }
   }
 }
 
@@ -37,7 +45,20 @@ void Trainer::ProcessRange(const std::vector<Triple>& train_triples,
                            Rng* rng, GradientBuffer* grads, double* loss,
                            size_t* examples) const {
   L2Regularizer regularizer(options_.l2_lambda);
-  std::vector<std::pair<size_t, int64_t>> reg_rows;
+  // Per-thread scratch: each container grows to its high-water mark once
+  // per thread, so the steady-state inner loop performs zero heap
+  // allocations.
+  static thread_local std::vector<Triple> negatives;
+  static thread_local std::vector<EntityId> tail_ids;
+  static thread_local std::vector<EntityId> head_ids;
+  // Per negative: (group slot << 1) | (1 iff head-side).
+  static thread_local std::vector<uint32_t> negative_slot;
+  static thread_local std::vector<float> tail_scores_buf;
+  static thread_local std::vector<float> head_scores_buf;
+  static thread_local std::vector<double> adv_logits_buf;
+  static thread_local std::vector<double> adv_weights_buf;
+  static thread_local std::vector<std::pair<size_t, int64_t>> reg_rows;
+
   auto add_l2 = [&](const Triple& triple) {
     if (options_.l2_lambda <= 0.0) return;
     // Regularize exactly the parameter rows this example's score read
@@ -53,135 +74,196 @@ void Trainer::ProcessRange(const std::vector<Triple>& train_triples,
       options_.normalize_negatives && options_.num_negatives > 1
           ? 1.0 / double(options_.num_negatives)
           : 1.0;
-  auto train_example = [&](const Triple& triple, double label,
-                           double scale_override = -1.0) {
-    const double scale = scale_override >= 0.0
-                             ? scale_override
-                             : (label < 0.0 ? negative_scale : 1.0);
-    const double score = model_->Score(triple);
-    *loss += scale * LogisticLoss(score, label);
-    const float dscore =
-        static_cast<float>(scale * LogisticLossGradient(score, label));
-    model_->AccumulateGradients(triple, dscore, grads);
-    add_l2(triple);
-    ++*examples;
-  };
-
   const bool adversarial =
       options_.self_adversarial && options_.num_negatives > 1;
-  std::vector<Triple> negatives;
-  std::vector<double> negative_scores;
-  std::vector<double> weights;
 
   for (size_t i = begin; i < end; ++i) {
     const Triple& positive = train_triples[order[i]];
+    // Sample all negatives up front, then score the positive and every
+    // negative with at most two batched calls: tail-side corruptions
+    // share the positive's (h, r) fold, head-side corruptions its (t, r)
+    // fold. The positive rides along as tail candidate 0.
+    negatives.clear();
+    sampler.SampleMany(positive, options_.num_negatives, rng, &negatives);
+    tail_ids.clear();
+    head_ids.clear();
+    negative_slot.clear();
+    tail_ids.push_back(positive.tail);
+    for (const Triple& negative : negatives) {
+      if (negative.head == positive.head) {
+        negative_slot.push_back(uint32_t(tail_ids.size()) << 1);
+        tail_ids.push_back(negative.tail);
+      } else {
+        negative_slot.push_back((uint32_t(head_ids.size()) << 1) | 1u);
+        head_ids.push_back(negative.head);
+      }
+    }
+    const std::span<float> tail_scores =
+        ScratchSpan(tail_scores_buf, tail_ids.size());
+    model_->ScoreTailBatch(positive.head, positive.relation, tail_ids,
+                           tail_scores);
+    const std::span<float> head_scores =
+        ScratchSpan(head_scores_buf, head_ids.size());
+    if (!head_ids.empty()) {
+      model_->ScoreHeadBatch(positive.tail, positive.relation, head_ids,
+                             head_scores);
+    }
+    const double positive_score = double(tail_scores[0]);
+    auto negative_score = [&](size_t n) {
+      const uint32_t slot = negative_slot[n];
+      return double((slot & 1u) ? head_scores[slot >> 1]
+                                : tail_scores[slot >> 1]);
+    };
+
     if (options_.loss == LossKind::kLogistic) {
-      train_example(positive, 1.0);
+      *loss += LogisticLoss(positive_score, 1.0);
+      model_->AccumulateGradients(
+          positive,
+          static_cast<float>(LogisticLossGradient(positive_score, 1.0)),
+          grads);
+      add_l2(positive);
+      ++*examples;
+      const std::span<double> adv_weights =
+          ScratchSpan(adv_weights_buf, negatives.size());
       if (adversarial) {
         // Weight the negatives by softmax(alpha * score): hard (highly
-        // scored) corruptions dominate the gradient.
-        negatives.clear();
-        negative_scores.clear();
-        for (int n = 0; n < options_.num_negatives; ++n) {
-          negatives.push_back(sampler.Sample(positive, rng));
-          negative_scores.push_back(options_.adversarial_temperature *
-                                    model_->Score(negatives.back()));
-        }
-        weights.resize(negatives.size());
-        Softmax(negative_scores, weights);
+        // scored) corruptions dominate the gradient. The weights reuse
+        // the batched scores — no second scoring pass.
+        const std::span<double> adv_logits =
+            ScratchSpan(adv_logits_buf, negatives.size());
         for (size_t n = 0; n < negatives.size(); ++n) {
-          // The weight is treated as a constant (no gradient through the
-          // softmax), as in the original formulation.
-          train_example(negatives[n], -1.0, weights[n]);
+          adv_logits[n] = options_.adversarial_temperature * negative_score(n);
         }
-      } else {
-        for (int n = 0; n < options_.num_negatives; ++n) {
-          train_example(sampler.Sample(positive, rng), -1.0);
-        }
+        Softmax(adv_logits, adv_weights);
+      }
+      for (size_t n = 0; n < negatives.size(); ++n) {
+        // Adversarial weights are treated as constants (no gradient
+        // through the softmax), as in the original formulation.
+        const double scale = adversarial ? adv_weights[n] : negative_scale;
+        const double score = negative_score(n);
+        *loss += scale * LogisticLoss(score, -1.0);
+        model_->AccumulateGradients(
+            negatives[n],
+            static_cast<float>(scale * LogisticLossGradient(score, -1.0)),
+            grads);
+        add_l2(negatives[n]);
+        ++*examples;
       }
     } else {
       // Margin ranking: one hinge per (positive, negative) pair.
-      const double positive_score = model_->Score(positive);
-      for (int n = 0; n < options_.num_negatives; ++n) {
-        const Triple negative = sampler.Sample(positive, rng);
-        const double negative_score = model_->Score(negative);
-        *loss += MarginRankingLoss(positive_score, negative_score,
-                                   options_.margin);
+      for (size_t n = 0; n < negatives.size(); ++n) {
+        const double score = negative_score(n);
+        *loss += MarginRankingLoss(positive_score, score, options_.margin);
         ++*examples;
-        if (MarginIsViolated(positive_score, negative_score,
-                             options_.margin)) {
+        if (MarginIsViolated(positive_score, score, options_.margin)) {
           model_->AccumulateGradients(positive, -1.0f, grads);
-          model_->AccumulateGradients(negative, 1.0f, grads);
+          model_->AccumulateGradients(negatives[n], 1.0f, grads);
         }
-        add_l2(negative);
+        add_l2(negatives[n]);
       }
       add_l2(positive);
     }
   }
 }
 
-void Trainer::MergeGradients(const GradientBuffer& src) {
-  src.ForEach([&](size_t block, int64_t row, std::span<const float> grad) {
-    std::span<float> acc = grads_->GradFor(block, row);
-    for (size_t d = 0; d < grad.size(); ++d) acc[d] += grad[d];
-  });
+void Trainer::MergeShardGradients(size_t num_shards) {
+  // Register the union of touched rows serially (GradFor may insert, and
+  // inserts are not concurrent-safe); visiting shard 0's rows first makes
+  // the registration order independent of the thread count.
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_grads_[s]->ForEach(
+        [&](size_t block, int64_t row, std::span<const float>) {
+          grads_->GradFor(block, row);
+        });
+  }
+  // Accumulate each row over the shard buffers in shard order — the
+  // summation order per row never depends on which thread merges it.
+  auto merge_row = [this, num_shards](size_t block, int64_t row,
+                                      std::span<float> acc) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      const std::span<const float> src = shard_grads_[s]->Find(block, row);
+      if (!src.empty()) Axpy(1.0f, src, acc);
+    }
+  };
+  constexpr size_t kMinRowsForParallel = 64;
+  if (pool_ == nullptr || grads_->NumTouchedRows() < kMinRowsForParallel) {
+    grads_->ForEachShardMut(0, 1, merge_row);
+    return;
+  }
+  const size_t workers = pool_->num_threads();
+  for (size_t m = 0; m < workers; ++m) {
+    pool_->Schedule([this, m, workers, &merge_row] {
+      grads_->ForEachShardMut(m, workers, merge_row);
+    });
+  }
+  pool_->Wait();
 }
 
 double Trainer::RunEpoch(const std::vector<Triple>& train_triples,
                          const NegativeSampler& sampler, Rng* rng) {
-  std::vector<size_t> order(train_triples.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng->Shuffle(&order);
+  order_.resize(train_triples.size());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  rng->Shuffle(&order_);
 
-  std::vector<EntityId> touched_entities;
   double total_loss = 0.0;
   size_t total_examples = 0;
-  const bool parallel = pool_ != nullptr;
+  // Shard gradients run concurrently only for models whose
+  // AccumulateGradients is thread-safe; the shard structure (and thus
+  // every number produced) is the same either way.
+  const bool concurrent_shards =
+      pool_ != nullptr && model_->SupportsParallelGradients();
 
   const size_t batch_size = size_t(options_.batch_size);
-  for (size_t begin = 0; begin < order.size(); begin += batch_size) {
-    const size_t end = std::min(begin + batch_size, order.size());
+  const size_t shard_size = size_t(options_.grad_shard_size);
+  for (size_t begin = 0; begin < order_.size(); begin += batch_size) {
+    const size_t end = std::min(begin + batch_size, order_.size());
+    const size_t shards = (end - begin + shard_size - 1) / shard_size;
     grads_->Clear();
     model_->BeginBatch();
     ++batch_counter_;
 
-    if (!parallel) {
-      ProcessRange(train_triples, order, begin, end, sampler, rng,
-                   grads_.get(), &total_loss, &total_examples);
-    } else {
-      // Fixed shards; per-shard RNG derived from (seed, batch, shard) so
-      // results are deterministic for a fixed thread count.
-      const size_t shards = shard_grads_.size();
-      const size_t count = end - begin;
-      const size_t chunk = (count + shards - 1) / shards;
-      std::vector<double> shard_loss(shards, 0.0);
-      std::vector<size_t> shard_examples(shards, 0);
+    while (shard_grads_.size() < shards) {
+      shard_grads_.push_back(std::make_unique<GradientBuffer>(blocks_));
+      shard_grads_.back()->Reserve(shard_size *
+                                   size_t(2 + options_.num_negatives));
+    }
+    if (shard_loss_.size() < shards) {
+      shard_loss_.resize(shards);
+      shard_examples_.resize(shards);
+    }
+    auto run_shard = [&](size_t s) {
+      // Independent sampling stream per (seed, batch, shard) — the
+      // stream assignment depends only on the shard structure, never on
+      // the thread count.
+      Rng shard_rng(DeriveStreamSeed(options_.seed, batch_counter_, s));
+      shard_grads_[s]->Clear();
+      shard_loss_[s] = 0.0;
+      shard_examples_[s] = 0;
+      const size_t shard_begin = begin + s * shard_size;
+      const size_t shard_end = std::min(end, shard_begin + shard_size);
+      ProcessRange(train_triples, order_, shard_begin, shard_end, sampler,
+                   &shard_rng, shard_grads_[s].get(), &shard_loss_[s],
+                   &shard_examples_[s]);
+    };
+    if (concurrent_shards) {
       for (size_t s = 0; s < shards; ++s) {
-        const size_t sb = begin + std::min(count, s * chunk);
-        const size_t se = begin + std::min(count, (s + 1) * chunk);
-        pool_->Schedule([this, &train_triples, &order, sb, se, &sampler,
-                         &shard_loss, &shard_examples, s] {
-          Rng shard_rng(options_.seed ^ (batch_counter_ * 0x9E3779B97F4AULL) ^
-                        (s * 0xBF58476D1CE4ULL));
-          shard_grads_[s]->Clear();
-          ProcessRange(train_triples, order, sb, se, sampler, &shard_rng,
-                       shard_grads_[s].get(), &shard_loss[s],
-                       &shard_examples[s]);
-        });
+        pool_->Schedule([&run_shard, s] { run_shard(s); });
       }
       pool_->Wait();
-      for (size_t s = 0; s < shards; ++s) {
-        MergeGradients(*shard_grads_[s]);
-        total_loss += shard_loss[s];
-        total_examples += shard_examples[s];
-      }
+    } else {
+      for (size_t s = 0; s < shards; ++s) run_shard(s);
+    }
+    MergeShardGradients(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      total_loss += shard_loss_[s];
+      total_examples += shard_examples_[s];
     }
 
     total_loss += model_->FinishBatch(grads_.get());
-    optimizer_->Apply(*grads_);
+    optimizer_->Apply(*grads_, pool_.get());
     if (options_.unit_norm_entities) {
-      CollectTouchedRows(*grads_, 0, &touched_entities);
-      model_->NormalizeEntities(touched_entities);
+      CollectTouchedRows(*grads_, 0, &touched_entities_);
+      model_->NormalizeEntities(touched_entities_);
     }
   }
   return total_examples == 0 ? 0.0 : total_loss / double(total_examples);
@@ -223,14 +305,23 @@ Result<TrainResult> Trainer::Train(const std::vector<Triple>& train_triples,
   TrainResult result;
 
   for (int epoch = 1; epoch <= options_.max_epochs; ++epoch) {
+    const auto epoch_start = std::chrono::steady_clock::now();
     const double mean_loss = RunEpoch(train_triples, sampler, &rng);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_start)
+            .count();
     result.epochs_run = epoch;
     result.final_mean_loss = mean_loss;
     result.loss_history.push_back(mean_loss);
+    result.epoch_seconds.push_back(seconds);
     if (options_.log_every_epochs > 0 &&
         epoch % options_.log_every_epochs == 0) {
+      const double triples_per_sec =
+          seconds > 0.0 ? double(train_triples.size()) / seconds : 0.0;
       KGE_LOG(Info) << model_->name() << " epoch " << epoch << " loss "
-                    << mean_loss;
+                    << mean_loss << " (" << triples_per_sec
+                    << " triples/s)";
     }
     if (validate && epoch % options_.eval_every_epochs == 0) {
       const double metric = validate(epoch);

@@ -65,14 +65,20 @@ struct TrainerOptions {
   uint64_t seed = 1234;
   // Log progress every N epochs (0 = silent).
   int log_every_epochs = 0;
-  // Gradient-computation threads per batch. With T > 1 each batch is
-  // split into T fixed shards whose gradients are computed concurrently
-  // into per-shard buffers and merged in shard order, so results are
-  // deterministic for a fixed T (but differ from T = 1, which uses a
-  // single sampling stream). Falls back to serial for models whose
-  // AccumulateGradients is not thread-safe (KgeModel::
-  // SupportsParallelGradients).
+  // Gradient-computation threads. Every batch is split into fixed
+  // virtual shards of `grad_shard_size` positives, each with an
+  // independent seed-derived sampling stream and its own gradient
+  // buffer; shard gradients are merged in shard order and applied with
+  // per-row-independent updates. Threads only decide how many shards run
+  // concurrently, so epoch losses and final parameters are bit-identical
+  // for every num_threads. Models whose AccumulateGradients is not
+  // thread-safe (KgeModel::SupportsParallelGradients) compute their
+  // shards serially but keep the same shard structure and results.
   int num_threads = 1;
+  // Positives per virtual gradient shard. Part of the numerics: changing
+  // it regroups the sampling streams (results stay deterministic for any
+  // thread count, but differ across shard sizes).
+  int grad_shard_size = 64;
 };
 
 struct TrainResult {
@@ -83,6 +89,8 @@ struct TrainResult {
   bool stopped_early = false;
   // Mean per-example loss after each epoch (learning curve).
   std::vector<double> loss_history;
+  // Wall-clock seconds per epoch (throughput = triples / epoch_seconds).
+  std::vector<double> epoch_seconds;
   // (epoch, metric) for every validation performed.
   std::vector<std::pair<int, double>> validation_history;
 };
@@ -108,24 +116,37 @@ class Trainer {
 
  private:
   // Accumulates loss gradients (and L2) for order[begin..end) into
-  // `grads`; adds to *loss and *examples. Thread-compatible: touches only
-  // the given buffer and rng.
+  // `grads`; adds to *loss and *examples. Negatives are sampled up front
+  // per positive and scored together with it through the model's batched
+  // scoring API (at most two fold+GEMV calls per positive). Thread-
+  // compatible: touches only the given buffer, rng, and per-thread
+  // scratch.
   void ProcessRange(const std::vector<Triple>& train_triples,
                     const std::vector<size_t>& order, size_t begin,
                     size_t end, const NegativeSampler& sampler, Rng* rng,
                     GradientBuffer* grads, double* loss,
                     size_t* examples) const;
-  // Adds src's accumulated gradients into grads_.
-  void MergeGradients(const GradientBuffer& src);
+  // Adds shard buffers [0, num_shards)'s gradients into grads_: rows are
+  // registered serially, then accumulated with simd::Axpy in shard order
+  // per row, hash-partitioned across the pool. Bit-identical for every
+  // thread count.
+  void MergeShardGradients(size_t num_shards);
 
   KgeModel* model_;
   TrainerOptions options_;
   std::unique_ptr<Optimizer> optimizer_;
   std::unique_ptr<GradientBuffer> grads_;
-  // Parallel gradient computation state (num_threads > 1).
+  // Worker pool for shard gradients, the merge, and the optimizer apply
+  // (num_threads > 1).
   std::unique_ptr<ThreadPool> pool_;
+  // Per-virtual-shard state, grown to the high-water shard count once.
   std::vector<std::unique_ptr<GradientBuffer>> shard_grads_;
+  std::vector<double> shard_loss_;
+  std::vector<size_t> shard_examples_;
   uint64_t batch_counter_ = 0;
+  // Epoch-level scratch reused across epochs (zero steady-state allocs).
+  std::vector<size_t> order_;
+  std::vector<EntityId> touched_entities_;
 
   // Snapshot/restore of all parameter blocks for restore_best.
   std::vector<std::vector<float>> SnapshotParameters() const;

@@ -18,6 +18,15 @@ uint64_t SplitMix64Next(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t s = seed;
+  uint64_t h = SplitMix64Next(&s);
+  s = h ^ a;
+  h = SplitMix64Next(&s);
+  s = h ^ b;
+  return SplitMix64Next(&s);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (uint64_t& s : state_) s = SplitMix64Next(&sm);

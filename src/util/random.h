@@ -16,6 +16,14 @@ namespace kge {
 // SplitMix64 step; used for seeding and as a cheap standalone generator.
 uint64_t SplitMix64Next(uint64_t* state);
 
+// Derives an independent RNG stream seed for shard `b` of unit-of-work
+// `a` under a user seed, by chaining full SplitMix64 finalizations:
+//   mix(mix(mix(seed) ^ a) ^ b).
+// Unlike a `seed ^ a*K1 ^ b*K2` folding, two different (a, b) pairs can
+// only collide if the avalanched intermediate hashes collide (a ~2^-64
+// event), not whenever the XOR of scaled counters happens to cancel.
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t a, uint64_t b);
+
 // Xoshiro256++ engine wrapped with distribution helpers. Copyable so that
 // per-thread streams can be forked deterministically via Fork().
 class Rng {

@@ -6,6 +6,8 @@
 #include <functional>
 
 #include "optim/constraints.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace kge {
 namespace {
@@ -153,6 +155,59 @@ TEST(OptimizerTest, FactoryByName) {
     EXPECT_EQ((*optimizer)->name(), name);
   }
   EXPECT_FALSE(MakeOptimizer("rmsprop", {&block}, 0.1).ok());
+}
+
+// Pool-sharded Apply must be bit-identical to the serial apply: row
+// updates read and write only per-row state, and the hash partition just
+// distributes rows across workers.
+TEST(OptimizerTest, ParallelApplyIsBitIdenticalToSerial) {
+  constexpr int64_t kRows = 200;  // above the parallel fan-out threshold
+  constexpr int32_t kDim = 6;
+  constexpr int kSteps = 5;
+  for (const char* name : {"sgd", "adagrad", "adam"}) {
+    ParameterBlock serial_block("x", kRows, kDim);
+    ParameterBlock parallel_block("x", kRows, kDim);
+    Rng init(11);
+    serial_block.InitUniform(&init, -0.5f, 0.5f);
+    std::copy(serial_block.Flat().begin(), serial_block.Flat().end(),
+              parallel_block.Flat().begin());
+
+    auto serial_result = MakeOptimizer(name, {&serial_block}, 0.05);
+    auto parallel_result = MakeOptimizer(name, {&parallel_block}, 0.05);
+    ASSERT_TRUE(serial_result.ok() && parallel_result.ok()) << name;
+    auto serial_opt = std::move(*serial_result);
+    auto parallel_opt = std::move(*parallel_result);
+    GradientBuffer serial_grads({&serial_block});
+    GradientBuffer parallel_grads({&parallel_block});
+    ThreadPool pool(4);
+
+    Rng rng(37);
+    for (int step = 0; step < kSteps; ++step) {
+      serial_grads.Clear();
+      parallel_grads.Clear();
+      // Touch most rows with identical pseudo-random gradients.
+      for (int64_t row = 0; row < kRows; ++row) {
+        if (rng.NextBool(0.2)) continue;
+        auto gs = serial_grads.GradFor(0, row);
+        auto gp = parallel_grads.GradFor(0, row);
+        for (size_t d = 0; d < size_t(kDim); ++d) {
+          const float g = rng.NextUniform(-1.0f, 1.0f);
+          gs[d] = g;
+          gp[d] = g;
+        }
+      }
+      serial_opt->Apply(serial_grads);
+      parallel_opt->Apply(parallel_grads, &pool);
+    }
+
+    const auto serial_flat = serial_block.Flat();
+    const auto parallel_flat = parallel_block.Flat();
+    ASSERT_EQ(serial_flat.size(), parallel_flat.size());
+    for (size_t i = 0; i < serial_flat.size(); ++i) {
+      ASSERT_EQ(serial_flat[i], parallel_flat[i])
+          << name << " element " << i;
+    }
+  }
 }
 
 TEST(ConstraintsTest, CollectTouchedRowsFiltersByBlock) {

@@ -149,5 +149,89 @@ TEST(GradientBufferTest, NumTouchedRows) {
   EXPECT_EQ(grads.NumTouchedRows(), 2u);
 }
 
+TEST(GradientBufferTest, FindReturnsAccumulatorOnlyForTouchedRows) {
+  ParameterBlock block("e", 8, 4);
+  GradientBuffer grads({&block});
+  grads.GradFor(0, 3)[1] = 2.5f;
+  const std::span<const float> hit = grads.Find(0, 3);
+  ASSERT_EQ(hit.size(), 4u);
+  EXPECT_EQ(hit[1], 2.5f);
+  // Absent rows come back empty and must NOT be inserted by the lookup.
+  EXPECT_TRUE(grads.Find(0, 5).empty());
+  EXPECT_EQ(grads.NumTouchedRows(), 1u);
+  // After Clear the row is untouched again.
+  grads.Clear();
+  EXPECT_TRUE(grads.Find(0, 3).empty());
+}
+
+TEST(GradientBufferTest, ShardOfRowIsAPartition) {
+  // Every (block, row) maps to exactly one shard in [0, num_shards), and
+  // the assignment is a pure function (stable across calls).
+  for (size_t num_shards : {1u, 2u, 3u, 7u}) {
+    for (size_t b = 0; b < 3; ++b) {
+      for (int64_t row = 0; row < 500; ++row) {
+        const size_t shard = GradientBuffer::ShardOfRow(b, row, num_shards);
+        EXPECT_LT(shard, num_shards);
+        EXPECT_EQ(shard, GradientBuffer::ShardOfRow(b, row, num_shards));
+      }
+    }
+  }
+  // The hash should actually spread rows: with 4 shards over 512 rows no
+  // shard may be empty or hold almost everything.
+  int counts[4] = {0, 0, 0, 0};
+  for (int64_t row = 0; row < 512; ++row) {
+    ++counts[GradientBuffer::ShardOfRow(0, row, 4)];
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, 512 / 16);
+    EXPECT_LT(count, 512 * 7 / 8);
+  }
+}
+
+TEST(GradientBufferTest, ForEachShardPartitionsTouchedRows) {
+  ParameterBlock a("a", 64, 2);
+  ParameterBlock b("b", 64, 2);
+  GradientBuffer grads({&a, &b});
+  for (int64_t row = 0; row < 40; ++row) {
+    grads.GradFor(0, row)[0] = float(row);
+    grads.GradFor(1, row)[1] = float(-row);
+  }
+  constexpr size_t kShards = 4;
+  std::map<std::pair<size_t, int64_t>, int> visits;
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    grads.ForEachShard(shard, kShards,
+                       [&](size_t block, int64_t row, std::span<const float>) {
+                         ++visits[{block, row}];
+                       });
+  }
+  // Union over shards == ForEach, each row exactly once.
+  size_t total = 0;
+  grads.ForEach([&](size_t block, int64_t row, std::span<const float>) {
+    ++total;
+    EXPECT_EQ(visits[std::make_pair(block, row)], 1)
+        << "block " << block << " row " << row;
+  });
+  EXPECT_EQ(total, visits.size());
+  EXPECT_EQ(total, grads.NumTouchedRows());
+}
+
+TEST(GradientBufferTest, TableGrowthPreservesAccumulators) {
+  // Touch far more rows than the initial probe-table capacity so the
+  // table rehashes several times mid-batch; earlier accumulators and the
+  // spans handed out for them must survive.
+  ParameterBlock block("e", 4096, 2);
+  GradientBuffer grads({&block});
+  const std::span<float> first = grads.GradFor(0, 0);
+  first[0] = 1.0f;
+  for (int64_t row = 0; row < 1000; ++row) grads.GradFor(0, row)[1] += 1.0f;
+  for (int64_t row = 0; row < 1000; ++row) {
+    const std::span<const float> g = grads.Find(0, row);
+    ASSERT_EQ(g.size(), 2u);
+    EXPECT_EQ(g[0], row == 0 ? 1.0f : 0.0f) << "row " << row;
+    EXPECT_EQ(g[1], 1.0f) << "row " << row;
+  }
+  EXPECT_EQ(first.data(), grads.Find(0, 0).data());  // span stayed valid
+}
+
 }  // namespace
 }  // namespace kge

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <unordered_set>
 
 namespace kge {
 namespace {
@@ -130,6 +131,64 @@ TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
   uint64_t state2 = 0;
   EXPECT_EQ(SplitMix64Next(&state2), first);
   EXPECT_NE(SplitMix64Next(&state2), first);
+}
+
+TEST(DeriveStreamSeedTest, GridOfStreamsIsCollisionFree) {
+  // Regression for the old shard-seed derivation
+  // (seed ^ batch*K1 ^ shard*K2), whose xor-of-multiples structure can
+  // collide across (batch, shard) pairs. The chained SplitMix64
+  // derivation must give distinct seeds over a dense grid.
+  std::unordered_set<uint64_t> seen;
+  const uint64_t seeds[] = {0, 1, 1234, 0xDEADBEEFULL};
+  for (uint64_t seed : seeds) {
+    seen.clear();
+    for (uint64_t a = 0; a < 512; ++a) {
+      for (uint64_t b = 0; b < 64; ++b) {
+        EXPECT_TRUE(seen.insert(DeriveStreamSeed(seed, a, b)).second)
+            << "collision at seed=" << seed << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(DeriveStreamSeedTest, OldXorSchemeIsAffineWhereNewOneIsNot) {
+  // Demonstrate the weakness being fixed. The replaced derivation
+  // (seed ^ batch*K1 ^ shard*K2) is xor-affine, so (1) the difference
+  // between two shard streams is one constant for every seed and every
+  // batch, and (2) shifting the seed by that constant makes two runs
+  // share a sampling stream bit-for-bit. The chained SplitMix64
+  // derivation has neither property.
+  constexpr uint64_t kK1 = 0x9E3779B97F4AULL;
+  constexpr uint64_t kK2 = 0xBF58476D1CE4ULL;
+  const auto old_scheme = [](uint64_t seed, uint64_t batch, uint64_t shard) {
+    return seed ^ (batch * kK1) ^ (shard * kK2);
+  };
+
+  const uint64_t d = old_scheme(1, 0, 2) ^ old_scheme(1, 0, 5);
+  for (uint64_t seed : {uint64_t{0}, uint64_t{99}, uint64_t{0xDEADBEEF}}) {
+    for (uint64_t batch = 0; batch < 16; ++batch) {
+      // (1) Constant inter-shard difference, independent of seed/batch.
+      EXPECT_EQ(old_scheme(seed, batch, 2) ^ old_scheme(seed, batch, 5), d);
+      // (2) A related seed replays another shard's stream exactly.
+      EXPECT_EQ(old_scheme(seed ^ d, batch, 5), old_scheme(seed, batch, 2));
+      // DeriveStreamSeed does not alias under the same seed shift.
+      EXPECT_NE(DeriveStreamSeed(seed ^ d, batch, 5),
+                DeriveStreamSeed(seed, batch, 2));
+    }
+  }
+  // The new scheme's inter-shard differences vary with (seed, batch).
+  const uint64_t d0 = DeriveStreamSeed(1, 0, 2) ^ DeriveStreamSeed(1, 0, 5);
+  EXPECT_NE(DeriveStreamSeed(1, 7, 2) ^ DeriveStreamSeed(1, 7, 5), d0);
+  EXPECT_NE(DeriveStreamSeed(9, 0, 2) ^ DeriveStreamSeed(9, 0, 5), d0);
+}
+
+TEST(DeriveStreamSeedTest, SensitiveToEveryInput) {
+  const uint64_t base = DeriveStreamSeed(7, 3, 5);
+  EXPECT_NE(base, DeriveStreamSeed(8, 3, 5));
+  EXPECT_NE(base, DeriveStreamSeed(7, 4, 5));
+  EXPECT_NE(base, DeriveStreamSeed(7, 3, 6));
+  // Swapping a and b must not alias (the chain is ordered).
+  EXPECT_NE(DeriveStreamSeed(7, 3, 5), DeriveStreamSeed(7, 5, 3));
 }
 
 }  // namespace

@@ -61,6 +61,10 @@ int Run(int argc, char** argv) {
   parser.AddInt("patience", &patience, "early stopping patience (epochs)");
   parser.AddInt("seed", &seed, "random seed");
   parser.AddInt("threads", &threads, "evaluation threads");
+  int64_t train_threads = 1;
+  parser.AddInt("train-threads", &train_threads,
+                "gradient/merge/apply threads (results are identical for "
+                "every value)");
   parser.AddDouble("learning-rate", &learning_rate, "optimizer step size");
   parser.AddDouble("l2-lambda", &l2_lambda, "L2 regularization strength");
   parser.AddString("optimizer", &optimizer, "sgd | adagrad | adam");
@@ -136,6 +140,7 @@ int Run(int argc, char** argv) {
   options.patience_epochs = int(patience);
   options.seed = uint64_t(seed);
   options.log_every_epochs = 20;
+  options.num_threads = int(train_threads);
 
   Stopwatch watch;
   if (grid_search) {
@@ -169,6 +174,18 @@ int Run(int argc, char** argv) {
   std::printf("trained %d epochs in %.1fs (best valid MRR %.3f @ epoch %d)\n",
               trained->epochs_run, watch.ElapsedSeconds(),
               trained->best_validation_metric, trained->best_epoch);
+  double train_seconds = 0.0;
+  for (double s : trained->epoch_seconds) train_seconds += s;
+  if (train_seconds > 0.0 && trained->epochs_run > 0) {
+    const double epochs = double(trained->epochs_run);
+    const double triples_per_sec =
+        double(data.train.size()) * epochs / train_seconds;
+    std::printf(
+        "throughput: %.0f triples/s, %.0f examples/s "
+        "(%d train threads, %.3fs/epoch)\n",
+        triples_per_sec, triples_per_sec * double(1 + negatives),
+        int(train_threads), train_seconds / epochs);
+  }
 
   // ---- Evaluation ------------------------------------------------------
   EvalOptions test_eval;
