@@ -9,11 +9,20 @@
 #                      CMAKE_BUILD_TYPE=RelWithDebInfo KGE_SANITIZE=thread \
 #                        BUILD_DIR=build-tsan scripts/check.sh
 #   KGE_SANITIZE       sanitizer list passed to -DKGE_SANITIZE (default none)
+#   KGE_FAILPOINTS     "ON" compiles in the fault-injection failpoints
+#                      (-DKGE_FAILPOINTS=ON), which un-skips the crash-site
+#                      test matrix and runs the kill-and-resume smoke
 #   BUILD_DIR          build directory (default "build")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
+
+# Consume the failpoints knob and drop it from the environment: the
+# same variable name doubles as the runtime site-arming spec, and the
+# armed binaries would otherwise warn about the malformed value "ON".
+FAILPOINTS="${KGE_FAILPOINTS:-}"
+unset KGE_FAILPOINTS
 
 scripts/lint.sh --no-tidy
 
@@ -29,9 +38,15 @@ fi
 
 cmake -B "${BUILD_DIR}" "${generator_args[@]}" \
     -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}" \
-    ${KGE_SANITIZE:+-DKGE_SANITIZE="${KGE_SANITIZE}"}
+    ${KGE_SANITIZE:+-DKGE_SANITIZE="${KGE_SANITIZE}"} \
+    ${FAILPOINTS:+-DKGE_FAILPOINTS="${FAILPOINTS}"}
 cmake --build "${BUILD_DIR}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure
+
+if [[ "${FAILPOINTS}" == "ON" ]]; then
+  echo "== kill-and-resume smoke =="
+  scripts/kill_resume_smoke.sh "${BUILD_DIR}"
+fi
 
 echo "== bench smoke runs (--quick) =="
 "./${BUILD_DIR}/bench/table1_equivalence" --trials=20

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the crash-safe training path.
+#
+# Requires a build configured with -DKGE_FAILPOINTS=ON. The script
+#   1. trains a small model to completion (the reference run),
+#   2. repeats the run with a failpoint that simulates a hard kill
+#      (_exit, no cleanup) mid-training and checks the process died with
+#      the failpoint exit code,
+#   3. resumes from <checkpoint-dir>/LATEST and checks the final model
+#      checkpoint is byte-identical to the reference (`cmp`).
+#
+# Usage: scripts/kill_resume_smoke.sh [BUILD_DIR]
+#   BUILD_DIR  build tree with failpoints compiled in (default build-fp)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-${BUILD_DIR:-build-fp}}"
+TRAIN="./${BUILD_DIR}/tools/kge_train"
+if [[ ! -x "${TRAIN}" ]]; then
+  echo "kill_resume_smoke: ${TRAIN} not found; build with" \
+       "cmake -B ${BUILD_DIR} -DKGE_FAILPOINTS=ON first" >&2
+  exit 2
+fi
+
+WORK_DIR="$(mktemp -d /tmp/kge_kill_resume.XXXXXX)"
+trap 'rm -rf "${WORK_DIR}"' EXIT
+
+# Small but non-trivial: 12 epochs with validation every 4, crash after
+# epoch 7 so the resumed run replays epochs 8..12 including one
+# validation point. Patience is large enough that neither run stops
+# early (early-stopping phase restoration is covered by unit tests).
+COMMON_ARGS=(--model=complex --entities=300 --dim-budget=32
+             --max-epochs=12 --eval-every=4 --patience=1000 --seed=7)
+KILL_EPOCH=7
+# _exit code used by failpoint crashes (util/failpoint.h).
+FAILPOINT_EXIT=42
+
+echo "== reference run (uninterrupted) =="
+"${TRAIN}" "${COMMON_ARGS[@]}" \
+    --checkpoint="${WORK_DIR}/reference.ckpt" > /dev/null
+
+echo "== crash run (failpoint kill after epoch ${KILL_EPOCH}) =="
+set +e
+KGE_FAILPOINTS="train.epoch.end=crash@${KILL_EPOCH}" \
+    "${TRAIN}" "${COMMON_ARGS[@]}" \
+    --checkpoint-dir="${WORK_DIR}/ckpts" --checkpoint-every=1 \
+    --checkpoint="${WORK_DIR}/crashed.ckpt" > /dev/null 2> "${WORK_DIR}/crash.log"
+crash_rc=$?
+set -e
+if [[ ${crash_rc} -ne ${FAILPOINT_EXIT} ]]; then
+  echo "kill_resume_smoke: expected exit ${FAILPOINT_EXIT} from the" \
+       "failpoint kill, got ${crash_rc} (is the build missing" \
+       "-DKGE_FAILPOINTS=ON?)" >&2
+  cat "${WORK_DIR}/crash.log" >&2
+  exit 1
+fi
+if [[ -e "${WORK_DIR}/crashed.ckpt" ]]; then
+  echo "kill_resume_smoke: killed run should not have written its final" \
+       "checkpoint" >&2
+  exit 1
+fi
+if [[ ! -f "${WORK_DIR}/ckpts/LATEST" ]]; then
+  echo "kill_resume_smoke: no LATEST pointer survived the kill" >&2
+  exit 1
+fi
+
+echo "== resume run =="
+"${TRAIN}" "${COMMON_ARGS[@]}" \
+    --checkpoint-dir="${WORK_DIR}/ckpts" --checkpoint-every=1 --resume \
+    --checkpoint="${WORK_DIR}/resumed.ckpt" > /dev/null
+
+echo "== comparing final model checkpoints =="
+cmp "${WORK_DIR}/reference.ckpt" "${WORK_DIR}/resumed.ckpt"
+
+echo "KILL-AND-RESUME SMOKE PASSED (resume is byte-identical)"

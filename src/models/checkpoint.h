@@ -2,22 +2,78 @@
 // KgeModel (embeddings, relation matrices, learned ω, MLP weights — the
 // block list is the single source of truth) with a shape-checked header,
 // so a trained model can be reloaded for serving or analysis.
+//
+// Format v2 ("KGE2") adds crash safety on top of the v1 layout:
+//
+//   u32    magic 0x4B474532 ("KGE2", little-endian)
+//   u32    format version (2)
+//   u32    kind: 0 = model only, 1 = full training state
+//   string model name
+//   u32    block count
+//   per block: string name, u64 rows, u64 dim, float[rows*dim] data
+//   [kind 1 only] training-state section (layout in
+//          train/train_checkpoint.cc; model-only readers skip straight
+//          to the footer using the file size)
+//   u32    CRC32C over every preceding byte of the file
+//
+// Files are written atomically (BinaryWriter::OpenAtomic: temp file +
+// fsync + rename), so a crash mid-save can never corrupt an existing
+// checkpoint, and the trailing CRC detects torn or bit-rotted files at
+// load time. v1 files (magic "KGE1": no version/kind fields, no CRC)
+// remain loadable.
 #ifndef KGE_MODELS_CHECKPOINT_H_
 #define KGE_MODELS_CHECKPOINT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "models/kge_model.h"
+#include "util/io.h"
 #include "util/status.h"
 
 namespace kge {
 
-// Writes all parameter blocks of `model` to `path`.
-Status SaveModelCheckpoint(KgeModel* model, const std::string& path);
+inline constexpr uint32_t kCheckpointMagicV1 = 0x4B474531;  // "KGE1"
+inline constexpr uint32_t kCheckpointMagicV2 = 0x4B474532;  // "KGE2"
+inline constexpr uint32_t kCheckpointVersion = 2;
 
-// Restores all parameter blocks. The model must have been constructed
-// with the same configuration (block names and shapes are verified).
+enum class CheckpointKind : uint32_t {
+  kModelOnly = 0,
+  kTrainingState = 1,
+};
+
+// Writes all parameter blocks of `model` to `path` (format v2, model
+// only). Atomic: `path` either keeps its previous content or holds the
+// complete new checkpoint.
+Status SaveModelCheckpoint(const KgeModel& model, const std::string& path);
+
+// Restores all parameter blocks from a v1 or v2 checkpoint. The model
+// must have been constructed with the same configuration (block names
+// and shapes are verified). A v2 training checkpoint also works: the
+// training-state section is skipped, so evaluation tools can read any
+// checkpoint the trainer produces. v2 files are CRC-verified.
 Status LoadModelCheckpoint(KgeModel* model, const std::string& path);
+
+// Structurally validates a v2 checkpoint without needing a model: magic,
+// version, and whole-file CRC. This is what the kill-and-resume harness
+// runs against the `latest` pointer after every injected crash.
+Status VerifyCheckpoint(const std::string& path);
+
+// Low-level pieces of the v2 format, shared with the training-state
+// writer in train/train_checkpoint.cc so both checkpoint kinds stay in
+// one format.
+Status WriteCheckpointHeader(CheckpointKind kind, BinaryWriter* writer);
+Status WriteModelSection(const KgeModel& model, BinaryWriter* writer);
+Status ReadModelSection(KgeModel* model, BinaryReader* reader);
+// Appends the running CRC; call last.
+Status WriteCheckpointFooter(BinaryWriter* writer);
+// Reads the stored CRC, compares against the reader's running CRC, and
+// rejects trailing garbage.
+Status ReadCheckpointFooter(BinaryReader* reader);
+// Reads magic/version/kind. Fails on v1 files (callers that support v1
+// dispatch on the magic themselves).
+Result<CheckpointKind> ReadCheckpointHeader(BinaryReader* reader,
+                                            const std::string& path);
 
 }  // namespace kge
 

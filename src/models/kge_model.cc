@@ -22,7 +22,15 @@ void KgeModel::ScoreHeadBatch(EntityId tail, RelationId relation,
   }
 }
 
-int64_t KgeModel::NumParameters() {
+std::vector<const ParameterBlock*> KgeModel::Blocks() const {
+  // The virtual Blocks() cannot be const (the trainer mutates blocks
+  // through it), but the block list itself is configuration, not state:
+  // collecting the pointers mutates nothing.
+  std::vector<ParameterBlock*> blocks = const_cast<KgeModel*>(this)->Blocks();
+  return std::vector<const ParameterBlock*>(blocks.begin(), blocks.end());
+}
+
+int64_t KgeModel::NumParameters() const {
   int64_t total = 0;
   for (const ParameterBlock* block : Blocks()) total += block->size();
   return total;

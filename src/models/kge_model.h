@@ -60,6 +60,10 @@ class KgeModel {
   // vector is its block index in GradientBuffer.
   virtual std::vector<ParameterBlock*> Blocks() = 0;
 
+  // Const view of the same blocks, for serialization and analysis code
+  // that only reads parameters (e.g. SaveModelCheckpoint).
+  std::vector<const ParameterBlock*> Blocks() const;
+
   // Hook called before gradient accumulation of each batch.
   virtual void BeginBatch() {}
 
@@ -88,7 +92,7 @@ class KgeModel {
   // Deterministic (re-)initialization of all parameters.
   virtual void InitParameters(uint64_t seed) = 0;
 
-  int64_t NumParameters();
+  int64_t NumParameters() const;
 };
 
 }  // namespace kge

@@ -12,6 +12,47 @@ namespace {
 // exactly one thread, so per-row updates need no synchronization, and
 // the arithmetic per row is independent of the shard count: the parallel
 // apply is bit-identical to the serial one.
+// Shared prologue of every optimizer's serialized state: name (verified
+// on load so a checkpoint cannot silently switch optimizers) and the
+// current base learning rate.
+Status WriteStateHeader(const std::string& name, double learning_rate,
+                        BinaryWriter* writer) {
+  KGE_RETURN_IF_ERROR(writer->WriteString(name));
+  return writer->WriteDouble(learning_rate);
+}
+
+Status ReadStateHeader(const std::string& expected_name, BinaryReader* reader,
+                       double* learning_rate) {
+  Result<std::string> name = reader->ReadString();
+  if (!name.ok()) return name.status();
+  if (*name != expected_name) {
+    return Status::InvalidArgument("checkpoint optimizer '" + *name +
+                                   "' does not match '" + expected_name + "'");
+  }
+  Result<double> stored = reader->ReadDouble();
+  if (!stored.ok()) return stored.status();
+  *learning_rate = *stored;
+  return Status::Ok();
+}
+
+// Per-block moment vectors (Adagrad accumulators, Adam m/v) as
+// length-checked float arrays.
+Status WriteMoments(const std::vector<std::vector<float>>& moments,
+                    BinaryWriter* writer) {
+  for (const std::vector<float>& m : moments) {
+    KGE_RETURN_IF_ERROR(writer->WriteFloatArray(m.data(), m.size()));
+  }
+  return Status::Ok();
+}
+
+Status ReadMoments(std::vector<std::vector<float>>* moments,
+                   BinaryReader* reader) {
+  for (std::vector<float>& m : *moments) {
+    KGE_RETURN_IF_ERROR(reader->ReadFloatArray(m.data(), m.size()));
+  }
+  return Status::Ok();
+}
+
 template <typename RowFn>
 void ForEachRowSharded(const GradientBuffer& grads, ThreadPool* pool,
                        const RowFn& row_fn) {
@@ -50,6 +91,19 @@ class SgdOptimizer : public Optimizer {
 
   void Reset() override {}
 
+  double learning_rate() const override { return options_.learning_rate; }
+  void set_learning_rate(double learning_rate) override {
+    options_.learning_rate = learning_rate;
+  }
+
+  Status SaveState(BinaryWriter* writer) const override {
+    return WriteStateHeader(name_, options_.learning_rate, writer);
+  }
+
+  Status LoadState(BinaryReader* reader) override {
+    return ReadStateHeader(name_, reader, &options_.learning_rate);
+  }
+
  private:
   std::vector<ParameterBlock*> blocks_;
   SgdOptions options_;
@@ -87,6 +141,23 @@ class AdagradOptimizer : public Optimizer {
 
   void Reset() override {
     for (auto& acc : accumulators_) std::fill(acc.begin(), acc.end(), 0.0f);
+  }
+
+  double learning_rate() const override { return options_.learning_rate; }
+  void set_learning_rate(double learning_rate) override {
+    options_.learning_rate = learning_rate;
+  }
+
+  Status SaveState(BinaryWriter* writer) const override {
+    KGE_RETURN_IF_ERROR(
+        WriteStateHeader(name_, options_.learning_rate, writer));
+    return WriteMoments(accumulators_, writer);
+  }
+
+  Status LoadState(BinaryReader* reader) override {
+    KGE_RETURN_IF_ERROR(
+        ReadStateHeader(name_, reader, &options_.learning_rate));
+    return ReadMoments(&accumulators_, reader);
   }
 
  private:
@@ -142,6 +213,29 @@ class AdamOptimizer : public Optimizer {
     step_ = 0;
     for (auto& m : m_) std::fill(m.begin(), m.end(), 0.0f);
     for (auto& v : v_) std::fill(v.begin(), v.end(), 0.0f);
+  }
+
+  double learning_rate() const override { return options_.learning_rate; }
+  void set_learning_rate(double learning_rate) override {
+    options_.learning_rate = learning_rate;
+  }
+
+  Status SaveState(BinaryWriter* writer) const override {
+    KGE_RETURN_IF_ERROR(
+        WriteStateHeader(name_, options_.learning_rate, writer));
+    KGE_RETURN_IF_ERROR(writer->WriteUint64(uint64_t(step_)));
+    KGE_RETURN_IF_ERROR(WriteMoments(m_, writer));
+    return WriteMoments(v_, writer);
+  }
+
+  Status LoadState(BinaryReader* reader) override {
+    KGE_RETURN_IF_ERROR(
+        ReadStateHeader(name_, reader, &options_.learning_rate));
+    Result<uint64_t> step = reader->ReadUint64();
+    if (!step.ok()) return step.status();
+    step_ = int64_t(*step);
+    KGE_RETURN_IF_ERROR(ReadMoments(&m_, reader));
+    return ReadMoments(&v_, reader);
   }
 
  private:

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/parameter_block.h"
+#include "util/io.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -38,6 +39,18 @@ class Optimizer {
 
   // Resets all optimizer state (moments, step counters).
   virtual void Reset() = 0;
+
+  // Current base learning rate. Mutable at runtime so the divergence
+  // guard can back off after a rollback.
+  virtual double learning_rate() const = 0;
+  virtual void set_learning_rate(double learning_rate) = 0;
+
+  // Serializes / restores all state that affects future updates (name,
+  // learning rate, moments, step counters) for exact training resume.
+  // LoadState verifies the stored optimizer name and state shapes; the
+  // optimizer must have been constructed over the same blocks.
+  virtual Status SaveState(BinaryWriter* writer) const = 0;
+  virtual Status LoadState(BinaryReader* reader) = 0;
 };
 
 struct SgdOptions {

@@ -25,6 +25,15 @@ class EarlyStopping {
   int best_epoch() const { return best_epoch_; }
   bool has_observation() const { return best_epoch_ >= 0; }
 
+  // Reinstates state captured in a checkpoint (the resume path), so a
+  // resumed run stops at exactly the same epoch as an uninterrupted one.
+  // A checkpoint taken before any validation stores best_epoch -1, which
+  // restores to the no-observation initial state.
+  void Restore(int best_epoch, double best_metric) {
+    best_epoch_ = best_epoch;
+    best_metric_ = best_metric;
+  }
+
  private:
   int patience_epochs_;
   double min_delta_;

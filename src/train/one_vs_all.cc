@@ -2,15 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <unordered_map>
 
 #include "core/interaction.h"
 #include "math/activations.h"
 #include "math/vec_ops.h"
-#include "train/early_stopping.h"
 #include "util/check.h"
-#include "util/logging.h"
 
 namespace kge {
 
@@ -211,48 +208,23 @@ Result<TrainResult> OneVsAllTrainer::Train(
     return Status::InvalidArgument("empty training set");
   BuildQueries(train_triples);
 
-  Rng rng(options_.seed);
-  EarlyStopping stopping(options_.patience_epochs);
-  std::vector<std::vector<float>> best_snapshot;
-  TrainResult result;
-  for (int epoch = 1; epoch <= options_.max_epochs; ++epoch) {
-    const auto epoch_start = std::chrono::steady_clock::now();
-    const double mean_loss = RunEpoch(&rng);
-    result.epochs_run = epoch;
-    result.final_mean_loss = mean_loss;
-    result.loss_history.push_back(mean_loss);
-    result.epoch_seconds.push_back(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      epoch_start)
-            .count());
-    if (validate && epoch % options_.eval_every_epochs == 0) {
-      const double metric = validate(epoch);
-      result.validation_history.emplace_back(epoch, metric);
-      if (stopping.Observe(epoch, metric) && options_.restore_best) {
-        best_snapshot.clear();
-        for (ParameterBlock* block : blocks_) {
-          const auto flat = block->Flat();
-          best_snapshot.emplace_back(flat.begin(), flat.end());
-        }
-      }
-      if (stopping.ShouldStop(epoch)) {
-        result.stopped_early = true;
-        break;
-      }
-    }
-  }
-  if (stopping.has_observation()) {
-    result.best_validation_metric = stopping.best_metric();
-    result.best_epoch = stopping.best_epoch();
-    if (options_.restore_best && !best_snapshot.empty()) {
-      for (size_t b = 0; b < blocks_.size(); ++b) {
-        const auto flat = blocks_[b]->Flat();
-        std::copy(best_snapshot[b].begin(), best_snapshot[b].end(),
-                  flat.begin());
-      }
-    }
-  }
-  return result;
+  TrainLoopConfig config;
+  config.trainer_kind = "one_vs_all";
+  config.max_epochs = options_.max_epochs;
+  config.eval_every_epochs = options_.eval_every_epochs;
+  config.patience_epochs = options_.patience_epochs;
+  config.restore_best = options_.restore_best;
+  config.seed = options_.seed;
+  config.log_name = model_->name();
+  config.log_throughput_items = int64_t(queries_.size());
+  config.checkpointing = options_.checkpointing;
+  config.divergence = options_.divergence;
+
+  TrainLoop loop(model_, optimizer_.get(), config);
+  // No batch counter: the 1-N loop draws all randomness from the
+  // epoch-level rng (query-order shuffles).
+  return loop.Run([&](Rng* rng) { return RunEpoch(rng); }, validate,
+                  /*batch_counter=*/nullptr);
 }
 
 }  // namespace kge

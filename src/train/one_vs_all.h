@@ -44,11 +44,15 @@ struct OneVsAllOptions {
   // fixed batch order, so losses and parameters are bit-identical for
   // every num_threads.
   int num_threads = 1;
+  // Durable checkpointing + exact resume (off unless `dir` is set) and
+  // non-finite-loss rollback; see train/train_checkpoint.h.
+  CheckpointingOptions checkpointing;
+  DivergenceGuardOptions divergence;
 };
 
 class OneVsAllTrainer {
  public:
-  using ValidationFn = std::function<double(int epoch)>;
+  using ValidationFn = ::kge::ValidationFn;
 
   OneVsAllTrainer(MultiEmbeddingModel* model, const OneVsAllOptions& options);
 

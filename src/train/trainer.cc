@@ -1,16 +1,13 @@
 #include "train/trainer.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "math/activations.h"
 #include "math/vec_ops.h"
 #include "optim/constraints.h"
-#include "train/early_stopping.h"
 #include "train/loss.h"
 #include "util/check.h"
-#include "util/logging.h"
 #include "util/scratch.h"
 
 namespace kge {
@@ -269,26 +266,6 @@ double Trainer::RunEpoch(const std::vector<Triple>& train_triples,
   return total_examples == 0 ? 0.0 : total_loss / double(total_examples);
 }
 
-std::vector<std::vector<float>> Trainer::SnapshotParameters() const {
-  std::vector<std::vector<float>> snapshot;
-  snapshot.reserve(blocks_.size());
-  for (const ParameterBlock* block : blocks_) {
-    const auto flat = block->Flat();
-    snapshot.emplace_back(flat.begin(), flat.end());
-  }
-  return snapshot;
-}
-
-void Trainer::RestoreParameters(
-    const std::vector<std::vector<float>>& snapshot) {
-  KGE_CHECK(snapshot.size() == blocks_.size());
-  for (size_t b = 0; b < blocks_.size(); ++b) {
-    const auto flat = blocks_[b]->Flat();
-    KGE_CHECK(snapshot[b].size() == flat.size());
-    std::copy(snapshot[b].begin(), snapshot[b].end(), flat.begin());
-  }
-}
-
 Result<TrainResult> Trainer::Train(const std::vector<Triple>& train_triples,
                                    const ValidationFn& validate) {
   if (train_triples.empty())
@@ -298,57 +275,27 @@ Result<TrainResult> Trainer::Train(const std::vector<Triple>& train_triples,
   sampler_options.side = options_.corruption_side;
   NegativeSampler sampler(model_->num_entities(), model_->num_relations(),
                           train_triples, sampler_options);
-  Rng rng(options_.seed);
 
-  EarlyStopping stopping(options_.patience_epochs);
-  std::vector<std::vector<float>> best_snapshot;
-  TrainResult result;
+  TrainLoopConfig config;
+  config.trainer_kind = "negative_sampling";
+  config.max_epochs = options_.max_epochs;
+  config.eval_every_epochs = options_.eval_every_epochs;
+  config.patience_epochs = options_.patience_epochs;
+  config.restore_best = options_.restore_best;
+  config.seed = options_.seed;
+  config.log_every_epochs = options_.log_every_epochs;
+  config.log_name = model_->name();
+  config.log_throughput_items = int64_t(train_triples.size());
+  config.checkpointing = options_.checkpointing;
+  config.divergence = options_.divergence;
 
-  for (int epoch = 1; epoch <= options_.max_epochs; ++epoch) {
-    const auto epoch_start = std::chrono::steady_clock::now();
-    const double mean_loss = RunEpoch(train_triples, sampler, &rng);
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      epoch_start)
-            .count();
-    result.epochs_run = epoch;
-    result.final_mean_loss = mean_loss;
-    result.loss_history.push_back(mean_loss);
-    result.epoch_seconds.push_back(seconds);
-    if (options_.log_every_epochs > 0 &&
-        epoch % options_.log_every_epochs == 0) {
-      const double triples_per_sec =
-          seconds > 0.0 ? double(train_triples.size()) / seconds : 0.0;
-      KGE_LOG(Info) << model_->name() << " epoch " << epoch << " loss "
-                    << mean_loss << " (" << triples_per_sec
-                    << " triples/s)";
-    }
-    if (validate && epoch % options_.eval_every_epochs == 0) {
-      const double metric = validate(epoch);
-      result.validation_history.emplace_back(epoch, metric);
-      if (stopping.Observe(epoch, metric)) {
-        if (options_.restore_best) best_snapshot = SnapshotParameters();
-      }
-      if (options_.log_every_epochs > 0) {
-        KGE_LOG(Info) << model_->name() << " epoch " << epoch
-                      << " validation " << metric << " (best "
-                      << stopping.best_metric() << " @ "
-                      << stopping.best_epoch() << ")";
-      }
-      if (stopping.ShouldStop(epoch)) {
-        result.stopped_early = true;
-        break;
-      }
-    }
-  }
-  if (stopping.has_observation()) {
-    result.best_validation_metric = stopping.best_metric();
-    result.best_epoch = stopping.best_epoch();
-    if (options_.restore_best && !best_snapshot.empty()) {
-      RestoreParameters(best_snapshot);
-    }
-  }
-  return result;
+  TrainLoop loop(model_, optimizer_.get(), config);
+  // batch_counter_ both seeds the per-shard sampling streams and is
+  // checkpointed/restored by the loop, so a resumed run draws exactly
+  // the streams the uninterrupted run would have.
+  return loop.Run(
+      [&](Rng* rng) { return RunEpoch(train_triples, sampler, rng); },
+      validate, &batch_counter_);
 }
 
 }  // namespace kge

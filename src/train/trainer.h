@@ -14,6 +14,7 @@
 #include "kg/triple.h"
 #include "models/kge_model.h"
 #include "optim/optimizer.h"
+#include "train/train_loop.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -79,28 +80,21 @@ struct TrainerOptions {
   // it regroups the sampling streams (results stay deterministic for any
   // thread count, but differ across shard sizes).
   int grad_shard_size = 64;
+  // Durable checkpointing + exact resume (off unless `dir` is set) and
+  // non-finite-loss rollback; see train/train_checkpoint.h.
+  CheckpointingOptions checkpointing;
+  DivergenceGuardOptions divergence;
 };
 
-struct TrainResult {
-  int epochs_run = 0;
-  double final_mean_loss = 0.0;
-  double best_validation_metric = 0.0;
-  int best_epoch = -1;
-  bool stopped_early = false;
-  // Mean per-example loss after each epoch (learning curve).
-  std::vector<double> loss_history;
-  // Wall-clock seconds per epoch (throughput = triples / epoch_seconds).
-  std::vector<double> epoch_seconds;
-  // (epoch, metric) for every validation performed.
-  std::vector<std::pair<int, double>> validation_history;
-};
+// TrainResult and ValidationFn live in train/train_loop.h (the epoch
+// loop shared with OneVsAllTrainer).
 
 class Trainer {
  public:
   // `validate` is called with the current epoch and must return the
   // validation metric (higher = better, typically filtered MRR); pass
   // nullptr to train for max_epochs without early stopping.
-  using ValidationFn = std::function<double(int epoch)>;
+  using ValidationFn = ::kge::ValidationFn;
 
   Trainer(KgeModel* model, const TrainerOptions& options);
 
@@ -147,10 +141,6 @@ class Trainer {
   // Epoch-level scratch reused across epochs (zero steady-state allocs).
   std::vector<size_t> order_;
   std::vector<EntityId> touched_entities_;
-
-  // Snapshot/restore of all parameter blocks for restore_best.
-  std::vector<std::vector<float>> SnapshotParameters() const;
-  void RestoreParameters(const std::vector<std::vector<float>>& snapshot);
   std::vector<ParameterBlock*> blocks_;
 };
 

@@ -1,0 +1,40 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace kge {
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t count) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t state = ~crc;
+  for (size_t i = 0; i < count; ++i) {
+    state = (state >> 8) ^ kTable[(state ^ bytes[i]) & 0xFFu];
+  }
+  return ~state;
+}
+
+uint32_t Crc32c(const void* data, size_t count) {
+  return Crc32cExtend(0, data, count);
+}
+
+}  // namespace kge

@@ -1,0 +1,161 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/string_utils.h"
+#include "util/thread_annotations.h"
+
+namespace kge {
+namespace failpoint {
+namespace {
+
+enum class Action { kCrash, kError };
+
+struct Armed {
+  Action action;
+  // 1-based evaluation count on which the action fires.
+  uint64_t fire_on_hit;
+  uint64_t hits = 0;
+  bool fired = false;
+};
+
+struct Registry {
+  Mutex mutex;
+  std::unordered_map<std::string, Armed> sites KGE_GUARDED_BY(mutex);
+  bool env_parsed KGE_GUARDED_BY(mutex) = false;
+};
+
+Registry& GetRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+Result<Armed> ParseSpec(const std::string& spec) {
+  std::string action = spec;
+  uint64_t fire_on_hit = 1;
+  const size_t at = spec.find('@');
+  if (at != std::string::npos) {
+    action = spec.substr(0, at);
+    const std::string count = spec.substr(at + 1);
+    if (count.empty()) {
+      return Status::InvalidArgument("failpoint spec has empty hit count: " +
+                                     spec);
+    }
+    // Digits only: strtoull would silently accept "-1" (wrapping) and
+    // leading whitespace.
+    for (char c : count) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("failpoint spec has bad hit count: " +
+                                       spec);
+      }
+    }
+    char* end = nullptr;
+    fire_on_hit = std::strtoull(count.c_str(), &end, 10);
+    if (*end != '\0' || fire_on_hit == 0) {
+      return Status::InvalidArgument("failpoint spec has bad hit count: " +
+                                     spec);
+    }
+  }
+  if (action == "crash") return Armed{Action::kCrash, fire_on_hit};
+  if (action == "error") return Armed{Action::kError, fire_on_hit};
+  return Status::InvalidArgument("unknown failpoint action: " + spec);
+}
+
+// Parses KGE_FAILPOINTS="site=spec,site=spec". Malformed entries are
+// reported on stderr and skipped (an armed test harness should fail
+// loudly later when the site never fires, not crash the trainee here).
+void ParseEnvLocked(Registry& registry) KGE_REQUIRES(registry.mutex) {
+  if (registry.env_parsed) return;
+  registry.env_parsed = true;
+  const char* env = std::getenv("KGE_FAILPOINTS");
+  if (env == nullptr) return;
+  for (const std::string& entry : SplitString(env, ',')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "KGE_FAILPOINTS: ignoring malformed '%s'\n",
+                   entry.c_str());
+      continue;
+    }
+    const std::string site = entry.substr(0, eq);
+    Result<Armed> armed = ParseSpec(entry.substr(eq + 1));
+    if (!armed.ok()) {
+      std::fprintf(stderr, "KGE_FAILPOINTS: %s\n",
+                   armed.status().ToString().c_str());
+      continue;
+    }
+    registry.sites[site] = *armed;
+  }
+}
+
+}  // namespace
+
+bool Enabled() {
+#if defined(KGE_FAILPOINTS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Status Set(const std::string& site, const std::string& spec) {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mutex);
+  ParseEnvLocked(registry);
+  if (spec == "off") {
+    registry.sites.erase(site);
+    return Status::Ok();
+  }
+  Result<Armed> armed = ParseSpec(spec);
+  if (!armed.ok()) return armed.status();
+  registry.sites[site] = *armed;
+  return Status::Ok();
+}
+
+void ClearAll() {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mutex);
+  registry.sites.clear();
+  // Leave env_parsed set: ClearAll means "disarm everything", including
+  // whatever the environment configured.
+  registry.env_parsed = true;
+}
+
+Status Evaluate(const char* site) {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mutex);
+  ParseEnvLocked(registry);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) return Status::Ok();
+  Armed& armed = it->second;
+  ++armed.hits;
+  if (armed.fired || armed.hits != armed.fire_on_hit) return Status::Ok();
+  armed.fired = true;
+  switch (armed.action) {
+    case Action::kCrash:
+      std::fprintf(stderr, "failpoint %s: simulating crash (hit %llu)\n",
+                   site, (unsigned long long)armed.hits);
+      std::fflush(stderr);
+      // _exit, not abort/exit: no atexit handlers, no stream flushing,
+      // no destructors — the closest portable stand-in for SIGKILL.
+      ::_exit(kFailpointExitCode);
+    case Action::kError:
+      return Status::IoError(std::string("failpoint ") + site);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> KnownSites() {
+  return {
+      "io.writer.close",     "io.writer.rename", "ckpt.save.begin",
+      "ckpt.save.latest",    "ckpt.save.retention", "ckpt.load.begin",
+      "train.epoch.end",     "train.epoch.after_ckpt",
+  };
+}
+
+}  // namespace failpoint
+}  // namespace kge

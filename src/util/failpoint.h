@@ -1,0 +1,72 @@
+// Failpoints: named fault-injection sites for crash-safety testing.
+//
+// A failpoint is a `KGE_FAILPOINT("site.name")` expression placed at a
+// point where a crash or I/O error must be survivable (checkpoint
+// writes, the epoch loop). In normal builds the macro is a constant
+// `Status::Ok()` and the site costs nothing. When the build opts in
+// with -DKGE_FAILPOINTS (CMake option KGE_FAILPOINTS=ON), each site
+// consults a process-wide registry that can be armed:
+//
+//   * programmatically — failpoint::Set("ckpt.save.latest", "crash@2");
+//   * via the environment — KGE_FAILPOINTS="train.epoch.end=crash@2"
+//     (comma-separated site=spec pairs, parsed on first evaluation).
+//
+// A spec is `<action>[@<hit>]` with 1-based `hit` (default 1):
+//   crash@N   call _exit(kFailpointExitCode) on the N-th evaluation of
+//             the site — simulates SIGKILL/power loss at that point
+//   error@N   return Status::IoError on the N-th evaluation (one-shot;
+//             later evaluations pass), for testing error-path handling
+//   off       disarm the site
+//
+// The kill-and-resume harness (tests/checkpoint_resume_test.cc and the
+// CI smoke job) arms each registered crash site in a child process and
+// proves that the `latest` checkpoint pointer never references a torn
+// or checksum-invalid file, no matter where the process died.
+#ifndef KGE_UTIL_FAILPOINT_H_
+#define KGE_UTIL_FAILPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kge {
+namespace failpoint {
+
+// Exit code used by `crash` actions (distinguishable from normal exits
+// and from sanitizer aborts in test harnesses).
+inline constexpr int kFailpointExitCode = 42;
+
+// True when the build was configured with KGE_FAILPOINTS and sites are
+// live; false when KGE_FAILPOINT compiles to a constant Ok.
+bool Enabled();
+
+// Arms `site` with `spec` ("crash", "crash@3", "error@2", "off").
+// Returns InvalidArgument for a malformed spec. Works even in builds
+// without KGE_FAILPOINTS (the registry exists; sites just never consult
+// it), which keeps tests compilable everywhere.
+Status Set(const std::string& site, const std::string& spec);
+
+// Disarms every site and resets hit counters and the env-parsed flag.
+void ClearAll();
+
+// Evaluates a site: counts the hit and performs the armed action, if
+// any. Called via KGE_FAILPOINT; exposed for the registry's own tests.
+Status Evaluate(const char* site);
+
+// Every site name compiled into the library, for harnesses that iterate
+// "arm each crash site in a child and prove recovery". Kept in one
+// place so a new KGE_FAILPOINT site cannot be forgotten by the matrix
+// test (which cross-checks this list).
+std::vector<std::string> KnownSites();
+
+}  // namespace failpoint
+}  // namespace kge
+
+#if defined(KGE_FAILPOINTS)
+#define KGE_FAILPOINT(site) ::kge::failpoint::Evaluate(site)
+#else
+#define KGE_FAILPOINT(site) ::kge::Status::Ok()
+#endif
+
+#endif  // KGE_UTIL_FAILPOINT_H_

@@ -24,6 +24,15 @@ uint64_t SplitMix64Next(uint64_t* state);
 // event), not whenever the XOR of scaled counters happens to cancel.
 uint64_t DeriveStreamSeed(uint64_t seed, uint64_t a, uint64_t b);
 
+// Complete serializable state of an Rng: the xoshiro256++ words plus the
+// Box-Muller cache (a gaussian draw produces two values; the spare one
+// must survive a checkpoint/resume cycle or the stream diverges).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 // Xoshiro256++ engine wrapped with distribution helpers. Copyable so that
 // per-thread streams can be forked deterministically via Fork().
 class Rng {
@@ -61,6 +70,11 @@ class Rng {
 
   // Returns an independent generator derived from this one's stream.
   Rng Fork();
+
+  // Snapshot / restore the full generator state (for exact training
+  // resume): SetState(GetState()) round-trips bit-exactly.
+  RngState GetState() const;
+  void SetState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,142 @@
+// Adversarial robustness of the checkpoint loader: truncation at every
+// byte offset and bit flips through the header must produce a clean
+// Status — never a crash, a hang, or an attempt to allocate from a
+// corrupt length field.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "models/checkpoint.h"
+#include "models/model_factory.h"
+#include "optim/optimizer.h"
+#include "train/train_checkpoint.h"
+#include "util/io.h"
+
+namespace kge {
+namespace {
+
+constexpr int32_t kEntities = 8;
+constexpr int32_t kRelations = 2;
+constexpr int32_t kBudget = 8;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string SaveModelBytes() {
+  const std::string path = TempPath("corrupt_src_model.bin");
+  auto model = MakeModelByName("distmult", kEntities, kRelations, kBudget, 1);
+  EXPECT_TRUE(SaveModelCheckpoint(**model, path).ok());
+  Result<std::string> bytes = ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok());
+  std::remove(path.c_str());
+  return *bytes;
+}
+
+std::string SaveTrainingBytes() {
+  const std::string path = TempPath("corrupt_src_train.bin");
+  auto model = MakeModelByName("distmult", kEntities, kRelations, kBudget, 1);
+  auto optimizer = MakeOptimizer("adam", (*model)->Blocks(), 1e-3);
+  EXPECT_TRUE(optimizer.ok());
+  TrainingState state;
+  state.trainer_kind = "negative_sampling";
+  state.seed = 1234;
+  state.epoch = 3;
+  state.batch_counter = 99;
+  state.loss_history = {0.9, 0.7, 0.5};
+  state.epoch_seconds = {0.1, 0.1, 0.1};
+  state.validation_history = {{2, 0.4}};
+  state.best_epoch = 2;
+  state.best_metric = 0.4;
+  EXPECT_TRUE(
+      SaveTrainingCheckpoint(**model, **optimizer, state, path).ok());
+  Result<std::string> bytes = ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok());
+  std::remove(path.c_str());
+  return *bytes;
+}
+
+// Writes `bytes` to a scratch file and runs every loader against it;
+// all must return (cleanly) with a non-ok Status.
+void ExpectAllLoadersReject(const std::string& bytes,
+                            const std::string& label) {
+  const std::string path = TempPath("corrupt_probe.bin");
+  ASSERT_TRUE(WriteStringToFile(path, bytes).ok());
+  EXPECT_FALSE(VerifyCheckpoint(path).ok()) << label;
+
+  auto model = MakeModelByName("distmult", kEntities, kRelations, kBudget, 9);
+  EXPECT_FALSE(LoadModelCheckpoint(model->get(), path).ok()) << label;
+
+  auto optimizer = MakeOptimizer("adam", (*model)->Blocks(), 1e-3);
+  ASSERT_TRUE(optimizer.ok());
+  TrainingState state;
+  EXPECT_FALSE(
+      LoadTrainingCheckpoint(model->get(), optimizer->get(), &state, path)
+          .ok())
+      << label;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruptionTest, TruncationAtEveryByteFailsCleanly) {
+  const std::string bytes = SaveModelBytes();
+  ASSERT_GT(bytes.size(), 8u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ExpectAllLoadersReject(bytes.substr(0, len),
+                           "model ckpt truncated to " + std::to_string(len));
+  }
+}
+
+TEST(CheckpointCorruptionTest, TrainingCheckpointTruncationFailsCleanly) {
+  const std::string bytes = SaveTrainingBytes();
+  ASSERT_GT(bytes.size(), 8u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ExpectAllLoadersReject(bytes.substr(0, len),
+                           "train ckpt truncated to " + std::to_string(len));
+  }
+}
+
+TEST(CheckpointCorruptionTest, BitFlipsThroughHeaderFailCleanly) {
+  // Every bit of the header region (magic, version, kind, model name and
+  // block-count/shape prefixes) individually flipped. Whatever the parse
+  // path — wrong magic, absurd length, shape mismatch, or the final CRC
+  // check — the result must be a clean error.
+  const std::string bytes = SaveTrainingBytes();
+  const size_t header_span = std::min<size_t>(bytes.size(), 64);
+  for (size_t byte = 0; byte < header_span; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = bytes;
+      corrupted[byte] = char(corrupted[byte] ^ char(1 << bit));
+      ExpectAllLoadersReject(corrupted, "flip byte " + std::to_string(byte) +
+                                            " bit " + std::to_string(bit));
+    }
+  }
+}
+
+TEST(CheckpointCorruptionTest, BitFlipsSampledThroughBodyFailCleanly) {
+  const std::string bytes = SaveModelBytes();
+  // Stride through the body so the sweep covers payload and the trailing
+  // CRC itself without taking quadratic time on bigger models.
+  for (size_t byte = 0; byte < bytes.size(); byte += 7) {
+    std::string corrupted = bytes;
+    corrupted[byte] = char(corrupted[byte] ^ 0x40);
+    ExpectAllLoadersReject(corrupted, "flip byte " + std::to_string(byte));
+  }
+  // The last four bytes are the stored CRC; corrupt each explicitly.
+  for (size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+    std::string corrupted = bytes;
+    corrupted[i] = char(corrupted[i] ^ 0x01);
+    ExpectAllLoadersReject(corrupted, "flip crc byte " + std::to_string(i));
+  }
+}
+
+TEST(CheckpointCorruptionTest, TrailingGarbageIsRejected) {
+  const std::string bytes = SaveModelBytes();
+  ExpectAllLoadersReject(bytes + std::string(16, '\0'), "trailing zeros");
+  ExpectAllLoadersReject(bytes + bytes, "doubled file");
+}
+
+}  // namespace
+}  // namespace kge

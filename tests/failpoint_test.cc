@@ -1,0 +1,101 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace kge {
+namespace {
+
+class FailpointTest : public testing::Test {
+ protected:
+  void TearDown() override { failpoint::ClearAll(); }
+};
+
+TEST_F(FailpointTest, RejectsMalformedSpecs) {
+  EXPECT_EQ(failpoint::Set("a.site", "").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::Set("a.site", "explode").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::Set("a.site", "crash@").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::Set("a.site", "crash@zero").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::Set("a.site", "crash@0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::Set("a.site", "error@-1").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, AcceptsWellFormedSpecs) {
+  EXPECT_TRUE(failpoint::Set("a.site", "crash").ok());
+  EXPECT_TRUE(failpoint::Set("a.site", "crash@3").ok());
+  EXPECT_TRUE(failpoint::Set("a.site", "error@2").ok());
+  EXPECT_TRUE(failpoint::Set("a.site", "off").ok());
+}
+
+TEST_F(FailpointTest, KnownSitesIsNonEmptyAndStable) {
+  const std::vector<std::string> sites = failpoint::KnownSites();
+  ASSERT_FALSE(sites.empty());
+  // The crash-safety matrix in checkpoint_resume_test.cc iterates this
+  // list; the sites it reasons about must exist.
+  const std::vector<std::string> expected = {
+      "io.writer.close",  "io.writer.rename",    "ckpt.save.begin",
+      "ckpt.save.latest", "ckpt.save.retention", "ckpt.load.begin",
+      "train.epoch.end",  "train.epoch.after_ckpt"};
+  EXPECT_EQ(sites, expected);
+}
+
+TEST_F(FailpointTest, UnarmedSiteIsOk) {
+  EXPECT_TRUE(failpoint::Evaluate("never.armed").ok());
+}
+
+TEST_F(FailpointTest, ErrorFiresOnNthHitExactlyOnce) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "build does not define KGE_FAILPOINTS";
+  }
+  ASSERT_TRUE(failpoint::Set("a.site", "error@3").ok());
+  EXPECT_TRUE(failpoint::Evaluate("a.site").ok());
+  EXPECT_TRUE(failpoint::Evaluate("a.site").ok());
+  const Status hit = failpoint::Evaluate("a.site");
+  EXPECT_EQ(hit.code(), StatusCode::kIoError);
+  // One-shot: subsequent evaluations pass again.
+  EXPECT_TRUE(failpoint::Evaluate("a.site").ok());
+  EXPECT_TRUE(failpoint::Evaluate("a.site").ok());
+}
+
+TEST_F(FailpointTest, OffDisarmsSite) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "build does not define KGE_FAILPOINTS";
+  }
+  ASSERT_TRUE(failpoint::Set("a.site", "error").ok());
+  ASSERT_TRUE(failpoint::Set("a.site", "off").ok());
+  EXPECT_TRUE(failpoint::Evaluate("a.site").ok());
+}
+
+TEST_F(FailpointTest, ClearAllDisarmsEverything) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "build does not define KGE_FAILPOINTS";
+  }
+  ASSERT_TRUE(failpoint::Set("a.site", "error").ok());
+  ASSERT_TRUE(failpoint::Set("b.site", "error").ok());
+  failpoint::ClearAll();
+  EXPECT_TRUE(failpoint::Evaluate("a.site").ok());
+  EXPECT_TRUE(failpoint::Evaluate("b.site").ok());
+}
+
+using FailpointDeathTest = FailpointTest;
+
+TEST_F(FailpointDeathTest, CrashExitsWithFailpointCode) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "build does not define KGE_FAILPOINTS";
+  }
+  ASSERT_TRUE(failpoint::Set("a.site", "crash@2").ok());
+  EXPECT_TRUE(failpoint::Evaluate("a.site").ok());
+  EXPECT_EXIT(
+      { (void)failpoint::Evaluate("a.site"); },
+      testing::ExitedWithCode(failpoint::kFailpointExitCode), "failpoint");
+}
+
+}  // namespace
+}  // namespace kge

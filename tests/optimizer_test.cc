@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <functional>
+#include <string>
 
 #include "optim/constraints.h"
+#include "util/io.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -208,6 +211,108 @@ TEST(OptimizerTest, ParallelApplyIsBitIdenticalToSerial) {
           << name << " element " << i;
     }
   }
+}
+
+TEST(OptimizerTest, LearningRateAccessors) {
+  ParameterBlock block("x", 1, 1);
+  for (const char* name : {"sgd", "adagrad", "adam"}) {
+    auto optimizer = MakeOptimizer(name, {&block}, 0.25);
+    ASSERT_TRUE(optimizer.ok()) << name;
+    EXPECT_EQ((*optimizer)->learning_rate(), 0.25) << name;
+    (*optimizer)->set_learning_rate(0.125);
+    EXPECT_EQ((*optimizer)->learning_rate(), 0.125) << name;
+  }
+}
+
+// Save the optimizer state mid-run, reload it into a fresh optimizer,
+// and finish the run: the parameters must be bit-identical to an
+// uninterrupted run. This is the optimizer half of the exact-resume
+// contract.
+TEST(OptimizerTest, StateRoundTripContinuesBitIdentically) {
+  constexpr int64_t kRows = 16;
+  constexpr int32_t kDim = 4;
+  constexpr int kTotalSteps = 12;
+  constexpr int kSplitStep = 5;
+  const std::string path = testing::TempDir() + "/opt_state.bin";
+
+  auto run_steps = [&](Optimizer* optimizer, GradientBuffer* grads,
+                       Rng* rng, int steps) {
+    for (int s = 0; s < steps; ++s) {
+      grads->Clear();
+      for (int64_t row = 0; row < kRows; ++row) {
+        if (rng->NextBool(0.25)) continue;
+        auto g = grads->GradFor(0, row);
+        for (size_t d = 0; d < size_t(kDim); ++d) {
+          g[d] = rng->NextUniform(-1.0f, 1.0f);
+        }
+      }
+      optimizer->Apply(*grads);
+    }
+  };
+
+  for (const char* name : {"sgd", "adagrad", "adam"}) {
+    ParameterBlock ref_block("x", kRows, kDim);
+    ParameterBlock resumed_block("x", kRows, kDim);
+    Rng init(5);
+    ref_block.InitUniform(&init, -0.5f, 0.5f);
+    std::copy(ref_block.Flat().begin(), ref_block.Flat().end(),
+              resumed_block.Flat().begin());
+    GradientBuffer ref_grads({&ref_block});
+    GradientBuffer resumed_grads({&resumed_block});
+
+    // Reference: uninterrupted run.
+    auto ref_opt = MakeOptimizer(name, {&ref_block}, 0.05).value();
+    Rng ref_rng(77);
+    run_steps(ref_opt.get(), &ref_grads, &ref_rng, kTotalSteps);
+
+    // Interrupted: run to the split, persist, reload into a FRESH
+    // optimizer, finish with the identical gradient stream.
+    auto first_opt = MakeOptimizer(name, {&resumed_block}, 0.05).value();
+    Rng resumed_rng(77);
+    run_steps(first_opt.get(), &resumed_grads, &resumed_rng, kSplitStep);
+    {
+      BinaryWriter writer;
+      ASSERT_TRUE(writer.Open(path).ok());
+      ASSERT_TRUE(first_opt->SaveState(&writer).ok());
+      ASSERT_TRUE(writer.Close().ok());
+    }
+    auto second_opt = MakeOptimizer(name, {&resumed_block}, 0.999).value();
+    {
+      BinaryReader reader;
+      ASSERT_TRUE(reader.Open(path).ok());
+      ASSERT_TRUE(second_opt->LoadState(&reader).ok());
+    }
+    // LoadState restores the saved learning rate too.
+    EXPECT_EQ(second_opt->learning_rate(), 0.05) << name;
+    run_steps(second_opt.get(), &resumed_grads, &resumed_rng,
+              kTotalSteps - kSplitStep);
+
+    const auto ref_flat = ref_block.Flat();
+    const auto resumed_flat = resumed_block.Flat();
+    ASSERT_EQ(ref_flat.size(), resumed_flat.size());
+    for (size_t i = 0; i < ref_flat.size(); ++i) {
+      ASSERT_EQ(ref_flat[i], resumed_flat[i]) << name << " element " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(OptimizerTest, LoadStateRejectsWrongOptimizerKind) {
+  ParameterBlock block("x", 2, 2);
+  const std::string path = testing::TempDir() + "/opt_kind.bin";
+  auto adam = MakeOptimizer("adam", {&block}, 0.1).value();
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(adam->SaveState(&writer).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto sgd = MakeOptimizer("sgd", {&block}, 0.1).value();
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  const Status status = sgd->LoadState(&reader);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
 }
 
 TEST(ConstraintsTest, CollectTouchedRowsFiltersByBlock) {

@@ -47,6 +47,19 @@ int Run(int argc, char** argv) {
                    "synthetic dataset family: wordnet | freebase");
   parser.AddString("checkpoint", &checkpoint,
                    "write the trained model checkpoint here");
+  std::string checkpoint_dir;
+  int64_t checkpoint_every = 1;
+  int64_t keep_last = 3;
+  bool resume = false;
+  parser.AddString("checkpoint-dir", &checkpoint_dir,
+                   "directory for durable training checkpoints (with "
+                   "optimizer/RNG state for exact resume); empty = off");
+  parser.AddInt("checkpoint-every", &checkpoint_every,
+                "training-checkpoint cadence in epochs");
+  parser.AddInt("keep-last", &keep_last,
+                "training checkpoints retained (best + latest always kept)");
+  parser.AddBool("resume", &resume,
+                 "resume bit-identically from <checkpoint-dir>/LATEST");
   std::string export_tsv;
   parser.AddString("export-tsv", &export_tsv,
                    "write entity embeddings to <prefix>_vectors.tsv and "
@@ -141,6 +154,14 @@ int Run(int argc, char** argv) {
   options.seed = uint64_t(seed);
   options.log_every_epochs = 20;
   options.num_threads = int(train_threads);
+  options.checkpointing.dir = checkpoint_dir;
+  options.checkpointing.every_epochs = int(checkpoint_every);
+  options.checkpointing.keep_last = int(keep_last);
+  options.checkpointing.resume = resume;
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
 
   Stopwatch watch;
   if (grid_search) {
@@ -170,7 +191,10 @@ int Run(int argc, char** argv) {
       data.valid.empty()
           ? Trainer::ValidationFn()
           : [&](int) { return validate(model->get()); });
-  KGE_CHECK_OK(trained.status());
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
   std::printf("trained %d epochs in %.1fs (best valid MRR %.3f @ epoch %d)\n",
               trained->epochs_run, watch.ElapsedSeconds(),
               trained->best_validation_metric, trained->best_epoch);
@@ -209,7 +233,7 @@ int Run(int argc, char** argv) {
   }
 
   if (!checkpoint.empty()) {
-    KGE_CHECK_OK(SaveModelCheckpoint(model->get(), checkpoint));
+    KGE_CHECK_OK(SaveModelCheckpoint(**model, checkpoint));
     std::printf("checkpoint written to %s\n", checkpoint.c_str());
   }
   if (!export_tsv.empty()) {
