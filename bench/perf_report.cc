@@ -79,6 +79,14 @@ namespace {
 // Sink that the optimizer cannot discard reduction results into.
 volatile double g_sink = 0.0;
 
+// Default output location: the repo root (baked in at configure time),
+// so the benchmark trajectory accumulates in one canonical place no
+// matter which build directory the binary runs from. Overridable with
+// --out / --train_out / --eval_out.
+#ifndef KGE_REPO_ROOT
+#define KGE_REPO_ROOT "."
+#endif
+
 struct PerfConfig {
   int64_t entities = 40000;    // full-vocab ranking table size
   int64_t dim_budget = 256;    // total floats per entity (ComplEx: 2x128)
@@ -90,8 +98,9 @@ struct PerfConfig {
   int64_t train_entities = 2000;  // WN18-like KG size for training bench
   int64_t train_epochs = 2;       // timed epochs (one warm-up on top)
   int64_t train_negatives = 4;    // negatives per positive
-  std::string out = "BENCH_kernels.json";
-  std::string train_out = "BENCH_training.json";
+  std::string out = std::string(KGE_REPO_ROOT) + "/BENCH_kernels.json";
+  std::string train_out = std::string(KGE_REPO_ROOT) + "/BENCH_training.json";
+  std::string eval_out = std::string(KGE_REPO_ROOT) + "/BENCH_eval.json";
   bool quick = false;
 
   void Finalize() {
@@ -191,6 +200,40 @@ std::vector<KernelRow> BenchKernels(const PerfConfig& config) {
       [&] {
         simd::ref::DotBatch(a.data(), rows.data(), batch_rows, n,
                             batch_out.data());
+      }));
+  // Multi-query batch kernel: 8 queries against the same row block.
+  const size_t multi_queries = 8;
+  const auto query_mat = RandomVector(&rng, multi_queries * n);
+  std::vector<float> multi_out(multi_queries * batch_rows);
+  kernels.push_back(BenchKernel(
+      "dot_batch_multi", int64_t(n),
+      2.0 * double(n) * double(batch_rows) * double(multi_queries),
+      std::max<int64_t>(iters / 2048, 8),
+      [&] {
+        simd::DotBatchMulti(query_mat.data(), multi_queries, rows.data(),
+                            batch_rows, n, multi_out.data());
+      },
+      [&] {
+        simd::ref::DotBatchMulti(query_mat.data(), multi_queries,
+                                 rows.data(), batch_rows, n,
+                                 multi_out.data());
+      }));
+  // Id-indirected batch kernel: a shuffled candidate set scored straight
+  // out of the row table (the gather-free ScoreTailBatch path).
+  std::vector<int32_t> ids(batch_rows);
+  for (size_t i = 0; i < batch_rows; ++i) {
+    ids[i] = int32_t(rng.NextBounded(uint64_t(batch_rows)));
+  }
+  kernels.push_back(BenchKernel(
+      "dot_batch_indexed", int64_t(n), 2.0 * double(n) * double(batch_rows),
+      std::max<int64_t>(iters / 256, 16),
+      [&] {
+        simd::DotBatchIndexed(a.data(), rows.data(), ids.data(), batch_rows,
+                              n, batch_out.data());
+      },
+      [&] {
+        simd::ref::DotBatchIndexed(a.data(), rows.data(), ids.data(),
+                                   batch_rows, n, batch_out.data());
       }));
   kernels.push_back(BenchKernel(
       "hadamard_axpy", int64_t(n), 3.0 * double(n), iters,
@@ -345,6 +388,156 @@ EvalThroughput BenchEndToEnd(const PerfConfig& config) {
   result.filtered_mrr = metrics.Mrr();
   result.filtered_hits10 = metrics.HitsAt(10);
   return result;
+}
+
+// ---- Eval batching ---------------------------------------------------------
+// Full-vocabulary ranking throughput as a function of the query batch
+// size B: the same Q queries are folded and ranked either one at a time
+// (B = 1, the per-query ScoreAllTails GEMV path) or B at a time through
+// ScoreAllTailsBatch's cache-blocked multi-query kernel. Scores are
+// bit-identical at every B, so the rows measure pure memory scheduling:
+// each entity-table tile is streamed once per batch instead of once per
+// query.
+
+struct EvalBatchRow {
+  int batch = 1;
+  double ns_per_triple = 0.0;
+  double gb_per_s = 0.0;  // entity-table bytes scored per second
+  double allocs_per_triple = -1.0;  // -1 = not measured (sanitized build)
+  double speedup_vs_b1 = 1.0;
+};
+
+struct EvalBatchReport {
+  int64_t entities = 0;
+  int64_t dim = 0;
+  int64_t queries = 0;
+  std::vector<EvalBatchRow> rows;
+  // Metric-equality canary: full filtered Evaluate on the WN18-like KG,
+  // per-query path vs batched path.
+  double mrr_per_query = 0.0;
+  double mrr_batched = 0.0;
+  bool bit_identical = false;
+};
+
+EvalBatchReport BenchEvalBatching(const PerfConfig& config) {
+  const int32_t num_entities = int32_t(config.entities);
+  const int32_t num_relations = 18;
+  const int32_t dim = int32_t(config.dim_budget / 2);  // ComplEx: 2 vectors
+  std::unique_ptr<MultiEmbeddingModel> model =
+      MakeComplEx(num_entities, num_relations, dim, /*seed=*/42);
+
+  // A fixed query workload shared by every batch size: Q heads, one
+  // relation (grouping by relation is the evaluator's job; the kernel
+  // sees one relation per call either way), and a designated true tail
+  // per query for the rank scan.
+  Rng rng(13);
+  const int64_t num_queries = config.queries;
+  std::vector<EntityId> heads(static_cast<size_t>(num_queries));
+  std::vector<EntityId> truths(static_cast<size_t>(num_queries));
+  for (int64_t q = 0; q < num_queries; ++q) {
+    heads[size_t(q)] = EntityId(rng.NextBounded(uint64_t(num_entities)));
+    truths[size_t(q)] = EntityId(rng.NextBounded(uint64_t(num_entities)));
+  }
+  const RelationId relation = 0;
+
+  // Unfiltered rank scan over one score row — the same O(E) pass at
+  // every batch size, so batching differences isolate the scoring.
+  const auto rank_scan = [&](std::span<const float> row, EntityId truth) {
+    const float true_score = row[size_t(truth)];
+    size_t better = 0;
+    for (const float s : row) {
+      if (s > true_score) ++better;
+    }
+    return better;
+  };
+
+  const int batch_sizes[] = {1, 8, 32, 128};
+  const size_t max_batch = 128;
+  std::vector<float> scores(max_batch * size_t(num_entities));
+  volatile size_t rank_sink = 0;
+
+  EvalBatchReport report;
+  report.entities = num_entities;
+  report.dim = dim;
+  report.queries = num_queries;
+
+  for (const int batch : batch_sizes) {
+    // Warm-up pass: faults pages and grows the model's thread_local fold
+    // scratch to this batch size, so the timed loop is steady state.
+    const auto run_pass = [&] {
+      for (int64_t q0 = 0; q0 < num_queries; q0 += batch) {
+        const size_t count =
+            size_t(std::min<int64_t>(batch, num_queries - q0));
+        const std::span<float> block(scores.data(),
+                                     count * size_t(num_entities));
+        if (batch == 1) {
+          model->ScoreAllTails(heads[size_t(q0)], relation, block);
+        } else {
+          model->ScoreAllTailsBatch(
+              std::span<const EntityId>(heads.data() + q0, count), relation,
+              block);
+        }
+        for (size_t i = 0; i < count; ++i) {
+          rank_sink = rank_sink +
+                      rank_scan(block.subspan(i * size_t(num_entities),
+                                              size_t(num_entities)),
+                                truths[size_t(q0) + i]);
+        }
+      }
+    };
+    run_pass();
+
+#if KGE_COUNT_ALLOCS
+    const uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+#endif
+    Stopwatch sw;
+    run_pass();
+    const double seconds = sw.ElapsedSeconds();
+
+    EvalBatchRow row;
+    row.batch = batch;
+#if KGE_COUNT_ALLOCS
+    const uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    row.allocs_per_triple = double(allocs) / double(num_queries);
+#endif
+    row.ns_per_triple = seconds / double(num_queries) * 1e9;
+    const double table_bytes = double(num_queries) * double(num_entities) *
+                               double(config.dim_budget) * sizeof(float);
+    row.gb_per_s = table_bytes / seconds / 1e9;
+    report.rows.push_back(row);
+  }
+  for (EvalBatchRow& row : report.rows) {
+    row.speedup_vs_b1 = report.rows.front().ns_per_triple / row.ns_per_triple;
+  }
+
+  // Metric-equality canary on the end-to-end KG: the batched evaluator
+  // must reproduce the per-query metrics bit-for-bit.
+  WordNetLikeOptions kg_options;
+  kg_options.num_entities = int32_t(config.eval_entities);
+  kg_options.seed = 42;
+  const Dataset dataset = GenerateWordNetLike(kg_options);
+  FilterIndex filter;
+  filter.Build(dataset.train, dataset.valid, dataset.test);
+  Evaluator evaluator(&filter, dataset.num_relations());
+  std::unique_ptr<MultiEmbeddingModel> eval_model = MakeComplEx(
+      dataset.num_entities(), dataset.num_relations(), dim, /*seed=*/42);
+  EvalOptions eval_options;
+  eval_options.filtered = true;
+  eval_options.max_triples = size_t(config.eval_triples);
+  eval_options.batch_queries = 1;
+  const RankingMetrics per_query =
+      evaluator.EvaluateOverall(*eval_model, dataset.test, eval_options);
+  eval_options.batch_queries = 32;
+  const RankingMetrics batched =
+      evaluator.EvaluateOverall(*eval_model, dataset.test, eval_options);
+  report.mrr_per_query = per_query.Mrr();
+  report.mrr_batched = batched.Mrr();
+  report.bit_identical = per_query.Mrr() == batched.Mrr() &&
+                         per_query.MeanRank() == batched.MeanRank() &&
+                         per_query.HitsAt(10) == batched.HitsAt(10);
+  return report;
 }
 
 // ---- Training throughput ---------------------------------------------------
@@ -611,6 +804,45 @@ std::string BuildTrainingJson(const PerfConfig& config,
   return out.str();
 }
 
+std::string BuildEvalJson(const PerfConfig& config,
+                          const EvalBatchReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  AppendMeta(out, config);
+  out << "  \"eval_batching\": {\n";
+  out << "    \"model\": \"ComplEx\",\n";
+  out << "    \"entities\": " << report.entities << ",\n";
+  out << "    \"dim_per_vector\": " << report.dim << ",\n";
+  out << "    \"queries\": " << report.queries << ",\n";
+  out << "    \"rows\": [\n";
+  for (size_t i = 0; i < report.rows.size(); ++i) {
+    const EvalBatchRow& r = report.rows[i];
+    out << "      {\"batch\": " << r.batch
+        << ", \"ns_per_triple\": " << JsonNumber(r.ns_per_triple)
+        << ", \"gb_per_s\": " << JsonNumber(r.gb_per_s)
+        << ", \"allocs_per_triple\": ";
+    if (r.allocs_per_triple < 0.0) {
+      out << "null";
+    } else {
+      out << JsonNumber(r.allocs_per_triple);
+    }
+    out << ", \"speedup_vs_b1\": " << JsonNumber(r.speedup_vs_b1) << "}"
+        << (i + 1 < report.rows.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n";
+  out << "    \"equality\": {\n";
+  out << "      \"mrr_per_query\": " << JsonNumber(report.mrr_per_query)
+      << ",\n";
+  out << "      \"mrr_batched\": " << JsonNumber(report.mrr_batched) << ",\n";
+  out << "      \"bit_identical\": "
+      << (report.bit_identical ? "true" : "false") << "\n";
+  out << "    }\n";
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
 int Run(int argc, char** argv) {
   PerfConfig config;
   FlagParser parser(
@@ -637,6 +869,8 @@ int Run(int argc, char** argv) {
   parser.AddString("out", &config.out, "output JSON path");
   parser.AddString("train_out", &config.train_out,
                    "training-section output JSON path");
+  parser.AddString("eval_out", &config.eval_out,
+                   "eval-batching output JSON path");
   parser.AddBool("quick", &config.quick, "tiny CI smoke preset");
   const Status status = parser.Parse(argc, argv);
   if (status.code() == StatusCode::kNotFound) return 0;
@@ -669,6 +903,22 @@ int Run(int argc, char** argv) {
   KGE_LOG(Info) << "  " << eval.triples_per_sec << " triples/sec, MRR="
                << eval.filtered_mrr;
 
+  KGE_LOG(Info) << "benchmarking batched full-vocab ranking...";
+  const EvalBatchReport eval_batching = BenchEvalBatching(config);
+  for (const EvalBatchRow& row : eval_batching.rows) {
+    KGE_LOG(Info) << "  B=" << row.batch << ": " << row.ns_per_triple
+                  << " ns/triple, " << row.gb_per_s << " GB/s ("
+                  << row.speedup_vs_b1 << "x vs B=1, "
+                  << (row.allocs_per_triple < 0.0
+                          ? std::string("allocs not measured")
+                          : std::to_string(row.allocs_per_triple) +
+                                " allocs/triple")
+                  << ")";
+  }
+  KGE_LOG(Info) << "  metric equality (batched vs per-query): "
+                << (eval_batching.bit_identical ? "bit-identical"
+                                                : "MISMATCH");
+
   KGE_LOG(Info) << "benchmarking training throughput...";
   const std::vector<TrainingRow> training = BenchTraining(config);
   for (const TrainingRow& row : training) {
@@ -699,6 +949,15 @@ int Run(int argc, char** argv) {
   }
   training_file << training_json;
   KGE_LOG(Info) << "wrote " << config.train_out;
+
+  const std::string eval_json = BuildEvalJson(config, eval_batching);
+  std::ofstream eval_file(config.eval_out);
+  if (!eval_file) {
+    KGE_LOG(Error) << "cannot write " << config.eval_out;
+    return 1;
+  }
+  eval_file << eval_json;
+  KGE_LOG(Info) << "wrote " << config.eval_out;
   return 0;
 }
 

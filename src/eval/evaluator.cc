@@ -1,9 +1,10 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/check.h"
-#include "util/thread_annotations.h"
+#include "util/scratch.h"
 
 namespace kge {
 namespace {
@@ -90,6 +91,34 @@ size_t Evaluator::CountHeadCandidates(const Triple& triple,
                          triple.head);
 }
 
+int ResolveEvalBatchQueries(int requested, int32_t num_entities) {
+  if (requested >= 1) return requested;
+  // Auto: start at 32 queries per batch and halve while the per-thread
+  // B × E score matrix would exceed 64 MiB, so huge vocabularies never
+  // blow the cache budget (or the heap) just because batching is on.
+  constexpr size_t kMaxScoreMatrixBytes = 64u << 20;
+  int batch = 32;
+  while (batch > 1 && size_t(batch) * size_t(std::max(num_entities, 1)) *
+                              sizeof(float) >
+                          kMaxScoreMatrixBytes) {
+    batch /= 2;
+  }
+  return batch;
+}
+
+namespace {
+
+// One batched scoring call: `count` queries sharing a relation and a
+// side, covering eval-order triple indices order[begin .. begin+count).
+struct QueryBatch {
+  uint32_t begin = 0;
+  uint32_t count = 0;
+  RelationId relation = 0;
+  bool head_side = false;  // false: rank tails, true: rank heads
+};
+
+}  // namespace
+
 EvalResult Evaluator::Evaluate(const KgeModel& model,
                                const std::vector<Triple>& triples,
                                const EvalOptions& options) const {
@@ -111,41 +140,126 @@ EvalResult Evaluator::Evaluate(const KgeModel& model,
     eval_triples = &subset;
   }
 
+  // Ranks are pure per-triple functions of the scores, so they are
+  // computed in parallel into per-triple slots and the metrics are
+  // accumulated SERIALLY in the original triple order afterwards. That
+  // makes the result exactly invariant to both the thread count and the
+  // batching schedule (and equal to the pre-batching single-thread
+  // accumulation order).
+  const size_t num_triples = eval_triples->size();
+  const int32_t num_entities = model.num_entities();
+  std::vector<double> tail_ranks(num_triples), head_ranks(num_triples);
+  std::vector<size_t> tail_cands(num_triples), head_cands(num_triples);
+
+  const int batch_queries =
+      ResolveEvalBatchQueries(options.batch_queries, num_entities);
   ThreadPool pool(size_t(std::max(1, options.num_threads)));
-  // Guards `result` during shard merges; shards accumulate into
-  // thread-local `local` buffers and merge exactly once at the end.
-  Mutex merge_mutex;
-  pool.ParallelFor(0, eval_triples->size(), [&](size_t begin, size_t end) {
-    std::vector<float> scores(size_t(model.num_entities()));
-    EvalResult local;
-    local.per_relation.resize(size_t(num_relations_));
-    for (size_t i = begin; i < end; ++i) {
-      const Triple& triple = (*eval_triples)[i];
-      const int32_t num_entities = model.num_entities();
-      model.ScoreAllTails(triple.head, triple.relation, scores);
-      const double tail_rank = RankTail(triple, scores, options.filtered);
-      const size_t tail_candidates =
-          CountTailCandidates(triple, num_entities, options.filtered);
-      model.ScoreAllHeads(triple.tail, triple.relation, scores);
-      const double head_rank = RankHead(triple, scores, options.filtered);
-      const size_t head_candidates =
-          CountHeadCandidates(triple, num_entities, options.filtered);
-      local.overall.AddRank(tail_rank, tail_candidates);
-      local.overall.AddRank(head_rank, head_candidates);
-      PerRelationMetrics& rel =
-          local.per_relation[size_t(triple.relation)];
-      rel.tail_queries.AddRank(tail_rank, tail_candidates);
-      rel.head_queries.AddRank(head_rank, head_candidates);
+
+  if (batch_queries <= 1) {
+    // Legacy per-query GEMV path: one ScoreAllTails/Heads per triple.
+    pool.ParallelFor(0, num_triples, [&](size_t begin, size_t end) {
+      static thread_local std::vector<float> score_buf;
+      const std::span<float> scores =
+          ScratchSpan(score_buf, size_t(num_entities));
+      for (size_t i = begin; i < end; ++i) {
+        const Triple& triple = (*eval_triples)[i];
+        model.ScoreAllTails(triple.head, triple.relation, scores);
+        tail_ranks[i] = RankTail(triple, scores, options.filtered);
+        tail_cands[i] =
+            CountTailCandidates(triple, num_entities, options.filtered);
+        model.ScoreAllHeads(triple.tail, triple.relation, scores);
+        head_ranks[i] = RankHead(triple, scores, options.filtered);
+        head_cands[i] =
+            CountHeadCandidates(triple, num_entities, options.filtered);
+      }
+    });
+  } else {
+    // Batched GEMM path. Counting-sort the triple indices by relation
+    // (stable, deterministic), then cover each relation segment with
+    // tail-side and head-side batches of at most batch_queries queries:
+    // every batch folds once per query and streams each entity-table
+    // tile once per batch instead of once per query.
+    std::vector<uint32_t> order(num_triples);
+    std::vector<size_t> relation_counts(size_t(num_relations_) + 1, 0);
+    for (const Triple& t : *eval_triples) {
+      ++relation_counts[size_t(t.relation) + 1];
     }
-    MutexLock lock(merge_mutex);
-    result.overall.Merge(local.overall);
+    for (size_t r = 1; r < relation_counts.size(); ++r) {
+      relation_counts[r] += relation_counts[r - 1];
+    }
+    std::vector<size_t> cursor(relation_counts.begin(),
+                               relation_counts.end() - 1);
+    for (size_t i = 0; i < num_triples; ++i) {
+      order[cursor[size_t((*eval_triples)[i].relation)]++] = uint32_t(i);
+    }
+
+    std::vector<QueryBatch> batches;
+    batches.reserve(2 * (num_triples / size_t(batch_queries) +
+                         size_t(num_relations_) + 1));
     for (int32_t r = 0; r < num_relations_; ++r) {
-      result.per_relation[size_t(r)].tail_queries.Merge(
-          local.per_relation[size_t(r)].tail_queries);
-      result.per_relation[size_t(r)].head_queries.Merge(
-          local.per_relation[size_t(r)].head_queries);
+      const size_t seg_begin = relation_counts[size_t(r)];
+      const size_t seg_end = relation_counts[size_t(r) + 1];
+      for (int side = 0; side < 2; ++side) {
+        for (size_t b = seg_begin; b < seg_end; b += size_t(batch_queries)) {
+          QueryBatch batch;
+          batch.begin = uint32_t(b);
+          batch.count = uint32_t(
+              std::min(size_t(batch_queries), seg_end - b));
+          batch.relation = r;
+          batch.head_side = side == 1;
+          batches.push_back(batch);
+        }
+      }
     }
-  });
+
+    pool.ParallelFor(0, batches.size(), [&](size_t begin, size_t end) {
+      static thread_local std::vector<float> score_buf;
+      static thread_local std::vector<EntityId> query_buf;
+      for (size_t bi = begin; bi < end; ++bi) {
+        const QueryBatch& batch = batches[bi];
+        const std::span<EntityId> queries =
+            ScratchSpan(query_buf, size_t(batch.count));
+        for (uint32_t q = 0; q < batch.count; ++q) {
+          const Triple& triple = (*eval_triples)[order[batch.begin + q]];
+          queries[q] = batch.head_side ? triple.tail : triple.head;
+        }
+        const std::span<float> scores = ScratchSpan(
+            score_buf, size_t(batch.count) * size_t(num_entities));
+        if (batch.head_side) {
+          model.ScoreAllHeadsBatch(queries, batch.relation, scores);
+        } else {
+          model.ScoreAllTailsBatch(queries, batch.relation, scores);
+        }
+        for (uint32_t q = 0; q < batch.count; ++q) {
+          const size_t i = order[batch.begin + q];
+          const Triple& triple = (*eval_triples)[i];
+          const std::span<const float> row =
+              scores.subspan(size_t(q) * size_t(num_entities),
+                             size_t(num_entities));
+          if (batch.head_side) {
+            head_ranks[i] = RankHead(triple, row, options.filtered);
+            head_cands[i] =
+                CountHeadCandidates(triple, num_entities, options.filtered);
+          } else {
+            tail_ranks[i] = RankTail(triple, row, options.filtered);
+            tail_cands[i] =
+                CountTailCandidates(triple, num_entities, options.filtered);
+          }
+        }
+      }
+    });
+  }
+
+  // Serial accumulation in original triple order: tail rank then head
+  // rank per triple, exactly like the pre-batching inner loop.
+  for (size_t i = 0; i < num_triples; ++i) {
+    const Triple& triple = (*eval_triples)[i];
+    result.overall.AddRank(tail_ranks[i], tail_cands[i]);
+    result.overall.AddRank(head_ranks[i], head_cands[i]);
+    PerRelationMetrics& rel = result.per_relation[size_t(triple.relation)];
+    rel.tail_queries.AddRank(tail_ranks[i], tail_cands[i]);
+    rel.head_queries.AddRank(head_ranks[i], head_cands[i]);
+  }
   return result;
 }
 

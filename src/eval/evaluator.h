@@ -29,7 +29,21 @@ struct EvalOptions {
   size_t max_triples = 0;
   // Threads for the candidate-scoring loop (1 = inline).
   int num_threads = 1;
+  // Queries ranked per ScoreAllTailsBatch/ScoreAllHeadsBatch call. Test
+  // queries are grouped by (relation, side) and scored B at a time, so
+  // each entity-table tile is streamed from DRAM once per B queries
+  // instead of once per query. 0 = auto (see ResolveEvalBatchQueries);
+  // 1 = the legacy per-query ScoreAllTails/ScoreAllHeads path. Metrics
+  // are bit-identical at every setting: ranks are computed per triple
+  // either way and accumulated in the original triple order.
+  int batch_queries = 0;
 };
+
+// Resolves EvalOptions::batch_queries: values >= 1 pass through; 0 picks
+// 32 and halves it while the per-thread B × num_entities score matrix
+// would exceed 64 MiB (never below 1). Exposed so tools can log the
+// effective batch size.
+int ResolveEvalBatchQueries(int requested, int32_t num_entities);
 
 struct PerRelationMetrics {
   RelationId relation = 0;

@@ -8,6 +8,7 @@
 // and scalar builds bit-identical on Dot / DotBatch / SquaredNorm.
 #include "math/simd.h"
 
+#include <algorithm>
 #include <cmath>
 
 #if defined(__AVX2__) && defined(__FMA__)
@@ -283,6 +284,114 @@ double MaxAbsDiff(const float* a, const float* b, size_t n) {
   return max_diff;
 }
 
+namespace {
+
+// One kDotBatchTileRows-row tile of DotBatch: four independent two-
+// register accumulator groups, each following the exact Dot scheme, with
+// every load/convert of v shared across the four rows. Writes
+// out[0..3] = float(Dot(v, r_i)). Factored out so the contiguous
+// (DotBatch) and id-indirected (DotBatchIndexed) drivers share one body.
+inline void DotTile4(const float* v, const float* r0, const float* r1,
+                     const float* r2, const float* r3, size_t n,
+                     float* out) {
+  __m256d a0_lo = _mm256_setzero_pd(), a0_hi = _mm256_setzero_pd();
+  __m256d a1_lo = _mm256_setzero_pd(), a1_hi = _mm256_setzero_pd();
+  __m256d a2_lo = _mm256_setzero_pd(), a2_hi = _mm256_setzero_pd();
+  __m256d a3_lo = _mm256_setzero_pd(), a3_hi = _mm256_setzero_pd();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const __m256d v_lo = CvtLo(v + d);
+    const __m256d v_hi = CvtLo(v + d + 4);
+    a0_lo = _mm256_fmadd_pd(CvtLo(r0 + d), v_lo, a0_lo);
+    a0_hi = _mm256_fmadd_pd(CvtLo(r0 + d + 4), v_hi, a0_hi);
+    a1_lo = _mm256_fmadd_pd(CvtLo(r1 + d), v_lo, a1_lo);
+    a1_hi = _mm256_fmadd_pd(CvtLo(r1 + d + 4), v_hi, a1_hi);
+    a2_lo = _mm256_fmadd_pd(CvtLo(r2 + d), v_lo, a2_lo);
+    a2_hi = _mm256_fmadd_pd(CvtLo(r2 + d + 4), v_hi, a2_hi);
+    a3_lo = _mm256_fmadd_pd(CvtLo(r3 + d), v_lo, a3_lo);
+    a3_hi = _mm256_fmadd_pd(CvtLo(r3 + d + 4), v_hi, a3_hi);
+  }
+  double p0[kAccumulatorLanes], p1[kAccumulatorLanes];
+  double p2[kAccumulatorLanes], p3[kAccumulatorLanes];
+  StorePartials(a0_lo, a0_hi, p0);
+  StorePartials(a1_lo, a1_hi, p1);
+  StorePartials(a2_lo, a2_hi, p2);
+  StorePartials(a3_lo, a3_hi, p3);
+  DotTail(v, r0, d, n, p0);
+  DotTail(v, r1, d, n, p1);
+  DotTail(v, r2, d, n, p2);
+  DotTail(v, r3, d, n, p3);
+  out[0] = float(Combine8(p0));
+  out[1] = float(Combine8(p1));
+  out[2] = float(Combine8(p2));
+  out[3] = float(Combine8(p3));
+}
+
+// 2-query × 2-row register block of DotBatchMulti: four accumulator
+// groups (q×r), eight live __m256d accumulators, with each row
+// load/convert shared across both queries and each query load/convert
+// shared across both rows. out0/out1 receive the two rows' scores for
+// q0/q1 respectively; every cell rounds exactly like Dot.
+inline void DotTile2x2(const float* q0, const float* q1, const float* r0,
+                       const float* r1, size_t n, float* out0, float* out1) {
+  __m256d a00_lo = _mm256_setzero_pd(), a00_hi = _mm256_setzero_pd();
+  __m256d a01_lo = _mm256_setzero_pd(), a01_hi = _mm256_setzero_pd();
+  __m256d a10_lo = _mm256_setzero_pd(), a10_hi = _mm256_setzero_pd();
+  __m256d a11_lo = _mm256_setzero_pd(), a11_hi = _mm256_setzero_pd();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const __m256d q0_lo = CvtLo(q0 + d);
+    const __m256d q0_hi = CvtLo(q0 + d + 4);
+    const __m256d q1_lo = CvtLo(q1 + d);
+    const __m256d q1_hi = CvtLo(q1 + d + 4);
+    const __m256d r0_lo = CvtLo(r0 + d);
+    const __m256d r0_hi = CvtLo(r0 + d + 4);
+    a00_lo = _mm256_fmadd_pd(r0_lo, q0_lo, a00_lo);
+    a00_hi = _mm256_fmadd_pd(r0_hi, q0_hi, a00_hi);
+    a10_lo = _mm256_fmadd_pd(r0_lo, q1_lo, a10_lo);
+    a10_hi = _mm256_fmadd_pd(r0_hi, q1_hi, a10_hi);
+    const __m256d r1_lo = CvtLo(r1 + d);
+    const __m256d r1_hi = CvtLo(r1 + d + 4);
+    a01_lo = _mm256_fmadd_pd(r1_lo, q0_lo, a01_lo);
+    a01_hi = _mm256_fmadd_pd(r1_hi, q0_hi, a01_hi);
+    a11_lo = _mm256_fmadd_pd(r1_lo, q1_lo, a11_lo);
+    a11_hi = _mm256_fmadd_pd(r1_hi, q1_hi, a11_hi);
+  }
+  double p00[kAccumulatorLanes], p01[kAccumulatorLanes];
+  double p10[kAccumulatorLanes], p11[kAccumulatorLanes];
+  StorePartials(a00_lo, a00_hi, p00);
+  StorePartials(a01_lo, a01_hi, p01);
+  StorePartials(a10_lo, a10_hi, p10);
+  StorePartials(a11_lo, a11_hi, p11);
+  DotTail(q0, r0, d, n, p00);
+  DotTail(q0, r1, d, n, p01);
+  DotTail(q1, r0, d, n, p10);
+  DotTail(q1, r1, d, n, p11);
+  out0[0] = float(Combine8(p00));
+  out0[1] = float(Combine8(p01));
+  out1[0] = float(Combine8(p10));
+  out1[1] = float(Combine8(p11));
+}
+
+// Two queries against a contiguous row block: row pairs go through the
+// 2×2 register kernel, a trailing odd row falls back to Dot per query.
+inline void DotBatchDual(const float* q0, const float* q1, const float* rows,
+                         size_t num_rows, size_t n, float* out0,
+                         float* out1) {
+  size_t row = 0;
+  for (; row + 2 <= num_rows; row += 2) {
+    DotTile2x2(q0, q1, rows + row * n, rows + (row + 1) * n, n, out0 + row,
+               out1 + row);
+  }
+  if (row < num_rows) {
+    const float* r = rows + row * n;
+    out0[row] = float(Dot(q0, r, n));
+    out1[row] = float(Dot(q1, r, n));
+  }
+}
+
+}  // namespace
+
 void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
               float* out) {
   // Tiles of kDotBatchTileRows rows; each row keeps the same two-register
@@ -291,44 +400,25 @@ void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
   // ranking loop into a blocked matrix-vector product.
   size_t row = 0;
   for (; row + kDotBatchTileRows <= num_rows; row += kDotBatchTileRows) {
-    const float* r0 = rows + (row + 0) * n;
-    const float* r1 = rows + (row + 1) * n;
-    const float* r2 = rows + (row + 2) * n;
-    const float* r3 = rows + (row + 3) * n;
-    __m256d a0_lo = _mm256_setzero_pd(), a0_hi = _mm256_setzero_pd();
-    __m256d a1_lo = _mm256_setzero_pd(), a1_hi = _mm256_setzero_pd();
-    __m256d a2_lo = _mm256_setzero_pd(), a2_hi = _mm256_setzero_pd();
-    __m256d a3_lo = _mm256_setzero_pd(), a3_hi = _mm256_setzero_pd();
-    size_t d = 0;
-    for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
-      const __m256d v_lo = CvtLo(v + d);
-      const __m256d v_hi = CvtLo(v + d + 4);
-      a0_lo = _mm256_fmadd_pd(CvtLo(r0 + d), v_lo, a0_lo);
-      a0_hi = _mm256_fmadd_pd(CvtLo(r0 + d + 4), v_hi, a0_hi);
-      a1_lo = _mm256_fmadd_pd(CvtLo(r1 + d), v_lo, a1_lo);
-      a1_hi = _mm256_fmadd_pd(CvtLo(r1 + d + 4), v_hi, a1_hi);
-      a2_lo = _mm256_fmadd_pd(CvtLo(r2 + d), v_lo, a2_lo);
-      a2_hi = _mm256_fmadd_pd(CvtLo(r2 + d + 4), v_hi, a2_hi);
-      a3_lo = _mm256_fmadd_pd(CvtLo(r3 + d), v_lo, a3_lo);
-      a3_hi = _mm256_fmadd_pd(CvtLo(r3 + d + 4), v_hi, a3_hi);
-    }
-    double p0[kAccumulatorLanes], p1[kAccumulatorLanes];
-    double p2[kAccumulatorLanes], p3[kAccumulatorLanes];
-    StorePartials(a0_lo, a0_hi, p0);
-    StorePartials(a1_lo, a1_hi, p1);
-    StorePartials(a2_lo, a2_hi, p2);
-    StorePartials(a3_lo, a3_hi, p3);
-    DotTail(v, r0, d, n, p0);
-    DotTail(v, r1, d, n, p1);
-    DotTail(v, r2, d, n, p2);
-    DotTail(v, r3, d, n, p3);
-    out[row + 0] = float(Combine8(p0));
-    out[row + 1] = float(Combine8(p1));
-    out[row + 2] = float(Combine8(p2));
-    out[row + 3] = float(Combine8(p3));
+    DotTile4(v, rows + (row + 0) * n, rows + (row + 1) * n,
+             rows + (row + 2) * n, rows + (row + 3) * n, n, out + row);
   }
   for (; row < num_rows; ++row) {
     out[row] = float(Dot(v, rows + row * n, n));
+  }
+}
+
+void DotBatchIndexed(const float* v, const float* rows,
+                     const std::int32_t* ids, size_t num_ids, size_t n,
+                     float* out) {
+  size_t i = 0;
+  for (; i + kDotBatchTileRows <= num_ids; i += kDotBatchTileRows) {
+    DotTile4(v, rows + size_t(ids[i + 0]) * n, rows + size_t(ids[i + 1]) * n,
+             rows + size_t(ids[i + 2]) * n, rows + size_t(ids[i + 3]) * n, n,
+             out + i);
+  }
+  for (; i < num_ids; ++i) {
+    out[i] = float(Dot(v, rows + size_t(ids[i]) * n, n));
   }
 }
 
@@ -572,57 +662,81 @@ double MaxAbsDiff(const float* a, const float* b, size_t n) {
   return max_diff;
 }
 
+namespace {
+
+// One kDotBatchTileRows-row tile of DotBatch (see the AVX2 twin): four
+// accumulator groups sharing every widen of v, each row rounding exactly
+// like Dot. Shared by the contiguous and id-indirected drivers.
+inline void DotTile4(const float* v, const float* r0, const float* r1,
+                     const float* r2, const float* r3, size_t n,
+                     float* out) {
+  Acc8 acc0 = ZeroAcc8(), acc1 = ZeroAcc8();
+  Acc8 acc2 = ZeroAcc8(), acc3 = ZeroAcc8();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const Dbl8 xv = Widen8(v + d);
+    const Dbl8 x0 = Widen8(r0 + d);
+    acc0.a = vfmaq_f64(acc0.a, x0.a, xv.a);
+    acc0.b = vfmaq_f64(acc0.b, x0.b, xv.b);
+    acc0.c = vfmaq_f64(acc0.c, x0.c, xv.c);
+    acc0.d = vfmaq_f64(acc0.d, x0.d, xv.d);
+    const Dbl8 x1 = Widen8(r1 + d);
+    acc1.a = vfmaq_f64(acc1.a, x1.a, xv.a);
+    acc1.b = vfmaq_f64(acc1.b, x1.b, xv.b);
+    acc1.c = vfmaq_f64(acc1.c, x1.c, xv.c);
+    acc1.d = vfmaq_f64(acc1.d, x1.d, xv.d);
+    const Dbl8 x2 = Widen8(r2 + d);
+    acc2.a = vfmaq_f64(acc2.a, x2.a, xv.a);
+    acc2.b = vfmaq_f64(acc2.b, x2.b, xv.b);
+    acc2.c = vfmaq_f64(acc2.c, x2.c, xv.c);
+    acc2.d = vfmaq_f64(acc2.d, x2.d, xv.d);
+    const Dbl8 x3 = Widen8(r3 + d);
+    acc3.a = vfmaq_f64(acc3.a, x3.a, xv.a);
+    acc3.b = vfmaq_f64(acc3.b, x3.b, xv.b);
+    acc3.c = vfmaq_f64(acc3.c, x3.c, xv.c);
+    acc3.d = vfmaq_f64(acc3.d, x3.d, xv.d);
+  }
+  double p0[kAccumulatorLanes], p1[kAccumulatorLanes];
+  double p2[kAccumulatorLanes], p3[kAccumulatorLanes];
+  StorePartials(acc0, p0);
+  StorePartials(acc1, p1);
+  StorePartials(acc2, p2);
+  StorePartials(acc3, p3);
+  DotTail(v, r0, d, n, p0);
+  DotTail(v, r1, d, n, p1);
+  DotTail(v, r2, d, n, p2);
+  DotTail(v, r3, d, n, p3);
+  out[0] = float(Combine8(p0));
+  out[1] = float(Combine8(p1));
+  out[2] = float(Combine8(p2));
+  out[3] = float(Combine8(p3));
+}
+
+}  // namespace
+
 void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
               float* out) {
   size_t row = 0;
   for (; row + kDotBatchTileRows <= num_rows; row += kDotBatchTileRows) {
-    const float* r0 = rows + (row + 0) * n;
-    const float* r1 = rows + (row + 1) * n;
-    const float* r2 = rows + (row + 2) * n;
-    const float* r3 = rows + (row + 3) * n;
-    Acc8 acc0 = ZeroAcc8(), acc1 = ZeroAcc8();
-    Acc8 acc2 = ZeroAcc8(), acc3 = ZeroAcc8();
-    size_t d = 0;
-    for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
-      const Dbl8 xv = Widen8(v + d);
-      const Dbl8 x0 = Widen8(r0 + d);
-      acc0.a = vfmaq_f64(acc0.a, x0.a, xv.a);
-      acc0.b = vfmaq_f64(acc0.b, x0.b, xv.b);
-      acc0.c = vfmaq_f64(acc0.c, x0.c, xv.c);
-      acc0.d = vfmaq_f64(acc0.d, x0.d, xv.d);
-      const Dbl8 x1 = Widen8(r1 + d);
-      acc1.a = vfmaq_f64(acc1.a, x1.a, xv.a);
-      acc1.b = vfmaq_f64(acc1.b, x1.b, xv.b);
-      acc1.c = vfmaq_f64(acc1.c, x1.c, xv.c);
-      acc1.d = vfmaq_f64(acc1.d, x1.d, xv.d);
-      const Dbl8 x2 = Widen8(r2 + d);
-      acc2.a = vfmaq_f64(acc2.a, x2.a, xv.a);
-      acc2.b = vfmaq_f64(acc2.b, x2.b, xv.b);
-      acc2.c = vfmaq_f64(acc2.c, x2.c, xv.c);
-      acc2.d = vfmaq_f64(acc2.d, x2.d, xv.d);
-      const Dbl8 x3 = Widen8(r3 + d);
-      acc3.a = vfmaq_f64(acc3.a, x3.a, xv.a);
-      acc3.b = vfmaq_f64(acc3.b, x3.b, xv.b);
-      acc3.c = vfmaq_f64(acc3.c, x3.c, xv.c);
-      acc3.d = vfmaq_f64(acc3.d, x3.d, xv.d);
-    }
-    double p0[kAccumulatorLanes], p1[kAccumulatorLanes];
-    double p2[kAccumulatorLanes], p3[kAccumulatorLanes];
-    StorePartials(acc0, p0);
-    StorePartials(acc1, p1);
-    StorePartials(acc2, p2);
-    StorePartials(acc3, p3);
-    DotTail(v, r0, d, n, p0);
-    DotTail(v, r1, d, n, p1);
-    DotTail(v, r2, d, n, p2);
-    DotTail(v, r3, d, n, p3);
-    out[row + 0] = float(Combine8(p0));
-    out[row + 1] = float(Combine8(p1));
-    out[row + 2] = float(Combine8(p2));
-    out[row + 3] = float(Combine8(p3));
+    DotTile4(v, rows + (row + 0) * n, rows + (row + 1) * n,
+             rows + (row + 2) * n, rows + (row + 3) * n, n, out + row);
   }
   for (; row < num_rows; ++row) {
     out[row] = float(Dot(v, rows + row * n, n));
+  }
+}
+
+void DotBatchIndexed(const float* v, const float* rows,
+                     const std::int32_t* ids, size_t num_ids, size_t n,
+                     float* out) {
+  size_t i = 0;
+  for (; i + kDotBatchTileRows <= num_ids; i += kDotBatchTileRows) {
+    DotTile4(v, rows + size_t(ids[i + 0]) * n, rows + size_t(ids[i + 1]) * n,
+             rows + size_t(ids[i + 2]) * n, rows + size_t(ids[i + 3]) * n, n,
+             out + i);
+  }
+  for (; i < num_ids; ++i) {
+    out[i] = float(Dot(v, rows + size_t(ids[i]) * n, n));
   }
 }
 
@@ -746,6 +860,14 @@ void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
   }
 }
 
+void DotBatchIndexed(const float* v, const float* rows,
+                     const std::int32_t* ids, size_t num_ids, size_t n,
+                     float* out) {
+  for (size_t i = 0; i < num_ids; ++i) {
+    out[i] = float(ScalarDot(v, rows + size_t(ids[i]) * n, n));
+  }
+}
+
 void Hadamard(const float* a, const float* b, float* out, size_t n) {
   for (size_t d = 0; d < n; ++d) out[d] = a[d] * b[d];
 }
@@ -789,6 +911,41 @@ void TripleGradAxpy(float w, const float* h, const float* t, const float* r,
 }
 
 #endif  // ISA selection
+
+// ---- Multi-query driver (shared across ISAs) -------------------------------
+// Cache blocking is ISA-independent: walk the row matrix in tiles small
+// enough to stay resident in L1/L2, and score every query against the
+// tile before moving on — the GEMV→GEMM step. Each (query, tile) pair
+// then goes through the ISA's DotBatch (or, on AVX2, a dual-query
+// register kernel for query pairs), so every output cell inherits the
+// bit-exact per-cell Dot contract; the tiling itself never splits a
+// reduction, only reorders whole (query, row) cells.
+
+void DotBatchMulti(const float* queries, size_t num_queries,
+                   const float* rows, size_t num_rows, size_t n, float* out) {
+  if (num_queries == 0 || num_rows == 0) return;
+  const size_t row_bytes = n * sizeof(float);
+  size_t tile_rows =
+      row_bytes == 0 ? num_rows : kDotBatchMultiTileBytes / row_bytes;
+  if (tile_rows < kDotBatchTileRows) tile_rows = kDotBatchTileRows;
+  for (size_t row0 = 0; row0 < num_rows; row0 += tile_rows) {
+    const size_t tile = std::min(tile_rows, num_rows - row0);
+    const float* tile_rows_ptr = rows + row0 * n;
+    float* tile_out = out + row0;
+    size_t q = 0;
+#if defined(KGE_SIMD_ISA_AVX2)
+    for (; q + 2 <= num_queries; q += 2) {
+      DotBatchDual(queries + q * n, queries + (q + 1) * n, tile_rows_ptr,
+                   tile, n, tile_out + q * num_rows,
+                   tile_out + (q + 1) * num_rows);
+    }
+#endif
+    for (; q < num_queries; ++q) {
+      DotBatch(queries + q * n, tile_rows_ptr, tile, n,
+               tile_out + q * num_rows);
+    }
+  }
+}
 
 // ---- Naive references ------------------------------------------------------
 
@@ -847,6 +1004,21 @@ void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
               float* out) {
   for (size_t row = 0; row < num_rows; ++row) {
     out[row] = float(Dot(v, rows + row * n, n));
+  }
+}
+
+void DotBatchMulti(const float* queries, size_t num_queries,
+                   const float* rows, size_t num_rows, size_t n, float* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    DotBatch(queries + q * n, rows, num_rows, n, out + q * num_rows);
+  }
+}
+
+void DotBatchIndexed(const float* v, const float* rows,
+                     const std::int32_t* ids, size_t num_ids, size_t n,
+                     float* out) {
+  for (size_t i = 0; i < num_ids; ++i) {
+    out[i] = float(Dot(v, rows + size_t(ids[i]) * n, n));
   }
 }
 

@@ -39,11 +39,16 @@
 //
 // DotBatch additionally guarantees out[row] == float(Dot(v, row)) for
 // every row: the tiled multi-row path uses the same per-row lane scheme,
-// so batching is a pure scheduling change, never a numeric one.
+// so batching is a pure scheduling change, never a numeric one. The same
+// holds for the id-indirected DotBatchIndexed and for the multi-query
+// DotBatchMulti: every (query, row) cell of the latter keeps its own
+// 8-lane accumulator group, so cache blocking over entity rows and
+// register blocking over queries never change a single output bit.
 #ifndef KGE_MATH_SIMD_H_
 #define KGE_MATH_SIMD_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace kge::simd {
 
@@ -54,6 +59,13 @@ inline constexpr size_t kAccumulatorLanes = 8;
 // Rows per tile in DotBatch: the tiled loop keeps this many independent
 // accumulator groups live so candidate rows share each load of `v`.
 inline constexpr size_t kDotBatchTileRows = 4;
+
+// Entity-tile budget for DotBatchMulti: the multi-query driver walks the
+// row matrix in blocks of at most this many bytes so a block loaded for
+// the first query is still resident in L1/L2 when the last query of the
+// batch scores it. 24 KiB leaves room in a 32 KiB L1d for the query rows
+// and the output slices alongside the entity tile.
+inline constexpr size_t kDotBatchMultiTileBytes = 24 * 1024;
 
 enum class Isa { kScalar, kAvx2Fma, kNeon };
 
@@ -95,6 +107,30 @@ double MaxAbsDiff(const float* a, const float* b, size_t n);
 void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
               float* out);
 
+// out[q·num_rows + row] = float(Dot(queries + q·n, rows + row·n)) for
+// every (q, row): a batch of query vectors against the same row-major
+// matrix — the GEMV→GEMM step behind batched full-vocabulary ranking.
+// The driver walks `rows` in cache blocks of ≤ kDotBatchMultiTileBytes
+// so a block fetched for the first query is served from L1/L2 for the
+// remaining queries of the batch; inside a block the AVX2 build runs a
+// 2-query × 2-row register kernel that shares each row load/convert
+// across both queries. Every (q, row) cell keeps the per-pair 8-lane
+// accumulation scheme of Dot, so batching across queries — like
+// batching across rows in DotBatch — is a scheduling change only:
+// results are bit-identical to num_queries separate DotBatch calls on
+// every ISA.
+void DotBatchMulti(const float* queries, size_t num_queries,
+                   const float* rows, size_t num_rows, size_t n, float* out);
+
+// out[i] = float(Dot(v, rows + size_t(ids[i])·n)) for i in [0,
+// num_ids): DotBatch with an id-indirected row set, scoring gathered
+// candidates (e.g. negative samples) straight out of the embedding
+// table instead of memcpy-compacting them first. Duplicate and
+// unsorted ids are fine; each id must be in [0, rows_in_table).
+void DotBatchIndexed(const float* v, const float* rows,
+                     const std::int32_t* ids, size_t num_ids, size_t n,
+                     float* out);
+
 // ---- Elementwise kernels (float, fixed association, FMA-free) --------------
 
 // out[d] = a[d]·b[d]
@@ -135,6 +171,11 @@ double SquaredL2Distance(const float* a, const float* b, size_t n);
 double MaxAbsDiff(const float* a, const float* b, size_t n);
 void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
               float* out);
+void DotBatchMulti(const float* queries, size_t num_queries,
+                   const float* rows, size_t num_rows, size_t n, float* out);
+void DotBatchIndexed(const float* v, const float* rows,
+                     const std::int32_t* ids, size_t num_ids, size_t n,
+                     float* out);
 void Hadamard(const float* a, const float* b, float* out, size_t n);
 void HadamardAxpy(float scale, const float* a, const float* b, float* out,
                   size_t n);

@@ -20,6 +20,26 @@ void DotBatch(std::span<const float> v, std::span<const float> rows,
   simd::DotBatch(v.data(), rows.data(), out.size(), v.size(), out.data());
 }
 
+void DotBatchMulti(std::span<const float> queries, size_t num_queries,
+                   std::span<const float> rows, std::span<float> out) {
+  KGE_DCHECK(num_queries > 0);
+  KGE_DCHECK(queries.size() % num_queries == 0);
+  const size_t n = queries.size() / num_queries;
+  KGE_DCHECK(out.size() % num_queries == 0);
+  const size_t num_rows = out.size() / num_queries;
+  KGE_DCHECK(rows.size() == num_rows * n);
+  simd::DotBatchMulti(queries.data(), num_queries, rows.data(), num_rows, n,
+                      out.data());
+}
+
+void DotBatchIndexed(std::span<const float> v, std::span<const float> rows,
+                     std::span<const int32_t> ids, std::span<float> out) {
+  KGE_DCHECK(out.size() == ids.size());
+  KGE_DCHECK(v.empty() || rows.size() % v.size() == 0);
+  simd::DotBatchIndexed(v.data(), rows.data(), ids.data(), ids.size(),
+                        v.size(), out.data());
+}
+
 double TrilinearDot(std::span<const float> a, std::span<const float> b,
                     std::span<const float> c) {
   KGE_DCHECK(a.size() == b.size() && b.size() == c.size());

@@ -7,6 +7,7 @@
 #define KGE_MATH_VEC_OPS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace kge {
@@ -20,6 +21,22 @@ double Dot(std::span<const float> a, std::span<const float> b);
 // produce exactly float(Dot(v, row)) per row.
 void DotBatch(std::span<const float> v, std::span<const float> rows,
               std::span<float> out);
+
+// out[q*R + r] = float(Dot(queries[q], rows[r])) where `queries` is a
+// row-major num_queries × n matrix, `rows` an R × n matrix, and `out`
+// num_queries × R — the cache-blocked GEMV→GEMM ranking step (see
+// simd::DotBatchMulti). Every cell is exactly float(Dot(query, row)):
+// identical to num_queries separate DotBatch calls, just faster.
+void DotBatchMulti(std::span<const float> queries, size_t num_queries,
+                   std::span<const float> rows, std::span<float> out);
+
+// out[i] = float(Dot(v, rows[ids[i]])) where `rows` is a row-major
+// (rows.size()/v.size()) × v.size() matrix — DotBatch over an
+// id-indirected row set, scoring gathered candidates straight out of the
+// embedding table without compacting them first (see
+// simd::DotBatchIndexed).
+void DotBatchIndexed(std::span<const float> v, std::span<const float> rows,
+                     std::span<const int32_t> ids, std::span<float> out);
 
 // Σ a_d b_d c_d — the trilinear product ⟨a,b,c⟩ of Eq. (3).
 double TrilinearDot(std::span<const float> a, std::span<const float> b,

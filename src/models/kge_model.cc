@@ -4,6 +4,26 @@
 
 namespace kge {
 
+void KgeModel::ScoreAllTailsBatch(std::span<const EntityId> heads,
+                                  RelationId relation,
+                                  std::span<float> out) const {
+  const size_t num = size_t(num_entities());
+  KGE_DCHECK(out.size() == heads.size() * num);
+  for (size_t q = 0; q < heads.size(); ++q) {
+    ScoreAllTails(heads[q], relation, out.subspan(q * num, num));
+  }
+}
+
+void KgeModel::ScoreAllHeadsBatch(std::span<const EntityId> tails,
+                                  RelationId relation,
+                                  std::span<float> out) const {
+  const size_t num = size_t(num_entities());
+  KGE_DCHECK(out.size() == tails.size() * num);
+  for (size_t q = 0; q < tails.size(); ++q) {
+    ScoreAllHeads(tails[q], relation, out.subspan(q * num, num));
+  }
+}
+
 void KgeModel::ScoreTailBatch(EntityId head, RelationId relation,
                               std::span<const EntityId> tails,
                               std::span<float> out) const {

@@ -42,6 +42,26 @@ class KgeModel {
   virtual void ScoreAllHeads(EntityId tail, RelationId relation,
                              std::span<float> out) const = 0;
 
+  // Batched full-vocabulary scoring: for each query q, scores
+  // (heads[q], t', r) for every candidate tail t' into the row-major
+  // heads.size() × num_entities matrix `out` (row q = query q's scores).
+  // Row q is element-for-element identical to ScoreAllTails(heads[q], r)
+  // — batching is a scheduling contract, never a numeric one. The base
+  // implementation loops ScoreAllTails per query (correct for every
+  // model); the trilinear family overrides it to fold all B contexts
+  // into one scratch matrix and run a single cache-blocked multi-query
+  // kernel (simd::DotBatchMulti), which loads each entity row once per
+  // batch instead of once per query. Must be thread-safe for concurrent
+  // calls (used by the batched parallel evaluator and the 1-vs-All
+  // trainer).
+  virtual void ScoreAllTailsBatch(std::span<const EntityId> heads,
+                                  RelationId relation,
+                                  std::span<float> out) const;
+  // Batched head-side twin: row q scores (h', tails[q], r) for every h'.
+  virtual void ScoreAllHeadsBatch(std::span<const EntityId> tails,
+                                  RelationId relation,
+                                  std::span<float> out) const;
+
   // Scores (h, t', r) for each candidate tail t' in `tails`;
   // out[i] = float(Score({h, tails[i], r})). The base implementation
   // loops over Score; models with a fold decomposition override this to

@@ -1,6 +1,5 @@
 #include "models/trilinear_models.h"
 
-#include <cstring>
 #include <vector>
 
 #include "math/vec_ops.h"
@@ -59,35 +58,18 @@ void MultiEmbeddingModel::ScoreAllHeads(EntityId tail, RelationId relation,
   DotBatch(fold, entities_.block().Flat(), out);
 }
 
-namespace {
-
-// Copies the candidate ids' multi-embedding rows into one contiguous
-// row-major matrix so a single DotBatch scores them all. The gather is
-// a pure data movement — per-candidate numerics are identical to a
-// scalar Dot against the original row.
-void GatherRows(const EmbeddingStore& store, std::span<const EntityId> ids,
-                size_t width, std::span<float> out) {
-  for (size_t i = 0; i < ids.size(); ++i) {
-    std::memcpy(out.data() + i * width, store.Of(ids[i]).data(),
-                width * sizeof(float));
-  }
-}
-
-}  // namespace
-
 void MultiEmbeddingModel::ScoreTailBatch(EntityId head, RelationId relation,
                                          std::span<const EntityId> tails,
                                          std::span<float> out) const {
   KGE_CHECK(out.size() == tails.size());
   const size_t width = size_t(weights_.ne()) * size_t(dim_);
   static thread_local std::vector<float> fold_buf;
-  static thread_local std::vector<float> gather_buf;
   const std::span<float> fold = ScratchSpan(fold_buf, width);
-  const std::span<float> rows = ScratchSpan(gather_buf, width * tails.size());
   FoldForTail(weights_, dim_, entities_.Of(head), relations_.Of(relation),
               fold);
-  GatherRows(entities_, tails, width, rows);
-  DotBatch(fold, rows, out);
+  // Candidate rows are scored in place in the entity table via the
+  // id-indirected kernel — no per-call gather copy.
+  DotBatchIndexed(fold, entities_.block().Flat(), tails, out);
 }
 
 void MultiEmbeddingModel::ScoreHeadBatch(EntityId tail, RelationId relation,
@@ -96,13 +78,47 @@ void MultiEmbeddingModel::ScoreHeadBatch(EntityId tail, RelationId relation,
   KGE_CHECK(out.size() == heads.size());
   const size_t width = size_t(weights_.ne()) * size_t(dim_);
   static thread_local std::vector<float> fold_buf;
-  static thread_local std::vector<float> gather_buf;
   const std::span<float> fold = ScratchSpan(fold_buf, width);
-  const std::span<float> rows = ScratchSpan(gather_buf, width * heads.size());
   FoldForHead(weights_, dim_, entities_.Of(tail), relations_.Of(relation),
               fold);
-  GatherRows(entities_, heads, width, rows);
-  DotBatch(fold, rows, out);
+  DotBatchIndexed(fold, entities_.block().Flat(), heads, out);
+}
+
+void MultiEmbeddingModel::ScoreAllTailsBatch(std::span<const EntityId> heads,
+                                             RelationId relation,
+                                             std::span<float> out) const {
+  const size_t num = size_t(entities_.num_ids());
+  KGE_CHECK(out.size() == heads.size() * num);
+  if (heads.empty()) return;
+  const size_t width = size_t(weights_.ne()) * size_t(dim_);
+  // Fold every (head, relation) context into one row-major B × width
+  // scratch matrix, then a single multi-query product over the entity
+  // table. Zero heap allocations at steady state.
+  static thread_local std::vector<float> folds_buf;
+  const std::span<float> folds = ScratchSpan(folds_buf, heads.size() * width);
+  const std::span<const float> rel = relations_.Of(relation);
+  for (size_t q = 0; q < heads.size(); ++q) {
+    FoldForTail(weights_, dim_, entities_.Of(heads[q]), rel,
+                folds.subspan(q * width, width));
+  }
+  DotBatchMulti(folds, heads.size(), entities_.block().Flat(), out);
+}
+
+void MultiEmbeddingModel::ScoreAllHeadsBatch(std::span<const EntityId> tails,
+                                             RelationId relation,
+                                             std::span<float> out) const {
+  const size_t num = size_t(entities_.num_ids());
+  KGE_CHECK(out.size() == tails.size() * num);
+  if (tails.empty()) return;
+  const size_t width = size_t(weights_.ne()) * size_t(dim_);
+  static thread_local std::vector<float> folds_buf;
+  const std::span<float> folds = ScratchSpan(folds_buf, tails.size() * width);
+  const std::span<const float> rel = relations_.Of(relation);
+  for (size_t q = 0; q < tails.size(); ++q) {
+    FoldForHead(weights_, dim_, entities_.Of(tails[q]), rel,
+                folds.subspan(q * width, width));
+  }
+  DotBatchMulti(folds, tails.size(), entities_.block().Flat(), out);
 }
 
 std::vector<ParameterBlock*> MultiEmbeddingModel::Blocks() {

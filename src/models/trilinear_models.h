@@ -36,15 +36,26 @@ class MultiEmbeddingModel : public KgeModel {
   void ScoreAllHeads(EntityId tail, RelationId relation,
                      std::span<float> out) const override;
   // Batched candidate scoring: fold the fixed (h, r) / (t, r) context
-  // once, gather the candidate rows into contiguous scratch, and run one
-  // DotBatch. Each score is exactly float(Dot(fold, candidate)) — the
-  // same value ScoreAllTails/Heads computes for that entity.
+  // once, then score the candidates straight out of the entity table
+  // with the id-indirected kernel (simd::DotBatchIndexed) — no copy of
+  // the candidate rows. Each score is exactly float(Dot(fold, candidate))
+  // — the same value ScoreAllTails/Heads computes for that entity.
   void ScoreTailBatch(EntityId head, RelationId relation,
                       std::span<const EntityId> tails,
                       std::span<float> out) const override;
   void ScoreHeadBatch(EntityId tail, RelationId relation,
                       std::span<const EntityId> heads,
                       std::span<float> out) const override;
+  // Batched full-vocabulary scoring: fold all B contexts into one
+  // per-thread B × width scratch matrix, then a single cache-blocked
+  // multi-query product against the entity table (simd::DotBatchMulti).
+  // Row q equals ScoreAllTails(heads[q], relation) bit-for-bit.
+  void ScoreAllTailsBatch(std::span<const EntityId> heads,
+                          RelationId relation,
+                          std::span<float> out) const override;
+  void ScoreAllHeadsBatch(std::span<const EntityId> tails,
+                          RelationId relation,
+                          std::span<float> out) const override;
 
   std::vector<ParameterBlock*> Blocks() override;
   void AccumulateGradients(const Triple& triple, float dscore,

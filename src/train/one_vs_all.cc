@@ -55,7 +55,6 @@ void OneVsAllTrainer::BuildQueries(
 double OneVsAllTrainer::ScoreQuery(const Query& query, std::span<float> fold,
                                    std::span<float> g,
                                    std::span<float> dfold) {
-  const int32_t num_entities = model_->num_entities();
   const WeightTable& weights = model_->weights();
   const int32_t dim = model_->dim();
   const EmbeddingStore& entities = model_->entity_store();
@@ -67,6 +66,14 @@ double OneVsAllTrainer::ScoreQuery(const Query& query, std::span<float> fold,
   // score is exactly float(Dot(fold, t_e)) — bitwise what the per-entity
   // loop computed.
   DotBatch(fold, entities.block().Flat(), g);
+  return ComputeQueryGrad(query, g, dfold);
+}
+
+double OneVsAllTrainer::ComputeQueryGrad(const Query& query,
+                                         std::span<float> g,
+                                         std::span<float> dfold) {
+  const int32_t num_entities = model_->num_entities();
+  const EmbeddingStore& entities = model_->entity_store();
 
   // Labels with optional smoothing.
   const double ls = options_.label_smoothing;
@@ -128,19 +135,62 @@ double OneVsAllTrainer::RunEpoch(Rng* rng) {
     // dL/dfold. Writes only the query's own slices (plus the commuting
     // touched flags), so any partition across threads is safe and
     // bit-identical.
-    auto stage_a = [&](size_t qb, size_t qe) {
-      for (size_t i = qb; i < qe; ++i) {
-        query_loss_[i] = ScoreQuery(
-            queries_[order_[begin + i]],
-            std::span<float>(folds_.data() + i * width, width),
-            std::span<float>(g_.data() + i * num_entities, num_entities),
-            std::span<float>(dfolds_.data() + i * width, width));
+    if (options_.batched_scoring) {
+      // A1: fold every (h, r) context into its row of the fold matrix.
+      auto stage_a1 = [&](size_t qb, size_t qe) {
+        for (size_t i = qb; i < qe; ++i) {
+          const Query& query = queries_[order_[begin + i]];
+          FoldForTail(weights, dim, entities.Of(query.head),
+                      model_->relation_store().Of(query.relation),
+                      std::span<float>(folds_.data() + i * width, width));
+        }
+      };
+      // A2: score a chunk of queries with one cache-blocked multi-query
+      // product over the entity table. Per-cell scores are exactly the
+      // per-query DotBatch scores (simd contract), so the chunking is
+      // invisible to the numerics.
+      auto stage_a2 = [&](size_t qb, size_t qe) {
+        if (qb == qe) return;
+        DotBatchMulti(
+            std::span<const float>(folds_.data() + qb * width,
+                                   (qe - qb) * width),
+            qe - qb, entities.block().Flat(),
+            std::span<float>(g_.data() + qb * num_entities,
+                             (qe - qb) * num_entities));
+      };
+      // A3: per-query loss, dL/ds in place, dL/dfold, touched flags.
+      auto stage_a3 = [&](size_t qb, size_t qe) {
+        for (size_t i = qb; i < qe; ++i) {
+          query_loss_[i] = ComputeQueryGrad(
+              queries_[order_[begin + i]],
+              std::span<float>(g_.data() + i * num_entities, num_entities),
+              std::span<float>(dfolds_.data() + i * width, width));
+        }
+      };
+      if (pool_ != nullptr) {
+        pool_->ParallelFor(0, count, stage_a1);
+        pool_->ParallelFor(0, count, stage_a2);
+        pool_->ParallelFor(0, count, stage_a3);
+      } else {
+        stage_a1(0, count);
+        stage_a2(0, count);
+        stage_a3(0, count);
       }
-    };
-    if (pool_ != nullptr) {
-      pool_->ParallelFor(0, count, stage_a);
     } else {
-      stage_a(0, count);
+      auto stage_a = [&](size_t qb, size_t qe) {
+        for (size_t i = qb; i < qe; ++i) {
+          query_loss_[i] = ScoreQuery(
+              queries_[order_[begin + i]],
+              std::span<float>(folds_.data() + i * width, width),
+              std::span<float>(g_.data() + i * num_entities, num_entities),
+              std::span<float>(dfolds_.data() + i * width, width));
+        }
+      };
+      if (pool_ != nullptr) {
+        pool_->ParallelFor(0, count, stage_a);
+      } else {
+        stage_a(0, count);
+      }
     }
 
     // Register every touched entity row serially, in ascending id order —

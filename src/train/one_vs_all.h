@@ -44,6 +44,12 @@ struct OneVsAllOptions {
   // fixed batch order, so losses and parameters are bit-identical for
   // every num_threads.
   int num_threads = 1;
+  // Score a batch's queries with one cache-blocked multi-query product
+  // (simd::DotBatchMulti) over the entity table instead of one GEMV per
+  // query, streaming each entity tile once per batch. Scores — and
+  // therefore losses and updated parameters — are bit-identical either
+  // way; false keeps the per-query path (used by the equality tests).
+  bool batched_scoring = true;
   // Durable checkpointing + exact resume (off unless `dir` is set) and
   // non-finite-loss rollback; see train/train_checkpoint.h.
   CheckpointingOptions checkpointing;
@@ -74,9 +80,16 @@ class OneVsAllTrainer {
   // Stage A of the batch pipeline, independent per query: fold (h, r),
   // score every entity with one DotBatch GEMV, convert scores in place
   // to dL/ds values in `g`, accumulate dL/dfold into `dfold`, and flag
-  // touched entities. Returns the query's BCE loss.
+  // touched entities. Returns the query's BCE loss. The batched-scoring
+  // path splits this into a fold stage, one DotBatchMulti over the whole
+  // batch, and ComputeQueryGrad.
   double ScoreQuery(const Query& query, std::span<float> fold,
                     std::span<float> g, std::span<float> dfold);
+  // The post-scoring half of ScoreQuery: `g` holds the query's scores on
+  // entry and its dL/ds values on exit; accumulates dL/dfold and flags
+  // touched entities. Returns the query's BCE loss.
+  double ComputeQueryGrad(const Query& query, std::span<float> g,
+                          std::span<float> dfold);
 
   MultiEmbeddingModel* model_;
   OneVsAllOptions options_;

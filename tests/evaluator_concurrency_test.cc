@@ -120,6 +120,74 @@ TEST_F(EvaluatorConcurrencyTest, RepeatedParallelRunsAreStable) {
   }
 }
 
+// The batched GEMM ranking path regroups queries by (relation, side) and
+// scores whole batches with ScoreAllTailsBatch/ScoreAllHeadsBatch, but by
+// the DotBatchMulti contract every score — and therefore every rank — is
+// bit-identical to the per-query path, so the metrics must match exactly
+// for every batch size and thread count, filtered and raw.
+TEST_F(EvaluatorConcurrencyTest, BatchedRankingMatchesPerQueryExactly) {
+  Evaluator evaluator(&filter_, kRelations);
+  EvalOptions per_query;
+  per_query.batch_queries = 1;
+  per_query.num_threads = 1;
+  const EvalResult expected = evaluator.Evaluate(*model_, triples_, per_query);
+
+  for (int batch : {2, 8, 32, 0 /* auto */}) {
+    for (int threads : {1, 4}) {
+      EvalOptions batched;
+      batched.batch_queries = batch;
+      batched.num_threads = threads;
+      SCOPED_TRACE("batch_queries=" + std::to_string(batch) +
+                   " num_threads=" + std::to_string(threads));
+      const EvalResult got = evaluator.Evaluate(*model_, triples_, batched);
+      ExpectSameMetrics(expected.overall, got.overall);
+      ASSERT_EQ(expected.per_relation.size(), got.per_relation.size());
+      for (size_t r = 0; r < expected.per_relation.size(); ++r) {
+        SCOPED_TRACE("relation=" + std::to_string(r));
+        ExpectSameMetrics(expected.per_relation[r].tail_queries,
+                          got.per_relation[r].tail_queries);
+        ExpectSameMetrics(expected.per_relation[r].head_queries,
+                          got.per_relation[r].head_queries);
+      }
+    }
+  }
+}
+
+TEST_F(EvaluatorConcurrencyTest, BatchedRankingMatchesPerQueryRaw) {
+  Evaluator evaluator(&filter_, kRelations);
+  EvalOptions per_query;
+  per_query.batch_queries = 1;
+  per_query.filtered = false;
+  EvalOptions batched = per_query;
+  batched.batch_queries = 8;
+  batched.num_threads = 4;
+  ExpectSameMetrics(evaluator.Evaluate(*model_, triples_, per_query).overall,
+                    evaluator.Evaluate(*model_, triples_, batched).overall);
+}
+
+TEST_F(EvaluatorConcurrencyTest, BatchedRankingHonorsSubsampling) {
+  Evaluator evaluator(&filter_, kRelations);
+  EvalOptions per_query;
+  per_query.batch_queries = 1;
+  per_query.max_triples = 37;
+  EvalOptions batched = per_query;
+  batched.batch_queries = 4;
+  batched.num_threads = 3;
+  ExpectSameMetrics(evaluator.Evaluate(*model_, triples_, per_query).overall,
+                    evaluator.Evaluate(*model_, triples_, batched).overall);
+}
+
+TEST(ResolveEvalBatchQueriesTest, AutoSizesToScoreMatrixBudget) {
+  // Explicit requests pass through untouched.
+  EXPECT_EQ(ResolveEvalBatchQueries(1, 1000), 1);
+  EXPECT_EQ(ResolveEvalBatchQueries(7, 1000), 7);
+  // Auto starts at 32 and halves only when 32 x E x 4 bytes exceeds the
+  // 64 MiB score-matrix budget (E > 512K entities).
+  EXPECT_EQ(ResolveEvalBatchQueries(0, 1000), 32);
+  EXPECT_EQ(ResolveEvalBatchQueries(0, 1 << 20), 16);
+  EXPECT_EQ(ResolveEvalBatchQueries(0, 1 << 22), 4);
+}
+
 // A read-only twin of a MultiEmbeddingModel that bypasses the SIMD
 // dispatch layer entirely: folds and dots are computed with the naive
 // sequential references in simd::ref against the *same* parameters.

@@ -167,6 +167,78 @@ TEST(SimdTest, DotBatchRowsEqualSingleDotExactly) {
   }
 }
 
+TEST(SimdTest, DotBatchMultiCellsEqualSingleDotExactly) {
+  Rng rng(55);
+  // Query counts straddling the AVX2 dual-query loop (odd/even, 1, and a
+  // count well past one pass) and row counts straddling the 4-row tile.
+  for (size_t num_queries : {size_t(1), size_t(2), size_t(3), size_t(8),
+                             size_t(33)}) {
+    for (size_t num_rows : {size_t(1), size_t(3), size_t(4), size_t(5),
+                            size_t(33)}) {
+      for (size_t n : TestSizes()) {
+        const auto queries = RandomVector(&rng, num_queries * n);
+        const auto rows = RandomVector(&rng, num_rows * n);
+        std::vector<float> out(num_queries * num_rows, -1.0f);
+        DotBatchMulti(queries.data(), num_queries, rows.data(), num_rows, n,
+                      out.data());
+        for (size_t q = 0; q < num_queries; ++q) {
+          for (size_t row = 0; row < num_rows; ++row) {
+            const float expected = float(
+                Dot(queries.data() + q * n, rows.data() + row * n, n));
+            ASSERT_EQ(out[q * num_rows + row], expected)
+                << "q=" << q << " row=" << row << " n=" << n;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The cache-blocked row tiling must be invisible: a row count that spans
+// several kDotBatchMultiTileBytes tiles still reproduces Dot per cell.
+TEST(SimdTest, DotBatchMultiTilingAcrossRowTilesIsExact) {
+  Rng rng(56);
+  const size_t n = 96;  // 384-byte rows -> 64-row tiles at the 24 KiB budget
+  const size_t num_rows = 200;  // 3 full tiles + a remainder tile
+  const size_t num_queries = 5;
+  const auto queries = RandomVector(&rng, num_queries * n);
+  const auto rows = RandomVector(&rng, num_rows * n);
+  std::vector<float> out(num_queries * num_rows, -1.0f);
+  DotBatchMulti(queries.data(), num_queries, rows.data(), num_rows, n,
+                out.data());
+  for (size_t q = 0; q < num_queries; ++q) {
+    for (size_t row = 0; row < num_rows; ++row) {
+      ASSERT_EQ(out[q * num_rows + row],
+                float(Dot(queries.data() + q * n, rows.data() + row * n, n)))
+          << "q=" << q << " row=" << row;
+    }
+  }
+}
+
+TEST(SimdTest, DotBatchIndexedRowsEqualSingleDotExactly) {
+  Rng rng(57);
+  const size_t num_rows = 41;
+  for (size_t num_ids : {size_t(0), size_t(1), size_t(3), size_t(4),
+                         size_t(7), size_t(19)}) {
+    for (size_t n : TestSizes()) {
+      const auto v = RandomVector(&rng, n);
+      const auto rows = RandomVector(&rng, num_rows * n);
+      std::vector<std::int32_t> ids(num_ids);
+      for (std::int32_t& id : ids) {
+        id = std::int32_t(rng.NextUniform(0.0f, float(num_rows) - 0.5f));
+      }
+      std::vector<float> out(num_ids, -1.0f);
+      DotBatchIndexed(v.data(), rows.data(), ids.data(), num_ids, n,
+                      out.data());
+      for (size_t i = 0; i < num_ids; ++i) {
+        const float expected =
+            float(Dot(v.data(), rows.data() + size_t(ids[i]) * n, n));
+        ASSERT_EQ(out[i], expected) << "i=" << i << " n=" << n;
+      }
+    }
+  }
+}
+
 TEST(SimdTest, TripleGradAxpyEqualsThreeHadamardAxpyExactly) {
   Rng rng(48);
   for (size_t n : TestSizes()) {
@@ -248,6 +320,49 @@ TEST(SimdTest, ElementwiseKernelsMatchNaiveReferenceExactly) {
   }
 }
 
+TEST(SimdTest, DotBatchMultiMatchesNaiveReference) {
+  Rng rng(58);
+  const size_t num_queries = 6;
+  const size_t num_rows = 37;
+  for (size_t n : {size_t(1), size_t(13), size_t(64), size_t(67)}) {
+    const auto queries = RandomVector(&rng, num_queries * n);
+    const auto rows = RandomVector(&rng, num_rows * n);
+    std::vector<float> out(num_queries * num_rows);
+    std::vector<float> out_ref(num_queries * num_rows);
+    DotBatchMulti(queries.data(), num_queries, rows.data(), num_rows, n,
+                  out.data());
+    ref::DotBatchMulti(queries.data(), num_queries, rows.data(), num_rows, n,
+                       out_ref.data());
+    for (size_t c = 0; c < out.size(); ++c) {
+      EXPECT_NEAR(double(out[c]), double(out_ref[c]), 1e-4)
+          << "cell=" << c << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, DotBatchIndexedMatchesNaiveReference) {
+  Rng rng(59);
+  const size_t num_rows = 37;
+  const size_t num_ids = 23;
+  for (size_t n : {size_t(1), size_t(13), size_t(64), size_t(67)}) {
+    const auto v = RandomVector(&rng, n);
+    const auto rows = RandomVector(&rng, num_rows * n);
+    std::vector<std::int32_t> ids(num_ids);
+    for (std::int32_t& id : ids) {
+      id = std::int32_t(rng.NextUniform(0.0f, float(num_rows) - 0.5f));
+    }
+    std::vector<float> out(num_ids), out_ref(num_ids);
+    DotBatchIndexed(v.data(), rows.data(), ids.data(), num_ids, n,
+                    out.data());
+    ref::DotBatchIndexed(v.data(), rows.data(), ids.data(), num_ids, n,
+                         out_ref.data());
+    for (size_t i = 0; i < num_ids; ++i) {
+      EXPECT_NEAR(double(out[i]), double(out_ref[i]), 1e-4)
+          << "i=" << i << " n=" << n;
+    }
+  }
+}
+
 TEST(SimdTest, DotBatchMatchesNaiveReference) {
   Rng rng(51);
   const size_t num_rows = 37;
@@ -293,6 +408,8 @@ TEST(SimdTest, ZeroLengthIsSafe) {
   EXPECT_EQ(SquaredNorm(nullptr, 0), 0.0);
   EXPECT_EQ(MaxAbsDiff(nullptr, nullptr, 0), 0.0);
   DotBatch(nullptr, nullptr, 0, 0, nullptr);
+  DotBatchMulti(nullptr, 0, nullptr, 0, 0, nullptr);
+  DotBatchIndexed(nullptr, nullptr, nullptr, 0, 0, nullptr);
   Fill(nullptr, 0.0f, 0);
 }
 

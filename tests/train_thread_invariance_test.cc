@@ -138,6 +138,49 @@ TEST_P(ThreadInvarianceTest, OneVsAllTrainerIsThreadCountInvariant) {
   ExpectBlocksBitIdentical(serial_model.get(), parallel_model.get());
 }
 
+// The batched-scoring pipeline (one DotBatchMulti per query chunk instead
+// of one DotBatch GEMV per query) is a pure scheduling change: by the
+// kernel contract every score is bit-identical, so losses and final
+// parameters must match the per-query path exactly — at any thread count.
+TEST_P(ThreadInvarianceTest, OneVsAllBatchedScoringIsBitIdentical) {
+  const TinyWorkload workload = MakeTinyWorkload();
+  OneVsAllOptions options;
+  options.max_epochs = 3;
+  options.batch_queries = 16;
+  options.label_smoothing = 0.1;
+  options.learning_rate = 0.05;
+  options.eval_every_epochs = 1000;
+  options.seed = 99;
+
+  options.batched_scoring = false;
+  options.num_threads = 1;
+  auto per_query_model = MakeModelByFamily(GetParam(), workload);
+  OneVsAllTrainer per_query(per_query_model.get(), options);
+  const Result<TrainResult> per_query_result =
+      per_query.Train(workload.train, nullptr);
+  ASSERT_TRUE(per_query_result.ok());
+
+  for (int threads : {1, 4}) {
+    options.batched_scoring = true;
+    options.num_threads = threads;
+    auto batched_model = MakeModelByFamily(GetParam(), workload);
+    OneVsAllTrainer batched(batched_model.get(), options);
+    const Result<TrainResult> batched_result =
+        batched.Train(workload.train, nullptr);
+    ASSERT_TRUE(batched_result.ok());
+
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    ASSERT_EQ(per_query_result->loss_history.size(),
+              batched_result->loss_history.size());
+    for (size_t e = 0; e < per_query_result->loss_history.size(); ++e) {
+      ASSERT_EQ(per_query_result->loss_history[e],
+                batched_result->loss_history[e])
+          << "epoch " << e;
+    }
+    ExpectBlocksBitIdentical(per_query_model.get(), batched_model.get());
+  }
+}
+
 // The margin-ranking loss path must honor the same contract; cover it
 // once with the cheapest family.
 TEST(ThreadInvarianceMarginTest, MarginLossIsThreadCountInvariant) {

@@ -24,6 +24,7 @@ int Run(int argc, char** argv) {
   int64_t dim_budget = 200;
   int64_t seed = 42;
   int64_t threads = 1;
+  int64_t eval_batch = 0;
   bool report = false;
   bool raw = false;
   std::string dump_ranks;
@@ -39,6 +40,10 @@ int Run(int argc, char** argv) {
   parser.AddInt("dim-budget", &dim_budget, "per-entity parameter budget");
   parser.AddInt("seed", &seed, "seed used at training time");
   parser.AddInt("threads", &threads, "evaluation threads");
+  parser.AddInt("eval-batch", &eval_batch,
+                "queries per batched ranking call; 1 = per-query GEMV, "
+                "0 = auto from entity count (metrics are identical "
+                "either way)");
   parser.AddBool("report", &report, "per-relation breakdown");
   parser.AddBool("raw", &raw, "also print raw (unfiltered) metrics");
   parser.AddString("dump-ranks", &dump_ranks,
@@ -92,10 +97,22 @@ int Run(int argc, char** argv) {
   Evaluator evaluator(&filter, data.num_relations());
   EvalOptions options;
   options.num_threads = int(threads);
+  options.batch_queries = int(eval_batch);
+  const int resolved_batch =
+      ResolveEvalBatchQueries(options.batch_queries, data.num_entities());
+  Stopwatch eval_watch;
   const EvalResult result =
       evaluator.Evaluate(**model, eval_triples, options);
+  const double eval_seconds = eval_watch.ElapsedSeconds();
   std::printf("%s (filtered): %s\n", split.c_str(),
               result.overall.ToString().c_str());
+  if (eval_seconds > 0.0 && !eval_triples.empty()) {
+    std::printf(
+        "eval throughput: %.0f triples/s (%zu triples, %d threads, "
+        "eval batch %d)\n",
+        double(eval_triples.size()) / eval_seconds, eval_triples.size(),
+        int(threads), resolved_batch);
+  }
   if (raw) {
     EvalOptions raw_options = options;
     raw_options.filtered = false;

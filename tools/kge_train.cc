@@ -74,6 +74,11 @@ int Run(int argc, char** argv) {
   parser.AddInt("patience", &patience, "early stopping patience (epochs)");
   parser.AddInt("seed", &seed, "random seed");
   parser.AddInt("threads", &threads, "evaluation threads");
+  int64_t eval_batch = 0;
+  parser.AddInt("eval-batch", &eval_batch,
+                "queries per batched ranking call during validation and "
+                "test evaluation; 1 = per-query GEMV, 0 = auto from entity "
+                "count (metrics are identical either way)");
   int64_t train_threads = 1;
   parser.AddInt("train-threads", &train_threads,
                 "gradient/merge/apply threads (results are identical for "
@@ -138,6 +143,9 @@ int Run(int argc, char** argv) {
   EvalOptions valid_eval;
   valid_eval.max_triples = 500;
   valid_eval.num_threads = int(threads);
+  valid_eval.batch_queries = int(eval_batch);
+  std::printf("eval batch: %d queries per ranking call\n",
+              ResolveEvalBatchQueries(int(eval_batch), data.num_entities()));
   auto validate = [&](KgeModel* m) {
     return evaluator.EvaluateOverall(*m, data.valid, valid_eval).Mrr();
   };
@@ -214,9 +222,17 @@ int Run(int argc, char** argv) {
   // ---- Evaluation ------------------------------------------------------
   EvalOptions test_eval;
   test_eval.num_threads = int(threads);
+  test_eval.batch_queries = int(eval_batch);
+  Stopwatch eval_watch;
   const EvalResult result =
       evaluator.Evaluate(**model, data.test, test_eval);
+  const double eval_seconds = eval_watch.ElapsedSeconds();
   std::printf("test: %s\n", result.overall.ToString().c_str());
+  if (eval_seconds > 0.0 && !data.test.empty()) {
+    std::printf("eval throughput: %.0f triples/s (%d threads, eval batch %d)\n",
+                double(data.test.size()) / eval_seconds, int(threads),
+                ResolveEvalBatchQueries(int(eval_batch), data.num_entities()));
+  }
   if (eval_train) {
     EvalOptions train_eval = test_eval;
     train_eval.max_triples = 2000;
