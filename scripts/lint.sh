@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repo lint driver: custom repo rules (always), clang-format and clang-tidy
+# Repo lint driver: custom repo rules and the hot-path contract analyzer
+# (always; both are dependency-free Python), clang-format and clang-tidy
 # (when the tools are installed — CI installs them; local runs degrade
 # gracefully). Exits non-zero on any finding.
 #
@@ -11,6 +12,9 @@ fail=0
 
 echo "== repo rules (scripts/repo_lint.py) =="
 python3 scripts/repo_lint.py || fail=1
+
+echo "== hot-path contracts (scripts/hotpath_check.py) =="
+python3 scripts/hotpath_check.py || fail=1
 
 if command -v clang-format >/dev/null 2>&1; then
   echo "== clang-format (dry run) =="
@@ -29,12 +33,11 @@ for arg in "$@"; do
 done
 
 if [[ ${run_tidy} -eq 1 ]] && command -v clang-tidy >/dev/null 2>&1; then
-  echo "== clang-tidy =="
+  echo "== clang-tidy (cached) =="
   tidy_build=build-tidy
   cmake -B "${tidy_build}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
       -DKGE_BUILD_BENCHMARKS=OFF -DKGE_BUILD_EXAMPLES=OFF > /dev/null
-  mapfile -t tidy_files < <(git ls-files 'src/**/*.cc')
-  if ! clang-tidy -p "${tidy_build}" --quiet "${tidy_files[@]}"; then
+  if ! python3 scripts/run_clang_tidy.py -p "${tidy_build}"; then
     fail=1
   fi
 elif [[ ${run_tidy} -eq 1 ]]; then

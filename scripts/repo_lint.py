@@ -19,6 +19,13 @@ Rules enforced (each can be suppressed on a specific line with a trailing
                   can verify locking.
   banned-thread   No detached std::thread in src/ (thread lifecycle must be
                   owned, e.g. by ThreadPool).
+  banned-iostream No std::cout/std::cerr/std::clog and no
+                  #include <iostream> in src/ outside the logging utility
+                  (src/util/logging.*): diagnostics go through KGE_LOG,
+                  which is leveled, thread-safe at line granularity, and
+                  silenceable in tests; tool/bench stdout goes through
+                  their printf-based writers. <iostream> also drags a
+                  static-init fiasco guard into every TU that includes it.
 
 Exit status: 0 if clean, 1 if any finding. Findings are printed one per
 line as `path:line: [rule] message`.
@@ -49,6 +56,8 @@ RAW_MUTEX_RE = re.compile(
     r"scoped_lock|unique_lock)\b")
 DETACH_RE = re.compile(r"\.detach\s*\(\s*\)")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once")
+IOSTREAM_USE_RE = re.compile(r"(?<![\w:])std::(?:cout|cerr|clog|wcout|wcerr)\b")
+IOSTREAM_INCLUDE_RE = re.compile(r"^\s*#\s*include\s*<iostream>")
 
 
 def strip_comments_and_strings(line):
@@ -147,6 +156,7 @@ class Linter:
         in_util_random = rel.startswith("src/util/random")
         in_src = rel.startswith("src/")
         is_annotations_header = rel == "src/util/thread_annotations.h"
+        is_logging_util = rel.startswith("src/util/logging")
 
         in_block_comment = False
         for i, raw in enumerate(lines, 1):
@@ -185,6 +195,12 @@ class Linter:
                     self.report(path, i, "banned-thread",
                                 "detached threads are banned; own the "
                                 "lifecycle (e.g. ThreadPool)", raw)
+                if not is_logging_util and (
+                        IOSTREAM_USE_RE.search(code)
+                        or IOSTREAM_INCLUDE_RE.match(code)):
+                    self.report(path, i, "banned-iostream",
+                                "iostream is banned in src/: use KGE_LOG "
+                                "(util/logging.h) for diagnostics", raw)
 
 
 def main():

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Cached clang-tidy runner (driven by scripts/lint.sh and CI).
+
+Runs clang-tidy over every TU in compile_commands.json, skipping files
+whose previous run was clean and whose inputs are unchanged. The cache
+key for a TU is the SHA-256 of
+
+  * the .clang-tidy config,
+  * the TU's compile command (flags, defines, include dirs),
+  * the TU's own content,
+  * the content of every repo header (src/tools/bench) — headers are
+    shared inputs, so a header edit invalidates every TU, which is
+    exactly the conservative behavior a gate needs,
+  * the clang-tidy version string.
+
+Only CLEAN results are cached: a TU with findings is always re-run, so
+fix-then-rerun loops behave as expected. The cache directory defaults to
+.cache/clang-tidy/ (gitignored); CI persists it via actions/cache keyed
+on the same inputs.
+
+Exit status: 0 clean, 1 findings, 2 infrastructure error.
+
+Usage:
+  scripts/run_clang_tidy.py -p build           # all src/ TUs
+  scripts/run_clang_tidy.py -p build src/math  # filter by path prefix
+  scripts/run_clang_tidy.py -p build -j 8 --cache-dir /tmp/tidy-cache
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HEADER_DIRS = ("src", "tools", "bench")
+
+
+def sha256_file(path, chunk=1 << 16):
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        while True:
+            block = f.read(chunk)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+def repo_headers_digest():
+    """One digest over every repo header, in sorted path order."""
+    h = hashlib.sha256()
+    for d in HEADER_DIRS:
+        base = os.path.join(REPO_ROOT, d)
+        for dirpath, _, names in sorted(os.walk(base)):
+            for name in sorted(names):
+                if name.endswith(".h"):
+                    path = os.path.join(dirpath, name)
+                    h.update(os.path.relpath(path, REPO_ROOT).encode())
+                    h.update(sha256_file(path).encode())
+    return h.hexdigest()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("prefixes", nargs="*",
+                    help="only TUs whose repo-relative path starts with one "
+                         "of these (default: all src/ TUs)")
+    ap.add_argument("-p", "--build-dir", default="build")
+    ap.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--cache-dir",
+                    default=os.path.join(REPO_ROOT, ".cache", "clang-tidy"))
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    args = ap.parse_args()
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        sys.stderr.write(f"run_clang_tidy: {args.clang_tidy} not found\n")
+        return 2
+
+    build_dir = args.build_dir
+    if not os.path.isabs(build_dir):
+        build_dir = os.path.join(REPO_ROOT, build_dir)
+    cc_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(cc_path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except OSError as e:
+        sys.stderr.write(f"run_clang_tidy: cannot read {cc_path}: {e}\n"
+                         "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)\n")
+        return 2
+
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True).stdout.strip()
+    config_path = os.path.join(REPO_ROOT, ".clang-tidy")
+    config_digest = sha256_file(config_path)
+    headers_digest = repo_headers_digest()
+
+    os.makedirs(args.cache_dir, exist_ok=True)
+
+    jobs = []
+    seen = set()
+    for entry in entries:
+        src = os.path.normpath(os.path.join(entry["directory"],
+                                            entry["file"]))
+        rel = os.path.relpath(src, REPO_ROOT)
+        if not rel.startswith("src" + os.sep) or src in seen:
+            continue
+        if args.prefixes and not any(rel.startswith(p.rstrip("/"))
+                                     for p in args.prefixes):
+            continue
+        seen.add(src)
+        command = entry.get("command") or " ".join(entry.get("arguments", []))
+        key = hashlib.sha256("\n".join([
+            version, config_digest, headers_digest, rel, command,
+            sha256_file(src),
+        ]).encode()).hexdigest()
+        jobs.append((src, rel, key))
+
+    if not jobs:
+        sys.stderr.write("run_clang_tidy: no TUs matched\n")
+        return 0
+
+    def run_one(job):
+        src, rel, key = job
+        marker = os.path.join(args.cache_dir, key)
+        if os.path.exists(marker):
+            return rel, True, 0, ""
+        proc = subprocess.run(
+            [tidy, "-p", build_dir, "--quiet", src],
+            capture_output=True, text=True)
+        # Cache only clean runs; findings must re-run until fixed.
+        if proc.returncode == 0 and "warning:" not in proc.stdout \
+                and "error:" not in proc.stdout:
+            with open(marker, "w", encoding="utf-8") as f:
+                f.write(rel + "\n")
+            return rel, False, 0, ""
+        return rel, False, proc.returncode or 1, proc.stdout + proc.stderr
+
+    failed = []
+    cached = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for rel, was_cached, rc, output in pool.map(run_one, jobs):
+            if was_cached:
+                cached += 1
+            elif rc != 0:
+                failed.append(rel)
+                sys.stdout.write(output)
+    sys.stderr.write(
+        f"run_clang_tidy: {len(jobs)} TU(s), {cached} cached, "
+        f"{len(failed)} with findings: "
+        f"{'FAILED' if failed else 'OK'}\n")
+    for rel in failed:
+        sys.stderr.write(f"  finding(s) in {rel}\n")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

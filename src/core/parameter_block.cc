@@ -84,8 +84,11 @@ size_t GradientBuffer::Probe(const PerBlock& pb, int64_t row, bool* found) {
 }
 
 void GradientBuffer::Grow(PerBlock& pb, size_t capacity) {
+  // kge-hotpath: allow(probe-table rehash: doubling growth, amortized constant)
   pb.table_rows.assign(capacity, 0);
+  // kge-hotpath: allow(probe-table rehash: doubling growth, amortized constant)
   pb.table_slots.assign(capacity, 0);
+  // kge-hotpath: allow(probe-table rehash: doubling growth, amortized constant)
   pb.table_stamps.assign(capacity, 0);
   pb.generation = 1;
   // Re-insert every registered row into the fresh table.
@@ -111,8 +114,10 @@ std::span<float> GradientBuffer::GradFor(size_t block_index, int64_t row) {
   const size_t i = Probe(pb, row, &found);
   if (found) return std::span<float>(pb.pool[pb.table_slots[i]]);
   const size_t slot = pb.rows.size();
+  // kge-hotpath: allow(row registration: bounded by Reserve/high-water)
   pb.rows.push_back(row);
   if (slot == pb.pool.size()) {
+    // kge-hotpath: allow(one stable pool slot per high-water row)
     pb.pool.emplace_back(dim, 0.0f);
   } else {
     // Recycled slot from a previous batch; zero it.

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "util/hotpath.h"
 #include "util/random.h"
 
 namespace kge {
@@ -67,10 +68,12 @@ class GradientBuffer {
 
   // Returns the gradient accumulator row for (block_index, row), zeroed on
   // first touch within the current batch. Accumulate with +=.
+  KGE_HOT_NOALLOC
   std::span<float> GradFor(size_t block_index, int64_t row);
 
   // Read-only lookup: the accumulator for (block_index, row), or an empty
   // span if the row is untouched in the current batch. Never inserts.
+  KGE_HOT_NOALLOC
   std::span<const float> Find(size_t block_index, int64_t row) const;
 
   // Resets all touched rows; keeps capacity.
@@ -86,12 +89,13 @@ class GradientBuffer {
   // Deterministic row -> shard assignment (SplitMix64 over the pair) used
   // to partition touched rows across threads for the parallel gradient
   // merge and optimizer apply. Stable across platforms and runs.
+  KGE_HOT_NOALLOC
   static size_t ShardOfRow(size_t block_index, int64_t row,
                            size_t num_shards);
 
   // Calls fn(block_index, row, grad) for every touched row.
   template <typename Fn>
-  void ForEach(Fn&& fn) const {
+  KGE_HOT_NOALLOC void ForEach(Fn&& fn) const {
     for (size_t b = 0; b < blocks_.size(); ++b) {
       const PerBlock& pb = per_block_[b];
       for (size_t slot = 0; slot < pb.rows.size(); ++slot) {
@@ -105,7 +109,7 @@ class GradientBuffer {
   // exactly once; per-row visit order (registration order) is identical
   // for every num_shards, so shard-parallel per-row work is bit-stable.
   template <typename Fn>
-  void ForEachShard(size_t shard, size_t num_shards, Fn&& fn) const {
+  KGE_HOT_NOALLOC void ForEachShard(size_t shard, size_t num_shards, Fn&& fn) const {
     for (size_t b = 0; b < blocks_.size(); ++b) {
       const PerBlock& pb = per_block_[b];
       for (size_t slot = 0; slot < pb.rows.size(); ++slot) {
@@ -117,7 +121,7 @@ class GradientBuffer {
 
   // Mutable variant of ForEachShard for the parallel gradient merge.
   template <typename Fn>
-  void ForEachShardMut(size_t shard, size_t num_shards, Fn&& fn) {
+  KGE_HOT_NOALLOC void ForEachShardMut(size_t shard, size_t num_shards, Fn&& fn) {
     for (size_t b = 0; b < blocks_.size(); ++b) {
       PerBlock& pb = per_block_[b];
       for (size_t slot = 0; slot < pb.rows.size(); ++slot) {

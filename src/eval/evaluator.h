@@ -17,6 +17,7 @@
 #include "kg/relation_analysis.h"
 #include "kg/triple.h"
 #include "models/kge_model.h"
+#include "util/hotpath.h"
 #include "util/thread_pool.h"
 
 namespace kge {
@@ -73,15 +74,19 @@ class Evaluator {
 
   // Rank of the true tail for one query, using `scores` =
   // model.ScoreAllTails(h, r) (exposed for testing).
+  KGE_HOT_NOALLOC
   double RankTail(const Triple& triple, std::span<const float> scores,
                   bool filtered) const;
+  KGE_HOT_NOALLOC
   double RankHead(const Triple& triple, std::span<const float> scores,
                   bool filtered) const;
 
   // Number of ranked candidates (the true answer plus surviving
   // corruptions) for each query direction; feeds the adjusted mean rank.
+  KGE_HOT_NOALLOC
   size_t CountTailCandidates(const Triple& triple, int32_t num_entities,
                              bool filtered) const;
+  KGE_HOT_NOALLOC
   size_t CountHeadCandidates(const Triple& triple, int32_t num_entities,
                              bool filtered) const;
 

@@ -74,6 +74,7 @@ Triple NegativeSampler::Sample(const Triple& positive, Rng* rng) const {
 
 void NegativeSampler::SampleMany(const Triple& positive, int count, Rng* rng,
                                  std::vector<Triple>* out) const {
+  // kge-hotpath: allow(appends into the caller's reused thread_local buffer)
   for (int i = 0; i < count; ++i) out->push_back(Sample(positive, rng));
 }
 

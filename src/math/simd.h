@@ -50,6 +50,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/hotpath.h"
+
 namespace kge::simd {
 
 // Number of interleaved double partial sums every reduction uses; element
@@ -77,24 +79,31 @@ const char* IsaName();
 // ---- Reductions (double accumulation, 8 interleaved partials) -------------
 
 // Σ_d a[d]·b[d]
+KGE_HOT_NOALLOC
 double Dot(const float* a, const float* b, size_t n);
 
 // Σ_d a[d]·b[d]·c[d]
+KGE_HOT_NOALLOC
 double TrilinearDot(const float* a, const float* b, const float* c, size_t n);
 
 // Σ_d a[d]²
+KGE_HOT_NOALLOC
 double SquaredNorm(const float* a, size_t n);
 
 // Σ_d |a[d]|
+KGE_HOT_NOALLOC
 double L1Norm(const float* a, size_t n);
 
 // Σ_d |a[d] − b[d]|
+KGE_HOT_NOALLOC
 double L1Distance(const float* a, const float* b, size_t n);
 
 // Σ_d (a[d] − b[d])²
+KGE_HOT_NOALLOC
 double SquaredL2Distance(const float* a, const float* b, size_t n);
 
 // max_d |a[d] − b[d]|
+KGE_HOT_NOALLOC
 double MaxAbsDiff(const float* a, const float* b, size_t n);
 
 // ---- Batch ranking kernel --------------------------------------------------
@@ -104,6 +113,7 @@ double MaxAbsDiff(const float* a, const float* b, size_t n);
 // step of every trilinear model, executed as a tiled matrix-vector
 // product (kDotBatchTileRows rows per tile, each with its own
 // accumulator group) instead of num_rows separate Dot calls.
+KGE_HOT_NOALLOC
 void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
               float* out);
 
@@ -119,6 +129,7 @@ void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
 // batching across rows in DotBatch — is a scheduling change only:
 // results are bit-identical to num_queries separate DotBatch calls on
 // every ISA.
+KGE_HOT_NOALLOC
 void DotBatchMulti(const float* queries, size_t num_queries,
                    const float* rows, size_t num_rows, size_t n, float* out);
 
@@ -127,6 +138,7 @@ void DotBatchMulti(const float* queries, size_t num_queries,
 // candidates (e.g. negative samples) straight out of the embedding
 // table instead of memcpy-compacting them first. Duplicate and
 // unsorted ids are fine; each id must be in [0, rows_in_table).
+KGE_HOT_NOALLOC
 void DotBatchIndexed(const float* v, const float* rows,
                      const std::int32_t* ids, size_t num_ids, size_t n,
                      float* out);
@@ -134,25 +146,31 @@ void DotBatchIndexed(const float* v, const float* rows,
 // ---- Elementwise kernels (float, fixed association, FMA-free) --------------
 
 // out[d] = a[d]·b[d]
+KGE_HOT_NOALLOC
 void Hadamard(const float* a, const float* b, float* out, size_t n);
 
 // out[d] += (scale·a[d])·b[d]
+KGE_HOT_NOALLOC
 void HadamardAxpy(float scale, const float* a, const float* b, float* out,
                   size_t n);
 
 // out[d] += scale·a[d]
+KGE_HOT_NOALLOC
 void Axpy(float scale, const float* a, float* out, size_t n);
 
 // out[d] = value
+KGE_HOT_NOALLOC
 void Fill(float* out, float value, size_t n);
 
 // out[d] *= scale
+KGE_HOT_NOALLOC
 void Scale(float* out, float scale, size_t n);
 
 // The fused Eq. (8) gradient update — one pass over d performing
 //   gh[d] += (w·t[d])·r[d],  gt[d] += (w·h[d])·r[d],  gr[d] += (w·h[d])·t[d]
 // with the same association as three separate HadamardAxpy calls (so the
 // fusion is bit-exact); loads h/t/r once instead of twice each.
+KGE_HOT_NOALLOC
 void TripleGradAxpy(float w, const float* h, const float* t, const float* r,
                     float* gh, float* gt, float* gr, size_t n);
 

@@ -41,15 +41,18 @@ void ConvE::ForwardQuery(EntityId head, RelationId relation,
   const auto h = entities_.Of(head);
   const auto r = relations_.Of(relation);
   // Stack the two grids: channel 0 is [h-grid; r-grid] vertically.
+  // kge-hotpath: allow(thread_local Activations high-water growth)
   acts->input.resize(size_t(conv_.input_size()));
   std::copy(h.begin(), h.end(), acts->input.begin());
   std::copy(r.begin(), r.end(),
             acts->input.begin() + std::ptrdiff_t(h.size()));
 
+  // kge-hotpath: allow(thread_local Activations high-water growth)
   acts->conv_out.resize(size_t(conv_.output_size()));
   conv_.Forward(acts->input, acts->conv_out);
   Relu(acts->conv_out);
 
+  // kge-hotpath: allow(thread_local Activations high-water growth)
   acts->fc_out.resize(size_t(dim()));
   projection_.Forward(acts->conv_out, acts->fc_out);
   acts->projected = acts->fc_out;

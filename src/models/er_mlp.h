@@ -17,6 +17,7 @@
 #include "core/embedding_store.h"
 #include "models/kge_model.h"
 #include "nn/dense_layer.h"
+#include "util/hotpath.h"
 
 namespace kge {
 
@@ -32,12 +33,15 @@ class ErMlp : public KgeModel {
   int32_t hidden_dim() const { return hidden_.out_dim(); }
 
   double Score(const Triple& triple) const override;
+  KGE_HOT_NOALLOC
   void ScoreAllTails(EntityId head, RelationId relation,
                      std::span<float> out) const override;
+  KGE_HOT_NOALLOC
   void ScoreAllHeads(EntityId tail, RelationId relation,
                      std::span<float> out) const override;
 
   std::vector<ParameterBlock*> Blocks() override;
+  KGE_HOT_NOALLOC
   void AccumulateGradients(const Triple& triple, float dscore,
                            GradientBuffer* grads) override;
   void NormalizeEntities(std::span<const EntityId> entities) override;

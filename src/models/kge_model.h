@@ -19,6 +19,7 @@
 
 #include "core/parameter_block.h"
 #include "kg/triple.h"
+#include "util/hotpath.h"
 
 namespace kge {
 
@@ -36,9 +37,11 @@ class KgeModel {
   // Scores (h, t', r) for every candidate tail t' in [0, num_entities);
   // `out` has num_entities floats. Must be thread-safe for concurrent
   // calls (used by the parallel evaluator).
+  KGE_HOT_NOALLOC
   virtual void ScoreAllTails(EntityId head, RelationId relation,
                              std::span<float> out) const = 0;
   // Scores (h', t, r) for every candidate head h'.
+  KGE_HOT_NOALLOC
   virtual void ScoreAllHeads(EntityId tail, RelationId relation,
                              std::span<float> out) const = 0;
 
@@ -54,10 +57,12 @@ class KgeModel {
   // batch instead of once per query. Must be thread-safe for concurrent
   // calls (used by the batched parallel evaluator and the 1-vs-All
   // trainer).
+  KGE_HOT_NOALLOC
   virtual void ScoreAllTailsBatch(std::span<const EntityId> heads,
                                   RelationId relation,
                                   std::span<float> out) const;
   // Batched head-side twin: row q scores (h', tails[q], r) for every h'.
+  KGE_HOT_NOALLOC
   virtual void ScoreAllHeadsBatch(std::span<const EntityId> tails,
                                   RelationId relation,
                                   std::span<float> out) const;
@@ -68,10 +73,12 @@ class KgeModel {
   // fold the (h, r) context once and score all candidates with a single
   // batched matrix-vector product. Must be thread-safe for concurrent
   // calls (used by the parallel trainer shards).
+  KGE_HOT_NOALLOC
   virtual void ScoreTailBatch(EntityId head, RelationId relation,
                               std::span<const EntityId> tails,
                               std::span<float> out) const;
   // Scores (h', t, r) for each candidate head h' in `heads`.
+  KGE_HOT_NOALLOC
   virtual void ScoreHeadBatch(EntityId tail, RelationId relation,
                               std::span<const EntityId> heads,
                               std::span<float> out) const;
@@ -88,6 +95,7 @@ class KgeModel {
   virtual void BeginBatch() {}
 
   // Accumulates dL/dparams for one triple given upstream dscore = dL/dS.
+  KGE_HOT_NOALLOC
   virtual void AccumulateGradients(const Triple& triple, float dscore,
                                    GradientBuffer* grads) = 0;
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "models/kge_model.h"
+#include "util/hotpath.h"
 
 namespace kge {
 
@@ -31,20 +32,24 @@ class ReciprocalWrapper : public KgeModel {
   double Score(const Triple& triple) const override {
     return base_->Score(triple);
   }
+  KGE_HOT_NOALLOC
   void ScoreAllTails(EntityId head, RelationId relation,
                      std::span<float> out) const override {
     base_->ScoreAllTails(head, relation, out);
   }
   // Head query -> reciprocal tail query.
+  KGE_HOT_NOALLOC
   void ScoreAllHeads(EntityId tail, RelationId relation,
                      std::span<float> out) const override;
   // Batched candidate scoring delegates unchanged, like Score: the
   // trainer only issues queries over the augmented relation set.
+  KGE_HOT_NOALLOC
   void ScoreTailBatch(EntityId head, RelationId relation,
                       std::span<const EntityId> tails,
                       std::span<float> out) const override {
     base_->ScoreTailBatch(head, relation, tails, out);
   }
+  KGE_HOT_NOALLOC
   void ScoreHeadBatch(EntityId tail, RelationId relation,
                       std::span<const EntityId> heads,
                       std::span<float> out) const override {
@@ -53,6 +58,7 @@ class ReciprocalWrapper : public KgeModel {
 
   // Training-related methods delegate unchanged.
   std::vector<ParameterBlock*> Blocks() override { return base_->Blocks(); }
+  KGE_HOT_NOALLOC
   void AccumulateGradients(const Triple& triple, float dscore,
                            GradientBuffer* grads) override {
     base_->AccumulateGradients(triple, dscore, grads);

@@ -19,6 +19,7 @@
 
 #include "core/embedding_store.h"
 #include "models/kge_model.h"
+#include "util/hotpath.h"
 
 namespace kge {
 
@@ -35,12 +36,15 @@ class RotatE : public KgeModel {
   int32_t dim() const { return phases_.dim(); }
 
   double Score(const Triple& triple) const override;
+  KGE_HOT_NOALLOC
   void ScoreAllTails(EntityId head, RelationId relation,
                      std::span<float> out) const override;
+  KGE_HOT_NOALLOC
   void ScoreAllHeads(EntityId tail, RelationId relation,
                      std::span<float> out) const override;
 
   std::vector<ParameterBlock*> Blocks() override;
+  KGE_HOT_NOALLOC
   void AccumulateGradients(const Triple& triple, float dscore,
                            GradientBuffer* grads) override;
   void NormalizeEntities(std::span<const EntityId> entities) override;

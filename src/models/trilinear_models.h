@@ -14,6 +14,7 @@
 #include "core/interaction.h"
 #include "core/weight_table.h"
 #include "models/kge_model.h"
+#include "util/hotpath.h"
 
 namespace kge {
 
@@ -31,8 +32,10 @@ class MultiEmbeddingModel : public KgeModel {
   int32_t dim() const { return dim_; }
 
   double Score(const Triple& triple) const override;
+  KGE_HOT_NOALLOC
   void ScoreAllTails(EntityId head, RelationId relation,
                      std::span<float> out) const override;
+  KGE_HOT_NOALLOC
   void ScoreAllHeads(EntityId tail, RelationId relation,
                      std::span<float> out) const override;
   // Batched candidate scoring: fold the fixed (h, r) / (t, r) context
@@ -40,9 +43,11 @@ class MultiEmbeddingModel : public KgeModel {
   // with the id-indirected kernel (simd::DotBatchIndexed) — no copy of
   // the candidate rows. Each score is exactly float(Dot(fold, candidate))
   // — the same value ScoreAllTails/Heads computes for that entity.
+  KGE_HOT_NOALLOC
   void ScoreTailBatch(EntityId head, RelationId relation,
                       std::span<const EntityId> tails,
                       std::span<float> out) const override;
+  KGE_HOT_NOALLOC
   void ScoreHeadBatch(EntityId tail, RelationId relation,
                       std::span<const EntityId> heads,
                       std::span<float> out) const override;
@@ -50,14 +55,17 @@ class MultiEmbeddingModel : public KgeModel {
   // per-thread B × width scratch matrix, then a single cache-blocked
   // multi-query product against the entity table (simd::DotBatchMulti).
   // Row q equals ScoreAllTails(heads[q], relation) bit-for-bit.
+  KGE_HOT_NOALLOC
   void ScoreAllTailsBatch(std::span<const EntityId> heads,
                           RelationId relation,
                           std::span<float> out) const override;
+  KGE_HOT_NOALLOC
   void ScoreAllHeadsBatch(std::span<const EntityId> tails,
                           RelationId relation,
                           std::span<float> out) const override;
 
   std::vector<ParameterBlock*> Blocks() override;
+  KGE_HOT_NOALLOC
   void AccumulateGradients(const Triple& triple, float dscore,
                            GradientBuffer* grads) override;
   void NormalizeEntities(std::span<const EntityId> entities) override;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/parameter_block.h"
+#include "util/hotpath.h"
 #include "util/io.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -34,6 +35,7 @@ class Optimizer {
   // by GradientBuffer::ShardOfRow and updated concurrently. Row updates
   // are independent (per-row state only), so the result is bit-identical
   // to the serial apply for every thread count.
+  KGE_HOT_NOALLOC
   virtual void Apply(const GradientBuffer& grads,
                      ThreadPool* pool = nullptr) = 0;
 

@@ -23,6 +23,7 @@
 #include "models/trilinear_models.h"
 #include "optim/optimizer.h"
 #include "train/trainer.h"
+#include "util/hotpath.h"
 #include "util/status.h"
 
 namespace kge {
@@ -83,11 +84,13 @@ class OneVsAllTrainer {
   // touched entities. Returns the query's BCE loss. The batched-scoring
   // path splits this into a fold stage, one DotBatchMulti over the whole
   // batch, and ComputeQueryGrad.
+  KGE_HOT_NOALLOC
   double ScoreQuery(const Query& query, std::span<float> fold,
                     std::span<float> g, std::span<float> dfold);
   // The post-scoring half of ScoreQuery: `g` holds the query's scores on
   // entry and its dL/ds values on exit; accumulates dL/dfold and flags
   // touched entities. Returns the query's BCE loss.
+  KGE_HOT_NOALLOC
   double ComputeQueryGrad(const Query& query, std::span<float> g,
                           std::span<float> dfold);
 

@@ -62,8 +62,11 @@ void Trainer::ProcessRange(const std::vector<Triple>& train_triples,
     // (Eq. 16's per-triple Θ). Block indices 0/1 = entity/relation by the
     // KgeModel convention.
     reg_rows.clear();
+    // kge-hotpath: allow(3 slots in a reused thread_local buffer)
     reg_rows.emplace_back(0, triple.head);
+    // kge-hotpath: allow(3 slots in a reused thread_local buffer)
     reg_rows.emplace_back(0, triple.tail);
+    // kge-hotpath: allow(3 slots in a reused thread_local buffer)
     reg_rows.emplace_back(1, triple.relation);
     *loss += regularizer.Accumulate(grads, reg_rows);
   };
@@ -85,13 +88,18 @@ void Trainer::ProcessRange(const std::vector<Triple>& train_triples,
     tail_ids.clear();
     head_ids.clear();
     negative_slot.clear();
+    // kge-hotpath: allow(reused thread_local buffers; num_negatives high-water)
     tail_ids.push_back(positive.tail);
     for (const Triple& negative : negatives) {
       if (negative.head == positive.head) {
+        // kge-hotpath: allow(reused thread_local buffers; num_negatives high-water)
         negative_slot.push_back(uint32_t(tail_ids.size()) << 1);
+        // kge-hotpath: allow(reused thread_local buffers; num_negatives high-water)
         tail_ids.push_back(negative.tail);
       } else {
+        // kge-hotpath: allow(reused thread_local buffers; num_negatives high-water)
         negative_slot.push_back((uint32_t(head_ids.size()) << 1) | 1u);
+        // kge-hotpath: allow(reused thread_local buffers; num_negatives high-water)
         head_ids.push_back(negative.head);
       }
     }

@@ -15,6 +15,7 @@
 #include "models/kge_model.h"
 #include "optim/optimizer.h"
 #include "train/train_loop.h"
+#include "util/hotpath.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -115,6 +116,7 @@ class Trainer {
   // scoring API (at most two fold+GEMV calls per positive). Thread-
   // compatible: touches only the given buffer, rng, and per-thread
   // scratch.
+  KGE_HOT_NOALLOC
   void ProcessRange(const std::vector<Triple>& train_triples,
                     const std::vector<size_t>& order, size_t begin,
                     size_t end, const NegativeSampler& sampler, Rng* rng,
@@ -124,6 +126,7 @@ class Trainer {
   // registered serially, then accumulated with simd::Axpy in shard order
   // per row, hash-partitioned across the pool. Bit-identical for every
   // thread count.
+  KGE_HOT_NOALLOC
   void MergeShardGradients(size_t num_shards);
 
   KgeModel* model_;

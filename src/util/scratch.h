@@ -27,6 +27,7 @@ namespace kge {
 // Never shrinks, so steady-state calls perform zero heap allocations.
 template <typename T>
 inline std::span<T> ScratchSpan(std::vector<T>& buf, size_t n) {
+  // kge-hotpath: allow(cold-start high-water growth of a reused buffer)
   if (buf.size() < n) buf.resize(n);
   return std::span<T>(buf.data(), n);
 }

@@ -32,6 +32,7 @@ void ThreadPool::Schedule(std::function<void()> task) {
   }
   {
     MutexLock lock(mutex_);
+    // kge-hotpath: allow(task dispatch is batch-granularity, not per-triple)
     queue_.push_back(std::move(task));
     ++in_flight_;
   }

@@ -1,0 +1,16 @@
+// Fixture: an annotated hot function whose allocation carries the
+// escape-hatch comment. Expected: zero findings, one suppression with
+// the reason "high-water growth".
+#include <cstddef>
+#include <vector>
+
+#include "util/hotpath.h"
+
+namespace fixture {
+
+KGE_HOT_NOALLOC
+void HotWithAllow(std::vector<float>* buf, std::size_t n) {
+  if (buf->size() < n) buf->resize(n);  // kge-hotpath: allow(high-water growth)
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: a clean hot function, plus an allocating function that is
+// NOT reachable from any root. Expected: zero findings — allocations in
+// cold code must not be reported.
+#include <cstddef>
+#include <vector>
+
+#include "util/hotpath.h"
+
+namespace fixture {
+
+KGE_HOT_NOALLOC
+double HotClean(const float* a, const float* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += double(a[i]) * double(b[i]);
+  return acc;
+}
+
+std::vector<float> ColdAlloc(std::size_t n) {
+  std::vector<float> out(n, 0.0f);
+  return out;
+}
+
+}  // namespace fixture

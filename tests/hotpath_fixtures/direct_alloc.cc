@@ -1,0 +1,14 @@
+// Fixture: an annotated hot function that allocates directly.
+// Expected: one [alloc] finding in fixture::HotDirectAlloc.
+#include <cstddef>
+
+#include "util/hotpath.h"
+
+namespace fixture {
+
+KGE_HOT_NOALLOC
+float* HotDirectAlloc(std::size_t n) {
+  return new float[n];
+}
+
+}  // namespace fixture

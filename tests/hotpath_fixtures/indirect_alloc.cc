@@ -1,0 +1,18 @@
+// Fixture: the root is clean but calls a helper that allocates.
+// Expected: one [alloc] finding whose path is HotIndirect -> AppendScore.
+#include <vector>
+
+#include "util/hotpath.h"
+
+namespace fixture {
+
+void AppendScore(std::vector<float>* out, float value) {
+  out->push_back(value);
+}
+
+KGE_HOT_NOALLOC
+void HotIndirect(std::vector<float>* out) {
+  AppendScore(out, 1.0f);
+}
+
+}  // namespace fixture

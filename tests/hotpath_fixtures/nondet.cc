@@ -1,0 +1,17 @@
+// Fixture: an annotated hot function consulting nondeterminism sources.
+// Expected: [nondet] findings for rand() and the unordered container.
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/hotpath.h"
+
+namespace fixture {
+
+KGE_HOT_NOALLOC
+int HotNondet(const std::unordered_map<int, int>& table) {
+  int acc = std::rand();  // kge-lint: allow(banned-random)
+  for (const auto& [key, value] : table) acc += key * value;
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: an annotated hot function with a throwing path.
+// Expected: one [throw] finding.
+#include <stdexcept>
+
+#include "util/hotpath.h"
+
+namespace fixture {
+
+KGE_HOT_NOALLOC
+int HotThrow(int x) {
+  if (x < 0) throw std::runtime_error("negative");
+  return x;
+}
+
+}  // namespace fixture

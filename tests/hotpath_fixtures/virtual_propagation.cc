@@ -1,0 +1,25 @@
+// Fixture: only the base-class virtual is annotated; the override
+// allocates. Expected: the override is rooted by name propagation and
+// its [alloc] finding is reported.
+#include <vector>
+
+#include "util/hotpath.h"
+
+namespace fixture {
+
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  KGE_HOT_NOALLOC
+  virtual void ScoreBatch(std::vector<float>* out) const = 0;
+};
+
+class AllocatingScorer : public Scorer {
+ public:
+  void ScoreBatch(std::vector<float>* out) const override {
+    out->resize(128);
+  }
+};
+
+}  // namespace fixture

@@ -39,6 +39,20 @@ class DescendingModel : public KgeModel {
   std::string name_;
 };
 
+// Model with grouped ties: tails 0..3 share the best score, 4..7 the
+// next, and so on — exercises id tie-breaking inside each tied group.
+class GroupedTieModel : public DescendingModel {
+ public:
+  double Score(const Triple& t) const override {
+    return -double(t.tail / 4);
+  }
+  void ScoreAllTails(EntityId head, RelationId relation,
+                     std::span<float> out) const override {
+    for (EntityId t = 0; t < kEntities; ++t)
+      out[size_t(t)] = float(Score({head, t, relation}));
+  }
+};
+
 TEST(TopKTest, ReturnsBestFirstWithoutFilter) {
   DescendingModel model;
   TopKOptions options;
@@ -92,6 +106,82 @@ TEST(TopKTest, KZeroGivesEmpty) {
   TopKOptions options;
   options.k = 0;
   EXPECT_TRUE(PredictTails(model, 0, 0, options).empty());
+}
+
+TEST(TopKTest, NegativeKGivesEmpty) {
+  DescendingModel model;
+  TopKOptions options;
+  options.k = -5;
+  EXPECT_TRUE(PredictTails(model, 0, 0, options).empty());
+}
+
+TEST(TopKTest, KOneReturnsSingleBest) {
+  DescendingModel model;
+  TopKOptions options;
+  options.k = 1;
+  const auto top = PredictTails(model, 0, 0, options);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].entity, 0);
+  EXPECT_FLOAT_EQ(top[0].score, 0.0f);
+}
+
+TEST(TopKTest, ExclusionRemovingEveryCandidateGivesEmpty) {
+  DescendingModel model;
+  FilterIndex filter;
+  std::vector<Triple> known;
+  for (EntityId t = 0; t < kEntities; ++t) known.push_back({0, t, 0});
+  filter.Build(known, {}, {});
+  TopKOptions options;
+  options.k = 5;
+  options.exclude_known = &filter;
+  EXPECT_TRUE(PredictTails(model, 0, 0, options).empty());
+}
+
+TEST(TopKTest, KLargerThanSurvivingCandidatesIsClamped) {
+  DescendingModel model;
+  FilterIndex filter;
+  // Exclude all but tails 7 and 13 for query (0, ?, 0).
+  std::vector<Triple> known;
+  for (EntityId t = 0; t < kEntities; ++t) {
+    if (t != 7 && t != 13) known.push_back({0, t, 0});
+  }
+  filter.Build(known, {}, {});
+  TopKOptions options;
+  options.k = 1000;
+  options.exclude_known = &filter;
+  const auto top = PredictTails(model, 0, 0, options);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].entity, 7);
+  EXPECT_EQ(top[1].entity, 13);
+}
+
+TEST(TopKTest, TieBreakSurvivesExclusion) {
+  // All scores equal; excluding entity 1 must shift the id-ordered
+  // result, not disturb it.
+  auto model = MakeDistMult(kEntities, kRelations, 4, 1);
+  model->entity_store().block()->Zero();
+  FilterIndex filter;
+  filter.Build({{0, 1, 0}}, {}, {});
+  TopKOptions options;
+  options.k = 4;
+  options.exclude_known = &filter;
+  const auto top = PredictTails(*model, 0, 0, options);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].entity, 0);
+  EXPECT_EQ(top[1].entity, 2);
+  EXPECT_EQ(top[2].entity, 3);
+  EXPECT_EQ(top[3].entity, 4);
+}
+
+TEST(TopKTest, GroupedTiesBreakByIdWithinEachGroup) {
+  GroupedTieModel model;
+  TopKOptions options;
+  options.k = 6;  // first tied group of 4, then two from the next group
+  const auto top = PredictTails(model, 0, 0, options);
+  ASSERT_EQ(top.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(top[size_t(i)].entity, i);
+  EXPECT_FLOAT_EQ(top[3].score, 0.0f);
+  EXPECT_FLOAT_EQ(top[4].score, -1.0f);
 }
 
 TEST(TopKTest, TieBreaksByEntityId) {
