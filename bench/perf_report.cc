@@ -23,6 +23,15 @@
 // Both trainers produce bit-identical results for every thread count, so
 // the rows measure pure scheduling overhead/benefit.
 //
+// BENCH_eval.json gets an "eval_batching" section (ranking throughput
+// vs query batch size, with a metric-equality canary) and a "precision"
+// section: the same batched ranking workload at each scoring tier
+// (double / float32 / int8, see core/scoring_replica.h) with per-tier
+// ns/triple, effective GB/s, speedup over the exact double tier, and a
+// drift block giving filtered MRR / Hits@{1,3,10} deltas of the narrow
+// tiers against double on a briefly-trained model. CI jq-gates the
+// drift deltas and the zero-allocation contract per tier.
+//
 // "meta" records the ISA the binary dispatches to (scalar / avx2+fma /
 // neon), compiler, and workload shape, so JSON files from different
 // builds are self-describing. CI runs this with --quick and validates
@@ -98,6 +107,7 @@ struct PerfConfig {
   int64_t train_entities = 2000;  // WN18-like KG size for training bench
   int64_t train_epochs = 2;       // timed epochs (one warm-up on top)
   int64_t train_negatives = 4;    // negatives per positive
+  int64_t drift_epochs = 30;      // training epochs before drift measurement
   std::string out = std::string(KGE_REPO_ROOT) + "/BENCH_kernels.json";
   std::string train_out = std::string(KGE_REPO_ROOT) + "/BENCH_training.json";
   std::string eval_out = std::string(KGE_REPO_ROOT) + "/BENCH_eval.json";
@@ -540,6 +550,199 @@ EvalBatchReport BenchEvalBatching(const PerfConfig& config) {
   return report;
 }
 
+// ---- Precision tiers -------------------------------------------------------
+// The same batched full-vocabulary workload ranked at each scoring tier
+// (see core/scoring_replica.h): kDouble is the exact protocol baseline,
+// kFloat32 swaps the accumulator width, kInt8 streams the quantized
+// entity replica (4x fewer table bytes per candidate). The drift block
+// evaluates a briefly-trained model under the full filtered protocol at
+// every tier so CI can gate the metric deltas the narrow tiers trade
+// for bandwidth.
+
+struct PrecisionTierRow {
+  ScorePrecision precision = ScorePrecision::kDouble;
+  double ns_per_triple = 0.0;
+  double gb_per_s = 0.0;  // effective entity-table bytes scored per second
+  double allocs_per_triple = -1.0;  // -1 = not measured (sanitized build)
+  double speedup_vs_double = 1.0;
+};
+
+struct PrecisionDriftRow {
+  ScorePrecision precision = ScorePrecision::kDouble;
+  double mrr = 0.0;
+  double hits1 = 0.0;
+  double hits3 = 0.0;
+  double hits10 = 0.0;
+  double delta_mrr = 0.0;
+  double delta_hits1 = 0.0;
+  double delta_hits3 = 0.0;
+  double delta_hits10 = 0.0;
+};
+
+struct PrecisionReport {
+  int64_t entities = 0;
+  int64_t dim = 0;
+  int64_t queries = 0;
+  int batch = 32;
+  std::vector<PrecisionTierRow> tiers;
+  int64_t drift_entities = 0;
+  int64_t drift_triples = 0;
+  int64_t drift_epochs = 0;
+  std::vector<PrecisionDriftRow> drift;
+};
+
+constexpr ScorePrecision kPrecisionTiers[] = {
+    ScorePrecision::kDouble, ScorePrecision::kFloat32, ScorePrecision::kInt8};
+
+PrecisionReport BenchPrecisionTiers(const PerfConfig& config) {
+  const int32_t num_entities = int32_t(config.entities);
+  const int32_t num_relations = 18;
+  const int32_t dim = int32_t(config.dim_budget / 2);  // ComplEx: 2 vectors
+  std::unique_ptr<MultiEmbeddingModel> model =
+      MakeComplEx(num_entities, num_relations, dim, /*seed=*/42);
+
+  // Same fixed workload shape as the batching bench: Q heads, one
+  // relation, a designated true tail per query, batch fixed at 32 so the
+  // rows differ only in the scoring tier.
+  Rng rng(17);
+  const int64_t num_queries = config.queries;
+  std::vector<EntityId> heads(static_cast<size_t>(num_queries));
+  std::vector<EntityId> truths(static_cast<size_t>(num_queries));
+  for (int64_t q = 0; q < num_queries; ++q) {
+    heads[size_t(q)] = EntityId(rng.NextBounded(uint64_t(num_entities)));
+    truths[size_t(q)] = EntityId(rng.NextBounded(uint64_t(num_entities)));
+  }
+  const RelationId relation = 0;
+  const auto rank_scan = [&](std::span<const float> row, EntityId truth) {
+    const float true_score = row[size_t(truth)];
+    size_t better = 0;
+    for (const float s : row) {
+      if (s > true_score) ++better;
+    }
+    return better;
+  };
+
+  PrecisionReport report;
+  report.entities = num_entities;
+  report.dim = dim;
+  report.queries = num_queries;
+  const int batch = report.batch;
+  std::vector<float> scores(size_t(batch) * size_t(num_entities));
+  volatile size_t rank_sink = 0;
+
+  for (const ScorePrecision precision : kPrecisionTiers) {
+    // Replica builds (the int8 quantization pass) happen here, outside
+    // the timed and allocation-counted region — exactly where the
+    // evaluator runs them (once, before the scoring fanout).
+    model->PrepareForScoring(precision);
+    const auto run_pass = [&] {
+      for (int64_t q0 = 0; q0 < num_queries; q0 += batch) {
+        const size_t count =
+            size_t(std::min<int64_t>(batch, num_queries - q0));
+        const std::span<float> block(scores.data(),
+                                     count * size_t(num_entities));
+        model->ScoreAllTailsBatch(
+            std::span<const EntityId>(heads.data() + q0, count), relation,
+            block, precision);
+        for (size_t i = 0; i < count; ++i) {
+          rank_sink = rank_sink +
+                      rank_scan(block.subspan(i * size_t(num_entities),
+                                              size_t(num_entities)),
+                                truths[size_t(q0) + i]);
+        }
+      }
+    };
+    run_pass();  // warm-up: faults pages, grows thread_local fold scratch
+
+#if KGE_COUNT_ALLOCS
+    const uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+#endif
+    Stopwatch sw;
+    run_pass();
+    const double seconds = sw.ElapsedSeconds();
+
+    PrecisionTierRow row;
+    row.precision = precision;
+#if KGE_COUNT_ALLOCS
+    const uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    row.allocs_per_triple = double(allocs) / double(num_queries);
+#endif
+    row.ns_per_triple = seconds / double(num_queries) * 1e9;
+    // Bytes actually streamed per candidate element: the double and
+    // float32 tiers read the 4-byte master rows, int8 the 1-byte codes.
+    const double bytes_per_elem =
+        precision == ScorePrecision::kInt8 ? 1.0 : double(sizeof(float));
+    const double table_bytes = double(num_queries) * double(num_entities) *
+                               double(config.dim_budget) * bytes_per_elem;
+    row.gb_per_s = table_bytes / seconds / 1e9;
+    report.tiers.push_back(row);
+  }
+  for (PrecisionTierRow& row : report.tiers) {
+    row.speedup_vs_double =
+        report.tiers.front().ns_per_triple / row.ns_per_triple;
+  }
+
+  // ---- Accuracy drift under the full filtered protocol ----
+  // Measured on a briefly-trained model: training opens score margins
+  // between true triples and corruptions that dwarf the int8
+  // quantization noise, so the deltas reflect the tier contract rather
+  // than coin-flip rank swaps among near-tied random initial scores.
+  WordNetLikeOptions kg_options;
+  kg_options.num_entities = int32_t(config.eval_entities);
+  kg_options.seed = 42;
+  const Dataset dataset = GenerateWordNetLike(kg_options);
+  FilterIndex filter;
+  filter.Build(dataset.train, dataset.valid, dataset.test);
+  Evaluator evaluator(&filter, dataset.num_relations());
+  std::unique_ptr<MultiEmbeddingModel> drift_model = MakeComplEx(
+      dataset.num_entities(), dataset.num_relations(), dim, /*seed=*/42);
+  TrainerOptions train_options;
+  train_options.batch_size = 256;
+  train_options.num_negatives = 2;
+  train_options.learning_rate = 0.05;
+  train_options.optimizer = "adagrad";
+  train_options.seed = 42;
+  Trainer trainer(drift_model.get(), train_options);
+  NegativeSamplerOptions sampler_options;
+  NegativeSampler sampler(drift_model->num_entities(),
+                          drift_model->num_relations(), dataset.train,
+                          sampler_options);
+  Rng train_rng(42);
+  for (int64_t e = 0; e < config.drift_epochs; ++e) {
+    g_sink = g_sink + trainer.RunEpoch(dataset.train, sampler, &train_rng);
+  }
+
+  report.drift_entities = dataset.num_entities();
+  report.drift_epochs = config.drift_epochs;
+  EvalOptions eval_options;
+  eval_options.filtered = true;
+  eval_options.max_triples = 0;  // the full test split, every tier
+  eval_options.batch_queries = 32;
+  for (const ScorePrecision precision : kPrecisionTiers) {
+    eval_options.score_precision = precision;
+    const RankingMetrics metrics =
+        evaluator.EvaluateOverall(*drift_model, dataset.test, eval_options);
+    PrecisionDriftRow row;
+    row.precision = precision;
+    row.mrr = metrics.Mrr();
+    row.hits1 = metrics.HitsAt(1);
+    row.hits3 = metrics.HitsAt(3);
+    row.hits10 = metrics.HitsAt(10);
+    report.drift_triples = int64_t(metrics.count());
+    report.drift.push_back(row);
+  }
+  const PrecisionDriftRow& exact = report.drift.front();
+  for (PrecisionDriftRow& row : report.drift) {
+    row.delta_mrr = row.mrr - exact.mrr;
+    row.delta_hits1 = row.hits1 - exact.hits1;
+    row.delta_hits3 = row.hits3 - exact.hits3;
+    row.delta_hits10 = row.hits10 - exact.hits10;
+  }
+  return report;
+}
+
 // ---- Training throughput ---------------------------------------------------
 
 struct TrainingRow {
@@ -805,7 +1008,8 @@ std::string BuildTrainingJson(const PerfConfig& config,
 }
 
 std::string BuildEvalJson(const PerfConfig& config,
-                          const EvalBatchReport& report) {
+                          const EvalBatchReport& report,
+                          const PrecisionReport& precision) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"schema_version\": 1,\n";
@@ -838,6 +1042,49 @@ std::string BuildEvalJson(const PerfConfig& config,
   out << "      \"bit_identical\": "
       << (report.bit_identical ? "true" : "false") << "\n";
   out << "    }\n";
+  out << "  },\n";
+  out << "  \"precision\": {\n";
+  out << "    \"model\": \"ComplEx\",\n";
+  out << "    \"entities\": " << precision.entities << ",\n";
+  out << "    \"dim_per_vector\": " << precision.dim << ",\n";
+  out << "    \"queries\": " << precision.queries << ",\n";
+  out << "    \"batch\": " << precision.batch << ",\n";
+  out << "    \"tiers\": [\n";
+  for (size_t i = 0; i < precision.tiers.size(); ++i) {
+    const PrecisionTierRow& r = precision.tiers[i];
+    out << "      {\"tier\": \"" << ScorePrecisionName(r.precision)
+        << "\", \"ns_per_triple\": " << JsonNumber(r.ns_per_triple)
+        << ", \"gb_per_s\": " << JsonNumber(r.gb_per_s)
+        << ", \"allocs_per_triple\": ";
+    if (r.allocs_per_triple < 0.0) {
+      out << "null";
+    } else {
+      out << JsonNumber(r.allocs_per_triple);
+    }
+    out << ", \"speedup_vs_double\": " << JsonNumber(r.speedup_vs_double)
+        << "}" << (i + 1 < precision.tiers.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n";
+  out << "    \"drift\": {\n";
+  out << "      \"entities\": " << precision.drift_entities << ",\n";
+  out << "      \"ranked_queries\": " << precision.drift_triples << ",\n";
+  out << "      \"train_epochs\": " << precision.drift_epochs << ",\n";
+  out << "      \"tiers\": [\n";
+  for (size_t i = 0; i < precision.drift.size(); ++i) {
+    const PrecisionDriftRow& r = precision.drift[i];
+    out << "        {\"tier\": \"" << ScorePrecisionName(r.precision)
+        << "\", \"mrr\": " << JsonNumber(r.mrr)
+        << ", \"hits1\": " << JsonNumber(r.hits1)
+        << ", \"hits3\": " << JsonNumber(r.hits3)
+        << ", \"hits10\": " << JsonNumber(r.hits10)
+        << ", \"delta_mrr\": " << JsonNumber(r.delta_mrr)
+        << ", \"delta_hits1\": " << JsonNumber(r.delta_hits1)
+        << ", \"delta_hits3\": " << JsonNumber(r.delta_hits3)
+        << ", \"delta_hits10\": " << JsonNumber(r.delta_hits10) << "}"
+        << (i + 1 < precision.drift.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n";
+  out << "    }\n";
   out << "  }\n";
   out << "}\n";
   return out.str();
@@ -866,6 +1113,8 @@ int Run(int argc, char** argv) {
                 "timed training epochs (one warm-up epoch on top)");
   parser.AddInt("train_negatives", &config.train_negatives,
                 "negatives per positive in the training bench");
+  parser.AddInt("drift_epochs", &config.drift_epochs,
+                "training epochs before the precision-drift measurement");
   parser.AddString("out", &config.out, "output JSON path");
   parser.AddString("train_out", &config.train_out,
                    "training-section output JSON path");
@@ -919,6 +1168,25 @@ int Run(int argc, char** argv) {
                 << (eval_batching.bit_identical ? "bit-identical"
                                                 : "MISMATCH");
 
+  KGE_LOG(Info) << "benchmarking precision tiers...";
+  const PrecisionReport precision = BenchPrecisionTiers(config);
+  for (const PrecisionTierRow& row : precision.tiers) {
+    KGE_LOG(Info) << "  " << ScorePrecisionName(row.precision) << ": "
+                  << row.ns_per_triple << " ns/triple, " << row.gb_per_s
+                  << " GB/s (" << row.speedup_vs_double << "x vs double, "
+                  << (row.allocs_per_triple < 0.0
+                          ? std::string("allocs not measured")
+                          : std::to_string(row.allocs_per_triple) +
+                                " allocs/triple")
+                  << ")";
+  }
+  for (const PrecisionDriftRow& row : precision.drift) {
+    KGE_LOG(Info) << "  drift " << ScorePrecisionName(row.precision)
+                  << ": MRR=" << row.mrr << " (delta "
+                  << row.delta_mrr << "), Hits@10=" << row.hits10
+                  << " (delta " << row.delta_hits10 << ")";
+  }
+
   KGE_LOG(Info) << "benchmarking training throughput...";
   const std::vector<TrainingRow> training = BenchTraining(config);
   for (const TrainingRow& row : training) {
@@ -950,7 +1218,8 @@ int Run(int argc, char** argv) {
   training_file << training_json;
   KGE_LOG(Info) << "wrote " << config.train_out;
 
-  const std::string eval_json = BuildEvalJson(config, eval_batching);
+  const std::string eval_json =
+      BuildEvalJson(config, eval_batching, precision);
   std::ofstream eval_file(config.eval_out);
   if (!eval_file) {
     KGE_LOG(Error) << "cannot write " << config.eval_out;

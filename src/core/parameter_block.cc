@@ -17,6 +17,7 @@ ParameterBlock::ParameterBlock(std::string name, int64_t num_rows,
 
 std::span<float> ParameterBlock::Row(int64_t row) {
   KGE_DCHECK(row >= 0 && row < num_rows_);
+  BumpGeneration();
   return std::span<float>(data_.data() + size_t(row) * size_t(row_dim_),
                           size_t(row_dim_));
 }
@@ -28,10 +29,12 @@ std::span<const float> ParameterBlock::Row(int64_t row) const {
 }
 
 void ParameterBlock::InitUniform(Rng* rng, float lo, float hi) {
+  BumpGeneration();
   for (float& x : data_) x = rng->NextUniform(lo, hi);
 }
 
 void ParameterBlock::InitGaussian(Rng* rng, float stddev) {
+  BumpGeneration();
   for (float& x : data_) x = static_cast<float>(rng->NextGaussian()) * stddev;
 }
 
@@ -41,7 +44,10 @@ void ParameterBlock::InitXavierUniform(Rng* rng, int64_t fan) {
   InitUniform(rng, -bound, bound);
 }
 
-void ParameterBlock::Zero() { std::memset(data_.data(), 0, data_.size() * 4); }
+void ParameterBlock::Zero() {
+  BumpGeneration();
+  std::memset(data_.data(), 0, data_.size() * 4);
+}
 
 namespace {
 

@@ -6,6 +6,7 @@
 #ifndef KGE_CORE_PARAMETER_BLOCK_H_
 #define KGE_CORE_PARAMETER_BLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -27,7 +28,10 @@ class ParameterBlock {
 
   std::span<float> Row(int64_t row);
   std::span<const float> Row(int64_t row) const;
-  std::span<float> Flat() { return data_; }
+  std::span<float> Flat() {
+    BumpGeneration();
+    return data_;
+  }
   std::span<const float> Flat() const { return data_; }
 
   // Initializers (deterministic given the Rng state).
@@ -39,11 +43,29 @@ class ParameterBlock {
   void InitXavierUniform(Rng* rng, int64_t fan);
   void Zero();
 
+  // Monotone mutation stamp: bumped by every mutable access (non-const
+  // Row/Flat, the initializers, Zero) and never by const reads. Derived
+  // caches — the precision-tiered ScoringReplica — compare it against
+  // the generation they were built at to decide whether a rebuild is
+  // due. Starts at 1 so "never built" (0) is distinguishable. The bump
+  // is a relaxed atomic because the optimizer's parallel apply writes
+  // disjoint rows from several threads; the stamp only answers "has
+  // anything changed", so ordering beyond the count does not matter.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
  private:
+  KGE_HOT_NOALLOC
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::string name_;
   int64_t num_rows_;
   int64_t row_dim_;
   std::vector<float> data_;
+  std::atomic<uint64_t> generation_{1};
 };
 
 // Sparse per-(block, row) gradient accumulator. Rows are indexed through

@@ -91,15 +91,32 @@ size_t Evaluator::CountHeadCandidates(const Triple& triple,
                          triple.head);
 }
 
-int ResolveEvalBatchQueries(int requested, int32_t num_entities) {
+int ResolveEvalBatchQueries(int requested, int32_t num_entities,
+                            ScorePrecision precision) {
   if (requested >= 1) return requested;
   // Auto: start at 32 queries per batch and halve while the per-thread
-  // B × E score matrix would exceed 64 MiB, so huge vocabularies never
-  // blow the cache budget (or the heap) just because batching is on.
+  // B × E scoring footprint would exceed 64 MiB, so huge vocabularies
+  // never blow the cache budget (or the heap) just because batching is
+  // on. Each score is charged at the tier's streamed-candidate width
+  // (kDouble keeps a double accumulator group per candidate cell,
+  // float32 streams 4-byte rows, int8 1-byte rows), so the narrower
+  // tiers hold 2x/8x more queries per batch when the budget binds.
   constexpr size_t kMaxScoreMatrixBytes = 64u << 20;
+  size_t bytes_per_score = sizeof(double);
+  switch (precision) {
+    case ScorePrecision::kDouble:
+      bytes_per_score = 8;
+      break;
+    case ScorePrecision::kFloat32:
+      bytes_per_score = 4;
+      break;
+    case ScorePrecision::kInt8:
+      bytes_per_score = 1;
+      break;
+  }
   int batch = 32;
   while (batch > 1 && size_t(batch) * size_t(std::max(num_entities, 1)) *
-                              sizeof(float) >
+                              bytes_per_score >
                           kMaxScoreMatrixBytes) {
     batch /= 2;
   }
@@ -151,11 +168,18 @@ EvalResult Evaluator::Evaluate(const KgeModel& model,
   std::vector<double> tail_ranks(num_triples), head_ranks(num_triples);
   std::vector<size_t> tail_cands(num_triples), head_cands(num_triples);
 
+  const ScorePrecision precision = options.score_precision;
+  KGE_CHECK(model.SupportsScorePrecision(precision));
+  // Refresh any scoring replica the tier needs ONCE, before the fanout:
+  // the rebuild mutates the replica, the scoring reads below do not.
+  model.PrepareForScoring(precision);
   const int batch_queries =
-      ResolveEvalBatchQueries(options.batch_queries, num_entities);
+      ResolveEvalBatchQueries(options.batch_queries, num_entities, precision);
   ThreadPool pool(size_t(std::max(1, options.num_threads)));
 
-  if (batch_queries <= 1) {
+  // Reduced-precision tiers only exist on the batched interface, so they
+  // take the batched path even at B = 1.
+  if (batch_queries <= 1 && precision == ScorePrecision::kDouble) {
     // Legacy per-query GEMV path: one ScoreAllTails/Heads per triple.
     pool.ParallelFor(0, num_triples, [&](size_t begin, size_t end) {
       static thread_local std::vector<float> score_buf;
@@ -226,9 +250,11 @@ EvalResult Evaluator::Evaluate(const KgeModel& model,
         const std::span<float> scores = ScratchSpan(
             score_buf, size_t(batch.count) * size_t(num_entities));
         if (batch.head_side) {
-          model.ScoreAllHeadsBatch(queries, batch.relation, scores);
+          model.ScoreAllHeadsBatch(queries, batch.relation, scores,
+                                   precision);
         } else {
-          model.ScoreAllTailsBatch(queries, batch.relation, scores);
+          model.ScoreAllTailsBatch(queries, batch.relation, scores,
+                                   precision);
         }
         for (uint32_t q = 0; q < batch.count; ++q) {
           const size_t i = order[batch.begin + q];

@@ -38,13 +38,26 @@ struct EvalOptions {
   // are bit-identical at every setting: ranks are computed per triple
   // either way and accumulated in the original triple order.
   int batch_queries = 0;
+  // Numeric tier for full-vocabulary candidate scoring (see
+  // core/scoring_replica.h): kDouble is the exact protocol; kFloat32 and
+  // kInt8 trade bounded metric drift (measured in BENCH_eval.json's
+  // precision section) for ranking throughput. The model must report
+  // SupportsScorePrecision(score_precision); non-double tiers always
+  // take the batched path, and Evaluate refreshes the model's scoring
+  // replicas once (PrepareForScoring) before fanning out.
+  ScorePrecision score_precision = ScorePrecision::kDouble;
 };
 
 // Resolves EvalOptions::batch_queries: values >= 1 pass through; 0 picks
 // 32 and halves it while the per-thread B × num_entities score matrix
-// would exceed 64 MiB (never below 1). Exposed so tools can log the
-// effective batch size.
-int ResolveEvalBatchQueries(int requested, int32_t num_entities);
+// would exceed 64 MiB (never below 1). The budget charges each score at
+// the precision tier's streamed-candidate width — 8 bytes at kDouble
+// (double accumulators live per candidate), 4 at kFloat32, 1 at kInt8 —
+// so the narrower tiers keep proportionally larger batches when the
+// budget binds instead of inheriting the double tier's cap. Exposed so
+// tools can log the effective batch size.
+int ResolveEvalBatchQueries(int requested, int32_t num_entities,
+                            ScorePrecision precision = ScorePrecision::kDouble);
 
 struct PerRelationMetrics {
   RelationId relation = 0;

@@ -120,6 +120,54 @@ inline void L2DistanceTail(const float* a, const float* b, size_t begin,
   return Combine8(p);
 }
 
+// ---- Float 8-lane scheme (precision tiers) ---------------------------------
+// The float twins of Combine8/DotTail define the bit-exact semantics of
+// the float32 and int8 scoring tiers (see simd.h's precision-tier
+// contract). A float product is inexact in float, so every path —
+// including the vector kernels below — is strictly mul-then-add; an FMA
+// would skip the per-product rounding these tails perform.
+
+inline float CombineF32(const float p[kAccumulatorLanes]) {
+  const float s01 = p[0] + p[1];
+  const float s23 = p[2] + p[3];
+  const float s45 = p[4] + p[5];
+  const float s67 = p[6] + p[7];
+  const float lo = s01 + s23;
+  const float hi = s45 + s67;
+  return lo + hi;
+}
+
+inline void DotTailF32(const float* a, const float* b, size_t begin, size_t n,
+                       float p[kAccumulatorLanes]) {
+  for (size_t d = begin; d < n; ++d) {
+    const float m = a[d] * b[d];  // rounds once; the add rounds once
+    p[d % kAccumulatorLanes] += m;
+  }
+}
+
+inline void DotTailI8(const float* q, const std::int8_t* r, size_t begin,
+                      size_t n, float p[kAccumulatorLanes]) {
+  for (size_t d = begin; d < n; ++d) {
+    const float m = q[d] * float(r[d]);  // int8 → float is exact
+    p[d % kAccumulatorLanes] += m;
+  }
+}
+
+[[maybe_unused]] inline float ScalarDotF32(const float* a, const float* b,
+                                           size_t n) {
+  float p[kAccumulatorLanes] = {};
+  DotTailF32(a, b, 0, n, p);
+  return CombineF32(p);
+}
+
+[[maybe_unused]] inline float ScalarDotI8(const float* q, const std::int8_t* r,
+                                          float scale, size_t n) {
+  float p[kAccumulatorLanes] = {};
+  DotTailI8(q, r, 0, n, p);
+  const float sum = CombineF32(p);
+  return scale * sum;
+}
+
 }  // namespace
 
 // ---- ISA id ----------------------------------------------------------------
@@ -387,6 +435,155 @@ inline void DotBatchDual(const float* q0, const float* q1, const float* rows,
     const float* r = rows + row * n;
     out0[row] = float(Dot(q0, r, n));
     out1[row] = float(Dot(q1, r, n));
+  }
+}
+
+// ---- Precision-tier cells (float 8-lane scheme; see simd.h) ----------------
+
+// 8 int8 codes → 8 floats, exactly (|code| ≤ 127 « 2^24).
+inline __m256 CvtI8(const std::int8_t* r) {
+  const __m128i codes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(r));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(codes));
+}
+
+// One (query, row) cell of the float32 tier: a single __m256 holds the 8
+// float lanes, mul-then-add only (vfmadd*ps would skip the per-product
+// rounding the scalar scheme performs).
+inline float DotCellF32(const float* a, const float* b, size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const __m256 m = _mm256_mul_ps(_mm256_loadu_ps(a + d),
+                                   _mm256_loadu_ps(b + d));
+    acc = _mm256_add_ps(acc, m);
+  }
+  float p[kAccumulatorLanes];
+  _mm256_storeu_ps(p, acc);
+  DotTailF32(a, b, d, n, p);
+  return CombineF32(p);
+}
+
+// One (query, row) cell of the int8 tier: convert 8 codes per step
+// (exact), run the float lane scheme, scale once after the combine.
+inline float DotCellI8(const float* q, const std::int8_t* r, float scale,
+                       size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const __m256 m = _mm256_mul_ps(_mm256_loadu_ps(q + d), CvtI8(r + d));
+    acc = _mm256_add_ps(acc, m);
+  }
+  float p[kAccumulatorLanes];
+  _mm256_storeu_ps(p, acc);
+  DotTailI8(q, r, d, n, p);
+  const float sum = CombineF32(p);
+  return scale * sum;
+}
+
+// 2-query × 2-row register block of DotBatchMultiF32 (DotTile2x2's float
+// twin): four live __m256 accumulators, each row load shared across both
+// queries and vice versa, every cell rounding exactly like DotCellF32.
+inline void DotTile2x2F32(const float* q0, const float* q1, const float* r0,
+                          const float* r1, size_t n, float* out0,
+                          float* out1) {
+  __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+  __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const __m256 vq0 = _mm256_loadu_ps(q0 + d);
+    const __m256 vq1 = _mm256_loadu_ps(q1 + d);
+    const __m256 vr0 = _mm256_loadu_ps(r0 + d);
+    a00 = _mm256_add_ps(a00, _mm256_mul_ps(vr0, vq0));
+    a10 = _mm256_add_ps(a10, _mm256_mul_ps(vr0, vq1));
+    const __m256 vr1 = _mm256_loadu_ps(r1 + d);
+    a01 = _mm256_add_ps(a01, _mm256_mul_ps(vr1, vq0));
+    a11 = _mm256_add_ps(a11, _mm256_mul_ps(vr1, vq1));
+  }
+  float p00[kAccumulatorLanes], p01[kAccumulatorLanes];
+  float p10[kAccumulatorLanes], p11[kAccumulatorLanes];
+  _mm256_storeu_ps(p00, a00);
+  _mm256_storeu_ps(p01, a01);
+  _mm256_storeu_ps(p10, a10);
+  _mm256_storeu_ps(p11, a11);
+  DotTailF32(q0, r0, d, n, p00);
+  DotTailF32(q0, r1, d, n, p01);
+  DotTailF32(q1, r0, d, n, p10);
+  DotTailF32(q1, r1, d, n, p11);
+  out0[0] = CombineF32(p00);
+  out0[1] = CombineF32(p01);
+  out1[0] = CombineF32(p10);
+  out1[1] = CombineF32(p11);
+}
+
+// The int8 twin: each row's 8-code convert is shared across both queries.
+inline void DotTile2x2I8(const float* q0, const float* q1,
+                         const std::int8_t* r0, const std::int8_t* r1,
+                         float s0, float s1, size_t n, float* out0,
+                         float* out1) {
+  __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+  __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const __m256 vq0 = _mm256_loadu_ps(q0 + d);
+    const __m256 vq1 = _mm256_loadu_ps(q1 + d);
+    const __m256 vr0 = CvtI8(r0 + d);
+    a00 = _mm256_add_ps(a00, _mm256_mul_ps(vr0, vq0));
+    a10 = _mm256_add_ps(a10, _mm256_mul_ps(vr0, vq1));
+    const __m256 vr1 = CvtI8(r1 + d);
+    a01 = _mm256_add_ps(a01, _mm256_mul_ps(vr1, vq0));
+    a11 = _mm256_add_ps(a11, _mm256_mul_ps(vr1, vq1));
+  }
+  float p00[kAccumulatorLanes], p01[kAccumulatorLanes];
+  float p10[kAccumulatorLanes], p11[kAccumulatorLanes];
+  _mm256_storeu_ps(p00, a00);
+  _mm256_storeu_ps(p01, a01);
+  _mm256_storeu_ps(p10, a10);
+  _mm256_storeu_ps(p11, a11);
+  DotTailI8(q0, r0, d, n, p00);
+  DotTailI8(q0, r1, d, n, p01);
+  DotTailI8(q1, r0, d, n, p10);
+  DotTailI8(q1, r1, d, n, p11);
+  const float sum00 = CombineF32(p00);
+  const float sum01 = CombineF32(p01);
+  const float sum10 = CombineF32(p10);
+  const float sum11 = CombineF32(p11);
+  out0[0] = s0 * sum00;
+  out0[1] = s1 * sum01;
+  out1[0] = s0 * sum10;
+  out1[1] = s1 * sum11;
+}
+
+// Two queries against a contiguous float32 row block (DotBatchDual's
+// float twin); a trailing odd row falls back to the single cell.
+inline void DotBatchDualF32(const float* q0, const float* q1,
+                            const float* rows, size_t num_rows, size_t n,
+                            float* out0, float* out1) {
+  size_t row = 0;
+  for (; row + 2 <= num_rows; row += 2) {
+    DotTile2x2F32(q0, q1, rows + row * n, rows + (row + 1) * n, n,
+                  out0 + row, out1 + row);
+  }
+  if (row < num_rows) {
+    const float* r = rows + row * n;
+    out0[row] = DotCellF32(q0, r, n);
+    out1[row] = DotCellF32(q1, r, n);
+  }
+}
+
+inline void DotBatchDualI8(const float* q0, const float* q1,
+                           const std::int8_t* rows8, const float* scales,
+                           size_t num_rows, size_t n, float* out0,
+                           float* out1) {
+  size_t row = 0;
+  for (; row + 2 <= num_rows; row += 2) {
+    DotTile2x2I8(q0, q1, rows8 + row * n, rows8 + (row + 1) * n,
+                 scales[row], scales[row + 1], n, out0 + row, out1 + row);
+  }
+  if (row < num_rows) {
+    const std::int8_t* r = rows8 + row * n;
+    out0[row] = DotCellI8(q0, r, scales[row], n);
+    out1[row] = DotCellI8(q1, r, scales[row], n);
   }
 }
 
@@ -712,6 +909,47 @@ inline void DotTile4(const float* v, const float* r0, const float* r1,
   out[3] = float(Combine8(p3));
 }
 
+// ---- Precision-tier cells (float 8-lane scheme; see simd.h) ----------------
+// Lanes 0–3 live in acc_lo, 4–7 in acc_hi; mul-then-add only.
+
+inline float DotCellF32(const float* a, const float* b, size_t n) {
+  float32x4_t acc_lo = vdupq_n_f32(0.0f);
+  float32x4_t acc_hi = vdupq_n_f32(0.0f);
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const float32x4_t m_lo = vmulq_f32(vld1q_f32(a + d), vld1q_f32(b + d));
+    acc_lo = vaddq_f32(acc_lo, m_lo);
+    const float32x4_t m_hi =
+        vmulq_f32(vld1q_f32(a + d + 4), vld1q_f32(b + d + 4));
+    acc_hi = vaddq_f32(acc_hi, m_hi);
+  }
+  float p[kAccumulatorLanes];
+  vst1q_f32(p, acc_lo);
+  vst1q_f32(p + 4, acc_hi);
+  DotTailF32(a, b, d, n, p);
+  return CombineF32(p);
+}
+
+inline float DotCellI8(const float* q, const std::int8_t* r, float scale,
+                       size_t n) {
+  float32x4_t acc_lo = vdupq_n_f32(0.0f);
+  float32x4_t acc_hi = vdupq_n_f32(0.0f);
+  size_t d = 0;
+  for (; d + kAccumulatorLanes <= n; d += kAccumulatorLanes) {
+    const int16x8_t w16 = vmovl_s8(vld1_s8(r + d));  // exact widening
+    const float32x4_t r_lo = vcvtq_f32_s32(vmovl_s16(vget_low_s16(w16)));
+    const float32x4_t r_hi = vcvtq_f32_s32(vmovl_s16(vget_high_s16(w16)));
+    acc_lo = vaddq_f32(acc_lo, vmulq_f32(vld1q_f32(q + d), r_lo));
+    acc_hi = vaddq_f32(acc_hi, vmulq_f32(vld1q_f32(q + d + 4), r_hi));
+  }
+  float p[kAccumulatorLanes];
+  vst1q_f32(p, acc_lo);
+  vst1q_f32(p + 4, acc_hi);
+  DotTailI8(q, r, d, n, p);
+  const float sum = CombineF32(p);
+  return scale * sum;
+}
+
 }  // namespace
 
 void DotBatch(const float* v, const float* rows, size_t num_rows, size_t n,
@@ -822,6 +1060,21 @@ void TripleGradAxpy(float w, const float* h, const float* t, const float* r,
 // ---- Scalar fallback -------------------------------------------------------
 
 #else  // KGE_SIMD_ISA_SCALAR
+
+namespace {
+
+// Precision-tier cells: the scalar build dispatches straight to the
+// float 8-lane scheme (see simd.h's precision-tier contract).
+inline float DotCellF32(const float* a, const float* b, size_t n) {
+  return ScalarDotF32(a, b, n);
+}
+
+inline float DotCellI8(const float* q, const std::int8_t* r, float scale,
+                       size_t n) {
+  return ScalarDotI8(q, r, scale, n);
+}
+
+}  // namespace
 
 double Dot(const float* a, const float* b, size_t n) {
   return ScalarDot(a, b, n);
@@ -947,6 +1200,100 @@ void DotBatchMulti(const float* queries, size_t num_queries,
   }
 }
 
+// ---- Precision-tier drivers (shared across ISAs) ---------------------------
+// Same cache-blocked walk as DotBatchMulti; only the per-cell kernel and
+// the bytes per row differ. A float32 row is n·4 bytes, an int8 row n·1,
+// so the ≤ kDotBatchMultiTileBytes blocks hold 1x/4x more rows than the
+// row width suggests — the tiling never splits a reduction, so cells are
+// bit-identical to single-query DotCell calls on every ISA.
+
+void DotBatchMultiF32(const float* queries, size_t num_queries,
+                      const float* rows, size_t num_rows, size_t n,
+                      float* out) {
+  if (num_queries == 0 || num_rows == 0) return;
+  const size_t row_bytes = n * sizeof(float);
+  size_t tile_rows =
+      row_bytes == 0 ? num_rows : kDotBatchMultiTileBytes / row_bytes;
+  if (tile_rows < kDotBatchTileRows) tile_rows = kDotBatchTileRows;
+  for (size_t row0 = 0; row0 < num_rows; row0 += tile_rows) {
+    const size_t tile = std::min(tile_rows, num_rows - row0);
+    const float* tile_rows_ptr = rows + row0 * n;
+    float* tile_out = out + row0;
+    size_t q = 0;
+#if defined(KGE_SIMD_ISA_AVX2)
+    for (; q + 2 <= num_queries; q += 2) {
+      DotBatchDualF32(queries + q * n, queries + (q + 1) * n, tile_rows_ptr,
+                      tile, n, tile_out + q * num_rows,
+                      tile_out + (q + 1) * num_rows);
+    }
+#endif
+    for (; q < num_queries; ++q) {
+      const float* query = queries + q * n;
+      float* qout = tile_out + q * num_rows;
+      for (size_t r = 0; r < tile; ++r) {
+        qout[r] = DotCellF32(query, tile_rows_ptr + r * n, n);
+      }
+    }
+  }
+}
+
+void DotBatchMultiI8(const float* queries, size_t num_queries,
+                     const std::int8_t* rows8, const float* scales,
+                     size_t num_rows, size_t n, float* out) {
+  if (num_queries == 0 || num_rows == 0) return;
+  const size_t row_bytes = n * sizeof(std::int8_t);
+  size_t tile_rows =
+      row_bytes == 0 ? num_rows : kDotBatchMultiTileBytes / row_bytes;
+  if (tile_rows < kDotBatchTileRows) tile_rows = kDotBatchTileRows;
+  for (size_t row0 = 0; row0 < num_rows; row0 += tile_rows) {
+    const size_t tile = std::min(tile_rows, num_rows - row0);
+    const std::int8_t* tile_rows_ptr = rows8 + row0 * n;
+    const float* tile_scales = scales + row0;
+    float* tile_out = out + row0;
+    size_t q = 0;
+#if defined(KGE_SIMD_ISA_AVX2)
+    for (; q + 2 <= num_queries; q += 2) {
+      DotBatchDualI8(queries + q * n, queries + (q + 1) * n, tile_rows_ptr,
+                     tile_scales, tile, n, tile_out + q * num_rows,
+                     tile_out + (q + 1) * num_rows);
+    }
+#endif
+    for (; q < num_queries; ++q) {
+      const float* query = queries + q * n;
+      float* qout = tile_out + q * num_rows;
+      for (size_t r = 0; r < tile; ++r) {
+        qout[r] = DotCellI8(query, tile_rows_ptr + r * n, tile_scales[r], n);
+      }
+    }
+  }
+}
+
+void QuantizeRowsI8(const float* rows, size_t num_rows, size_t n,
+                    std::int8_t* out8, float* scales) {
+  for (size_t row = 0; row < num_rows; ++row) {
+    const float* x = rows + row * n;
+    std::int8_t* codes = out8 + row * n;
+    float absmax = 0.0f;
+    for (size_t d = 0; d < n; ++d) {
+      const float a = std::fabs(x[d]);
+      if (a > absmax) absmax = a;
+    }
+    if (absmax == 0.0f) {
+      scales[row] = 0.0f;
+      for (size_t d = 0; d < n; ++d) codes[d] = 0;
+      continue;
+    }
+    const float scale = absmax / 127.0f;
+    scales[row] = scale;
+    for (size_t d = 0; d < n; ++d) {
+      // lround can land on ±128 when x[d]/scale rounds past the absmax
+      // code (scale itself rounded down), so clamp to the symmetric range.
+      const long code = std::lround(x[d] / scale);
+      codes[d] = std::int8_t(std::clamp<long>(code, -127, 127));
+    }
+  }
+}
+
 // ---- Naive references ------------------------------------------------------
 
 namespace ref {
@@ -1019,6 +1366,32 @@ void DotBatchIndexed(const float* v, const float* rows,
                      float* out) {
   for (size_t i = 0; i < num_ids; ++i) {
     out[i] = float(Dot(v, rows + size_t(ids[i]) * n, n));
+  }
+}
+
+// The tier baselines implement the float lane scheme itself — it is the
+// tier's semantic definition (see simd.h), so the vector kernels must
+// reproduce it bit-for-bit rather than merely approximate it.
+
+void DotBatchMultiF32(const float* queries, size_t num_queries,
+                      const float* rows, size_t num_rows, size_t n,
+                      float* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    for (size_t row = 0; row < num_rows; ++row) {
+      out[q * num_rows + row] =
+          ScalarDotF32(queries + q * n, rows + row * n, n);
+    }
+  }
+}
+
+void DotBatchMultiI8(const float* queries, size_t num_queries,
+                     const std::int8_t* rows8, const float* scales,
+                     size_t num_rows, size_t n, float* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    for (size_t row = 0; row < num_rows; ++row) {
+      out[q * num_rows + row] =
+          ScalarDotI8(queries + q * n, rows8 + row * n, scales[row], n);
+    }
   }
 }
 

@@ -44,6 +44,23 @@
 // DotBatchMulti: every (query, row) cell of the latter keeps its own
 // 8-lane accumulator group, so cache blocking over entity rows and
 // register blocking over queries never change a single output bit.
+//
+// ## Precision-tier contract (DotBatchMultiF32 / DotBatchMultiI8)
+//
+// The reduced-precision ranking tiers (core/scoring_replica.h) carry the
+// same bit-identical-across-ISAs guarantee, but in float: each (query,
+// row) cell accumulates kAccumulatorLanes interleaved *float* partial
+// sums (element d → lane d mod 8) combined in the same fixed
+// ((p0+p1)+(p2+p3)) + ((p4+p5)+(p6+p7)) tree. Because a float product is
+// NOT exact in float, an FMA would skip a rounding the scalar scheme
+// performs — so every path is strictly mul-then-add (the AVX2 build uses
+// vmulps/vaddps, never vfmadd*ps). The int8 tier converts each code to
+// float (exact: |code| ≤ 127), runs the same float lane scheme against
+// the query, and applies the row's dequantization scale in one final
+// float multiply. Unlike the double kernels, simd::ref's baselines for
+// these tiers implement the *same* lane scheme — there is no more
+// precise canonical float value to appeal to; the scheme IS each tier's
+// semantic definition — so tests pin kernel == ref bit-exactly per ISA.
 #ifndef KGE_MATH_SIMD_H_
 #define KGE_MATH_SIMD_H_
 
@@ -143,6 +160,40 @@ void DotBatchIndexed(const float* v, const float* rows,
                      const std::int32_t* ids, size_t num_ids, size_t n,
                      float* out);
 
+// ---- Precision-tiered batch ranking kernels --------------------------------
+
+// out[q·num_rows + row] = F32Dot(queries + q·n, rows + row·n): the
+// float-accumulation twin of DotBatchMulti (the float32 scoring tier).
+// Same ≤ kDotBatchMultiTileBytes cache blocking and, on AVX2, the same
+// 2-query × 2-row register kernel — with float lanes doubling the SIMD
+// width (8 floats per ymm vs 4 doubles). See the precision-tier
+// contract above: 8 interleaved float partials, mul-then-add, no FMA,
+// bit-identical across ISAs and to simd::ref::DotBatchMultiF32.
+KGE_HOT_NOALLOC
+void DotBatchMultiF32(const float* queries, size_t num_queries,
+                      const float* rows, size_t num_rows, size_t n,
+                      float* out);
+
+// out[q·num_rows + row] = scales[row] · F32Dot(queries + q·n,
+// float(rows8 + row·n)): the int8 scoring tier. `rows8` is a row-major
+// per-row absmax-quantized table with dequantization factors `scales`
+// (built by QuantizeRowsI8 / core/scoring_replica.h). Each int8 code
+// converts to float exactly, accumulates through the float lane scheme,
+// and the combined sum is scaled once. Streams 1 byte per candidate
+// element instead of 4 — a 4x DRAM-traffic cut on the ranking path.
+KGE_HOT_NOALLOC
+void DotBatchMultiI8(const float* queries, size_t num_queries,
+                     const std::int8_t* rows8, const float* scales,
+                     size_t num_rows, size_t n, float* out);
+
+// Per-row absmax quantization backing the int8 tier: for each row,
+// scales[row] = absmax/127 (0 for an all-zero row, whose codes are all
+// 0) and out8[row·n + d] = clamp(lround(x[d]/scale), -127, 127). Cold
+// path (replica rebuild, never per-triple) and shared scalar code on
+// every ISA, so a quantized table is bit-identical across builds.
+void QuantizeRowsI8(const float* rows, size_t num_rows, size_t n,
+                    std::int8_t* out8, float* scales);
+
 // ---- Elementwise kernels (float, fixed association, FMA-free) --------------
 
 // out[d] = a[d]·b[d]
@@ -194,6 +245,14 @@ void DotBatchMulti(const float* queries, size_t num_queries,
 void DotBatchIndexed(const float* v, const float* rows,
                      const std::int32_t* ids, size_t num_ids, size_t n,
                      float* out);
+// Tier baselines: these implement the float lane scheme itself (see the
+// precision-tier contract) — the vector kernels must match bit-exactly.
+void DotBatchMultiF32(const float* queries, size_t num_queries,
+                      const float* rows, size_t num_rows, size_t n,
+                      float* out);
+void DotBatchMultiI8(const float* queries, size_t num_queries,
+                     const std::int8_t* rows8, const float* scales,
+                     size_t num_rows, size_t n, float* out);
 void Hadamard(const float* a, const float* b, float* out, size_t n);
 void HadamardAxpy(float scale, const float* a, const float* b, float* out,
                   size_t n);

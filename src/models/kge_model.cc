@@ -24,6 +24,20 @@ void KgeModel::ScoreAllHeadsBatch(std::span<const EntityId> tails,
   }
 }
 
+void KgeModel::ScoreAllTailsBatch(std::span<const EntityId> heads,
+                                  RelationId relation, std::span<float> out,
+                                  ScorePrecision precision) const {
+  KGE_CHECK(precision == ScorePrecision::kDouble);
+  ScoreAllTailsBatch(heads, relation, out);
+}
+
+void KgeModel::ScoreAllHeadsBatch(std::span<const EntityId> tails,
+                                  RelationId relation, std::span<float> out,
+                                  ScorePrecision precision) const {
+  KGE_CHECK(precision == ScorePrecision::kDouble);
+  ScoreAllHeadsBatch(tails, relation, out);
+}
+
 void KgeModel::ScoreTailBatch(EntityId head, RelationId relation,
                               std::span<const EntityId> tails,
                               std::span<float> out) const {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/parameter_block.h"
+#include "core/scoring_replica.h"
 #include "kg/triple.h"
 #include "util/hotpath.h"
 
@@ -66,6 +67,40 @@ class KgeModel {
   virtual void ScoreAllHeadsBatch(std::span<const EntityId> tails,
                                   RelationId relation,
                                   std::span<float> out) const;
+
+  // Precision-tiered batched scoring (EvalOptions::score_precision):
+  // the same contract as the 3-argument overloads with candidate scores
+  // computed at `precision` — kDouble is exact, kFloat32 accumulates in
+  // float over the master table, kInt8 reads a quantized scoring
+  // replica (see core/scoring_replica.h and math/simd.h's precision-tier
+  // contract). The base implementation supports kDouble only (and
+  // KGE_CHECK-fails otherwise — callers gate on SupportsScorePrecision);
+  // models that maintain replicas override all four. Non-double tiers
+  // require a PrepareForScoring(precision) call before concurrent use.
+  KGE_HOT_NOALLOC
+  virtual void ScoreAllTailsBatch(std::span<const EntityId> heads,
+                                  RelationId relation, std::span<float> out,
+                                  ScorePrecision precision) const;
+  KGE_HOT_NOALLOC
+  virtual void ScoreAllHeadsBatch(std::span<const EntityId> tails,
+                                  RelationId relation, std::span<float> out,
+                                  ScorePrecision precision) const;
+
+  // True when the model can score full-vocabulary batches at
+  // `precision`. Every model supports kDouble; only models with scoring
+  // replicas (the trilinear family) report the reduced tiers.
+  virtual bool SupportsScorePrecision(ScorePrecision precision) const {
+    return precision == ScorePrecision::kDouble;
+  }
+
+  // Rebuilds any scoring replica `precision` needs if it is stale
+  // against the master parameters — free at pure-eval time, one
+  // requantization pass after training steps. Must be called from one
+  // thread with no concurrent scoring; `const` because replicas are
+  // derived caches, not model state. No-op by default and for kDouble.
+  virtual void PrepareForScoring(ScorePrecision precision) const {
+    (void)precision;
+  }
 
   // Scores (h, t', r) for each candidate tail t' in `tails`;
   // out[i] = float(Score({h, tails[i], r})). The base implementation

@@ -16,7 +16,8 @@ MultiEmbeddingModel::MultiEmbeddingModel(std::string name,
       dim_(dim),
       weights_(std::move(weights)),
       entities_(name_ + ".entities", num_entities, weights_.ne(), dim),
-      relations_(name_ + ".relations", num_relations, weights_.nr(), dim) {
+      relations_(name_ + ".relations", num_relations, weights_.nr(), dim),
+      entity_replica_(entities_.block()) {
   KGE_CHECK(dim > 0);
   InitParameters(seed);
 }
@@ -87,6 +88,47 @@ void MultiEmbeddingModel::ScoreHeadBatch(EntityId tail, RelationId relation,
 void MultiEmbeddingModel::ScoreAllTailsBatch(std::span<const EntityId> heads,
                                              RelationId relation,
                                              std::span<float> out) const {
+  ScoreAllTailsBatch(heads, relation, out, ScorePrecision::kDouble);
+}
+
+void MultiEmbeddingModel::ScoreAllHeadsBatch(std::span<const EntityId> tails,
+                                             RelationId relation,
+                                             std::span<float> out) const {
+  ScoreAllHeadsBatch(tails, relation, out, ScorePrecision::kDouble);
+}
+
+namespace {
+
+// The per-tier multi-query product behind both batched scorers: one
+// kernel dispatch against the entity table (double and float32 tiers
+// stream the same master rows; int8 streams the quantized replica,
+// which must be fresh — PrepareForScoring runs before the fanout).
+KGE_HOT_NOALLOC
+void DotBatchMultiAt(ScorePrecision precision, std::span<const float> folds,
+                     size_t num_queries, const ParameterBlock& entity_block,
+                     const ScoringReplica& replica, std::span<float> out) {
+  switch (precision) {
+    case ScorePrecision::kDouble:
+      DotBatchMulti(folds, num_queries, entity_block.Flat(), out);
+      return;
+    case ScorePrecision::kFloat32:
+      DotBatchMultiF32(folds, num_queries, entity_block.Flat(), out);
+      return;
+    case ScorePrecision::kInt8:
+      KGE_DCHECK(replica.IsFresh(ScorePrecision::kInt8));
+      DotBatchMultiI8(folds, num_queries, replica.Int8Rows(),
+                      replica.Int8Scales(), out);
+      return;
+  }
+  KGE_CHECK(false);
+}
+
+}  // namespace
+
+void MultiEmbeddingModel::ScoreAllTailsBatch(std::span<const EntityId> heads,
+                                             RelationId relation,
+                                             std::span<float> out,
+                                             ScorePrecision precision) const {
   const size_t num = size_t(entities_.num_ids());
   KGE_CHECK(out.size() == heads.size() * num);
   if (heads.empty()) return;
@@ -101,12 +143,14 @@ void MultiEmbeddingModel::ScoreAllTailsBatch(std::span<const EntityId> heads,
     FoldForTail(weights_, dim_, entities_.Of(heads[q]), rel,
                 folds.subspan(q * width, width));
   }
-  DotBatchMulti(folds, heads.size(), entities_.block().Flat(), out);
+  DotBatchMultiAt(precision, folds, heads.size(), entities_.block(),
+                  entity_replica_, out);
 }
 
 void MultiEmbeddingModel::ScoreAllHeadsBatch(std::span<const EntityId> tails,
                                              RelationId relation,
-                                             std::span<float> out) const {
+                                             std::span<float> out,
+                                             ScorePrecision precision) const {
   const size_t num = size_t(entities_.num_ids());
   KGE_CHECK(out.size() == tails.size() * num);
   if (tails.empty()) return;
@@ -118,7 +162,8 @@ void MultiEmbeddingModel::ScoreAllHeadsBatch(std::span<const EntityId> tails,
     FoldForHead(weights_, dim_, entities_.Of(tails[q]), rel,
                 folds.subspan(q * width, width));
   }
-  DotBatchMulti(folds, tails.size(), entities_.block().Flat(), out);
+  DotBatchMultiAt(precision, folds, tails.size(), entities_.block(),
+                  entity_replica_, out);
 }
 
 std::vector<ParameterBlock*> MultiEmbeddingModel::Blocks() {

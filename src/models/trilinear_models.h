@@ -12,6 +12,7 @@
 
 #include "core/embedding_store.h"
 #include "core/interaction.h"
+#include "core/scoring_replica.h"
 #include "core/weight_table.h"
 #include "models/kge_model.h"
 #include "util/hotpath.h"
@@ -63,6 +64,31 @@ class MultiEmbeddingModel : public KgeModel {
   void ScoreAllHeadsBatch(std::span<const EntityId> tails,
                           RelationId relation,
                           std::span<float> out) const override;
+  // Precision-tiered variants: the same fold step, with the multi-query
+  // product dispatched per tier — DotBatchMulti (kDouble),
+  // DotBatchMultiF32 (float accumulation over the same entity table), or
+  // DotBatchMultiI8 against the entity block's quantized ScoringReplica.
+  // The folds themselves always evaluate in float (they already do),
+  // so tiers differ only in the candidate product.
+  KGE_HOT_NOALLOC
+  void ScoreAllTailsBatch(std::span<const EntityId> heads,
+                          RelationId relation, std::span<float> out,
+                          ScorePrecision precision) const override;
+  KGE_HOT_NOALLOC
+  void ScoreAllHeadsBatch(std::span<const EntityId> tails,
+                          RelationId relation, std::span<float> out,
+                          ScorePrecision precision) const override;
+
+  // The trilinear family supports every tier.
+  bool SupportsScorePrecision(ScorePrecision precision) const override {
+    (void)precision;
+    return true;
+  }
+
+  // Requantizes the entity replica if training moved the master table.
+  void PrepareForScoring(ScorePrecision precision) const override {
+    entity_replica_.EnsureFresh(precision);
+  }
 
   std::vector<ParameterBlock*> Blocks() override;
   KGE_HOT_NOALLOC
@@ -91,6 +117,11 @@ class MultiEmbeddingModel : public KgeModel {
   WeightTable weights_;
   EmbeddingStore entities_;
   EmbeddingStore relations_;
+  // Derived scoring cache over the entity block (mutable: rebuilding a
+  // replica in PrepareForScoring does not change model state). Guarded
+  // by the generation stamp, rebuilt single-threaded, read-only during
+  // concurrent scoring.
+  mutable ScoringReplica entity_replica_;
 };
 
 // ---- Named factories -------------------------------------------------------

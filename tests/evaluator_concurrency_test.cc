@@ -181,11 +181,25 @@ TEST(ResolveEvalBatchQueriesTest, AutoSizesToScoreMatrixBudget) {
   // Explicit requests pass through untouched.
   EXPECT_EQ(ResolveEvalBatchQueries(1, 1000), 1);
   EXPECT_EQ(ResolveEvalBatchQueries(7, 1000), 7);
-  // Auto starts at 32 and halves only when 32 x E x 4 bytes exceeds the
-  // 64 MiB score-matrix budget (E > 512K entities).
+  // Auto starts at 32 and halves while 32 x E x bytes-per-score exceeds
+  // the 64 MiB budget, where a score is charged at the precision tier's
+  // streamed-candidate width (8 bytes at kDouble).
   EXPECT_EQ(ResolveEvalBatchQueries(0, 1000), 32);
-  EXPECT_EQ(ResolveEvalBatchQueries(0, 1 << 20), 16);
-  EXPECT_EQ(ResolveEvalBatchQueries(0, 1 << 22), 4);
+  EXPECT_EQ(ResolveEvalBatchQueries(0, 1 << 20), 8);
+  EXPECT_EQ(ResolveEvalBatchQueries(0, 1 << 22), 2);
+}
+
+TEST(ResolveEvalBatchQueriesTest, NarrowTiersKeepLargerBatches) {
+  // 4 bytes per score at float32, 1 at int8: the same entity count
+  // admits 2x/8x more queries per batch than the double tier.
+  EXPECT_EQ(ResolveEvalBatchQueries(0, 1 << 20, ScorePrecision::kFloat32),
+            16);
+  EXPECT_EQ(ResolveEvalBatchQueries(0, 1 << 22, ScorePrecision::kFloat32),
+            4);
+  EXPECT_EQ(ResolveEvalBatchQueries(0, 1 << 20, ScorePrecision::kInt8), 32);
+  EXPECT_EQ(ResolveEvalBatchQueries(0, 1 << 22, ScorePrecision::kInt8), 16);
+  // Explicit requests still pass through at every tier.
+  EXPECT_EQ(ResolveEvalBatchQueries(5, 1 << 22, ScorePrecision::kInt8), 5);
 }
 
 // A read-only twin of a MultiEmbeddingModel that bypasses the SIMD

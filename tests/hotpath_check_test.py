@@ -13,6 +13,7 @@ analyzer, asserting the exact findings/suppressions it must produce:
   clean.cc                clean root + cold allocator    -> silent
   nondet.cc               rand() + unordered_map         -> reported
   throwing.cc             throw path                     -> reported
+  quantize_score.cc       cold quantize + hot int8 score -> silent
 
 Run directly or via ctest (registered in tests/CMakeLists.txt).
 """
@@ -71,7 +72,7 @@ def run_checker(paths, tmpdir, tag):
 def main():
     cxx = compiler()
     fixtures = sorted(os.listdir(FIXTURES))
-    check(len(fixtures) == 7, "all 7 fixtures present")
+    check(len(fixtures) == 8, "all 8 fixtures present")
 
     if cxx is None:
         print("  [skip] no C++ compiler found; skipping syntax checks")
@@ -142,6 +143,13 @@ def main():
         check(rc == 1, "exit code 1")
         check(any(f["kind"] == "throw" for f in rep["findings"]),
               "throw finding present")
+
+        print("quantize_score: cold quantize allocs OK, hot int8 root clean")
+        rc, rep = run_checker([fx("quantize_score.cc")], tmpdir, "quantize")
+        check(rc == 0, "exit code 0")
+        check(len(rep["findings"]) == 0, "no findings")
+        check("fixture::HotQuantizedScore" in rep["roots"],
+              "hot scoring root was recognized")
 
         print("multi-file: helper alloc found across TU boundary")
         rc, rep = run_checker([fx("indirect_alloc.cc"), fx("clean.cc")],

@@ -1,0 +1,52 @@
+// Fixture: the mixed-precision scoring shape — a cold quantization pass
+// that allocates the replica storage (rebuilds are allowed to allocate;
+// they run before the scoring fanout), followed by a KGE_HOT_NOALLOC
+// scoring root that reads the quantized codes without allocating.
+// Expected: zero findings — the allocation lives only in cold code.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hotpath.h"
+
+namespace fixture {
+
+// Cold: materializes the int8 replica. Not reachable from the hot root.
+void QuantizeReplica(const float* rows, std::size_t num_rows, std::size_t n,
+                     std::vector<std::int8_t>* codes,
+                     std::vector<float>* scales) {
+  codes->resize(num_rows * n);
+  scales->resize(num_rows);
+  for (std::size_t row = 0; row < num_rows; ++row) {
+    float absmax = 0.0f;
+    for (std::size_t d = 0; d < n; ++d) {
+      const float a = rows[row * n + d] < 0.0f ? -rows[row * n + d]
+                                               : rows[row * n + d];
+      if (a > absmax) absmax = a;
+    }
+    const float scale = absmax == 0.0f ? 0.0f : absmax / 127.0f;
+    (*scales)[row] = scale;
+    for (std::size_t d = 0; d < n; ++d) {
+      (*codes)[row * n + d] =
+          scale == 0.0f ? std::int8_t(0)
+                        : std::int8_t(rows[row * n + d] / scale);
+    }
+  }
+}
+
+// Hot: scores a query against the quantized rows. Pure reads, no
+// allocation, no throw, deterministic.
+KGE_HOT_NOALLOC
+void HotQuantizedScore(const float* query, const std::int8_t* codes,
+                       const float* scales, std::size_t num_rows,
+                       std::size_t n, float* out) {
+  for (std::size_t row = 0; row < num_rows; ++row) {
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < n; ++d) {
+      acc += query[d] * float(codes[row * n + d]);
+    }
+    out[row] = scales[row] * acc;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,228 @@
+// ScoringReplica contract tests (core/scoring_replica.h): per-row
+// absmax/127 quantization, the int8 saturation edge cases, and the
+// generation-stamp staleness protocol that keeps the replica synced to
+// its master ParameterBlock across training updates. The model-level
+// tests pin PrepareForScoring + the precision-tiered batched scorers to
+// the exact double tier within quantization error.
+#include "core/scoring_replica.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/parameter_block.h"
+#include "gtest/gtest.h"
+#include "models/trilinear_models.h"
+
+namespace kge {
+namespace {
+
+TEST(ScorePrecisionTest, NamesAndParsingRoundTrip) {
+  EXPECT_STREQ(ScorePrecisionName(ScorePrecision::kDouble), "double");
+  EXPECT_STREQ(ScorePrecisionName(ScorePrecision::kFloat32), "float32");
+  EXPECT_STREQ(ScorePrecisionName(ScorePrecision::kInt8), "int8");
+  for (const ScorePrecision p :
+       {ScorePrecision::kDouble, ScorePrecision::kFloat32,
+        ScorePrecision::kInt8}) {
+    ScorePrecision parsed = ScorePrecision::kDouble;
+    EXPECT_TRUE(ParseScorePrecision(ScorePrecisionName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  ScorePrecision parsed = ScorePrecision::kInt8;
+  EXPECT_FALSE(ParseScorePrecision("fp16", &parsed));
+  EXPECT_FALSE(ParseScorePrecision("", &parsed));
+  EXPECT_FALSE(ParseScorePrecision("Double", &parsed));
+  // A failed parse leaves the output untouched.
+  EXPECT_EQ(parsed, ScorePrecision::kInt8);
+}
+
+TEST(ScoringReplicaTest, MasterReadingTiersAreAlwaysFresh) {
+  ParameterBlock block("entities", 4, 8);
+  ScoringReplica replica(&block);
+  EXPECT_TRUE(replica.IsFresh(ScorePrecision::kDouble));
+  EXPECT_TRUE(replica.IsFresh(ScorePrecision::kFloat32));
+  EXPECT_FALSE(replica.IsFresh(ScorePrecision::kInt8));
+  // EnsureFresh on the master-reading tiers materializes nothing.
+  replica.EnsureFresh(ScorePrecision::kDouble);
+  replica.EnsureFresh(ScorePrecision::kFloat32);
+  EXPECT_EQ(replica.built_generation(), 0u);
+}
+
+TEST(ScoringReplicaTest, PerRowScalesAreAbsmaxOver127) {
+  ParameterBlock block("entities", 3, 4);
+  {
+    const std::span<float> row0 = block.Row(0);
+    row0[0] = 0.5f, row0[1] = -4.0f, row0[2] = 1.0f, row0[3] = 4.0f;
+    const std::span<float> row1 = block.Row(1);
+    row1[0] = 1.0f, row1[1] = -1.0f, row1[2] = 0.25f, row1[3] = 0.0f;
+    // Row 2 stays all-zero.
+  }
+  ScoringReplica replica(&block);
+  replica.EnsureFresh(ScorePrecision::kInt8);
+
+  const std::span<const float> scales = replica.Int8Scales();
+  ASSERT_EQ(scales.size(), 3u);
+  EXPECT_EQ(scales[0], 4.0f / 127.0f);
+  EXPECT_EQ(scales[1], 1.0f / 127.0f);
+  EXPECT_EQ(scales[2], 0.0f);  // all-zero row: scale 0, not NaN/inf
+
+  const std::span<const std::int8_t> codes = replica.Int8Rows();
+  ASSERT_EQ(codes.size(), 12u);
+  // Saturation: the absmax elements map to exactly +/-127.
+  EXPECT_EQ(codes[1], std::int8_t(-127));
+  EXPECT_EQ(codes[3], std::int8_t(127));
+  EXPECT_EQ(codes[4], std::int8_t(127));
+  EXPECT_EQ(codes[5], std::int8_t(-127));
+  // All-zero row quantizes to all-zero codes.
+  for (size_t d = 8; d < 12; ++d) EXPECT_EQ(codes[d], std::int8_t(0));
+  // Nothing ever leaves [-127, 127] (so negation is always exact).
+  for (const std::int8_t c : codes) {
+    EXPECT_GE(c, std::int8_t(-127));
+    EXPECT_LE(c, std::int8_t(127));
+  }
+}
+
+TEST(ScoringReplicaTest, RoundTripErrorBoundedByHalfScale) {
+  ParameterBlock block("entities", 5, 16);
+  Rng rng(7);
+  block.InitUniform(&rng, -2.0f, 2.0f);
+  ScoringReplica replica(&block);
+  replica.EnsureFresh(ScorePrecision::kInt8);
+  const std::span<const float> master =
+      static_cast<const ParameterBlock&>(block).Flat();
+  const std::span<const std::int8_t> codes = replica.Int8Rows();
+  const std::span<const float> scales = replica.Int8Scales();
+  for (size_t row = 0; row < 5; ++row) {
+    for (size_t d = 0; d < 16; ++d) {
+      const float x = master[row * 16 + d];
+      const float back = scales[row] * float(codes[row * 16 + d]);
+      EXPECT_LE(std::fabs(x - back), scales[row] * 0.5f + 1e-7f)
+          << "row=" << row << " d=" << d;
+    }
+  }
+}
+
+TEST(ScoringReplicaTest, GenerationStalenessTriggersRebuild) {
+  ParameterBlock block("entities", 2, 4);
+  block.Row(0)[0] = 1.0f;
+  ScoringReplica replica(&block);
+
+  replica.EnsureFresh(ScorePrecision::kInt8);
+  const uint64_t built = replica.built_generation();
+  EXPECT_EQ(built, block.generation());
+  EXPECT_TRUE(replica.IsFresh(ScorePrecision::kInt8));
+  EXPECT_EQ(replica.Int8Rows()[0], std::int8_t(127));
+
+  // EnsureFresh on a fresh replica is a stamp comparison, not a rebuild.
+  replica.EnsureFresh(ScorePrecision::kInt8);
+  EXPECT_EQ(replica.built_generation(), built);
+
+  // Const reads never invalidate…
+  const ParameterBlock& const_block = block;
+  (void)const_block.Flat();
+  (void)const_block.Row(0);
+  EXPECT_TRUE(replica.IsFresh(ScorePrecision::kInt8));
+
+  // …every mutable access does, and the rebuild sees the new values.
+  block.Row(0)[1] = -2.0f;
+  EXPECT_FALSE(replica.IsFresh(ScorePrecision::kInt8));
+  replica.EnsureFresh(ScorePrecision::kInt8);
+  EXPECT_GT(replica.built_generation(), built);
+  EXPECT_EQ(replica.built_generation(), block.generation());
+  EXPECT_EQ(replica.Int8Scales()[0], 2.0f / 127.0f);
+  EXPECT_EQ(replica.Int8Rows()[1], std::int8_t(-127));
+}
+
+TEST(ScoringReplicaTest, InitializersInvalidateToo) {
+  ParameterBlock block("entities", 2, 4);
+  ScoringReplica replica(&block);
+  replica.EnsureFresh(ScorePrecision::kInt8);
+  EXPECT_TRUE(replica.IsFresh(ScorePrecision::kInt8));
+  Rng rng(3);
+  block.InitGaussian(&rng, 0.1f);
+  EXPECT_FALSE(replica.IsFresh(ScorePrecision::kInt8));
+  replica.EnsureFresh(ScorePrecision::kInt8);
+  block.Zero();
+  EXPECT_FALSE(replica.IsFresh(ScorePrecision::kInt8));
+  replica.EnsureFresh(ScorePrecision::kInt8);
+  EXPECT_EQ(replica.Int8Scales()[0], 0.0f);
+}
+
+// ---- Model-level integration ----------------------------------------------
+
+TEST(ScoringReplicaTest, ModelTiersApproximateDoubleTier) {
+  const int32_t num_entities = 50;
+  const int32_t num_relations = 4;
+  const int32_t dim = 8;
+  std::unique_ptr<MultiEmbeddingModel> model =
+      MakeComplEx(num_entities, num_relations, dim, /*seed=*/11);
+
+  const std::vector<EntityId> heads = {0, 7, 13, 49};
+  const size_t cells = heads.size() * size_t(num_entities);
+  std::vector<float> exact(cells), f32(cells), i8(cells);
+
+  model->PrepareForScoring(ScorePrecision::kInt8);
+  model->ScoreAllTailsBatch(heads, 1, std::span<float>(exact),
+                            ScorePrecision::kDouble);
+  model->ScoreAllTailsBatch(heads, 1, std::span<float>(f32),
+                            ScorePrecision::kFloat32);
+  model->ScoreAllTailsBatch(heads, 1, std::span<float>(i8),
+                            ScorePrecision::kInt8);
+
+  for (size_t c = 0; c < cells; ++c) {
+    // Xavier-initialized 8-d ComplEx scores are O(1); float accumulation
+    // error is ~1e-6 relative, int8 error bounded by the absmax/254
+    // per-element quantization step summed over 2*dim terms.
+    EXPECT_NEAR(double(f32[c]), double(exact[c]), 1e-5) << "cell=" << c;
+    EXPECT_NEAR(double(i8[c]), double(exact[c]), 0.05) << "cell=" << c;
+  }
+
+  // The head-side scorer dispatches the same way.
+  std::vector<float> exact_h(cells), i8_h(cells);
+  model->ScoreAllHeadsBatch(heads, 1, std::span<float>(exact_h),
+                            ScorePrecision::kDouble);
+  model->ScoreAllHeadsBatch(heads, 1, std::span<float>(i8_h),
+                            ScorePrecision::kInt8);
+  for (size_t c = 0; c < cells; ++c) {
+    EXPECT_NEAR(double(i8_h[c]), double(exact_h[c]), 0.05) << "cell=" << c;
+  }
+}
+
+TEST(ScoringReplicaTest, PrepareForScoringTracksTrainingUpdates) {
+  std::unique_ptr<MultiEmbeddingModel> model =
+      MakeComplEx(20, 2, 4, /*seed=*/5);
+  const std::vector<EntityId> heads = {3};
+  std::vector<float> before(20), after(20), exact(20);
+
+  model->PrepareForScoring(ScorePrecision::kInt8);
+  model->ScoreAllTailsBatch(heads, 0, std::span<float>(before),
+                            ScorePrecision::kInt8);
+
+  // Mutate the entity table the way an optimizer step would.
+  ParameterBlock* entity_block = model->Blocks()[0];
+  for (int64_t row = 0; row < entity_block->num_rows(); ++row) {
+    for (float& x : entity_block->Row(row)) x = -x;
+  }
+
+  // Negating every entity row negates both the fold and the candidate,
+  // so the exact tail scores are unchanged — but a STALE replica would
+  // pair the negated fold with the old candidate codes and produce the
+  // negated scores. Tracking `exact` after the refresh therefore fails
+  // unless PrepareForScoring actually requantized.
+  model->PrepareForScoring(ScorePrecision::kInt8);
+  model->ScoreAllTailsBatch(heads, 0, std::span<float>(after),
+                            ScorePrecision::kInt8);
+  model->ScoreAllTailsBatch(heads, 0, std::span<float>(exact),
+                            ScorePrecision::kDouble);
+  for (size_t e = 0; e < 20; ++e) {
+    EXPECT_NEAR(double(after[e]), double(exact[e]), 0.05) << "e=" << e;
+  }
+
+  // The model reports support for every tier; the base-class default
+  // (double only) is what non-trilinear models inherit.
+  EXPECT_TRUE(model->SupportsScorePrecision(ScorePrecision::kInt8));
+  EXPECT_TRUE(model->SupportsScorePrecision(ScorePrecision::kFloat32));
+  EXPECT_TRUE(model->SupportsScorePrecision(ScorePrecision::kDouble));
+}
+
+}  // namespace
+}  // namespace kge

@@ -239,6 +239,163 @@ TEST(SimdTest, DotBatchIndexedRowsEqualSingleDotExactly) {
   }
 }
 
+// ---- Precision-tier kernels (see "Precision-tier contract" in simd.h) ------
+// For the reduced tiers, simd::ref IS the tier's definition (8 float
+// lanes, fixed combine tree, no FMA), so the dispatch kernels must
+// reproduce it bit for bit on every ISA — that is what makes float32 and
+// int8 metrics identical between scalar and SIMD builds.
+
+TEST(SimdTest, DotBatchMultiF32MatchesRefBitExactly) {
+  Rng rng(60);
+  for (size_t num_queries : {size_t(1), size_t(2), size_t(3), size_t(8),
+                             size_t(33)}) {
+    for (size_t num_rows : {size_t(1), size_t(3), size_t(4), size_t(5),
+                            size_t(33)}) {
+      for (size_t n : TestSizes()) {
+        const auto queries = RandomVector(&rng, num_queries * n);
+        const auto rows = RandomVector(&rng, num_rows * n);
+        std::vector<float> out(num_queries * num_rows, -1.0f);
+        std::vector<float> out_ref(num_queries * num_rows, -2.0f);
+        DotBatchMultiF32(queries.data(), num_queries, rows.data(), num_rows,
+                         n, out.data());
+        ref::DotBatchMultiF32(queries.data(), num_queries, rows.data(),
+                              num_rows, n, out_ref.data());
+        for (size_t c = 0; c < out.size(); ++c) {
+          ASSERT_EQ(out[c], out_ref[c])
+              << "B=" << num_queries << " rows=" << num_rows << " n=" << n
+              << " cell=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdTest, DotBatchMultiI8MatchesRefBitExactly) {
+  Rng rng(61);
+  for (size_t num_queries : {size_t(1), size_t(2), size_t(3), size_t(8),
+                             size_t(33)}) {
+    for (size_t num_rows : {size_t(1), size_t(3), size_t(4), size_t(5),
+                            size_t(33)}) {
+      for (size_t n : TestSizes()) {
+        const auto queries = RandomVector(&rng, num_queries * n);
+        const auto rows = RandomVector(&rng, num_rows * n);
+        std::vector<std::int8_t> rows8(num_rows * n);
+        std::vector<float> scales(num_rows);
+        QuantizeRowsI8(rows.data(), num_rows, n, rows8.data(), scales.data());
+        std::vector<float> out(num_queries * num_rows, -1.0f);
+        std::vector<float> out_ref(num_queries * num_rows, -2.0f);
+        DotBatchMultiI8(queries.data(), num_queries, rows8.data(),
+                        scales.data(), num_rows, n, out.data());
+        ref::DotBatchMultiI8(queries.data(), num_queries, rows8.data(),
+                             scales.data(), num_rows, n, out_ref.data());
+        for (size_t c = 0; c < out.size(); ++c) {
+          ASSERT_EQ(out[c], out_ref[c])
+              << "B=" << num_queries << " rows=" << num_rows << " n=" << n
+              << " cell=" << c;
+        }
+      }
+    }
+  }
+}
+
+// The cache-blocked tiling of the reduced-tier drivers must be invisible
+// too (same spans-multiple-tiles shape as the double-tier test above).
+TEST(SimdTest, ReducedTierTilingAcrossRowTilesIsExact) {
+  Rng rng(62);
+  const size_t n = 96;
+  const size_t num_rows = 200;
+  const size_t num_queries = 5;
+  const auto queries = RandomVector(&rng, num_queries * n);
+  const auto rows = RandomVector(&rng, num_rows * n);
+  std::vector<std::int8_t> rows8(num_rows * n);
+  std::vector<float> scales(num_rows);
+  QuantizeRowsI8(rows.data(), num_rows, n, rows8.data(), scales.data());
+
+  std::vector<float> out(num_queries * num_rows);
+  std::vector<float> out_ref(num_queries * num_rows);
+  DotBatchMultiF32(queries.data(), num_queries, rows.data(), num_rows, n,
+                   out.data());
+  ref::DotBatchMultiF32(queries.data(), num_queries, rows.data(), num_rows,
+                        n, out_ref.data());
+  EXPECT_EQ(out, out_ref);
+
+  DotBatchMultiI8(queries.data(), num_queries, rows8.data(), scales.data(),
+                  num_rows, n, out.data());
+  ref::DotBatchMultiI8(queries.data(), num_queries, rows8.data(),
+                       scales.data(), num_rows, n, out_ref.data());
+  EXPECT_EQ(out, out_ref);
+}
+
+// Sanity: the float32 tier approximates the exact double tier to float
+// accumulation error, and the int8 tier to quantization error (each
+// element is off by at most scale/2 = absmax/254).
+TEST(SimdTest, ReducedTiersApproximateDoubleTier) {
+  Rng rng(63);
+  const size_t num_queries = 4;
+  const size_t num_rows = 19;
+  for (size_t n : {size_t(1), size_t(13), size_t(64), size_t(67),
+                   size_t(256)}) {
+    const auto queries = RandomVector(&rng, num_queries * n);
+    const auto rows = RandomVector(&rng, num_rows * n);
+    std::vector<std::int8_t> rows8(num_rows * n);
+    std::vector<float> scales(num_rows);
+    QuantizeRowsI8(rows.data(), num_rows, n, rows8.data(), scales.data());
+    std::vector<float> exact(num_queries * num_rows);
+    std::vector<float> f32(num_queries * num_rows);
+    std::vector<float> i8(num_queries * num_rows);
+    DotBatchMulti(queries.data(), num_queries, rows.data(), num_rows, n,
+                  exact.data());
+    DotBatchMultiF32(queries.data(), num_queries, rows.data(), num_rows, n,
+                     f32.data());
+    DotBatchMultiI8(queries.data(), num_queries, rows8.data(), scales.data(),
+                    num_rows, n, i8.data());
+    // |x - scale*code| <= scale/2 per element; |q| <= 2 by construction.
+    const double i8_tol = 0.1 + double(n) * 2.0 * (2.0 / 254.0) / 2.0;
+    for (size_t c = 0; c < exact.size(); ++c) {
+      EXPECT_NEAR(double(f32[c]), double(exact[c]), 1e-2)
+          << "f32 cell=" << c << " n=" << n;
+      EXPECT_NEAR(double(i8[c]), double(exact[c]), i8_tol)
+          << "i8 cell=" << c << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, QuantizeRowsI8EdgeCases) {
+  // All-zero row: scale 0, all codes 0 (and the dot against it is 0).
+  {
+    const std::vector<float> rows(16, 0.0f);
+    std::vector<std::int8_t> codes(16, std::int8_t(55));
+    std::vector<float> scales(1, -1.0f);
+    QuantizeRowsI8(rows.data(), 1, 16, codes.data(), scales.data());
+    EXPECT_EQ(scales[0], 0.0f);
+    for (const std::int8_t c : codes) EXPECT_EQ(c, std::int8_t(0));
+  }
+  // The absmax element maps to exactly +/-127; nothing exceeds it.
+  {
+    const std::vector<float> rows = {0.5f, -4.0f, 1.0f, 4.0f};
+    std::vector<std::int8_t> codes(4);
+    std::vector<float> scales(1);
+    QuantizeRowsI8(rows.data(), 1, 4, codes.data(), scales.data());
+    EXPECT_EQ(scales[0], 4.0f / 127.0f);
+    EXPECT_EQ(codes[1], std::int8_t(-127));
+    EXPECT_EQ(codes[3], std::int8_t(127));
+    for (const std::int8_t c : codes) {
+      EXPECT_GE(c, std::int8_t(-127));
+      EXPECT_LE(c, std::int8_t(127));
+    }
+  }
+  // Scales are per row: each row's absmax sets its own scale.
+  {
+    const std::vector<float> rows = {1.0f, -1.0f, 8.0f, 2.0f};
+    std::vector<std::int8_t> codes(4);
+    std::vector<float> scales(2);
+    QuantizeRowsI8(rows.data(), 2, 2, codes.data(), scales.data());
+    EXPECT_EQ(scales[0], 1.0f / 127.0f);
+    EXPECT_EQ(scales[1], 8.0f / 127.0f);
+    EXPECT_EQ(codes[2], std::int8_t(127));
+  }
+}
+
 TEST(SimdTest, TripleGradAxpyEqualsThreeHadamardAxpyExactly) {
   Rng rng(48);
   for (size_t n : TestSizes()) {
@@ -409,7 +566,10 @@ TEST(SimdTest, ZeroLengthIsSafe) {
   EXPECT_EQ(MaxAbsDiff(nullptr, nullptr, 0), 0.0);
   DotBatch(nullptr, nullptr, 0, 0, nullptr);
   DotBatchMulti(nullptr, 0, nullptr, 0, 0, nullptr);
+  DotBatchMultiF32(nullptr, 0, nullptr, 0, 0, nullptr);
+  DotBatchMultiI8(nullptr, 0, nullptr, nullptr, 0, 0, nullptr);
   DotBatchIndexed(nullptr, nullptr, nullptr, 0, 0, nullptr);
+  QuantizeRowsI8(nullptr, 0, 0, nullptr, nullptr);
   Fill(nullptr, 0.0f, 0);
 }
 

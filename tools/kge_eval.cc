@@ -25,6 +25,7 @@ int Run(int argc, char** argv) {
   int64_t seed = 42;
   int64_t threads = 1;
   int64_t eval_batch = 0;
+  std::string eval_precision = "double";
   bool report = false;
   bool raw = false;
   std::string dump_ranks;
@@ -44,6 +45,10 @@ int Run(int argc, char** argv) {
                 "queries per batched ranking call; 1 = per-query GEMV, "
                 "0 = auto from entity count (metrics are identical "
                 "either way)");
+  parser.AddString("eval-precision", &eval_precision,
+                   "candidate-scoring tier: double (exact) | float32 | "
+                   "int8 (quantized scoring replica; bounded metric "
+                   "drift, measured in BENCH_eval.json)");
   parser.AddBool("report", &report, "per-relation breakdown");
   parser.AddBool("raw", &raw, "also print raw (unfiltered) metrics");
   parser.AddString("dump-ranks", &dump_ranks,
@@ -98,8 +103,22 @@ int Run(int argc, char** argv) {
   EvalOptions options;
   options.num_threads = int(threads);
   options.batch_queries = int(eval_batch);
-  const int resolved_batch =
-      ResolveEvalBatchQueries(options.batch_queries, data.num_entities());
+  if (!ParseScorePrecision(eval_precision, &options.score_precision)) {
+    std::fprintf(stderr,
+                 "--eval-precision must be double, float32, or int8 "
+                 "(got \"%s\")\n",
+                 eval_precision.c_str());
+    return 2;
+  }
+  if (!(*model)->SupportsScorePrecision(options.score_precision)) {
+    std::fprintf(stderr,
+                 "model %s does not support --eval-precision=%s; "
+                 "use double\n",
+                 (*model)->name().c_str(), eval_precision.c_str());
+    return 2;
+  }
+  const int resolved_batch = ResolveEvalBatchQueries(
+      options.batch_queries, data.num_entities(), options.score_precision);
   Stopwatch eval_watch;
   const EvalResult result =
       evaluator.Evaluate(**model, eval_triples, options);
@@ -109,9 +128,10 @@ int Run(int argc, char** argv) {
   if (eval_seconds > 0.0 && !eval_triples.empty()) {
     std::printf(
         "eval throughput: %.0f triples/s (%zu triples, %d threads, "
-        "eval batch %d)\n",
+        "eval batch %d, precision %s)\n",
         double(eval_triples.size()) / eval_seconds, eval_triples.size(),
-        int(threads), resolved_batch);
+        int(threads), resolved_batch,
+        ScorePrecisionName(options.score_precision));
   }
   if (raw) {
     EvalOptions raw_options = options;

@@ -79,6 +79,11 @@ int Run(int argc, char** argv) {
                 "queries per batched ranking call during validation and "
                 "test evaluation; 1 = per-query GEMV, 0 = auto from entity "
                 "count (metrics are identical either way)");
+  std::string eval_precision = "double";
+  parser.AddString("eval-precision", &eval_precision,
+                   "candidate-scoring tier for validation and test "
+                   "ranking: double (exact) | float32 | int8 (quantized "
+                   "scoring replica; bounded metric drift)");
   int64_t train_threads = 1;
   parser.AddInt("train-threads", &train_threads,
                 "gradient/merge/apply threads (results are identical for "
@@ -137,6 +142,22 @@ int Run(int argc, char** argv) {
   std::printf("model: %s (%lld parameters)\n", (*model)->name().c_str(),
               (long long)(*model)->NumParameters());
 
+  ScorePrecision score_precision = ScorePrecision::kDouble;
+  if (!ParseScorePrecision(eval_precision, &score_precision)) {
+    std::fprintf(stderr,
+                 "--eval-precision must be double, float32, or int8 "
+                 "(got \"%s\")\n",
+                 eval_precision.c_str());
+    return 2;
+  }
+  if (!(*model)->SupportsScorePrecision(score_precision)) {
+    std::fprintf(stderr,
+                 "model %s does not support --eval-precision=%s; "
+                 "use double\n",
+                 (*model)->name().c_str(), eval_precision.c_str());
+    return 2;
+  }
+
   FilterIndex filter;
   filter.Build(data.train, data.valid, data.test);
   Evaluator evaluator(&filter, data.num_relations());
@@ -144,8 +165,11 @@ int Run(int argc, char** argv) {
   valid_eval.max_triples = 500;
   valid_eval.num_threads = int(threads);
   valid_eval.batch_queries = int(eval_batch);
-  std::printf("eval batch: %d queries per ranking call\n",
-              ResolveEvalBatchQueries(int(eval_batch), data.num_entities()));
+  valid_eval.score_precision = score_precision;
+  std::printf("eval batch: %d queries per ranking call (precision %s)\n",
+              ResolveEvalBatchQueries(int(eval_batch), data.num_entities(),
+                                      score_precision),
+              ScorePrecisionName(score_precision));
   auto validate = [&](KgeModel* m) {
     return evaluator.EvaluateOverall(*m, data.valid, valid_eval).Mrr();
   };
@@ -223,6 +247,7 @@ int Run(int argc, char** argv) {
   EvalOptions test_eval;
   test_eval.num_threads = int(threads);
   test_eval.batch_queries = int(eval_batch);
+  test_eval.score_precision = score_precision;
   Stopwatch eval_watch;
   const EvalResult result =
       evaluator.Evaluate(**model, data.test, test_eval);
@@ -231,7 +256,8 @@ int Run(int argc, char** argv) {
   if (eval_seconds > 0.0 && !data.test.empty()) {
     std::printf("eval throughput: %.0f triples/s (%d threads, eval batch %d)\n",
                 double(data.test.size()) / eval_seconds, int(threads),
-                ResolveEvalBatchQueries(int(eval_batch), data.num_entities()));
+                ResolveEvalBatchQueries(int(eval_batch), data.num_entities(),
+                                        score_precision));
   }
   if (eval_train) {
     EvalOptions train_eval = test_eval;
