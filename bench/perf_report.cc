@@ -749,13 +749,29 @@ struct TrainingRow {
   std::string model;
   std::string regime;  // "negative_sampling" | "one_vs_all"
   int threads = 1;
+  int pipeline_depth = 1;
   int64_t train_triples = 0;
   double epoch_seconds = 0.0;
   double triples_per_sec = 0.0;
   double examples_per_sec = 0.0;
   double allocs_per_triple = -1.0;  // -1 = not measured (sanitized build)
   double speedup_vs_1t = 1.0;
+  // Per-stage occupancy: busy (sample/score, summed over tasks) or caller
+  // wall (merge/apply) seconds divided by total epoch wall seconds.
+  // Sample/score can exceed 1.0 when several workers are busy at once.
+  double occ_sample = 0.0;
+  double occ_score = 0.0;
+  double occ_merge = 0.0;
+  double occ_apply = 0.0;
 };
+
+void FillStageOccupancy(const TrainStageStats& stats, TrainingRow* row) {
+  if (stats.wall_seconds <= 0.0) return;
+  row->occ_sample = stats.sample_seconds / stats.wall_seconds;
+  row->occ_score = stats.score_seconds / stats.wall_seconds;
+  row->occ_merge = stats.merge_seconds / stats.wall_seconds;
+  row->occ_apply = stats.apply_seconds / stats.wall_seconds;
+}
 
 std::unique_ptr<MultiEmbeddingModel> MakeTrainModel(const std::string& name,
                                                     const Dataset& data,
@@ -788,11 +804,13 @@ TrainingRow BenchNegativeSampling(const PerfConfig& config,
   // and gradient pool to its high-water mark, so the timed (and
   // allocation-counted) epochs are steady state.
   g_sink = g_sink + trainer.RunEpoch(data.train, sampler, &rng);
+  trainer.ResetStageStats();
 
   TrainingRow row;
   row.model = model_name;
   row.regime = "negative_sampling";
   row.threads = threads;
+  row.pipeline_depth = options.pipeline_depth;
   row.train_triples = int64_t(data.train.size());
 #if KGE_COUNT_ALLOCS
   const uint64_t allocs_before =
@@ -815,6 +833,7 @@ TrainingRow BenchNegativeSampling(const PerfConfig& config,
   row.triples_per_sec = double(data.train.size()) / per_epoch;
   row.examples_per_sec =
       row.triples_per_sec * double(1 + config.train_negatives);
+  FillStageOccupancy(trainer.stage_stats(), &row);
   return row;
 }
 
@@ -844,7 +863,9 @@ TrainingRow BenchOneVsAll(const PerfConfig& config, const Dataset& data,
   row.model = model_name;
   row.regime = "one_vs_all";
   row.threads = threads;
+  row.pipeline_depth = options.pipeline_depth;
   row.train_triples = int64_t(data.train.size());
+  trainer.ResetStageStats();
   Rng rng(43);
 #if KGE_COUNT_ALLOCS
   const uint64_t allocs_before =
@@ -868,6 +889,7 @@ TrainingRow BenchOneVsAll(const PerfConfig& config, const Dataset& data,
   // Each query scores every entity: candidate examples per second.
   row.examples_per_sec = double(distinct.size()) *
                          double(data.num_entities()) / per_epoch;
+  FillStageOccupancy(trainer.stage_stats(), &row);
   return row;
 }
 
@@ -989,6 +1011,7 @@ std::string BuildTrainingJson(const PerfConfig& config,
     const TrainingRow& r = rows[i];
     out << "    {\"model\": \"" << r.model << "\", \"regime\": \""
         << r.regime << "\", \"threads\": " << r.threads
+        << ", \"pipeline_depth\": " << r.pipeline_depth
         << ", \"train_triples\": " << r.train_triples
         << ", \"epoch_seconds\": " << JsonNumber(r.epoch_seconds)
         << ", \"triples_per_sec\": " << JsonNumber(r.triples_per_sec)
@@ -999,7 +1022,11 @@ std::string BuildTrainingJson(const PerfConfig& config,
     } else {
       out << JsonNumber(r.allocs_per_triple);
     }
-    out << ", \"speedup_vs_1t\": " << JsonNumber(r.speedup_vs_1t) << "}"
+    out << ", \"speedup_vs_1t\": " << JsonNumber(r.speedup_vs_1t)
+        << ", \"stage_occupancy\": {\"sample\": " << JsonNumber(r.occ_sample)
+        << ", \"score\": " << JsonNumber(r.occ_score)
+        << ", \"merge\": " << JsonNumber(r.occ_merge)
+        << ", \"apply\": " << JsonNumber(r.occ_apply) << "}}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";

@@ -64,12 +64,14 @@ void ForEachRowSharded(const GradientBuffer& grads, ThreadPool* pool,
     return;
   }
   const size_t shards = pool->num_threads();
-  for (size_t s = 0; s < shards; ++s) {
-    pool->Schedule([&grads, &row_fn, s, shards] {
+  // StageFor passes the body by context pointer through the pool's POD
+  // task ring — no std::function, so the per-batch apply allocates
+  // nothing at any thread count.
+  pool->StageFor(0, shards, [&grads, &row_fn, shards](size_t sb, size_t se) {
+    for (size_t s = sb; s < se; ++s) {
       grads.ForEachShard(s, shards, row_fn);
-    });
-  }
-  pool->Wait();
+    }
+  });
 }
 
 class SgdOptimizer : public Optimizer {

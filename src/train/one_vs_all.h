@@ -14,9 +14,19 @@
 //
 // Head queries are covered by training on inverse-augmented triples
 // (kg/augmentation.h), as ConvE does with reciprocal relations.
+//
+// The batch machine is a pipeline of fork-join stages (DESIGN.md §5f):
+// a fused per-chunk score stage (fold + cache-blocked multi-query scores
+// + per-query gradients), a per-entity accumulate stage, a parallel
+// head/relation fold-back stage with a serial batch-order apply, and —
+// with pipeline_depth > 1 — the next batch's touched-flag clear runs on
+// idle workers while this batch finishes. All stages partition writes
+// disjointly and sum in fixed batch order, so losses and parameters are
+// bit-identical for every thread count and depth.
 #ifndef KGE_TRAIN_ONE_VS_ALL_H_
 #define KGE_TRAIN_ONE_VS_ALL_H_
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
@@ -40,10 +50,11 @@ struct OneVsAllOptions {
   int patience_epochs = 60;
   bool restore_best = true;
   uint64_t seed = 1234;
-  // Worker threads. Queries fan out across the pool (folds + batched
-  // scores), then entity gradient rows do; every per-row sum runs in
-  // fixed batch order, so losses and parameters are bit-identical for
-  // every num_threads.
+  // Worker threads; 0 auto-detects std::thread::hardware_concurrency()
+  // (ResolveNumThreads). Queries fan out across the pool (folds +
+  // batched scores), then entity gradient rows do; every per-row sum
+  // runs in fixed batch order, so losses and parameters are
+  // bit-identical for every num_threads.
   int num_threads = 1;
   // Score a batch's queries with one cache-blocked multi-query product
   // (simd::DotBatchMulti) over the entity table instead of one GEMV per
@@ -51,6 +62,14 @@ struct OneVsAllOptions {
   // therefore losses and updated parameters — are bit-identical either
   // way; false keeps the per-query path (used by the equality tests).
   bool batched_scoring = true;
+  // Pipeline depth (1–3, matching TrainerOptions). Depth > 1
+  // double-buffers the batch's touched-entity flags and clears the spent
+  // buffer on idle workers while the next batch is already scoring; the
+  // flags are cleared to the same zeros either way, so the depth cannot
+  // change results. (The 1-N gradient is dense in the entity table, so
+  // unlike negative sampling there is no sampling stage to run ahead;
+  // effective overlap saturates at depth 2.)
+  int pipeline_depth = 2;
   // Durable checkpointing + exact resume (off unless `dir` is set) and
   // non-finite-loss rollback; see train/train_checkpoint.h.
   CheckpointingOptions checkpointing;
@@ -71,19 +90,32 @@ class OneVsAllTrainer {
   // One pass over all queries; returns mean per-query loss.
   double RunEpoch(Rng* rng);
 
+  // Cumulative stage timings since construction (or the last reset);
+  // sample = overlapped flag clears, score = fused fold+score+grad,
+  // merge = entity accumulate + fold-back, apply = optimizer.
+  TrainStageStats stage_stats() const;
+  void ResetStageStats();
+
  private:
   struct Query {
     EntityId head;
     RelationId relation;
     std::vector<EntityId> tails;
   };
+  struct ClearCtx {
+    OneVsAllTrainer* trainer;
+    size_t buffer;
+  };
+
   void BuildQueries(const std::vector<Triple>& train_triples);
+
+  static void ClearTrampoline(void* ctx, size_t begin, size_t end);
+
   // Stage A of the batch pipeline, independent per query: fold (h, r),
   // score every entity with one DotBatch GEMV, convert scores in place
   // to dL/ds values in `g`, accumulate dL/dfold into `dfold`, and flag
   // touched entities. Returns the query's BCE loss. The batched-scoring
-  // path splits this into a fold stage, one DotBatchMulti over the whole
-  // batch, and ComputeQueryGrad.
+  // path fuses this per chunk in ScoreChunk instead.
   KGE_HOT_NOALLOC
   double ScoreQuery(const Query& query, std::span<float> fold,
                     std::span<float> g, std::span<float> dfold);
@@ -94,25 +126,70 @@ class OneVsAllTrainer {
   double ComputeQueryGrad(const Query& query, std::span<float> g,
                           std::span<float> dfold);
 
+  // Pipeline stage roots over the current batch (cur_begin_/cur_count_),
+  // each writing only its chunk's disjoint slices:
+  //
+  // Score stage: folds queries [qb, qe), scores them against the whole
+  // entity table with one cache-blocked DotBatchMulti (per-cell scores
+  // equal the per-query DotBatch scores by the simd contract, so the
+  // chunking is invisible to the numerics), then ComputeQueryGrad each.
+  KGE_HOT_NOALLOC
+  void ScoreChunk(size_t qb, size_t qe);
+  // Accumulate stage: dL/dt_e = Σ_i g_i[e] · fold_i for entities
+  // [eb, ee), summed in batch order for every partition; rows are
+  // pre-registered, so the concurrent GradFor calls are pure lookups.
+  KGE_HOT_NOALLOC
+  void AccumulateEntityChunk(size_t eb, size_t ee);
+  // Fold-back stage: per query, the transposed folds of dL/dfold into
+  // per-query head/relation gradient rows (accumulated serially, in
+  // batch order, by RunEpoch afterwards — heads can repeat in a batch).
+  KGE_HOT_NOALLOC
+  void FoldBackChunk(size_t qb, size_t qe);
+  // Clear stage (the depth > 1 overlap): zeroes a spent touched-flag
+  // buffer on idle workers while the next batch is already scoring.
+  KGE_HOT_NOALLOC
+  void ClearTouched(size_t buffer);
+
+  void AddStageNanos(int stage, double seconds) {
+    stage_nanos_[stage].fetch_add(int64_t(seconds * 1e9),
+                                  std::memory_order_relaxed);
+  }
+
   MultiEmbeddingModel* model_;
   OneVsAllOptions options_;
   std::vector<Query> queries_;
   std::unique_ptr<Optimizer> optimizer_;
   std::unique_ptr<GradientBuffer> grads_;
+  // Always constructed; 1 thread means "run inline".
   std::unique_ptr<ThreadPool> pool_;
   std::vector<ParameterBlock*> blocks_;
   // Batch-level scratch, reused every batch (zero steady-state allocs):
-  // per-query fold / dfold / per-entity dL/ds matrices, per-query loss,
-  // and the batch's touched-entity flags (written with relaxed
-  // atomic_ref stores from concurrent queries).
+  // per-query fold / dfold / per-entity dL/ds matrices, per-query loss
+  // and head/relation fold-back rows, and the double-buffered
+  // touched-entity flags (written with relaxed atomic_ref stores from
+  // concurrent queries; cleared on idle workers when depth > 1).
   std::vector<size_t> order_;
   std::vector<float> folds_;
   std::vector<float> dfolds_;
   std::vector<float> g_;
   std::vector<double> query_loss_;
-  std::vector<uint8_t> entity_touched_;
-  std::vector<float> head_fold_;
-  std::vector<float> relation_fold_;
+  std::vector<uint8_t> touched_[2];
+  std::vector<float> head_folds_;
+  std::vector<float> relation_folds_;
+
+  // ---- Pipeline state ----
+  bool overlap_clear_ = false;  // depth > 1 and a real pool
+  ThreadPool::StageGroup clear_group_;
+  ClearCtx clear_ctx_[2] = {};
+  // Current-batch window for the stage roots (set before the stages are
+  // scheduled, constant until their joins).
+  size_t cur_begin_ = 0;
+  size_t cur_count_ = 0;
+  uint8_t* touched_data_ = nullptr;
+
+  // Stage timing (sample/score/merge/apply; see TrainStageStats).
+  std::atomic<int64_t> stage_nanos_[4] = {};
+  std::atomic<int64_t> wall_nanos_{0};
 };
 
 }  // namespace kge

@@ -28,6 +28,22 @@ namespace kge {
 // max_epochs without early stopping.
 using ValidationFn = std::function<double(int epoch)>;
 
+// Cumulative pipeline-stage timings reported by the trainers
+// (Trainer::stage_stats() / OneVsAllTrainer::stage_stats()).
+// `sample_seconds`/`score_seconds` are busy time summed across the tasks
+// of the overlapped stages (sampling prefetch / shard scoring — or flag
+// clearing / fused fold+score for 1-vs-all), so with T threads they can
+// exceed the wall clock; `merge_seconds`/`apply_seconds` are the caller's
+// wall time in those critical-path sections. Occupancy for the bench
+// report is stage_seconds / wall_seconds.
+struct TrainStageStats {
+  double sample_seconds = 0.0;
+  double score_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double apply_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
 struct TrainResult {
   int epochs_run = 0;
   double final_mean_loss = 0.0;

@@ -3,10 +3,24 @@
 // the model's parameter blocks, the unit-norm entity constraint, and
 // periodic validation with early stopping (restoring the best
 // checkpoint).
+//
+// The epoch inner loop is a software pipeline (DESIGN.md §5f): while
+// batch N's shards are scored, batch N+1..N+depth-1's negatives are
+// sampled into double-buffered per-batch sample buffers by otherwise
+// idle pool workers. Sampling is the only stage that reads no model
+// parameters (each shard draws from an independent
+// DeriveStreamSeed(seed, batch, shard) stream), so the overlap is
+// bit-identical to the unpipelined loop by construction — pipeline depth
+// and thread count can never change losses or final parameters. The only
+// overlap that cannot be deterministic — merging shard gradients in
+// completion order while later shards still score — is the opt-in
+// `deterministic = false` fast mode.
 #ifndef KGE_TRAIN_TRAINER_H_
 #define KGE_TRAIN_TRAINER_H_
 
+#include <atomic>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +31,7 @@
 #include "train/train_loop.h"
 #include "util/hotpath.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace kge {
@@ -29,6 +44,16 @@ enum class LossKind {
   // translation family's native objective (Bordes et al.).
   kMarginRanking,
 };
+
+// True worst-case distinct gradient rows per block for `positives`
+// examples with `negatives` corruptions each: head + tail rows per
+// positive, one fresh corrupted entity per negative, plus one auxiliary
+// row (a model's shared weight row accumulated in FinishBatch). Used to
+// pre-Reserve every GradientBuffer so the steady state — at any thread
+// count — performs zero heap allocations.
+constexpr size_t WorstCaseGradRows(size_t positives, size_t negatives) {
+  return positives * (2 + negatives) + 1;
+}
 
 struct TrainerOptions {
   int max_epochs = 500;
@@ -67,20 +92,34 @@ struct TrainerOptions {
   uint64_t seed = 1234;
   // Log progress every N epochs (0 = silent).
   int log_every_epochs = 0;
-  // Gradient-computation threads. Every batch is split into fixed
-  // virtual shards of `grad_shard_size` positives, each with an
-  // independent seed-derived sampling stream and its own gradient
-  // buffer; shard gradients are merged in shard order and applied with
-  // per-row-independent updates. Threads only decide how many shards run
-  // concurrently, so epoch losses and final parameters are bit-identical
-  // for every num_threads. Models whose AccumulateGradients is not
-  // thread-safe (KgeModel::SupportsParallelGradients) compute their
-  // shards serially but keep the same shard structure and results.
+  // Worker threads; 0 auto-detects std::thread::hardware_concurrency()
+  // (ResolveNumThreads). Every batch is split into fixed virtual shards
+  // of `grad_shard_size` positives, each with an independent seed-derived
+  // sampling stream and its own gradient buffer; shard gradients are
+  // merged in shard order and applied with per-row-independent updates.
+  // Threads only decide how many shards run concurrently, so epoch
+  // losses and final parameters are bit-identical for every num_threads.
+  // Models whose AccumulateGradients is not thread-safe
+  // (KgeModel::SupportsParallelGradients) compute their shards serially
+  // but keep the same shard structure and results.
   int num_threads = 1;
   // Positives per virtual gradient shard. Part of the numerics: changing
   // it regroups the sampling streams (results stay deterministic for any
   // thread count, but differ across shard sizes).
   int grad_shard_size = 64;
+  // Batches whose negative samples may be in flight at once (1–3).
+  // Depth d > 1 overlaps sampling of batches N+1..N+d-1 with the
+  // score/merge/apply stages of batch N. Sampling streams are keyed by
+  // batch index, never by schedule, so the depth cannot change results.
+  int pipeline_depth = 2;
+  // When false AND the model supports parallel gradients, shard
+  // gradients are merged into the batch accumulator in completion order
+  // (streaming, overlapped with later shards' scoring) instead of shard
+  // order. Race-free, but float summation order then depends on thread
+  // timing, so results are only equivalent to ~ulp precision — see the
+  // loss-curve-equivalence test. The default keeps the bit-identical
+  // shard-order merge.
+  bool deterministic = true;
   // Durable checkpointing + exact resume (off unless `dir` is set) and
   // non-finite-loss rollback; see train/train_checkpoint.h.
   CheckpointingOptions checkpointing;
@@ -109,17 +148,67 @@ class Trainer {
   double RunEpoch(const std::vector<Triple>& train_triples,
                   const NegativeSampler& sampler, Rng* rng);
 
+  // Cumulative stage timings since construction (or the last reset);
+  // see TrainStageStats for the busy-vs-wall semantics per field.
+  TrainStageStats stage_stats() const;
+  void ResetStageStats();
+
  private:
+  // One batch's presampled negatives: `num_negatives` triples per
+  // positive, contiguous in batch order. `depth` buffers rotate so
+  // sampling for batch N+depth can fill the buffer batch N just
+  // consumed.
+  struct SampledBatch {
+    std::vector<Triple> negatives;
+  };
+  // Context records handed to the pool's POD stage queue; member storage
+  // (not stack) because prefetch tasks outlive the scheduling frame.
+  struct SampleCtx {
+    Trainer* trainer;
+    size_t batch_index;
+  };
+
+  static void SampleTrampoline(void* ctx, size_t begin, size_t end);
+  static void ComputeTrampoline(void* ctx, size_t begin, size_t end);
+
+  // Pipeline stage roots (KGE_HOT_NOALLOC: steady state may not
+  // allocate; scripts/hotpath_check.py audits their call graphs).
+  //
+  // Sample stage: draws the negatives for `batch_index`'s shard `shard`
+  // from its own Rng(DeriveStreamSeed(seed, batch, shard)) stream into
+  // the batch's rotating buffer. Parameter-independent, so it may run
+  // arbitrarily far ahead of scoring.
+  KGE_HOT_NOALLOC
+  void SampleShard(size_t batch_index, size_t shard);
+  // Score stage: clears shard state and accumulates the shard's loss
+  // gradients from the presampled negatives of the current batch.
+  KGE_HOT_NOALLOC
+  void ComputeShard(size_t shard);
+  // Fast-mode merge stage: enqueues `shard` for merging; at most one
+  // task drains the queue at a time (merge_mutex_ hands the accumulator
+  // off), overlapping the merge with later shards' scoring.
+  KGE_HOT_NOALLOC
+  void StreamingMergeShard(size_t shard) KGE_EXCLUDES(merge_mutex_);
+  // Adds one shard buffer's rows into grads_ (registering new rows —
+  // only ever called with the accumulator owned exclusively).
+  KGE_HOT_NOALLOC
+  void MergeOneShard(size_t shard);
+
+  // Resizes + schedules the sample-stage tasks for `batch_index` into
+  // its buffer's completion group.
+  void ScheduleSampling(size_t batch_index);
+
   // Accumulates loss gradients (and L2) for order[begin..end) into
-  // `grads`; adds to *loss and *examples. Negatives are sampled up front
-  // per positive and scored together with it through the model's batched
-  // scoring API (at most two fold+GEMV calls per positive). Thread-
-  // compatible: touches only the given buffer, rng, and per-thread
-  // scratch.
+  // `grads`; adds to *loss and *examples. `negatives` holds
+  // num_negatives presampled corruptions per positive, indexed relative
+  // to `begin`; each positive is scored together with its negatives
+  // through the model's batched scoring API (at most two fold+GEMV calls
+  // per positive). Thread-compatible: touches only the given buffer and
+  // per-thread scratch.
   KGE_HOT_NOALLOC
   void ProcessRange(const std::vector<Triple>& train_triples,
                     const std::vector<size_t>& order, size_t begin,
-                    size_t end, const NegativeSampler& sampler, Rng* rng,
+                    size_t end, std::span<const Triple> negatives,
                     GradientBuffer* grads, double* loss,
                     size_t* examples) const;
   // Adds shard buffers [0, num_shards)'s gradients into grads_: rows are
@@ -129,14 +218,19 @@ class Trainer {
   KGE_HOT_NOALLOC
   void MergeShardGradients(size_t num_shards);
 
+  void AddStageNanos(int stage, double seconds) {
+    stage_nanos_[stage].fetch_add(int64_t(seconds * 1e9),
+                                  std::memory_order_relaxed);
+  }
+
   KgeModel* model_;
   TrainerOptions options_;
   std::unique_ptr<Optimizer> optimizer_;
   std::unique_ptr<GradientBuffer> grads_;
-  // Worker pool for shard gradients, the merge, and the optimizer apply
-  // (num_threads > 1).
+  // Worker pool for the pipeline stages, the merge, and the optimizer
+  // apply. Always constructed; 1 thread means "run inline".
   std::unique_ptr<ThreadPool> pool_;
-  // Per-virtual-shard state, grown to the high-water shard count once.
+  // Per-virtual-shard state, grown to the epoch high-water shard count.
   std::vector<std::unique_ptr<GradientBuffer>> shard_grads_;
   std::vector<double> shard_loss_;
   std::vector<size_t> shard_examples_;
@@ -145,6 +239,36 @@ class Trainer {
   std::vector<size_t> order_;
   std::vector<EntityId> touched_entities_;
   std::vector<ParameterBlock*> blocks_;
+
+  // ---- Pipeline state ----
+  size_t depth_ = 1;  // clamp(options_.pipeline_depth)
+  std::vector<SampledBatch> sampled_;  // depth_ rotating buffers
+  std::vector<std::unique_ptr<ThreadPool::StageGroup>> sample_groups_;
+  std::vector<SampleCtx> sample_ctx_;
+  ThreadPool::StageGroup compute_group_;
+  // Current-epoch context for stage tasks (set in RunEpoch, constant
+  // while any task is in flight).
+  const std::vector<Triple>* epoch_triples_ = nullptr;
+  const NegativeSampler* epoch_sampler_ = nullptr;
+  uint64_t epoch_base_counter_ = 0;
+  // Current-batch window for ComputeShard (set before compute tasks are
+  // scheduled, constant until their WaitStage).
+  size_t cur_batch_index_ = 0;
+  size_t cur_begin_ = 0;
+  size_t cur_end_ = 0;
+  bool streaming_merge_ = false;
+
+  // Fast-mode streaming merge: completed shard indices queue up here;
+  // exactly one task at a time owns grads_ and drains the queue.
+  Mutex merge_mutex_;
+  std::vector<size_t> merge_queue_ KGE_GUARDED_BY(merge_mutex_);
+  size_t merge_queue_size_ KGE_GUARDED_BY(merge_mutex_) = 0;
+  size_t merge_cursor_ KGE_GUARDED_BY(merge_mutex_) = 0;
+  bool merge_active_ KGE_GUARDED_BY(merge_mutex_) = false;
+
+  // Stage timing (sample/score/merge/apply; see TrainStageStats).
+  std::atomic<int64_t> stage_nanos_[4] = {};
+  std::atomic<int64_t> wall_nanos_{0};
 };
 
 }  // namespace kge

@@ -45,7 +45,91 @@ void ThreadPool::Wait() {
   while (in_flight_ != 0) work_done_.Wait(mutex_);
 }
 
+void ThreadPool::PushRangeTask(const RangeTask& task) {
+  if (ring_count_ == ring_.size()) {
+    // Grow to the high-water in-flight count once, then never again.
+    const size_t capacity = ring_.empty() ? 64 : ring_.size() * 2;
+    std::vector<RangeTask> grown;
+    // kge-hotpath: allow(ring growth to high-water in-flight task count)
+    grown.resize(capacity);
+    for (size_t i = 0; i < ring_count_; ++i) {
+      grown[i] = ring_[(ring_head_ + i) & (ring_.size() - 1)];
+    }
+    ring_ = std::move(grown);
+    ring_head_ = 0;
+  }
+  ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)] = task;
+  ++ring_count_;
+}
+
+void ThreadPool::ReserveStageTasks(size_t capacity) {
+  size_t rounded = 64;
+  while (rounded < capacity) rounded *= 2;
+  MutexLock lock(mutex_);
+  if (rounded <= ring_.size()) return;
+  std::vector<RangeTask> grown;
+  grown.resize(rounded);
+  for (size_t i = 0; i < ring_count_; ++i) {
+    grown[i] = ring_[(ring_head_ + i) & (ring_.size() - 1)];
+  }
+  ring_ = std::move(grown);
+  ring_head_ = 0;
+}
+
+void ThreadPool::ScheduleRange(StageGroup* group, RangeFn fn, void* ctx,
+                               size_t begin, size_t end) {
+  KGE_CHECK(group != nullptr && fn != nullptr);
+  if (threads_.empty()) {
+    fn(ctx, begin, end);
+    return;
+  }
+  {
+    MutexLock lock(mutex_);
+    PushRangeTask({fn, ctx, begin, end, group});
+    ++group->pending_;
+  }
+  work_available_.NotifyOne();
+}
+
+bool ThreadPool::PopRangeTask(RangeTask* task) {
+  MutexLock lock(mutex_);
+  if (ring_count_ == 0) return false;
+  *task = ring_[ring_head_ & (ring_.size() - 1)];
+  ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+  --ring_count_;
+  return true;
+}
+
+void ThreadPool::FinishRangeTask(StageGroup* group) {
+  MutexLock lock(mutex_);
+  if (--group->pending_ == 0) stage_done_.NotifyAll();
+}
+
+void ThreadPool::WaitStage(StageGroup* group) {
+  if (threads_.empty()) return;
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      if (group->pending_ == 0) return;
+    }
+    if (!RunOneTask()) {
+      // Queues empty: the group's remaining tasks are running on
+      // workers. (Tasks they spawn into this group extend the wait; the
+      // workers that spawned them are free to run them.)
+      MutexLock lock(mutex_);
+      while (group->pending_ != 0) stage_done_.Wait(mutex_);
+      return;
+    }
+  }
+}
+
 bool ThreadPool::RunOneTask() {
+  RangeTask range;
+  if (PopRangeTask(&range)) {
+    range.fn(range.ctx, range.begin, range.end);
+    FinishRangeTask(range.group);
+    return true;
+  }
   std::function<void()> task;
   {
     MutexLock lock(mutex_);
@@ -68,68 +152,51 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t, size_t)>& body) {
   KGE_CHECK(begin <= end);
   if (begin == end) return;
-  const size_t n = end - begin;
-  const size_t workers = num_threads();
-  if (workers == 1 || n == 1) {
+  if (threads_.empty() || end - begin == 1) {
     body(begin, end);
     return;
   }
-  // Over-shard lightly so uneven tasks balance.
-  const size_t shards = std::min(n, workers * 4);
-  const size_t chunk = (n + shards - 1) / shards;
-
-  // Completion is tracked per call, not via the pool-global in_flight_
-  // counter: a nested ParallelFor runs inside a task that is itself in
-  // flight, so waiting for in_flight_ == 0 would deadlock.
-  struct Group {
-    Mutex mutex;
-    CondVar done;
-    size_t remaining KGE_GUARDED_BY(mutex) = 0;
-  };
-  auto group = std::make_shared<Group>();
-  {
-    MutexLock lock(group->mutex);
-    for (size_t s = begin; s < end; s += chunk) group->remaining += 1;
-  }
-  for (size_t s = begin; s < end; s += chunk) {
-    const size_t e = std::min(s + chunk, end);
-    Schedule([group, &body, s, e] {
-      body(s, e);
-      MutexLock lock(group->mutex);
-      if (--group->remaining == 0) group->done.NotifyAll();
-    });
-  }
-  // Help drain the queue while this call's shards are pending. The helped
-  // task may belong to another (possibly nested) ParallelFor; running it
-  // here is what guarantees forward progress when every worker is blocked
-  // inside an outer ParallelFor.
-  for (;;) {
-    {
-      MutexLock lock(group->mutex);
-      if (group->remaining == 0) return;
-    }
-    if (!RunOneTask()) {
-      // Queue empty: the remaining shards are running on workers.
-      MutexLock lock(group->mutex);
-      while (group->remaining != 0) group->done.Wait(group->mutex);
-      return;
-    }
-  }
+  StageFor(begin, end, body);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
+    RangeTask range;
+    bool have_range = false;
     std::function<void()> task;
+    bool have_task = false;
     {
       MutexLock lock(mutex_);
-      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
-      if (queue_.empty()) return;  // Shutting down and drained.
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      while (!shutting_down_ && queue_.empty() && ring_count_ == 0) {
+        work_available_.Wait(mutex_);
+      }
+      if (ring_count_ != 0) {
+        range = ring_[ring_head_ & (ring_.size() - 1)];
+        ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+        --ring_count_;
+        have_range = true;
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        have_task = true;
+      } else {
+        return;  // Shutting down and drained.
+      }
     }
-    task();
-    FinishTask();
+    if (have_range) {
+      range.fn(range.ctx, range.begin, range.end);
+      FinishRangeTask(range.group);
+    } else if (have_task) {
+      task();
+      FinishTask();
+    }
   }
+}
+
+size_t ResolveNumThreads(int requested) {
+  if (requested >= 1) return size_t(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : size_t(hw);
 }
 
 }  // namespace kge

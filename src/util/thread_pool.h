@@ -1,11 +1,27 @@
-// Fixed-size thread pool with a ParallelFor helper. Used to parallelize
-// ranking evaluation over candidate entities and batch gradient
-// computation. With num_threads == 1 all work runs inline on the calling
-// thread, which keeps single-core runs (and tests) deterministic.
+// Fixed-size thread pool with per-stage completion groups. Used to
+// parallelize ranking evaluation over candidate entities and the
+// pipelined trainers' stage machines. With num_threads == 1 all work
+// runs inline on the calling thread, which keeps single-core runs (and
+// tests) deterministic.
 //
-// ParallelFor may be called from inside a pool task (nested parallelism):
-// the calling thread helps drain the queue while it waits for its own
-// shards, so nesting cannot deadlock even on a single-worker pool.
+// Two scheduling surfaces:
+//
+//   * Schedule(std::function) + Wait(): the legacy global-barrier API.
+//     Wait() blocks until every function task is done. Convenient for
+//     cold paths; each call may heap-allocate the closure.
+//
+//   * StageGroup + ScheduleRange()/StageFor() + WaitStage(): per-stage
+//     completion groups. Tasks are plain (function pointer, context,
+//     range) records stored in a pre-reserved ring, so the steady state
+//     enqueues and completes without a single heap allocation, and
+//     WaitStage(group) waits for exactly that group's tasks — other
+//     stages keep flowing through the pool concurrently. This is what
+//     lets the trainers overlap sampling of batch N+1 with the
+//     score/merge/apply stages of batch N without a global barrier.
+//
+// Both Wait flavors may be called from inside a pool task (nested
+// parallelism): the calling thread helps drain the queue while it waits,
+// so nesting cannot deadlock even on a single-worker pool.
 #ifndef KGE_UTIL_THREAD_POOL_H_
 #define KGE_UTIL_THREAD_POOL_H_
 
@@ -21,6 +37,29 @@ namespace kge {
 
 class ThreadPool {
  public:
+  // Plain task shape for the allocation-free stage queue: runs
+  // fn(ctx, begin, end). `ctx` must stay valid until the task's group
+  // has been waited on.
+  using RangeFn = void (*)(void* ctx, size_t begin, size_t end);
+
+  // A per-stage completion group. Create one per pipeline stage (or on
+  // the stack for a fork-join region), schedule tasks into it, and
+  // WaitStage() for just those tasks — scheduling into other groups
+  // proceeds concurrently. A group may be reused after WaitStage()
+  // returns; it must not be destroyed with tasks pending.
+  class StageGroup {
+   public:
+    StageGroup() = default;
+    StageGroup(const StageGroup&) = delete;
+    StageGroup& operator=(const StageGroup&) = delete;
+
+   private:
+    friend class ThreadPool;
+    // Scheduled-but-unfinished tasks; guarded by the owning pool's
+    // mutex_ (the annotation cannot name another object's member).
+    size_t pending_ = 0;
+  };
+
   // Creates `num_threads` workers. 0 or 1 means "run inline".
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
@@ -31,34 +70,117 @@ class ThreadPool {
   size_t num_threads() const { return threads_.empty() ? 1 : threads_.size(); }
 
   // Schedules `task`; Wait() blocks until all scheduled tasks are done.
-  // Tasks may themselves call Schedule; Wait() covers those too.
+  // Tasks may themselves call Schedule; Wait() covers those too. Stage
+  // tasks are NOT counted by Wait() — use WaitStage for those.
   void Schedule(std::function<void()> task) KGE_EXCLUDES(mutex_);
   void Wait() KGE_EXCLUDES(mutex_);
+
+  // Enqueues fn(ctx, begin, end) into `group`. Inline pools run the task
+  // immediately. Steady-state allocation-free once the ring has grown to
+  // (or been ReserveStageTasks'd at) the high-water task count.
+  void ScheduleRange(StageGroup* group, RangeFn fn, void* ctx, size_t begin,
+                     size_t end) KGE_EXCLUDES(mutex_);
+
+  // Blocks until every task scheduled into `group` has finished. The
+  // caller helps drain the queue (any group's tasks) while waiting, so
+  // WaitStage is safe from inside a pool task.
+  void WaitStage(StageGroup* group) KGE_EXCLUDES(mutex_);
+
+  // Pre-sizes the stage-task ring so the steady state never grows it.
+  void ReserveStageTasks(size_t capacity) KGE_EXCLUDES(mutex_);
+
+  // Shards [begin, end) across the pool into `group` without waiting:
+  // the allocation-free fan-out primitive for pipeline stages. `body`
+  // (callable as body(shard_begin, shard_end)) must outlive the group's
+  // WaitStage. No std::function is formed — the body is passed by
+  // context pointer through the POD ring.
+  template <typename Body>
+  void StageFanOut(StageGroup* group, size_t begin, size_t end,
+                   const Body& body) {
+    if (begin >= end) return;
+    const size_t n = end - begin;
+    const size_t workers = num_threads();
+    RangeFn tramp = [](void* ctx, size_t b, size_t e) {
+      (*static_cast<const Body*>(ctx))(b, e);
+    };
+    void* ctx = const_cast<void*>(static_cast<const void*>(&body));
+    if (workers == 1 || n == 1) {
+      ScheduleRange(group, tramp, ctx, begin, end);
+      return;
+    }
+    // Over-shard lightly so uneven tasks balance.
+    const size_t shards = n < workers * 4 ? n : workers * 4;
+    const size_t chunk = (n + shards - 1) / shards;
+    for (size_t s = begin; s < end; s += chunk) {
+      ScheduleRange(group, tramp, ctx, s, s + chunk < end ? s + chunk : end);
+    }
+  }
+
+  // Fork-join over [begin, end): StageFanOut into a stack group and
+  // WaitStage. Unlike ParallelFor this forms no std::function, so hot
+  // per-batch callers (gradient merge, optimizer apply) stay
+  // allocation-free.
+  template <typename Body>
+  void StageFor(size_t begin, size_t end, const Body& body) {
+    if (begin >= end) return;
+    if (threads_.empty()) {
+      body(begin, end);
+      return;
+    }
+    StageGroup group;
+    StageFanOut(&group, begin, end, body);
+    WaitStage(&group);
+  }
 
   // Splits [begin, end) into contiguous shards, runs
   // `body(shard_begin, shard_end)` on the pool, and waits for completion.
   // Safe to call from inside a pool task; the caller helps run queued
-  // work while waiting.
+  // work while waiting. (Thin std::function wrapper over StageFor; cold
+  // callers only — the closure may allocate.)
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t, size_t)>& body)
       KGE_EXCLUDES(mutex_);
 
  private:
+  struct RangeTask {
+    RangeFn fn;
+    void* ctx;
+    size_t begin;
+    size_t end;
+    StageGroup* group;
+  };
+
   void WorkerLoop() KGE_EXCLUDES(mutex_);
-  // Pops and runs one queued task on the calling thread. Returns false if
-  // the queue was empty.
+  // Pops and runs one queued task (stage ring first, then the function
+  // queue) on the calling thread. Returns false if both were empty.
   bool RunOneTask() KGE_EXCLUDES(mutex_);
   void FinishTask() KGE_EXCLUDES(mutex_);
+  void FinishRangeTask(StageGroup* group) KGE_EXCLUDES(mutex_);
+  bool PopRangeTask(RangeTask* task) KGE_EXCLUDES(mutex_);
+  void PushRangeTask(const RangeTask& task) KGE_REQUIRES(mutex_);
 
   std::vector<std::thread> threads_;
   Mutex mutex_;
   CondVar work_available_;
   CondVar work_done_;
+  CondVar stage_done_;
   std::deque<std::function<void()>> queue_ KGE_GUARDED_BY(mutex_);
-  // Scheduled-but-not-finished task count (queued + running).
+  // Stage-task ring buffer (power-of-two capacity, FIFO). Grows only
+  // until the high-water in-flight task count is reached.
+  std::vector<RangeTask> ring_ KGE_GUARDED_BY(mutex_);
+  size_t ring_head_ KGE_GUARDED_BY(mutex_) = 0;
+  size_t ring_count_ KGE_GUARDED_BY(mutex_) = 0;
+  // Scheduled-but-not-finished function-task count (queued + running).
   size_t in_flight_ KGE_GUARDED_BY(mutex_) = 0;
   bool shutting_down_ KGE_GUARDED_BY(mutex_) = false;
 };
+
+// Resolves a user-facing thread-count knob: values >= 1 pass through,
+// 0 (the "auto" default) detects std::thread::hardware_concurrency()
+// (falling back to 1 when the runtime reports 0). Results never depend
+// on the resolved count — the trainers' determinism contract — so auto
+// is always safe to default.
+size_t ResolveNumThreads(int requested);
 
 }  // namespace kge
 

@@ -14,6 +14,7 @@ analyzer, asserting the exact findings/suppressions it must produce:
   nondet.cc               rand() + unordered_map         -> reported
   throwing.cc             throw path                     -> reported
   quantize_score.cc       cold quantize + hot int8 score -> silent
+  pipeline_stage.cc       timed trampoline + hot stage   -> silent
 
 Run directly or via ctest (registered in tests/CMakeLists.txt).
 """
@@ -72,7 +73,7 @@ def run_checker(paths, tmpdir, tag):
 def main():
     cxx = compiler()
     fixtures = sorted(os.listdir(FIXTURES))
-    check(len(fixtures) == 8, "all 8 fixtures present")
+    check(len(fixtures) == 9, "all 9 fixtures present")
 
     if cxx is None:
         print("  [skip] no C++ compiler found; skipping syntax checks")
@@ -150,6 +151,15 @@ def main():
         check(len(rep["findings"]) == 0, "no findings")
         check("fixture::HotQuantizedScore" in rep["roots"],
               "hot scoring root was recognized")
+
+        print("pipeline_stage: clock in trampoline OK, hot stage body clean")
+        rc, rep = run_checker([fx("pipeline_stage.cc")], tmpdir, "pipeline")
+        check(rc == 0, "exit code 0")
+        check(len(rep["findings"]) == 0, "no findings")
+        check("fixture::PipelineStageBody" in rep["roots"],
+              "stage root was recognized")
+        check("fixture::PipelineStageTrampoline" not in rep["roots"],
+              "timed trampoline stays outside the hot set")
 
         print("multi-file: helper alloc found across TU boundary")
         rc, rep = run_checker([fx("indirect_alloc.cc"), fx("clean.cc")],

@@ -1,0 +1,40 @@
+// Fixture: the pipeline-stage idiom used by the trainers. A
+// non-annotated trampoline reads the clock for stage-occupancy stats and
+// dispatches through a context pointer to an annotated stage root, which
+// only writes into buffers that were grown ahead of the steady state.
+// Expected: silent — the clock call lives outside the annotated region
+// (annotated roots may not read clocks) and the stage body allocates
+// nothing, so the trampoline must NOT be pulled into the hot set.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "util/hotpath.h"
+
+namespace fixture {
+
+struct StageCtx {
+  std::vector<float> input;
+  std::vector<float> output;  // resized before the stage is scheduled
+  double busy_seconds = 0.0;
+};
+
+KGE_HOT_NOALLOC
+void PipelineStageBody(StageCtx* ctx, size_t begin, size_t end) {
+  std::copy(ctx->input.begin() + long(begin), ctx->input.begin() + long(end),
+            ctx->output.begin() + long(begin));
+}
+
+// Timing stays in the trampoline: it calls the root, so it is a caller
+// of the hot set, not a member of it.
+void PipelineStageTrampoline(void* opaque, size_t begin, size_t end) {
+  auto* ctx = static_cast<StageCtx*>(opaque);
+  const auto start = std::chrono::steady_clock::now();
+  PipelineStageBody(ctx, begin, end);
+  ctx->busy_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+}  // namespace fixture

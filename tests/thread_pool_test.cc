@@ -94,5 +94,119 @@ TEST(ThreadPoolTest, ReusableAfterWait) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+// ---- Per-stage completion groups (the pipeline primitive) ------------------
+
+TEST(ThreadPoolTest, StageForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.StageFor(0, touched.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, StageForInlineMode) {
+  ThreadPool pool(1);
+  std::vector<int> values(50, 0);
+  pool.StageFor(0, values.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) values[i] = int(i);
+  });
+  for (size_t i = 0; i < values.size(); ++i) EXPECT_EQ(values[i], int(i));
+}
+
+TEST(ThreadPoolTest, WaitStageJoinsExactlyThatGroup) {
+  ThreadPool pool(4);
+  ThreadPool::StageGroup slow_group;
+  ThreadPool::StageGroup fast_group;
+  std::atomic<int> slow_count{0};
+  std::atomic<int> fast_count{0};
+  struct Ctx {
+    std::atomic<int>* counter;
+  } slow_ctx{&slow_count}, fast_ctx{&fast_count};
+  ThreadPool::RangeFn bump = [](void* ctx, size_t begin, size_t end) {
+    static_cast<Ctx*>(ctx)->counter->fetch_add(int(end - begin));
+  };
+  for (size_t i = 0; i < 32; ++i) {
+    pool.ScheduleRange(&slow_group, bump, &slow_ctx, i, i + 1);
+    pool.ScheduleRange(&fast_group, bump, &fast_ctx, i, i + 1);
+  }
+  pool.WaitStage(&fast_group);
+  EXPECT_EQ(fast_count.load(), 32);  // this group is complete...
+  pool.WaitStage(&slow_group);       // ...the other only after its own join
+  EXPECT_EQ(slow_count.load(), 32);
+}
+
+TEST(ThreadPoolTest, StageGroupIsReusableAfterWait) {
+  ThreadPool pool(2);
+  ThreadPool::StageGroup group;
+  std::atomic<int> counter{0};
+  ThreadPool::RangeFn bump = [](void* ctx, size_t, size_t) {
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+  };
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pool.ScheduleRange(&group, bump, &counter, 0, 1);
+    }
+    pool.WaitStage(&group);
+    EXPECT_EQ(counter.load(), (round + 1) * 8);
+  }
+}
+
+TEST(ThreadPoolTest, WaitStageWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  ThreadPool::StageGroup group;
+  pool.WaitStage(&group);  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, StageFanOutDefersUntilWaitStage) {
+  ThreadPool pool(3);
+  ThreadPool::StageGroup group;
+  std::vector<std::atomic<int>> touched(257);
+  auto body = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  };
+  pool.StageFanOut(&group, 0, touched.size(), body);
+  // The caller is free to do unrelated work here; body stays alive until
+  // the join below.
+  pool.WaitStage(&group);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, StageTasksAreInvisibleToLegacyWait) {
+  ThreadPool pool(2);
+  ThreadPool::StageGroup group;
+  std::atomic<int> counter{0};
+  ThreadPool::RangeFn bump = [](void* ctx, size_t, size_t) {
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+  };
+  pool.ScheduleRange(&group, bump, &counter, 0, 1);
+  pool.Wait();  // counts only function tasks; must not hang on the stage
+  pool.WaitStage(&group);
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, StageRingGrowsPastReservation) {
+  ThreadPool pool(2);
+  pool.ReserveStageTasks(4);
+  ThreadPool::StageGroup group;
+  std::atomic<int> counter{0};
+  ThreadPool::RangeFn bump = [](void* ctx, size_t, size_t) {
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+  };
+  for (int i = 0; i < 500; ++i) {
+    pool.ScheduleRange(&group, bump, &counter, 0, 1);
+  }
+  pool.WaitStage(&group);
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ResolveNumThreadsTest, PositivePassesThroughZeroAutoDetects) {
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ResolveNumThreads(7), 7u);
+  EXPECT_GE(ResolveNumThreads(0), 1u);   // auto: hardware_concurrency
+  EXPECT_GE(ResolveNumThreads(-3), 1u);  // negative treated as auto
+}
+
 }  // namespace
 }  // namespace kge

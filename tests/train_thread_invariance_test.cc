@@ -1,13 +1,19 @@
 // The training determinism contract: epoch losses and final parameters
-// are bit-identical for every num_threads, for both trainers. The batch
-// is carved into fixed virtual shards with seed-derived sampling streams
-// and merged in shard order, so the thread count only decides how many
-// shards run concurrently — never what they compute. CI runs this suite
-// under TSan as well, which additionally exercises the pool paths for
-// data races.
+// are bit-identical for every num_threads AND every pipeline_depth, for
+// both trainers. The batch is carved into fixed virtual shards with
+// seed-derived sampling streams and merged in shard order, so the thread
+// count only decides how many shards run concurrently, and the pipeline
+// depth only decides how far ahead the (parameter-independent) sampling
+// stage prefetches — never what either computes. The one documented
+// exception is the opt-in deterministic=false completion-order merge,
+// pinned here to loss-curve equivalence instead. CI runs this suite in
+// scalar and AVX2 builds and under TSan (which additionally exercises
+// the pool and pipeline paths for data races).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "datagen/pattern_kg_generator.h"
@@ -67,7 +73,7 @@ void ExpectBlocksBitIdentical(MultiEmbeddingModel* a,
 
 class ThreadInvarianceTest : public ::testing::TestWithParam<const char*> {};
 
-TEST_P(ThreadInvarianceTest, NegativeSamplingTrainerIsThreadCountInvariant) {
+TEST_P(ThreadInvarianceTest, NegativeSamplingTrainerIsThreadAndDepthInvariant) {
   const TinyWorkload workload = MakeTinyWorkload();
   TrainerOptions options;
   options.max_epochs = 3;
@@ -81,30 +87,37 @@ TEST_P(ThreadInvarianceTest, NegativeSamplingTrainerIsThreadCountInvariant) {
   options.grad_shard_size = 8;  // several shards even at batch 32
 
   options.num_threads = 1;
-  auto serial_model = MakeModelByFamily(GetParam(), workload);
-  Trainer serial(serial_model.get(), options);
-  const Result<TrainResult> serial_result =
-      serial.Train(workload.train, nullptr);
-  ASSERT_TRUE(serial_result.ok());
+  options.pipeline_depth = 1;
+  auto reference_model = MakeModelByFamily(GetParam(), workload);
+  Trainer reference(reference_model.get(), options);
+  const Result<TrainResult> reference_result =
+      reference.Train(workload.train, nullptr);
+  ASSERT_TRUE(reference_result.ok());
 
-  options.num_threads = 4;
-  auto parallel_model = MakeModelByFamily(GetParam(), workload);
-  Trainer parallel(parallel_model.get(), options);
-  const Result<TrainResult> parallel_result =
-      parallel.Train(workload.train, nullptr);
-  ASSERT_TRUE(parallel_result.ok());
+  for (int depth : {1, 2, 3}) {
+    for (int threads : {1, 4}) {
+      if (depth == 1 && threads == 1) continue;  // the reference itself
+      SCOPED_TRACE("pipeline_depth=" + std::to_string(depth) +
+                   " num_threads=" + std::to_string(threads));
+      options.pipeline_depth = depth;
+      options.num_threads = threads;
+      auto model = MakeModelByFamily(GetParam(), workload);
+      Trainer trainer(model.get(), options);
+      const Result<TrainResult> result = trainer.Train(workload.train, nullptr);
+      ASSERT_TRUE(result.ok());
 
-  ASSERT_EQ(serial_result->loss_history.size(),
-            parallel_result->loss_history.size());
-  for (size_t e = 0; e < serial_result->loss_history.size(); ++e) {
-    ASSERT_EQ(serial_result->loss_history[e],
-              parallel_result->loss_history[e])
-        << "epoch " << e;
+      ASSERT_EQ(reference_result->loss_history.size(),
+                result->loss_history.size());
+      for (size_t e = 0; e < reference_result->loss_history.size(); ++e) {
+        ASSERT_EQ(reference_result->loss_history[e], result->loss_history[e])
+            << "epoch " << e;
+      }
+      ExpectBlocksBitIdentical(reference_model.get(), model.get());
+    }
   }
-  ExpectBlocksBitIdentical(serial_model.get(), parallel_model.get());
 }
 
-TEST_P(ThreadInvarianceTest, OneVsAllTrainerIsThreadCountInvariant) {
+TEST_P(ThreadInvarianceTest, OneVsAllTrainerIsThreadAndDepthInvariant) {
   const TinyWorkload workload = MakeTinyWorkload();
   OneVsAllOptions options;
   options.max_epochs = 3;
@@ -115,27 +128,34 @@ TEST_P(ThreadInvarianceTest, OneVsAllTrainerIsThreadCountInvariant) {
   options.seed = 99;
 
   options.num_threads = 1;
-  auto serial_model = MakeModelByFamily(GetParam(), workload);
-  OneVsAllTrainer serial(serial_model.get(), options);
-  const Result<TrainResult> serial_result =
-      serial.Train(workload.train, nullptr);
-  ASSERT_TRUE(serial_result.ok());
+  options.pipeline_depth = 1;
+  auto reference_model = MakeModelByFamily(GetParam(), workload);
+  OneVsAllTrainer reference(reference_model.get(), options);
+  const Result<TrainResult> reference_result =
+      reference.Train(workload.train, nullptr);
+  ASSERT_TRUE(reference_result.ok());
 
-  options.num_threads = 4;
-  auto parallel_model = MakeModelByFamily(GetParam(), workload);
-  OneVsAllTrainer parallel(parallel_model.get(), options);
-  const Result<TrainResult> parallel_result =
-      parallel.Train(workload.train, nullptr);
-  ASSERT_TRUE(parallel_result.ok());
+  for (int depth : {1, 2, 3}) {
+    for (int threads : {1, 4}) {
+      if (depth == 1 && threads == 1) continue;  // the reference itself
+      SCOPED_TRACE("pipeline_depth=" + std::to_string(depth) +
+                   " num_threads=" + std::to_string(threads));
+      options.pipeline_depth = depth;
+      options.num_threads = threads;
+      auto model = MakeModelByFamily(GetParam(), workload);
+      OneVsAllTrainer trainer(model.get(), options);
+      const Result<TrainResult> result = trainer.Train(workload.train, nullptr);
+      ASSERT_TRUE(result.ok());
 
-  ASSERT_EQ(serial_result->loss_history.size(),
-            parallel_result->loss_history.size());
-  for (size_t e = 0; e < serial_result->loss_history.size(); ++e) {
-    ASSERT_EQ(serial_result->loss_history[e],
-              parallel_result->loss_history[e])
-        << "epoch " << e;
+      ASSERT_EQ(reference_result->loss_history.size(),
+                result->loss_history.size());
+      for (size_t e = 0; e < reference_result->loss_history.size(); ++e) {
+        ASSERT_EQ(reference_result->loss_history[e], result->loss_history[e])
+            << "epoch " << e;
+      }
+      ExpectBlocksBitIdentical(reference_model.get(), model.get());
+    }
   }
-  ExpectBlocksBitIdentical(serial_model.get(), parallel_model.get());
 }
 
 // The batched-scoring pipeline (one DotBatchMulti per query chunk instead
@@ -207,6 +227,79 @@ TEST(ThreadInvarianceMarginTest, MarginLossIsThreadCountInvariant) {
   ASSERT_TRUE(parallel.Train(workload.train, nullptr).ok());
 
   ExpectBlocksBitIdentical(serial_model.get(), parallel_model.get());
+}
+
+// The deterministic=false escape hatch merges shard gradients in
+// completion order, overlapped with later shards' scoring. The merge is
+// race-free (a mutex hands the accumulator from task to task), but the
+// per-row float summation ORDER depends on thread timing, so bit
+// identity is deliberately given up. Two contracts remain: with a single
+// thread there is no overlap, so results stay bit-identical; and with
+// contention the loss curve must stay numerically equivalent to the
+// deterministic run (the differences are rounding-level, not
+// semantic).
+TEST(FastMergeTest, SingleThreadFastModeStaysBitIdentical) {
+  const TinyWorkload workload = MakeTinyWorkload();
+  TrainerOptions options;
+  options.max_epochs = 3;
+  options.batch_size = 32;
+  options.num_negatives = 4;
+  options.learning_rate = 0.05;
+  options.eval_every_epochs = 1000;
+  options.seed = 99;
+  options.grad_shard_size = 8;
+  options.num_threads = 1;
+
+  options.deterministic = true;
+  auto deterministic_model = MakeModelByFamily("ComplEx", workload);
+  Trainer deterministic(deterministic_model.get(), options);
+  ASSERT_TRUE(deterministic.Train(workload.train, nullptr).ok());
+
+  options.deterministic = false;
+  auto fast_model = MakeModelByFamily("ComplEx", workload);
+  Trainer fast(fast_model.get(), options);
+  ASSERT_TRUE(fast.Train(workload.train, nullptr).ok());
+
+  ExpectBlocksBitIdentical(deterministic_model.get(), fast_model.get());
+}
+
+TEST(FastMergeTest, NonDeterministicMergeTracksTheLossCurve) {
+  const TinyWorkload workload = MakeTinyWorkload();
+  TrainerOptions options;
+  options.max_epochs = 4;
+  options.batch_size = 32;
+  options.num_negatives = 4;
+  options.learning_rate = 0.05;
+  options.l2_lambda = 1e-4;
+  options.eval_every_epochs = 1000;
+  options.seed = 99;
+  options.grad_shard_size = 8;
+  options.num_threads = 4;
+  options.pipeline_depth = 2;
+
+  options.deterministic = true;
+  auto deterministic_model = MakeModelByFamily("ComplEx", workload);
+  Trainer deterministic(deterministic_model.get(), options);
+  const Result<TrainResult> deterministic_result =
+      deterministic.Train(workload.train, nullptr);
+  ASSERT_TRUE(deterministic_result.ok());
+
+  options.deterministic = false;
+  auto fast_model = MakeModelByFamily("ComplEx", workload);
+  Trainer fast(fast_model.get(), options);
+  const Result<TrainResult> fast_result = fast.Train(workload.train, nullptr);
+  ASSERT_TRUE(fast_result.ok());
+
+  ASSERT_EQ(deterministic_result->loss_history.size(),
+            fast_result->loss_history.size());
+  for (size_t e = 0; e < deterministic_result->loss_history.size(); ++e) {
+    const double expected = deterministic_result->loss_history[e];
+    // Reordered float sums differ at rounding level; amplified through a
+    // few optimizer steps that stays far below 1% on this workload.
+    EXPECT_NEAR(fast_result->loss_history[e], expected,
+                std::abs(expected) * 1e-2 + 1e-9)
+        << "epoch " << e;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Families, ThreadInvarianceTest,

@@ -84,10 +84,22 @@ int Run(int argc, char** argv) {
                    "candidate-scoring tier for validation and test "
                    "ranking: double (exact) | float32 | int8 (quantized "
                    "scoring replica; bounded metric drift)");
-  int64_t train_threads = 1;
+  int64_t train_threads = 0;
   parser.AddInt("train-threads", &train_threads,
-                "gradient/merge/apply threads (results are identical for "
-                "every value)");
+                "sample/gradient/merge/apply threads; 0 = auto-detect "
+                "hardware concurrency (results are identical for every "
+                "value)");
+  int64_t pipeline_depth = 2;
+  parser.AddInt("pipeline-depth", &pipeline_depth,
+                "training batches in flight (1-3): depth d overlaps "
+                "negative sampling of the next d-1 batches with "
+                "score/merge/apply (results are identical for every "
+                "depth)");
+  bool fast_merge = false;
+  parser.AddBool("fast-merge", &fast_merge,
+                 "merge shard gradients in completion order, overlapped "
+                 "with scoring (deterministic=false fast mode: results "
+                 "vary at float rounding level across runs/threads)");
   parser.AddDouble("learning-rate", &learning_rate, "optimizer step size");
   parser.AddDouble("l2-lambda", &l2_lambda, "L2 regularization strength");
   parser.AddString("optimizer", &optimizer, "sgd | adagrad | adam");
@@ -186,6 +198,14 @@ int Run(int argc, char** argv) {
   options.seed = uint64_t(seed);
   options.log_every_epochs = 20;
   options.num_threads = int(train_threads);
+  options.pipeline_depth = int(pipeline_depth);
+  options.deterministic = !fast_merge;
+  const size_t resolved_train_threads = ResolveNumThreads(int(train_threads));
+  std::printf("train threads: %zu%s, pipeline depth %d%s\n",
+              resolved_train_threads,
+              train_threads == 0 ? " (auto-detected)" : "",
+              int(pipeline_depth),
+              fast_merge ? ", fast (non-deterministic) merge" : "");
   options.checkpointing.dir = checkpoint_dir;
   options.checkpointing.every_epochs = int(checkpoint_every);
   options.checkpointing.keep_last = int(keep_last);
@@ -240,7 +260,7 @@ int Run(int argc, char** argv) {
         "throughput: %.0f triples/s, %.0f examples/s "
         "(%d train threads, %.3fs/epoch)\n",
         triples_per_sec, triples_per_sec * double(1 + negatives),
-        int(train_threads), train_seconds / epochs);
+        int(resolved_train_threads), train_seconds / epochs);
   }
 
   // ---- Evaluation ------------------------------------------------------
