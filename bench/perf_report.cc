@@ -36,11 +36,19 @@
 // neon), compiler, and workload shape, so JSON files from different
 // builds are self-describing. CI runs this with --quick and validates
 // the schema with jq; full runs track kernel regressions over time.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <memory>
 #include <new>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -108,9 +116,13 @@ struct PerfConfig {
   int64_t train_epochs = 2;       // timed epochs (one warm-up on top)
   int64_t train_negatives = 4;    // negatives per positive
   int64_t drift_epochs = 30;      // training epochs before drift measurement
+  int64_t serve_entities = 8000;      // vocab for the serving bench
+  int64_t serve_queries = 2000;       // direct (no-socket) timed queries
+  int64_t serve_client_queries = 200;  // per-client queries per phase
   std::string out = std::string(KGE_REPO_ROOT) + "/BENCH_kernels.json";
   std::string train_out = std::string(KGE_REPO_ROOT) + "/BENCH_training.json";
   std::string eval_out = std::string(KGE_REPO_ROOT) + "/BENCH_eval.json";
+  std::string serve_out = std::string(KGE_REPO_ROOT) + "/BENCH_serving.json";
   bool quick = false;
 
   void Finalize() {
@@ -122,6 +134,9 @@ struct PerfConfig {
     eval_triples = 40;
     train_entities = 300;
     train_epochs = 1;
+    serve_entities = 1000;
+    serve_queries = 200;
+    serve_client_queries = 50;
   }
 };
 
@@ -921,6 +936,312 @@ std::vector<TrainingRow> BenchTraining(const PerfConfig& config) {
   return rows;
 }
 
+// ---- Serving ---------------------------------------------------------------
+// The kge_serve hot path (DESIGN.md §5g): one direct (no-socket) phase
+// timing the micro-batcher + batched kernels alone and gating its
+// steady-state allocation count, loopback client phases at several
+// connection counts for p50/p99/QPS, and an overload phase with a tiny
+// admission queue at 2x the largest client count proving load shedding
+// engages while admitted requests still meet the deadline.
+
+struct ServeClientRow {
+  int clients = 0;
+  int64_t queries = 0;  // kOk replies across all clients
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;
+};
+
+struct ServingReport {
+  int64_t entities = 0;
+  int64_t dim = 0;
+  uint32_t topk = 0;
+  int64_t direct_queries = 0;
+  double direct_ns_per_query = 0.0;
+  double direct_allocs_per_query = -1.0;
+  std::vector<ServeClientRow> client_rows;
+  int overload_clients = 0;
+  int overload_max_queue = 0;
+  uint32_t overload_deadline_ms = 0;
+  int64_t overload_queries = 0;
+  int64_t overload_ok = 0;
+  int64_t overload_shed = 0;
+  double shed_rate = 0.0;
+  double admitted_p99_ms = 0.0;
+};
+
+// Synchronous rendezvous for direct batcher submissions. The results
+// buffer is reserved once, so steady-state replies do not allocate.
+struct ServeWaiter {
+  Mutex mutex;
+  CondVar cv;
+  bool done KGE_GUARDED_BY(mutex) = false;
+  ServeStatusCode status KGE_GUARDED_BY(mutex) = ServeStatusCode::kError;
+  std::vector<ScoredEntity> results KGE_GUARDED_BY(mutex);
+
+  ServeWaiter() {
+    MutexLock lock(mutex);
+    results.reserve(kServeMaxTopK);
+  }
+
+  static void OnReply(void* ctx, const ServeReply& reply) {
+    auto* waiter = static_cast<ServeWaiter*>(ctx);
+    MutexLock lock(waiter->mutex);
+    waiter->status = reply.status;
+    waiter->results.assign(reply.results.begin(), reply.results.end());
+    waiter->done = true;
+    waiter->cv.NotifyAll();
+  }
+
+  ServeStatusCode Await() {
+    MutexLock lock(mutex);
+    while (!done) cv.Wait(mutex);
+    done = false;
+    return status;
+  }
+};
+
+double PercentileMs(std::vector<double>* sorted_in_place, double fraction) {
+  if (sorted_in_place->empty()) return 0.0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t index =
+      size_t(fraction * double(sorted_in_place->size() - 1) + 0.5);
+  return (*sorted_in_place)[std::min(index, sorted_in_place->size() - 1)];
+}
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(uint16_t(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct ServeClientTally {
+  std::vector<double> ok_latencies_ms;
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t other = 0;
+};
+
+// One synchronous loopback client: send a query, wait for the full
+// response, repeat. Latency is recorded only for kOk replies (shed
+// replies return immediately and would flatter the percentiles).
+void RunServeClient(int port, int64_t queries, uint32_t k,
+                    int64_t entities, uint64_t seed,
+                    ServeClientTally* tally) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) {
+    tally->other += queries;
+    return;
+  }
+  Rng rng(seed);
+  std::vector<uint8_t> frame(kRequestFrameBytes);
+  std::vector<uint8_t> response(MaxResponseFrameBytes(kServeMaxTopK));
+  tally->ok_latencies_ms.reserve(size_t(queries));
+  for (int64_t q = 0; q < queries; ++q) {
+    ServeRequest request;
+    request.side = QuerySide::kTail;
+    request.entity = EntityId(rng.NextBounded(uint64_t(entities)));
+    request.relation = 0;
+    request.k = k;
+    request.request_id = uint64_t(q) + 1;
+    if (EncodeServeRequest(request, frame) == 0) {
+      tally->other += queries - q;
+      break;
+    }
+    Stopwatch sw;
+    if (!WriteAll(fd, frame.data(), frame.size())) {
+      tally->other += queries - q;
+      break;
+    }
+    uint8_t head[kFrameHeaderBytes];
+    if (!ReadExact(fd, head, sizeof(head))) {
+      tally->other += queries - q;
+      break;
+    }
+    uint32_t magic = 0;
+    uint32_t body_len = 0;
+    DecodeFrameHeader(std::span<const uint8_t>(head, sizeof(head)), &magic,
+                      &body_len);
+    if (magic != kServeResponseMagic ||
+        body_len + kFrameHeaderBytes > response.size() ||
+        !ReadExact(fd, response.data() + kFrameHeaderBytes, body_len)) {
+      tally->other += queries - q;
+      break;
+    }
+    std::memcpy(response.data(), head, sizeof(head));
+    ServeResponseHeader header;
+    std::vector<ScoredEntity> results;
+    const Status decoded = DecodeServeResponseFrame(
+        std::span<const uint8_t>(response.data(),
+                                 kFrameHeaderBytes + body_len),
+        &header, &results);
+    if (!decoded.ok()) {
+      tally->other += queries - q;
+      break;
+    }
+    if (header.status == ServeStatusCode::kOk) {
+      tally->ok += 1;
+      tally->ok_latencies_ms.push_back(sw.ElapsedSeconds() * 1e3);
+    } else if (header.status == ServeStatusCode::kShed) {
+      tally->shed += 1;
+    } else {
+      tally->other += 1;
+    }
+  }
+  ::close(fd);
+}
+
+ServingReport BenchServing(const PerfConfig& config) {
+  ServingReport report;
+  report.entities = config.serve_entities;
+  report.dim = config.dim_budget;
+  report.topk = 10;
+
+  Result<std::unique_ptr<KgeModel>> model =
+      MakeModelByName("distmult", int32_t(config.serve_entities), 8,
+                      int32_t(config.dim_budget), 42);
+  KGE_CHECK_OK(model.status());
+  (*model)->PrepareForScoring(ScorePrecision::kDouble);
+  SnapshotRegistry registry;
+  {
+    auto snapshot = std::make_shared<ModelSnapshot>();
+    snapshot->model = std::move(*model);
+    registry.Publish(std::move(snapshot));
+  }
+
+  // Phase 1: direct submissions, no socket. Times the admission path,
+  // batch assembly, the batched kernel, and the top-k reduction; the
+  // steady state must not allocate (CI gates allocs_per_query == 0).
+  {
+    BatcherOptions options;
+    options.default_deadline_ms = kServeMaxDeadlineMs;
+    MicroBatcher batcher(&registry, options);
+    batcher.Start();
+    ServeWaiter waiter;
+    ServeRequest request;
+    request.side = QuerySide::kTail;
+    request.relation = 0;
+    request.k = report.topk;
+    Rng rng(7);
+    for (int64_t q = 0; q < 64; ++q) {  // warm the scratch high-water mark
+      request.entity =
+          EntityId(rng.NextBounded(uint64_t(config.serve_entities)));
+      batcher.Submit(request, &ServeWaiter::OnReply, &waiter);
+      KGE_CHECK(waiter.Await() == ServeStatusCode::kOk);
+    }
+#if KGE_COUNT_ALLOCS
+    const uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+#endif
+    Stopwatch sw;
+    for (int64_t q = 0; q < config.serve_queries; ++q) {
+      request.entity =
+          EntityId(rng.NextBounded(uint64_t(config.serve_entities)));
+      batcher.Submit(request, &ServeWaiter::OnReply, &waiter);
+      KGE_CHECK(waiter.Await() == ServeStatusCode::kOk);
+    }
+    const double seconds = sw.ElapsedSeconds();
+#if KGE_COUNT_ALLOCS
+    const uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    report.direct_allocs_per_query =
+        double(allocs) / double(config.serve_queries);
+#endif
+    report.direct_queries = config.serve_queries;
+    report.direct_ns_per_query =
+        seconds / double(config.serve_queries) * 1e9;
+    batcher.Stop();
+  }
+
+  // Phase 2: loopback clients at increasing connection counts.
+  for (const int clients : {1, 4, 16}) {
+    BatcherOptions options;
+    options.default_deadline_ms = kServeMaxDeadlineMs;
+    MicroBatcher batcher(&registry, options);
+    batcher.Start();
+    KgeServer server(&batcher, ServerOptions{});
+    KGE_CHECK_OK(server.Start());
+    std::vector<ServeClientTally> tallies(static_cast<size_t>(clients));
+    std::vector<std::thread> threads;
+    Stopwatch sw;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back(RunServeClient, server.port(),
+                           config.serve_client_queries, report.topk,
+                           config.serve_entities, uint64_t(c) + 1,
+                           &tallies[size_t(c)]);
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double seconds = sw.ElapsedSeconds();
+    server.Stop();
+
+    ServeClientRow row;
+    row.clients = clients;
+    std::vector<double> latencies;
+    for (const ServeClientTally& tally : tallies) {
+      row.queries += tally.ok;
+      latencies.insert(latencies.end(), tally.ok_latencies_ms.begin(),
+                       tally.ok_latencies_ms.end());
+    }
+    row.p50_ms = PercentileMs(&latencies, 0.50);
+    row.p99_ms = PercentileMs(&latencies, 0.99);
+    row.qps = seconds > 0.0 ? double(row.queries) / seconds : 0.0;
+    report.client_rows.push_back(row);
+  }
+
+  // Phase 3: overload. 2x the largest client count against a tiny
+  // admission queue: shedding must engage (bounded queue, bounded
+  // latency) and every admitted request must still meet the deadline.
+  {
+    report.overload_clients = 32;
+    report.overload_max_queue = 8;
+    report.overload_deadline_ms = 10000;
+    BatcherOptions options;
+    options.max_queue = report.overload_max_queue;
+    options.default_deadline_ms = report.overload_deadline_ms;
+    MicroBatcher batcher(&registry, options);
+    batcher.Start();
+    KgeServer server(&batcher, ServerOptions{});
+    KGE_CHECK_OK(server.Start());
+    std::vector<ServeClientTally> tallies(
+        static_cast<size_t>(report.overload_clients));
+    std::vector<std::thread> threads;
+    const int64_t queries = std::max<int64_t>(config.serve_client_queries / 2,
+                                              10);
+    for (int c = 0; c < report.overload_clients; ++c) {
+      threads.emplace_back(RunServeClient, server.port(), queries,
+                           report.topk, config.serve_entities,
+                           uint64_t(c) + 101, &tallies[size_t(c)]);
+    }
+    for (std::thread& thread : threads) thread.join();
+    server.Stop();
+
+    std::vector<double> latencies;
+    for (const ServeClientTally& tally : tallies) {
+      report.overload_ok += tally.ok;
+      report.overload_shed += tally.shed;
+      report.overload_queries += tally.ok + tally.shed + tally.other;
+      latencies.insert(latencies.end(), tally.ok_latencies_ms.begin(),
+                       tally.ok_latencies_ms.end());
+    }
+    report.shed_rate =
+        report.overload_queries > 0
+            ? double(report.overload_shed) / double(report.overload_queries)
+            : 0.0;
+    report.admitted_p99_ms = PercentileMs(&latencies, 0.99);
+  }
+  return report;
+}
+
 // ---- JSON ------------------------------------------------------------------
 
 std::string JsonNumber(double v) {
@@ -1117,6 +1438,55 @@ std::string BuildEvalJson(const PerfConfig& config,
   return out.str();
 }
 
+std::string BuildServingJson(const PerfConfig& config,
+                             const ServingReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  AppendMeta(out, config);
+  out << "  \"serving\": {\n";
+  out << "    \"model\": \"DistMult\",\n";
+  out << "    \"entities\": " << report.entities << ",\n";
+  out << "    \"dim_budget\": " << report.dim << ",\n";
+  out << "    \"topk\": " << report.topk << ",\n";
+  out << "    \"direct\": {\n";
+  out << "      \"queries\": " << report.direct_queries << ",\n";
+  out << "      \"ns_per_query\": " << JsonNumber(report.direct_ns_per_query)
+      << ",\n";
+  out << "      \"allocs_per_query\": ";
+  if (report.direct_allocs_per_query < 0.0) {
+    out << "null";
+  } else {
+    out << JsonNumber(report.direct_allocs_per_query);
+  }
+  out << "\n    },\n";
+  out << "    \"clients\": [\n";
+  for (size_t i = 0; i < report.client_rows.size(); ++i) {
+    const ServeClientRow& r = report.client_rows[i];
+    out << "      {\"clients\": " << r.clients
+        << ", \"queries\": " << r.queries
+        << ", \"p50_ms\": " << JsonNumber(r.p50_ms)
+        << ", \"p99_ms\": " << JsonNumber(r.p99_ms)
+        << ", \"qps\": " << JsonNumber(r.qps) << "}"
+        << (i + 1 < report.client_rows.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n";
+  out << "    \"overload\": {\n";
+  out << "      \"clients\": " << report.overload_clients << ",\n";
+  out << "      \"max_queue\": " << report.overload_max_queue << ",\n";
+  out << "      \"deadline_ms\": " << report.overload_deadline_ms << ",\n";
+  out << "      \"queries\": " << report.overload_queries << ",\n";
+  out << "      \"ok\": " << report.overload_ok << ",\n";
+  out << "      \"shed\": " << report.overload_shed << ",\n";
+  out << "      \"shed_rate\": " << JsonNumber(report.shed_rate) << ",\n";
+  out << "      \"admitted_p99_ms\": "
+      << JsonNumber(report.admitted_p99_ms) << "\n";
+  out << "    }\n";
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
 int Run(int argc, char** argv) {
   PerfConfig config;
   FlagParser parser(
@@ -1142,11 +1512,19 @@ int Run(int argc, char** argv) {
                 "negatives per positive in the training bench");
   parser.AddInt("drift_epochs", &config.drift_epochs,
                 "training epochs before the precision-drift measurement");
+  parser.AddInt("serve_entities", &config.serve_entities,
+                "vocabulary size for the serving bench");
+  parser.AddInt("serve_queries", &config.serve_queries,
+                "direct (no-socket) serving queries to time");
+  parser.AddInt("serve_client_queries", &config.serve_client_queries,
+                "queries per loopback client per phase");
   parser.AddString("out", &config.out, "output JSON path");
   parser.AddString("train_out", &config.train_out,
                    "training-section output JSON path");
   parser.AddString("eval_out", &config.eval_out,
                    "eval-batching output JSON path");
+  parser.AddString("serve_out", &config.serve_out,
+                   "serving-section output JSON path");
   parser.AddBool("quick", &config.quick, "tiny CI smoke preset");
   const Status status = parser.Parse(argc, argv);
   if (status.code() == StatusCode::kNotFound) return 0;
@@ -1227,6 +1605,25 @@ int Run(int argc, char** argv) {
                   << ", " << row.speedup_vs_1t << "x vs 1t)";
   }
 
+  KGE_LOG(Info) << "benchmarking serving (kge_serve hot path)...";
+  const ServingReport serving = BenchServing(config);
+  KGE_LOG(Info) << "  direct: " << serving.direct_ns_per_query
+                << " ns/query ("
+                << (serving.direct_allocs_per_query < 0.0
+                        ? std::string("allocs not measured")
+                        : std::to_string(serving.direct_allocs_per_query) +
+                              " allocs/query")
+                << ")";
+  for (const ServeClientRow& row : serving.client_rows) {
+    KGE_LOG(Info) << "  " << row.clients << " client(s): p50="
+                  << row.p50_ms << " ms, p99=" << row.p99_ms << " ms, "
+                  << row.qps << " qps";
+  }
+  KGE_LOG(Info) << "  overload (" << serving.overload_clients
+                << " clients, queue=" << serving.overload_max_queue
+                << "): shed_rate=" << serving.shed_rate
+                << ", admitted p99=" << serving.admitted_p99_ms << " ms";
+
   const std::string json = BuildJson(config, kernels, ranking, eval);
   std::ofstream file(config.out);
   if (!file) {
@@ -1254,6 +1651,15 @@ int Run(int argc, char** argv) {
   }
   eval_file << eval_json;
   KGE_LOG(Info) << "wrote " << config.eval_out;
+
+  const std::string serving_json = BuildServingJson(config, serving);
+  std::ofstream serving_file(config.serve_out);
+  if (!serving_file) {
+    KGE_LOG(Error) << "cannot write " << config.serve_out;
+    return 1;
+  }
+  serving_file << serving_json;
+  KGE_LOG(Info) << "wrote " << config.serve_out;
   return 0;
 }
 

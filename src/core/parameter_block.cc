@@ -18,24 +18,34 @@ ParameterBlock::ParameterBlock(std::string name, int64_t num_rows,
 std::span<float> ParameterBlock::Row(int64_t row) {
   KGE_DCHECK(row >= 0 && row < num_rows_);
   BumpGeneration();
-  return std::span<float>(data_.data() + size_t(row) * size_t(row_dim_),
-                          size_t(row_dim_));
+  return std::span<float>(
+      mutable_storage() + size_t(row) * size_t(row_dim_), size_t(row_dim_));
 }
 
 std::span<const float> ParameterBlock::Row(int64_t row) const {
   KGE_DCHECK(row >= 0 && row < num_rows_);
-  return std::span<const float>(data_.data() + size_t(row) * size_t(row_dim_),
-                                size_t(row_dim_));
+  return std::span<const float>(
+      storage() + size_t(row) * size_t(row_dim_), size_t(row_dim_));
+}
+
+void ParameterBlock::BorrowStorage(float* backing, int64_t count) {
+  KGE_CHECK(backing != nullptr);
+  KGE_CHECK(count == size());
+  view_ = backing;
+  // Release the internally owned copy — with a view installed it can
+  // never be read again, and for embedding tables it is the dominant
+  // memory cost.
+  data_.clear();
+  data_.shrink_to_fit();
+  BumpGeneration();
 }
 
 void ParameterBlock::InitUniform(Rng* rng, float lo, float hi) {
-  BumpGeneration();
-  for (float& x : data_) x = rng->NextUniform(lo, hi);
+  for (float& x : Flat()) x = rng->NextUniform(lo, hi);
 }
 
 void ParameterBlock::InitGaussian(Rng* rng, float stddev) {
-  BumpGeneration();
-  for (float& x : data_) x = static_cast<float>(rng->NextGaussian()) * stddev;
+  for (float& x : Flat()) x = static_cast<float>(rng->NextGaussian()) * stddev;
 }
 
 void ParameterBlock::InitXavierUniform(Rng* rng, int64_t fan) {
@@ -46,7 +56,7 @@ void ParameterBlock::InitXavierUniform(Rng* rng, int64_t fan) {
 
 void ParameterBlock::Zero() {
   BumpGeneration();
-  std::memset(data_.data(), 0, data_.size() * 4);
+  std::memset(mutable_storage(), 0, size_t(size()) * 4);
 }
 
 namespace {

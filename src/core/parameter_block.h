@@ -30,9 +30,21 @@ class ParameterBlock {
   std::span<const float> Row(int64_t row) const;
   std::span<float> Flat() {
     BumpGeneration();
-    return data_;
+    return std::span<float>(mutable_storage(), size_t(size()));
   }
-  std::span<const float> Flat() const { return data_; }
+  std::span<const float> Flat() const {
+    return std::span<const float>(storage(), size_t(size()));
+  }
+
+  // Re-points the block at caller-owned storage of exactly size()
+  // floats, releasing the internally owned array. The serving layer
+  // uses this to back blocks directly by an mmap'ed checkpoint so
+  // startup does not copy the embedding tables. The storage must stay
+  // valid and writable (MAP_PRIVATE is fine) for the block's lifetime.
+  // Bumps the generation stamp: any derived cache must rebuild.
+  void BorrowStorage(float* backing, int64_t count);
+
+  bool borrows_storage() const { return view_ != nullptr; }
 
   // Initializers (deterministic given the Rng state).
   void InitUniform(Rng* rng, float lo, float hi);
@@ -61,10 +73,18 @@ class ParameterBlock {
     generation_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  float* mutable_storage() { return view_ != nullptr ? view_ : data_.data(); }
+  const float* storage() const {
+    return view_ != nullptr ? view_ : data_.data();
+  }
+
   std::string name_;
   int64_t num_rows_;
   int64_t row_dim_;
   std::vector<float> data_;
+  // When non-null, the block reads/writes this caller-owned storage
+  // instead of data_ (see BorrowStorage).
+  float* view_ = nullptr;
   std::atomic<uint64_t> generation_{1};
 };
 

@@ -1,6 +1,5 @@
 #include "eval/topk.h"
 
-#include <algorithm>
 #include <vector>
 
 #include "util/check.h"
@@ -11,25 +10,14 @@ namespace {
 std::vector<ScoredEntity> SelectTopK(std::span<const float> scores,
                                      std::span<const EntityId> excluded,
                                      int k) {
-  std::vector<ScoredEntity> candidates;
-  candidates.reserve(scores.size());
-  size_t cursor = 0;
-  for (size_t e = 0; e < scores.size(); ++e) {
-    while (cursor < excluded.size() && size_t(excluded[cursor]) < e) ++cursor;
-    if (cursor < excluded.size() && size_t(excluded[cursor]) == e) continue;
-    candidates.push_back({EntityId(e), scores[e]});
+  TopKHeap<float, EntityId> heap(k);
+  heap.PushScoresExcluding(scores, excluded);
+  std::vector<ScoredEntity> result;
+  result.reserve(size_t(heap.size()));
+  for (const auto& entry : heap.TakeSorted()) {
+    result.push_back({entry.entity, entry.score});
   }
-  const size_t keep = std::min<size_t>(size_t(std::max(k, 0)),
-                                       candidates.size());
-  std::partial_sort(candidates.begin(),
-                    candidates.begin() + std::ptrdiff_t(keep),
-                    candidates.end(),
-                    [](const ScoredEntity& a, const ScoredEntity& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.entity < b.entity;
-                    });
-  candidates.resize(keep);
-  return candidates;
+  return result;
 }
 
 }  // namespace

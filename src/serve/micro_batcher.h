@@ -1,0 +1,222 @@
+// Deadline-aware micro-batcher — the serving layer's throughput and
+// robustness core.
+//
+// Concurrent in-flight queries are coalesced by (relation, side) and
+// fed through the batched full-vocabulary kernels
+// (ScoreAllTailsBatch/ScoreAllHeadsBatch -> simd::DotBatchMulti), which
+// stream each entity row once per batch instead of once per query.
+// Batch composition is deadline-driven: each dispatch picks the group
+// of the earliest-deadline request, so a query never waits behind an
+// unrelated full batch.
+//
+// Robustness contract:
+//   * Admission control: the queue is a fixed pool of max_queue slots.
+//     A Submit with no free slot completes immediately with kShed —
+//     overload degrades into explicit rejections, never into unbounded
+//     queueing.
+//   * Deadlines: every request carries one (or inherits the default).
+//     Requests that expire before a batch picks them up complete with
+//     kDeadlineExceeded instead of occupying kernel time.
+//   * Graceful degradation: sustained queue pressure (an EWMA of slot
+//     occupancy) downshifts scoring to the float32 and then int8
+//     replica tiers when the model supports them and options allow,
+//     trading a little score fidelity for 2-4x candidate bandwidth.
+//     Replies report the tier that actually scored them.
+//   * Zero steady-state allocation: slots, queues, score matrices, and
+//     the top-k heap are preallocated or high-water grown; the
+//     assemble/score/reduce roots are KGE_HOT_NOALLOC and gated by
+//     scripts/hotpath_check.py.
+//
+// Completion is a callback (plain function pointer + context, so the
+// submit path stays allocation-free). It fires exactly once per Submit,
+// on a worker thread — or inline on the submitting thread for requests
+// rejected at admission. The results span is valid only during the
+// callback; copy what you need.
+#ifndef KGE_SERVE_MICRO_BATCHER_H_
+#define KGE_SERVE_MICRO_BATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/serve_protocol.h"
+#include "serve/snapshot.h"
+#include "util/hotpath.h"
+#include "util/thread_annotations.h"
+
+namespace kge {
+
+struct BatcherOptions {
+  // Admission-queue slots; Submit sheds beyond this.
+  int max_queue = 256;
+  // Max queries coalesced into one kernel dispatch.
+  int max_batch = 32;
+  int num_workers = 1;
+  // Server-side cap on per-request k (kge_serve --topk); requests
+  // asking for more are clamped, never rejected.
+  uint32_t max_topk = kServeMaxTopK;
+  // Applied when a request carries deadline_ms == 0.
+  uint32_t default_deadline_ms = 50;
+  // Lowest tier pressure may downshift to: kDouble disables
+  // degradation, kFloat32 allows one step, kInt8 the full ladder.
+  ScorePrecision degrade_floor = ScorePrecision::kDouble;
+  // Occupancy EWMA thresholds (percent of max_queue in use) that arm
+  // the float32 / int8 tiers.
+  int degrade_float32_pct = 50;
+  int degrade_int8_pct = 85;
+};
+
+struct ServeReply {
+  ServeStatusCode status = ServeStatusCode::kError;
+  ScorePrecision tier = ScorePrecision::kDouble;
+  // Snapshot that produced the scores; 0 for non-kOk replies.
+  uint64_t snapshot_version = 0;
+  // Valid only for the duration of the callback.
+  std::span<const ScoredEntity> results;
+};
+
+using ServeDoneFn = void (*)(void* ctx, const ServeReply& reply);
+
+struct BatcherStatsView {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t expired = 0;
+  uint64_t invalid = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t shutdown_replies = 0;
+  uint64_t batches = 0;
+  uint64_t batched_queries = 0;
+  uint64_t batches_float32 = 0;
+  uint64_t batches_int8 = 0;
+};
+
+class MicroBatcher {
+ public:
+  // The registry must outlive the batcher. Queries score against
+  // whatever snapshot is current when their batch dispatches.
+  MicroBatcher(const SnapshotRegistry* registry, BatcherOptions options);
+  ~MicroBatcher();
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  // Spawns the worker threads. Requests submitted before Start() queue
+  // up (until max_queue) and dispatch once workers run — tests use this
+  // to compose batches deterministically.
+  void Start();
+
+  // Drains: queued requests complete with kShuttingDown, workers join.
+  // Safe to call twice; the destructor calls it. After Stop, Submit
+  // completes everything with kShuttingDown inline.
+  void Stop();
+
+  // Never blocks. Admission failures (queue full, shutting down)
+  // complete inline on this thread; admitted requests complete later on
+  // a worker thread. `done` must be non-null and may be invoked
+  // concurrently with other callbacks.
+  void Submit(const ServeRequest& request, ServeDoneFn done, void* done_ctx);
+
+  BatcherStatsView stats() const;
+  // Current occupancy-EWMA percentage driving tier selection.
+  int ewma_queue_pct() const;
+
+ private:
+  struct Slot {
+    ServeRequest request;
+    int64_t deadline_ns = 0;
+    ServeDoneFn done = nullptr;
+    void* done_ctx = nullptr;
+  };
+
+  // One dispatch's worth of work, extracted under the lock.
+  struct Assembled {
+    std::vector<int> batch;    // slot ids, FIFO within the group
+    int batch_count = 0;
+    std::vector<int> expired;  // slot ids past deadline (any group)
+    int expired_count = 0;
+    RelationId relation = 0;
+    QuerySide side = QuerySide::kTail;
+  };
+
+  // Per-worker preallocated storage: the thread plus every buffer the
+  // score/reduce path writes, so workers never contend on scratch.
+  struct WorkerState {
+    std::thread thread;
+    Assembled assembled;
+    std::vector<EntityId> contexts;
+    std::vector<uint8_t> valid;
+    std::vector<float> scores;
+    std::vector<ScoredEntity> results;
+    TopKHeap<float, EntityId> heap;
+  };
+
+  void WorkerLoop(WorkerState* ws);
+
+  // Sweeps expired requests into ws->expired, then extracts up to
+  // max_batch pending requests sharing the earliest-deadline request's
+  // (relation, side). FIFO order within the group is preserved, so
+  // batch composition is deterministic given arrival order.
+  KGE_HOT_NOALLOC
+  void AssembleLocked(int64_t now_ns, Assembled* out) KGE_REQUIRES(mutex_);
+
+  // Moves every pending request into out->expired (shutdown drain).
+  void DrainAllLocked(Assembled* out) KGE_REQUIRES(mutex_);
+
+  // Updates the occupancy EWMA and picks the tier it arms.
+  ScorePrecision DecideTierLocked() KGE_REQUIRES(mutex_);
+
+  // Folds the batch contexts, range-checks each query against the
+  // snapshot (ws->valid), and runs one batched kernel dispatch at
+  // `tier` (falling back to kDouble when the model lacks the replica).
+  // Returns the tier actually used.
+  KGE_HOT_NOALLOC
+  ScorePrecision ScoreAssembled(const ModelSnapshot& snapshot,
+                                ScorePrecision tier, WorkerState* ws);
+
+  // Top-k reduction of one query's score row into ws->results.
+  KGE_HOT_NOALLOC
+  std::span<const ScoredEntity> ReduceQuery(std::span<const float> row,
+                                            uint32_t k, WorkerState* ws);
+
+  void RespondEmpty(const Slot& slot, ServeStatusCode status);
+  void ReleaseSlots(const int* ids, int count);
+
+  const SnapshotRegistry* registry_;
+  const BatcherOptions options_;
+
+  mutable Mutex mutex_;
+  CondVar cv_;
+  bool stop_ KGE_GUARDED_BY(mutex_) = true;  // flips false in ctor body
+  // Slot pool. The `slots_` array itself is handoff-owned: a slot id in
+  // free_/pending_ is owned by whoever pops it under the lock, and its
+  // fields are then read/written lock-free by that single owner — which
+  // is why slots_ carries no GUARDED_BY.
+  std::vector<Slot> slots_;
+  std::vector<int> free_ KGE_GUARDED_BY(mutex_);
+  int free_count_ KGE_GUARDED_BY(mutex_) = 0;
+  std::vector<int> pending_ KGE_GUARDED_BY(mutex_);
+  int pending_count_ KGE_GUARDED_BY(mutex_) = 0;
+  int ewma_pct_ KGE_GUARDED_BY(mutex_) = 0;
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> invalid_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> shutdown_replies_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_queries_{0};
+  std::atomic<uint64_t> batches_float32_{0};
+  std::atomic<uint64_t> batches_int8_{0};
+};
+
+}  // namespace kge
+
+#endif  // KGE_SERVE_MICRO_BATCHER_H_

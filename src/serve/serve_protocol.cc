@@ -1,0 +1,177 @@
+#include "serve/serve_protocol.h"
+
+#include <cstring>
+
+namespace kge {
+namespace {
+
+// Little-endian host (static_asserted in io.cc), so raw memcpy of the
+// integer representations is the wire encoding.
+template <typename T>
+void PutScalar(std::span<uint8_t> out, size_t offset, T value) {
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T GetScalar(std::span<const uint8_t> in, size_t offset) {
+  T value;
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+const char* ServeStatusCodeName(ServeStatusCode code) {
+  switch (code) {
+    case ServeStatusCode::kOk:
+      return "ok";
+    case ServeStatusCode::kShed:
+      return "shed";
+    case ServeStatusCode::kInvalid:
+      return "invalid";
+    case ServeStatusCode::kError:
+      return "error";
+    case ServeStatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeStatusCode::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+size_t EncodeServeRequest(const ServeRequest& request,
+                          std::span<uint8_t> out) {
+  if (out.size() < kRequestFrameBytes) return 0;
+  PutScalar<uint32_t>(out, 0, kServeRequestMagic);
+  PutScalar<uint32_t>(out, 4, uint32_t(kRequestBodyBytes));
+  PutScalar<uint8_t>(out, 8, kServeProtocolVersion);
+  PutScalar<uint8_t>(out, 9, uint8_t(request.side));
+  PutScalar<uint16_t>(out, 10, 0);
+  PutScalar<int32_t>(out, 12, request.entity);
+  PutScalar<int32_t>(out, 16, request.relation);
+  PutScalar<uint32_t>(out, 20, request.k);
+  PutScalar<uint32_t>(out, 24, request.deadline_ms);
+  PutScalar<uint64_t>(out, 28, request.request_id);
+  return kRequestFrameBytes;
+}
+
+Status DecodeServeRequestFrame(std::span<const uint8_t> frame,
+                               ServeRequest* out) {
+  if (frame.size() != kRequestFrameBytes) {
+    return Status::InvalidArgument("request frame size mismatch");
+  }
+  if (GetScalar<uint32_t>(frame, 0) != kServeRequestMagic) {
+    return Status::InvalidArgument("bad request magic");
+  }
+  if (GetScalar<uint32_t>(frame, 4) != uint32_t(kRequestBodyBytes)) {
+    return Status::InvalidArgument("bad request body length");
+  }
+  if (GetScalar<uint8_t>(frame, 8) != kServeProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version");
+  }
+  const uint8_t side = GetScalar<uint8_t>(frame, 9);
+  if (side > uint8_t(QuerySide::kHead)) {
+    return Status::InvalidArgument("bad query side");
+  }
+  if (GetScalar<uint16_t>(frame, 10) != 0) {
+    return Status::InvalidArgument("nonzero reserved bits");
+  }
+  const uint32_t k = GetScalar<uint32_t>(frame, 20);
+  if (k > kServeMaxTopK) return Status::InvalidArgument("k out of range");
+  const uint32_t deadline_ms = GetScalar<uint32_t>(frame, 24);
+  if (deadline_ms > kServeMaxDeadlineMs) {
+    return Status::InvalidArgument("deadline out of range");
+  }
+  out->side = QuerySide(side);
+  out->entity = GetScalar<int32_t>(frame, 12);
+  out->relation = GetScalar<int32_t>(frame, 16);
+  out->k = k;
+  out->deadline_ms = deadline_ms;
+  out->request_id = GetScalar<uint64_t>(frame, 28);
+  return Status::Ok();
+}
+
+size_t EncodeServeResponse(const ServeResponseHeader& header,
+                           std::span<const ScoredEntity> results,
+                           std::span<uint8_t> out) {
+  if (results.size() != header.count) return 0;
+  const size_t frame_bytes = MaxResponseFrameBytes(header.count);
+  if (out.size() < frame_bytes) return 0;
+  PutScalar<uint32_t>(out, 0, kServeResponseMagic);
+  PutScalar<uint32_t>(
+      out, 4,
+      uint32_t(kResponseBodyBaseBytes + results.size() * kResponseEntryBytes));
+  PutScalar<uint8_t>(out, 8, kServeProtocolVersion);
+  PutScalar<uint8_t>(out, 9, uint8_t(header.status));
+  PutScalar<uint8_t>(out, 10, uint8_t(header.tier));
+  PutScalar<uint8_t>(out, 11, uint8_t(header.side));
+  PutScalar<uint32_t>(out, 12, header.count);
+  PutScalar<uint64_t>(out, 16, header.request_id);
+  PutScalar<uint64_t>(out, 24, header.snapshot_version);
+  size_t offset = kFrameHeaderBytes + kResponseBodyBaseBytes;
+  for (const ScoredEntity& entry : results) {
+    PutScalar<int32_t>(out, offset, entry.entity);
+    PutScalar<float>(out, offset + 4, entry.score);
+    offset += kResponseEntryBytes;
+  }
+  return frame_bytes;
+}
+
+Status DecodeServeResponseFrame(std::span<const uint8_t> frame,
+                                ServeResponseHeader* header,
+                                std::vector<ScoredEntity>* results) {
+  if (frame.size() < kFrameHeaderBytes + kResponseBodyBaseBytes) {
+    return Status::InvalidArgument("response frame too short");
+  }
+  if (GetScalar<uint32_t>(frame, 0) != kServeResponseMagic) {
+    return Status::InvalidArgument("bad response magic");
+  }
+  const uint32_t body_len = GetScalar<uint32_t>(frame, 4);
+  if (frame.size() != kFrameHeaderBytes + size_t(body_len)) {
+    return Status::InvalidArgument("response body length mismatch");
+  }
+  if (GetScalar<uint8_t>(frame, 8) != kServeProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version");
+  }
+  const uint8_t status = GetScalar<uint8_t>(frame, 9);
+  if (status > uint8_t(ServeStatusCode::kShuttingDown)) {
+    return Status::InvalidArgument("bad response status");
+  }
+  const uint8_t tier = GetScalar<uint8_t>(frame, 10);
+  if (tier > uint8_t(ScorePrecision::kInt8)) {
+    return Status::InvalidArgument("bad response tier");
+  }
+  const uint8_t side = GetScalar<uint8_t>(frame, 11);
+  if (side > uint8_t(QuerySide::kHead)) {
+    return Status::InvalidArgument("bad response side");
+  }
+  const uint32_t count = GetScalar<uint32_t>(frame, 12);
+  if (count > kServeMaxTopK ||
+      size_t(body_len) !=
+          kResponseBodyBaseBytes + size_t(count) * kResponseEntryBytes) {
+    return Status::InvalidArgument("response count/length mismatch");
+  }
+  header->status = ServeStatusCode(status);
+  header->tier = ScorePrecision(tier);
+  header->side = QuerySide(side);
+  header->count = count;
+  header->request_id = GetScalar<uint64_t>(frame, 16);
+  header->snapshot_version = GetScalar<uint64_t>(frame, 24);
+  size_t offset = kFrameHeaderBytes + kResponseBodyBaseBytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    ScoredEntity entry;
+    entry.entity = GetScalar<int32_t>(frame, offset);
+    entry.score = GetScalar<float>(frame, offset + 4);
+    results->push_back(entry);
+    offset += kResponseEntryBytes;
+  }
+  return Status::Ok();
+}
+
+void DecodeFrameHeader(std::span<const uint8_t> header, uint32_t* magic,
+                       uint32_t* body_len) {
+  *magic = GetScalar<uint32_t>(header, 0);
+  *body_len = GetScalar<uint32_t>(header, 4);
+}
+
+}  // namespace kge

@@ -1,0 +1,295 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace kge {
+namespace {
+
+// Completion rendezvous between the connection thread (waits) and the
+// batcher worker (fills + signals). Reused across requests; results
+// capacity is reserved once so the steady-state callback does not
+// allocate.
+struct PendingReply {
+  Mutex mutex;
+  CondVar cv;
+  bool done KGE_GUARDED_BY(mutex) = false;
+  ServeStatusCode status KGE_GUARDED_BY(mutex) = ServeStatusCode::kError;
+  ScorePrecision tier KGE_GUARDED_BY(mutex) = ScorePrecision::kDouble;
+  uint64_t snapshot_version KGE_GUARDED_BY(mutex) = 0;
+  std::vector<ScoredEntity> results KGE_GUARDED_BY(mutex);
+
+  void Reset() {
+    MutexLock lock(mutex);
+    done = false;
+    results.clear();
+  }
+};
+
+void OnBatcherReply(void* ctx, const ServeReply& reply) {
+  auto* pending = static_cast<PendingReply*>(ctx);
+  MutexLock lock(pending->mutex);
+  pending->status = reply.status;
+  pending->tier = reply.tier;
+  pending->snapshot_version = reply.snapshot_version;
+  pending->results.assign(reply.results.begin(), reply.results.end());
+  pending->done = true;
+  pending->cv.NotifyAll();
+}
+
+// Best-effort empty response (e.g. INVALID for a malformed frame).
+bool SendEmptyResponse(int fd, std::span<uint8_t> buffer,
+                       ServeStatusCode status, QuerySide side,
+                       uint64_t request_id) {
+  ServeResponseHeader header;
+  header.status = status;
+  header.side = side;
+  header.request_id = request_id;
+  const size_t encoded =
+      EncodeServeResponse(header, std::span<const ScoredEntity>(), buffer);
+  if (encoded == 0) return false;
+  return WriteAll(fd, buffer.data(), encoded);
+}
+
+}  // namespace
+
+bool ReadExact(int fd, void* buffer, size_t count) {
+  uint8_t* cursor = static_cast<uint8_t*>(buffer);
+  size_t remaining = count;
+  while (remaining > 0) {
+    const ssize_t got = ::recv(fd, cursor, remaining, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;
+    cursor += got;
+    remaining -= size_t(got);
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const void* buffer, size_t count) {
+  const uint8_t* cursor = static_cast<const uint8_t*>(buffer);
+  size_t remaining = count;
+  while (remaining > 0) {
+    const ssize_t sent = ::send(fd, cursor, remaining, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    cursor += sent;
+    remaining -= size_t(sent);
+  }
+  return true;
+}
+
+KgeServer::KgeServer(MicroBatcher* batcher, ServerOptions options)
+    : batcher_(batcher), options_(options) {}
+
+KgeServer::~KgeServer() { Stop(); }
+
+Status KgeServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(uint16_t(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind() failed");
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen() failed");
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("getsockname() failed");
+  }
+  port_ = int(ntohs(bound.sin_port));
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void KgeServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_relaxed)) {
+    // A second Stop still waits for the first teardown's threads if the
+    // first caller has not finished joining yet; the joins below are
+    // guarded by joinable()/reap bookkeeping.
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Drain the batcher so connection threads blocked on a completion
+  // callback always get one (kShuttingDown), then unblock their reads.
+  batcher_->Stop();
+  {
+    MutexLock lock(mutex_);
+    for (auto& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  ReapConnections(/*all=*/true);
+}
+
+void KgeServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    ReapConnections(/*all=*/false);
+    size_t live = 0;
+    {
+      MutexLock lock(mutex_);
+      live = connections_.size();
+    }
+    if (live >= size_t(options_.max_connections)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+    MutexLock lock(mutex_);
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void KgeServer::ConnectionLoop(Connection* conn) {
+  std::vector<uint8_t> in_buf(kRequestFrameBytes);
+  std::vector<uint8_t> out_buf(MaxResponseFrameBytes(kServeMaxTopK));
+  PendingReply pending;
+  {
+    MutexLock lock(pending.mutex);
+    pending.results.reserve(kServeMaxTopK);
+  }
+  while (true) {
+    if (!ReadExact(conn->fd, in_buf.data(), kFrameHeaderBytes)) break;
+    uint32_t magic = 0;
+    uint32_t body_len = 0;
+    DecodeFrameHeader(std::span<const uint8_t>(in_buf.data(),
+                                               kFrameHeaderBytes),
+                      &magic, &body_len);
+    if (magic != kServeRequestMagic || body_len != kRequestBodyBytes) {
+      // Never trust a hostile length: answer INVALID from the fixed
+      // buffer and drop the connection — the frame boundary is gone.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendEmptyResponse(conn->fd, out_buf, ServeStatusCode::kInvalid,
+                        QuerySide::kTail, 0);
+      break;
+    }
+    if (!ReadExact(conn->fd, in_buf.data() + kFrameHeaderBytes,
+                   kRequestBodyBytes)) {
+      break;
+    }
+    ServeRequest request;
+    const Status decoded = DecodeServeRequestFrame(
+        std::span<const uint8_t>(in_buf.data(), kRequestFrameBytes),
+        &request);
+    if (!decoded.ok()) {
+      // Frame boundary intact (fixed body length): report and keep the
+      // connection. Echo the request id from its fixed offset.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t echo_id = 0;
+      std::memcpy(&echo_id, in_buf.data() + kRequestFrameBytes - 8, 8);
+      if (!SendEmptyResponse(conn->fd, out_buf, ServeStatusCode::kInvalid,
+                             QuerySide::kTail, echo_id)) {
+        break;
+      }
+      continue;
+    }
+    pending.Reset();
+    batcher_->Submit(request, &OnBatcherReply, &pending);
+    ServeResponseHeader header;
+    {
+      MutexLock lock(pending.mutex);
+      while (!pending.done) pending.cv.Wait(pending.mutex);
+      header.status = pending.status;
+      header.tier = pending.tier;
+      header.snapshot_version = pending.snapshot_version;
+      header.count = uint32_t(pending.results.size());
+      header.side = request.side;
+      header.request_id = request.request_id;
+      if (!KGE_FAILPOINT("serve.respond.write").ok()) break;
+      const size_t encoded = EncodeServeResponse(
+          header,
+          std::span<const ScoredEntity>(pending.results.data(),
+                                        pending.results.size()),
+          out_buf);
+      if (encoded == 0 || !WriteAll(conn->fd, out_buf.data(), encoded)) {
+        break;
+      }
+    }
+  }
+  // Signal EOF to the peer immediately; the fd itself is closed by the
+  // reaper (accept loop or Stop), which also owns the join.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void KgeServer::ReapConnections(bool all) {
+  std::vector<std::unique_ptr<Connection>> to_join;
+  {
+    MutexLock lock(mutex_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if (all || (*it)->finished.load(std::memory_order_acquire)) {
+        to_join.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : to_join) {
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+}
+
+KgeServer::StatsView KgeServer::stats() const {
+  StatsView view;
+  view.accepted = accepted_.load(std::memory_order_relaxed);
+  view.rejected = rejected_.load(std::memory_order_relaxed);
+  view.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return view;
+}
+
+}  // namespace kge

@@ -1,0 +1,102 @@
+// Socket front-end for the serving layer: a loopback TCP listener
+// speaking the length-prefixed protocol from serve_protocol.h, one
+// thread per connection, one outstanding request per connection.
+// Requests are handed to the MicroBatcher; the connection thread blocks
+// on the completion callback and writes the response frame.
+//
+// Robustness:
+//   * Hostile frames never crash or balloon memory: the server reads at
+//     most kRequestFrameBytes into a fixed buffer, validates the header
+//     before reading the body, and closes the connection whenever the
+//     frame boundary becomes untrustworthy (after a best-effort INVALID
+//     response). Lengths from the wire are never used to size a buffer.
+//   * Stop() never wedges: the listener is shut down, the batcher is
+//     drained (queued requests complete with kShuttingDown), every
+//     connection socket is shut down, and all threads are joined.
+//   * The response-write path carries the "serve.respond.write"
+//     failpoint so the crash/corruption matrix can prove a mid-response
+//     death leaves no torn server state behind.
+#ifndef KGE_SERVE_SERVER_H_
+#define KGE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/micro_batcher.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace kge {
+
+// Reads exactly `count` bytes; false on EOF or error. Retries EINTR.
+bool ReadExact(int fd, void* buffer, size_t count);
+// Writes all `count` bytes (MSG_NOSIGNAL); false on error.
+bool WriteAll(int fd, const void* buffer, size_t count);
+
+struct ServerOptions {
+  // 0 = pick an ephemeral port; see port() after Start(). The listener
+  // binds loopback only.
+  int port = 0;
+  // Connections beyond this are accepted and immediately closed.
+  int max_connections = 64;
+};
+
+class KgeServer {
+ public:
+  // The batcher must outlive the server. Stop() drains it (MicroBatcher
+  // ::Stop is idempotent) so blocked connections always complete.
+  KgeServer(MicroBatcher* batcher, ServerOptions options);
+  ~KgeServer();
+  KgeServer(const KgeServer&) = delete;
+  KgeServer& operator=(const KgeServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // Bound port; valid after a successful Start().
+  int port() const { return port_; }
+
+  struct StatsView {
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    uint64_t protocol_errors = 0;
+  };
+  StatsView stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+  // Joins and closes connections whose thread has finished (all of
+  // them when `all` is set — Stop()'s path, after shutting the sockets
+  // down).
+  void ReapConnections(bool all);
+
+  MicroBatcher* batcher_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  Mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      KGE_GUARDED_BY(mutex_);
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace kge
+
+#endif  // KGE_SERVE_SERVER_H_

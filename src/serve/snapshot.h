@@ -1,0 +1,155 @@
+// Model snapshot lifecycle for the serving layer.
+//
+// A ModelSnapshot bundles a scoring-ready model with the mmap'ed
+// checkpoint backing its parameter blocks. SnapshotRegistry publishes
+// snapshots RCU-style: readers Acquire() a shared_ptr and score against
+// it for the duration of one batch, a writer Publish()es a fully
+// constructed replacement, and the old snapshot (plus its mapping) is
+// freed when the last in-flight batch drops its reference — queries
+// never block on a swap and never observe a half-swapped model.
+//
+// CheckpointWatcher is the hot-swap driver: a thread polls the
+// training-side `LATEST` pointer, CRC-verifies any new target
+// (VerifyCheckpoint) before building a snapshot from it, and on any
+// failure renames the bad file to `<name>.quarantine` and keeps serving
+// the last good snapshot. A corrupt checkpoint is therefore (a) never
+// scored from and (b) taken out of the rotation so the next poll does
+// not retry it forever.
+#ifndef KGE_SERVE_SNAPSHOT_H_
+#define KGE_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scoring_replica.h"
+#include "models/kge_model.h"
+#include "serve/mmap_checkpoint.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace kge {
+
+struct ModelSnapshot {
+  // Declared before `model` so the model (whose blocks may borrow the
+  // mapping's storage) is destroyed first.
+  std::unique_ptr<MappedCheckpoint> mapping;
+  std::unique_ptr<KgeModel> model;
+  std::string source_path;
+  // Monotone publish stamp assigned by SnapshotRegistry::Publish;
+  // reported in responses so clients can tell which model answered.
+  uint64_t version = 0;
+};
+
+// Constructs a fresh model via `factory` and loads `path` into it
+// through the mmap loader, then rebuilds the scoring replicas for
+// `prepare_tiers` (skipping tiers the model does not support) so the
+// snapshot is immediately usable from concurrent scoring threads.
+using ModelFactory = std::function<Result<std::unique_ptr<KgeModel>>()>;
+Result<std::shared_ptr<ModelSnapshot>> LoadServingSnapshot(
+    const std::string& path, const ModelFactory& factory,
+    const std::vector<ScorePrecision>& prepare_tiers);
+
+class SnapshotRegistry {
+ public:
+  // Current snapshot, or null before the first Publish. The returned
+  // reference keeps the snapshot (and its mapping) alive; hold it for
+  // one batch, not longer.
+  std::shared_ptr<const ModelSnapshot> Acquire() const;
+
+  // Atomically replaces the current snapshot and stamps
+  // `snapshot->version` with the next publish counter (1, 2, ...).
+  // In-flight readers finish on the snapshot they acquired.
+  void Publish(std::shared_ptr<ModelSnapshot> snapshot);
+
+  // Version of the current snapshot; 0 when none is published.
+  uint64_t current_version() const;
+
+ private:
+  mutable Mutex mutex_;
+  std::shared_ptr<const ModelSnapshot> current_ KGE_GUARDED_BY(mutex_);
+  uint64_t publish_counter_ KGE_GUARDED_BY(mutex_) = 0;
+};
+
+class CheckpointWatcher {
+ public:
+  struct Options {
+    // Directory holding ckpt_<epoch>.kge2 files and the LATEST pointer.
+    std::string dir;
+    int poll_ms = 200;
+    // Precision tiers to PrepareForScoring on every new snapshot (the
+    // degradation ladder the batcher may downshift to).
+    std::vector<ScorePrecision> prepare_tiers;
+  };
+
+  CheckpointWatcher(SnapshotRegistry* registry, ModelFactory factory,
+                    Options options);
+  ~CheckpointWatcher();
+  CheckpointWatcher(const CheckpointWatcher&) = delete;
+  CheckpointWatcher& operator=(const CheckpointWatcher&) = delete;
+
+  // Startup load: adopt the LATEST target if it verifies; otherwise
+  // quarantine it and fall back to the newest ckpt_*.kge2 that passes
+  // VerifyCheckpoint. NotFound when the directory has no usable
+  // checkpoint. This is how a restart after a crash resumes from the
+  // last CRC-valid checkpoint even when LATEST was the casualty.
+  Status LoadInitial();
+
+  // Adopts one explicit checkpoint file (no LATEST indirection) — the
+  // --checkpoint startup path. No quarantine on failure.
+  Status AdoptPath(const std::string& path);
+
+  // Starts/stops the polling thread. Stop() is prompt (the poll wait is
+  // interruptible) and idempotent; the destructor calls it.
+  void Start();
+  void Stop();
+
+  // One poll step: re-resolve LATEST and swap/quarantine as needed.
+  // Called by the polling thread; public so tests can drive the watcher
+  // deterministically without timing dependence. Must not race Start().
+  void PollOnce();
+
+  struct StatsView {
+    uint64_t polls = 0;
+    uint64_t swaps = 0;
+    uint64_t quarantines = 0;
+    uint64_t failed_loads = 0;
+  };
+  StatsView stats() const;
+
+ private:
+  // Resolves the LATEST pointer to a full path; empty when missing.
+  std::string ResolveLatestTarget() const;
+  Status TryAdopt(const std::string& path);
+  // Renames `path` out of the checkpoint rotation; true on success.
+  bool QuarantineFile(const std::string& path);
+
+  SnapshotRegistry* registry_;
+  ModelFactory factory_;
+  Options options_;
+
+  // Touched only from the owner's startup path and the poll thread.
+  std::string active_path_;
+  std::string last_failed_path_;
+
+  std::atomic<uint64_t> polls_{0};
+  std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> quarantines_{0};
+  std::atomic<uint64_t> failed_loads_{0};
+
+  Mutex mutex_;
+  bool stop_ KGE_GUARDED_BY(mutex_) = false;
+  CondVar cv_;
+  std::thread thread_;
+};
+
+// Newest ckpt_<epoch>.kge2 under `dir` that passes VerifyCheckpoint.
+// NotFound when nothing qualifies.
+Result<std::string> FindNewestValidCheckpoint(const std::string& dir);
+
+}  // namespace kge
+
+#endif  // KGE_SERVE_SNAPSHOT_H_

@@ -150,10 +150,14 @@ Status Evaluate(const char* site) {
 }
 
 std::vector<std::string> KnownSites() {
+  // Sites prefixed "serve." fire only in the serving layer
+  // (src/serve/); the training-side crash matrix skips them.
   return {
       "io.writer.close",     "io.writer.rename", "ckpt.save.begin",
       "ckpt.save.latest",    "ckpt.save.retention", "ckpt.load.begin",
       "train.epoch.end",     "train.epoch.after_ckpt",
+      "serve.load.map",      "serve.load.verify",
+      "serve.swap.publish",  "serve.respond.write",
   };
 }
 

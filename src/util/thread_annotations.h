@@ -17,6 +17,7 @@
 #ifndef KGE_UTIL_THREAD_ANNOTATIONS_H_
 #define KGE_UTIL_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -104,6 +105,16 @@ class CondVar {
   // Atomically releases `mu`, blocks, and re-acquires `mu` before
   // returning. Spurious wakeups are possible, as with std::condition_variable.
   void Wait(Mutex& mu) KGE_REQUIRES(mu) { cv_.wait(mu); }
+
+  // Wait with a relative timeout. Returns false if the timeout elapsed
+  // without a notification (the mutex is re-acquired either way). Used
+  // by pollers that must both wake promptly on shutdown and tick on a
+  // schedule (the serve-layer LATEST watcher).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      KGE_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -40,9 +40,10 @@ TEST_F(FailpointTest, KnownSitesIsNonEmptyAndStable) {
   // The crash-safety matrix in checkpoint_resume_test.cc iterates this
   // list; the sites it reasons about must exist.
   const std::vector<std::string> expected = {
-      "io.writer.close",  "io.writer.rename",    "ckpt.save.begin",
-      "ckpt.save.latest", "ckpt.save.retention", "ckpt.load.begin",
-      "train.epoch.end",  "train.epoch.after_ckpt"};
+      "io.writer.close",    "io.writer.rename",  "ckpt.save.begin",
+      "ckpt.save.latest",   "ckpt.save.retention", "ckpt.load.begin",
+      "train.epoch.end",    "train.epoch.after_ckpt", "serve.load.map",
+      "serve.load.verify",  "serve.swap.publish", "serve.respond.write"};
   EXPECT_EQ(sites, expected);
 }
 

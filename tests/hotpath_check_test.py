@@ -15,6 +15,8 @@ analyzer, asserting the exact findings/suppressions it must produce:
   throwing.cc             throw path                     -> reported
   quantize_score.cc       cold quantize + hot int8 score -> silent
   pipeline_stage.cc       timed trampoline + hot stage   -> silent
+  serve_batch.cc          cold assembler + hot batch
+                          score/top-k reduce             -> silent
 
 Run directly or via ctest (registered in tests/CMakeLists.txt).
 """
@@ -73,7 +75,7 @@ def run_checker(paths, tmpdir, tag):
 def main():
     cxx = compiler()
     fixtures = sorted(os.listdir(FIXTURES))
-    check(len(fixtures) == 9, "all 9 fixtures present")
+    check(len(fixtures) == 10, "all 10 fixtures present")
 
     if cxx is None:
         print("  [skip] no C++ compiler found; skipping syntax checks")
@@ -160,6 +162,15 @@ def main():
               "stage root was recognized")
         check("fixture::PipelineStageTrampoline" not in rep["roots"],
               "timed trampoline stays outside the hot set")
+
+        print("serve_batch: alloc in assembler OK, hot batch root clean")
+        rc, rep = run_checker([fx("serve_batch.cc")], tmpdir, "serve")
+        check(rc == 0, "exit code 0")
+        check(len(rep["findings"]) == 0, "no findings")
+        check("fixture::ServeBatchScoreAndReduce" in rep["roots"],
+              "batch score/reduce root was recognized")
+        check("fixture::AssembleAndDispatch" not in rep["roots"],
+              "allocating assembler stays outside the hot set")
 
         print("multi-file: helper alloc found across TU boundary")
         rc, rep = run_checker([fx("indirect_alloc.cc"), fx("clean.cc")],

@@ -1,0 +1,188 @@
+// Hot-swap consistency: a storm of concurrent queries racing an
+// RCU-style snapshot swap must each be answered entirely from exactly
+// one snapshot — the results always match the snapshot_version the
+// reply reports, and no reply mixes old and new embeddings. Run under
+// TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "eval/topk.h"
+#include "models/model_factory.h"
+#include "serve/micro_batcher.h"
+#include "serve/snapshot.h"
+#include "util/thread_annotations.h"
+
+namespace kge {
+namespace {
+
+constexpr int32_t kEntities = 32;
+constexpr int32_t kRelations = 2;
+constexpr int32_t kBudget = 16;
+constexpr int kTopK = 5;
+constexpr int kClientThreads = 4;
+constexpr int kQueriesPerClient = 50;
+
+std::shared_ptr<ModelSnapshot> MakeSnapshot(uint64_t seed) {
+  auto model = MakeModelByName("distmult", kEntities, kRelations, kBudget,
+                               seed);
+  EXPECT_TRUE(model.ok());
+  (*model)->PrepareForScoring(ScorePrecision::kDouble);
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->model = std::move(*model);
+  return snapshot;
+}
+
+struct Waiter {
+  Mutex mutex;
+  CondVar cv;
+  bool done KGE_GUARDED_BY(mutex) = false;
+  ServeStatusCode status KGE_GUARDED_BY(mutex) = ServeStatusCode::kError;
+  uint64_t snapshot_version KGE_GUARDED_BY(mutex) = 0;
+  std::vector<ScoredEntity> results KGE_GUARDED_BY(mutex);
+
+  static void OnReply(void* ctx, const ServeReply& reply) {
+    auto* waiter = static_cast<Waiter*>(ctx);
+    MutexLock lock(waiter->mutex);
+    waiter->status = reply.status;
+    waiter->snapshot_version = reply.snapshot_version;
+    waiter->results.assign(reply.results.begin(), reply.results.end());
+    waiter->done = true;
+    waiter->cv.NotifyAll();
+  }
+
+  void Await() {
+    MutexLock lock(mutex);
+    while (!done) cv.Wait(mutex);
+  }
+};
+
+TEST(ServeHotSwapTest, StormAcrossSwapSeesExactlyOneSnapshotPerReply) {
+  auto snapshot_a = MakeSnapshot(111);
+  auto snapshot_b = MakeSnapshot(222);
+
+  // Expected top-k per (entity, relation) for each snapshot, computed
+  // offline before any concurrency starts.
+  TopKOptions topk_options;
+  topk_options.k = kTopK;
+  std::vector<std::vector<ScoredEntity>> expected_a;
+  std::vector<std::vector<ScoredEntity>> expected_b;
+  for (EntityId entity = 0; entity < kEntities; ++entity) {
+    expected_a.push_back(
+        PredictTails(*snapshot_a->model, entity, 0, topk_options));
+    expected_b.push_back(
+        PredictTails(*snapshot_b->model, entity, 0, topk_options));
+  }
+
+  SnapshotRegistry registry;
+  registry.Publish(snapshot_a);  // version 1
+
+  BatcherOptions options;
+  options.max_queue = 512;
+  options.num_workers = 2;
+  options.default_deadline_ms = kServeMaxDeadlineMs;
+  MicroBatcher batcher(&registry, options);
+  batcher.Start();
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> ok_replies{0};
+  std::atomic<uint64_t> versions_seen{0};  // bitmask of versions
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        ServeRequest request;
+        request.side = QuerySide::kTail;
+        request.entity = EntityId((c * kQueriesPerClient + q) % kEntities);
+        request.relation = 0;
+        request.k = kTopK;
+        Waiter waiter;
+        batcher.Submit(request, &Waiter::OnReply, &waiter);
+        waiter.Await();
+        MutexLock lock(waiter.mutex);
+        if (waiter.status != ServeStatusCode::kOk) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        ok_replies.fetch_add(1);
+        versions_seen.fetch_or(1ull << waiter.snapshot_version);
+        const std::vector<ScoredEntity>& expected =
+            waiter.snapshot_version == 1
+                ? expected_a[size_t(request.entity)]
+                : expected_b[size_t(request.entity)];
+        bool matches = waiter.results.size() == expected.size() &&
+                       (waiter.snapshot_version == 1 ||
+                        waiter.snapshot_version == 2);
+        if (matches) {
+          for (size_t i = 0; i < expected.size(); ++i) {
+            if (waiter.results[i].entity != expected[i].entity ||
+                waiter.results[i].score != expected[i].score) {
+              matches = false;
+              break;
+            }
+          }
+        }
+        if (!matches) mismatches.fetch_add(1);
+      }
+    });
+  }
+
+  // Swap mid-storm.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  registry.Publish(snapshot_b);  // version 2
+
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(ok_replies.load(), kClientThreads * kQueriesPerClient);
+  // Only real snapshot versions may ever appear in a reply.
+  EXPECT_EQ(versions_seen.load() & ~uint64_t(0b110), 0u);
+
+  // A query issued after the swap must be answered by the new snapshot.
+  ServeRequest request;
+  request.entity = 1;
+  request.relation = 0;
+  request.k = kTopK;
+  Waiter post_swap;
+  batcher.Submit(request, &Waiter::OnReply, &post_swap);
+  post_swap.Await();
+  {
+    MutexLock lock(post_swap.mutex);
+    ASSERT_EQ(post_swap.status, ServeStatusCode::kOk);
+    EXPECT_EQ(post_swap.snapshot_version, 2u);
+    ASSERT_EQ(post_swap.results.size(), expected_b[1].size());
+    for (size_t i = 0; i < expected_b[1].size(); ++i) {
+      EXPECT_EQ(post_swap.results[i].entity, expected_b[1][i].entity);
+      EXPECT_EQ(post_swap.results[i].score, expected_b[1][i].score);
+    }
+  }
+  batcher.Stop();
+}
+
+// The registry's RCU property in isolation: a reader that acquired the
+// old snapshot can keep scoring on it after the swap; its data is
+// untouched until the reference drops.
+TEST(ServeHotSwapTest, InFlightReaderSurvivesSwap) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(7));
+  const auto held = registry.Acquire();
+  const std::vector<ScoredEntity> before =
+      PredictTails(*held->model, 3, 0, TopKOptions{});
+
+  registry.Publish(MakeSnapshot(8));
+  const std::vector<ScoredEntity> after =
+      PredictTails(*held->model, 3, 0, TopKOptions{});
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].entity, after[i].entity);
+    EXPECT_EQ(before[i].score, after[i].score);
+  }
+  EXPECT_EQ(registry.Acquire()->version, 2u);
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,208 @@
+// Wire-protocol robustness: round trips, truncation at every length,
+// and bit flips through every field of the request and response frames
+// must produce a clean Status — never a crash and never an allocation
+// sized from hostile bytes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "serve/serve_protocol.h"
+
+namespace kge {
+namespace {
+
+ServeRequest MakeRequest() {
+  ServeRequest request;
+  request.side = QuerySide::kHead;
+  request.entity = 1234;
+  request.relation = 7;
+  request.k = 25;
+  request.deadline_ms = 80;
+  request.request_id = 0xDEADBEEF12345678ull;
+  return request;
+}
+
+std::vector<uint8_t> EncodeValidRequest() {
+  std::vector<uint8_t> frame(kRequestFrameBytes);
+  EXPECT_EQ(EncodeServeRequest(MakeRequest(), frame), kRequestFrameBytes);
+  return frame;
+}
+
+TEST(ServeProtocolTest, RequestRoundTrip) {
+  const std::vector<uint8_t> frame = EncodeValidRequest();
+  ServeRequest decoded;
+  ASSERT_TRUE(DecodeServeRequestFrame(frame, &decoded).ok());
+  const ServeRequest original = MakeRequest();
+  EXPECT_EQ(decoded.side, original.side);
+  EXPECT_EQ(decoded.entity, original.entity);
+  EXPECT_EQ(decoded.relation, original.relation);
+  EXPECT_EQ(decoded.k, original.k);
+  EXPECT_EQ(decoded.deadline_ms, original.deadline_ms);
+  EXPECT_EQ(decoded.request_id, original.request_id);
+}
+
+TEST(ServeProtocolTest, RequestEncodeRejectsSmallBuffer) {
+  std::vector<uint8_t> tiny(kRequestFrameBytes - 1);
+  EXPECT_EQ(EncodeServeRequest(MakeRequest(), tiny), 0u);
+}
+
+TEST(ServeProtocolTest, RequestTruncationAtEveryLength) {
+  const std::vector<uint8_t> frame = EncodeValidRequest();
+  for (size_t len = 0; len < frame.size(); ++len) {
+    ServeRequest decoded;
+    const Status status = DecodeServeRequestFrame(
+        std::span<const uint8_t>(frame.data(), len), &decoded);
+    EXPECT_FALSE(status.ok()) << "accepted truncated frame of " << len;
+  }
+}
+
+// Flip every bit of a valid request frame. The decoder must return
+// (either Ok for benign payload bits, or a clean error) and any
+// accepted frame must satisfy the documented bounds.
+TEST(ServeProtocolTest, RequestBitFlipSweep) {
+  const std::vector<uint8_t> pristine = EncodeValidRequest();
+  for (size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> frame = pristine;
+      frame[byte] = uint8_t(frame[byte] ^ (1u << bit));
+      ServeRequest decoded;
+      const Status status = DecodeServeRequestFrame(frame, &decoded);
+      if (byte < 12) {
+        // Magic, body length, version, side (valid values are only
+        // 0/1 and the pristine frame uses 1), and reserved bits: any
+        // flip in these must be rejected — except side bit 0, which
+        // toggles head<->tail, a legal frame.
+        const bool side_toggle = byte == 9 && bit == 0;
+        EXPECT_EQ(status.ok(), side_toggle)
+            << "byte " << byte << " bit " << bit;
+      }
+      if (status.ok()) {
+        EXPECT_LE(decoded.k, kServeMaxTopK);
+        EXPECT_LE(decoded.deadline_ms, kServeMaxDeadlineMs);
+        EXPECT_LE(uint8_t(decoded.side), uint8_t(QuerySide::kHead));
+      }
+    }
+  }
+}
+
+TEST(ServeProtocolTest, RequestRejectsOutOfRangeKAndDeadline) {
+  std::vector<uint8_t> frame = EncodeValidRequest();
+  const uint32_t big_k = kServeMaxTopK + 1;
+  std::memcpy(frame.data() + 20, &big_k, 4);
+  ServeRequest decoded;
+  EXPECT_FALSE(DecodeServeRequestFrame(frame, &decoded).ok());
+
+  frame = EncodeValidRequest();
+  const uint32_t big_deadline = kServeMaxDeadlineMs + 1;
+  std::memcpy(frame.data() + 24, &big_deadline, 4);
+  EXPECT_FALSE(DecodeServeRequestFrame(frame, &decoded).ok());
+}
+
+std::vector<uint8_t> EncodeValidResponse(uint32_t count) {
+  ServeResponseHeader header;
+  header.status = ServeStatusCode::kOk;
+  header.tier = ScorePrecision::kFloat32;
+  header.side = QuerySide::kTail;
+  header.count = count;
+  header.request_id = 99;
+  header.snapshot_version = 3;
+  std::vector<ScoredEntity> results;
+  for (uint32_t i = 0; i < count; ++i) {
+    results.push_back({EntityId(i * 10), 1.0f / float(i + 1)});
+  }
+  std::vector<uint8_t> frame(MaxResponseFrameBytes(count));
+  EXPECT_EQ(EncodeServeResponse(header, results, frame), frame.size());
+  return frame;
+}
+
+TEST(ServeProtocolTest, ResponseRoundTrip) {
+  const std::vector<uint8_t> frame = EncodeValidResponse(5);
+  ServeResponseHeader header;
+  std::vector<ScoredEntity> results;
+  ASSERT_TRUE(DecodeServeResponseFrame(frame, &header, &results).ok());
+  EXPECT_EQ(header.status, ServeStatusCode::kOk);
+  EXPECT_EQ(header.tier, ScorePrecision::kFloat32);
+  EXPECT_EQ(header.count, 5u);
+  EXPECT_EQ(header.request_id, 99u);
+  EXPECT_EQ(header.snapshot_version, 3u);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_EQ(results[2].entity, 20);
+  EXPECT_FLOAT_EQ(results[2].score, 1.0f / 3.0f);
+}
+
+TEST(ServeProtocolTest, ResponseEncodeRejectsMismatchedCount) {
+  ServeResponseHeader header;
+  header.count = 3;
+  std::vector<ScoredEntity> results(2);
+  std::vector<uint8_t> frame(MaxResponseFrameBytes(3));
+  EXPECT_EQ(EncodeServeResponse(header, results, frame), 0u);
+  std::vector<uint8_t> tiny(MaxResponseFrameBytes(2) - 1);
+  header.count = 2;
+  EXPECT_EQ(EncodeServeResponse(header, results, tiny), 0u);
+}
+
+TEST(ServeProtocolTest, ResponseTruncationAtEveryLength) {
+  const std::vector<uint8_t> frame = EncodeValidResponse(4);
+  for (size_t len = 0; len < frame.size(); ++len) {
+    ServeResponseHeader header;
+    std::vector<ScoredEntity> results;
+    const Status status = DecodeServeResponseFrame(
+        std::span<const uint8_t>(frame.data(), len), &header, &results);
+    EXPECT_FALSE(status.ok()) << "accepted truncated response of " << len;
+  }
+}
+
+// A hostile count field must never size an allocation: the decoder
+// rejects any count inconsistent with the actual frame length or above
+// kServeMaxTopK before touching the entries.
+TEST(ServeProtocolTest, ResponseRejectsHostileCount) {
+  std::vector<uint8_t> frame = EncodeValidResponse(2);
+  const uint32_t hostile = 0x40000000;
+  std::memcpy(frame.data() + 12, &hostile, 4);
+  ServeResponseHeader header;
+  std::vector<ScoredEntity> results;
+  EXPECT_FALSE(DecodeServeResponseFrame(frame, &header, &results).ok());
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ServeProtocolTest, ResponseBitFlipSweepOverHeader) {
+  const std::vector<uint8_t> pristine = EncodeValidResponse(3);
+  const size_t header_bytes = kFrameHeaderBytes + kResponseBodyBaseBytes;
+  for (size_t byte = 0; byte < header_bytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> frame = pristine;
+      frame[byte] = uint8_t(frame[byte] ^ (1u << bit));
+      ServeResponseHeader header;
+      std::vector<ScoredEntity> results;
+      const Status status =
+          DecodeServeResponseFrame(frame, &header, &results);
+      if (status.ok()) {
+        EXPECT_LE(header.count, kServeMaxTopK);
+        EXPECT_EQ(results.size(), size_t(header.count));
+      }
+    }
+  }
+}
+
+TEST(ServeProtocolTest, FrameHeaderDecode) {
+  const std::vector<uint8_t> frame = EncodeValidRequest();
+  uint32_t magic = 0;
+  uint32_t body_len = 0;
+  DecodeFrameHeader(std::span<const uint8_t>(frame.data(), kFrameHeaderBytes),
+                    &magic, &body_len);
+  EXPECT_EQ(magic, kServeRequestMagic);
+  EXPECT_EQ(body_len, uint32_t(kRequestBodyBytes));
+}
+
+TEST(ServeProtocolTest, StatusCodeNames) {
+  EXPECT_STREQ(ServeStatusCodeName(ServeStatusCode::kOk), "ok");
+  EXPECT_STREQ(ServeStatusCodeName(ServeStatusCode::kShed), "shed");
+  EXPECT_STREQ(ServeStatusCodeName(ServeStatusCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(ServeStatusCodeName(ServeStatusCode::kShuttingDown),
+               "shutting_down");
+}
+
+}  // namespace
+}  // namespace kge

@@ -1,0 +1,315 @@
+// Serving snapshot lifecycle: the mmap checkpoint loader must agree
+// bit-for-bit with the streaming loader, reject corruption, and the
+// watcher must hot-swap good checkpoints and quarantine bad ones while
+// the registry keeps serving the last good snapshot.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "models/checkpoint.h"
+#include "models/model_factory.h"
+#include "optim/optimizer.h"
+#include "serve/mmap_checkpoint.h"
+#include "serve/snapshot.h"
+#include "train/train_checkpoint.h"
+#include "util/io.h"
+
+namespace kge {
+namespace {
+
+constexpr int32_t kEntities = 12;
+constexpr int32_t kRelations = 3;
+constexpr int32_t kBudget = 8;
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  ::mkdir(dir.c_str(), 0755);
+  // TempDir persists across runs; scrub every file this suite creates.
+  std::remove((dir + "/LATEST").c_str());
+  for (int i = 0; i <= 10; ++i) {
+    const std::string base = dir + "/ckpt_" + std::to_string(i) + ".kge2";
+    std::remove(base.c_str());
+    std::remove((base + ".quarantine").c_str());
+  }
+  return dir;
+}
+
+Result<std::unique_ptr<KgeModel>> MakeFreshModel(uint64_t seed) {
+  return MakeModelByName("distmult", kEntities, kRelations, kBudget, seed);
+}
+
+ModelFactory FactoryWithSeed(uint64_t seed) {
+  return [seed] { return MakeFreshModel(seed); };
+}
+
+std::string SaveCheckpointWithSeed(const std::string& path, uint64_t seed) {
+  auto model = MakeFreshModel(seed);
+  EXPECT_TRUE(model.ok());
+  EXPECT_TRUE(SaveModelCheckpoint(**model, path).ok());
+  return path;
+}
+
+void ExpectModelsEqual(const KgeModel& a, const KgeModel& b) {
+  const auto blocks_a = a.Blocks();
+  const auto blocks_b = b.Blocks();
+  ASSERT_EQ(blocks_a.size(), blocks_b.size());
+  for (size_t i = 0; i < blocks_a.size(); ++i) {
+    const std::span<const float> flat_a = blocks_a[i]->Flat();
+    const std::span<const float> flat_b = blocks_b[i]->Flat();
+    ASSERT_EQ(flat_a.size(), flat_b.size());
+    for (size_t j = 0; j < flat_a.size(); ++j) {
+      ASSERT_EQ(flat_a[j], flat_b[j])
+          << "block " << i << " element " << j;
+    }
+  }
+}
+
+TEST(MappedCheckpointTest, MatchesStreamingLoaderBitForBit) {
+  const std::string path =
+      SaveCheckpointWithSeed(testing::TempDir() + "/mmap_eq.kge2", 7);
+
+  auto streamed = MakeFreshModel(99);
+  ASSERT_TRUE(LoadModelCheckpoint(streamed->get(), path).ok());
+
+  auto mapped_model = MakeFreshModel(99);
+  Result<std::unique_ptr<MappedCheckpoint>> mapping =
+      MappedCheckpoint::Open(path);
+  ASSERT_TRUE(mapping.ok());
+  ASSERT_TRUE((*mapping)->LoadInto(mapped_model->get()).ok());
+
+  ExpectModelsEqual(**streamed, **mapped_model);
+  const int total = (*mapping)->borrowed_blocks() + (*mapping)->copied_blocks();
+  EXPECT_EQ(size_t(total), (*mapped_model)->Blocks().size());
+  std::remove(path.c_str());
+}
+
+TEST(MappedCheckpointTest, LoadsTrainingStateCheckpoints) {
+  const std::string path = testing::TempDir() + "/mmap_train.kge2";
+  auto model = MakeFreshModel(3);
+  auto optimizer = MakeOptimizer("adam", (*model)->Blocks(), 1e-3);
+  ASSERT_TRUE(optimizer.ok());
+  TrainingState state;
+  state.trainer_kind = "negative_sampling";
+  state.seed = 11;
+  state.epoch = 2;
+  ASSERT_TRUE(SaveTrainingCheckpoint(**model, **optimizer, state, path).ok());
+
+  auto serving = MakeFreshModel(55);
+  Result<std::unique_ptr<MappedCheckpoint>> mapping =
+      MappedCheckpoint::Open(path);
+  ASSERT_TRUE(mapping.ok());
+  ASSERT_TRUE((*mapping)->LoadInto(serving->get()).ok());
+  ExpectModelsEqual(**model, **serving);
+  std::remove(path.c_str());
+}
+
+TEST(MappedCheckpointTest, RejectsCorruptionAnywhere) {
+  const std::string path =
+      SaveCheckpointWithSeed(testing::TempDir() + "/mmap_corrupt.kge2", 5);
+  Result<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+
+  // Flip one byte at a spread of offsets (header, name, payload, CRC).
+  for (const size_t offset :
+       {size_t(0), size_t(5), size_t(13), bytes->size() / 2,
+        bytes->size() - 2}) {
+    std::string mutated = *bytes;
+    mutated[offset] = char(mutated[offset] ^ 0x20);
+    const std::string probe = testing::TempDir() + "/mmap_probe.kge2";
+    ASSERT_TRUE(WriteStringToFile(probe, mutated).ok());
+    auto model = MakeFreshModel(1);
+    Result<std::unique_ptr<MappedCheckpoint>> mapping =
+        MappedCheckpoint::Open(probe);
+    ASSERT_TRUE(mapping.ok());
+    EXPECT_FALSE((*mapping)->LoadInto(model->get()).ok())
+        << "accepted corruption at offset " << offset;
+    std::remove(probe.c_str());
+  }
+
+  // Truncations, including an empty file (Open itself must reject it).
+  for (const size_t keep : {size_t(0), size_t(3), size_t(20),
+                            bytes->size() - 1}) {
+    const std::string probe = testing::TempDir() + "/mmap_trunc.kge2";
+    ASSERT_TRUE(WriteStringToFile(probe, bytes->substr(0, keep)).ok());
+    auto model = MakeFreshModel(1);
+    Result<std::unique_ptr<MappedCheckpoint>> mapping =
+        MappedCheckpoint::Open(probe);
+    if (mapping.ok()) {
+      EXPECT_FALSE((*mapping)->LoadInto(model->get()).ok())
+          << "accepted truncation to " << keep;
+    }
+    std::remove(probe.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedCheckpointTest, RejectsWrongModelAndShape) {
+  const std::string path =
+      SaveCheckpointWithSeed(testing::TempDir() + "/mmap_shape.kge2", 5);
+  auto other = MakeModelByName("complex", kEntities, kRelations, kBudget, 5);
+  Result<std::unique_ptr<MappedCheckpoint>> mapping =
+      MappedCheckpoint::Open(path);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_FALSE((*mapping)->LoadInto(other->get()).ok());
+
+  auto bigger = MakeModelByName("distmult", kEntities * 2, kRelations,
+                                kBudget, 5);
+  Result<std::unique_ptr<MappedCheckpoint>> mapping2 =
+      MappedCheckpoint::Open(path);
+  ASSERT_TRUE(mapping2.ok());
+  EXPECT_FALSE((*mapping2)->LoadInto(bigger->get()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ParameterBlockTest, BorrowStorageRedirectsReadsAndWrites) {
+  ParameterBlock block("b", 2, 3);
+  std::vector<float> backing(6, 0.5f);
+  block.BorrowStorage(backing.data(), int64_t(backing.size()));
+  EXPECT_TRUE(block.borrows_storage());
+  EXPECT_EQ(block.Flat().data(), backing.data());
+  block.Row(1)[2] = 9.0f;
+  EXPECT_EQ(backing[5], 9.0f);
+  const uint64_t before = block.generation();
+  block.Zero();
+  EXPECT_EQ(backing[0], 0.0f);
+  EXPECT_GT(block.generation(), before);
+}
+
+TEST(SnapshotRegistryTest, PublishStampsMonotoneVersions) {
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.Acquire(), nullptr);
+  EXPECT_EQ(registry.current_version(), 0u);
+
+  auto first = std::make_shared<ModelSnapshot>();
+  registry.Publish(first);
+  const auto acquired_first = registry.Acquire();
+  ASSERT_NE(acquired_first, nullptr);
+  EXPECT_EQ(acquired_first->version, 1u);
+
+  auto second = std::make_shared<ModelSnapshot>();
+  registry.Publish(second);
+  EXPECT_EQ(registry.current_version(), 2u);
+  // The old acquisition stays valid and unchanged (RCU property).
+  EXPECT_EQ(acquired_first->version, 1u);
+  EXPECT_EQ(registry.Acquire()->version, 2u);
+}
+
+TEST(LoadServingSnapshotTest, BuildsScoringReadySnapshot) {
+  const std::string path =
+      SaveCheckpointWithSeed(testing::TempDir() + "/snap_build.kge2", 21);
+  Result<std::shared_ptr<ModelSnapshot>> snapshot = LoadServingSnapshot(
+      path, FactoryWithSeed(0),
+      {ScorePrecision::kDouble, ScorePrecision::kFloat32});
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_NE((*snapshot)->model, nullptr);
+  EXPECT_EQ((*snapshot)->source_path, path);
+
+  auto reference = MakeFreshModel(0);
+  ASSERT_TRUE(LoadModelCheckpoint(reference->get(), path).ok());
+  ExpectModelsEqual(**reference, *(*snapshot)->model);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointWatcherTest, InitialLoadSwapAndQuarantine) {
+  const std::string dir = TempDirFor("watcher_basic");
+  SaveCheckpointWithSeed(dir + "/ckpt_1.kge2", 1);
+  ASSERT_TRUE(WriteStringToFile(dir + "/LATEST", "ckpt_1.kge2\n").ok());
+
+  SnapshotRegistry registry;
+  CheckpointWatcher watcher(&registry, FactoryWithSeed(0),
+                            {dir, 10, {ScorePrecision::kDouble}});
+  ASSERT_TRUE(watcher.LoadInitial().ok());
+  EXPECT_EQ(registry.current_version(), 1u);
+
+  // New checkpoint appears: one poll swaps to it.
+  SaveCheckpointWithSeed(dir + "/ckpt_2.kge2", 2);
+  ASSERT_TRUE(WriteStringToFile(dir + "/LATEST", "ckpt_2.kge2\n").ok());
+  watcher.PollOnce();
+  EXPECT_EQ(registry.current_version(), 2u);
+  EXPECT_EQ(registry.Acquire()->source_path, dir + "/ckpt_2.kge2");
+
+  // Unchanged LATEST: polls are no-ops, no churn.
+  watcher.PollOnce();
+  EXPECT_EQ(registry.current_version(), 2u);
+
+  // Corrupt checkpoint: quarantined, registry untouched.
+  SaveCheckpointWithSeed(dir + "/ckpt_3.kge2", 3);
+  {
+    Result<std::string> bytes = ReadFileToString(dir + "/ckpt_3.kge2");
+    ASSERT_TRUE(bytes.ok());
+    std::string mutated = *bytes;
+    mutated[mutated.size() / 2] =
+        char(mutated[mutated.size() / 2] ^ 0x01);
+    ASSERT_TRUE(WriteStringToFile(dir + "/ckpt_3.kge2", mutated).ok());
+  }
+  ASSERT_TRUE(WriteStringToFile(dir + "/LATEST", "ckpt_3.kge2\n").ok());
+  watcher.PollOnce();
+  EXPECT_EQ(registry.current_version(), 2u);
+  EXPECT_TRUE(FileExists(dir + "/ckpt_3.kge2.quarantine"));
+  EXPECT_FALSE(FileExists(dir + "/ckpt_3.kge2"));
+  EXPECT_EQ(watcher.stats().quarantines, 1u);
+  EXPECT_EQ(watcher.stats().swaps, 2u);
+
+  // LATEST pointing at a missing file: ignored.
+  ASSERT_TRUE(WriteStringToFile(dir + "/LATEST", "ckpt_9.kge2\n").ok());
+  watcher.PollOnce();
+  EXPECT_EQ(registry.current_version(), 2u);
+}
+
+TEST(CheckpointWatcherTest, InitialLoadFallsBackPastCorruptLatest) {
+  const std::string dir = TempDirFor("watcher_fallback");
+  SaveCheckpointWithSeed(dir + "/ckpt_1.kge2", 1);
+  // Newest checkpoint is torn (simulates dying mid-write + LATEST
+  // updated first / partially): startup must quarantine it and resume
+  // from the older CRC-valid file.
+  SaveCheckpointWithSeed(dir + "/ckpt_2.kge2", 2);
+  {
+    Result<std::string> bytes = ReadFileToString(dir + "/ckpt_2.kge2");
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_TRUE(WriteStringToFile(dir + "/ckpt_2.kge2",
+                                  bytes->substr(0, bytes->size() / 2))
+                    .ok());
+  }
+  ASSERT_TRUE(WriteStringToFile(dir + "/LATEST", "ckpt_2.kge2\n").ok());
+
+  SnapshotRegistry registry;
+  CheckpointWatcher watcher(&registry, FactoryWithSeed(0),
+                            {dir, 10, {ScorePrecision::kDouble}});
+  ASSERT_TRUE(watcher.LoadInitial().ok());
+  EXPECT_EQ(registry.current_version(), 1u);
+  EXPECT_EQ(registry.Acquire()->source_path, dir + "/ckpt_1.kge2");
+  EXPECT_TRUE(FileExists(dir + "/ckpt_2.kge2.quarantine"));
+  EXPECT_GE(watcher.stats().failed_loads, 1u);
+}
+
+TEST(CheckpointWatcherTest, LoadInitialFailsCleanlyOnEmptyDir) {
+  const std::string dir = TempDirFor("watcher_empty");
+  SnapshotRegistry registry;
+  CheckpointWatcher watcher(&registry, FactoryWithSeed(0),
+                            {dir, 10, {ScorePrecision::kDouble}});
+  EXPECT_FALSE(watcher.LoadInitial().ok());
+  EXPECT_EQ(registry.current_version(), 0u);
+}
+
+TEST(FindNewestValidCheckpointTest, SkipsCorruptNewest) {
+  const std::string dir = TempDirFor("newest_valid");
+  SaveCheckpointWithSeed(dir + "/ckpt_3.kge2", 3);
+  SaveCheckpointWithSeed(dir + "/ckpt_10.kge2", 10);
+  {
+    Result<std::string> bytes = ReadFileToString(dir + "/ckpt_10.kge2");
+    ASSERT_TRUE(bytes.ok());
+    std::string mutated = *bytes;
+    mutated[4] = char(mutated[4] ^ 0xFF);
+    ASSERT_TRUE(WriteStringToFile(dir + "/ckpt_10.kge2", mutated).ok());
+  }
+  Result<std::string> newest = FindNewestValidCheckpoint(dir);
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(*newest, dir + "/ckpt_3.kge2");
+}
+
+}  // namespace
+}  // namespace kge

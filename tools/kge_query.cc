@@ -1,0 +1,149 @@
+// kge_query: command-line client for kge_serve. Sends one or more
+// top-k link-prediction requests over the binary protocol and prints
+// the responses. Exit code 0 iff every response carried the expected
+// status (--expect-status, default "ok") — smoke scripts use this to
+// assert SHED/INVALID behavior as well as the happy path.
+//
+//   kge_query --port=7071 --side=tail --entity=12 --relation=3 --topk=5
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "kge.h"
+
+namespace {
+
+using namespace kge;
+
+int Run(int argc, char** argv) {
+  std::string side = "tail";
+  std::string expect_status = "ok";
+  int64_t port = 0;
+  int64_t entity = 0;
+  int64_t relation = 0;
+  int64_t topk = 10;
+  int64_t deadline_ms = 0;
+  int64_t count = 1;
+  bool quiet = false;
+
+  FlagParser parser("kge_query: query a running kge_serve instance");
+  parser.AddInt("port", &port, "kge_serve port on loopback (required)");
+  parser.AddString("side", &side, "tail | head");
+  parser.AddInt("entity", &entity, "known entity of the partial triple");
+  parser.AddInt("relation", &relation, "relation id");
+  parser.AddInt("topk", &topk, "results to request");
+  parser.AddInt("deadline-ms", &deadline_ms, "0 = server default");
+  parser.AddInt("count", &count, "send this many identical requests");
+  parser.AddString("expect-status", &expect_status,
+                   "exit 0 only if every response has this status: ok | "
+                   "shed | invalid | error | deadline_exceeded | "
+                   "shutting_down");
+  parser.AddBool("quiet", &quiet, "suppress per-result output");
+  const Status status = parser.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "socket() failed\n");
+    return 1;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(uint16_t(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "cannot connect to 127.0.0.1:%d\n", int(port));
+    ::close(fd);
+    return 1;
+  }
+
+  ServeRequest request;
+  request.side = side == "head" ? QuerySide::kHead : QuerySide::kTail;
+  request.entity = EntityId(entity);
+  request.relation = RelationId(relation);
+  request.k = uint32_t(topk > 0 ? topk : 0);
+  request.deadline_ms = uint32_t(deadline_ms);
+
+  std::vector<uint8_t> frame(kRequestFrameBytes);
+  std::vector<uint8_t> response(MaxResponseFrameBytes(kServeMaxTopK));
+  std::vector<ScoredEntity> results;
+  int mismatches = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    request.request_id = uint64_t(i) + 1;
+    const size_t encoded = EncodeServeRequest(request, frame);
+    if (encoded == 0 || !WriteAll(fd, frame.data(), encoded)) {
+      std::fprintf(stderr, "send failed\n");
+      ::close(fd);
+      return 1;
+    }
+    if (!ReadExact(fd, response.data(), kFrameHeaderBytes)) {
+      std::fprintf(stderr, "connection closed before response\n");
+      ::close(fd);
+      return 1;
+    }
+    uint32_t magic = 0;
+    uint32_t body_len = 0;
+    DecodeFrameHeader(
+        std::span<const uint8_t>(response.data(), kFrameHeaderBytes), &magic,
+        &body_len);
+    if (magic != kServeResponseMagic ||
+        body_len > response.size() - kFrameHeaderBytes) {
+      std::fprintf(stderr, "malformed response frame\n");
+      ::close(fd);
+      return 1;
+    }
+    if (!ReadExact(fd, response.data() + kFrameHeaderBytes, body_len)) {
+      std::fprintf(stderr, "truncated response\n");
+      ::close(fd);
+      return 1;
+    }
+    ServeResponseHeader header;
+    results.clear();
+    const Status decoded = DecodeServeResponseFrame(
+        std::span<const uint8_t>(response.data(),
+                                 kFrameHeaderBytes + body_len),
+        &header, &results);
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "bad response: %s\n", decoded.ToString().c_str());
+      ::close(fd);
+      return 1;
+    }
+    const char* status_name = ServeStatusCodeName(header.status);
+    if (expect_status != status_name) ++mismatches;
+    if (!quiet) {
+      std::printf("status=%s tier=%s snapshot=%llu count=%u\n", status_name,
+                  ScorePrecisionName(header.tier),
+                  static_cast<unsigned long long>(header.snapshot_version),
+                  header.count);
+      for (const ScoredEntity& entry : results) {
+        std::printf("  entity=%d score=%.6f\n", entry.entity,
+                    double(entry.score));
+      }
+    }
+  }
+  ::close(fd);
+  if (mismatches > 0) {
+    std::fprintf(stderr, "%d/%lld responses did not have status \"%s\"\n",
+                 mismatches, static_cast<long long>(count),
+                 expect_status.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

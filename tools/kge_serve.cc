@@ -1,0 +1,217 @@
+// kge_serve: fault-tolerant link-prediction server over a trained
+// checkpoint. Answers top-k head/tail queries on a loopback TCP port
+// using the binary protocol from serve_protocol.h (see tools/kge_query
+// for a client).
+//
+// The model configuration (name, entities, dim budget, seed) must match
+// the training run, exactly as for kge_eval — shape mismatches are
+// rejected at load time.
+//
+//   kge_serve --model=complex --dim-budget=200 \
+//       --checkpoint-dir=/tmp/run --watch-latest --port=7071
+//
+// Robustness properties (exercised by tests/serve_*_test.cc and
+// scripts/serve_smoke.sh):
+//   * admission control: queue beyond --max-queue answers SHED
+//   * deadlines: queries stuck past --deadline-ms answer DEADLINE
+//   * degradation: sustained pressure downshifts scoring toward
+//     --degrade-precision; responses report the tier used
+//   * hot swap: --watch-latest polls LATEST, CRC-verifies new
+//     checkpoints before an atomic swap, quarantines corrupt ones, and
+//     keeps serving the last good snapshot meanwhile
+#include <csignal>
+#include <cstdio>
+
+#include <chrono>
+#include <thread>
+
+#include "kge.h"
+
+namespace {
+
+using namespace kge;
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
+
+int Run(int argc, char** argv) {
+  std::string model_name = "complex";
+  std::string data_dir;
+  std::string generate = "wordnet";
+  std::string checkpoint;
+  std::string checkpoint_dir;
+  std::string degrade_precision = "double";
+  int64_t entities = 2000;
+  int64_t dim_budget = 200;
+  int64_t seed = 42;
+  int64_t port = 0;
+  int64_t topk = 64;
+  int64_t deadline_ms = 50;
+  int64_t max_queue = 256;
+  int64_t max_batch = 32;
+  int64_t workers = 1;
+  int64_t poll_ms = 200;
+  bool watch_latest = false;
+
+  FlagParser parser("kge_serve: serve top-k link prediction over TCP");
+  parser.AddString("model", &model_name, "model name used at training time");
+  parser.AddString("data-dir", &data_dir,
+                   "dataset directory; empty = regenerate synthetic (only "
+                   "the vocabulary sizes are used)");
+  parser.AddString("generate", &generate, "wordnet | freebase");
+  parser.AddString("checkpoint", &checkpoint,
+                   "serve this checkpoint file (no LATEST indirection)");
+  parser.AddString("checkpoint-dir", &checkpoint_dir,
+                   "resolve the newest checkpoint via this directory's "
+                   "LATEST pointer (with fallback to the newest CRC-valid "
+                   "ckpt_*.kge2)");
+  parser.AddInt("entities", &entities, "entities for generated datasets");
+  parser.AddInt("dim-budget", &dim_budget, "per-entity parameter budget");
+  parser.AddInt("seed", &seed, "seed used at training time");
+  parser.AddInt("port", &port, "TCP port (loopback); 0 = ephemeral");
+  parser.AddInt("topk", &topk, "server-side cap on per-request k");
+  parser.AddInt("deadline-ms", &deadline_ms,
+                "default per-query deadline when the request carries none");
+  parser.AddInt("max-queue", &max_queue,
+                "admission-queue slots; requests beyond this are SHED");
+  parser.AddInt("max-batch", &max_batch,
+                "max queries coalesced into one kernel dispatch");
+  parser.AddInt("workers", &workers, "scoring worker threads");
+  parser.AddString("degrade-precision", &degrade_precision,
+                   "lowest scoring tier load may downshift to: double "
+                   "(never degrade) | float32 | int8");
+  parser.AddBool("watch-latest", &watch_latest,
+                 "poll <checkpoint-dir>/LATEST and hot-swap new "
+                 "checkpoints (corrupt ones are quarantined)");
+  parser.AddInt("poll-ms", &poll_ms, "LATEST poll interval");
+  const Status status = parser.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  if (checkpoint.empty() == checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --checkpoint / --checkpoint-dir is "
+                 "required\n");
+    return 2;
+  }
+  if (watch_latest && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--watch-latest requires --checkpoint-dir\n");
+    return 2;
+  }
+
+  BatcherOptions batcher_options;
+  batcher_options.max_queue = int(max_queue);
+  batcher_options.max_batch = int(max_batch);
+  batcher_options.num_workers = int(workers);
+  batcher_options.max_topk = uint32_t(topk > 0 ? topk : 1);
+  batcher_options.default_deadline_ms = uint32_t(deadline_ms);
+  if (!ParseScorePrecision(degrade_precision,
+                           &batcher_options.degrade_floor)) {
+    std::fprintf(stderr,
+                 "--degrade-precision must be double, float32, or int8 "
+                 "(got \"%s\")\n",
+                 degrade_precision.c_str());
+    return 2;
+  }
+
+  // Vocabulary sizes come from the dataset, exactly as at training
+  // time, so the factory builds block shapes the checkpoint must match.
+  int32_t num_entities = 0;
+  int32_t num_relations = 0;
+  {
+    Dataset data;
+    if (!data_dir.empty()) {
+      Result<Dataset> loaded = LoadDatasetFromDirectory(
+          data_dir, TripleFileFormat::kHeadRelationTail);
+      KGE_CHECK_OK(loaded.status());
+      data = std::move(*loaded);
+    } else if (generate == "wordnet") {
+      WordNetLikeOptions options;
+      options.num_entities = int32_t(entities);
+      options.seed = uint64_t(seed);
+      data = GenerateWordNetLike(options);
+    } else {
+      FreebaseLikeOptions options;
+      options.num_entities = int32_t(entities);
+      options.seed = uint64_t(seed);
+      data = GenerateFreebaseLike(options);
+    }
+    num_entities = data.num_entities();
+    num_relations = data.num_relations();
+  }
+
+  ModelFactory factory = [model_name, num_entities, num_relations,
+                          dim_budget, seed] {
+    return MakeModelByName(model_name, num_entities, num_relations,
+                           int32_t(dim_budget), uint64_t(seed));
+  };
+
+  CheckpointWatcher::Options watcher_options;
+  watcher_options.dir = checkpoint_dir;
+  watcher_options.poll_ms = int(poll_ms);
+  watcher_options.prepare_tiers = {ScorePrecision::kDouble};
+  if (int(batcher_options.degrade_floor) >=
+      int(ScorePrecision::kFloat32)) {
+    watcher_options.prepare_tiers.push_back(ScorePrecision::kFloat32);
+  }
+  if (int(batcher_options.degrade_floor) >= int(ScorePrecision::kInt8)) {
+    watcher_options.prepare_tiers.push_back(ScorePrecision::kInt8);
+  }
+
+  SnapshotRegistry registry;
+  CheckpointWatcher watcher(&registry, factory, watcher_options);
+  const Status loaded = checkpoint.empty() ? watcher.LoadInitial()
+                                           : watcher.AdoptPath(checkpoint);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load a serving checkpoint: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+
+  MicroBatcher batcher(&registry, batcher_options);
+  batcher.Start();
+  KgeServer server(&batcher, ServerOptions{int(port), 64});
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  if (watch_latest) watcher.Start();
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::printf("kge_serve: model=%s snapshot_version=%llu port=%d\n",
+              model_name.c_str(),
+              static_cast<unsigned long long>(registry.current_version()),
+              server.port());
+  std::fflush(stdout);
+
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("kge_serve: draining\n");
+  if (watch_latest) watcher.Stop();
+  server.Stop();  // drains the batcher too
+  const BatcherStatsView bstats = batcher.stats();
+  const CheckpointWatcher::StatsView wstats = watcher.stats();
+  std::printf(
+      "kge_serve: served=%llu shed=%llu expired=%llu invalid=%llu "
+      "batches=%llu swaps=%llu quarantines=%llu\n",
+      static_cast<unsigned long long>(bstats.completed),
+      static_cast<unsigned long long>(bstats.shed),
+      static_cast<unsigned long long>(bstats.expired),
+      static_cast<unsigned long long>(bstats.invalid),
+      static_cast<unsigned long long>(bstats.batches),
+      static_cast<unsigned long long>(wstats.swaps),
+      static_cast<unsigned long long>(wstats.quarantines));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
