@@ -42,6 +42,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -119,6 +120,8 @@ struct PerfConfig {
   int64_t serve_entities = 8000;      // vocab for the serving bench
   int64_t serve_queries = 2000;       // direct (no-socket) timed queries
   int64_t serve_client_queries = 200;  // per-client queries per phase
+  int64_t scale_queries = 40;        // ranked queries per scale tier
+  int64_t scale_serve_queries = 200;  // serving queries per scale tier
   std::string out = std::string(KGE_REPO_ROOT) + "/BENCH_kernels.json";
   std::string train_out = std::string(KGE_REPO_ROOT) + "/BENCH_training.json";
   std::string eval_out = std::string(KGE_REPO_ROOT) + "/BENCH_eval.json";
@@ -137,8 +140,19 @@ struct PerfConfig {
     serve_entities = 1000;
     serve_queries = 200;
     serve_client_queries = 50;
+    scale_queries = 16;
+    scale_serve_queries = 50;
   }
 };
+
+// Entity-table sizes for the §5h scale tiers. The full run covers the
+// medium (100k) and xl (1M) presets behind the tools' --scale flag; the
+// CI --quick run keeps one reduced tier so the schema (and the
+// bit-identical + zero-alloc gates) stay exercised in seconds.
+std::vector<int64_t> ScaleTierEntities(const PerfConfig& config) {
+  if (config.quick) return {20000};
+  return {kWordNetScaleMedium, kWordNetScaleXl};
+}
 
 std::vector<float> RandomVector(Rng* rng, size_t n) {
   std::vector<float> v(n);
@@ -758,6 +772,318 @@ PrecisionReport BenchPrecisionTiers(const PerfConfig& config) {
   return report;
 }
 
+// ---- Scale tiers (§5h) -----------------------------------------------------
+// Full-vocabulary ranking at the --scale presets (medium = 100k, xl =
+// 1M entities), exhaustive vs bound-pruned, on a trained-like model.
+// Pruning is exact — every pruned row carries a bit_identical canary
+// against the exhaustive result — so the rows measure how many
+// candidate tiles the Cauchy–Schwarz bounds prove irrelevant and what
+// that saves in table bandwidth. The rank path (CountTailsAbove, the
+// evaluator's primitive) and the top-k path (TopKTailsInRange, the
+// serving reduction) are timed separately; the top-k path adds a
+// sharded row to pin the shard-count invariance at scale.
+
+// A trained-like model for the scale tiers without paying a 1M-entity
+// training run: Xavier init, then entity norms rescaled to decay with
+// id. Trained KGE embedding tables develop exactly this skew once the
+// vocabulary is frequency-sorted — frequent entities grow large norms,
+// the long tail stays small — and id-clustered norm skew is the
+// structure tile pruning feeds on. The 0.05 floor keeps every tail row
+// nonzero so pruned scans still have real work to reject.
+std::unique_ptr<MultiEmbeddingModel> MakeSkewedDistMult(int32_t entities,
+                                                        int32_t dim) {
+  std::unique_ptr<MultiEmbeddingModel> model =
+      MakeDistMult(entities, 8, dim, /*seed=*/42);
+  EmbeddingStore& store = model->entity_store();
+  for (int32_t e = 0; e < entities; ++e) {
+    const double u = double(e) / double(entities);
+    const float scale = 0.05f + 0.95f * float(std::exp(-8.0 * u));
+    for (float& x : store.Of(e)) x *= scale;
+  }
+  return model;
+}
+
+struct ScaleRankRow {
+  double exhaustive_ns_per_query = 0.0;
+  double pruned_ns_per_query = 0.0;
+  double speedup_pruned_vs_exhaustive = 0.0;
+  double tiles_skipped_frac = 0.0;
+  double exhaustive_gb_per_s = 0.0;
+  double pruned_effective_gb_per_s = 0.0;
+  double pruned_allocs_per_query = -1.0;  // -1 = sanitized build
+  bool bit_identical = false;
+};
+
+struct ScaleTopKRow {
+  double exhaustive_ns_per_query = 0.0;
+  double pruned_ns_per_query = 0.0;
+  double sharded_pruned_ns_per_query = 0.0;
+  double speedup_pruned_vs_exhaustive = 0.0;
+  double tiles_skipped_frac = 0.0;
+  double pruned_allocs_per_query = -1.0;  // -1 = sanitized build
+  bool bit_identical = false;
+};
+
+struct ScaleTierRow {
+  int64_t entities = 0;
+  int64_t queries = 0;
+  ScaleRankRow rank;
+  ScaleTopKRow topk;
+};
+
+struct ScaleReport {
+  int64_t dim = 0;
+  uint32_t k = 10;
+  int shards = 7;
+  std::vector<ScaleTierRow> tiers;
+};
+
+ScaleTierRow BenchScaleTier(const PerfConfig& config, int64_t entities,
+                            uint32_t k, int shards) {
+  const int32_t n = int32_t(entities);
+  const int32_t dim = int32_t(config.dim_budget);
+  std::unique_ptr<MultiEmbeddingModel> model = MakeSkewedDistMult(n, dim);
+  const ScorePrecision precision = ScorePrecision::kDouble;
+  model->PrepareForPrunedScoring(precision);
+
+  // Query workload: random heads; the rank threshold is the best score
+  // among a fixed-size candidate sample, standing in for the true tail
+  // of a converged model (which the filtered protocol ranks near the
+  // top — an untrained threshold sits in the noise floor and no bound
+  // can prove anything against it).
+  Rng rng(23);
+  const int64_t num_queries = config.scale_queries;
+  std::vector<EntityId> heads(static_cast<size_t>(num_queries));
+  std::vector<RelationId> rels(static_cast<size_t>(num_queries));
+  std::vector<EntityId> truths(static_cast<size_t>(num_queries));
+  std::vector<float> thresholds(static_cast<size_t>(num_queries));
+  const int32_t sample = int32_t(std::min<int64_t>(entities, 2048));
+  for (int64_t q = 0; q < num_queries; ++q) {
+    const EntityId head = EntityId(rng.NextBounded(uint64_t(n)));
+    const RelationId rel = RelationId(rng.NextBounded(8));
+    EntityId best = 0;
+    float best_score = model->ScoreOneTail(head, 0, rel, precision);
+    for (int32_t t = 1; t < sample; ++t) {
+      const float s = model->ScoreOneTail(head, t, rel, precision);
+      if (s > best_score) {
+        best_score = s;
+        best = t;
+      }
+    }
+    heads[size_t(q)] = head;
+    rels[size_t(q)] = rel;
+    truths[size_t(q)] = best;
+    thresholds[size_t(q)] = best_score;
+  }
+  const std::span<const EntityId> no_excluded;
+
+  ScaleTierRow tier;
+  tier.entities = entities;
+  tier.queries = num_queries;
+  const double table_bytes_per_query =
+      double(entities) * double(dim) * sizeof(float);
+
+  // ---- Rank path: CountTailsAbove, exhaustive vs pruned ----
+  // One flat buffer for all four count arrays (GCC 12's
+  // -Wmismatched-new-delete false-fires on the malloc-backed
+  // replacement operator new when a vector's full lifetime is inlined
+  // into this frame, so the buffers share one up-front allocation).
+  std::vector<uint64_t> counts(static_cast<size_t>(num_queries) * 4, 0);
+  const std::span<uint64_t> ex_better(counts.data(), size_t(num_queries));
+  const std::span<uint64_t> ex_equal(counts.data() + num_queries,
+                                     size_t(num_queries));
+  const std::span<uint64_t> pr_better(counts.data() + 2 * num_queries,
+                                      size_t(num_queries));
+  const std::span<uint64_t> pr_equal(counts.data() + 3 * num_queries,
+                                     size_t(num_queries));
+  const auto rank_pass = [&](bool prune, std::span<uint64_t> better,
+                             std::span<uint64_t> equal,
+                             RankScanStats* stats) {
+    for (int64_t q = 0; q < num_queries; ++q) {
+      better[size_t(q)] = 0;
+      equal[size_t(q)] = 0;
+      model->CountTailsAbove(heads[size_t(q)], rels[size_t(q)],
+                             thresholds[size_t(q)], 0, EntityId(n),
+                             no_excluded, truths[size_t(q)], precision, prune,
+                             &better[size_t(q)], &equal[size_t(q)], stats);
+    }
+  };
+  RankScanStats warm_stats;
+  rank_pass(false, ex_better, ex_equal, &warm_stats);  // warm-up + reference
+  Stopwatch sw;
+  rank_pass(false, ex_better, ex_equal, &warm_stats);
+  const double ex_seconds = sw.ElapsedSeconds();
+
+  RankScanStats rank_stats;
+  rank_pass(true, pr_better, pr_equal, &rank_stats);  // warm-up
+  rank_stats = RankScanStats{};
+#if KGE_COUNT_ALLOCS
+  const uint64_t rank_allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+#endif
+  sw.Restart();
+  rank_pass(true, pr_better, pr_equal, &rank_stats);
+  const double pr_seconds = sw.ElapsedSeconds();
+#if KGE_COUNT_ALLOCS
+  tier.rank.pruned_allocs_per_query =
+      double(g_alloc_count.load(std::memory_order_relaxed) -
+             rank_allocs_before) /
+      double(num_queries);
+#endif
+
+  tier.rank.exhaustive_ns_per_query =
+      ex_seconds / double(num_queries) * 1e9;
+  tier.rank.pruned_ns_per_query = pr_seconds / double(num_queries) * 1e9;
+  tier.rank.speedup_pruned_vs_exhaustive = ex_seconds / pr_seconds;
+  tier.rank.tiles_skipped_frac =
+      rank_stats.tiles_total > 0
+          ? double(rank_stats.tiles_skipped) / double(rank_stats.tiles_total)
+          : 0.0;
+  tier.rank.exhaustive_gb_per_s =
+      double(num_queries) * table_bytes_per_query / ex_seconds / 1e9;
+  // Effective bandwidth of the pruned pass: only unskipped tiles are
+  // streamed, so the touched-byte count shrinks by the skip fraction.
+  tier.rank.pruned_effective_gb_per_s =
+      double(num_queries) * table_bytes_per_query *
+      (1.0 - tier.rank.tiles_skipped_frac) / pr_seconds / 1e9;
+  tier.rank.bit_identical = true;
+  for (int64_t q = 0; q < num_queries; ++q) {
+    if (pr_better[size_t(q)] != ex_better[size_t(q)] ||
+        pr_equal[size_t(q)] != ex_equal[size_t(q)]) {
+      tier.rank.bit_identical = false;
+    }
+  }
+
+  // ---- Top-k path: TopKTailsInRange, exhaustive vs pruned vs sharded ----
+  TopKHeap<float, EntityId> ex_heap;
+  TopKHeap<float, EntityId> pr_heap;
+  TopKHeap<float, EntityId> merged;
+  TopKHeap<float, EntityId> prime_heap;
+  std::vector<TopKHeap<float, EntityId>> shard_heaps(
+      static_cast<size_t>(shards));
+  ex_heap.Reserve(int(k));
+  pr_heap.Reserve(int(k));
+  merged.Reserve(int(k));
+  prime_heap.Reserve(int(k));
+  for (auto& heap : shard_heaps) heap.Reserve(int(k));
+
+  const auto topk_pass = [&](bool prune, TopKHeap<float, EntityId>* heap,
+                             int64_t q, RankScanStats* stats) {
+    heap->ResetCapacity(int(k));
+    model->TopKTailsInRange(heads[size_t(q)], rels[size_t(q)], 0,
+                            EntityId(n), no_excluded, precision, prune, heap,
+                            stats);
+  };
+  // The sharded pass mirrors the serving reduction: per-shard heaps can
+  // only prune against their own minima, so prime a shared floor from
+  // an exhaustive scan of the first k candidates before fanning out.
+  const auto sharded_pass = [&](int64_t q, RankScanStats* stats) {
+    float floor = 0.0f;
+    bool have_floor = false;
+    const int64_t prime_end = std::min<int64_t>(
+        int64_t(n),
+        std::max<int64_t>(int64_t(k), int64_t(KgeModel::kPrunePrimePrefix)));
+    if (prime_end < int64_t(n)) {
+      prime_heap.ResetCapacity(int(k));
+      model->TopKTailsInRange(heads[size_t(q)], rels[size_t(q)], 0,
+                              EntityId(prime_end), no_excluded, precision,
+                              false, &prime_heap, stats);
+      if (prime_heap.full()) {
+        floor = prime_heap.WorstScore();
+        have_floor = true;
+      }
+    }
+    merged.ResetCapacity(int(k));
+    for (int s = 0; s < shards; ++s) {
+      shard_heaps[size_t(s)].ResetCapacity(int(k));
+      if (have_floor) shard_heaps[size_t(s)].SetPruneFloor(floor);
+      model->TopKTailsInRange(heads[size_t(q)], rels[size_t(q)],
+                              ShardBegin(EntityId(n), shards, s),
+                              ShardBegin(EntityId(n), shards, s + 1),
+                              no_excluded, precision, true,
+                              &shard_heaps[size_t(s)], stats);
+      merged.MergeFrom(shard_heaps[size_t(s)]);
+    }
+  };
+  const auto same_entries = [](std::span<const TopKHeap<float, EntityId>::Entry>
+                                   a,
+                               std::span<const TopKHeap<float, EntityId>::Entry>
+                                   b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].entity != b[i].entity || a[i].score != b[i].score) return false;
+    }
+    return true;
+  };
+
+  RankScanStats topk_stats;
+  tier.topk.bit_identical = true;
+  // Correctness sweep (untimed): pruned and sharded-pruned must return
+  // exactly the exhaustive top-k for every query. Also warms scratch.
+  for (int64_t q = 0; q < num_queries; ++q) {
+    topk_pass(false, &ex_heap, q, &topk_stats);
+    topk_pass(true, &pr_heap, q, &topk_stats);
+    sharded_pass(q, &topk_stats);
+    if (!same_entries(ex_heap.TakeSorted(), pr_heap.TakeSorted()) ||
+        !same_entries(ex_heap.TakeSorted(), merged.TakeSorted())) {
+      tier.topk.bit_identical = false;
+    }
+  }
+
+  sw.Restart();
+  for (int64_t q = 0; q < num_queries; ++q) {
+    topk_pass(false, &ex_heap, q, &topk_stats);
+  }
+  const double topk_ex_seconds = sw.ElapsedSeconds();
+
+  topk_stats = RankScanStats{};
+#if KGE_COUNT_ALLOCS
+  const uint64_t topk_allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+#endif
+  sw.Restart();
+  for (int64_t q = 0; q < num_queries; ++q) {
+    topk_pass(true, &pr_heap, q, &topk_stats);
+  }
+  const double topk_pr_seconds = sw.ElapsedSeconds();
+#if KGE_COUNT_ALLOCS
+  tier.topk.pruned_allocs_per_query =
+      double(g_alloc_count.load(std::memory_order_relaxed) -
+             topk_allocs_before) /
+      double(num_queries);
+#endif
+
+  sw.Restart();
+  for (int64_t q = 0; q < num_queries; ++q) {
+    RankScanStats shard_stats;
+    sharded_pass(q, &shard_stats);
+  }
+  const double topk_sh_seconds = sw.ElapsedSeconds();
+
+  tier.topk.exhaustive_ns_per_query =
+      topk_ex_seconds / double(num_queries) * 1e9;
+  tier.topk.pruned_ns_per_query =
+      topk_pr_seconds / double(num_queries) * 1e9;
+  tier.topk.sharded_pruned_ns_per_query =
+      topk_sh_seconds / double(num_queries) * 1e9;
+  tier.topk.speedup_pruned_vs_exhaustive = topk_ex_seconds / topk_pr_seconds;
+  tier.topk.tiles_skipped_frac =
+      topk_stats.tiles_total > 0
+          ? double(topk_stats.tiles_skipped) / double(topk_stats.tiles_total)
+          : 0.0;
+  return tier;
+}
+
+ScaleReport BenchScaleTiers(const PerfConfig& config) {
+  ScaleReport report;
+  report.dim = config.dim_budget;
+  for (const int64_t entities : ScaleTierEntities(config)) {
+    report.tiers.push_back(
+        BenchScaleTier(config, entities, report.k, report.shards));
+  }
+  return report;
+}
+
 // ---- Training throughput ---------------------------------------------------
 
 struct TrainingRow {
@@ -1242,6 +1568,118 @@ ServingReport BenchServing(const PerfConfig& config) {
   return report;
 }
 
+// ---- Serving at scale (§5h) ------------------------------------------------
+// The kge_serve reduction at the --scale presets with the sharded +
+// pruned top-k enabled: direct (no-socket) submissions against a
+// bounds-prepared snapshot of the same trained-like skewed model,
+// per-query latency percentiles, and the batcher's tile counters.
+
+struct ServeScaleRow {
+  int64_t entities = 0;
+  int64_t queries = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;
+  double tiles_skipped_frac = 0.0;
+  double effective_gb_per_s = 0.0;
+  double allocs_per_query = -1.0;  // -1 = sanitized build
+};
+
+struct ServeScaleReport {
+  int64_t dim = 0;
+  uint32_t topk = 10;
+  int shards = 4;
+  bool prune = true;
+  std::vector<ServeScaleRow> rows;
+};
+
+ServeScaleRow BenchServeScaleTier(const PerfConfig& config, int64_t entities,
+                                  uint32_t k, int shards) {
+  ServeScaleRow row;
+  row.entities = entities;
+  row.queries = config.scale_serve_queries;
+  const int32_t dim = int32_t(config.dim_budget);
+
+  std::unique_ptr<MultiEmbeddingModel> model =
+      MakeSkewedDistMult(int32_t(entities), dim);
+  // Serving snapshots are frozen after load, so bounds prepared here
+  // stay fresh for the batcher's lifetime (snapshot.cc does the same
+  // under --prune via prepare_bounds).
+  model->PrepareForPrunedScoring(ScorePrecision::kDouble);
+  SnapshotRegistry registry;
+  {
+    auto snapshot = std::make_shared<ModelSnapshot>();
+    snapshot->model = std::move(model);
+    registry.Publish(std::move(snapshot));
+  }
+
+  BatcherOptions options;
+  options.default_deadline_ms = kServeMaxDeadlineMs;
+  options.num_shards = shards;
+  options.prune = true;
+  MicroBatcher batcher(&registry, options);
+  batcher.Start();
+
+  ServeWaiter waiter;
+  ServeRequest request;
+  request.side = QuerySide::kTail;
+  request.k = k;
+  Rng rng(29);
+  for (int64_t q = 0; q < 16; ++q) {  // warm the scratch high-water mark
+    request.entity = EntityId(rng.NextBounded(uint64_t(entities)));
+    request.relation = RelationId(rng.NextBounded(8));
+    batcher.Submit(request, &ServeWaiter::OnReply, &waiter);
+    KGE_CHECK(waiter.Await() == ServeStatusCode::kOk);
+  }
+
+  const BatcherStatsView before = batcher.stats();
+#if KGE_COUNT_ALLOCS
+  const uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+#endif
+  std::vector<double> latencies;
+  latencies.reserve(size_t(row.queries));
+  Stopwatch total;
+  for (int64_t q = 0; q < row.queries; ++q) {
+    request.entity = EntityId(rng.NextBounded(uint64_t(entities)));
+    request.relation = RelationId(rng.NextBounded(8));
+    Stopwatch sw;
+    batcher.Submit(request, &ServeWaiter::OnReply, &waiter);
+    KGE_CHECK(waiter.Await() == ServeStatusCode::kOk);
+    latencies.push_back(sw.ElapsedSeconds() * 1e3);
+  }
+  const double seconds = total.ElapsedSeconds();
+#if KGE_COUNT_ALLOCS
+  row.allocs_per_query =
+      double(g_alloc_count.load(std::memory_order_relaxed) - allocs_before) /
+      double(row.queries);
+#endif
+  const BatcherStatsView after = batcher.stats();
+  batcher.Stop();
+
+  const uint64_t tiles_total = after.tiles_total - before.tiles_total;
+  const uint64_t tiles_skipped = after.tiles_skipped - before.tiles_skipped;
+  row.tiles_skipped_frac =
+      tiles_total > 0 ? double(tiles_skipped) / double(tiles_total) : 0.0;
+  row.p50_ms = PercentileMs(&latencies, 0.50);
+  row.p99_ms = PercentileMs(&latencies, 0.99);
+  row.qps = seconds > 0.0 ? double(row.queries) / seconds : 0.0;
+  row.effective_gb_per_s = double(row.queries) * double(entities) *
+                           double(dim) * sizeof(float) *
+                           (1.0 - row.tiles_skipped_frac) / seconds / 1e9;
+  return row;
+}
+
+ServeScaleReport BenchServingScale(const PerfConfig& config) {
+  ServeScaleReport report;
+  report.dim = config.dim_budget;
+  for (const int64_t entities : ScaleTierEntities(config)) {
+    report.rows.push_back(
+        BenchServeScaleTier(config, entities, report.topk, report.shards));
+  }
+  return report;
+}
+
 // ---- JSON ------------------------------------------------------------------
 
 std::string JsonNumber(double v) {
@@ -1357,7 +1795,8 @@ std::string BuildTrainingJson(const PerfConfig& config,
 
 std::string BuildEvalJson(const PerfConfig& config,
                           const EvalBatchReport& report,
-                          const PrecisionReport& precision) {
+                          const PrecisionReport& precision,
+                          const ScaleReport& scaling) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"schema_version\": 1,\n";
@@ -1433,13 +1872,66 @@ std::string BuildEvalJson(const PerfConfig& config,
   }
   out << "      ]\n";
   out << "    }\n";
+  out << "  },\n";
+  out << "  \"eval_scaling\": {\n";
+  out << "    \"model\": \"DistMult\",\n";
+  out << "    \"dim\": " << scaling.dim << ",\n";
+  out << "    \"topk\": " << scaling.k << ",\n";
+  out << "    \"shards\": " << scaling.shards << ",\n";
+  out << "    \"tiers\": [\n";
+  for (size_t i = 0; i < scaling.tiers.size(); ++i) {
+    const ScaleTierRow& t = scaling.tiers[i];
+    out << "      {\"entities\": " << t.entities
+        << ", \"queries\": " << t.queries << ",\n";
+    out << "       \"rank\": {\"exhaustive_ns_per_query\": "
+        << JsonNumber(t.rank.exhaustive_ns_per_query)
+        << ", \"pruned_ns_per_query\": "
+        << JsonNumber(t.rank.pruned_ns_per_query)
+        << ", \"speedup_pruned_vs_exhaustive\": "
+        << JsonNumber(t.rank.speedup_pruned_vs_exhaustive)
+        << ", \"tiles_skipped_frac\": "
+        << JsonNumber(t.rank.tiles_skipped_frac)
+        << ", \"exhaustive_gb_per_s\": "
+        << JsonNumber(t.rank.exhaustive_gb_per_s)
+        << ", \"pruned_effective_gb_per_s\": "
+        << JsonNumber(t.rank.pruned_effective_gb_per_s)
+        << ", \"pruned_allocs_per_query\": ";
+    if (t.rank.pruned_allocs_per_query < 0.0) {
+      out << "null";
+    } else {
+      out << JsonNumber(t.rank.pruned_allocs_per_query);
+    }
+    out << ", \"bit_identical\": "
+        << (t.rank.bit_identical ? "true" : "false") << "},\n";
+    out << "       \"topk\": {\"exhaustive_ns_per_query\": "
+        << JsonNumber(t.topk.exhaustive_ns_per_query)
+        << ", \"pruned_ns_per_query\": "
+        << JsonNumber(t.topk.pruned_ns_per_query)
+        << ", \"sharded_pruned_ns_per_query\": "
+        << JsonNumber(t.topk.sharded_pruned_ns_per_query)
+        << ", \"speedup_pruned_vs_exhaustive\": "
+        << JsonNumber(t.topk.speedup_pruned_vs_exhaustive)
+        << ", \"tiles_skipped_frac\": "
+        << JsonNumber(t.topk.tiles_skipped_frac)
+        << ", \"pruned_allocs_per_query\": ";
+    if (t.topk.pruned_allocs_per_query < 0.0) {
+      out << "null";
+    } else {
+      out << JsonNumber(t.topk.pruned_allocs_per_query);
+    }
+    out << ", \"bit_identical\": "
+        << (t.topk.bit_identical ? "true" : "false") << "}}"
+        << (i + 1 < scaling.tiers.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n";
   out << "  }\n";
   out << "}\n";
   return out.str();
 }
 
 std::string BuildServingJson(const PerfConfig& config,
-                             const ServingReport& report) {
+                             const ServingReport& report,
+                             const ServeScaleReport& scaling) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"schema_version\": 1,\n";
@@ -1481,6 +1973,33 @@ std::string BuildServingJson(const PerfConfig& config,
   out << "      \"shed_rate\": " << JsonNumber(report.shed_rate) << ",\n";
   out << "      \"admitted_p99_ms\": "
       << JsonNumber(report.admitted_p99_ms) << "\n";
+  out << "    },\n";
+  out << "    \"scaling\": {\n";
+  out << "      \"model\": \"DistMult\",\n";
+  out << "      \"dim\": " << scaling.dim << ",\n";
+  out << "      \"topk\": " << scaling.topk << ",\n";
+  out << "      \"shards\": " << scaling.shards << ",\n";
+  out << "      \"prune\": " << (scaling.prune ? "true" : "false") << ",\n";
+  out << "      \"tiers\": [\n";
+  for (size_t i = 0; i < scaling.rows.size(); ++i) {
+    const ServeScaleRow& r = scaling.rows[i];
+    out << "        {\"entities\": " << r.entities
+        << ", \"queries\": " << r.queries
+        << ", \"p50_ms\": " << JsonNumber(r.p50_ms)
+        << ", \"p99_ms\": " << JsonNumber(r.p99_ms)
+        << ", \"qps\": " << JsonNumber(r.qps)
+        << ", \"tiles_skipped_frac\": "
+        << JsonNumber(r.tiles_skipped_frac)
+        << ", \"effective_gb_per_s\": "
+        << JsonNumber(r.effective_gb_per_s) << ", \"allocs_per_query\": ";
+    if (r.allocs_per_query < 0.0) {
+      out << "null";
+    } else {
+      out << JsonNumber(r.allocs_per_query);
+    }
+    out << "}" << (i + 1 < scaling.rows.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n";
   out << "    }\n";
   out << "  }\n";
   out << "}\n";
@@ -1518,6 +2037,10 @@ int Run(int argc, char** argv) {
                 "direct (no-socket) serving queries to time");
   parser.AddInt("serve_client_queries", &config.serve_client_queries,
                 "queries per loopback client per phase");
+  parser.AddInt("scale_queries", &config.scale_queries,
+                "ranked queries per --scale tier (eval_scaling section)");
+  parser.AddInt("scale_serve_queries", &config.scale_serve_queries,
+                "serving queries per --scale tier (serving scaling section)");
   parser.AddString("out", &config.out, "output JSON path");
   parser.AddString("train_out", &config.train_out,
                    "training-section output JSON path");
@@ -1592,6 +2115,29 @@ int Run(int argc, char** argv) {
                   << " (delta " << row.delta_hits10 << ")";
   }
 
+  KGE_LOG(Info) << "benchmarking scale tiers (sharded + pruned ranking)...";
+  const ScaleReport scaling = BenchScaleTiers(config);
+  for (const ScaleTierRow& tier : scaling.tiers) {
+    KGE_LOG(Info) << "  E=" << tier.entities << " rank: "
+                  << tier.rank.exhaustive_ns_per_query << " -> "
+                  << tier.rank.pruned_ns_per_query << " ns/query ("
+                  << tier.rank.speedup_pruned_vs_exhaustive
+                  << "x, tiles skipped "
+                  << tier.rank.tiles_skipped_frac * 100.0 << "%, "
+                  << (tier.rank.bit_identical ? "bit-identical"
+                                              : "MISMATCH")
+                  << ")";
+    KGE_LOG(Info) << "  E=" << tier.entities << " topk: "
+                  << tier.topk.exhaustive_ns_per_query << " -> "
+                  << tier.topk.pruned_ns_per_query << " ns/query ("
+                  << tier.topk.speedup_pruned_vs_exhaustive
+                  << "x, sharded "
+                  << tier.topk.sharded_pruned_ns_per_query << " ns, "
+                  << (tier.topk.bit_identical ? "bit-identical"
+                                              : "MISMATCH")
+                  << ")";
+  }
+
   KGE_LOG(Info) << "benchmarking training throughput...";
   const std::vector<TrainingRow> training = BenchTraining(config);
   for (const TrainingRow& row : training) {
@@ -1624,6 +2170,15 @@ int Run(int argc, char** argv) {
                 << "): shed_rate=" << serving.shed_rate
                 << ", admitted p99=" << serving.admitted_p99_ms << " ms";
 
+  KGE_LOG(Info) << "benchmarking serving at scale (shards + prune)...";
+  const ServeScaleReport serve_scaling = BenchServingScale(config);
+  for (const ServeScaleRow& row : serve_scaling.rows) {
+    KGE_LOG(Info) << "  E=" << row.entities << ": p50=" << row.p50_ms
+                  << " ms, p99=" << row.p99_ms << " ms, " << row.qps
+                  << " qps, tiles skipped "
+                  << row.tiles_skipped_frac * 100.0 << "%";
+  }
+
   const std::string json = BuildJson(config, kernels, ranking, eval);
   std::ofstream file(config.out);
   if (!file) {
@@ -1643,7 +2198,7 @@ int Run(int argc, char** argv) {
   KGE_LOG(Info) << "wrote " << config.train_out;
 
   const std::string eval_json =
-      BuildEvalJson(config, eval_batching, precision);
+      BuildEvalJson(config, eval_batching, precision, scaling);
   std::ofstream eval_file(config.eval_out);
   if (!eval_file) {
     KGE_LOG(Error) << "cannot write " << config.eval_out;
@@ -1652,7 +2207,8 @@ int Run(int argc, char** argv) {
   eval_file << eval_json;
   KGE_LOG(Info) << "wrote " << config.eval_out;
 
-  const std::string serving_json = BuildServingJson(config, serving);
+  const std::string serving_json =
+      BuildServingJson(config, serving, serve_scaling);
   std::ofstream serving_file(config.serve_out);
   if (!serving_file) {
     KGE_LOG(Error) << "cannot write " << config.serve_out;

@@ -58,6 +58,41 @@ void ScoringReplica::EnsureFresh(ScorePrecision precision) {
   int8_generation_ = generation;
 }
 
+bool ScoringReplica::BoundsFresh(ScorePrecision precision) const {
+  if (precision == ScorePrecision::kInt8) {
+    return IsFresh(precision) &&
+           int8_bounds_generation_ == master_->generation();
+  }
+  return master_bounds_generation_ == master_->generation();
+}
+
+void ScoringReplica::EnsureBoundsFresh(ScorePrecision precision) {
+  if (BoundsFresh(precision)) return;
+  const uint64_t generation = master_->generation();
+  const auto num_rows = size_t(master_->num_rows());
+  const auto dim = size_t(master_->row_dim());
+  const size_t rows_per_tile = simd::PrunedTileRows(dim);
+  const size_t tiles = simd::PrunedTileCount(num_rows, dim);
+  if (precision == ScorePrecision::kInt8) {
+    EnsureFresh(precision);
+    int8_bounds_.resize(tiles);
+    simd::TileMaxRowNormsI8(int8_rows_.data(), int8_scales_.data(), num_rows,
+                            dim, rows_per_tile, int8_bounds_.data());
+    int8_bounds_generation_ = generation;
+    return;
+  }
+  master_bounds_.resize(tiles);
+  simd::TileMaxRowNorms(master_->Flat().data(), num_rows, dim, rows_per_tile,
+                        master_bounds_.data());
+  master_bounds_generation_ = generation;
+}
+
+std::span<const float> ScoringReplica::TileBounds(
+    ScorePrecision precision) const {
+  KGE_DCHECK(BoundsFresh(precision));
+  return precision == ScorePrecision::kInt8 ? int8_bounds_ : master_bounds_;
+}
+
 std::span<const std::int8_t> ScoringReplica::Int8Rows() const {
   KGE_DCHECK(IsFresh(ScorePrecision::kInt8));
   return int8_rows_;

@@ -77,6 +77,26 @@ class ScoringReplica {
   KGE_HOT_NOALLOC
   std::span<const float> Int8Scales() const;
 
+  // ---- Per-tile score bounds (pruned ranking path, DESIGN.md §5h) ----------
+  //
+  // One float per simd::PrunedTileRows(row_dim) tile of the table: the
+  // max row L2 norm inside the tile (master tiers) resp. the max of
+  // scales[row]·‖codes_row‖₂ (int8 tier). Multiplied by a query's fold
+  // norm and simd::kPruneBoundSlack this is a conservative upper bound
+  // on every score the tile can produce (Cauchy–Schwarz), which is what
+  // lets the pruned scans skip provably sub-threshold tiles without
+  // ever changing a result. Generation-stamped exactly like the int8
+  // table; EnsureBoundsFresh is NOT thread-safe (call it from
+  // PrepareForScoring, before the scoring fanout).
+
+  bool BoundsFresh(ScorePrecision precision) const;
+  void EnsureBoundsFresh(ScorePrecision precision);
+
+  // The bound array for `precision`'s table (kDouble and kFloat32 share
+  // the master-table bounds). Bounds must be fresh.
+  KGE_HOT_NOALLOC
+  std::span<const float> TileBounds(ScorePrecision precision) const;
+
   // Master generation the int8 table was built at; 0 = never built.
   uint64_t built_generation() const { return int8_generation_; }
 
@@ -85,6 +105,12 @@ class ScoringReplica {
   std::vector<std::int8_t> int8_rows_;
   std::vector<float> int8_scales_;
   uint64_t int8_generation_ = 0;
+  // Tile bounds over the master float table (serves kDouble + kFloat32)
+  // and over the quantized table, each with its own build stamp.
+  std::vector<float> master_bounds_;
+  std::vector<float> int8_bounds_;
+  uint64_t master_bounds_generation_ = 0;
+  uint64_t int8_bounds_generation_ = 0;
 };
 
 }  // namespace kge

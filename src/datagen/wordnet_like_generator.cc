@@ -37,12 +37,27 @@ uint64_t PairKey(EntityId a, EntityId b) {
 
 }  // namespace
 
+bool ParseWordNetScale(std::string_view text, int32_t* num_entities) {
+  KGE_CHECK(num_entities != nullptr);
+  if (text == "small") {
+    *num_entities = kWordNetScaleSmall;
+  } else if (text == "medium") {
+    *num_entities = kWordNetScaleMedium;
+  } else if (text == "xl") {
+    *num_entities = kWordNetScaleXl;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
   KGE_CHECK(options.num_entities >= 100);
   const int32_t n = options.num_entities;
   Rng rng(options.seed);
 
   Dataset dataset;
+  dataset.entities.Reserve(n);
   for (int32_t e = 0; e < n; ++e) {
     // Names shaped like WN18 synset offsets.
     dataset.entities.GetOrAdd(StrFormat("%08d", e));
@@ -50,6 +65,11 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
   for (const char* name : kRelationNames) dataset.relations.GetOrAdd(name);
 
   std::vector<Triple> triples;
+  // One up-front reservation covers every relation family below: the
+  // emission rates sum to ~5.3 triples per entity, so 6n never regrows
+  // — at the xl (1M-entity) tier that is one 72 MB block instead of a
+  // realloc-and-copy ladder through it.
+  triples.reserve(size_t(n) * 6);
   auto emit_pair = [&triples](EntityId a, EntityId b, RelationId r,
                               RelationId r_inv) {
     triples.push_back({a, b, r});
@@ -97,6 +117,7 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
   {
     std::unordered_set<uint64_t> seen;
     const int want = int(0.35 * n);
+    seen.reserve(size_t(want));
     while (int(seen.size()) < want) {
       const EntityId whole =
           static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
@@ -110,6 +131,7 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
   {
     std::unordered_set<uint64_t> seen;
     const int want = int(0.25 * n);
+    seen.reserve(size_t(want));
     while (int(seen.size()) < want) {
       const EntityId part = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
       if (part + 1 >= n) continue;
@@ -124,6 +146,7 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
   {
     std::unordered_set<uint64_t> seen;
     const int want = int(0.06 * n);
+    seen.reserve(size_t(want));
     while (int(seen.size()) < want) {
       const EntityId instance = random_of(leaves);
       const EntityId cls = random_of(internal);
@@ -159,6 +182,7 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
   {
     std::unordered_set<uint64_t> seen;
     const int want = int(0.45 * n);
+    seen.reserve(size_t(want));
     while (int(seen.size()) < want) {
       EntityId a = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
       EntityId b = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
@@ -173,6 +197,7 @@ Dataset GenerateWordNetLike(const WordNetLikeOptions& options) {
   {
     std::unordered_set<uint64_t> seen;
     const int want = int(0.1 * n);
+    seen.reserve(size_t(want));
     while (int(seen.size()) < want) {
       EntityId a = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));
       EntityId b = static_cast<EntityId>(rng.NextBounded(uint64_t(n)));

@@ -19,6 +19,7 @@
 #ifndef KGE_DATAGEN_WORDNET_LIKE_GENERATOR_H_
 #define KGE_DATAGEN_WORDNET_LIKE_GENERATOR_H_
 
+#include <string_view>
 #include <vector>
 
 #include "datagen/split.h"
@@ -28,7 +29,11 @@ namespace kge {
 
 struct WordNetLikeOptions {
   // Number of synset entities. WN18 has 40,943; the default is scaled to
-  // keep full grid training practical on one core.
+  // keep full grid training practical on one core. The generator is
+  // reserve-based (one pre-sized pass per relation family, ~5.5 triples
+  // per entity), so the million-entity tier builds in one streaming
+  // sweep without rehash/regrow churn — see kWordNetScale* and the
+  // tools' --scale presets.
   int32_t num_entities = 3000;
   // Split fractions mirror WN18 (5,000 / 141,442 each for valid/test).
   double valid_fraction = 0.035;
@@ -65,6 +70,17 @@ enum WordNetRelation : RelationId {
   kSynsetDomainUsageOf,
   kNumWordNetRelations,
 };
+
+// Entity-count presets behind the tools' --scale flag: `small` is the
+// grid-training default, `medium` the 100k serving-smoke tier, `xl` the
+// million-entity ranking tier that exercises the sharded/pruned paths.
+inline constexpr int32_t kWordNetScaleSmall = 3000;
+inline constexpr int32_t kWordNetScaleMedium = 100000;
+inline constexpr int32_t kWordNetScaleXl = 1000000;
+
+// Parses a --scale preset name ("small" | "medium" | "xl") into its
+// entity count. Returns false on an unknown name.
+bool ParseWordNetScale(std::string_view text, int32_t* num_entities);
 
 // Generates the dataset (vocabularies + split triples). Deterministic in
 // `options.seed`.

@@ -92,15 +92,18 @@ size_t Evaluator::CountHeadCandidates(const Triple& triple,
 }
 
 int ResolveEvalBatchQueries(int requested, int32_t num_entities,
-                            ScorePrecision precision) {
+                            ScorePrecision precision, int num_shards) {
   if (requested >= 1) return requested;
   // Auto: start at 32 queries per batch and halve while the per-thread
-  // B × E scoring footprint would exceed 64 MiB, so huge vocabularies
-  // never blow the cache budget (or the heap) just because batching is
-  // on. Each score is charged at the tier's streamed-candidate width
-  // (kDouble keeps a double accumulator group per candidate cell,
-  // float32 streams 4-byte rows, int8 1-byte rows), so the narrower
-  // tiers hold 2x/8x more queries per batch when the budget binds.
+  // B × ceil(E / num_shards) scoring footprint would exceed 64 MiB, so
+  // huge vocabularies never blow the cache budget (or the heap) just
+  // because batching is on. Each score is charged at the tier's
+  // streamed-candidate width (kDouble keeps a double accumulator group
+  // per candidate cell, float32 streams 4-byte rows, int8 1-byte rows),
+  // so the narrower tiers hold 2x/8x more queries per batch when the
+  // budget binds. Every term stays size_t: at 1M+ entities B × E ×
+  // bytes_per_score exceeds int32 range long before the budget halves
+  // the batch, so int math anywhere here would wrap instead of shrink.
   constexpr size_t kMaxScoreMatrixBytes = 64u << 20;
   size_t bytes_per_score = sizeof(double);
   switch (precision) {
@@ -114,10 +117,13 @@ int ResolveEvalBatchQueries(int requested, int32_t num_entities,
       bytes_per_score = 1;
       break;
   }
+  const size_t shards = size_t(std::max(num_shards, 1));
+  const size_t entities = size_t(std::max(num_entities, 1));
+  const size_t widest_shard = (entities + shards - 1) / shards;
   int batch = 32;
-  while (batch > 1 && size_t(batch) * size_t(std::max(num_entities, 1)) *
-                              bytes_per_score >
-                          kMaxScoreMatrixBytes) {
+  while (batch > 1 &&
+         size_t(batch) * widest_shard * bytes_per_score >
+             kMaxScoreMatrixBytes) {
     batch /= 2;
   }
   return batch;
@@ -170,16 +176,96 @@ EvalResult Evaluator::Evaluate(const KgeModel& model,
 
   const ScorePrecision precision = options.score_precision;
   KGE_CHECK(model.SupportsScorePrecision(precision));
+  const int num_shards = std::max(options.num_shards, 1);
+  const bool range_scan = options.prune || num_shards > 1;
   // Refresh any scoring replica the tier needs ONCE, before the fanout:
   // the rebuild mutates the replica, the scoring reads below do not.
-  model.PrepareForScoring(precision);
+  // The pruned path additionally refreshes the per-tile score bounds.
+  if (options.prune) {
+    model.PrepareForPrunedScoring(precision);
+  } else {
+    model.PrepareForScoring(precision);
+  }
   const int batch_queries =
       ResolveEvalBatchQueries(options.batch_queries, num_entities, precision);
   ThreadPool pool(size_t(std::max(1, options.num_threads)));
 
-  // Reduced-precision tiers only exist on the batched interface, so they
-  // take the batched path even at B = 1.
-  if (batch_queries <= 1 && precision == ScorePrecision::kDouble) {
+  if (range_scan) {
+    // Sharded / pruned ranking (DESIGN.md §5h): instead of materializing
+    // B × num_entities score matrices, each (triple, side, shard) task
+    // counts candidates above the true score inside its entity range
+    // with CountTailsAbove/CountHeadsAbove. Counts are additive over the
+    // shard partition and the scores are the exact kernel values the
+    // matrix paths produce, so the serial reduction below yields
+    // bit-identical ranks for every shard count, thread count, and prune
+    // setting. Each task re-derives the true score via ScoreOneTail/
+    // ScoreOneHead — deterministic and race-free, so no cross-task
+    // ordering matters.
+    const size_t tasks_per_triple = 2 * size_t(num_shards);
+    const size_t num_tasks = num_triples * tasks_per_triple;
+    std::vector<uint64_t> better(num_tasks, 0), equal(num_tasks, 0);
+    std::vector<RankScanStats> task_stats(num_tasks);
+    pool.ParallelFor(0, num_tasks, [&](size_t begin, size_t end) {
+      for (size_t task = begin; task < end; ++task) {
+        const size_t i = task / tasks_per_triple;
+        const size_t rem = task % tasks_per_triple;
+        const bool head_side = rem >= size_t(num_shards);
+        const int s = int(rem % size_t(num_shards));
+        const Triple& triple = (*eval_triples)[i];
+        const EntityId shard_begin = ShardBegin(num_entities, num_shards, s);
+        const EntityId shard_end =
+            ShardBegin(num_entities, num_shards, s + 1);
+        if (head_side) {
+          const std::span<const EntityId> known =
+              options.filtered
+                  ? filter_->KnownHeads(triple.tail, triple.relation)
+                  : std::span<const EntityId>();
+          const float truth = model.ScoreOneHead(
+              triple.head, triple.tail, triple.relation, precision);
+          model.CountHeadsAbove(triple.tail, triple.relation, truth,
+                                shard_begin, shard_end, known, triple.head,
+                                precision, options.prune, &better[task],
+                                &equal[task], &task_stats[task]);
+        } else {
+          const std::span<const EntityId> known =
+              options.filtered
+                  ? filter_->KnownTails(triple.head, triple.relation)
+                  : std::span<const EntityId>();
+          const float truth = model.ScoreOneTail(
+              triple.head, triple.tail, triple.relation, precision);
+          model.CountTailsAbove(triple.head, triple.relation, truth,
+                                shard_begin, shard_end, known, triple.tail,
+                                precision, options.prune, &better[task],
+                                &equal[task], &task_stats[task]);
+        }
+      }
+    });
+    for (size_t i = 0; i < num_triples; ++i) {
+      const Triple& triple = (*eval_triples)[i];
+      uint64_t tail_better = 0, tail_equal = 0;
+      uint64_t head_better = 0, head_equal = 0;
+      for (size_t s = 0; s < size_t(num_shards); ++s) {
+        const size_t tail_task = i * tasks_per_triple + s;
+        const size_t head_task = tail_task + size_t(num_shards);
+        tail_better += better[tail_task];
+        tail_equal += equal[tail_task];
+        head_better += better[head_task];
+        head_equal += equal[head_task];
+      }
+      tail_ranks[i] = 1.0 + double(tail_better) + double(tail_equal) / 2.0;
+      head_ranks[i] = 1.0 + double(head_better) + double(head_equal) / 2.0;
+      tail_cands[i] =
+          CountTailCandidates(triple, num_entities, options.filtered);
+      head_cands[i] =
+          CountHeadCandidates(triple, num_entities, options.filtered);
+    }
+    for (const RankScanStats& stats : task_stats) {
+      result.scan_stats.tiles_total += stats.tiles_total;
+      result.scan_stats.tiles_skipped += stats.tiles_skipped;
+    }
+  } else if (batch_queries <= 1 && precision == ScorePrecision::kDouble) {
+    // Reduced-precision tiers only exist on the batched interface, so
+    // they take the batched path even at B = 1.
     // Legacy per-query GEMV path: one ScoreAllTails/Heads per triple.
     pool.ParallelFor(0, num_triples, [&](size_t begin, size_t end) {
       static thread_local std::vector<float> score_buf;

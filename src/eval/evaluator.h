@@ -46,18 +46,37 @@ struct EvalOptions {
   // take the batched path, and Evaluate refreshes the model's scoring
   // replicas once (PrepareForScoring) before fanning out.
   ScorePrecision score_precision = ScorePrecision::kDouble;
+  // Entity-table shards for the range-scoped ranking path (DESIGN.md
+  // §5h). With > 1 (or prune set) ranking runs per-(triple, side, shard)
+  // count scans instead of materializing B × num_entities score
+  // matrices, so million-entity vocabularies rank inside the cache
+  // budget. Metrics are exactly invariant to this setting: range counts
+  // are additive over any partition of [0, num_entities) and scores are
+  // the same kernel values the exhaustive path produces.
+  int num_shards = 1;
+  // Skip candidate tiles whose Cauchy–Schwarz score bound proves no
+  // candidate in them can reach the true triple's score. Conservative
+  // and never approximate — metrics stay bit-identical; only the work
+  // (RankScanStats::tiles_skipped) changes. Implies the range-scoped
+  // path even at num_shards == 1.
+  bool prune = false;
 };
 
 // Resolves EvalOptions::batch_queries: values >= 1 pass through; 0 picks
-// 32 and halves it while the per-thread B × num_entities score matrix
-// would exceed 64 MiB (never below 1). The budget charges each score at
-// the precision tier's streamed-candidate width — 8 bytes at kDouble
-// (double accumulators live per candidate), 4 at kFloat32, 1 at kInt8 —
-// so the narrower tiers keep proportionally larger batches when the
-// budget binds instead of inheriting the double tier's cap. Exposed so
-// tools can log the effective batch size.
+// 32 and halves it while the per-thread B × ceil(num_entities /
+// num_shards) score matrix would exceed 64 MiB (never below 1). The
+// budget charges each score at the precision tier's streamed-candidate
+// width — 8 bytes at kDouble (double accumulators live per candidate),
+// 4 at kFloat32, 1 at kInt8 — so the narrower tiers keep proportionally
+// larger batches when the budget binds instead of inheriting the double
+// tier's cap, and sharded rankers only pay for the widest shard they
+// actually materialize. All sizing math is size_t: at num_entities ≥ 1M
+// a B × E product already exceeds int32 range at kDouble, so nothing in
+// the budget walk may round-trip through int. Exposed so tools can log
+// the effective batch size.
 int ResolveEvalBatchQueries(int requested, int32_t num_entities,
-                            ScorePrecision precision = ScorePrecision::kDouble);
+                            ScorePrecision precision = ScorePrecision::kDouble,
+                            int num_shards = 1);
 
 struct PerRelationMetrics {
   RelationId relation = 0;
@@ -68,6 +87,11 @@ struct PerRelationMetrics {
 struct EvalResult {
   RankingMetrics overall;
   std::vector<PerRelationMetrics> per_relation;
+  // Tile counters aggregated over every range scan of the run (only
+  // populated by the sharded/pruned path; zero on the matrix paths).
+  // tiles_skipped / tiles_total is the pruning effectiveness BENCH_eval
+  // reports as tiles_skipped_frac.
+  RankScanStats scan_stats;
 };
 
 class Evaluator {

@@ -1,5 +1,6 @@
 #include "eval/topk.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/check.h"
@@ -7,14 +8,74 @@
 namespace kge {
 namespace {
 
-std::vector<ScoredEntity> SelectTopK(std::span<const float> scores,
-                                     std::span<const EntityId> excluded,
-                                     int k) {
-  TopKHeap<float, EntityId> heap(k);
-  heap.PushScoresExcluding(scores, excluded);
+// Runs the range-scoped top-k scan shard by shard (sequentially — this
+// is the offline convenience API; the serving layer runs the same scans
+// thread-per-shard) and merges deterministically. With num_shards == 1
+// and prune off this degenerates to one exhaustive pass, so the result
+// is identical for every option combination by the scan contract.
+std::vector<ScoredEntity> SelectTopK(
+    const KgeModel& model, EntityId query_entity, RelationId relation,
+    bool tails, std::span<const EntityId> excluded,
+    const TopKOptions& options) {
+  const int shards = std::max(options.num_shards, 1);
+  const EntityId num_entities = model.num_entities();
+  if (options.prune) {
+    model.PrepareForPrunedScoring(ScorePrecision::kDouble);
+  }
+  RankScanStats stats;
+  TopKHeap<float, EntityId> merged(options.k);
+  TopKHeap<float, EntityId> shard_heap(options.k);
+  // Sharded + pruned: a shard heap's own minimum only reflects its
+  // shard, so prime a shared floor from an exhaustive prefix scan. The
+  // k-th best of any >= k candidates lower-bounds the global k-th best,
+  // so skipping tiles strictly below it stays exact. The prefix is
+  // padded by the excluded count so the heap still sees >= k admissible
+  // candidates.
+  float prune_floor = 0.0f;
+  bool have_floor = false;
+  if (options.prune && shards > 1) {
+    const int64_t prime_span =
+        std::max<int64_t>(options.k, int64_t(KgeModel::kPrunePrimePrefix)) +
+        int64_t(excluded.size());
+    const EntityId prime_end =
+        EntityId(std::min<int64_t>(int64_t(num_entities), prime_span));
+    shard_heap.ResetCapacity(options.k);
+    if (tails) {
+      model.TopKTailsInRange(query_entity, relation, 0, prime_end, excluded,
+                             ScorePrecision::kDouble, /*prune=*/false,
+                             &shard_heap, &stats);
+    } else {
+      model.TopKHeadsInRange(query_entity, relation, 0, prime_end, excluded,
+                             ScorePrecision::kDouble, /*prune=*/false,
+                             &shard_heap, &stats);
+    }
+    if (shard_heap.full()) {
+      prune_floor = shard_heap.WorstScore();
+      have_floor = true;
+    }
+  }
+  for (int s = 0; s < shards; ++s) {
+    const EntityId begin = ShardBegin(num_entities, shards, s);
+    const EntityId end = ShardBegin(num_entities, shards, s + 1);
+    TopKHeap<float, EntityId>* heap = shards == 1 ? &merged : &shard_heap;
+    if (shards != 1) {
+      shard_heap.ResetCapacity(options.k);
+      if (have_floor) shard_heap.SetPruneFloor(prune_floor);
+    }
+    if (tails) {
+      model.TopKTailsInRange(query_entity, relation, begin, end, excluded,
+                             ScorePrecision::kDouble, options.prune, heap,
+                             &stats);
+    } else {
+      model.TopKHeadsInRange(query_entity, relation, begin, end, excluded,
+                             ScorePrecision::kDouble, options.prune, heap,
+                             &stats);
+    }
+    if (shards != 1) merged.MergeFrom(shard_heap);
+  }
   std::vector<ScoredEntity> result;
-  result.reserve(size_t(heap.size()));
-  for (const auto& entry : heap.TakeSorted()) {
+  result.reserve(size_t(merged.size()));
+  for (const auto& entry : merged.TakeSorted()) {
     result.push_back({entry.entity, entry.score});
   }
   return result;
@@ -26,26 +87,23 @@ std::vector<ScoredEntity> PredictTails(const KgeModel& model, EntityId head,
                                        RelationId relation,
                                        const TopKOptions& options) {
   KGE_CHECK(head >= 0 && head < model.num_entities());
-  std::vector<float> scores(size_t(model.num_entities()));
-  model.ScoreAllTails(head, relation, scores);
   const std::span<const EntityId> excluded =
       options.exclude_known != nullptr
           ? options.exclude_known->KnownTails(head, relation)
           : std::span<const EntityId>();
-  return SelectTopK(scores, excluded, options.k);
+  return SelectTopK(model, head, relation, /*tails=*/true, excluded, options);
 }
 
 std::vector<ScoredEntity> PredictHeads(const KgeModel& model, EntityId tail,
                                        RelationId relation,
                                        const TopKOptions& options) {
   KGE_CHECK(tail >= 0 && tail < model.num_entities());
-  std::vector<float> scores(size_t(model.num_entities()));
-  model.ScoreAllHeads(tail, relation, scores);
   const std::span<const EntityId> excluded =
       options.exclude_known != nullptr
           ? options.exclude_known->KnownHeads(tail, relation)
           : std::span<const EntityId>();
-  return SelectTopK(scores, excluded, options.k);
+  return SelectTopK(model, tail, relation, /*tails=*/false, excluded,
+                    options);
 }
 
 }  // namespace kge

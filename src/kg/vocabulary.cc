@@ -10,6 +10,12 @@ int32_t Vocabulary::GetOrAdd(const std::string& name) {
   return it->second;
 }
 
+void Vocabulary::Reserve(int32_t capacity) {
+  if (capacity <= 0) return;
+  ids_.reserve(static_cast<size_t>(capacity));
+  names_.reserve(static_cast<size_t>(capacity));
+}
+
 int32_t Vocabulary::Find(const std::string& name) const {
   auto it = ids_.find(name);
   return it == ids_.end() ? -1 : it->second;

@@ -18,6 +18,11 @@ class Vocabulary {
   // assigned in first-seen order.
   int32_t GetOrAdd(const std::string& name);
 
+  // Pre-sizes the intern structures for `capacity` names, so bulk
+  // construction (e.g. the million-entity synthetic generators) does
+  // not rehash/reallocate its way up.
+  void Reserve(int32_t capacity);
+
   // Returns the id for `name` or -1 if absent.
   int32_t Find(const std::string& name) const;
 

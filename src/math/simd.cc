@@ -1294,6 +1294,77 @@ void QuantizeRowsI8(const float* rows, size_t num_rows, size_t n,
   }
 }
 
+// ---- Pruned-ranking support kernels (see simd.h) ---------------------------
+// The bound builders are cold (replica rebuild) and shared-scalar on
+// every ISA; determinism comes from SquaredNorm's cross-ISA contract
+// (master tier) resp. exact integer arithmetic (int8 tier). The rounding
+// direction of float(sqrt(...)) does not matter for correctness: the
+// query-time kPruneBoundSlack multiplier absorbs it.
+
+void TileMaxRowNorms(const float* rows, size_t num_rows, size_t n,
+                     size_t rows_per_tile, float* tile_norms) {
+  size_t t = 0;
+  for (size_t row0 = 0; row0 < num_rows; row0 += rows_per_tile, ++t) {
+    const size_t limit = std::min(num_rows, row0 + rows_per_tile);
+    double max_sq = 0.0;
+    for (size_t row = row0; row < limit; ++row) {
+      const double sq = SquaredNorm(rows + row * n, n);
+      if (sq > max_sq) max_sq = sq;
+    }
+    tile_norms[t] = float(std::sqrt(max_sq));
+  }
+}
+
+void TileMaxRowNormsI8(const std::int8_t* rows8, const float* scales,
+                       size_t num_rows, size_t n, size_t rows_per_tile,
+                       float* tile_norms) {
+  size_t t = 0;
+  for (size_t row0 = 0; row0 < num_rows; row0 += rows_per_tile, ++t) {
+    const size_t limit = std::min(num_rows, row0 + rows_per_tile);
+    double max_bound = 0.0;
+    for (size_t row = row0; row < limit; ++row) {
+      const std::int8_t* codes = rows8 + row * n;
+      // Σ code² ≤ 127²·n fits a double exactly, so the sum is
+      // order-independent and identical on every ISA.
+      double sq = 0.0;
+      for (size_t d = 0; d < n; ++d) {
+        const double c = double(codes[d]);
+        sq += c * c;
+      }
+      const double bound = double(scales[row]) * std::sqrt(sq);
+      if (bound > max_bound) max_bound = bound;
+    }
+    tile_norms[t] = float(max_bound);
+  }
+}
+
+void CountGreaterEqual(const float* scores, size_t n, float threshold,
+                       size_t* greater, size_t* equal) {
+  size_t g = 0;
+  size_t e = 0;
+  size_t i = 0;
+#if defined(KGE_SIMD_ISA_AVX2)
+  const __m256 th = _mm256_set1_ps(threshold);
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(scores + i);
+    const int gt = _mm256_movemask_ps(_mm256_cmp_ps(v, th, _CMP_GT_OQ));
+    const int eq = _mm256_movemask_ps(_mm256_cmp_ps(v, th, _CMP_EQ_OQ));
+    g += size_t(__builtin_popcount(unsigned(gt)));
+    e += size_t(__builtin_popcount(unsigned(eq)));
+  }
+#endif
+  for (; i < n; ++i) {
+    const float s = scores[i];
+    if (s > threshold) {
+      ++g;
+    } else if (s == threshold) {
+      ++e;
+    }
+  }
+  *greater = g;
+  *equal = e;
+}
+
 // ---- Naive references ------------------------------------------------------
 
 namespace ref {
@@ -1393,6 +1464,56 @@ void DotBatchMultiI8(const float* queries, size_t num_queries,
           ScalarDotI8(queries + q * n, rows8 + row * n, scales[row], n);
     }
   }
+}
+
+void TileMaxRowNorms(const float* rows, size_t num_rows, size_t n,
+                     size_t rows_per_tile, float* tile_norms) {
+  size_t t = 0;
+  for (size_t row0 = 0; row0 < num_rows; row0 += rows_per_tile, ++t) {
+    const size_t limit = std::min(num_rows, row0 + rows_per_tile);
+    double max_sq = 0.0;
+    for (size_t row = row0; row < limit; ++row) {
+      const double sq = SquaredNorm(rows + row * n, n);
+      if (sq > max_sq) max_sq = sq;
+    }
+    tile_norms[t] = float(std::sqrt(max_sq));
+  }
+}
+
+void TileMaxRowNormsI8(const std::int8_t* rows8, const float* scales,
+                       size_t num_rows, size_t n, size_t rows_per_tile,
+                       float* tile_norms) {
+  size_t t = 0;
+  for (size_t row0 = 0; row0 < num_rows; row0 += rows_per_tile, ++t) {
+    const size_t limit = std::min(num_rows, row0 + rows_per_tile);
+    double max_bound = 0.0;
+    for (size_t row = row0; row < limit; ++row) {
+      const std::int8_t* codes = rows8 + row * n;
+      double sq = 0.0;
+      for (size_t d = 0; d < n; ++d) {
+        const double c = double(codes[d]);
+        sq += c * c;
+      }
+      const double bound = double(scales[row]) * std::sqrt(sq);
+      if (bound > max_bound) max_bound = bound;
+    }
+    tile_norms[t] = float(max_bound);
+  }
+}
+
+void CountGreaterEqual(const float* scores, size_t n, float threshold,
+                       size_t* greater, size_t* equal) {
+  size_t g = 0;
+  size_t e = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (scores[i] > threshold) {
+      ++g;
+    } else if (scores[i] == threshold) {
+      ++e;
+    }
+  }
+  *greater = g;
+  *equal = e;
 }
 
 void Hadamard(const float* a, const float* b, float* out, size_t n) {

@@ -194,6 +194,66 @@ void DotBatchMultiI8(const float* queries, size_t num_queries,
 void QuantizeRowsI8(const float* rows, size_t num_rows, size_t n,
                     std::int8_t* out8, float* scales);
 
+// ---- Pruned-ranking support kernels ----------------------------------------
+//
+// The bound-based pruning path (DESIGN.md §5h) walks the entity table in
+// the same ≤ kDotBatchMultiTileBytes tiles as DotBatchMulti and skips a
+// tile when a precomputed Cauchy–Schwarz upper bound proves no row in it
+// can reach the current threshold. The bound for tile t is
+//
+//   ‖fold‖₂ · tile_norms[t] · kPruneBoundSlack
+//
+// where tile_norms[t] is the max row L2 norm inside the tile (for the
+// int8 tier, the max of scales[row]·‖codes_row‖₂). kPruneBoundSlack
+// absorbs every rounding the finite-precision pipeline can introduce
+// (float-rounded norms, float/double accumulation error in the scoring
+// kernels, the sqrt), so the bound is conservative and pruning is EXACT:
+// a skipped tile provably contains no score ≥ the threshold. Relative
+// accumulation error is O(n·eps) ≈ 3e-5 for float at n = 1024; 2⁻¹⁰ is
+// ~30x above that.
+inline constexpr double kPruneBoundSlack = 1.0 + 0x1p-10;
+
+// Rows per bound tile for an entity table whose rows are n floats wide.
+// One geometry serves every precision tier (keyed to the master float
+// row width), so a single bound array index maps to the same row range
+// regardless of tier.
+constexpr size_t PrunedTileRows(size_t n) {
+  const size_t bytes = n * sizeof(float);
+  if (bytes == 0) return 1;
+  const size_t rows = kDotBatchMultiTileBytes / bytes;
+  return rows == 0 ? 1 : rows;
+}
+
+// Number of bound tiles covering num_rows rows (= ceil division).
+constexpr size_t PrunedTileCount(size_t num_rows, size_t n) {
+  const size_t rows_per_tile = PrunedTileRows(n);
+  return (num_rows + rows_per_tile - 1) / rows_per_tile;
+}
+
+// tile_norms[t] = max over rows r in tile t of float(sqrt(SquaredNorm(r)))
+// where tile t covers rows [t·rows_per_tile, (t+1)·rows_per_tile). Cold
+// path (replica rebuild); SquaredNorm is bit-identical across ISAs, so
+// the bound table is too.
+void TileMaxRowNorms(const float* rows, size_t num_rows, size_t n,
+                     size_t rows_per_tile, float* tile_norms);
+
+// Int8-tier twin: tile_norms[t] = max over rows of
+// float(scales[row]·sqrt(Σ_d codes[d]²)). The code sum is an exact
+// integer in double, so this is bit-identical across ISAs by
+// construction (shared scalar code).
+void TileMaxRowNormsI8(const std::int8_t* rows8, const float* scales,
+                       size_t num_rows, size_t n, size_t rows_per_tile,
+                       float* tile_norms);
+
+// *greater = |{i < n : scores[i] > threshold}| and
+// *equal = |{i < n : scores[i] == threshold}| — the fused
+// compare-and-count inner step of the pruned rank-counting scan.
+// Integer outputs are order-independent, hence trivially bit-identical
+// across ISAs.
+KGE_HOT_NOALLOC
+void CountGreaterEqual(const float* scores, size_t n, float threshold,
+                       size_t* greater, size_t* equal);
+
 // ---- Elementwise kernels (float, fixed association, FMA-free) --------------
 
 // out[d] = a[d]·b[d]
@@ -253,6 +313,13 @@ void DotBatchMultiF32(const float* queries, size_t num_queries,
 void DotBatchMultiI8(const float* queries, size_t num_queries,
                      const std::int8_t* rows8, const float* scales,
                      size_t num_rows, size_t n, float* out);
+void TileMaxRowNorms(const float* rows, size_t num_rows, size_t n,
+                     size_t rows_per_tile, float* tile_norms);
+void TileMaxRowNormsI8(const std::int8_t* rows8, const float* scales,
+                       size_t num_rows, size_t n, size_t rows_per_tile,
+                       float* tile_norms);
+void CountGreaterEqual(const float* scores, size_t n, float threshold,
+                       size_t* greater, size_t* equal);
 void Hadamard(const float* a, const float* b, float* out, size_t n);
 void HadamardAxpy(float scale, const float* a, const float* b, float* out,
                   size_t n);

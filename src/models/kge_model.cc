@@ -1,8 +1,68 @@
 #include "models/kge_model.h"
 
 #include "util/check.h"
+#include "util/scratch.h"
 
 namespace kge {
+namespace {
+
+// Full-vocabulary scratch for the exhaustive range-scan fallbacks: one
+// per-thread buffer reused across calls (contents overwritten each use).
+KGE_HOT_NOALLOC
+std::span<float> FullScanScratch(size_t num_entities) {
+  static thread_local std::vector<float> buf;
+  return ScratchSpan(buf, num_entities);
+}
+
+// Walks scores[begin, end) counting strictly-greater / equal candidates
+// against `threshold`, skipping `excluded` ids (sorted ascending) and
+// `also_skip`. Shared by the base-class fallbacks; `scores` is indexed
+// by absolute entity id.
+KGE_HOT_NOALLOC
+void CountRangeAgainstThreshold(std::span<const float> scores,
+                                float threshold, EntityId begin,
+                                EntityId end,
+                                std::span<const EntityId> excluded,
+                                EntityId also_skip, uint64_t* better,
+                                uint64_t* equal) {
+  size_t cursor = 0;
+  while (cursor < excluded.size() && excluded[cursor] < begin) ++cursor;
+  uint64_t g = 0;
+  uint64_t eq = 0;
+  for (EntityId e = begin; e < end; ++e) {
+    if (cursor < excluded.size() && excluded[cursor] == e) {
+      ++cursor;
+      continue;
+    }
+    if (e == also_skip) continue;
+    const float s = scores[size_t(e)];
+    if (s > threshold) {
+      ++g;
+    } else if (s == threshold) {
+      ++eq;
+    }
+  }
+  *better += g;
+  *equal += eq;
+}
+
+// Offers scores[begin, end) to `heap`, skipping `excluded` ids.
+KGE_HOT_NOALLOC
+void PushRangeExcluding(std::span<const float> scores, EntityId begin,
+                        EntityId end, std::span<const EntityId> excluded,
+                        TopKHeap<float, EntityId>* heap) {
+  size_t cursor = 0;
+  while (cursor < excluded.size() && excluded[cursor] < begin) ++cursor;
+  for (EntityId e = begin; e < end; ++e) {
+    if (cursor < excluded.size() && excluded[cursor] == e) {
+      ++cursor;
+      continue;
+    }
+    heap->PushCandidate(e, scores[size_t(e)]);
+  }
+}
+
+}  // namespace
 
 void KgeModel::ScoreAllTailsBatch(std::span<const EntityId> heads,
                                   RelationId relation,
@@ -36,6 +96,92 @@ void KgeModel::ScoreAllHeadsBatch(std::span<const EntityId> tails,
                                   ScorePrecision precision) const {
   KGE_CHECK(precision == ScorePrecision::kDouble);
   ScoreAllHeadsBatch(tails, relation, out);
+}
+
+void KgeModel::CountTailsAbove(EntityId head, RelationId relation,
+                               float threshold, EntityId begin, EntityId end,
+                               std::span<const EntityId> excluded,
+                               EntityId also_skip, ScorePrecision precision,
+                               bool prune, uint64_t* better, uint64_t* equal,
+                               RankScanStats* stats) const {
+  (void)prune;  // no tile bounds in the exhaustive fallback
+  if (begin >= end) return;
+  const std::span<float> scores = FullScanScratch(size_t(num_entities()));
+  const EntityId heads[1] = {head};
+  ScoreAllTailsBatch(std::span<const EntityId>(heads, 1), relation, scores,
+                     precision);
+  CountRangeAgainstThreshold(scores, threshold, begin, end, excluded,
+                             also_skip, better, equal);
+  stats->tiles_total += 1;
+}
+
+void KgeModel::CountHeadsAbove(EntityId tail, RelationId relation,
+                               float threshold, EntityId begin, EntityId end,
+                               std::span<const EntityId> excluded,
+                               EntityId also_skip, ScorePrecision precision,
+                               bool prune, uint64_t* better, uint64_t* equal,
+                               RankScanStats* stats) const {
+  (void)prune;
+  if (begin >= end) return;
+  const std::span<float> scores = FullScanScratch(size_t(num_entities()));
+  const EntityId tails[1] = {tail};
+  ScoreAllHeadsBatch(std::span<const EntityId>(tails, 1), relation, scores,
+                     precision);
+  CountRangeAgainstThreshold(scores, threshold, begin, end, excluded,
+                             also_skip, better, equal);
+  stats->tiles_total += 1;
+}
+
+float KgeModel::ScoreOneTail(EntityId head, EntityId tail,
+                             RelationId relation,
+                             ScorePrecision precision) const {
+  const std::span<float> scores = FullScanScratch(size_t(num_entities()));
+  const EntityId heads[1] = {head};
+  ScoreAllTailsBatch(std::span<const EntityId>(heads, 1), relation, scores,
+                     precision);
+  return scores[size_t(tail)];
+}
+
+float KgeModel::ScoreOneHead(EntityId head, EntityId tail,
+                             RelationId relation,
+                             ScorePrecision precision) const {
+  const std::span<float> scores = FullScanScratch(size_t(num_entities()));
+  const EntityId tails[1] = {tail};
+  ScoreAllHeadsBatch(std::span<const EntityId>(tails, 1), relation, scores,
+                     precision);
+  return scores[size_t(head)];
+}
+
+void KgeModel::TopKTailsInRange(EntityId head, RelationId relation,
+                                EntityId begin, EntityId end,
+                                std::span<const EntityId> excluded,
+                                ScorePrecision precision, bool prune,
+                                TopKHeap<float, EntityId>* heap,
+                                RankScanStats* stats) const {
+  (void)prune;
+  if (begin >= end) return;
+  const std::span<float> scores = FullScanScratch(size_t(num_entities()));
+  const EntityId heads[1] = {head};
+  ScoreAllTailsBatch(std::span<const EntityId>(heads, 1), relation, scores,
+                     precision);
+  PushRangeExcluding(scores, begin, end, excluded, heap);
+  stats->tiles_total += 1;
+}
+
+void KgeModel::TopKHeadsInRange(EntityId tail, RelationId relation,
+                                EntityId begin, EntityId end,
+                                std::span<const EntityId> excluded,
+                                ScorePrecision precision, bool prune,
+                                TopKHeap<float, EntityId>* heap,
+                                RankScanStats* stats) const {
+  (void)prune;
+  if (begin >= end) return;
+  const std::span<float> scores = FullScanScratch(size_t(num_entities()));
+  const EntityId tails[1] = {tail};
+  ScoreAllHeadsBatch(std::span<const EntityId>(tails, 1), relation, scores,
+                     precision);
+  PushRangeExcluding(scores, begin, end, excluded, heap);
+  stats->tiles_total += 1;
 }
 
 void KgeModel::ScoreTailBatch(EntityId head, RelationId relation,

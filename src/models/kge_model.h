@@ -19,10 +19,30 @@
 
 #include "core/parameter_block.h"
 #include "core/scoring_replica.h"
+#include "core/topk_heap.h"
 #include "kg/triple.h"
 #include "util/hotpath.h"
 
 namespace kge {
+
+// Counters reported by the range-scoped ranking scans (DESIGN.md §5h):
+// how many bound tiles the scan covered and how many it proved
+// sub-threshold and skipped without touching their rows. Exhaustive
+// fallbacks count their whole range as one unskipped tile.
+struct RankScanStats {
+  uint64_t tiles_total = 0;
+  uint64_t tiles_skipped = 0;
+};
+
+// Start of shard s when [0, n) is split into `shards` contiguous
+// near-equal ranges: shard s covers
+// [ShardBegin(n, shards, s), ShardBegin(n, shards, s + 1)). Computed in
+// 64-bit so n·shards never overflows, monotone in s, and exactly
+// partitioning — the sharded ranking paths rely on every id landing in
+// exactly one shard.
+constexpr EntityId ShardBegin(EntityId n, int shards, int s) {
+  return EntityId((int64_t(n) * int64_t(s)) / int64_t(shards));
+}
 
 class KgeModel {
  public:
@@ -101,6 +121,101 @@ class KgeModel {
   virtual void PrepareForScoring(ScorePrecision precision) const {
     (void)precision;
   }
+
+  // PrepareForScoring plus a rebuild of the per-tile score bounds the
+  // pruned range scans read (ScoringReplica::EnsureBoundsFresh). Models
+  // without tile bounds just forward to PrepareForScoring — their
+  // exhaustive range-scan fallbacks need no bounds. Same threading
+  // contract as PrepareForScoring: one thread, no concurrent scoring.
+  virtual void PrepareForPrunedScoring(ScorePrecision precision) const {
+    PrepareForScoring(precision);
+  }
+
+  // ---- Range-scoped ranking scans (sharded / pruned path, §5h) -------------
+  //
+  // These four scans restrict ranking to the candidate range
+  // [begin, end) of the entity table. Scores are the exact float values
+  // the batched kernels produce at `precision` (the per-cell numerics
+  // contract of math/simd.h), so restricting the range is pure
+  // scheduling: counts summed over any shard partition of
+  // [0, num_entities) equal the single-range counts bit-for-bit, and a
+  // top-k heap fed per shard then merged returns exactly the single-pass
+  // result. When `prune` is set, models with precomputed tile bounds
+  // (the trilinear family, via ScoringReplica) skip tiles whose
+  // Cauchy–Schwarz upper bound proves every score in them is below the
+  // current threshold — exact, never approximate. The base
+  // implementations are exhaustive (score the full vocabulary into
+  // thread-local scratch, then walk the range) and report the range as
+  // one unskipped tile. All four must be thread-safe for concurrent
+  // calls; non-double tiers require PrepareForScoring first.
+
+  // Counts candidate tails t' in [begin, end) with score strictly above
+  // (*better) resp. equal to (*equal) `threshold`, skipping ids in
+  // `excluded` (sorted ascending) and `also_skip` (pass kNoSkipEntity
+  // for none; an also_skip id that also appears in `excluded` is skipped
+  // once). Adds to *better/*equal and to `stats`.
+  KGE_HOT_NOALLOC
+  virtual void CountTailsAbove(EntityId head, RelationId relation,
+                               float threshold, EntityId begin, EntityId end,
+                               std::span<const EntityId> excluded,
+                               EntityId also_skip, ScorePrecision precision,
+                               bool prune, uint64_t* better, uint64_t* equal,
+                               RankScanStats* stats) const;
+  // Head-side twin: counts candidate heads h' for (h', tail, relation).
+  KGE_HOT_NOALLOC
+  virtual void CountHeadsAbove(EntityId tail, RelationId relation,
+                               float threshold, EntityId begin, EntityId end,
+                               std::span<const EntityId> excluded,
+                               EntityId also_skip, ScorePrecision precision,
+                               bool prune, uint64_t* better, uint64_t* equal,
+                               RankScanStats* stats) const;
+
+  // Sentinel for CountTailsAbove/CountHeadsAbove's also_skip.
+  static constexpr EntityId kNoSkipEntity = EntityId(-1);
+
+  // Prefix length sharded+pruned callers scan exhaustively to prime a
+  // shared prune floor (TopKHeap::SetPruneFloor) before fanning out.
+  // The k-th best of the prefix lower-bounds the global k-th best, so
+  // the floor keeps per-shard pruning exact; a few thousand candidates
+  // make it tight enough to bite (k alone is too noisy — a high-norm
+  // row does not guarantee a high score), while staying a negligible
+  // fraction of a 100k+ entity table.
+  static constexpr EntityId kPrunePrimePrefix = EntityId(2048);
+
+  // The float score of the single cell (head, tail) exactly as the
+  // batched kernels produce it at `precision` — the rank threshold of
+  // the pruned evaluator. (float(Score(triple)) is NOT the same value
+  // for reduced tiers, and can differ in the last bit even at kDouble
+  // for models whose ScoreAll* path reassociates.)
+  KGE_HOT_NOALLOC
+  virtual float ScoreOneTail(EntityId head, EntityId tail,
+                             RelationId relation,
+                             ScorePrecision precision) const;
+  KGE_HOT_NOALLOC
+  virtual float ScoreOneHead(EntityId head, EntityId tail,
+                             RelationId relation,
+                             ScorePrecision precision) const;
+
+  // Offers every candidate tail in [begin, end) not in `excluded`
+  // (sorted ascending) to `heap`. With `prune`, tiles whose bound
+  // cannot beat the heap's current minimum are skipped — only once the
+  // heap is full, and only on a strictly-less comparison (an
+  // equal-score candidate can still win its way in via the smaller-id
+  // tie-break, so equality never skips).
+  KGE_HOT_NOALLOC
+  virtual void TopKTailsInRange(EntityId head, RelationId relation,
+                                EntityId begin, EntityId end,
+                                std::span<const EntityId> excluded,
+                                ScorePrecision precision, bool prune,
+                                TopKHeap<float, EntityId>* heap,
+                                RankScanStats* stats) const;
+  KGE_HOT_NOALLOC
+  virtual void TopKHeadsInRange(EntityId tail, RelationId relation,
+                                EntityId begin, EntityId end,
+                                std::span<const EntityId> excluded,
+                                ScorePrecision precision, bool prune,
+                                TopKHeap<float, EntityId>* heap,
+                                RankScanStats* stats) const;
 
   // Scores (h, t', r) for each candidate tail t' in `tails`;
   // out[i] = float(Score({h, tails[i], r})). The base implementation

@@ -1,7 +1,10 @@
 #include "models/trilinear_models.h"
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
+#include "math/simd.h"
 #include "math/vec_ops.h"
 #include "util/check.h"
 #include "util/scratch.h"
@@ -164,6 +167,246 @@ void MultiEmbeddingModel::ScoreAllHeadsBatch(std::span<const EntityId> tails,
   }
   DotBatchMultiAt(precision, folds, tails.size(), entities_.block(),
                   entity_replica_, out);
+}
+
+namespace {
+
+// Scores entity rows [row0, row0 + len) against one fold at `precision`
+// — the range-restricted twin of DotBatchMultiAt. Each output value is
+// bit-identical to the corresponding cell of the full-table batched
+// product (the per-cell contract of math/simd.h), so tiling, sharding,
+// and pruning are pure scheduling.
+KGE_HOT_NOALLOC
+void ScoreRowsAt(ScorePrecision precision, const float* fold, size_t width,
+                 const ParameterBlock& entity_block,
+                 const ScoringReplica& replica, size_t row0, size_t len,
+                 float* out) {
+  switch (precision) {
+    case ScorePrecision::kDouble:
+      simd::DotBatch(fold, entity_block.Flat().data() + row0 * width, len,
+                     width, out);
+      return;
+    case ScorePrecision::kFloat32:
+      simd::DotBatchMultiF32(fold, 1, entity_block.Flat().data() + row0 * width,
+                             len, width, out);
+      return;
+    case ScorePrecision::kInt8:
+      KGE_DCHECK(replica.IsFresh(ScorePrecision::kInt8));
+      simd::DotBatchMultiI8(fold, 1, replica.Int8Rows().data() + row0 * width,
+                            replica.Int8Scales().data() + row0, len, width,
+                            out);
+      return;
+  }
+  KGE_CHECK(false);
+}
+
+}  // namespace
+
+void MultiEmbeddingModel::PrunedCountScan(
+    std::span<const float> fold, float threshold, EntityId begin,
+    EntityId end, std::span<const EntityId> excluded, EntityId also_skip,
+    ScorePrecision precision, bool prune, uint64_t* better, uint64_t* equal,
+    RankScanStats* stats) const {
+  if (begin >= end) return;
+  const size_t width = fold.size();
+  const size_t rows_per_tile = simd::PrunedTileRows(width);
+  static thread_local std::vector<float> tile_buf;
+  const std::span<float> tile_scores = ScratchSpan(tile_buf, rows_per_tile);
+  std::span<const float> bounds;
+  double query_norm = 0.0;
+  if (prune) {
+    KGE_DCHECK(entity_replica_.BoundsFresh(precision));
+    bounds = entity_replica_.TileBounds(precision);
+    query_norm = std::sqrt(simd::SquaredNorm(fold.data(), width)) *
+                 simd::kPruneBoundSlack;
+  }
+  const bool skip_in_excluded =
+      std::binary_search(excluded.begin(), excluded.end(), also_skip);
+  size_t cursor = 0;
+  while (cursor < excluded.size() && excluded[cursor] < begin) ++cursor;
+  uint64_t g_total = 0;
+  uint64_t e_total = 0;
+  for (size_t row0 = size_t(begin); row0 < size_t(end);) {
+    const size_t tile = row0 / rows_per_tile;
+    const size_t tile_end =
+        std::min(size_t(end), (tile + 1) * rows_per_tile);
+    stats->tiles_total += 1;
+    // Strict <: a tile whose bound equals the threshold can still hold
+    // equal-scoring candidates, which the tie-aware rank counts.
+    if (prune && query_norm * double(bounds[tile]) < double(threshold)) {
+      stats->tiles_skipped += 1;
+      // A skipped tile provably holds no score >= threshold, so its
+      // excluded ids would have contributed nothing either.
+      while (cursor < excluded.size() && size_t(excluded[cursor]) < tile_end) {
+        ++cursor;
+      }
+      row0 = tile_end;
+      continue;
+    }
+    const size_t len = tile_end - row0;
+    ScoreRowsAt(precision, fold.data(), width, entities_.block(),
+                entity_replica_, row0, len, tile_scores.data());
+    size_t tile_greater = 0;
+    size_t tile_equal = 0;
+    simd::CountGreaterEqual(tile_scores.data(), len, threshold, &tile_greater,
+                            &tile_equal);
+    // Back out the candidates the rank must not count: filtered ids and
+    // the true entity (subtracted once even when it is also filtered).
+    for (; cursor < excluded.size() && size_t(excluded[cursor]) < tile_end;
+         ++cursor) {
+      const float s = tile_scores[size_t(excluded[cursor]) - row0];
+      if (s > threshold) {
+        --tile_greater;
+      } else if (s == threshold) {
+        --tile_equal;
+      }
+    }
+    if (!skip_in_excluded && also_skip >= EntityId(row0) &&
+        also_skip < EntityId(tile_end)) {
+      const float s = tile_scores[size_t(also_skip) - row0];
+      if (s > threshold) {
+        --tile_greater;
+      } else if (s == threshold) {
+        --tile_equal;
+      }
+    }
+    g_total += tile_greater;
+    e_total += tile_equal;
+    row0 = tile_end;
+  }
+  *better += g_total;
+  *equal += e_total;
+}
+
+void MultiEmbeddingModel::PrunedTopKScan(
+    std::span<const float> fold, EntityId begin, EntityId end,
+    std::span<const EntityId> excluded, ScorePrecision precision, bool prune,
+    TopKHeap<float, EntityId>* heap, RankScanStats* stats) const {
+  if (begin >= end) return;
+  const size_t width = fold.size();
+  const size_t rows_per_tile = simd::PrunedTileRows(width);
+  static thread_local std::vector<float> tile_buf;
+  const std::span<float> tile_scores = ScratchSpan(tile_buf, rows_per_tile);
+  std::span<const float> bounds;
+  double query_norm = 0.0;
+  if (prune) {
+    KGE_DCHECK(entity_replica_.BoundsFresh(precision));
+    bounds = entity_replica_.TileBounds(precision);
+    query_norm = std::sqrt(simd::SquaredNorm(fold.data(), width)) *
+                 simd::kPruneBoundSlack;
+  }
+  size_t cursor = 0;
+  while (cursor < excluded.size() && excluded[cursor] < begin) ++cursor;
+  for (size_t row0 = size_t(begin); row0 < size_t(end);) {
+    const size_t tile = row0 / rows_per_tile;
+    const size_t tile_end =
+        std::min(size_t(end), (tile + 1) * rows_per_tile);
+    stats->tiles_total += 1;
+    // Skip only on strict <, against the heap minimum once full or the
+    // shared prune floor a sharded caller installed: an equal-score
+    // candidate can still enter via the smaller-id tie-break, so a
+    // bound equal to the threshold must be scanned.
+    if (prune && heap->CanSkipBound(query_norm * double(bounds[tile]))) {
+      stats->tiles_skipped += 1;
+      while (cursor < excluded.size() && size_t(excluded[cursor]) < tile_end) {
+        ++cursor;
+      }
+      row0 = tile_end;
+      continue;
+    }
+    const size_t len = tile_end - row0;
+    ScoreRowsAt(precision, fold.data(), width, entities_.block(),
+                entity_replica_, row0, len, tile_scores.data());
+    for (size_t i = 0; i < len; ++i) {
+      const EntityId id = EntityId(row0 + i);
+      if (cursor < excluded.size() && excluded[cursor] == id) {
+        ++cursor;
+        continue;
+      }
+      heap->PushCandidate(id, tile_scores[i]);
+    }
+    row0 = tile_end;
+  }
+}
+
+void MultiEmbeddingModel::CountTailsAbove(
+    EntityId head, RelationId relation, float threshold, EntityId begin,
+    EntityId end, std::span<const EntityId> excluded, EntityId also_skip,
+    ScorePrecision precision, bool prune, uint64_t* better, uint64_t* equal,
+    RankScanStats* stats) const {
+  const size_t width = size_t(weights_.ne()) * size_t(dim_);
+  static thread_local std::vector<float> fold_buf;
+  const std::span<float> fold = ScratchSpan(fold_buf, width);
+  FoldForTail(weights_, dim_, entities_.Of(head), relations_.Of(relation),
+              fold);
+  PrunedCountScan(fold, threshold, begin, end, excluded, also_skip, precision,
+                  prune, better, equal, stats);
+}
+
+void MultiEmbeddingModel::CountHeadsAbove(
+    EntityId tail, RelationId relation, float threshold, EntityId begin,
+    EntityId end, std::span<const EntityId> excluded, EntityId also_skip,
+    ScorePrecision precision, bool prune, uint64_t* better, uint64_t* equal,
+    RankScanStats* stats) const {
+  const size_t width = size_t(weights_.ne()) * size_t(dim_);
+  static thread_local std::vector<float> fold_buf;
+  const std::span<float> fold = ScratchSpan(fold_buf, width);
+  FoldForHead(weights_, dim_, entities_.Of(tail), relations_.Of(relation),
+              fold);
+  PrunedCountScan(fold, threshold, begin, end, excluded, also_skip, precision,
+                  prune, better, equal, stats);
+}
+
+float MultiEmbeddingModel::ScoreOneTail(EntityId head, EntityId tail,
+                                        RelationId relation,
+                                        ScorePrecision precision) const {
+  const size_t width = size_t(weights_.ne()) * size_t(dim_);
+  static thread_local std::vector<float> fold_buf;
+  const std::span<float> fold = ScratchSpan(fold_buf, width);
+  FoldForTail(weights_, dim_, entities_.Of(head), relations_.Of(relation),
+              fold);
+  float out = 0.0f;
+  ScoreRowsAt(precision, fold.data(), width, entities_.block(),
+              entity_replica_, size_t(tail), 1, &out);
+  return out;
+}
+
+float MultiEmbeddingModel::ScoreOneHead(EntityId head, EntityId tail,
+                                        RelationId relation,
+                                        ScorePrecision precision) const {
+  const size_t width = size_t(weights_.ne()) * size_t(dim_);
+  static thread_local std::vector<float> fold_buf;
+  const std::span<float> fold = ScratchSpan(fold_buf, width);
+  FoldForHead(weights_, dim_, entities_.Of(tail), relations_.Of(relation),
+              fold);
+  float out = 0.0f;
+  ScoreRowsAt(precision, fold.data(), width, entities_.block(),
+              entity_replica_, size_t(head), 1, &out);
+  return out;
+}
+
+void MultiEmbeddingModel::TopKTailsInRange(
+    EntityId head, RelationId relation, EntityId begin, EntityId end,
+    std::span<const EntityId> excluded, ScorePrecision precision, bool prune,
+    TopKHeap<float, EntityId>* heap, RankScanStats* stats) const {
+  const size_t width = size_t(weights_.ne()) * size_t(dim_);
+  static thread_local std::vector<float> fold_buf;
+  const std::span<float> fold = ScratchSpan(fold_buf, width);
+  FoldForTail(weights_, dim_, entities_.Of(head), relations_.Of(relation),
+              fold);
+  PrunedTopKScan(fold, begin, end, excluded, precision, prune, heap, stats);
+}
+
+void MultiEmbeddingModel::TopKHeadsInRange(
+    EntityId tail, RelationId relation, EntityId begin, EntityId end,
+    std::span<const EntityId> excluded, ScorePrecision precision, bool prune,
+    TopKHeap<float, EntityId>* heap, RankScanStats* stats) const {
+  const size_t width = size_t(weights_.ne()) * size_t(dim_);
+  static thread_local std::vector<float> fold_buf;
+  const std::span<float> fold = ScratchSpan(fold_buf, width);
+  FoldForHead(weights_, dim_, entities_.Of(tail), relations_.Of(relation),
+              fold);
+  PrunedTopKScan(fold, begin, end, excluded, precision, prune, heap, stats);
 }
 
 std::vector<ParameterBlock*> MultiEmbeddingModel::Blocks() {

@@ -79,6 +79,45 @@ class MultiEmbeddingModel : public KgeModel {
                           RelationId relation, std::span<float> out,
                           ScorePrecision precision) const override;
 
+  // Range-scoped pruned scans (DESIGN.md §5h): fold the fixed context
+  // once, then walk only the entity-table tiles overlapping
+  // [begin, end); with `prune`, a tile whose Cauchy–Schwarz bound
+  // (‖fold‖₂ · tile max row norm · simd::kPruneBoundSlack) cannot reach
+  // the threshold / current heap minimum is skipped without streaming a
+  // byte of it. Per-cell kernel contract ⇒ surviving scores are
+  // bit-identical to the exhaustive batched path, so pruning and
+  // sharding never change a metric or a top-k result.
+  KGE_HOT_NOALLOC
+  void CountTailsAbove(EntityId head, RelationId relation, float threshold,
+                       EntityId begin, EntityId end,
+                       std::span<const EntityId> excluded, EntityId also_skip,
+                       ScorePrecision precision, bool prune, uint64_t* better,
+                       uint64_t* equal, RankScanStats* stats) const override;
+  KGE_HOT_NOALLOC
+  void CountHeadsAbove(EntityId tail, RelationId relation, float threshold,
+                       EntityId begin, EntityId end,
+                       std::span<const EntityId> excluded, EntityId also_skip,
+                       ScorePrecision precision, bool prune, uint64_t* better,
+                       uint64_t* equal, RankScanStats* stats) const override;
+  KGE_HOT_NOALLOC
+  float ScoreOneTail(EntityId head, EntityId tail, RelationId relation,
+                     ScorePrecision precision) const override;
+  KGE_HOT_NOALLOC
+  float ScoreOneHead(EntityId head, EntityId tail, RelationId relation,
+                     ScorePrecision precision) const override;
+  KGE_HOT_NOALLOC
+  void TopKTailsInRange(EntityId head, RelationId relation, EntityId begin,
+                        EntityId end, std::span<const EntityId> excluded,
+                        ScorePrecision precision, bool prune,
+                        TopKHeap<float, EntityId>* heap,
+                        RankScanStats* stats) const override;
+  KGE_HOT_NOALLOC
+  void TopKHeadsInRange(EntityId tail, RelationId relation, EntityId begin,
+                        EntityId end, std::span<const EntityId> excluded,
+                        ScorePrecision precision, bool prune,
+                        TopKHeap<float, EntityId>* heap,
+                        RankScanStats* stats) const override;
+
   // The trilinear family supports every tier.
   bool SupportsScorePrecision(ScorePrecision precision) const override {
     (void)precision;
@@ -88,6 +127,13 @@ class MultiEmbeddingModel : public KgeModel {
   // Requantizes the entity replica if training moved the master table.
   void PrepareForScoring(ScorePrecision precision) const override {
     entity_replica_.EnsureFresh(precision);
+  }
+
+  // Additionally rebuilds the per-tile score bounds the pruned scans
+  // read (stale iff training moved the master table).
+  void PrepareForPrunedScoring(ScorePrecision precision) const override {
+    entity_replica_.EnsureFresh(precision);
+    entity_replica_.EnsureBoundsFresh(precision);
   }
 
   std::vector<ParameterBlock*> Blocks() override;
@@ -112,6 +158,21 @@ class MultiEmbeddingModel : public KgeModel {
   void SetWeights(const WeightTable& weights) { weights_ = weights; }
 
  private:
+  // Shared tile walks behind the range-scoped scans (the fold — tail- or
+  // head-side — is the only thing that differs between the two sides).
+  KGE_HOT_NOALLOC
+  void PrunedCountScan(std::span<const float> fold, float threshold,
+                       EntityId begin, EntityId end,
+                       std::span<const EntityId> excluded, EntityId also_skip,
+                       ScorePrecision precision, bool prune, uint64_t* better,
+                       uint64_t* equal, RankScanStats* stats) const;
+  KGE_HOT_NOALLOC
+  void PrunedTopKScan(std::span<const float> fold, EntityId begin,
+                      EntityId end, std::span<const EntityId> excluded,
+                      ScorePrecision precision, bool prune,
+                      TopKHeap<float, EntityId>* heap,
+                      RankScanStats* stats) const;
+
   std::string name_;
   int32_t dim_;
   WeightTable weights_;

@@ -24,6 +24,7 @@ MicroBatcher::MicroBatcher(const SnapshotRegistry* registry,
   KGE_CHECK(options_.max_queue > 0);
   KGE_CHECK(options_.max_batch > 0);
   KGE_CHECK(options_.num_workers > 0);
+  KGE_CHECK(options_.num_shards > 0);
   slots_.resize(size_t(options_.max_queue));
   MutexLock lock(mutex_);
   free_.resize(size_t(options_.max_queue));
@@ -37,6 +38,18 @@ MicroBatcher::MicroBatcher(const SnapshotRegistry* registry,
 MicroBatcher::~MicroBatcher() { Stop(); }
 
 void MicroBatcher::Start() {
+  const int num_shards = options_.num_shards;
+  const int heap_capacity =
+      int(std::min(options_.max_topk, kServeMaxTopK));
+  if (num_shards > 1 && shard_pool_ == nullptr) {
+    // Per-query shard fan-out pool, shared by all workers. Sized to the
+    // shard count (capped at the machine) and pre-reserved so the
+    // steady-state StageFor never grows the task ring.
+    shard_pool_ = std::make_unique<ThreadPool>(
+        std::min(size_t(num_shards), ResolveNumThreads(0)));
+    shard_pool_->ReserveStageTasks(size_t(options_.num_workers) *
+                                   size_t(num_shards));
+  }
   for (int w = 0; w < options_.num_workers; ++w) {
     auto ws = std::make_unique<WorkerState>();
     ws->assembled.batch.resize(size_t(options_.max_batch));
@@ -44,6 +57,13 @@ void MicroBatcher::Start() {
     ws->contexts.resize(size_t(options_.max_batch));
     ws->valid.resize(size_t(options_.max_batch));
     ws->results.resize(size_t(kServeMaxTopK));
+    // Pre-grow every heap the sharded reduction can touch so the
+    // per-query ResetCapacity calls never allocate.
+    ws->heap.Reserve(heap_capacity);
+    ws->shard_heaps.resize(size_t(num_shards));
+    for (auto& heap : ws->shard_heaps) heap.Reserve(heap_capacity);
+    ws->prime_heap.Reserve(heap_capacity);
+    ws->shard_stats.resize(size_t(num_shards));
     WorkerState* raw = ws.get();
     ws->thread = std::thread([this, raw] { WorkerLoop(raw); });
     workers_.push_back(std::move(ws));
@@ -236,6 +256,92 @@ std::span<const ScoredEntity> MicroBatcher::ReduceQuery(
   return std::span<const ScoredEntity>(ws->results.data(), sorted.size());
 }
 
+std::span<const ScoredEntity> MicroBatcher::ReduceQuerySharded(
+    const KgeModel& model, EntityId entity, RelationId relation,
+    QuerySide side, ScorePrecision tier, uint32_t k, WorkerState* ws) {
+  const EntityId num_entities = model.num_entities();
+  const uint32_t bounded =
+      std::min(std::min(k, kServeMaxTopK), uint32_t(num_entities));
+  const int shards = options_.num_shards;
+  const std::span<const EntityId> no_excluded;
+  if (shards == 1) {
+    ws->heap.ResetCapacity(int(bounded));
+    if (side == QuerySide::kTail) {
+      model.TopKTailsInRange(entity, relation, 0, num_entities, no_excluded,
+                             tier, options_.prune, &ws->heap,
+                             &ws->shard_stats[0]);
+    } else {
+      model.TopKHeadsInRange(entity, relation, 0, num_entities, no_excluded,
+                             tier, options_.prune, &ws->heap,
+                             &ws->shard_stats[0]);
+    }
+  } else {
+    // Per-shard heaps can only prune against their own shard's minimum,
+    // which is useless when norms are skewed across the id range. Prime
+    // a shared floor from an exhaustive prefix scan: the k-th best of
+    // any >= k candidates lower-bounds the global k-th best, so tiles
+    // strictly below the floor are provably dead in every shard and the
+    // merge stays exact.
+    float prune_floor = 0.0f;
+    bool have_floor = false;
+    const EntityId prime_end = std::min(
+        num_entities,
+        std::max(EntityId(bounded), KgeModel::kPrunePrimePrefix));
+    if (options_.prune && num_entities > prime_end) {
+      ws->prime_heap.ResetCapacity(int(bounded));
+      if (side == QuerySide::kTail) {
+        model.TopKTailsInRange(entity, relation, 0, prime_end,
+                               no_excluded, tier, /*prune=*/false,
+                               &ws->prime_heap, &ws->shard_stats[0]);
+      } else {
+        model.TopKHeadsInRange(entity, relation, 0, prime_end,
+                               no_excluded, tier, /*prune=*/false,
+                               &ws->prime_heap, &ws->shard_stats[0]);
+      }
+      if (ws->prime_heap.full()) {
+        prune_floor = ws->prime_heap.WorstScore();
+        have_floor = true;
+      }
+    }
+    for (int s = 0; s < shards; ++s) {
+      ws->shard_heaps[size_t(s)].ResetCapacity(int(bounded));
+      if (have_floor) ws->shard_heaps[size_t(s)].SetPruneFloor(prune_floor);
+    }
+    const auto scan_shards = [&](size_t shard_begin, size_t shard_end) {
+      for (size_t s = shard_begin; s < shard_end; ++s) {
+        const EntityId begin = ShardBegin(num_entities, shards, int(s));
+        const EntityId end = ShardBegin(num_entities, shards, int(s) + 1);
+        if (side == QuerySide::kTail) {
+          model.TopKTailsInRange(entity, relation, begin, end, no_excluded,
+                                 tier, options_.prune, &ws->shard_heaps[s],
+                                 &ws->shard_stats[s]);
+        } else {
+          model.TopKHeadsInRange(entity, relation, begin, end, no_excluded,
+                                 tier, options_.prune, &ws->shard_heaps[s],
+                                 &ws->shard_stats[s]);
+        }
+      }
+    };
+    if (shard_pool_ != nullptr) {
+      shard_pool_->StageFor(0, size_t(shards), scan_shards);
+    } else {
+      scan_shards(0, size_t(shards));
+    }
+    // Merge in shard order. The (score, id) total order makes the
+    // merged set exactly the top-k of the union, so the order here is
+    // for determinism of the walk, not of the result.
+    ws->heap.ResetCapacity(int(bounded));
+    for (int s = 0; s < shards; ++s) {
+      ws->heap.MergeFrom(ws->shard_heaps[size_t(s)]);
+    }
+  }
+  const auto sorted = ws->heap.TakeSorted();
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    ws->results[i] = ScoredEntity{sorted[i].entity, sorted[i].score};
+  }
+  return std::span<const ScoredEntity>(ws->results.data(), sorted.size());
+}
+
 void MicroBatcher::RespondEmpty(const Slot& slot, ServeStatusCode status) {
   ServeReply reply;
   reply.status = status;
@@ -295,7 +401,20 @@ void MicroBatcher::WorkerLoop(WorkerState* ws) {
       continue;
     }
 
-    const ScorePrecision used = ScoreAssembled(*snapshot, tier, ws);
+    const KgeModel& model = *snapshot->model;
+    // Sharded / pruned reduction replaces the B × num_entities score
+    // matrix with per-query range-scoped top-k scans; the matrix path
+    // stays the default. Result contract: both paths return the same
+    // top-k for every request ((score, id) is a total order).
+    const bool range_reduce = options_.prune || options_.num_shards > 1;
+    ScorePrecision used = tier;
+    if (range_reduce) {
+      if (!model.SupportsScorePrecision(used)) {
+        used = ScorePrecision::kDouble;
+      }
+    } else {
+      used = ScoreAssembled(*snapshot, tier, ws);
+    }
     batches_.fetch_add(1, std::memory_order_relaxed);
     batched_queries_.fetch_add(uint64_t(assembled.batch_count),
                                std::memory_order_relaxed);
@@ -304,23 +423,48 @@ void MicroBatcher::WorkerLoop(WorkerState* ws) {
     } else if (used == ScorePrecision::kInt8) {
       batches_int8_.fetch_add(1, std::memory_order_relaxed);
     }
-    const size_t num_entities = size_t(snapshot->model->num_entities());
+    const size_t num_entities = size_t(model.num_entities());
+    const bool relation_ok = assembled.relation >= 0 &&
+                             assembled.relation < model.num_relations();
     for (int i = 0; i < assembled.batch_count; ++i) {
       const Slot& slot = slots_[size_t(assembled.batch[size_t(i)])];
-      if (ws->valid[size_t(i)] == 0) {
+      const bool ok =
+          range_reduce
+              ? (relation_ok && slot.request.entity >= 0 &&
+                 size_t(slot.request.entity) < num_entities)
+              : ws->valid[size_t(i)] != 0;
+      if (!ok) {
         invalid_.fetch_add(1, std::memory_order_relaxed);
         RespondEmpty(slot, ServeStatusCode::kInvalid);
         continue;
       }
-      const std::span<const float> row(
-          ws->scores.data() + size_t(i) * num_entities, num_entities);
       ServeReply reply;
       reply.status = ServeStatusCode::kOk;
       reply.tier = used;
       reply.snapshot_version = snapshot->version;
-      reply.results = ReduceQuery(row, slot.request.k, ws);
+      if (range_reduce) {
+        reply.results =
+            ReduceQuerySharded(model, slot.request.entity, assembled.relation,
+                               assembled.side, used, slot.request.k, ws);
+      } else {
+        const std::span<const float> row(
+            ws->scores.data() + size_t(i) * num_entities, num_entities);
+        reply.results = ReduceQuery(row, slot.request.k, ws);
+      }
       completed_.fetch_add(1, std::memory_order_relaxed);
       slot.done(slot.done_ctx, reply);
+    }
+    if (range_reduce) {
+      // Flush the per-shard tile counters once per batch (not per scan)
+      // to keep atomic traffic off the per-query path.
+      uint64_t tiles_total = 0, tiles_skipped = 0;
+      for (RankScanStats& stats : ws->shard_stats) {
+        tiles_total += stats.tiles_total;
+        tiles_skipped += stats.tiles_skipped;
+        stats = RankScanStats{};
+      }
+      tiles_total_.fetch_add(tiles_total, std::memory_order_relaxed);
+      tiles_skipped_.fetch_add(tiles_skipped, std::memory_order_relaxed);
     }
     ReleaseSlots(assembled.batch.data(), assembled.batch_count);
   }
@@ -340,6 +484,8 @@ BatcherStatsView MicroBatcher::stats() const {
   view.batched_queries = batched_queries_.load(std::memory_order_relaxed);
   view.batches_float32 = batches_float32_.load(std::memory_order_relaxed);
   view.batches_int8 = batches_int8_.load(std::memory_order_relaxed);
+  view.tiles_total = tiles_total_.load(std::memory_order_relaxed);
+  view.tiles_skipped = tiles_skipped_.load(std::memory_order_relaxed);
   return view;
 }
 

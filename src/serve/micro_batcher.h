@@ -45,6 +45,7 @@
 #include "serve/snapshot.h"
 #include "util/hotpath.h"
 #include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 
 namespace kge {
 
@@ -66,6 +67,20 @@ struct BatcherOptions {
   // the float32 / int8 tiers.
   int degrade_float32_pct = 50;
   int degrade_int8_pct = 85;
+  // Entity-table shards for the top-k reduction (kge_serve --shards).
+  // With > 1 (or prune set) each query runs the range-scoped
+  // TopKTailsInRange/TopKHeadsInRange scans — per-shard heaps fanned
+  // across a shared shard pool, merged deterministically — instead of
+  // materializing a B × num_entities score matrix. Results are
+  // identical at every setting ((score, id) is a total order); only the
+  // peak footprint and latency change.
+  int num_shards = 1;
+  // Skip candidate tiles whose Cauchy–Schwarz bound cannot beat the
+  // current heap minimum (kge_serve --prune). Exact, never approximate.
+  // Snapshots must be loaded with their tile bounds prepared
+  // (CheckpointWatcher::Options::prepare_bounds /
+  // KgeModel::PrepareForPrunedScoring) before workers score them.
+  bool prune = false;
 };
 
 struct ServeReply {
@@ -92,6 +107,11 @@ struct BatcherStatsView {
   uint64_t batched_queries = 0;
   uint64_t batches_float32 = 0;
   uint64_t batches_int8 = 0;
+  // Range-scan tile counters (sharded/pruned reduction only; zero on
+  // the matrix path). tiles_skipped / tiles_total is the serving-side
+  // pruning effectiveness BENCH_serving reports.
+  uint64_t tiles_total = 0;
+  uint64_t tiles_skipped = 0;
 };
 
 class MicroBatcher {
@@ -151,6 +171,14 @@ class MicroBatcher {
     std::vector<float> scores;
     std::vector<ScoredEntity> results;
     TopKHeap<float, EntityId> heap;
+    // Sharded-reduction scratch (one slot per shard, Reserve'd at
+    // Start): the shard fan-out writes disjoint slots, the merge reads
+    // them back in shard order.
+    std::vector<TopKHeap<float, EntityId>> shard_heaps;
+    std::vector<RankScanStats> shard_stats;
+    // Primes the shared prune floor for the sharded+pruned reduction
+    // (the k best of an exhaustive prefix scan, see ReduceQuerySharded).
+    TopKHeap<float, EntityId> prime_heap;
   };
 
   void WorkerLoop(WorkerState* ws);
@@ -181,6 +209,18 @@ class MicroBatcher {
   std::span<const ScoredEntity> ReduceQuery(std::span<const float> row,
                                             uint32_t k, WorkerState* ws);
 
+  // Sharded / pruned top-k reduction of one query (DESIGN.md §5h): runs
+  // the range-scoped scans per shard — fanned across shard_pool_ when
+  // num_shards > 1 — then merges the per-shard heaps in shard order.
+  // Returns exactly what ReduceQuery over the full score row would (the
+  // (score, id) total order makes the top-k set partition-invariant);
+  // only the footprint and the skipped-tile work differ. Accumulates
+  // tile counters into ws->shard_stats.
+  KGE_HOT_NOALLOC
+  std::span<const ScoredEntity> ReduceQuerySharded(
+      const KgeModel& model, EntityId entity, RelationId relation,
+      QuerySide side, ScorePrecision tier, uint32_t k, WorkerState* ws);
+
   void RespondEmpty(const Slot& slot, ServeStatusCode status);
   void ReleaseSlots(const int* ids, int count);
 
@@ -202,6 +242,11 @@ class MicroBatcher {
   int ewma_pct_ KGE_GUARDED_BY(mutex_) = 0;
 
   std::vector<std::unique_ptr<WorkerState>> workers_;
+  // Shared fork-join pool for the per-query shard fan-out (created in
+  // Start() when the sharded reduction is enabled with num_shards > 1).
+  // StageFor is safe from multiple workers concurrently: tasks live in
+  // a mutex-protected POD ring and waiters help drain it.
+  std::unique_ptr<ThreadPool> shard_pool_;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> admitted_{0};
@@ -215,6 +260,8 @@ class MicroBatcher {
   std::atomic<uint64_t> batched_queries_{0};
   std::atomic<uint64_t> batches_float32_{0};
   std::atomic<uint64_t> batches_int8_{0};
+  std::atomic<uint64_t> tiles_total_{0};
+  std::atomic<uint64_t> tiles_skipped_{0};
 };
 
 }  // namespace kge

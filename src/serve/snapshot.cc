@@ -17,7 +17,7 @@ namespace kge {
 
 Result<std::shared_ptr<ModelSnapshot>> LoadServingSnapshot(
     const std::string& path, const ModelFactory& factory,
-    const std::vector<ScorePrecision>& prepare_tiers) {
+    const std::vector<ScorePrecision>& prepare_tiers, bool prepare_bounds) {
   Result<std::unique_ptr<MappedCheckpoint>> mapping =
       MappedCheckpoint::Open(path);
   if (!mapping.ok()) return mapping.status();
@@ -26,7 +26,11 @@ Result<std::shared_ptr<ModelSnapshot>> LoadServingSnapshot(
   KGE_RETURN_IF_ERROR((*mapping)->LoadInto(model->get()));
   for (ScorePrecision tier : prepare_tiers) {
     if ((*model)->SupportsScorePrecision(tier)) {
-      (*model)->PrepareForScoring(tier);
+      if (prepare_bounds) {
+        (*model)->PrepareForPrunedScoring(tier);
+      } else {
+        (*model)->PrepareForScoring(tier);
+      }
     }
   }
   auto snapshot = std::make_shared<ModelSnapshot>();
@@ -77,7 +81,8 @@ Status CheckpointWatcher::TryAdopt(const std::string& path) {
   // cannot be served.
   KGE_RETURN_IF_ERROR(VerifyCheckpoint(path));
   Result<std::shared_ptr<ModelSnapshot>> snapshot =
-      LoadServingSnapshot(path, factory_, options_.prepare_tiers);
+      LoadServingSnapshot(path, factory_, options_.prepare_tiers,
+                          options_.prepare_bounds);
   if (!snapshot.ok()) return snapshot.status();
   KGE_RETURN_IF_ERROR(KGE_FAILPOINT("serve.swap.publish"));
   registry_->Publish(std::move(*snapshot));

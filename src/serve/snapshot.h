@@ -47,11 +47,16 @@ struct ModelSnapshot {
 // Constructs a fresh model via `factory` and loads `path` into it
 // through the mmap loader, then rebuilds the scoring replicas for
 // `prepare_tiers` (skipping tiers the model does not support) so the
-// snapshot is immediately usable from concurrent scoring threads.
+// snapshot is immediately usable from concurrent scoring threads. With
+// `prepare_bounds` the per-tile score bounds of the pruned ranking
+// scans are rebuilt too (PrepareForPrunedScoring) — required before a
+// batcher with prune enabled scores the snapshot, since bounds cannot
+// be rebuilt safely once concurrent workers read the model.
 using ModelFactory = std::function<Result<std::unique_ptr<KgeModel>>()>;
 Result<std::shared_ptr<ModelSnapshot>> LoadServingSnapshot(
     const std::string& path, const ModelFactory& factory,
-    const std::vector<ScorePrecision>& prepare_tiers);
+    const std::vector<ScorePrecision>& prepare_tiers,
+    bool prepare_bounds = false);
 
 class SnapshotRegistry {
  public:
@@ -83,6 +88,9 @@ class CheckpointWatcher {
     // Precision tiers to PrepareForScoring on every new snapshot (the
     // degradation ladder the batcher may downshift to).
     std::vector<ScorePrecision> prepare_tiers;
+    // Also rebuild each tier's pruned-scan tile bounds
+    // (PrepareForPrunedScoring). Set when serving with --prune.
+    bool prepare_bounds = false;
   };
 
   CheckpointWatcher(SnapshotRegistry* registry, ModelFactory factory,

@@ -17,6 +17,8 @@ analyzer, asserting the exact findings/suppressions it must produce:
   pipeline_stage.cc       timed trampoline + hot stage   -> silent
   serve_batch.cc          cold assembler + hot batch
                           score/top-k reduce             -> silent
+  pruned_scan.cc          cold tile-bound preparer + hot
+                          bound-pruned top-k scan        -> silent
 
 Run directly or via ctest (registered in tests/CMakeLists.txt).
 """
@@ -75,7 +77,7 @@ def run_checker(paths, tmpdir, tag):
 def main():
     cxx = compiler()
     fixtures = sorted(os.listdir(FIXTURES))
-    check(len(fixtures) == 10, "all 10 fixtures present")
+    check(len(fixtures) == 11, "all 11 fixtures present")
 
     if cxx is None:
         print("  [skip] no C++ compiler found; skipping syntax checks")
@@ -171,6 +173,15 @@ def main():
               "batch score/reduce root was recognized")
         check("fixture::AssembleAndDispatch" not in rep["roots"],
               "allocating assembler stays outside the hot set")
+
+        print("pruned_scan: bound preparer allocs OK, pruned scan root clean")
+        rc, rep = run_checker([fx("pruned_scan.cc")], tmpdir, "pruned")
+        check(rc == 0, "exit code 0")
+        check(len(rep["findings"]) == 0, "no findings")
+        check("fixture::PrunedTopKScanRoot" in rep["roots"],
+              "pruned scan root was recognized")
+        check("fixture::PrepareTileBounds" not in rep["roots"],
+              "allocating bound preparer stays outside the hot set")
 
         print("multi-file: helper alloc found across TU boundary")
         rc, rep = run_checker([fx("indirect_alloc.cc"), fx("clean.cc")],

@@ -396,6 +396,111 @@ TEST(SimdTest, QuantizeRowsI8EdgeCases) {
   }
 }
 
+// ---- Pruned-ranking support kernels ----------------------------------------
+
+TEST(SimdTest, TileMaxRowNormsMatchesRefWithinReassoc) {
+  Rng rng(70);
+  for (size_t num_rows : {size_t(1), size_t(5), size_t(64), size_t(200)}) {
+    for (size_t n : {size_t(1), size_t(24), size_t(96)}) {
+      const size_t rows_per_tile = PrunedTileRows(n);
+      const size_t tiles = PrunedTileCount(num_rows, n);
+      const auto rows = RandomVector(&rng, num_rows * n);
+      std::vector<float> norms(tiles, -1.0f);
+      std::vector<float> norms_ref(tiles, -2.0f);
+      TileMaxRowNorms(rows.data(), num_rows, n, rows_per_tile, norms.data());
+      ref::TileMaxRowNorms(rows.data(), num_rows, n, rows_per_tile,
+                           norms_ref.data());
+      for (size_t t = 0; t < tiles; ++t) {
+        EXPECT_NEAR(double(norms[t]), double(norms_ref[t]), 1e-5)
+            << "tile=" << t << " rows=" << num_rows << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdTest, TileMaxRowNormsI8MatchesRefExactly) {
+  Rng rng(71);
+  for (size_t num_rows : {size_t(1), size_t(7), size_t(130)}) {
+    for (size_t n : {size_t(1), size_t(17), size_t(96)}) {
+      const size_t rows_per_tile = PrunedTileRows(n);
+      const size_t tiles = PrunedTileCount(num_rows, n);
+      const auto rows = RandomVector(&rng, num_rows * n);
+      std::vector<std::int8_t> rows8(num_rows * n);
+      std::vector<float> scales(num_rows);
+      QuantizeRowsI8(rows.data(), num_rows, n, rows8.data(), scales.data());
+      std::vector<float> norms(tiles, -1.0f);
+      std::vector<float> norms_ref(tiles, -2.0f);
+      TileMaxRowNormsI8(rows8.data(), scales.data(), num_rows, n,
+                        rows_per_tile, norms.data());
+      ref::TileMaxRowNormsI8(rows8.data(), scales.data(), num_rows, n,
+                             rows_per_tile, norms_ref.data());
+      // Integer code sums are exact in double, so kernel == ref bit-for-bit.
+      for (size_t t = 0; t < tiles; ++t) {
+        EXPECT_EQ(norms[t], norms_ref[t])
+            << "tile=" << t << " rows=" << num_rows << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdTest, CountGreaterEqualMatchesRefExactly) {
+  Rng rng(72);
+  for (size_t n : TestSizes()) {
+    auto scores = RandomVector(&rng, n);
+    // Force ties so the equal count is exercised.
+    for (size_t i = 0; i < n; i += 3) scores[i] = 0.25f;
+    for (const float threshold : {0.25f, 0.0f, -3.0f, 3.0f}) {
+      size_t g = 0, e = 0, g_ref = 0, e_ref = 0;
+      CountGreaterEqual(scores.data(), n, threshold, &g, &e);
+      ref::CountGreaterEqual(scores.data(), n, threshold, &g_ref, &e_ref);
+      EXPECT_EQ(g, g_ref) << "n=" << n << " threshold=" << threshold;
+      EXPECT_EQ(e, e_ref) << "n=" << n << " threshold=" << threshold;
+    }
+  }
+  size_t g = 7, e = 7;
+  CountGreaterEqual(nullptr, 0, 1.0f, &g, &e);
+  EXPECT_EQ(g, size_t(0));
+  EXPECT_EQ(e, size_t(0));
+}
+
+// The conservativeness property the pruned ranking path relies on: for
+// every tile, ‖q‖·tile_norm·kPruneBoundSlack dominates every score a row
+// of the tile can produce, in every precision tier.
+TEST(SimdTest, TileBoundsDominateEveryScoreInTile) {
+  Rng rng(73);
+  const size_t n = 48;
+  const size_t num_rows = 300;  // several tiles at 128 rows/tile
+  const size_t rows_per_tile = PrunedTileRows(n);
+  const size_t tiles = PrunedTileCount(num_rows, n);
+  const auto rows = RandomVector(&rng, num_rows * n);
+  const auto query = RandomVector(&rng, n);
+  std::vector<std::int8_t> rows8(num_rows * n);
+  std::vector<float> scales(num_rows);
+  QuantizeRowsI8(rows.data(), num_rows, n, rows8.data(), scales.data());
+  std::vector<float> norms(tiles);
+  std::vector<float> norms8(tiles);
+  TileMaxRowNorms(rows.data(), num_rows, n, rows_per_tile, norms.data());
+  TileMaxRowNormsI8(rows8.data(), scales.data(), num_rows, n, rows_per_tile,
+                    norms8.data());
+  const double qnorm = std::sqrt(SquaredNorm(query.data(), n));
+
+  std::vector<float> exact(num_rows);
+  std::vector<float> f32(num_rows);
+  std::vector<float> i8(num_rows);
+  DotBatch(query.data(), rows.data(), num_rows, n, exact.data());
+  DotBatchMultiF32(query.data(), 1, rows.data(), num_rows, n, f32.data());
+  DotBatchMultiI8(query.data(), 1, rows8.data(), scales.data(), num_rows, n,
+                  i8.data());
+  for (size_t row = 0; row < num_rows; ++row) {
+    const size_t t = row / rows_per_tile;
+    const double bound = qnorm * double(norms[t]) * kPruneBoundSlack;
+    EXPECT_GE(bound, double(exact[row])) << "double row=" << row;
+    EXPECT_GE(bound, double(f32[row])) << "f32 row=" << row;
+    const double bound8 = qnorm * double(norms8[t]) * kPruneBoundSlack;
+    EXPECT_GE(bound8, double(i8[row])) << "i8 row=" << row;
+  }
+}
+
 TEST(SimdTest, TripleGradAxpyEqualsThreeHadamardAxpyExactly) {
   Rng rng(48);
   for (size_t n : TestSizes()) {

@@ -206,6 +206,77 @@ TEST(TopKTest, PredictHeadsUsesHeadScores) {
   EXPECT_EQ(top[1].entity, 1);
 }
 
+TEST(TopKHeapTest, CanSkipBoundAgainstHeapMinimumIsStrict) {
+  TopKHeap<float, EntityId> heap(2);
+  EXPECT_FALSE(heap.CanSkipBound(-100.0));  // not full, no floor
+  heap.PushCandidate(0, 5.0f);
+  heap.PushCandidate(1, 3.0f);
+  ASSERT_TRUE(heap.full());
+  EXPECT_TRUE(heap.CanSkipBound(2.9));
+  // Equality must scan: a candidate scoring exactly the minimum can
+  // still enter on the smaller-id tie-break.
+  EXPECT_FALSE(heap.CanSkipBound(3.0));
+  EXPECT_FALSE(heap.CanSkipBound(3.1));
+}
+
+TEST(TopKHeapTest, PruneFloorSkipsBeforeHeapFills) {
+  TopKHeap<float, EntityId> heap(4);
+  heap.SetPruneFloor(1.5f);
+  EXPECT_TRUE(heap.CanSkipBound(1.4));
+  EXPECT_FALSE(heap.CanSkipBound(1.5));  // strict, ties must scan
+  EXPECT_FALSE(heap.CanSkipBound(2.0));
+  // ResetCapacity drops the floor: a stale floor from the previous
+  // query would make the next selection inexact.
+  heap.ResetCapacity(4);
+  EXPECT_FALSE(heap.CanSkipBound(1.4));
+}
+
+TEST(TopKHeapTest, FullHeapUsesTheTighterOfFloorAndMinimum) {
+  TopKHeap<float, EntityId> heap(2);
+  heap.SetPruneFloor(1.0f);
+  heap.PushCandidate(0, 5.0f);
+  heap.PushCandidate(1, 4.0f);
+  // Heap minimum (4.0) is now tighter than the floor (1.0).
+  EXPECT_TRUE(heap.CanSkipBound(3.9));
+  EXPECT_FALSE(heap.CanSkipBound(4.0));
+}
+
+TEST(TopKHeapTest, ReserveKeepsResetCapacityAllocationFree) {
+  TopKHeap<float, EntityId> heap;
+  heap.Reserve(8);
+  for (int k = 1; k <= 8; ++k) {
+    heap.ResetCapacity(k);
+    for (EntityId e = 0; e < 20; ++e) heap.PushCandidate(e, float(e % 5));
+    EXPECT_EQ(heap.size(), k);
+  }
+}
+
+TEST(TopKHeapTest, MergeFromEqualsSinglePassForAnyPartition) {
+  // 30 candidates with deliberate score ties, split at every possible
+  // boundary into two heaps: merge must equal the single-pass top-k.
+  std::vector<float> scores;
+  for (int i = 0; i < 30; ++i) scores.push_back(float((i * 7) % 5));
+  TopKHeap<float, EntityId> reference(6);
+  for (EntityId e = 0; e < 30; ++e) {
+    reference.PushCandidate(e, scores[size_t(e)]);
+  }
+  const auto expect = reference.TakeSorted();
+  for (int cut = 0; cut <= 30; ++cut) {
+    TopKHeap<float, EntityId> left(6);
+    TopKHeap<float, EntityId> right(6);
+    for (EntityId e = 0; e < 30; ++e) {
+      (e < cut ? left : right).PushCandidate(e, scores[size_t(e)]);
+    }
+    left.MergeFrom(right);
+    const auto got = left.TakeSorted();
+    ASSERT_EQ(expect.size(), got.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(expect[i].entity, got[i].entity) << "cut=" << cut;
+      EXPECT_EQ(expect[i].score, got[i].score) << "cut=" << cut;
+    }
+  }
+}
+
 TEST(TopKTest, AgreesWithModelScores) {
   auto model = MakeComplEx(kEntities, kRelations, 8, 5);
   TopKOptions options;

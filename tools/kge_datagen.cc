@@ -17,6 +17,7 @@ using namespace kge;
 int Run(int argc, char** argv) {
   std::string family = "wordnet";
   std::string out_dir;
+  std::string scale;
   int64_t entities = 2000;
   int64_t seed = 42;
   bool analyze = true;
@@ -26,6 +27,9 @@ int Run(int argc, char** argv) {
                    "output directory (created if missing); empty = analyze "
                    "only");
   parser.AddInt("entities", &entities, "number of entities");
+  parser.AddString("scale", &scale,
+                   "entity-count preset: small (3k) | medium (100k) | xl "
+                   "(1M); overrides --entities");
   parser.AddInt("seed", &seed, "random seed");
   parser.AddBool("analyze", &analyze, "print relation structure analysis");
   const Status status = parser.Parse(argc, argv);
@@ -33,6 +37,15 @@ int Run(int argc, char** argv) {
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 2;
+  }
+  if (!scale.empty()) {
+    int32_t preset = 0;
+    if (!ParseWordNetScale(scale, &preset)) {
+      std::fprintf(stderr, "unknown --scale=%s (small|medium|xl)\n",
+                   scale.c_str());
+      return 2;
+    }
+    entities = preset;
   }
 
   Dataset data;

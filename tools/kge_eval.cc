@@ -25,7 +25,10 @@ int Run(int argc, char** argv) {
   int64_t seed = 42;
   int64_t threads = 1;
   int64_t eval_batch = 0;
+  int64_t eval_shards = 1;
+  bool prune = false;
   std::string eval_precision = "double";
+  std::string scale;
   bool report = false;
   bool raw = false;
   std::string dump_ranks;
@@ -38,6 +41,9 @@ int Run(int argc, char** argv) {
   parser.AddString("checkpoint", &checkpoint, "checkpoint path (required)");
   parser.AddString("split", &split, "which split to rank: test | valid");
   parser.AddInt("entities", &entities, "entities for generated datasets");
+  parser.AddString("scale", &scale,
+                   "generated-dataset preset: small (3k) | medium (100k) | "
+                   "xl (1M); overrides --entities");
   parser.AddInt("dim-budget", &dim_budget, "per-entity parameter budget");
   parser.AddInt("seed", &seed, "seed used at training time");
   parser.AddInt("threads", &threads, "evaluation threads");
@@ -45,6 +51,15 @@ int Run(int argc, char** argv) {
                 "queries per batched ranking call; 1 = per-query GEMV, "
                 "0 = auto from entity count (metrics are identical "
                 "either way)");
+  parser.AddInt("eval-shards", &eval_shards,
+                "entity-table shards for the range-scoped ranking path; "
+                "> 1 ranks shard by shard instead of materializing "
+                "per-query score rows (metrics are identical at every "
+                "setting)");
+  parser.AddBool("prune", &prune,
+                 "skip candidate tiles whose Cauchy-Schwarz score bound "
+                 "cannot reach the true score (exact; implies the "
+                 "range-scoped path)");
   parser.AddString("eval-precision", &eval_precision,
                    "candidate-scoring tier: double (exact) | float32 | "
                    "int8 (quantized scoring replica; bounded metric "
@@ -63,6 +78,19 @@ int Run(int argc, char** argv) {
   }
   if (checkpoint.empty()) {
     std::fprintf(stderr, "--checkpoint is required\n");
+    return 2;
+  }
+  if (!scale.empty()) {
+    int32_t preset = 0;
+    if (!ParseWordNetScale(scale, &preset)) {
+      std::fprintf(stderr, "unknown --scale=%s (small|medium|xl)\n",
+                   scale.c_str());
+      return 2;
+    }
+    entities = preset;
+  }
+  if (eval_shards < 1) {
+    std::fprintf(stderr, "--eval-shards must be >= 1\n");
     return 2;
   }
 
@@ -103,6 +131,8 @@ int Run(int argc, char** argv) {
   EvalOptions options;
   options.num_threads = int(threads);
   options.batch_queries = int(eval_batch);
+  options.num_shards = int(eval_shards);
+  options.prune = prune;
   if (!ParseScorePrecision(eval_precision, &options.score_precision)) {
     std::fprintf(stderr,
                  "--eval-precision must be double, float32, or int8 "
@@ -117,8 +147,9 @@ int Run(int argc, char** argv) {
                  (*model)->name().c_str(), eval_precision.c_str());
     return 2;
   }
-  const int resolved_batch = ResolveEvalBatchQueries(
-      options.batch_queries, data.num_entities(), options.score_precision);
+  const int resolved_batch =
+      ResolveEvalBatchQueries(options.batch_queries, data.num_entities(),
+                              options.score_precision, options.num_shards);
   Stopwatch eval_watch;
   const EvalResult result =
       evaluator.Evaluate(**model, eval_triples, options);
@@ -128,10 +159,18 @@ int Run(int argc, char** argv) {
   if (eval_seconds > 0.0 && !eval_triples.empty()) {
     std::printf(
         "eval throughput: %.0f triples/s (%zu triples, %d threads, "
-        "eval batch %d, precision %s)\n",
+        "eval batch %d, precision %s, shards %d%s)\n",
         double(eval_triples.size()) / eval_seconds, eval_triples.size(),
         int(threads), resolved_batch,
-        ScorePrecisionName(options.score_precision));
+        ScorePrecisionName(options.score_precision), options.num_shards,
+        options.prune ? ", pruned" : "");
+  }
+  if (result.scan_stats.tiles_total > 0) {
+    std::printf("pruning: %llu / %llu tiles skipped (%.1f%%)\n",
+                (unsigned long long)result.scan_stats.tiles_skipped,
+                (unsigned long long)result.scan_stats.tiles_total,
+                100.0 * double(result.scan_stats.tiles_skipped) /
+                    double(result.scan_stats.tiles_total));
   }
   if (raw) {
     EvalOptions raw_options = options;

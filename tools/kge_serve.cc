@@ -52,6 +52,9 @@ int Run(int argc, char** argv) {
   int64_t max_batch = 32;
   int64_t workers = 1;
   int64_t poll_ms = 200;
+  int64_t shards = 1;
+  bool prune = false;
+  std::string scale;
   bool watch_latest = false;
 
   FlagParser parser("kge_serve: serve top-k link prediction over TCP");
@@ -78,6 +81,17 @@ int Run(int argc, char** argv) {
   parser.AddInt("max-batch", &max_batch,
                 "max queries coalesced into one kernel dispatch");
   parser.AddInt("workers", &workers, "scoring worker threads");
+  parser.AddInt("shards", &shards,
+                "entity-table shards for the top-k reduction; > 1 runs "
+                "range-scoped per-shard scans in parallel and merges "
+                "(results identical at every setting)");
+  parser.AddBool("prune", &prune,
+                 "skip candidate tiles whose Cauchy-Schwarz score bound "
+                 "cannot beat the current top-k minimum (exact, never "
+                 "approximate)");
+  parser.AddString("scale", &scale,
+                   "generated-vocabulary preset: small (3k) | medium "
+                   "(100k) | xl (1M); overrides --entities");
   parser.AddString("degrade-precision", &degrade_precision,
                    "lowest scoring tier load may downshift to: double "
                    "(never degrade) | float32 | int8");
@@ -101,6 +115,19 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--watch-latest requires --checkpoint-dir\n");
     return 2;
   }
+  if (!scale.empty()) {
+    int32_t preset = 0;
+    if (!ParseWordNetScale(scale, &preset)) {
+      std::fprintf(stderr, "unknown --scale=%s (small|medium|xl)\n",
+                   scale.c_str());
+      return 2;
+    }
+    entities = preset;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
 
   BatcherOptions batcher_options;
   batcher_options.max_queue = int(max_queue);
@@ -108,6 +135,8 @@ int Run(int argc, char** argv) {
   batcher_options.num_workers = int(workers);
   batcher_options.max_topk = uint32_t(topk > 0 ? topk : 1);
   batcher_options.default_deadline_ms = uint32_t(deadline_ms);
+  batcher_options.num_shards = int(shards);
+  batcher_options.prune = prune;
   if (!ParseScorePrecision(degrade_precision,
                            &batcher_options.degrade_floor)) {
     std::fprintf(stderr,
@@ -160,6 +189,9 @@ int Run(int argc, char** argv) {
   if (int(batcher_options.degrade_floor) >= int(ScorePrecision::kInt8)) {
     watcher_options.prepare_tiers.push_back(ScorePrecision::kInt8);
   }
+  // Pruned scans read per-tile score bounds that must be rebuilt before
+  // a snapshot sees concurrent workers, so the loader prepares them.
+  watcher_options.prepare_bounds = prune;
 
   SnapshotRegistry registry;
   CheckpointWatcher watcher(&registry, factory, watcher_options);
@@ -201,14 +233,16 @@ int Run(int argc, char** argv) {
   const CheckpointWatcher::StatsView wstats = watcher.stats();
   std::printf(
       "kge_serve: served=%llu shed=%llu expired=%llu invalid=%llu "
-      "batches=%llu swaps=%llu quarantines=%llu\n",
+      "batches=%llu swaps=%llu quarantines=%llu tiles_skipped=%llu/%llu\n",
       static_cast<unsigned long long>(bstats.completed),
       static_cast<unsigned long long>(bstats.shed),
       static_cast<unsigned long long>(bstats.expired),
       static_cast<unsigned long long>(bstats.invalid),
       static_cast<unsigned long long>(bstats.batches),
       static_cast<unsigned long long>(wstats.swaps),
-      static_cast<unsigned long long>(wstats.quarantines));
+      static_cast<unsigned long long>(wstats.quarantines),
+      static_cast<unsigned long long>(bstats.tiles_skipped),
+      static_cast<unsigned long long>(bstats.tiles_total));
   return 0;
 }
 
